@@ -1,0 +1,37 @@
+//! S5 throughput: the greedy and work-stealing schedule simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cilk_dag::schedule::{greedy, work_stealing, WsConfig};
+use cilk_dag::workload::fib_sp;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_sim");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let sp = fib_sp(18, 1); // ~8k strands
+    let dag = sp.to_dag();
+    println!("fib(18) dag: {} vertices", dag.len());
+
+    for p in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("greedy", p), &p, |b, &p| {
+            b.iter(|| greedy(&dag, p).makespan);
+        });
+        group.bench_with_input(BenchmarkId::new("work_stealing", p), &p, |b, &p| {
+            b.iter(|| work_stealing(&sp, &WsConfig::new(p)).makespan);
+        });
+    }
+
+    group.bench_function("measures_fib18", |b| {
+        b.iter(|| (sp.work(), sp.span(), sp.span_with_burden(1000)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! S3 ablation: `cilk_for` grain size (DESIGN.md §choice 1).
+//!
+//! Sweeps explicit grains against the automatic policy; too-fine grains
+//! pay spawn overhead, too-coarse grains lose load balance (invisible on
+//! one core, but the spawn-count column of the harness shows the trade).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cilk::{Config, Grain, ThreadPool};
+
+fn body(i: usize) -> u64 {
+    // ~30ns of real work per iteration.
+    let mut acc = i as u64;
+    for k in 0..8 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+    }
+    acc
+}
+
+fn bench_grain(c: &mut Criterion) {
+    let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+    const N: usize = 100_000;
+
+    let mut group = c.benchmark_group("parallel_for_grain");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for grain in [1usize, 16, 256, 2048, 16384] {
+        group.bench_with_input(BenchmarkId::new("explicit", grain), &grain, |b, &g| {
+            b.iter(|| {
+                pool.install(|| {
+                    cilk::runtime::for_each_index(0..N, Grain::Explicit(g), |i| {
+                        std::hint::black_box(body(i));
+                    });
+                })
+            });
+        });
+    }
+    group.bench_function("auto", |b| {
+        b.iter(|| {
+            pool.install(|| {
+                cilk::runtime::for_each_index(0..N, Grain::Auto, |i| {
+                    std::hint::black_box(body(i));
+                });
+            })
+        });
+    });
+    group.bench_function("serial_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(body(i));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grain);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E9 overhead: Cilkscreen detector throughput (accesses/second) on the
+//! traced quicksort and tree walk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cilk_workloads::qsort_traced;
+use cilk_workloads::tree::{build_tree, walk_traced_mutex};
+use cilkscreen::Detector;
+
+fn bench_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cilkscreen");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("qsort_traced", n), &n, |b, &n| {
+            b.iter(|| Detector::new().run(|e| qsort_traced(e, n, false)));
+        });
+    }
+
+    let tree = build_tree(4096, 3);
+    group.bench_function("tree_walk_locked_4096", |b| {
+        b.iter(|| Detector::new().run(|e| walk_traced_mutex(e, &tree, 2)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

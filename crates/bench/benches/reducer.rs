@@ -1,0 +1,77 @@
+//! E10 micro: reducer update vs mutex update vs atomic, per-operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use cilk::hyper::{ReducerList, ReducerSum};
+use cilk::sync::Mutex;
+use cilk::{Config, ThreadPool};
+
+fn bench_reducer(c: &mut Criterion) {
+    let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+    const N: usize = 10_000;
+
+    let mut group = c.benchmark_group("accumulate_10k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("reducer_sum", |b| {
+        b.iter(|| {
+            let sum = ReducerSum::<u64>::sum();
+            pool.install(|| {
+                cilk::cilk_for_grain(0..N, 64, |i| sum.add(i as u64));
+            });
+            sum.into_value()
+        });
+    });
+
+    group.bench_function("mutex_sum", |b| {
+        b.iter(|| {
+            let sum = Mutex::new(0u64);
+            pool.install(|| {
+                cilk::cilk_for_grain(0..N, 64, |i| *sum.lock() += i as u64);
+            });
+            sum.into_inner()
+        });
+    });
+
+    group.bench_function("atomic_sum", |b| {
+        b.iter(|| {
+            let sum = AtomicU64::new(0);
+            pool.install(|| {
+                cilk::cilk_for_grain(0..N, 64, |i| {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            });
+            sum.load(Ordering::Relaxed)
+        });
+    });
+
+    group.bench_function("reducer_list_append", |b| {
+        b.iter(|| {
+            let list = ReducerList::<usize>::list();
+            pool.install(|| {
+                cilk::cilk_for_grain(0..N, 64, |i| list.push_back(i));
+            });
+            list.into_value().len()
+        });
+    });
+
+    group.bench_function("mutex_list_append", |b| {
+        b.iter(|| {
+            let list = Mutex::new(Vec::new());
+            pool.install(|| {
+                cilk::cilk_for_grain(0..N, 64, |i| list.lock().push(i));
+            });
+            list.into_inner().len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reducer);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microcosts of the scheduling protocol: one `join` (push + pop-back of a
+//! continuation), one `scope` spawn, and the wait-policy ablation of
+//! DESIGN.md §choice 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use cilk::{Config, ThreadPool, WaitPolicy};
+
+fn bench_spawn(c: &mut Criterion) {
+    let pool1 = ThreadPool::with_config(Config::new().num_workers(1)).expect("pool");
+    let pool2 = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+    let pool2_spin = ThreadPool::with_config(
+        Config::new().num_workers(2).wait_policy(WaitPolicy::SpinOnly),
+    )
+    .expect("pool");
+
+    let mut group = c.benchmark_group("spawn_cost");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // 1024 empty joins per iteration: per-join cost = time / 1024.
+    group.bench_function("join_x1024_1worker", |b| {
+        b.iter(|| {
+            pool1.install(|| {
+                for _ in 0..1024 {
+                    cilk::runtime::join(|| std::hint::black_box(1), || std::hint::black_box(2));
+                }
+            })
+        });
+    });
+    group.bench_function("join_x1024_2workers_stealback", |b| {
+        b.iter(|| {
+            pool2.install(|| {
+                for _ in 0..1024 {
+                    cilk::runtime::join(|| std::hint::black_box(1), || std::hint::black_box(2));
+                }
+            })
+        });
+    });
+    group.bench_function("join_x1024_2workers_spinonly", |b| {
+        b.iter(|| {
+            pool2_spin.install(|| {
+                for _ in 0..1024 {
+                    cilk::runtime::join(|| std::hint::black_box(1), || std::hint::black_box(2));
+                }
+            })
+        });
+    });
+    // Heap-allocated scope spawns for contrast.
+    group.bench_function("scope_spawn_x1024_1worker", |b| {
+        b.iter(|| {
+            pool1.install(|| {
+                cilk::runtime::scope(|s| {
+                    for _ in 0..1024 {
+                        s.spawn(|_| {
+                            std::hint::black_box(1);
+                        });
+                    }
+                })
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spawn);
+criterion_main!(benches);

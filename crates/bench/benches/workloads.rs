@@ -1,0 +1,84 @@
+//! End-to-end workload benches: quicksort, matmul, BFS, on serial and
+//! pooled configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use cilk::{Config, ThreadPool};
+use cilk_workloads::{bfs, matmul, mergesort, qsort};
+
+fn bench_workloads(c: &mut Criterion) {
+    let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+
+    let mut group = c.benchmark_group("workloads");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    // Quicksort 200k.
+    let base: Vec<i64> = {
+        let mut state = 0xDEAD_BEEFu64;
+        (0..200_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as i64
+            })
+            .collect()
+    };
+    group.bench_function("qsort_200k_serial", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            qsort::qsort_serial(&mut v);
+            v.len()
+        });
+    });
+    group.bench_function("qsort_200k_pool", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            pool.install(|| qsort::qsort(&mut v));
+            v.len()
+        });
+    });
+
+    group.bench_function("mergesort_200k_serial", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            mergesort::merge_sort_serial(&mut v);
+            v.len()
+        });
+    });
+    group.bench_function("mergesort_200k_pool", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            pool.install(|| mergesort::merge_sort(&mut v));
+            v.len()
+        });
+    });
+
+    // Matmul 128.
+    let a = matmul::Matrix::random(128, 1);
+    let bm = matmul::Matrix::random(128, 2);
+    group.bench_function("matmul_128_serial", |b| {
+        b.iter(|| matmul::matmul_serial(&a, &bm));
+    });
+    group.bench_function("matmul_128_pool", |b| {
+        b.iter(|| pool.install(|| matmul::matmul(&a, &bm)));
+    });
+
+    // BFS 50k vertices.
+    let g = bfs::Graph::random(50_000, 6, 5);
+    group.bench_function("bfs_50k_serial", |b| {
+        b.iter(|| bfs::bfs_serial(&g, 0));
+    });
+    group.bench_function("bfs_50k_pool", |b| {
+        b.iter(|| pool.install(|| bfs::bfs(&g, 0)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E1 — Figure 2: the example dag and its stated measures.
+//!
+//! Regenerates every quantitative statement §2 makes about the Fig. 2 dag:
+//! work 18, span 9, parallelism 2, the critical path, the ≺/∥ relations,
+//! and the "more than 2 processors are starved" observation (via greedy
+//! schedule simulation).
+
+use cilk_dag::fig2::example_dag;
+use cilk_dag::schedule::{greedy, ScheduleTrace};
+
+fn main() {
+    let (dag, ids) = example_dag();
+
+    cilk_bench::section("Figure 2 example dag");
+    println!("vertices (instructions) : {}", dag.len());
+    println!("work T1                 : {}", dag.work());
+    println!("span T∞                 : {}", dag.span());
+    println!("parallelism T1/T∞       : {}", dag.parallelism());
+
+    cilk_bench::section("stated relations");
+    println!("1 ≺ 2  : {}", dag.precedes(ids[1], ids[2]));
+    println!("6 ≺ 12 : {}", dag.precedes(ids[6], ids[12]));
+    println!("4 ∥ 9  : {}", dag.parallel(ids[4], ids[9]));
+
+    cilk_bench::section("critical path");
+    let path: Vec<String> = dag
+        .critical_path()
+        .iter()
+        .map(|id| {
+            let k = ids.iter().position(|x| x == id).expect("id present");
+            k.to_string()
+        })
+        .collect();
+    println!("{}", path.join(" ≺ "));
+
+    cilk_bench::section("greedy schedule T_P (starvation beyond P = 2)");
+    println!("{:>3} {:>6} {:>9}", "P", "T_P", "speedup");
+    for p in [1usize, 2, 3, 4, 8] {
+        let s = greedy(&dag, p);
+        println!(
+            "{:>3} {:>6} {:>9.2}",
+            p,
+            s.makespan,
+            dag.work() as f64 / s.makespan as f64
+        );
+    }
+    println!(
+        "\nSpeedup saturates at the parallelism ({}): \"there's little point\n\
+         in executing it with more than 2 processors\".",
+        dag.parallelism()
+    );
+
+    cilk_bench::section("schedule timeline at P = 2 (greedy; # = busy)");
+    let schedule = greedy(&dag, 2);
+    let trace = ScheduleTrace::from_greedy(&dag, &schedule);
+    print!("{}", trace.to_ascii_gantt(44));
+    println!(
+        "utilization {:.0}% — and at P = 4 only {:.0}%: the starvation above",
+        100.0 * trace.utilization(),
+        100.0 * ScheduleTrace::from_greedy(&dag, &greedy(&dag, 4)).utilization()
+    );
+
+    // Emit the figure itself.
+    let dot = cilk_dag::dot::to_dot(
+        &dag,
+        &cilk_dag::dot::DotOptions { name: "fig2".to_owned(), ..Default::default() },
+    );
+    std::fs::create_dir_all("artifacts").expect("create artifacts dir");
+    std::fs::write("artifacts/fig2.dot", dot).expect("write fig2.dot");
+    println!("\nwrote artifacts/fig2.dot (render with `dot -Tpng`)");
+}

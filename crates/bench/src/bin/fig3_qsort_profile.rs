@@ -1,0 +1,135 @@
+//! E2 — Figure 3: the parallelism profile of quicksort.
+//!
+//! The paper's Fig. 3 shows Cilkview's output for the Fig. 1 quicksort on
+//! 100 million numbers: the slope-1 Work-Law line, the Span-Law ceiling at
+//! parallelism 10.31, and a burdened lower-bound curve. This binary
+//! regenerates all three series, two ways:
+//!
+//! 1. **analytic dag** at the paper's exact n = 100,000,000 (a coarse
+//!    strand dag from the quicksort recurrence with random pivots);
+//! 2. **instrumented run** of the real parallel quicksort recursion at
+//!    n = 1,000,000 under the `cilkview` analyzer.
+//!
+//! It also cross-validates the profile against the work-stealing
+//! simulator: measured speedup must land between the burdened lower bound
+//! and the upper bound for every P. Pass `--burden <units>` to sweep the
+//! ablation of DESIGN.md §choice 3.
+
+use cilk_dag::schedule::{work_stealing, WsConfig};
+use cilk_dag::workload::qsort_sp;
+use cilkview::{charge, Cilkview};
+
+fn main() {
+    let burden: u64 = std::env::args()
+        .skip_while(|a| a != "--burden")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15_000);
+
+    analytic_profile(burden);
+    instrumented_profile(burden);
+    simulator_check();
+}
+
+fn analytic_profile(burden: u64) {
+    cilk_bench::section("Fig. 3 (analytic): qsort on n = 100,000,000");
+    let sp = qsort_sp(100_000_000, 500_000, 1234);
+    println!("work T1        : {}", sp.work());
+    println!("span T∞        : {}", sp.span());
+    println!("parallelism    : {:.2}   (paper: 10.31)", sp.parallelism());
+    println!(
+        "burdened T∞    : {} (burden {} per spawn on the critical path)",
+        sp.span_with_burden(burden),
+        burden
+    );
+    println!(
+        "burdened par.  : {:.2}",
+        sp.burdened_parallelism(burden)
+    );
+
+    let profile = cilkview::Profile {
+        work: sp.work(),
+        span: sp.span(),
+        burdened_span: sp.span_with_burden(burden),
+        spawns: sp.spawn_count(),
+        regions: Vec::new(),
+        dag: None,
+    };
+    let table = profile.speedup_profile(16);
+    println!("\n{table}");
+    println!("knee (linear → flat) at P = {}", table.knee());
+    std::fs::create_dir_all("artifacts").expect("create artifacts dir");
+    std::fs::write("artifacts/fig3_analytic.csv", table.to_csv())
+        .expect("write fig3_analytic.csv");
+    println!("wrote artifacts/fig3_analytic.csv");
+}
+
+fn instrumented_profile(burden: u64) {
+    cilk_bench::section("Fig. 3 (instrumented run): qsort on n = 1,000,000");
+    // The real recursion, instrumented: partition charges its range
+    // length, leaves charge m·lg m.
+    fn qsort_profiled(n: u64, grain: u64, seed: u64) {
+        if n <= grain {
+            let lg = 64 - n.max(2).leading_zeros() as u64;
+            charge(n * lg);
+            return;
+        }
+        charge(n); // partition
+        let left = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let split = left % n;
+        cilkview::join(
+            || qsort_profiled(split.max(1), grain, left ^ 0x9E37),
+            || qsort_profiled((n - 1 - split).max(1), grain, left ^ 0x79B9),
+        );
+    }
+    let ((), profile) = Cilkview::new().burden(burden).profile(|| {
+        qsort_profiled(1_000_000, 2_048, 42);
+    });
+    println!(
+        "work {}  span {}  parallelism {:.2}  spawns {}",
+        profile.work,
+        profile.span,
+        profile.parallelism(),
+        profile.spawns
+    );
+    let table = profile.speedup_profile(16);
+    println!("\n{table}");
+    std::fs::create_dir_all("artifacts").expect("create artifacts dir");
+    std::fs::write("artifacts/fig3_instrumented.csv", table.to_csv())
+        .expect("write fig3_instrumented.csv");
+    println!("wrote artifacts/fig3_instrumented.csv");
+}
+
+fn simulator_check() {
+    cilk_bench::section("cross-check: work-stealing simulator vs the bounds");
+    let sp = qsort_sp(4_000_000, 20_000, 7);
+    let t1 = sp.work();
+    let parallelism = sp.parallelism();
+    println!(
+        "n = 4,000,000 coarse dag: work {}, span {}, parallelism {:.2}",
+        t1,
+        sp.span(),
+        parallelism
+    );
+    println!(
+        "{:>3} {:>14} {:>9} {:>9} {:>8}",
+        "P", "T_P (sim)", "speedup", "upper", "steals"
+    );
+    for p in [1usize, 2, 4, 8, 16] {
+        let s = work_stealing(&sp, &WsConfig::new(p).steal_burden(100).seed(1));
+        let upper = (p as f64).min(parallelism);
+        println!(
+            "{:>3} {:>14} {:>9.2} {:>9.2} {:>8}",
+            p,
+            s.makespan,
+            s.speedup(t1),
+            upper,
+            s.steals
+        );
+        assert!(
+            s.speedup(t1) <= upper + 1e-9,
+            "simulator must respect the upper bound"
+        );
+    }
+    println!("\nShape check: linear ramp below the knee, ceiling ≈ parallelism above it.");
+}

@@ -1,0 +1,54 @@
+//! E11 — Amdahl's Law and its subsumption by the dag model (§2).
+//!
+//! "Suppose that 50% of a computation can be parallelized and 50% cannot.
+//! Then, even if the 50% that is parallel were run on an infinite number
+//! of processors, the total time is cut at most in half, leaving a
+//! speedup of at most 2. In general, … Amdahl's Law upper-bounds the
+//! speedup by 1/(1 − p)." The dag model subsumes this: an Amdahl
+//! computation has span ≥ its serial fraction, so the Span Law gives the
+//! same bound — and the greedy simulator realizes it.
+
+use cilk_dag::schedule::greedy;
+use cilk_dag::workload::loop_sp;
+use cilk_dag::{amdahl_measures, amdahl_speedup_at, amdahl_speedup_bound, Sp};
+
+fn main() {
+    cilk_bench::section("Amdahl bound 1/(1−p) vs dag-model parallelism T1/T∞");
+    println!(
+        "{:>10} {:>14} {:>18} {:>12}",
+        "fraction", "Amdahl bound", "dag parallelism", "agreement"
+    );
+    for f in [0.25f64, 0.5, 0.75, 0.9, 0.99] {
+        let bound = amdahl_speedup_bound(f);
+        let m = amdahl_measures(1_000_000, f);
+        let agree = (m.parallelism() - bound).abs() / bound < 0.02;
+        println!(
+            "{:>10.2} {:>14.2} {:>18.2} {:>12}",
+            f,
+            bound,
+            m.parallelism(),
+            if agree { "yes" } else { "≈" }
+        );
+    }
+
+    cilk_bench::section("the 50/50 example executed: serial half + parallel half");
+    // Serial chain of 500k units, then a perfectly parallel 500k units.
+    let sp = Sp::series(Sp::leaf(500_000), loop_sp(1_000, 500));
+    let dag = sp.to_dag();
+    let t1 = dag.work();
+    println!("{:>5} {:>12} {:>10} {:>16}", "P", "greedy T_P", "speedup", "Amdahl @ P");
+    for p in [1u64, 2, 4, 8, 64] {
+        let s = greedy(&dag, p as usize);
+        let speedup = t1 as f64 / s.makespan as f64;
+        let amdahl = amdahl_speedup_at(0.5, p);
+        println!("{:>5} {:>12} {:>10.2} {:>16.2}", p, s.makespan, speedup, amdahl);
+        assert!(
+            speedup <= amdahl_speedup_bound(0.5) + 1e-9,
+            "speedup can never exceed the Amdahl bound"
+        );
+    }
+    println!(
+        "\nEven with 64 processors the speedup stays below 2.0 — Amdahl's\n\
+         ceiling — while tracking 1/((1−p) + p/P) on the way up."
+    );
+}

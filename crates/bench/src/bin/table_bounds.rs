@@ -1,0 +1,75 @@
+//! E4 — the performance bounds of §3.1, eq. (3).
+//!
+//! `T_P ≤ T1/P + O(T∞)` for the work-stealing scheduler, and the greedy
+//! bound `T_P ≤ T1/P + T∞`. For each workload and P, this harness runs
+//! both schedule simulators and verifies the sandwich
+//! `max(T1/P, T∞) ≤ T_P ≤ T1/P + c·T∞`, then shows the near-perfect
+//! linear speedup regime when parallelism ≫ P.
+
+use cilk_dag::schedule::{greedy, work_stealing, WsConfig};
+use cilk_dag::workload::{fib_sp, loop_sp, qsort_sp};
+use cilk_dag::{Measures, Sp};
+
+fn main() {
+    let workloads: Vec<(&str, Sp)> = vec![
+        ("fib(18)", fib_sp(18, 1)),
+        ("loop 4096×64", loop_sp(4096, 64)),
+        ("qsort 1e6", qsort_sp(1_000_000, 10_000, 9)),
+    ];
+
+    for (name, sp) in &workloads {
+        let m = Measures::new(sp.work(), sp.span());
+        cilk_bench::section(&format!(
+            "{name}: T1 = {}, T∞ = {}, parallelism = {:.1}",
+            m.work,
+            m.span,
+            m.parallelism()
+        ));
+        println!(
+            "{:>3} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "P", "lower bound", "greedy T_P", "ws T_P", "T1/P + T∞", "ws speedup"
+        );
+        let dag = sp.to_dag();
+        for p in [1u64, 2, 4, 8, 16] {
+            let g = greedy(&dag, p as usize);
+            let ws = work_stealing(sp, &WsConfig::new(p as usize).steal_burden(1));
+            let lower = m.lower_bound_tp(p);
+            let upper = m.greedy_upper_bound_tp(p);
+            println!(
+                "{:>3} {:>12.0} {:>12} {:>12} {:>12.0} {:>10.2}",
+                p,
+                lower,
+                g.makespan,
+                ws.makespan,
+                upper,
+                ws.speedup(m.work)
+            );
+            assert!(g.makespan as f64 <= upper + 1e-9, "greedy bound violated");
+            assert!(g.makespan as f64 + 1e-9 >= lower, "laws violated (greedy)");
+            assert!(ws.makespan as f64 + 1e-9 >= lower, "laws violated (ws)");
+            // The O(T∞) constant for randomized work stealing: generous c.
+            let ws_bound = m.work as f64 / p as f64 + 32.0 * m.span as f64;
+            assert!(
+                (ws.makespan as f64) <= ws_bound,
+                "work-stealing bound violated: {} > {}",
+                ws.makespan,
+                ws_bound
+            );
+        }
+    }
+
+    cilk_bench::section("near-perfect linear speedup when T1/T∞ ≫ P (§3.1)");
+    let wide = loop_sp(65_536, 64); // parallelism 65536
+    let m = Measures::new(wide.work(), wide.span());
+    println!("parallelism = {:.0}", m.parallelism());
+    println!("{:>3} {:>10} {:>12}", "P", "speedup", "efficiency");
+    for p in [2usize, 4, 8, 16, 32] {
+        let ws = work_stealing(&wide, &WsConfig::new(p).steal_burden(1));
+        let speedup = ws.speedup(m.work);
+        println!("{:>3} {:>10.2} {:>11.1}%", p, speedup, 100.0 * speedup / p as f64);
+        assert!(
+            speedup > 0.85 * p as f64,
+            "expected near-linear speedup at P={p}, got {speedup}"
+        );
+    }
+}

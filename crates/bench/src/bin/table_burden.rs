@@ -1,0 +1,66 @@
+//! Ablation — the burden constant of the Cilkview estimate
+//! (DESIGN.md, design choice 3).
+//!
+//! Cilkview charges a fixed scheduling "burden" per spawn on the critical
+//! path when estimating the lower speedup bound. This harness sweeps the
+//! constant over the quicksort dag and shows (a) the estimated lower
+//! bound tightening as burden → 0, and (b) the work-stealing simulator's
+//! *actual* speedup staying inside the predicted band for matching
+//! per-steal costs.
+
+use cilk_dag::schedule::{work_stealing, WsConfig};
+use cilk_dag::workload::qsort_sp;
+
+fn main() {
+    let sp = qsort_sp(4_000_000, 20_000, 1234);
+    let work = sp.work();
+    let span = sp.span();
+    println!(
+        "qsort n = 4e6 dag: work {work}, span {span}, parallelism {:.2}, spawns {}",
+        sp.parallelism(),
+        sp.spawn_count()
+    );
+
+    cilk_bench::section("burdened parallelism vs burden constant");
+    println!(
+        "{:>10} {:>16} {:>22}",
+        "burden", "burdened span", "burdened parallelism"
+    );
+    for burden in [0u64, 100, 1_000, 15_000, 100_000, 1_000_000] {
+        println!(
+            "{:>10} {:>16} {:>22.2}",
+            burden,
+            sp.span_with_burden(burden),
+            sp.burdened_parallelism(burden)
+        );
+    }
+
+    cilk_bench::section("prediction vs simulation at P = 8");
+    println!(
+        "{:>10} {:>18} {:>16} {:>12}",
+        "burden", "predicted lower", "simulated", "upper"
+    );
+    let upper = (8f64).min(sp.parallelism());
+    for burden in [1u64, 100, 1_000, 10_000] {
+        let burdened = sp.span_with_burden(burden);
+        let predicted = work as f64 / (work as f64 / 8.0 + burdened as f64);
+        let sim = work_stealing(&sp, &WsConfig::new(8).steal_burden(burden));
+        let measured = sim.speedup(work);
+        println!(
+            "{:>10} {:>18.2} {:>16.2} {:>12.2}",
+            burden, predicted, measured, upper
+        );
+        assert!(
+            measured <= upper + 1e-9,
+            "simulation must respect the span-law ceiling"
+        );
+        assert!(
+            measured + 1e-9 >= predicted * 0.9,
+            "simulation should not fall far below the burdened estimate"
+        );
+    }
+    println!(
+        "\nThe estimate brackets the simulation: Cilkview's burden model is a\n\
+         sound (slightly conservative) lower bound for matching steal costs."
+    );
+}

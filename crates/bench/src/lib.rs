@@ -1,0 +1,58 @@
+//! Shared helpers for the experiment harness binaries (`src/bin/`) and the
+//! criterion benches (`benches/`).
+//!
+//! Each binary regenerates one table or figure of the paper; see the
+//! per-experiment index in `DESIGN.md` and the recorded outputs in
+//! `EXPERIMENTS.md`.
+
+use std::time::{Duration, Instant};
+
+/// Prints a section header for harness output.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Times `f`, returning (result, elapsed). Runs once.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Minimum elapsed time of `runs` executions of `f` (discards the result).
+/// Minimum-of-N is the standard noise filter for wall-clock comparisons.
+pub fn time_min<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let r = f();
+        let elapsed = start.elapsed();
+        std::hint::black_box(r);
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    best
+}
+
+/// Formats a duration as milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_min_takes_minimum() {
+        let d = time_min(3, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.000");
+    }
+}

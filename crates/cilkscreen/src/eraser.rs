@@ -1,0 +1,191 @@
+//! An Eraser-style lockset detector — the baseline the SP-bags approach
+//! improves upon.
+//!
+//! The paper's §4 bibliography includes Savage et al.'s *Eraser* [31],
+//! the classic lockset algorithm: every shared location must be
+//! consistently protected by some lock; the candidate set C(v) is
+//! intersected with the locks held at each access, and an empty C(v) on a
+//! modified shared location is flagged. Eraser knows nothing about
+//! fork-join *ordering*, so accesses correctly separated by a `cilk_sync`
+//! still shrink C(v) and produce **false positives** — exactly the gap
+//! Cilkscreen's series-parallel precision closes. This module implements
+//! Eraser faithfully so the comparison can be measured (experiment E15).
+
+use std::collections::HashMap;
+
+use crate::report::{Location, LockId};
+use crate::spbags::ProcId;
+
+/// Eraser's per-location state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LocksetState {
+    /// Never accessed.
+    Virgin,
+    /// Accessed by a single strand only so far.
+    Exclusive(ProcId),
+    /// Read-shared across strands; candidate set tracked but not enforced.
+    Shared(Vec<LockId>),
+    /// Written by multiple strands; empty candidate set ⇒ warning.
+    SharedModified(Vec<LockId>),
+}
+
+/// A warning from the lockset discipline (not necessarily a true race).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocksetWarning {
+    /// The location whose candidate lockset became empty.
+    pub location: Location,
+}
+
+/// An Eraser-style detector over the same serial replay the SP-bags
+/// detector consumes. Drive it with [`EraserDetector::access`] using any
+/// strand identifier scheme (the SP-bags [`ProcId`]s work well).
+///
+/// # Examples
+///
+/// ```
+/// use cilkscreen::eraser::EraserDetector;
+/// use cilkscreen::spbags::ProcId;
+/// use cilkscreen::Location;
+///
+/// let mut eraser = EraserDetector::new();
+/// eraser.access(Location(1), ProcId(0), true, &[]);
+/// eraser.access(Location(1), ProcId(1), true, &[]); // second strand, no lock
+/// assert_eq!(eraser.warnings().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EraserDetector {
+    states: HashMap<Location, LocksetState>,
+    warnings: Vec<LocksetWarning>,
+    warned: std::collections::HashSet<Location>,
+}
+
+impl EraserDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        EraserDetector::default()
+    }
+
+    /// Records an access to `location` by strand `proc` holding `held`.
+    pub fn access(&mut self, location: Location, proc: ProcId, write: bool, held: &[LockId]) {
+        let state = self.states.entry(location).or_insert(LocksetState::Virgin);
+        let next = match state {
+            LocksetState::Virgin => LocksetState::Exclusive(proc),
+            LocksetState::Exclusive(owner) if *owner == proc => LocksetState::Exclusive(proc),
+            LocksetState::Exclusive(_) => {
+                // First access from a second strand: initialize C(v) to the
+                // locks held now.
+                let c = held.to_vec();
+                if write {
+                    LocksetState::SharedModified(c)
+                } else {
+                    LocksetState::Shared(c)
+                }
+            }
+            LocksetState::Shared(c) => {
+                let c = intersect(c, held);
+                if write {
+                    LocksetState::SharedModified(c)
+                } else {
+                    LocksetState::Shared(c)
+                }
+            }
+            LocksetState::SharedModified(c) => LocksetState::SharedModified(intersect(c, held)),
+        };
+        if let LocksetState::SharedModified(c) = &next {
+            if c.is_empty() && self.warned.insert(location) {
+                self.warnings.push(LocksetWarning { location });
+            }
+        }
+        *state = next;
+    }
+
+    /// The warnings accumulated so far.
+    pub fn warnings(&self) -> &[LocksetWarning] {
+        &self.warnings
+    }
+
+    /// Whether any warning names `location`.
+    pub fn warns_at(&self, location: Location) -> bool {
+        self.warned.contains(&location)
+    }
+}
+
+fn intersect(c: &[LockId], held: &[LockId]) -> Vec<LockId> {
+    c.iter().copied().filter(|l| held.contains(l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_strand_never_warns() {
+        let mut e = EraserDetector::new();
+        for _ in 0..5 {
+            e.access(Location(1), ProcId(0), true, &[]);
+        }
+        assert!(e.warnings().is_empty());
+    }
+
+    #[test]
+    fn consistent_lock_never_warns() {
+        let mut e = EraserDetector::new();
+        let lock = [LockId(1)];
+        e.access(Location(1), ProcId(0), true, &lock);
+        e.access(Location(1), ProcId(1), true, &lock);
+        e.access(Location(1), ProcId(2), false, &lock);
+        assert!(e.warnings().is_empty());
+    }
+
+    #[test]
+    fn unprotected_sharing_warns() {
+        let mut e = EraserDetector::new();
+        e.access(Location(1), ProcId(0), true, &[]);
+        e.access(Location(1), ProcId(1), true, &[]);
+        assert!(e.warns_at(Location(1)));
+    }
+
+    #[test]
+    fn inconsistent_locks_warn() {
+        // Per the Eraser state machine, C(v) initializes at the shared
+        // transition and empties on the next inconsistently-locked access.
+        let mut e = EraserDetector::new();
+        e.access(Location(1), ProcId(0), true, &[LockId(1)]);
+        e.access(Location(1), ProcId(1), true, &[LockId(2)]); // C(v) = {2}
+        assert!(!e.warns_at(Location(1)), "C(v) still nonempty");
+        e.access(Location(1), ProcId(0), true, &[LockId(1)]); // C(v) = ∅
+        assert!(e.warns_at(Location(1)));
+    }
+
+    #[test]
+    fn read_sharing_without_writes_is_fine() {
+        let mut e = EraserDetector::new();
+        e.access(Location(1), ProcId(0), false, &[]);
+        e.access(Location(1), ProcId(1), false, &[]);
+        e.access(Location(1), ProcId(2), false, &[]);
+        assert!(e.warnings().is_empty());
+    }
+
+    #[test]
+    fn false_positive_on_synced_handoff() {
+        // The known Eraser weakness: strand 0 writes, then (after a sync
+        // that Eraser cannot see) strand 1 writes. No true race, but the
+        // lockset discipline warns anyway.
+        let mut e = EraserDetector::new();
+        e.access(Location(9), ProcId(0), true, &[]);
+        e.access(Location(9), ProcId(1), true, &[]); // logically AFTER a sync
+        assert!(
+            e.warns_at(Location(9)),
+            "Eraser must flag the handoff — the false positive SP-bags avoids"
+        );
+    }
+
+    #[test]
+    fn warning_deduplicated_per_location() {
+        let mut e = EraserDetector::new();
+        for p in 0..5 {
+            e.access(Location(1), ProcId(p), true, &[]);
+        }
+        assert_eq!(e.warnings().len(), 1);
+    }
+}

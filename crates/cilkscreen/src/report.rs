@@ -1,0 +1,153 @@
+//! Race reports: what Cilkscreen prints when it finds a bug.
+
+use std::fmt;
+
+/// A memory location under race surveillance.
+///
+/// Locations are abstract 64-bit identifiers; [`Location::of`] derives one
+/// from a Rust reference's address, mirroring how the real Cilkscreen
+/// intercepts loads and stores of user-level addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Location(pub u64);
+
+impl Location {
+    /// The location of a value in memory.
+    pub fn of<T>(value: &T) -> Location {
+        Location(value as *const T as u64)
+    }
+
+    /// The location of the `i`-th element of a slice.
+    pub fn of_index<T>(slice: &[T], i: usize) -> Location {
+        Location(&slice[i] as *const T as u64)
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A mutual-exclusion lock identifier for lock-aware detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LockId(pub u64);
+
+/// The flavor of a detected race, named first-access/second-access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceKind {
+    /// Two logically parallel writes.
+    WriteWrite,
+    /// A write logically parallel with a later-observed read.
+    WriteRead,
+    /// A read logically parallel with a later-observed write.
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceKind::WriteWrite => "write/write",
+            RaceKind::WriteRead => "write/read",
+            RaceKind::ReadWrite => "read/write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected determinacy race.
+///
+/// "A data race exists if logically parallel strands access the same shared
+/// location, the two strands hold no locks in common, and at least one of
+/// the strands writes to the location." (§4)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The contested location.
+    pub location: Location,
+    /// Access flavor.
+    pub kind: RaceKind,
+    /// Source label of the earlier access, if instrumented.
+    pub first_site: Option<&'static str>,
+    /// Source label of the later access, if instrumented.
+    pub second_site: Option<&'static str>,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race at {} between `{}` and `{}`",
+            self.kind,
+            self.location,
+            self.first_site.unwrap_or("<unlabeled>"),
+            self.second_site.unwrap_or("<unlabeled>"),
+        )
+    }
+}
+
+/// The outcome of a monitored execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Every distinct race found, in detection order.
+    pub races: Vec<Race>,
+}
+
+impl Report {
+    /// Whether the execution was determinacy-race free — Cilkscreen's
+    /// guarantee: for a deterministic program on a given input, *no* races
+    /// reported means *no* races exist (§4).
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    /// Races touching a specific location.
+    pub fn races_at(&self, location: Location) -> Vec<&Race> {
+        self.races.iter().filter(|r| r.location == location).collect()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.races.is_empty() {
+            writeln!(f, "cilkscreen: no races detected")
+        } else {
+            writeln!(f, "cilkscreen: {} race(s) detected:", self.races.len())?;
+            for race in &self.races {
+                writeln!(f, "  {race}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_of_is_stable() {
+        let x = 5u32;
+        assert_eq!(Location::of(&x), Location::of(&x));
+    }
+
+    #[test]
+    fn slice_locations_distinct() {
+        let v = [1u8, 2, 3];
+        assert_ne!(Location::of_index(&v, 0), Location::of_index(&v, 2));
+    }
+
+    #[test]
+    fn report_display_lists_races() {
+        let mut report = Report::default();
+        assert!(report.is_race_free());
+        report.races.push(Race {
+            location: Location(0x10),
+            kind: RaceKind::WriteWrite,
+            first_site: Some("walk:push"),
+            second_site: None,
+        });
+        let text = report.to_string();
+        assert!(text.contains("write/write"));
+        assert!(text.contains("walk:push"));
+        assert!(!report.is_race_free());
+    }
+}

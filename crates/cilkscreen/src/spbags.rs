@@ -1,0 +1,240 @@
+//! The SP-bags algorithm of Feng and Leiserson, the core of Cilkscreen.
+//!
+//! During a *serial, depth-first* execution of the parallel program (the
+//! order the serial elision would run in), every procedure instance F owns
+//! two bags of procedure ids:
+//!
+//! * **S-bag** S_F — descendants of F that logically *precede* the strand
+//!   currently executing;
+//! * **P-bag** P_F — descendants that operate logically *in parallel* with
+//!   the current strand.
+//!
+//! Bags are disjoint sets ([`crate::union_find`]). The protocol:
+//!
+//! * `spawn F'`: S_F′ ← {F′}, P_F′ ← ∅;
+//! * child F′ returns to F: P_F ← P_F ∪ S_F′ ∪ P_F′;
+//! * `sync` in F: S_F ← S_F ∪ P_F, P_F ← ∅.
+//!
+//! An access by the current strand races with a previous access by
+//! procedure Q iff FIND-SET(Q) is currently a P-bag.
+
+use crate::union_find::{SetId, UnionFind};
+
+/// Identifier of a procedure instance in the traced execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+/// Which bag a set currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BagKind {
+    S,
+    P,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    proc: ProcId,
+    sbag: SetId,
+    pbag: Option<SetId>,
+}
+
+/// The SP-bags state machine.
+///
+/// Drive it with [`SpBags::spawn_procedure`], [`SpBags::return_procedure`]
+/// and [`SpBags::sync`], mirroring the serial execution of the program;
+/// query logical parallelism with [`SpBags::is_parallel_with_current`].
+#[derive(Debug, Clone)]
+pub struct SpBags {
+    uf: UnionFind,
+    /// Bag kind, valid for set roots.
+    kind: Vec<BagKind>,
+    /// The union-find node of each procedure.
+    proc_node: Vec<SetId>,
+    /// Call stack of live procedures; bottom is the root procedure.
+    stack: Vec<Frame>,
+}
+
+impl SpBags {
+    /// Creates the state machine with the root procedure already entered.
+    pub fn new() -> Self {
+        let mut this = SpBags {
+            uf: UnionFind::new(),
+            kind: Vec::new(),
+            proc_node: Vec::new(),
+            stack: Vec::new(),
+        };
+        this.push_procedure();
+        this
+    }
+
+    fn push_procedure(&mut self) -> ProcId {
+        let proc = ProcId(self.proc_node.len());
+        let node = self.uf.make_set();
+        self.kind.push(BagKind::S); // singleton S-bag {F}
+        self.proc_node.push(node);
+        self.stack.push(Frame { proc, sbag: node, pbag: None });
+        proc
+    }
+
+    /// The procedure currently executing.
+    pub fn current_procedure(&self) -> ProcId {
+        self.stack.last().expect("root procedure always live").proc
+    }
+
+    /// Depth of the procedure stack (1 = only the root).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Enters a spawned child procedure (executed immediately, since the
+    /// trace follows the serial execution order).
+    pub fn spawn_procedure(&mut self) -> ProcId {
+        self.push_procedure()
+    }
+
+    /// Returns from the current (spawned) procedure to its parent:
+    /// the child's S- and P-bags are melded into the parent's P-bag.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on the root procedure.
+    pub fn return_procedure(&mut self) {
+        assert!(self.stack.len() > 1, "cannot return from the root procedure");
+        let child = self.stack.pop().expect("checked");
+        let parent = self.stack.last_mut().expect("parent exists");
+        let mut melded = child.sbag;
+        if let Some(p) = child.pbag {
+            melded = self.uf.union(melded, p);
+        }
+        let new_pbag = match parent.pbag {
+            Some(p) => self.uf.union(p, melded),
+            None => melded,
+        };
+        self.kind[new_pbag.0] = BagKind::P;
+        parent.pbag = Some(new_pbag);
+    }
+
+    /// Executes a `cilk_sync` in the current procedure: its P-bag drains
+    /// into its S-bag.
+    pub fn sync(&mut self) {
+        let frame = self.stack.last_mut().expect("root procedure always live");
+        if let Some(p) = frame.pbag.take() {
+            let merged = self.uf.union(frame.sbag, p);
+            self.kind[merged.0] = BagKind::S;
+            frame.sbag = merged;
+        }
+    }
+
+    /// Whether a previous access by procedure `q` is logically parallel
+    /// with the currently executing strand — i.e. whether `q`'s set is a
+    /// P-bag right now.
+    pub fn is_parallel_with_current(&mut self, q: ProcId) -> bool {
+        let root = self.uf.find(self.proc_node[q.0]);
+        self.kind[root.0] == BagKind::P
+    }
+}
+
+impl Default for SpBags {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_strand_is_serial() {
+        let mut sp = SpBags::new();
+        let me = sp.current_procedure();
+        assert!(!sp.is_parallel_with_current(me));
+    }
+
+    #[test]
+    fn returned_child_is_parallel_until_sync() {
+        // spawn F'; F' accesses; F' returns; parent accesses: parallel.
+        let mut sp = SpBags::new();
+        let child = sp.spawn_procedure();
+        sp.return_procedure();
+        assert!(sp.is_parallel_with_current(child), "pre-sync: parallel");
+        sp.sync();
+        assert!(!sp.is_parallel_with_current(child), "post-sync: serial");
+    }
+
+    #[test]
+    fn child_sees_parent_as_serial() {
+        let mut sp = SpBags::new();
+        let root = sp.current_procedure();
+        let _child = sp.spawn_procedure();
+        assert!(!sp.is_parallel_with_current(root), "ancestors are serial");
+    }
+
+    #[test]
+    fn two_spawned_siblings_are_parallel() {
+        // spawn A (returns); spawn B: inside B, A is in parent's P-bag.
+        let mut sp = SpBags::new();
+        let a = sp.spawn_procedure();
+        sp.return_procedure();
+        let _b = sp.spawn_procedure();
+        assert!(sp.is_parallel_with_current(a), "A ∥ B before any sync");
+    }
+
+    #[test]
+    fn sync_serializes_siblings() {
+        let mut sp = SpBags::new();
+        let a = sp.spawn_procedure();
+        sp.return_procedure();
+        sp.sync();
+        let _b = sp.spawn_procedure();
+        assert!(!sp.is_parallel_with_current(a), "A ≺ B after sync");
+    }
+
+    #[test]
+    fn nested_spawn_structure() {
+        // F spawns G; G spawns H (returns into G's P-bag); G returns; all
+        // of G's bags land in F's P-bag, so both G and H are parallel with
+        // F's continuation.
+        let mut sp = SpBags::new();
+        let g = sp.spawn_procedure();
+        let h = sp.spawn_procedure();
+        sp.return_procedure(); // H -> G
+        sp.return_procedure(); // G -> F
+        assert!(sp.is_parallel_with_current(g));
+        assert!(sp.is_parallel_with_current(h));
+        sp.sync();
+        assert!(!sp.is_parallel_with_current(g));
+        assert!(!sp.is_parallel_with_current(h));
+    }
+
+    #[test]
+    fn grandchild_synced_inside_child_still_parallel_to_parent() {
+        // G spawns H and syncs (H serial to G's continuation), but when G
+        // returns, H must be parallel with F's continuation.
+        let mut sp = SpBags::new();
+        let _g = sp.spawn_procedure();
+        let h = sp.spawn_procedure();
+        sp.return_procedure(); // H -> G
+        sp.sync(); // inside G
+        assert!(!sp.is_parallel_with_current(h), "serial within G");
+        sp.return_procedure(); // G -> F
+        assert!(sp.is_parallel_with_current(h), "parallel with F's strand");
+    }
+
+    #[test]
+    #[should_panic(expected = "root procedure")]
+    fn cannot_return_from_root() {
+        let mut sp = SpBags::new();
+        sp.return_procedure();
+    }
+
+    #[test]
+    fn depth_tracks_stack() {
+        let mut sp = SpBags::new();
+        assert_eq!(sp.depth(), 1);
+        sp.spawn_procedure();
+        assert_eq!(sp.depth(), 2);
+        sp.return_procedure();
+        assert_eq!(sp.depth(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Execution-structure traces: the series-parallel skeleton of a
+//! monitored run.
+//!
+//! "Metadata in the Cilk++ binaries allows Cilkscreen to identify the
+//! parallel control constructs in the executing application precisely"
+//! (§4). This module exposes the analogous artifact: an indented dump of
+//! every spawn, sync and (optionally) access the detector observed, for
+//! understanding *why* two accesses are logically parallel.
+
+use std::fmt;
+
+use crate::report::Location;
+
+/// One recorded control or memory event, at a spawn depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureEvent {
+    /// A procedure was spawned (depth increases beneath it).
+    Spawn,
+    /// The spawned procedure returned (implicit sync included).
+    Return,
+    /// An explicit `cilk_sync`.
+    Sync,
+    /// A read of a location.
+    Read(Location, Option<&'static str>),
+    /// A write to a location.
+    Write(Location, Option<&'static str>),
+}
+
+/// The recorded series-parallel structure of one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructureTrace {
+    events: Vec<(usize, StructureEvent)>,
+}
+
+impl StructureTrace {
+    pub(crate) fn record(&mut self, depth: usize, event: StructureEvent) {
+        self.events.push((depth, event));
+    }
+
+    /// All recorded events with their spawn depths.
+    pub fn events(&self) -> &[(usize, StructureEvent)] {
+        &self.events
+    }
+
+    /// Number of spawns in the trace.
+    pub fn spawn_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, StructureEvent::Spawn))
+            .count()
+    }
+
+    /// Number of explicit syncs in the trace.
+    pub fn sync_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, StructureEvent::Sync))
+            .count()
+    }
+
+    /// Maximum spawn depth reached.
+    pub fn max_depth(&self) -> usize {
+        self.events.iter().map(|(d, _)| *d).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for StructureTrace {
+    /// Indented rendering: two spaces per spawn depth.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (depth, event) in &self.events {
+            for _ in 0..*depth {
+                f.write_str("  ")?;
+            }
+            match event {
+                StructureEvent::Spawn => writeln!(f, "spawn {{")?,
+                StructureEvent::Return => writeln!(f, "}} // return (implicit sync)")?,
+                StructureEvent::Sync => writeln!(f, "sync;")?,
+                StructureEvent::Read(loc, site) => {
+                    writeln!(f, "read  {loc} @ {}", site.unwrap_or("?"))?
+                }
+                StructureEvent::Write(loc, site) => {
+                    writeln!(f, "write {loc} @ {}", site.unwrap_or("?"))?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_events() {
+        let mut t = StructureTrace::default();
+        t.record(0, StructureEvent::Spawn);
+        t.record(1, StructureEvent::Write(Location(1), None));
+        t.record(0, StructureEvent::Return);
+        t.record(0, StructureEvent::Sync);
+        assert_eq!(t.spawn_count(), 1);
+        assert_eq!(t.sync_count(), 1);
+        assert_eq!(t.max_depth(), 1);
+        assert_eq!(t.events().len(), 4);
+    }
+}

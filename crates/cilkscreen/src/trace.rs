@@ -1,0 +1,326 @@
+//! Instrumented data wrappers: the programme-facing face of Cilkscreen's
+//! dynamic instrumentation.
+//!
+//! The real Cilkscreen "uses dynamic instrumentation to intercept every
+//! load and store executed at user level" (§4). Rust has no binary
+//! instrumentation hook, so this module provides the equivalent at the
+//! source level: [`TraceCell`] and [`TraceVec`] report their accesses to
+//! the active [`crate::Detector`] session automatically. Outside a
+//! session they behave like ordinary containers with no reporting.
+//!
+//! Locations are *logical* (an id per container plus the element index),
+//! so reallocation never aliases two containers.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::detector::{record_read, record_write};
+use crate::report::Location;
+
+static NEXT_CONTAINER: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_base() -> u64 {
+    NEXT_CONTAINER.fetch_add(1, Ordering::Relaxed) << 32
+}
+
+/// Index used for a container's own structure (length, capacity).
+const STRUCTURE: u64 = 0xFFFF_FFFF;
+
+/// A single instrumented memory cell.
+///
+/// # Examples
+///
+/// ```
+/// use cilkscreen::{Detector, TraceCell};
+///
+/// let cell = TraceCell::new(0u32);
+/// let report = Detector::new().run(|e| {
+///     e.spawn(|_| cell.set(1));
+///     cell.set(2); // logically parallel write: race
+///     e.sync();
+/// });
+/// assert!(!report.is_race_free());
+/// assert_eq!(cell.get(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TraceCell<T> {
+    base: u64,
+    value: RefCell<T>,
+}
+
+impl<T> TraceCell<T> {
+    /// Creates an instrumented cell holding `value`.
+    pub fn new(value: T) -> Self {
+        TraceCell { base: fresh_base(), value: RefCell::new(value) }
+    }
+
+    /// The cell's logical location.
+    pub fn location(&self) -> Location {
+        Location(self.base)
+    }
+
+    /// Reads the value (reported as a read).
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        record_read(self.location(), None);
+        self.value.borrow().clone()
+    }
+
+    /// Replaces the value (reported as a write).
+    pub fn set(&self, value: T) {
+        record_write(self.location(), None);
+        *self.value.borrow_mut() = value;
+    }
+
+    /// Applies `f` to a shared borrow (reported as a read).
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        record_read(self.location(), None);
+        f(&self.value.borrow())
+    }
+
+    /// Applies `f` to a mutable borrow (reported as a write).
+    pub fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        record_write(self.location(), None);
+        f(&mut self.value.borrow_mut())
+    }
+
+    /// Read-modify-write (reported as a read then a write).
+    pub fn update(&self, f: impl FnOnce(&T) -> T) {
+        record_read(self.location(), None);
+        record_write(self.location(), None);
+        let mut slot = self.value.borrow_mut();
+        *slot = f(&slot);
+    }
+
+    /// Consumes the cell, returning its value (unreported).
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: Default> Default for TraceCell<T> {
+    fn default() -> Self {
+        TraceCell::new(T::default())
+    }
+}
+
+/// An instrumented growable vector.
+///
+/// Element accesses report per-index locations; `push` and `len` report
+/// accesses to the vector's *structure* location, so concurrent `push`es
+/// (or a `push` concurrent with any indexed access) are detected — the
+/// exact failure mode of Fig. 5's shared `output_list`.
+///
+/// # Examples
+///
+/// ```
+/// use cilkscreen::{Detector, TraceVec};
+///
+/// let list = TraceVec::new();
+/// let report = Detector::new().run(|e| {
+///     e.spawn(|_| list.push(1));
+///     list.push(2); // parallel structural writes: race
+///     e.sync();
+/// });
+/// assert!(!report.is_race_free());
+/// assert_eq!(list.into_inner().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TraceVec<T> {
+    base: u64,
+    items: RefCell<Vec<T>>,
+}
+
+impl<T> TraceVec<T> {
+    /// Creates an empty instrumented vector.
+    pub fn new() -> Self {
+        TraceVec { base: fresh_base(), items: RefCell::new(Vec::new()) }
+    }
+
+    /// Creates an instrumented vector from existing items.
+    pub fn from_vec(items: Vec<T>) -> Self {
+        TraceVec { base: fresh_base(), items: RefCell::new(items) }
+    }
+
+    fn element(&self, index: usize) -> Location {
+        assert!((index as u64) < STRUCTURE, "index too large to trace");
+        Location(self.base | index as u64)
+    }
+
+    fn structure(&self) -> Location {
+        Location(self.base | STRUCTURE)
+    }
+
+    /// Appends a value (reported as a structural read-modify-write).
+    pub fn push(&self, value: T) {
+        record_read(self.structure(), Some("TraceVec::push"));
+        record_write(self.structure(), Some("TraceVec::push"));
+        self.items.borrow_mut().push(value);
+    }
+
+    /// Length (reported as a structural read).
+    pub fn len(&self) -> usize {
+        record_read(self.structure(), Some("TraceVec::len"));
+        self.items.borrow().len()
+    }
+
+    /// Whether the vector is empty (reported as a structural read).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads element `index` (reported).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, index: usize) -> T
+    where
+        T: Clone,
+    {
+        record_read(self.element(index), Some("TraceVec::get"));
+        self.items.borrow()[index].clone()
+    }
+
+    /// Writes element `index` (reported).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&self, index: usize, value: T) {
+        record_write(self.element(index), Some("TraceVec::set"));
+        self.items.borrow_mut()[index] = value;
+    }
+
+    /// Swaps two elements (reported as writes on both).
+    pub fn swap(&self, a: usize, b: usize) {
+        record_read(self.element(a), Some("TraceVec::swap"));
+        record_read(self.element(b), Some("TraceVec::swap"));
+        record_write(self.element(a), Some("TraceVec::swap"));
+        record_write(self.element(b), Some("TraceVec::swap"));
+        self.items.borrow_mut().swap(a, b);
+    }
+
+    /// Consumes the wrapper, returning the underlying vector (unreported).
+    pub fn into_inner(self) -> Vec<T> {
+        self.items.into_inner()
+    }
+}
+
+impl<T> Default for TraceVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FromIterator<T> for TraceVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        TraceVec::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Detector;
+
+    #[test]
+    fn cell_works_outside_session() {
+        let c = TraceCell::new(5);
+        c.set(6);
+        assert_eq!(c.get(), 6);
+        c.update(|v| v + 1);
+        assert_eq!(c.into_inner(), 7);
+    }
+
+    #[test]
+    fn parallel_cell_updates_race() {
+        let c = TraceCell::new(0u32);
+        let report = Detector::new().run(|e| {
+            e.spawn(|_| c.update(|v| v + 1));
+            c.update(|v| v + 1);
+            e.sync();
+        });
+        assert!(!report.is_race_free());
+    }
+
+    #[test]
+    fn synced_cell_updates_do_not_race() {
+        let c = TraceCell::new(0u32);
+        let report = Detector::new().run(|e| {
+            e.spawn(|_| c.update(|v| v + 1));
+            e.sync();
+            c.update(|v| v + 1);
+        });
+        assert!(report.is_race_free());
+        assert_eq!(c.into_inner(), 2);
+    }
+
+    #[test]
+    fn vec_disjoint_indices_race_free() {
+        let v: TraceVec<u32> = (0..16).collect();
+        let report = Detector::new().run(|e| {
+            e.par_for(16, |_, i| v.set(i, i as u32 * 2));
+        });
+        assert!(report.is_race_free(), "{report}");
+        assert_eq!(v.into_inner()[3], 6);
+    }
+
+    #[test]
+    fn vec_overlapping_indices_race() {
+        let v: TraceVec<u32> = (0..4).collect();
+        let report = Detector::new().run(|e| {
+            e.spawn(|_| v.set(1, 10));
+            v.set(1, 20);
+            e.sync();
+        });
+        assert_eq!(report.races.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_pushes_race_like_fig5() {
+        let v = TraceVec::new();
+        let report = Detector::new().run(|e| {
+            e.spawn(|_| v.push(1));
+            v.push(2);
+            e.sync();
+        });
+        assert!(!report.is_race_free());
+    }
+
+    #[test]
+    fn len_read_races_with_parallel_push() {
+        let v = TraceVec::new();
+        let report = Detector::new().run(|e| {
+            e.spawn(|_| v.push(1));
+            let _ = v.len();
+            e.sync();
+        });
+        assert!(!report.is_race_free());
+    }
+
+    #[test]
+    fn two_containers_never_alias() {
+        let a = TraceVec::from_vec(vec![0u8; 4]);
+        let b = TraceVec::from_vec(vec![0u8; 4]);
+        let report = Detector::new().run(|e| {
+            e.spawn(|_| a.set(0, 1));
+            b.set(0, 1); // different container: no race
+            e.sync();
+        });
+        assert!(report.is_race_free());
+    }
+
+    #[test]
+    fn swap_reports_both_sides() {
+        let v: TraceVec<u32> = (0..4).collect();
+        let report = Detector::new().run(|e| {
+            e.spawn(|_| v.swap(0, 1));
+            v.set(1, 9);
+            e.sync();
+        });
+        assert!(!report.is_race_free());
+    }
+}

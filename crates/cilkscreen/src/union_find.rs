@@ -1,0 +1,152 @@
+//! Disjoint-set (union-find) forest with union by rank and path
+//! compression — the "efficient data structures to track the series-
+//! parallel relationships of the executing application" (§4). Built from
+//! scratch; amortized near-constant time per operation.
+
+/// A node handle in the forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SetId(pub usize);
+
+/// A disjoint-set forest over nodes created with [`UnionFind::make_set`].
+///
+/// # Examples
+///
+/// ```
+/// use cilkscreen::union_find::UnionFind;
+///
+/// let mut uf = UnionFind::new();
+/// let a = uf.make_set();
+/// let b = uf.make_set();
+/// assert_ne!(uf.find(a), uf.find(b));
+/// uf.union(a, b);
+/// assert_eq!(uf.find(a), uf.find(b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        UnionFind::default()
+    }
+
+    /// Number of nodes ever created.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Creates a fresh singleton set and returns its handle.
+    pub fn make_set(&mut self) -> SetId {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        SetId(id)
+    }
+
+    /// Finds the representative of `x`'s set, compressing the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` was not created by this forest.
+    pub fn find(&mut self, x: SetId) -> SetId {
+        let mut root = x.0;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x.0;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        SetId(root)
+    }
+
+    /// Unions the sets containing `a` and `b`; returns the new root.
+    pub fn union(&mut self, a: SetId, b: SetId) -> SetId {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.rank[ra.0] >= self.rank[rb.0] { (ra, rb) } else { (rb, ra) };
+        self.parent[small.0] = big.0;
+        if self.rank[big.0] == self.rank[small.0] {
+            self.rank[big.0] += 1;
+        }
+        big
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: SetId, b: SetId) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<SetId> = (0..10).map(|_| uf.make_set()).collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                assert!(!uf.same_set(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_transitive() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        let c = uf.make_set();
+        uf.union(a, b);
+        uf.union(b, c);
+        assert!(uf.same_set(a, c));
+    }
+
+    #[test]
+    fn union_returns_stable_root() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        let r = uf.union(a, b);
+        assert_eq!(uf.find(a), r);
+        assert_eq!(uf.find(b), r);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<SetId> = (0..10_000).map(|_| uf.make_set()).collect();
+        for w in ids.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        let root = uf.find(ids[0]);
+        for &id in &ids {
+            assert_eq!(uf.find(id), root);
+        }
+    }
+
+    #[test]
+    fn len_counts_nodes() {
+        let mut uf = UnionFind::new();
+        assert!(uf.is_empty());
+        uf.make_set();
+        uf.make_set();
+        assert_eq!(uf.len(), 2);
+    }
+}

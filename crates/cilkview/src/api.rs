@@ -1,0 +1,365 @@
+//! Instrumented control constructs and the `profile` entry point.
+
+use crate::profile::Profile;
+use crate::theta::{self, Theta};
+
+/// Configuration of the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cilkview {
+    burden: u64,
+    record_dag: bool,
+}
+
+impl Cilkview {
+    /// Creates an analyzer with the default burden (a steal's scheduling
+    /// cost in charged units; Cilkview's heuristic is on the order of
+    /// thousands of instructions — we default to 1000 units).
+    pub fn new() -> Self {
+        Cilkview { burden: 1000, record_dag: false }
+    }
+
+    /// Sets the burden charged per spawn on the burdened critical path.
+    pub fn burden(mut self, units: u64) -> Self {
+        self.burden = units;
+        self
+    }
+
+    /// Also records the execution's computation dag as an [`cilk_dag::Sp`]
+    /// tree in [`Profile::dag`], so the real run can be replayed through
+    /// the schedule simulators at any processor count. Memory grows with
+    /// the number of strands; leave off for very large runs.
+    pub fn record_dag(mut self) -> Self {
+        self.record_dag = true;
+        self
+    }
+
+    /// Runs `f` instrumented and returns its result together with the
+    /// measured [`Profile`]. Work must be charged explicitly with
+    /// [`charge`]; parallel structure is tracked by [`join`] /
+    /// [`for_each_index`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cilkview::{charge, join, Cilkview};
+    ///
+    /// let (_, profile) = Cilkview::new().profile(|| {
+    ///     join(|| charge(60), || charge(40));
+    /// });
+    /// assert_eq!(profile.work, 100);
+    /// assert_eq!(profile.span, 60);
+    /// ```
+    pub fn profile<R>(&self, f: impl FnOnce() -> R) -> (R, Profile) {
+        BURDEN.with(|b| b.set(self.burden));
+        theta::push_root(self.record_dag);
+        let result = f();
+        let t = theta::pop();
+        (result, profile_from(t))
+    }
+}
+
+impl Default for Cilkview {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static BURDEN: std::cell::Cell<u64> = const { std::cell::Cell::new(1000) };
+}
+
+fn current_burden() -> u64 {
+    BURDEN.with(std::cell::Cell::get)
+}
+
+fn profile_from(mut t: Theta) -> Profile {
+    let mut regions: Vec<(&'static str, crate::RegionStats)> =
+        t.regions.clone().into_iter().collect();
+    regions.sort_by(|a, b| b.1.work.cmp(&a.1.work).then(a.0.cmp(b.0)));
+    Profile {
+        work: t.work,
+        span: t.span,
+        burdened_span: t.burdened_span,
+        spawns: t.spawns,
+        regions,
+        dag: t.shape.take().map(cilk_dag::Sp::series_of),
+    }
+}
+
+/// Measures the enclosed computation as a named *region*: its work, call
+/// count and worst-case span are attributed to `name` in the final
+/// [`Profile::regions`] table (and still counted in the enclosing
+/// totals). Regions may nest and may execute on any strand.
+pub fn region<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    theta::push();
+    let result = f();
+    let child = theta::pop();
+    let _ = theta::with_current(|parent| {
+        let (work, span) = (child.work, child.span);
+        parent.absorb_serial(child);
+        let entry = parent.regions.entry(name).or_default();
+        entry.calls += 1;
+        entry.work += work;
+        entry.max_span = entry.max_span.max(span);
+    });
+    result
+}
+
+pub use crate::theta::charge;
+
+/// Instrumented fork-join: runs `a` and `b` potentially in parallel (via
+/// the work-stealing runtime) while recording the dag structure:
+/// `work += w_a + w_b`, `span += max(s_a, s_b)`.
+///
+/// Measurement is carried through return values, so it is exact even when
+/// the continuation is stolen to another worker. The underlying join is
+/// the reducer-aware one, so hyperobjects updated inside profiled code
+/// keep their §5 ordering guarantees.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let burden = current_burden();
+    let record = theta::recording();
+    // Burden and recording mode are thread-local; both closures may run on
+    // pool workers that never saw the enclosing profile() call, so each
+    // re-installs them before pushing its context.
+    let ((ra, ta), (rb, tb)) = cilk_hyper::join(
+        move || {
+            BURDEN.with(|b| b.set(burden));
+            theta::set_recording(record);
+            theta::push();
+            let r = a();
+            (r, theta::pop())
+        },
+        move || {
+            BURDEN.with(|b| b.set(burden));
+            theta::set_recording(record);
+            theta::push();
+            let r = b();
+            (r, theta::pop())
+        },
+    );
+    let _ = theta::with_current(|parent| parent.combine_parallel(ta, tb, burden));
+    (ra, rb)
+}
+
+/// Instrumented `cilk_for`: divide-and-conquer over `range` down to
+/// `grain`, recording the spawn tree exactly as the runtime executes it.
+pub fn for_each_index<F>(range: std::ops::Range<usize>, grain: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.end.saturating_sub(range.start);
+    if n == 0 {
+        return;
+    }
+    recurse(range, grain.max(1), &body);
+
+    fn recurse<F: Fn(usize) + Sync>(range: std::ops::Range<usize>, grain: usize, body: &F) {
+        let n = range.end - range.start;
+        if n <= grain {
+            for i in range {
+                body(i);
+            }
+            return;
+        }
+        let mid = range.start + n / 2;
+        join(
+            || recurse(range.start..mid, grain, body),
+            || recurse(mid..range.end, grain, body),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_serial_work() {
+        let (_, p) = Cilkview::new().profile(|| charge(123));
+        assert_eq!(p.work, 123);
+        assert_eq!(p.span, 123);
+        assert_eq!(p.spawns, 0);
+    }
+
+    #[test]
+    fn profile_parallel_composition() {
+        let (_, p) = Cilkview::new().burden(10).profile(|| {
+            charge(5);
+            join(|| charge(100), || charge(70));
+            charge(5);
+        });
+        assert_eq!(p.work, 180);
+        assert_eq!(p.span, 110);
+        assert_eq!(p.burdened_span, 120);
+        assert_eq!(p.spawns, 1);
+    }
+
+    #[test]
+    fn nested_joins_measure_correctly() {
+        let (_, p) = Cilkview::new().burden(0).profile(|| {
+            join(
+                || join(|| charge(4), || charge(6)),
+                || charge(3),
+            );
+        });
+        assert_eq!(p.work, 13);
+        assert_eq!(p.span, 6);
+        assert_eq!(p.spawns, 2);
+    }
+
+    #[test]
+    fn for_each_measures_balanced_loop() {
+        let (_, p) = Cilkview::new().burden(0).profile(|| {
+            for_each_index(0..64, 1, |_| charge(2));
+        });
+        assert_eq!(p.work, 128);
+        assert_eq!(p.span, 2);
+        assert_eq!(p.spawns, 63);
+    }
+
+    #[test]
+    fn fib_profile_matches_dag_model() {
+        fn fib(n: u64) -> u64 {
+            charge(1);
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let (v, p) = Cilkview::new().burden(0).profile(|| fib(12));
+        assert_eq!(v, 144);
+        let model = cilk_dag::workload::fib_sp(12, 1);
+        assert_eq!(p.work, model.work());
+        assert_eq!(p.span, model.span());
+    }
+
+    #[test]
+    fn recorded_dag_matches_measured_profile() {
+        let ((), p) = Cilkview::new().burden(0).record_dag().profile(|| {
+            charge(5);
+            join(|| charge(100), || join(|| charge(30), || charge(40)));
+            charge(7);
+        });
+        let dag = p.dag.as_ref().expect("dag recorded");
+        assert_eq!(dag.work(), p.work);
+        assert_eq!(dag.span(), p.span);
+        assert_eq!(dag.spawn_count(), p.spawns);
+    }
+
+    #[test]
+    fn recorded_dag_replays_in_simulator() {
+        use cilk_dag::schedule::{work_stealing, WsConfig};
+        let ((), p) = Cilkview::new().burden(0).record_dag().profile(|| {
+            for_each_index(0..128, 2, |_| charge(50));
+        });
+        let dag = p.dag.expect("dag recorded");
+        let t1 = dag.work();
+        let sim = work_stealing(&dag, &WsConfig::new(8));
+        assert!(
+            sim.speedup(t1) > 6.0,
+            "replaying the recorded run at P=8: speedup {}",
+            sim.speedup(t1)
+        );
+    }
+
+    #[test]
+    fn dag_not_recorded_by_default() {
+        let ((), p) = Cilkview::new().profile(|| {
+            join(|| charge(1), || charge(2));
+        });
+        assert!(p.dag.is_none());
+        assert_eq!(p.work, 3);
+    }
+
+    #[test]
+    fn profiled_join_keeps_reducer_order() {
+        use cilk_hyper::ReducerList;
+        let pool = cilk_runtime::ThreadPool::with_config(
+            cilk_runtime::Config::new().num_workers(4),
+        )
+        .expect("pool");
+        for _ in 0..10 {
+            let (order, p) = pool.install(|| {
+                let list = ReducerList::<u32>::list();
+                let ((), p) = Cilkview::new().burden(0).profile(|| {
+                    fn rec(list: &ReducerList<u32>, lo: u32, hi: u32) {
+                        if hi - lo == 1 {
+                            charge(1);
+                            list.push_back(lo);
+                            return;
+                        }
+                        let mid = lo + (hi - lo) / 2;
+                        join(|| rec(list, lo, mid), || rec(list, mid, hi));
+                    }
+                    rec(&list, 0, 256);
+                });
+                (list.into_value(), p)
+            });
+            assert_eq!(order, (0..256).collect::<Vec<_>>(), "profiling must not break §5 ordering");
+            assert_eq!(p.work, 256);
+            assert_eq!(p.span, 1);
+        }
+    }
+
+    #[test]
+    fn regions_attribute_work() {
+        let (_, p) = Cilkview::new().burden(0).profile(|| {
+            region("setup", || charge(10));
+            for_each_index(0..8, 1, |_| {
+                region("body", || charge(5));
+            });
+            region("setup", || charge(10));
+        });
+        assert_eq!(p.work, 60);
+        let regions: std::collections::HashMap<_, _> = p.regions.iter().copied().collect();
+        assert_eq!(regions["setup"].calls, 2);
+        assert_eq!(regions["setup"].work, 20);
+        assert_eq!(regions["body"].calls, 8);
+        assert_eq!(regions["body"].work, 40);
+        assert_eq!(regions["body"].max_span, 5);
+        // Heaviest region first.
+        assert_eq!(p.regions[0].0, "body");
+        assert!(p.region_report().contains("body"));
+    }
+
+    #[test]
+    fn nested_regions_roll_up() {
+        let (_, p) = Cilkview::new().burden(0).profile(|| {
+            region("outer", || {
+                charge(1);
+                region("inner", || charge(2));
+            });
+        });
+        let regions: std::collections::HashMap<_, _> = p.regions.iter().copied().collect();
+        assert_eq!(regions["outer"].work, 3, "outer includes inner");
+        assert_eq!(regions["inner"].work, 2);
+    }
+
+    #[test]
+    fn profile_under_multiworker_pool_is_exact() {
+        let pool = cilk_runtime::ThreadPool::with_config(
+            cilk_runtime::Config::new().num_workers(4),
+        )
+        .expect("pool");
+        for _ in 0..10 {
+            // Profile inside `install`: measurement contexts are carried
+            // through profiled constructs, so the profile call itself must
+            // run where the profiled code runs.
+            let p = pool.install(|| {
+                let ((), p) = Cilkview::new().burden(0).profile(|| {
+                    for_each_index(0..256, 1, |_| charge(3));
+                });
+                p
+            });
+            assert_eq!(p.work, 768, "work must be schedule-independent");
+            assert_eq!(p.span, 3, "span must be schedule-independent");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # cilkview: a scalability analyzer
+//!
+//! "The Cilk++ development environment contains a performance-analysis
+//! tool that allows a programmer to analyze the work and span of an
+//! application." (§3.1, Fig. 3) This crate reproduces that tool:
+//!
+//! * [`Cilkview::profile`] runs instrumented code once and measures its
+//!   work T₁, span T∞, **burdened** span (span plus per-spawn scheduling
+//!   cost), and spawn count;
+//! * [`Profile::speedup_profile`] turns the measures into the exact
+//!   content of the paper's Figure 3: the slope-1 Work-Law line, the
+//!   horizontal Span-Law ceiling at T₁/T∞, and the estimated lower-bound
+//!   curve from burdened parallelism.
+//!
+//! Work is charged explicitly with [`charge`] (deterministic, unlike
+//! wall-clock timing on a time-shared machine); parallel structure is
+//! declared with the instrumented [`join`] / [`for_each_index`], which
+//! execute on the real work-stealing runtime while they measure.
+//!
+//! # Example
+//!
+//! ```
+//! use cilkview::{charge, for_each_index, Cilkview};
+//!
+//! let ((), profile) = Cilkview::new().profile(|| {
+//!     for_each_index(0..1024, 16, |_| charge(10));
+//! });
+//! let table = profile.speedup_profile(16);
+//! // With parallelism 64, all 16 processors stay below the knee:
+//! assert_eq!(table.row(16).unwrap().upper, 16.0);
+//! println!("{table}");
+//! ```
+
+#![warn(missing_docs)]
+
+mod api;
+mod profile;
+mod theta;
+
+pub use api::{charge, for_each_index, join, region, Cilkview};
+pub use profile::{Profile, SpeedupProfile, SpeedupRow};
+pub use theta::RegionStats;

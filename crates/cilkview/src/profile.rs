@@ -1,0 +1,248 @@
+//! Profiles and speedup-profile tables — the Fig. 3 artifact.
+
+use std::fmt;
+
+use cilk_dag::Measures;
+
+/// The measured scalability profile of one instrumented execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Total work T₁ in charged units.
+    pub work: u64,
+    /// Span T∞ in charged units.
+    pub span: u64,
+    /// Burdened span: T∞ plus the configured burden per spawn on the
+    /// critical path.
+    pub burdened_span: u64,
+    /// Number of parallel compositions executed.
+    pub spawns: u64,
+    /// Named-region statistics, heaviest first (see [`crate::region`]).
+    pub regions: Vec<(&'static str, crate::RegionStats)>,
+    /// The recorded computation dag, when [`crate::Cilkview::record_dag`]
+    /// was enabled: feed it to `cilk_dag::schedule::work_stealing` to
+    /// replay the real execution on any number of virtual processors.
+    pub dag: Option<cilk_dag::Sp>,
+}
+
+impl Profile {
+    /// Renders the region table (one line per region).
+    pub fn region_report(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>8} {:>14} {:>8} {:>12}
+",
+            "region", "calls", "work", "%work", "max span"
+        );
+        for (name, stats) in &self.regions {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>14} {:>7.1}% {:>12}
+",
+                name,
+                stats.calls,
+                stats.work,
+                100.0 * stats.work as f64 / self.work.max(1) as f64,
+                stats.max_span
+            ));
+        }
+        out
+    }
+}
+
+impl Profile {
+    /// The parallelism T₁/T∞.
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+
+    /// The burdened parallelism — the horizontal asymptote of Cilkview's
+    /// estimated-lower-bound curve.
+    pub fn burdened_parallelism(&self) -> f64 {
+        if self.burdened_span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.burdened_span as f64
+        }
+    }
+
+    /// The profile as dag-model [`Measures`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measured span exceeds the work (impossible unless
+    /// charges were unbalanced).
+    pub fn measures(&self) -> Measures {
+        Measures::new(self.work, self.span)
+    }
+
+    /// Builds the speedup profile (the paper's Fig. 3 content) for
+    /// processor counts `1..=max_p`.
+    pub fn speedup_profile(&self, max_p: u64) -> SpeedupProfile {
+        let rows = (1..=max_p.max(1))
+            .map(|p| {
+                let work_law = p as f64; // slope-1 line
+                let span_law = self.parallelism(); // horizontal ceiling
+                let upper = work_law.min(span_law);
+                // Cilkview's estimated lower bound: assume the greedy bound
+                // with the burdened span, TP ≈ T1/P + burdened T∞.
+                let est_tp = self.work as f64 / p as f64 + self.burdened_span as f64;
+                let burdened_lower = self.work as f64 / est_tp;
+                SpeedupRow { p, work_law, span_law, upper, burdened_lower }
+            })
+            .collect();
+        SpeedupProfile { work: self.work, span: self.span, rows }
+    }
+}
+
+/// One row of a speedup profile: the bounds at a given processor count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupRow {
+    /// Processor count P.
+    pub p: u64,
+    /// The Work Law upper bound on speedup: P (the slope-1 line in Fig. 3).
+    pub work_law: f64,
+    /// The Span Law upper bound on speedup: the parallelism T₁/T∞ (the
+    /// horizontal line in Fig. 3, 10.31 for the paper's quicksort run).
+    pub span_law: f64,
+    /// The tighter of the two upper bounds.
+    pub upper: f64,
+    /// The estimated lower bound from burdened parallelism (the lower
+    /// curve in Fig. 3).
+    pub burdened_lower: f64,
+}
+
+/// A speedup profile: bounds on speedup as a function of P, exactly the
+/// information plotted by the Cilk++ performance analyzer in Fig. 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupProfile {
+    /// Measured work.
+    pub work: u64,
+    /// Measured span.
+    pub span: u64,
+    /// Rows for P = 1..=max_p.
+    pub rows: Vec<SpeedupRow>,
+}
+
+impl SpeedupProfile {
+    /// The row for a specific processor count, if within range.
+    pub fn row(&self, p: u64) -> Option<&SpeedupRow> {
+        self.rows.iter().find(|r| r.p == p)
+    }
+
+    /// The smallest P whose Work-Law bound exceeds the Span-Law ceiling —
+    /// where the Fig. 3 curve bends from linear to flat.
+    pub fn knee(&self) -> u64 {
+        let parallelism = if self.span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span as f64
+        };
+        parallelism.ceil() as u64
+    }
+}
+
+impl SpeedupProfile {
+    /// Renders the profile as CSV (`p,work_law,span_law,upper,
+    /// burdened_lower` rows), suitable for plotting Fig. 3 directly.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("p,work_law,span_law,upper,burdened_lower\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{:.4},{:.4}\n",
+                r.p, r.work_law, r.span_law, r.upper, r.burdened_lower
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SpeedupProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "work = {}, span = {}, parallelism = {:.2}",
+            self.work,
+            self.span,
+            self.work as f64 / self.span.max(1) as f64
+        )?;
+        writeln!(
+            f,
+            "{:>4}  {:>10}  {:>10}  {:>10}  {:>14}",
+            "P", "work-law", "span-law", "upper", "burdened-lower"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>4}  {:>10.2}  {:>10.2}  {:>10.2}  {:>14.2}",
+                r.p, r.work_law, r.span_law, r.upper, r.burdened_lower
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Profile {
+        Profile { work: 1000, span: 100, burdened_span: 150, spawns: 42, regions: Vec::new(), dag: None }
+    }
+
+    #[test]
+    fn parallelism_computed() {
+        assert_eq!(sample().parallelism(), 10.0);
+        assert!((sample().burdened_parallelism() - 1000.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_rows_shape() {
+        let sp = sample().speedup_profile(16);
+        assert_eq!(sp.rows.len(), 16);
+        // Below the knee the bound is the work law...
+        assert_eq!(sp.row(4).expect("row").upper, 4.0);
+        // ...above it, the span law.
+        assert_eq!(sp.row(16).expect("row").upper, 10.0);
+        assert_eq!(sp.knee(), 10);
+    }
+
+    #[test]
+    fn burdened_lower_below_upper_and_monotone() {
+        let sp = sample().speedup_profile(32);
+        let mut prev = 0.0;
+        for r in &sp.rows {
+            assert!(r.burdened_lower <= r.upper + 1e-9, "P={}", r.p);
+            assert!(r.burdened_lower >= prev - 1e-9, "monotone nondecreasing");
+            prev = r.burdened_lower;
+        }
+        // Asymptote: burdened parallelism.
+        let last = sp.rows.last().expect("rows");
+        assert!(last.burdened_lower <= sample().burdened_parallelism());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let text = sample().speedup_profile(4).to_string();
+        assert!(text.contains("work-law"));
+        assert!(text.contains("burdened-lower"));
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().speedup_profile(4).to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("p,work_law"));
+        assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    fn zero_span_profile() {
+        let p = Profile { work: 0, span: 0, burdened_span: 0, spawns: 0, regions: Vec::new(), dag: None };
+        assert_eq!(p.parallelism(), 0.0);
+        assert_eq!(p.burdened_parallelism(), 0.0);
+    }
+}

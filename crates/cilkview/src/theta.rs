@@ -1,0 +1,219 @@
+//! Online work/span accounting for instrumented executions.
+//!
+//! Cilkview measures T₁ and T∞ during a single instrumented run; this
+//! module does the same with a thread-local stack of accumulators. Each
+//! profiled strand context holds a [`Theta`]; parallel compositions
+//! combine children as `work += w_a + w_b`, `span += max(s_a, s_b)`
+//! (plus the scheduling *burden* for the burdened variant).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use cilk_dag::Sp;
+
+/// Per-region aggregate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// How many times the region executed.
+    pub calls: u64,
+    /// Total work charged inside the region, across all calls.
+    pub work: u64,
+    /// The largest single-call span observed.
+    pub max_span: u64,
+}
+
+/// Accumulated measures of one strand context.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Theta {
+    /// Total charged work.
+    pub work: u64,
+    /// Critical-path length.
+    pub span: u64,
+    /// Critical-path length including per-spawn scheduling burden.
+    pub burdened_span: u64,
+    /// Number of parallel compositions beneath this context.
+    pub spawns: u64,
+    /// Work attributed to named regions (see [`crate::region`]).
+    pub regions: HashMap<&'static str, RegionStats>,
+    /// When dag recording is on: the series of subcomputations executed by
+    /// this context so far (folded to one [`Sp`] at the end).
+    pub shape: Option<Vec<Sp>>,
+}
+
+impl Theta {
+    /// Serial accumulation: straight-line work extends both path lengths.
+    pub(crate) fn charge(&mut self, units: u64) {
+        self.work += units;
+        self.span += units;
+        self.burdened_span += units;
+        if let Some(shape) = self.shape.as_mut() {
+            // Coalesce consecutive serial charges into one strand leaf.
+            if let Some(Sp::Leaf(w)) = shape.last_mut() {
+                *w += units;
+            } else {
+                shape.push(Sp::leaf(units));
+            }
+        }
+    }
+
+    /// Folds the measures of two parallel children into this context,
+    /// charging `burden` on the burdened critical path.
+    pub(crate) fn combine_parallel(&mut self, mut a: Theta, mut b: Theta, burden: u64) {
+        self.work += a.work + b.work;
+        self.span += a.span.max(b.span);
+        self.burdened_span += a.burdened_span.max(b.burdened_span) + burden;
+        self.spawns += a.spawns + b.spawns + 1;
+        if let Some(shape) = self.shape.as_mut() {
+            let left = Sp::series_of(a.shape.take().unwrap_or_default());
+            let right = Sp::series_of(b.shape.take().unwrap_or_default());
+            shape.push(Sp::par(left, right));
+        }
+        self.merge_regions(a.regions);
+        self.merge_regions(b.regions);
+    }
+
+    /// Merges a child's region statistics into this context.
+    pub(crate) fn merge_regions(&mut self, other: HashMap<&'static str, RegionStats>) {
+        for (name, stats) in other {
+            let entry = self.regions.entry(name).or_default();
+            entry.calls += stats.calls;
+            entry.work += stats.work;
+            entry.max_span = entry.max_span.max(stats.max_span);
+        }
+    }
+
+    /// Folds a *serially nested* child context (a region) into this one.
+    pub(crate) fn absorb_serial(&mut self, mut child: Theta) {
+        self.work += child.work;
+        self.span += child.span;
+        self.burdened_span += child.burdened_span;
+        self.spawns += child.spawns;
+        if let Some(shape) = self.shape.as_mut() {
+            shape.push(Sp::series_of(child.shape.take().unwrap_or_default()));
+        }
+        self.merge_regions(child.regions);
+    }
+}
+
+thread_local! {
+    static THETAS: RefCell<Vec<Theta>> = const { RefCell::new(Vec::new()) };
+}
+
+thread_local! {
+    /// Whether strand contexts on this thread record dag shapes. Set by
+    /// `profile()` and re-propagated by `join` into possibly-stolen
+    /// closures, like the burden constant.
+    static RECORDING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The current thread's dag-recording mode.
+pub(crate) fn recording() -> bool {
+    RECORDING.with(std::cell::Cell::get)
+}
+
+/// Sets the dag-recording mode for this thread.
+pub(crate) fn set_recording(on: bool) {
+    RECORDING.with(|r| r.set(on));
+}
+
+/// Pushes a fresh accumulator for a new strand context; it records dag
+/// shape iff the thread's recording mode is on.
+pub(crate) fn push() {
+    THETAS.with(|t| {
+        let mut theta = Theta::default();
+        if recording() {
+            theta.shape = Some(Vec::new());
+        }
+        t.borrow_mut().push(theta);
+    });
+}
+
+/// Pushes the root accumulator with explicit recording mode (also sets
+/// the thread mode so nested contexts inherit it).
+pub(crate) fn push_root(record_dag: bool) {
+    set_recording(record_dag);
+    push();
+}
+
+/// Pops the current accumulator, returning its measures.
+///
+/// # Panics
+///
+/// Panics if no context is active (push/pop imbalance).
+pub(crate) fn pop() -> Theta {
+    THETAS.with(|t| t.borrow_mut().pop()).expect("theta stack underflow")
+}
+
+/// Applies `f` to the current accumulator, if inside a profiled context.
+/// Returns false when no context is active (the charge is dropped).
+pub(crate) fn with_current(f: impl FnOnce(&mut Theta)) -> bool {
+    THETAS.with(|t| {
+        let mut stack = t.borrow_mut();
+        match stack.last_mut() {
+            Some(theta) => {
+                f(theta);
+                true
+            }
+            None => false,
+        }
+    })
+}
+
+/// Charges `units` of work to the currently profiled strand.
+///
+/// Outside any [`crate::profile`] call this is a no-op, so library code can
+/// charge unconditionally.
+pub fn charge(units: u64) {
+    let _ = with_current(|theta| theta.charge(units));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_extends_work_and_span() {
+        let mut t = Theta::default();
+        t.charge(5);
+        t.charge(3);
+        assert_eq!(t.work, 8);
+        assert_eq!(t.span, 8);
+        assert_eq!(t.burdened_span, 8);
+    }
+
+    #[test]
+    fn combine_takes_max_span() {
+        let mut parent = Theta::default();
+        parent.charge(2);
+        let mut a = Theta::default();
+        a.charge(10);
+        let mut b = Theta::default();
+        b.charge(4);
+        parent.combine_parallel(a, b, 7);
+        assert_eq!(parent.work, 16);
+        assert_eq!(parent.span, 12);
+        assert_eq!(parent.burdened_span, 2 + 10 + 7);
+        assert_eq!(parent.spawns, 1);
+    }
+
+    #[test]
+    fn charge_outside_context_is_noop() {
+        charge(100); // must not panic
+        push();
+        charge(3);
+        let t = pop();
+        assert_eq!(t.work, 3);
+    }
+
+    #[test]
+    fn nested_contexts_are_independent() {
+        push();
+        charge(1);
+        push();
+        charge(10);
+        let inner = pop();
+        assert_eq!(inner.work, 10);
+        let outer = pop();
+        assert_eq!(outer.work, 1);
+    }
+}

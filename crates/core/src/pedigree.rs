@@ -1,0 +1,354 @@
+//! Pedigrees and deterministic parallel random numbers.
+//!
+//! A *pedigree* names a strand by its path through the spawn tree — a
+//! schedule-independent identifier. Pedigree-seeded RNGs therefore produce
+//! the **same** random values no matter how work is stolen, giving
+//! parallel programs repeatable randomness (the mechanism later shipped in
+//! Intel Cilk Plus as `__cilkrts_get_pedigree`; a natural extension of the
+//! platform this paper describes, included here as the "future work"
+//! feature).
+//!
+//! Use [`join`] (or [`for_each_index`]) from this module so the pedigree
+//! tracks the spawn structure, and draw numbers from a [`Dprng`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cilk::pedigree::{self, Dprng};
+//! use cilk::hyper::ReducerList;
+//!
+//! let rng = Dprng::new(42);
+//! let draws = ReducerList::<u64>::list();
+//! pedigree::join(
+//!     || draws.push_back(rng.next_u64()),
+//!     || draws.push_back(rng.next_u64()),
+//! );
+//! let first = draws.into_value();
+//!
+//! // Re-running yields bit-identical values, regardless of scheduling:
+//! let rng = Dprng::new(42);
+//! let draws = ReducerList::<u64>::list();
+//! pedigree::join(
+//!     || draws.push_back(rng.next_u64()),
+//!     || draws.push_back(rng.next_u64()),
+//! );
+//! assert_eq!(draws.into_value(), first);
+//! ```
+
+use std::cell::RefCell;
+
+thread_local! {
+    static PEDIGREE: RefCell<PedigreeState> = const {
+        RefCell::new(PedigreeState { path: Vec::new(), counter: 0 })
+    };
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PedigreeState {
+    /// Spawn-tree path: 0 = spawned child, 1 = continuation, per level.
+    path: Vec<u8>,
+    /// Per-strand draw counter, bumped by every pedigree advance.
+    counter: u64,
+}
+
+/// The current strand's pedigree: its spawn-tree path plus the current
+/// rank within the strand.
+///
+/// Empty path + rank 0 outside any pedigree-tracked region.
+pub fn current() -> (Vec<u8>, u64) {
+    PEDIGREE.with(|p| {
+        let p = p.borrow();
+        (p.path.clone(), p.counter)
+    })
+}
+
+fn snapshot() -> PedigreeState {
+    PEDIGREE.with(|p| p.borrow().clone())
+}
+
+fn install(state: PedigreeState) {
+    PEDIGREE.with(|p| *p.borrow_mut() = state);
+}
+
+/// Runs `f` with a fresh root pedigree (empty path, rank 0), restoring
+/// the caller's pedigree state afterwards.
+///
+/// Worker threads keep whatever pedigree state the last strand they ran
+/// installed, so a top-level computation that wants *reproducible* draws
+/// must anchor itself: wrap it in `with_root` (or construct each run on a
+/// fresh pool). Nested [`join`]/[`for_each_index`] calls inside `f` are
+/// then fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use cilk::pedigree::{self, Dprng};
+/// let rng = Dprng::new(1);
+/// let a = pedigree::with_root(|| rng.next_u64());
+/// let b = pedigree::with_root(|| rng.next_u64());
+/// assert_eq!(a, b, "each rooted run starts from the same pedigree");
+/// ```
+pub fn with_root<R>(f: impl FnOnce() -> R) -> R {
+    let saved = snapshot();
+    install(PedigreeState { path: Vec::new(), counter: 0 });
+    let result = f();
+    install(saved);
+    result
+}
+
+/// Pedigree-tracking fork-join (reducer-aware, built on
+/// [`crate::join`]). The spawned branch extends the path with `0`, the
+/// continuation with `1`; the parent resumes with its rank advanced, so
+/// pre-spawn and post-sync draws differ.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let base = snapshot();
+    let base_a = base.clone();
+    let base_b = base.clone();
+    let result = crate::join(
+        move || {
+            let mut s = base_a;
+            s.path.push(0);
+            s.counter = 0;
+            install(s);
+            a()
+        },
+        move || {
+            let mut s = base_b;
+            s.path.push(1);
+            s.counter = 0;
+            install(s);
+            b()
+        },
+    );
+    // Parent strand resumes after the sync with a fresh rank.
+    let mut resumed = base;
+    resumed.counter += 1;
+    install(resumed);
+    result
+}
+
+/// Pedigree-tracking parallel loop: divide-and-conquer [`join`] down to
+/// `grain` iterations, with a per-iteration rank so every iteration draws
+/// an independent, schedule-independent stream.
+pub fn for_each_index<F>(range: std::ops::Range<usize>, grain: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.end.saturating_sub(range.start);
+    if n == 0 {
+        return;
+    }
+    recurse(range, grain.max(1), &body);
+
+    fn recurse<F: Fn(usize) + Sync>(range: std::ops::Range<usize>, grain: usize, body: &F) {
+        let n = range.end - range.start;
+        if n <= grain {
+            for i in range {
+                // Give each iteration a distinct pedigree leaf.
+                let saved = snapshot();
+                let mut leaf = saved.clone();
+                leaf.path.push(2); // iteration marker
+                leaf.counter = (i as u64) << 1;
+                install(leaf);
+                body(i);
+                install(saved);
+            }
+            return;
+        }
+        let mid = range.start + n / 2;
+        join(
+            || recurse(range.start..mid, grain, body),
+            || recurse(mid..range.end, grain, body),
+        );
+    }
+}
+
+/// A deterministic parallel random-number generator.
+///
+/// Each call to [`Dprng::next_u64`] hashes the current pedigree together
+/// with the stream seed and the strand-local draw index, so the sequence
+/// observed at any point in the program depends only on program structure,
+/// never on the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dprng {
+    seed: u64,
+}
+
+impl Dprng {
+    /// Creates a stream with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Dprng { seed }
+    }
+
+    /// The next value for the current strand (advances the strand's rank).
+    pub fn next_u64(&self) -> u64 {
+        let (hash, _) = PEDIGREE.with(|p| {
+            let mut p = p.borrow_mut();
+            let h = hash_pedigree(self.seed, &p.path, p.counter);
+            p.counter += 1;
+            (h, ())
+        });
+        hash
+    }
+
+    /// A value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejectionless mapping (fine for non-crypto use).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Hash of (seed, path, rank): xor-fold of a splitmix64 chain — fast and
+/// well-distributed; not cryptographic.
+fn hash_pedigree(seed: u64, path: &[u8], rank: u64) -> u64 {
+    let mut h = splitmix(seed ^ 0x9E37_79B9_7F4A_7C15);
+    for &step in path {
+        h = splitmix(h ^ (step as u64).wrapping_add(0xBF58_476D_1CE4_E5B9));
+    }
+    splitmix(h ^ rank.wrapping_mul(0x94D0_49BB_1331_11EB))
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::ReducerList;
+    use crate::{Config, ThreadPool};
+
+    fn collect_tree(rng: &Dprng, depth: u32) -> Vec<u64> {
+        let list = ReducerList::<u64>::list();
+        fn rec(rng: &Dprng, list: &ReducerList<u64>, depth: u32) {
+            if depth == 0 {
+                list.push_back(rng.next_u64());
+                list.push_back(rng.next_u64());
+                return;
+            }
+            join(|| rec(rng, list, depth - 1), || rec(rng, list, depth - 1));
+        }
+        // Anchor at a fresh root so repeated runs on reused pools (whose
+        // workers keep leftover pedigree state) are reproducible.
+        super::with_root(|| rec(rng, &list, depth));
+        list.into_value()
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a = collect_tree(&Dprng::new(7), 5);
+        let b = collect_tree(&Dprng::new(7), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = collect_tree(&Dprng::new(1), 4);
+        let b = collect_tree(&Dprng::new(2), 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn schedule_independent_across_pool_widths() {
+        let reference = {
+            let pool = ThreadPool::with_config(Config::new().num_workers(1)).expect("pool");
+            pool.install(|| collect_tree(&Dprng::new(99), 6))
+        };
+        for workers in [2usize, 4] {
+            let pool =
+                ThreadPool::with_config(Config::new().num_workers(workers)).expect("pool");
+            for _ in 0..5 {
+                let run = pool.install(|| collect_tree(&Dprng::new(99), 6));
+                assert_eq!(run, reference, "workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn strand_draws_are_distinct() {
+        let rng = Dprng::new(5);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b, "rank must advance within a strand");
+    }
+
+    #[test]
+    fn with_root_restores_outer_state() {
+        let rng = Dprng::new(8);
+        let before = super::current();
+        let inner = super::with_root(|| rng.next_u64());
+        // Outer state restored exactly (counter included).
+        assert_eq!(super::current(), before);
+        // And rooted draws are repeatable.
+        assert_eq!(inner, super::with_root(|| rng.next_u64()));
+    }
+
+    #[test]
+    fn sibling_strands_draw_distinct_values() {
+        let rng = Dprng::new(5);
+        let (a, b) = join(|| rng.next_u64(), || rng.next_u64());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn post_sync_draw_differs_from_pre_spawn() {
+        let rng = Dprng::new(5);
+        let before = rng.next_u64();
+        let _ = join(|| (), || ());
+        let after = rng.next_u64();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn parallel_loop_draws_are_deterministic() {
+        let run = |workers: usize| {
+            let pool =
+                ThreadPool::with_config(Config::new().num_workers(workers)).expect("pool");
+            pool.install(|| {
+                let rng = Dprng::new(3);
+                let list = ReducerList::<u64>::list();
+                super::with_root(|| {
+                    for_each_index(0..200, 8, |_i| list.push_back(rng.next_u64()));
+                });
+                list.into_value()
+            })
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b);
+        // All 200 draws distinct (no pedigree collisions).
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200);
+    }
+
+    #[test]
+    fn next_below_and_f64_ranges() {
+        let rng = Dprng::new(11);
+        for _ in 0..100 {
+            assert!(rng.next_below(10) < 10);
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

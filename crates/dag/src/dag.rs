@@ -1,0 +1,388 @@
+//! The dag model of multithreading (§2 of the paper).
+//!
+//! "The dag model of multithreading views the execution of a multithreaded
+//! program as a set of instructions (the vertices of the dag) with graph
+//! edges indicating dependencies between instructions."
+//!
+//! Vertices carry integer weights (instruction counts), so a vertex can
+//! model a whole *strand* — a maximal sequence of serially executed
+//! instructions — without loss of generality.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a dag vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Errors arising when constructing or validating a dag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge referenced a vertex that does not exist.
+    UnknownNode(NodeId),
+    /// The edge set contains a cycle, so the graph is not a dag.
+    Cycle,
+    /// A self-loop `v -> v` was added.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownNode(id) => write!(f, "unknown vertex {id}"),
+            DagError::Cycle => write!(f, "dependency edges contain a cycle"),
+            DagError::SelfLoop(id) => write!(f, "self-loop on vertex {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A weighted computation dag.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_dag::Dag;
+///
+/// let mut dag = Dag::new();
+/// let a = dag.add_node(1);
+/// let b = dag.add_node(1);
+/// let c = dag.add_node(1);
+/// dag.add_edge(a, b)?;
+/// dag.add_edge(a, c)?;
+/// assert_eq!(dag.work(), 3);
+/// assert_eq!(dag.span(), 2);
+/// assert!(dag.parallel(b, c)); // b ∥ c
+/// # Ok::<(), cilk_dag::DagError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    weights: Vec<u64>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+}
+
+impl Dag {
+    /// Creates an empty dag.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Adds a vertex with the given instruction weight and returns its id.
+    pub fn add_node(&mut self, weight: u64) -> NodeId {
+        let id = NodeId(self.weights.len());
+        self.weights.push(weight);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependency edge `from ≺ to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownNode`] for out-of-range ids and
+    /// [`DagError::SelfLoop`] when `from == to`. Cycles are detected at
+    /// query time via [`Dag::validate`] / [`Dag::topological_order`].
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
+        let n = self.weights.len();
+        if from.0 >= n {
+            return Err(DagError::UnknownNode(from));
+        }
+        if to.0 >= n {
+            return Err(DagError::UnknownNode(to));
+        }
+        if from == to {
+            return Err(DagError::SelfLoop(from));
+        }
+        self.succs[from.0].push(to);
+        self.preds[to.0].push(from);
+        Ok(())
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the dag has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The weight of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn weight(&self, id: NodeId) -> u64 {
+        self.weights[id.0]
+    }
+
+    /// Successors of a vertex.
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.0]
+    }
+
+    /// Predecessors of a vertex.
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.0]
+    }
+
+    /// Verifies acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::Cycle`] when the edges do not form a dag.
+    pub fn validate(&self) -> Result<(), DagError> {
+        self.topological_order().map(|_| ())
+    }
+
+    /// Returns a topological order of the vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::Cycle`] when the edges do not form a dag.
+    pub fn topological_order(&self) -> Result<Vec<NodeId>, DagError> {
+        let n = self.len();
+        let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<NodeId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(NodeId)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &s in &self.succs[v.0] {
+                indegree[s.0] -= 1;
+                if indegree[s.0] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(DagError::Cycle)
+        }
+    }
+
+    /// The **work** T₁: total weight of all vertices (§2.1).
+    pub fn work(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// The **span** T∞: the weight of the heaviest dependency path, a.k.a.
+    /// the critical-path length (§2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dag contains a cycle; call [`Dag::validate`] first for
+    /// a fallible check.
+    pub fn span(&self) -> u64 {
+        self.critical_path_lengths()
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// For each vertex, the heaviest path weight *ending* at that vertex
+    /// (inclusive of the vertex's own weight).
+    pub fn critical_path_lengths(&self) -> Vec<u64> {
+        let order = self
+            .topological_order()
+            .expect("span is only defined for acyclic graphs");
+        let mut dist = vec![0u64; self.len()];
+        for v in order {
+            let best_pred = self.preds[v.0]
+                .iter()
+                .map(|p| dist[p.0])
+                .max()
+                .unwrap_or(0);
+            dist[v.0] = best_pred + self.weights[v.0];
+        }
+        dist
+    }
+
+    /// One heaviest path through the dag (the critical path).
+    pub fn critical_path(&self) -> Vec<NodeId> {
+        let dist = self.critical_path_lengths();
+        let Some((end, _)) = dist.iter().enumerate().max_by_key(|(_, d)| **d) else {
+            return Vec::new();
+        };
+        let mut path = vec![NodeId(end)];
+        let mut cur = NodeId(end);
+        loop {
+            let prev = self.preds[cur.0]
+                .iter()
+                .copied()
+                .max_by_key(|p| dist[p.0]);
+            match prev {
+                Some(p) => {
+                    path.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// The **parallelism** T₁/T∞ (§2.3): "the average amount of work along
+    /// each step of the critical path".
+    pub fn parallelism(&self) -> f64 {
+        let span = self.span();
+        if span == 0 {
+            0.0
+        } else {
+            self.work() as f64 / span as f64
+        }
+    }
+
+    /// Whether `x` **precedes** `y` (`x ≺ y`): `x` must complete before `y`
+    /// can begin (§2).
+    pub fn precedes(&self, x: NodeId, y: NodeId) -> bool {
+        if x == y {
+            return false;
+        }
+        // BFS from x along successor edges.
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::new();
+        queue.push_back(x);
+        seen[x.0] = true;
+        while let Some(v) = queue.pop_front() {
+            for &s in &self.succs[v.0] {
+                if s == y {
+                    return true;
+                }
+                if !seen[s.0] {
+                    seen[s.0] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `x` and `y` are **in parallel** (`x ∥ y`): neither precedes
+    /// the other (§2).
+    pub fn parallel(&self, x: NodeId, y: NodeId) -> bool {
+        x != y && !self.precedes(x, y) && !self.precedes(y, x)
+    }
+
+    /// Vertices with no predecessors.
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Vertices with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .filter(|&i| self.succs[i].is_empty())
+            .map(NodeId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag, [NodeId; 4]) {
+        let mut d = Dag::new();
+        let a = d.add_node(1);
+        let b = d.add_node(2);
+        let c = d.add_node(3);
+        let e = d.add_node(1);
+        d.add_edge(a, b).unwrap();
+        d.add_edge(a, c).unwrap();
+        d.add_edge(b, e).unwrap();
+        d.add_edge(c, e).unwrap();
+        (d, [a, b, c, e])
+    }
+
+    #[test]
+    fn work_is_total_weight() {
+        let (d, _) = diamond();
+        assert_eq!(d.work(), 7);
+    }
+
+    #[test]
+    fn span_is_heaviest_path() {
+        let (d, _) = diamond();
+        assert_eq!(d.span(), 5); // a(1) -> c(3) -> e(1)
+    }
+
+    #[test]
+    fn critical_path_traces_heaviest() {
+        let (d, [a, _b, c, e]) = diamond();
+        assert_eq!(d.critical_path(), vec![a, c, e]);
+    }
+
+    #[test]
+    fn parallelism_ratio() {
+        let (d, _) = diamond();
+        assert!((d.parallelism() - 7.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedes_and_parallel() {
+        let (d, [a, b, c, e]) = diamond();
+        assert!(d.precedes(a, e));
+        assert!(d.precedes(a, b));
+        assert!(!d.precedes(e, a));
+        assert!(d.parallel(b, c));
+        assert!(!d.parallel(a, a));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut d = Dag::new();
+        let a = d.add_node(1);
+        let b = d.add_node(1);
+        d.add_edge(a, b).unwrap();
+        d.add_edge(b, a).unwrap();
+        assert_eq!(d.validate(), Err(DagError::Cycle));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut d = Dag::new();
+        let a = d.add_node(1);
+        assert_eq!(d.add_edge(a, a), Err(DagError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut d = Dag::new();
+        let a = d.add_node(1);
+        assert_eq!(d.add_edge(a, NodeId(9)), Err(DagError::UnknownNode(NodeId(9))));
+    }
+
+    #[test]
+    fn empty_dag_measures() {
+        let d = Dag::new();
+        assert_eq!(d.work(), 0);
+        assert_eq!(d.span(), 0);
+        assert_eq!(d.parallelism(), 0.0);
+        assert!(d.critical_path().is_empty());
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (d, [a, _, _, e]) = diamond();
+        assert_eq!(d.sources(), vec![a]);
+        assert_eq!(d.sinks(), vec![e]);
+    }
+}

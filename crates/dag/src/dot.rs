@@ -1,0 +1,135 @@
+//! Graphviz (DOT) export of computation dags — for regenerating figures
+//! like the paper's Fig. 2 as an actual picture.
+
+use std::collections::HashSet;
+
+use crate::dag::{Dag, NodeId};
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Highlight the critical path (doubled red edges, filled vertices).
+    pub highlight_critical_path: bool,
+    /// Show vertex weights as labels (`id (w)`); plain ids otherwise.
+    pub show_weights: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "computation".to_owned(),
+            highlight_critical_path: true,
+            show_weights: false,
+        }
+    }
+}
+
+/// Renders `dag` in Graphviz DOT format.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_dag::{dot, fig2};
+///
+/// let (dag, _) = fig2::example_dag();
+/// let text = dot::to_dot(&dag, &dot::DotOptions::default());
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("->"));
+/// ```
+pub fn to_dot(dag: &Dag, options: &DotOptions) -> String {
+    let critical: Vec<NodeId> =
+        if options.highlight_critical_path { dag.critical_path() } else { Vec::new() };
+    let on_path: HashSet<NodeId> = critical.iter().copied().collect();
+    let path_edges: HashSet<(NodeId, NodeId)> =
+        critical.windows(2).map(|w| (w[0], w[1])).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!("digraph {} {{\n", sanitize(&options.name)));
+    out.push_str("  rankdir=TB;\n  node [shape=circle, fontsize=10];\n");
+    for i in 0..dag.len() {
+        let id = NodeId(i);
+        let label = if options.show_weights {
+            format!("{} ({})", i, dag.weight(id))
+        } else {
+            format!("{i}")
+        };
+        let style = if on_path.contains(&id) {
+            ", style=filled, fillcolor=\"#ffcccc\""
+        } else {
+            ""
+        };
+        out.push_str(&format!("  n{i} [label=\"{label}\"{style}];\n"));
+    }
+    for i in 0..dag.len() {
+        for &succ in dag.successors(NodeId(i)) {
+            let attrs = if path_edges.contains(&(NodeId(i), succ)) {
+                " [color=red, penwidth=2]"
+            } else {
+                ""
+            };
+            out.push_str(&format!("  n{i} -> n{}{attrs};\n", succ.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "g".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig2;
+
+    #[test]
+    fn renders_all_vertices_and_edges() {
+        let (dag, _) = fig2::example_dag();
+        let text = to_dot(&dag, &DotOptions::default());
+        for i in 0..dag.len() {
+            assert!(text.contains(&format!("n{i} [")), "vertex {i} missing");
+        }
+        let edge_count = text.matches("->").count();
+        let expected: usize = (0..dag.len())
+            .map(|i| dag.successors(crate::NodeId(i)).len())
+            .sum();
+        assert_eq!(edge_count, expected);
+    }
+
+    #[test]
+    fn critical_path_highlighted() {
+        let (dag, _) = fig2::example_dag();
+        let text = to_dot(&dag, &DotOptions::default());
+        assert!(text.contains("color=red"));
+        assert!(text.contains("fillcolor"));
+    }
+
+    #[test]
+    fn weights_shown_on_request() {
+        let (dag, _) = fig2::example_dag();
+        let opts = DotOptions { show_weights: true, ..DotOptions::default() };
+        assert!(to_dot(&dag, &opts).contains("(1)"));
+    }
+
+    #[test]
+    fn names_sanitized() {
+        let (dag, _) = fig2::example_dag();
+        let opts = DotOptions {
+            name: "2 weird-name!".to_owned(),
+            ..DotOptions::default()
+        };
+        let text = to_dot(&dag, &opts);
+        assert!(text.starts_with("digraph g2_weird_name_"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The example dag of the paper's Figure 2.
+//!
+//! "Each vertex is an instruction. Edges represent ordering dependencies
+//! between instructions." The text fixes these facts about the example:
+//! work = 18, span = 9, parallelism = 2, the critical path is
+//! 1 ≺ 2 ≺ 3 ≺ 6 ≺ 7 ≺ 8 ≺ 11 ≺ 12 ≺ 18, and the relations 1 ≺ 2,
+//! 6 ≺ 12 and 4 ∥ 9 hold. This module reconstructs a dag satisfying every
+//! one of those stated properties.
+
+use crate::dag::{Dag, NodeId};
+
+/// Builds the Figure 2 example dag.
+///
+/// Returns the dag and the vertex ids indexed by the paper's 1-based
+/// instruction numbers (`ids[0]` is unused; `ids[k]` is instruction *k*).
+///
+/// # Examples
+///
+/// ```
+/// let (dag, ids) = cilk_dag::fig2::example_dag();
+/// assert_eq!(dag.work(), 18);
+/// assert_eq!(dag.span(), 9);
+/// assert_eq!(dag.parallelism(), 2.0);
+/// assert!(dag.precedes(ids[6], ids[12]));
+/// assert!(dag.parallel(ids[4], ids[9]));
+/// ```
+pub fn example_dag() -> (Dag, Vec<NodeId>) {
+    let mut dag = Dag::new();
+    let mut ids = vec![NodeId(usize::MAX)]; // 1-based
+    for _ in 1..=18 {
+        ids.push(dag.add_node(1));
+    }
+    let edge = |a: usize, b: usize, dag: &mut Dag, ids: &[NodeId]| {
+        dag.add_edge(ids[a], ids[b]).expect("static edges are valid");
+    };
+    // Critical path (9 vertices).
+    for w in [(1, 2), (2, 3), (3, 6), (6, 7), (7, 8), (8, 11), (11, 12), (12, 18)] {
+        edge(w.0, w.1, &mut dag, &ids);
+    }
+    // Branch forked at 2: 2 -> 4 -> 5 -> 17 -> 18.
+    for w in [(2, 4), (4, 5), (5, 17), (17, 18)] {
+        edge(w.0, w.1, &mut dag, &ids);
+    }
+    // Branch forked at 3: 3 -> 9 -> 10 -> 16 -> 18 (so 4 ∥ 9).
+    for w in [(3, 9), (9, 10), (10, 16), (16, 18)] {
+        edge(w.0, w.1, &mut dag, &ids);
+    }
+    // Branch forked at 7: 7 -> 13 -> 14 -> 18.
+    for w in [(7, 13), (13, 14), (14, 18)] {
+        edge(w.0, w.1, &mut dag, &ids);
+    }
+    // Branch forked at 8: 8 -> 15 -> 18.
+    for w in [(8, 15), (15, 18)] {
+        edge(w.0, w.1, &mut dag, &ids);
+    }
+    debug_assert!(dag.validate().is_ok());
+    (dag, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stated_measures_hold() {
+        let (dag, _) = example_dag();
+        assert_eq!(dag.work(), 18, "Fig. 2 work is 18");
+        assert_eq!(dag.span(), 9, "Fig. 2 span is 9");
+        assert_eq!(dag.parallelism(), 2.0, "Fig. 2 parallelism is 18/9 = 2");
+    }
+
+    #[test]
+    fn stated_relations_hold() {
+        let (dag, ids) = example_dag();
+        assert!(dag.precedes(ids[1], ids[2]), "1 ≺ 2");
+        assert!(dag.precedes(ids[6], ids[12]), "6 ≺ 12");
+        assert!(dag.parallel(ids[4], ids[9]), "4 ∥ 9");
+    }
+
+    #[test]
+    fn critical_path_matches_text() {
+        let (dag, ids) = example_dag();
+        let expected: Vec<NodeId> =
+            [1usize, 2, 3, 6, 7, 8, 11, 12, 18].iter().map(|&k| ids[k]).collect();
+        assert_eq!(dag.critical_path(), expected);
+    }
+
+    #[test]
+    fn more_than_two_processors_are_starved() {
+        // "there's little point in executing it with more than 2
+        // processors, since additional processors will surely be starved"
+        let (dag, _) = example_dag();
+        let t2 = crate::schedule::greedy(&dag, 2).makespan;
+        let t8 = crate::schedule::greedy(&dag, 8).makespan;
+        assert!(t8 >= dag.span());
+        assert!(t2 as f64 >= dag.work() as f64 / 2.0);
+        // Past the parallelism, speedup is capped at T1/T∞ = 2.
+        let speedup8 = dag.work() as f64 / t8 as f64;
+        assert!(speedup8 <= dag.parallelism() + 1e-9, "speedup {speedup8}");
+    }
+
+    #[test]
+    fn all_18_vertices_reachable_from_source() {
+        let (dag, ids) = example_dag();
+        for k in 2..=18 {
+            assert!(
+                dag.precedes(ids[1], ids[k]),
+                "instruction {k} must depend on instruction 1"
+            );
+        }
+    }
+}

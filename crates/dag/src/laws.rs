@@ -1,0 +1,208 @@
+//! The Work Law, the Span Law, Amdahl's Law, and speedup bounds (§2).
+
+/// The measures of a computation: work T₁ and span T∞.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measures {
+    /// Total instruction count, T₁.
+    pub work: u64,
+    /// Critical-path length, T∞.
+    pub span: u64,
+}
+
+impl Measures {
+    /// Creates measures from work and span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span > work` (impossible for a real computation) or if
+    /// `span == 0` while `work > 0`.
+    pub fn new(work: u64, span: u64) -> Self {
+        assert!(span <= work, "span cannot exceed work");
+        assert!(work == 0 || span > 0, "a nonempty computation has nonzero span");
+        Measures { work, span }
+    }
+
+    /// The **Work Law** (eq. 1): `T_P ≥ T₁ / P`.
+    ///
+    /// Returns the lower bound on P-processor execution time.
+    pub fn work_law_bound(&self, p: u64) -> f64 {
+        assert!(p > 0, "need at least one processor");
+        self.work as f64 / p as f64
+    }
+
+    /// The **Span Law** (eq. 2): `T_P ≥ T∞`.
+    pub fn span_law_bound(&self) -> f64 {
+        self.span as f64
+    }
+
+    /// The tighter of the two laws: `T_P ≥ max(T₁/P, T∞)`.
+    pub fn lower_bound_tp(&self, p: u64) -> f64 {
+        self.work_law_bound(p).max(self.span_law_bound())
+    }
+
+    /// The greedy-scheduling upper bound (eq. 3 without constants):
+    /// `T_P ≤ T₁/P + T∞`.
+    pub fn greedy_upper_bound_tp(&self, p: u64) -> f64 {
+        self.work_law_bound(p) + self.span as f64
+    }
+
+    /// The **parallelism** T₁/T∞.
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+
+    /// Maximum possible speedup on `p` processors:
+    /// `min(P, T₁/T∞)` — the Work Law caps speedup at P, the Span Law at
+    /// the parallelism (§2.3).
+    pub fn speedup_upper_bound(&self, p: u64) -> f64 {
+        (p as f64).min(self.parallelism())
+    }
+
+    /// Speedup implied by an achieved P-processor time.
+    pub fn speedup(&self, tp: f64) -> f64 {
+        assert!(tp > 0.0, "execution time must be positive");
+        self.work as f64 / tp
+    }
+
+    /// Whether an observed P-processor time satisfies both laws (with a
+    /// small tolerance for measurement noise).
+    pub fn satisfies_laws(&self, p: u64, tp: f64, tolerance: f64) -> bool {
+        tp + tolerance >= self.lower_bound_tp(p)
+    }
+}
+
+/// Classification of speedup quality on `p` processors (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedupKind {
+    /// Speedup below `0.9 P` (sublinear).
+    Sublinear,
+    /// Speedup proportional to P (within 10% of perfect).
+    Linear,
+    /// Speedup exactly P (within floating tolerance).
+    PerfectLinear,
+    /// Speedup above P: impossible in the dag model (Work Law), possible
+    /// in practice only through cache effects.
+    Superlinear,
+}
+
+/// Classifies a speedup value against the Work Law.
+pub fn classify_speedup(p: u64, speedup: f64) -> SpeedupKind {
+    let p = p as f64;
+    if speedup > p + 1e-9 {
+        SpeedupKind::Superlinear
+    } else if speedup >= p - 1e-9 {
+        SpeedupKind::PerfectLinear
+    } else if speedup >= 0.9 * p {
+        SpeedupKind::Linear
+    } else {
+        SpeedupKind::Sublinear
+    }
+}
+
+/// **Amdahl's Law**: if a fraction `parallel_fraction` of a computation can
+/// be parallelized and the rest is serial, speedup is at most
+/// `1 / (1 − parallel_fraction)` (§2).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ parallel_fraction < 1`.
+pub fn amdahl_speedup_bound(parallel_fraction: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&parallel_fraction),
+        "fraction must be in [0, 1)"
+    );
+    1.0 / (1.0 - parallel_fraction)
+}
+
+/// Amdahl speedup on exactly `p` processors:
+/// `1 / ((1 − f) + f/p)`.
+pub fn amdahl_speedup_at(parallel_fraction: f64, p: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&parallel_fraction));
+    assert!(p > 0);
+    1.0 / ((1.0 - parallel_fraction) + parallel_fraction / p as f64)
+}
+
+/// Builds the [`Measures`] of an Amdahl-style computation with the given
+/// total work and parallelizable fraction, demonstrating that the dag model
+/// **subsumes** Amdahl's Law: the serial part contributes its full weight
+/// to the span, the parallel part (idealized as infinitely divisible)
+/// contributes nothing beyond one unit per instruction chain.
+pub fn amdahl_measures(total_work: u64, parallel_fraction: f64) -> Measures {
+    assert!((0.0..1.0).contains(&parallel_fraction));
+    let serial = ((1.0 - parallel_fraction) * total_work as f64).round() as u64;
+    let serial = serial.clamp(1, total_work);
+    Measures::new(total_work, serial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_measures() {
+        // The example dag of Fig. 2: work 18, span 9, parallelism 2.
+        let m = Measures::new(18, 9);
+        assert_eq!(m.parallelism(), 2.0);
+        assert_eq!(m.speedup_upper_bound(2), 2.0);
+        // "there's little point in executing it with more than 2
+        // processors"
+        assert_eq!(m.speedup_upper_bound(8), 2.0);
+    }
+
+    #[test]
+    fn work_law_caps_speedup_at_p() {
+        let m = Measures::new(1_000_000, 10);
+        for p in [1u64, 2, 4, 8] {
+            assert!(m.speedup_upper_bound(p) <= p as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_bound_implies_linear_speedup_when_parallelism_large() {
+        // T1/T∞ = 10_000 >> P = 8: TP ≈ T1/P.
+        let m = Measures::new(10_000_000, 1_000);
+        let tp = m.greedy_upper_bound_tp(8);
+        let speedup = m.speedup(tp);
+        assert!(speedup > 7.9, "speedup {speedup}");
+    }
+
+    #[test]
+    fn amdahl_50_50_is_2x() {
+        assert_eq!(amdahl_speedup_bound(0.5), 2.0);
+        // The dag model's span-law bound agrees.
+        let m = amdahl_measures(1000, 0.5);
+        assert!((m.parallelism() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn amdahl_at_p_converges_to_bound() {
+        let inf = amdahl_speedup_bound(0.9);
+        let at_1000 = amdahl_speedup_at(0.9, 1000);
+        assert!(at_1000 < inf && at_1000 > 0.9 * inf);
+    }
+
+    #[test]
+    fn classify() {
+        assert_eq!(classify_speedup(4, 4.0), SpeedupKind::PerfectLinear);
+        assert_eq!(classify_speedup(4, 3.8), SpeedupKind::Linear);
+        assert_eq!(classify_speedup(4, 2.0), SpeedupKind::Sublinear);
+        assert_eq!(classify_speedup(4, 4.5), SpeedupKind::Superlinear);
+    }
+
+    #[test]
+    #[should_panic(expected = "span cannot exceed work")]
+    fn invalid_measures_rejected() {
+        let _ = Measures::new(5, 6);
+    }
+
+    #[test]
+    fn laws_check() {
+        let m = Measures::new(100, 10);
+        assert!(m.satisfies_laws(4, 26.0, 0.0)); // 26 >= max(25, 10)
+        assert!(!m.satisfies_laws(4, 20.0, 0.0)); // violates work law
+    }
+}

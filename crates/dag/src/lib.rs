@@ -1,0 +1,54 @@
+//! # cilk-dag: the dag model of multithreading
+//!
+//! §2 of Leiserson, *The Cilk++ concurrency platform* (DAC 2009) grounds
+//! the platform in the dag model: a multithreaded execution is a directed
+//! acyclic graph of instructions, and two measures — **work** T₁ (total
+//! instructions) and **span** T∞ (critical-path length) — bound achievable
+//! performance through the Work Law `T_P ≥ T₁/P` and the Span Law
+//! `T_P ≥ T∞`. **Parallelism** is their ratio T₁/T∞.
+//!
+//! This crate provides:
+//!
+//! * [`Dag`] — weighted computation dags with work/span/parallelism and the
+//!   `≺` (precedes) / `∥` (parallel) relations;
+//! * [`Sp`] — structured series-parallel computations (what Cilk programs
+//!   unfold into), with burdened-span support for Cilkview-style estimates;
+//! * [`Measures`] and the laws of §2 (including Amdahl's Law, which the dag
+//!   model subsumes);
+//! * [`schedule`] — deterministic greedy and randomized work-stealing
+//!   executors that produce virtual `T_P` times, substituting for parallel
+//!   hardware (see DESIGN.md);
+//! * [`workload`] — dag generators for the paper's workloads (quicksort,
+//!   fib, matmul, BFS, sparse solves, the §5 tree walk);
+//! * [`fig2`] — the paper's Figure 2 example dag.
+//!
+//! # Example
+//!
+//! ```
+//! use cilk_dag::{workload, Measures, schedule::{work_stealing, WsConfig}};
+//!
+//! let comp = workload::qsort_sp(1_000_000, 2048, 42);
+//! let m = Measures::new(comp.work(), comp.span());
+//! println!("parallelism = {:.2}", m.parallelism());
+//!
+//! let sim = work_stealing(&comp, &WsConfig::new(4));
+//! assert!(sim.makespan as f64 >= m.lower_bound_tp(4));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dag;
+pub mod dot;
+pub mod fig2;
+mod laws;
+pub mod schedule;
+mod sp;
+pub mod whatif;
+pub mod workload;
+
+pub use dag::{Dag, DagError, NodeId};
+pub use laws::{
+    amdahl_measures, amdahl_speedup_at, amdahl_speedup_bound, classify_speedup, Measures,
+    SpeedupKind,
+};
+pub use sp::Sp;

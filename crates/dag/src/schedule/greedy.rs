@@ -1,0 +1,198 @@
+//! Greedy (list) scheduling of a weighted dag on P processors.
+//!
+//! A greedy scheduler never leaves a processor idle while a ready task
+//! exists. Graham [19] and Brent [6] showed `T_P ≤ T₁/P + T∞`; the paper's
+//! eq. (3) is the work-stealing analogue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::dag::{Dag, NodeId};
+
+/// The result of a greedy schedule simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedySchedule {
+    /// Virtual completion time T_P.
+    pub makespan: u64,
+    /// Start time of each vertex.
+    pub start_times: Vec<u64>,
+    /// Processor each vertex ran on.
+    pub assignment: Vec<usize>,
+    /// Number of processors simulated.
+    pub processors: usize,
+}
+
+impl GreedySchedule {
+    /// Total processor-time the schedule left idle before completion.
+    pub fn idle_time(&self, dag: &Dag) -> u64 {
+        self.makespan * self.processors as u64 - dag.work()
+    }
+}
+
+/// Simulates a greedy schedule of `dag` on `p` processors.
+///
+/// Ready vertices are dispatched FIFO, which makes the simulation
+/// deterministic. Zero-weight vertices (fork/join bookkeeping) complete
+/// instantaneously.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or if the dag contains a cycle.
+pub fn greedy(dag: &Dag, p: usize) -> GreedySchedule {
+    assert!(p > 0, "need at least one processor");
+    dag.validate().expect("greedy schedule requires an acyclic graph");
+
+    let n = dag.len();
+    let mut indegree: Vec<usize> = (0..n).map(|i| dag.predecessors(NodeId(i)).len()).collect();
+    let mut ready: VecDeque<NodeId> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .map(NodeId)
+        .collect();
+
+    let mut start_times = vec![0u64; n];
+    let mut assignment = vec![usize::MAX; n];
+    // Min-heap of (finish_time, seq, node, proc).
+    let mut running: BinaryHeap<Reverse<(u64, usize, usize, usize)>> = BinaryHeap::new();
+    let mut free_procs: Vec<usize> = (0..p).rev().collect();
+    let mut time = 0u64;
+    let mut seq = 0usize;
+    let mut completed = 0usize;
+    let mut makespan = 0u64;
+
+    while completed < n {
+        // Greedy dispatch: fill free processors with ready vertices.
+        while !ready.is_empty() && !free_procs.is_empty() {
+            let v = ready.pop_front().expect("nonempty");
+            let proc = free_procs.pop().expect("nonempty");
+            start_times[v.0] = time;
+            assignment[v.0] = proc;
+            let finish = time + dag.weight(v);
+            running.push(Reverse((finish, seq, v.0, proc)));
+            seq += 1;
+        }
+        // Advance to the next completion.
+        let Reverse((finish, _, v, proc)) = running.pop().expect("work must be running");
+        time = finish;
+        makespan = makespan.max(finish);
+        free_procs.push(proc);
+        completed += 1;
+        for &s in dag.successors(NodeId(v)) {
+            indegree[s.0] -= 1;
+            if indegree[s.0] == 0 {
+                ready.push_back(s);
+            }
+        }
+        // Drain all completions at the same instant so dispatch sees every
+        // processor freed at `time`.
+        while let Some(&Reverse((f, _, _, _))) = running.peek() {
+            if f != time {
+                break;
+            }
+            let Reverse((_, _, v2, proc2)) = running.pop().expect("peeked");
+            free_procs.push(proc2);
+            completed += 1;
+            for &s in dag.successors(NodeId(v2)) {
+                indegree[s.0] -= 1;
+                if indegree[s.0] == 0 {
+                    ready.push_back(s);
+                }
+            }
+        }
+    }
+
+    GreedySchedule { makespan, start_times, assignment, processors: p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::Measures;
+    use crate::sp::Sp;
+
+    fn wide_dag(tasks: usize, w: u64) -> Dag {
+        let mut d = Dag::new();
+        let src = d.add_node(0);
+        let sink = d.add_node(0);
+        for _ in 0..tasks {
+            let v = d.add_node(w);
+            d.add_edge(src, v).unwrap();
+            d.add_edge(v, sink).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn single_processor_takes_work() {
+        let d = wide_dag(10, 5);
+        let s = greedy(&d, 1);
+        assert_eq!(s.makespan, d.work());
+    }
+
+    #[test]
+    fn embarrassingly_parallel_scales() {
+        let d = wide_dag(16, 10);
+        let s = greedy(&d, 4);
+        assert_eq!(s.makespan, 40); // 16 tasks / 4 procs * 10
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let mut d = Dag::new();
+        let a = d.add_node(3);
+        let b = d.add_node(4);
+        d.add_edge(a, b).unwrap();
+        let s = greedy(&d, 8);
+        assert_eq!(s.makespan, 7);
+        assert_eq!(s.start_times[b.0], 3);
+    }
+
+    #[test]
+    fn graham_bound_holds() {
+        // Random-ish SP dag: check TP <= T1/P + Tinf for several P.
+        let sp = Sp::series(
+            Sp::par_of((0..64).map(|i| Sp::leaf(1 + (i % 7) as u64))),
+            Sp::par(Sp::leaf(13), Sp::series(Sp::leaf(2), Sp::leaf(9))),
+        );
+        let dag = sp.to_dag();
+        let m = Measures::new(dag.work(), dag.span());
+        for p in [1u64, 2, 3, 4, 8] {
+            let s = greedy(&dag, p as usize);
+            assert!(
+                (s.makespan as f64) <= m.greedy_upper_bound_tp(p) + 1e-9,
+                "P={p}: {} > {}",
+                s.makespan,
+                m.greedy_upper_bound_tp(p)
+            );
+            assert!(
+                (s.makespan as f64) + 1e-9 >= m.lower_bound_tp(p),
+                "P={p}: lower bound violated"
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_processors() {
+        let sp = Sp::par_of((0..40).map(|i| Sp::leaf(1 + (i * 13 % 11) as u64)));
+        let dag = sp.to_dag();
+        let t1 = greedy(&dag, 1).makespan;
+        let t4 = greedy(&dag, 4).makespan;
+        let t16 = greedy(&dag, 16).makespan;
+        assert!(t1 >= t4 && t4 >= t16);
+    }
+
+    #[test]
+    fn idle_time_accounting() {
+        let d = wide_dag(3, 10);
+        let s = greedy(&d, 2);
+        // 3 tasks of 10 on 2 procs: makespan 20, idle = 40 - 30 = 10.
+        assert_eq!(s.makespan, 20);
+        assert_eq!(s.idle_time(&d), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_procs_rejected() {
+        let d = wide_dag(1, 1);
+        let _ = greedy(&d, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Multiprocessor schedulers for computation dags (§3.1 of the paper).
+//!
+//! Two executors are provided:
+//!
+//! * [`greedy`] — a greedy (list) scheduler over an arbitrary [`crate::Dag`],
+//!   achieving Graham/Brent's bound `T_P ≤ T₁/P + T∞`;
+//! * [`work_stealing`] — a randomized work-stealing executor over a
+//!   series-parallel computation, faithfully modelling the Cilk++ runtime
+//!   (bottom-push/bottom-pop owner, top-steal thieves, per-steal burden),
+//!   achieving the expected bound `T_P ≤ T₁/P + O(T∞)`.
+//!
+//! These simulators substitute for the multicore testbed of the paper's
+//! evaluation (see DESIGN.md): they execute the *same dags* the real
+//! runtime produces and report virtual makespans `T_P`.
+
+mod greedy;
+mod trace;
+mod work_stealing;
+
+pub use greedy::{greedy, GreedySchedule};
+pub use trace::{ScheduleTrace, TraceInterval};
+pub use work_stealing::{work_stealing, WsConfig, WsSchedule};

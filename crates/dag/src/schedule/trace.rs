@@ -1,0 +1,211 @@
+//! Schedule traces: Gantt timelines, utilization, and the instantaneous
+//! parallelism profile of a simulated execution.
+//!
+//! The paper's Fig. 3 is a *speedup* profile; this module adds the
+//! complementary view Cilk tooling is known for: how many processors are
+//! busy at each instant of a schedule, where idling concentrates, and the
+//! per-processor timeline.
+
+use crate::dag::{Dag, NodeId};
+use crate::schedule::greedy::GreedySchedule;
+
+/// One executed interval on a processor's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceInterval {
+    /// The vertex that ran.
+    pub node: NodeId,
+    /// Start time.
+    pub start: u64,
+    /// End time (start + weight).
+    pub end: u64,
+}
+
+/// A full schedule trace derived from a [`GreedySchedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    /// Per-processor timelines, each sorted by start time.
+    pub timelines: Vec<Vec<TraceInterval>>,
+    /// Virtual completion time.
+    pub makespan: u64,
+}
+
+impl ScheduleTrace {
+    /// Builds the trace from a schedule and its dag.
+    ///
+    /// Zero-weight vertices (fork/join bookkeeping) are omitted from
+    /// timelines — they occupy no time.
+    pub fn from_greedy(dag: &Dag, schedule: &GreedySchedule) -> ScheduleTrace {
+        let mut timelines = vec![Vec::new(); schedule.processors];
+        for i in 0..dag.len() {
+            let id = NodeId(i);
+            let w = dag.weight(id);
+            if w == 0 {
+                continue;
+            }
+            let proc = schedule.assignment[i];
+            let start = schedule.start_times[i];
+            timelines[proc].push(TraceInterval { node: id, start, end: start + w });
+        }
+        for tl in &mut timelines {
+            tl.sort_by_key(|iv| iv.start);
+        }
+        ScheduleTrace { timelines, makespan: schedule.makespan }
+    }
+
+    /// Total busy time of one processor.
+    pub fn busy_time(&self, proc: usize) -> u64 {
+        self.timelines[proc].iter().map(|iv| iv.end - iv.start).sum()
+    }
+
+    /// Overall utilization in `[0, 1]`: busy processor-time over
+    /// `P × makespan`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.timelines.is_empty() {
+            return 1.0;
+        }
+        let busy: u64 = (0..self.timelines.len()).map(|p| self.busy_time(p)).sum();
+        busy as f64 / (self.makespan as f64 * self.timelines.len() as f64)
+    }
+
+    /// The instantaneous parallelism profile: for `buckets` equal time
+    /// slices, the average number of busy processors in each slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn parallelism_profile(&self, buckets: usize) -> Vec<f64> {
+        assert!(buckets > 0, "need at least one bucket");
+        if self.makespan == 0 {
+            return vec![0.0; buckets];
+        }
+        let mut busy = vec![0f64; buckets];
+        let width = self.makespan as f64 / buckets as f64;
+        for tl in &self.timelines {
+            for iv in tl {
+                // Distribute the interval across the buckets it overlaps.
+                let first = (iv.start as f64 / width) as usize;
+                let last = (((iv.end as f64) / width).ceil() as usize).min(buckets);
+                for (b, slot) in busy.iter_mut().enumerate().take(last).skip(first) {
+                    let lo = (b as f64 * width).max(iv.start as f64);
+                    let hi = ((b + 1) as f64 * width).min(iv.end as f64);
+                    if hi > lo {
+                        *slot += (hi - lo) / width;
+                    }
+                }
+            }
+        }
+        busy
+    }
+
+    /// Renders a coarse ASCII Gantt chart (`cols` characters wide; `#`
+    /// marks busy, `.` idle).
+    pub fn to_ascii_gantt(&self, cols: usize) -> String {
+        let cols = cols.max(1);
+        let mut out = String::new();
+        let width = (self.makespan.max(1)) as f64 / cols as f64;
+        for (p, tl) in self.timelines.iter().enumerate() {
+            let mut row = vec!['.'; cols];
+            for iv in tl {
+                let first = ((iv.start as f64 / width) as usize).min(cols - 1);
+                let last = (((iv.end as f64) / width).ceil() as usize).clamp(first + 1, cols);
+                for c in row.iter_mut().take(last).skip(first) {
+                    *c = '#';
+                }
+            }
+            out.push_str(&format!("P{p:<3} |{}|\n", row.iter().collect::<String>()));
+        }
+        out
+    }
+
+    /// CSV rows `proc,node,start,end` for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("proc,node,start,end\n");
+        for (p, tl) in self.timelines.iter().enumerate() {
+            for iv in tl {
+                out.push_str(&format!("{p},{},{},{}\n", iv.node.0, iv.start, iv.end));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::greedy;
+    use crate::sp::Sp;
+
+    fn traced(sp: &Sp, p: usize) -> (Dag, ScheduleTrace) {
+        let dag = sp.to_dag();
+        let s = greedy(&dag, p);
+        let t = ScheduleTrace::from_greedy(&dag, &s);
+        (dag, t)
+    }
+
+    #[test]
+    fn busy_time_sums_to_work() {
+        let sp = Sp::par_of((0..16).map(|i| Sp::leaf(1 + i as u64)));
+        let (dag, trace) = traced(&sp, 4);
+        let total: u64 = (0..4).map(|p| trace.busy_time(p)).sum();
+        assert_eq!(total, dag.work());
+    }
+
+    #[test]
+    fn serial_chain_fills_one_processor() {
+        let sp = Sp::series_of((0..10).map(|_| Sp::leaf(5)));
+        let (_dag, trace) = traced(&sp, 4);
+        assert_eq!(trace.busy_time(0), 50);
+        assert_eq!(trace.busy_time(1), 0);
+        assert!((trace.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_loop_utilization_near_one() {
+        let sp = Sp::par_of((0..64).map(|_| Sp::leaf(10)));
+        let (_dag, trace) = traced(&sp, 4);
+        assert!(trace.utilization() > 0.99, "{}", trace.utilization());
+    }
+
+    #[test]
+    fn profile_buckets_sum_to_work_over_makespan() {
+        let sp = Sp::series(
+            Sp::leaf(40),
+            Sp::par_of((0..8).map(|_| Sp::leaf(10))),
+        );
+        let (dag, trace) = traced(&sp, 4);
+        let profile = trace.parallelism_profile(8);
+        let avg: f64 = profile.iter().sum::<f64>() / profile.len() as f64;
+        let expected = dag.work() as f64 / trace.makespan as f64;
+        assert!((avg - expected).abs() < 0.05, "avg {avg} vs {expected}");
+        // The serial prefix buckets run at parallelism ~1.
+        assert!(profile[0] < 1.5);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let sp = Sp::par(Sp::leaf(10), Sp::leaf(10));
+        let (_dag, trace) = traced(&sp, 2);
+        let gantt = trace.to_ascii_gantt(20);
+        assert_eq!(gantt.lines().count(), 2);
+        assert!(gantt.contains('#'));
+    }
+
+    #[test]
+    fn csv_lists_all_nonzero_vertices() {
+        let sp = Sp::par_of((0..6).map(|_| Sp::leaf(3)));
+        let (dag, trace) = traced(&sp, 2);
+        let nonzero = (0..dag.len())
+            .filter(|&i| dag.weight(crate::NodeId(i)) > 0)
+            .count();
+        assert_eq!(trace.to_csv().lines().count(), nonzero + 1);
+    }
+
+    #[test]
+    fn empty_dag_trace() {
+        let sp = Sp::leaf(0);
+        let (_dag, trace) = traced(&sp, 2);
+        assert_eq!(trace.makespan, 0);
+        assert_eq!(trace.utilization(), 1.0);
+        assert_eq!(trace.parallelism_profile(4), vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,460 @@
+//! A randomized work-stealing executor over series-parallel computations.
+//!
+//! This simulator reproduces the Cilk++ scheduler of §3.2 in virtual time:
+//! each of the P processors owns a deque; executing a parallel composition
+//! pushes the second branch (the continuation) on the bottom of the local
+//! deque and proceeds into the first branch (work-first); a processor that
+//! runs out of work becomes a thief and steals from the *top* of a random
+//! victim's deque, paying a configurable *burden* in virtual time per
+//! successful steal. Failed attempts retry after the same interval.
+//!
+//! The simulation is deterministic for a fixed seed, which makes the
+//! paper's speedup curves reproducible bit-for-bit.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::sp::Sp;
+
+/// Configuration of the work-stealing simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsConfig {
+    /// Number of virtual processors P.
+    pub processors: usize,
+    /// Virtual time charged to move a stolen task to the thief; also the
+    /// retry interval of failed steal attempts. Cilkview's burden models
+    /// the same cost.
+    pub steal_burden: u64,
+    /// RNG seed for victim selection.
+    pub seed: u64,
+}
+
+impl WsConfig {
+    /// A configuration with the given processor count, unit burden and a
+    /// fixed seed.
+    pub fn new(processors: usize) -> Self {
+        WsConfig { processors, steal_burden: 1, seed: 0x5EED }
+    }
+
+    /// Sets the steal burden.
+    pub fn steal_burden(mut self, burden: u64) -> Self {
+        self.steal_burden = burden;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of a work-stealing simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsSchedule {
+    /// Virtual completion time T_P.
+    pub makespan: u64,
+    /// Number of successful steals.
+    pub steals: u64,
+    /// Total steal attempts (successful and failed).
+    pub steal_attempts: u64,
+    /// Number of processors simulated.
+    pub processors: usize,
+}
+
+impl WsSchedule {
+    /// Speedup over the given serial time.
+    pub fn speedup(&self, t1: u64) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            t1 as f64 / self.makespan as f64
+        }
+    }
+}
+
+/// Flattened SP nodes.
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Leaf(u64),
+    Series(usize, usize),
+    Par(usize, usize),
+}
+
+/// Continuations: what to do when the current subcomputation finishes.
+#[derive(Debug, Clone, Copy)]
+enum Cont {
+    /// The whole computation is finished.
+    Done,
+    /// Execute `node` next, then continue with `cont`.
+    Seq { node: usize, cont: usize },
+    /// Arrive at join `join`; the last arriver proceeds.
+    Join { join: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JoinState {
+    pending: u8,
+    cont: usize,
+}
+
+/// A schedulable unit: execute a node, or resume a continuation.
+/// (Ordering derives exist only so items can ride inside heap keys; the
+/// ordering itself is meaningless and never decides event order because
+/// the `seq` field is unique.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Item {
+    Exec { node: usize, cont: usize },
+    Finish { cont: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Resume(Item),
+    Steal,
+}
+
+/// The simulator's event queue: (time, seq, proc, kind, item) min-heap.
+type EventHeap = BinaryHeap<Reverse<(u64, u64, usize, u8, Item)>>;
+
+/// Flattens an [`Sp`] tree into an arena, iteratively (paper workloads can
+/// be very deep).
+fn flatten(sp: &Sp) -> (Vec<Node>, usize) {
+    enum Frame<'a> {
+        Visit(&'a Sp),
+        BuildSeries,
+        BuildPar,
+    }
+    let mut nodes = Vec::new();
+    let mut values: Vec<usize> = Vec::new();
+    let mut stack = vec![Frame::Visit(sp)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Visit(Sp::Leaf(w)) => {
+                nodes.push(Node::Leaf(*w));
+                values.push(nodes.len() - 1);
+            }
+            Frame::Visit(Sp::Series(a, b)) => {
+                stack.push(Frame::BuildSeries);
+                stack.push(Frame::Visit(b));
+                stack.push(Frame::Visit(a));
+            }
+            Frame::Visit(Sp::Par(a, b)) => {
+                stack.push(Frame::BuildPar);
+                stack.push(Frame::Visit(b));
+                stack.push(Frame::Visit(a));
+            }
+            Frame::BuildSeries => {
+                let b = values.pop().expect("series right");
+                let a = values.pop().expect("series left");
+                nodes.push(Node::Series(a, b));
+                values.push(nodes.len() - 1);
+            }
+            Frame::BuildPar => {
+                let b = values.pop().expect("par right");
+                let a = values.pop().expect("par left");
+                nodes.push(Node::Par(a, b));
+                values.push(nodes.len() - 1);
+            }
+        }
+    }
+    let root = values.pop().expect("one root");
+    (nodes, root)
+}
+
+struct Sim {
+    nodes: Vec<Node>,
+    conts: Vec<Cont>,
+    joins: Vec<JoinState>,
+    deques: Vec<VecDeque<Item>>,
+    rng: u64,
+}
+
+enum Outcome {
+    /// Occupy the processor for `w` time, then resume with `next`.
+    Busy { weight: u64, next: Item },
+    /// Arrived at a join whose sibling is still running; go idle.
+    Stalled,
+    /// The root computation completed.
+    RootDone,
+}
+
+impl Sim {
+    fn next_random(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Runs the zero-time chain of scheduling actions for `item` on
+    /// processor `proc`, pushing spawned continuations to its deque.
+    fn advance(&mut self, proc: usize, mut item: Item) -> Outcome {
+        loop {
+            match item {
+                Item::Exec { node, cont } => match self.nodes[node] {
+                    Node::Leaf(weight) => {
+                        return Outcome::Busy { weight, next: Item::Finish { cont } };
+                    }
+                    Node::Series(a, b) => {
+                        self.conts.push(Cont::Seq { node: b, cont });
+                        item = Item::Exec { node: a, cont: self.conts.len() - 1 };
+                    }
+                    Node::Par(a, b) => {
+                        // Work-first: spawn `a` (execute now), make the
+                        // continuation (`b` + the sync) stealable.
+                        self.joins.push(JoinState { pending: 2, cont });
+                        self.conts.push(Cont::Join { join: self.joins.len() - 1 });
+                        let jc = self.conts.len() - 1;
+                        self.deques[proc].push_back(Item::Exec { node: b, cont: jc });
+                        item = Item::Exec { node: a, cont: jc };
+                    }
+                },
+                Item::Finish { cont } => match self.conts[cont] {
+                    Cont::Done => return Outcome::RootDone,
+                    Cont::Seq { node, cont } => {
+                        item = Item::Exec { node, cont };
+                    }
+                    Cont::Join { join } => {
+                        let j = &mut self.joins[join];
+                        j.pending -= 1;
+                        if j.pending == 0 {
+                            item = Item::Finish { cont: j.cont };
+                        } else {
+                            return Outcome::Stalled;
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Simulates a work-stealing execution of `sp` under `config`.
+///
+/// # Panics
+///
+/// Panics if `config.processors == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_dag::{schedule::{work_stealing, WsConfig}, Sp};
+///
+/// let comp = Sp::par_of((0..64).map(|_| Sp::leaf(100)));
+/// let t1 = comp.work();
+/// let s = work_stealing(&comp, &WsConfig::new(4));
+/// assert!(s.speedup(t1) > 3.0);
+/// ```
+pub fn work_stealing(sp: &Sp, config: &WsConfig) -> WsSchedule {
+    let p = config.processors;
+    assert!(p > 0, "need at least one processor");
+    let burden = config.steal_burden.max(1);
+
+    let (nodes, root) = flatten(sp);
+    let mut sim = Sim {
+        nodes,
+        conts: vec![Cont::Done],
+        joins: Vec::new(),
+        deques: (0..p).map(|_| VecDeque::new()).collect(),
+        rng: config.seed | 1,
+    };
+
+    // Min-heap of (time, seq, proc, event).
+    let mut events: EventHeap = BinaryHeap::new();
+    // Encode events as (.., kind, item): kind 0 = Resume(item), 1 = Steal.
+    let dummy = Item::Finish { cont: 0 };
+    let mut seq = 0u64;
+    let push_event =
+        |events: &mut EventHeap,
+         seq: &mut u64,
+         t: u64,
+         proc: usize,
+         ev: Event| {
+            let (kind, item) = match ev {
+                Event::Resume(item) => (0u8, item),
+                Event::Steal => (1u8, dummy),
+            };
+            events.push(Reverse((t, *seq, proc, kind, item)));
+            *seq += 1;
+        };
+
+    push_event(&mut events, &mut seq, 0, 0, Event::Resume(Item::Exec { node: root, cont: 0 }));
+    for proc in 1..p {
+        push_event(&mut events, &mut seq, burden, proc, Event::Steal);
+    }
+
+    let mut steals = 0u64;
+    let mut steal_attempts = 0u64;
+    let makespan;
+
+    'sim: loop {
+        let Reverse((t, _, proc, kind, item)) = events.pop().expect("computation must finish");
+        if kind == 0 {
+            // Resume: run the zero-time chain.
+            let mut outcome = sim.advance(proc, item);
+            loop {
+                match outcome {
+                    Outcome::Busy { weight, next } => {
+                        if weight == 0 {
+                            outcome = sim.advance(proc, next);
+                            continue;
+                        }
+                        push_event(&mut events, &mut seq, t + weight, proc, Event::Resume(next));
+                        break;
+                    }
+                    Outcome::Stalled => {
+                        // Idle: pop local work (zero cost) or turn thief.
+                        if let Some(task) = sim.deques[proc].pop_back() {
+                            outcome = sim.advance(proc, task);
+                            continue;
+                        }
+                        push_event(&mut events, &mut seq, t + burden, proc, Event::Steal);
+                        break;
+                    }
+                    Outcome::RootDone => {
+                        makespan = t;
+                        break 'sim;
+                    }
+                }
+            }
+        } else {
+            // Steal attempt.
+            steal_attempts += 1;
+            let task = if let Some(task) = sim.deques[proc].pop_back() {
+                Some(task)
+            } else if p > 1 {
+                // Random victim other than self.
+                let mut victim = (sim.next_random() as usize) % (p - 1);
+                if victim >= proc {
+                    victim += 1;
+                }
+                let stolen = sim.deques[victim].pop_front();
+                if stolen.is_some() {
+                    steals += 1;
+                }
+                stolen
+            } else {
+                None
+            };
+            match task {
+                Some(task) => {
+                    push_event(&mut events, &mut seq, t, proc, Event::Resume(task));
+                }
+                None => {
+                    push_event(&mut events, &mut seq, t + burden, proc, Event::Steal);
+                }
+            }
+        }
+    }
+
+    WsSchedule { makespan, steals, steal_attempts, processors: p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::Measures;
+
+    fn fib_sp(n: u64) -> Sp {
+        if n < 2 {
+            return Sp::leaf(1);
+        }
+        Sp::series(Sp::leaf(1), Sp::par(fib_sp(n - 1), fib_sp(n - 2)))
+    }
+
+    #[test]
+    fn single_processor_equals_work() {
+        let sp = fib_sp(12);
+        let s = work_stealing(&sp, &WsConfig::new(1));
+        assert_eq!(s.makespan, sp.work());
+        assert_eq!(s.steals, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sp = fib_sp(14);
+        let a = work_stealing(&sp, &WsConfig::new(4).seed(42));
+        let b = work_stealing(&sp, &WsConfig::new(4).seed(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn speedup_with_ample_parallelism() {
+        let sp = Sp::par_of((0..256).map(|_| Sp::leaf(1000)));
+        let t1 = sp.work();
+        let s = work_stealing(&sp, &WsConfig::new(8));
+        let speedup = s.speedup(t1);
+        assert!(speedup > 6.0, "speedup was {speedup}");
+    }
+
+    #[test]
+    fn respects_both_laws() {
+        let sp = fib_sp(16);
+        let m = Measures::new(sp.work(), sp.span());
+        for p in [1u64, 2, 4, 8] {
+            let s = work_stealing(&sp, &WsConfig::new(p as usize));
+            assert!(
+                s.makespan as f64 + 1e-9 >= m.lower_bound_tp(p),
+                "P={p}: {} < lower bound {}",
+                s.makespan,
+                m.lower_bound_tp(p)
+            );
+        }
+    }
+
+    #[test]
+    fn achieves_ws_bound_with_margin() {
+        // TP <= T1/P + c * burden * T∞ with a generous constant.
+        let sp = fib_sp(18);
+        let m = Measures::new(sp.work(), sp.span());
+        for p in [2u64, 4, 8] {
+            let cfg = WsConfig::new(p as usize).steal_burden(2);
+            let s = work_stealing(&sp, &cfg);
+            let bound = m.work as f64 / p as f64 + 20.0 * 2.0 * m.span as f64;
+            assert!(
+                (s.makespan as f64) <= bound,
+                "P={p}: {} > {}",
+                s.makespan,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn steals_infrequent_when_parallelism_ample() {
+        // Parallelism >> P ==> steals << spawns (the §3.2 claim).
+        let sp = Sp::par_of((0..4096).map(|_| Sp::leaf(64)));
+        let spawns = sp.spawn_count();
+        let s = work_stealing(&sp, &WsConfig::new(4));
+        assert!(
+            (s.steals as f64) < 0.2 * spawns as f64,
+            "steals {} vs spawns {spawns}",
+            s.steals
+        );
+    }
+
+    #[test]
+    fn serial_chain_gets_no_speedup() {
+        let sp = Sp::series_of((0..100).map(|_| Sp::leaf(10)));
+        let s = work_stealing(&sp, &WsConfig::new(8));
+        assert_eq!(s.makespan, sp.work(), "a serial chain cannot go faster");
+    }
+
+    #[test]
+    fn higher_burden_never_helps() {
+        let sp = fib_sp(15);
+        let cheap = work_stealing(&sp, &WsConfig::new(4).steal_burden(1)).makespan;
+        let pricey = work_stealing(&sp, &WsConfig::new(4).steal_burden(64)).makespan;
+        assert!(pricey >= cheap);
+    }
+
+    #[test]
+    fn zero_weight_computation_finishes() {
+        let sp = Sp::par(Sp::leaf(0), Sp::leaf(0));
+        let s = work_stealing(&sp, &WsConfig::new(2));
+        assert_eq!(s.makespan, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Series-parallel computations.
+//!
+//! Every Cilk++ program generates a *series-parallel* dag: `cilk_spawn`
+//! forks, `cilk_sync` joins, and straight-line code runs in series (§2 of
+//! the paper maps the three keywords onto dag edges). [`Sp`] is the
+//! structured form of such a computation; it converts to a flat [`Dag`]
+//! and supports direct O(n) computation of work, span and burdened span.
+
+use crate::dag::{Dag, NodeId};
+
+/// A series-parallel computation tree.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_dag::Sp;
+///
+/// // spawn { work 4 } ; work 6 ; sync   — running in parallel
+/// let comp = Sp::par(Sp::leaf(4), Sp::leaf(6));
+/// assert_eq!(comp.work(), 10);
+/// assert_eq!(comp.span(), 6);
+/// assert!((comp.parallelism() - 10.0 / 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sp {
+    /// A strand: serially executed instructions of the given total weight.
+    Leaf(u64),
+    /// Sequential composition: left completes before right begins.
+    Series(Box<Sp>, Box<Sp>),
+    /// Parallel composition: a spawn/sync pair around two branches.
+    Par(Box<Sp>, Box<Sp>),
+}
+
+impl Sp {
+    /// A strand of `weight` instructions.
+    pub fn leaf(weight: u64) -> Sp {
+        Sp::Leaf(weight)
+    }
+
+    /// Sequential composition of two computations.
+    pub fn series(a: Sp, b: Sp) -> Sp {
+        Sp::Series(Box::new(a), Box::new(b))
+    }
+
+    /// Parallel composition of two computations.
+    pub fn par(a: Sp, b: Sp) -> Sp {
+        Sp::Par(Box::new(a), Box::new(b))
+    }
+
+    /// Sequential composition of any number of computations.
+    ///
+    /// Returns a zero-weight leaf for an empty iterator.
+    pub fn series_of<I: IntoIterator<Item = Sp>>(items: I) -> Sp {
+        let mut iter = items.into_iter();
+        let Some(first) = iter.next() else {
+            return Sp::Leaf(0);
+        };
+        iter.fold(first, Sp::series)
+    }
+
+    /// Balanced parallel composition of any number of computations, the
+    /// shape produced by `cilk_for` over the items.
+    pub fn par_of<I: IntoIterator<Item = Sp>>(items: I) -> Sp {
+        fn build(items: &mut Vec<Sp>, lo: usize, hi: usize) -> Sp {
+            debug_assert!(lo < hi);
+            if hi - lo == 1 {
+                return std::mem::replace(&mut items[lo], Sp::Leaf(0));
+            }
+            let mid = lo + (hi - lo) / 2;
+            let left = build(items, lo, mid);
+            let right = build(items, mid, hi);
+            Sp::par(left, right)
+        }
+        let mut items: Vec<Sp> = items.into_iter().collect();
+        if items.is_empty() {
+            return Sp::Leaf(0);
+        }
+        let n = items.len();
+        build(&mut items, 0, n)
+    }
+
+    /// The work T₁ of the computation.
+    pub fn work(&self) -> u64 {
+        // Iterative traversal: paper workloads produce deep trees.
+        let mut total = 0u64;
+        let mut stack = vec![self];
+        while let Some(node) = stack.pop() {
+            match node {
+                Sp::Leaf(w) => total += w,
+                Sp::Series(a, b) | Sp::Par(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        total
+    }
+
+    /// The span T∞ of the computation.
+    pub fn span(&self) -> u64 {
+        self.span_with_burden(0)
+    }
+
+    /// The *burdened* span: the span where every parallel composition
+    /// charges an extra `burden` (the scheduling cost of a potential steal)
+    /// on the critical path. This is the quantity Cilkview uses for its
+    /// "estimated lower bound on speedup" (Fig. 3 of the paper).
+    pub fn span_with_burden(&self, burden: u64) -> u64 {
+        // Post-order iterative evaluation.
+        enum Frame<'a> {
+            Visit(&'a Sp),
+            CombineSeries,
+            CombinePar,
+        }
+        let mut values: Vec<u64> = Vec::new();
+        let mut stack = vec![Frame::Visit(self)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Visit(Sp::Leaf(w)) => values.push(*w),
+                Frame::Visit(Sp::Series(a, b)) => {
+                    stack.push(Frame::CombineSeries);
+                    stack.push(Frame::Visit(b));
+                    stack.push(Frame::Visit(a));
+                }
+                Frame::Visit(Sp::Par(a, b)) => {
+                    stack.push(Frame::CombinePar);
+                    stack.push(Frame::Visit(b));
+                    stack.push(Frame::Visit(a));
+                }
+                Frame::CombineSeries => {
+                    let b = values.pop().expect("series right value");
+                    let a = values.pop().expect("series left value");
+                    values.push(a + b);
+                }
+                Frame::CombinePar => {
+                    let b = values.pop().expect("par right value");
+                    let a = values.pop().expect("par left value");
+                    values.push(a.max(b) + burden);
+                }
+            }
+        }
+        values.pop().expect("evaluation leaves one value")
+    }
+
+    /// The parallelism T₁/T∞.
+    pub fn parallelism(&self) -> f64 {
+        let span = self.span();
+        if span == 0 {
+            0.0
+        } else {
+            self.work() as f64 / span as f64
+        }
+    }
+
+    /// The burdened parallelism T₁ / burdened-T∞.
+    pub fn burdened_parallelism(&self, burden: u64) -> f64 {
+        let span = self.span_with_burden(burden);
+        if span == 0 {
+            0.0
+        } else {
+            self.work() as f64 / span as f64
+        }
+    }
+
+    /// Number of parallel compositions (spawns) in the computation.
+    pub fn spawn_count(&self) -> u64 {
+        let mut total = 0u64;
+        let mut stack = vec![self];
+        while let Some(node) = stack.pop() {
+            match node {
+                Sp::Leaf(_) => {}
+                Sp::Series(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Sp::Par(a, b) => {
+                    total += 1;
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        total
+    }
+
+    /// Lowers the computation to a flat [`Dag`] with explicit fork and join
+    /// vertices of weight zero, suitable for the schedule simulators.
+    pub fn to_dag(&self) -> Dag {
+        let mut dag = Dag::new();
+        let (_first, _last) = lower(self, &mut dag, None);
+        dag
+    }
+}
+
+impl Drop for Sp {
+    fn drop(&mut self) {
+        // The derived drop recurses along the tree depth; series chains can
+        // be hundreds of thousands of nodes deep, so drop iteratively.
+        let mut stack: Vec<Box<Sp>> = Vec::new();
+        let detach = |node: &mut Sp, stack: &mut Vec<Box<Sp>>| {
+            if let Sp::Series(a, b) | Sp::Par(a, b) = node {
+                stack.push(std::mem::replace(a, Box::new(Sp::Leaf(0))));
+                stack.push(std::mem::replace(b, Box::new(Sp::Leaf(0))));
+            }
+        };
+        detach(self, &mut stack);
+        while let Some(mut boxed) = stack.pop() {
+            detach(&mut boxed, &mut stack);
+            // `boxed` now has only leaf children; dropping it is shallow.
+        }
+    }
+}
+
+/// Recursively lowers `sp` into `dag`. Returns (entry, exit) vertices.
+/// `after` is the vertex the subgraph's entry must depend on, if any.
+fn lower(sp: &Sp, dag: &mut Dag, after: Option<NodeId>) -> (NodeId, NodeId) {
+    match sp {
+        Sp::Leaf(w) => {
+            let v = dag.add_node(*w);
+            if let Some(a) = after {
+                dag.add_edge(a, v).expect("fresh vertices cannot fail");
+            }
+            (v, v)
+        }
+        Sp::Series(a, b) => {
+            let (entry, a_exit) = lower(a, dag, after);
+            let (_b_entry, b_exit) = lower(b, dag, Some(a_exit));
+            (entry, b_exit)
+        }
+        Sp::Par(a, b) => {
+            let fork = dag.add_node(0);
+            if let Some(x) = after {
+                dag.add_edge(x, fork).expect("fresh vertices cannot fail");
+            }
+            let (_ae, a_exit) = lower(a, dag, Some(fork));
+            let (_be, b_exit) = lower(b, dag, Some(fork));
+            let join = dag.add_node(0);
+            dag.add_edge(a_exit, join).expect("fresh vertices cannot fail");
+            dag.add_edge(b_exit, join).expect("fresh vertices cannot fail");
+            (fork, join)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_measures() {
+        let l = Sp::leaf(5);
+        assert_eq!(l.work(), 5);
+        assert_eq!(l.span(), 5);
+    }
+
+    #[test]
+    fn series_adds_both() {
+        let s = Sp::series(Sp::leaf(3), Sp::leaf(4));
+        assert_eq!(s.work(), 7);
+        assert_eq!(s.span(), 7);
+    }
+
+    #[test]
+    fn par_takes_max_span() {
+        let p = Sp::par(Sp::leaf(3), Sp::leaf(4));
+        assert_eq!(p.work(), 7);
+        assert_eq!(p.span(), 4);
+    }
+
+    #[test]
+    fn burden_charges_each_par_on_path() {
+        // par(par(1,1), 1): span 1 + two nested pars on the path = 1+2b
+        let p = Sp::par(Sp::par(Sp::leaf(1), Sp::leaf(1)), Sp::leaf(1));
+        assert_eq!(p.span_with_burden(0), 1);
+        assert_eq!(p.span_with_burden(10), 21);
+    }
+
+    #[test]
+    fn series_of_empty_is_zero() {
+        assert_eq!(Sp::series_of([]).work(), 0);
+    }
+
+    #[test]
+    fn par_of_builds_balanced_tree() {
+        let p = Sp::par_of((0..8).map(|_| Sp::leaf(1)));
+        assert_eq!(p.work(), 8);
+        assert_eq!(p.span(), 1);
+        assert_eq!(p.spawn_count(), 7);
+        // Burden contributes log2(8) = 3 levels along the critical path.
+        assert_eq!(p.span_with_burden(5), 1 + 3 * 5);
+    }
+
+    #[test]
+    fn to_dag_preserves_measures() {
+        let sp = Sp::series(
+            Sp::leaf(2),
+            Sp::par(Sp::series(Sp::leaf(3), Sp::leaf(1)), Sp::leaf(5)),
+        );
+        let dag = sp.to_dag();
+        assert_eq!(dag.work(), sp.work());
+        assert_eq!(dag.span(), sp.span());
+        dag.validate().expect("lowered dag is acyclic");
+    }
+
+    #[test]
+    fn deep_tree_does_not_overflow_stack() {
+        let sp = Sp::series_of((0..200_000).map(|_| Sp::leaf(1)));
+        assert_eq!(sp.work(), 200_000);
+        assert_eq!(sp.span(), 200_000);
+    }
+
+    #[test]
+    fn fib_shape_parallelism() {
+        fn fib_sp(n: u64) -> Sp {
+            if n < 2 {
+                return Sp::leaf(1);
+            }
+            Sp::series(
+                Sp::leaf(1),
+                Sp::par(fib_sp(n - 1), fib_sp(n - 2)),
+            )
+        }
+        let sp = fib_sp(16);
+        // Work grows exponentially, span linearly: parallelism is large.
+        assert!(sp.parallelism() > 50.0, "parallelism {}", sp.parallelism());
+    }
+}

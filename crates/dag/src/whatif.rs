@@ -1,0 +1,139 @@
+//! What-if span analysis: which strands are worth optimizing?
+//!
+//! The Span Law makes the critical path the scalability bottleneck;
+//! shaving work off strands *not* on it is useless for speedup. These
+//! helpers answer the profiler question "if I made this strand cheaper,
+//! what would the span become?" — the actionable output of a work/span
+//! tool beyond the Fig. 3 curves.
+
+use crate::dag::{Dag, NodeId};
+
+/// One candidate optimization target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanTarget {
+    /// The strand considered.
+    pub node: NodeId,
+    /// Its weight.
+    pub weight: u64,
+    /// The dag's span if this strand's weight were reduced to zero.
+    pub span_if_removed: u64,
+}
+
+impl SpanTarget {
+    /// Span reduction achieved by zeroing this strand.
+    pub fn savings(&self, current_span: u64) -> u64 {
+        current_span.saturating_sub(self.span_if_removed)
+    }
+}
+
+/// Computes the span of `dag` with `node`'s weight overridden to `weight`.
+///
+/// # Panics
+///
+/// Panics if the dag is cyclic or `node` is out of range.
+pub fn span_with_override(dag: &Dag, node: NodeId, weight: u64) -> u64 {
+    let order = dag
+        .topological_order()
+        .expect("span is only defined for acyclic graphs");
+    let mut dist = vec![0u64; dag.len()];
+    let mut best = 0;
+    for v in order {
+        let w = if v == node { weight } else { dag.weight(v) };
+        let pred = dag
+            .predecessors(v)
+            .iter()
+            .map(|p| dist[p.0])
+            .max()
+            .unwrap_or(0);
+        dist[v.0] = pred + w;
+        best = best.max(dist[v.0]);
+    }
+    best
+}
+
+/// Ranks the `k` most valuable strands to optimize: critical-path
+/// vertices sorted by the span reduction full removal would yield.
+///
+/// Only critical-path vertices can reduce the span, so only they are
+/// evaluated (each evaluation is an O(V + E) recomputation).
+pub fn optimization_targets(dag: &Dag, k: usize) -> Vec<SpanTarget> {
+    let mut targets: Vec<SpanTarget> = dag
+        .critical_path()
+        .into_iter()
+        .filter(|&v| dag.weight(v) > 0)
+        .map(|v| SpanTarget {
+            node: v,
+            weight: dag.weight(v),
+            span_if_removed: span_with_override(dag, v, 0),
+        })
+        .collect();
+    targets.sort_by_key(|t| t.span_if_removed);
+    targets.truncate(k);
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp::Sp;
+
+    #[test]
+    fn override_matches_span_when_unchanged() {
+        let sp = Sp::series(Sp::leaf(4), Sp::par(Sp::leaf(10), Sp::leaf(3)));
+        let dag = sp.to_dag();
+        let any = NodeId(0);
+        assert_eq!(span_with_override(&dag, any, dag.weight(any)), dag.span());
+    }
+
+    #[test]
+    fn zeroing_off_path_strand_changes_nothing() {
+        // par(10, 3): the 3-strand is off the critical path.
+        let sp = Sp::par(Sp::leaf(10), Sp::leaf(3));
+        let dag = sp.to_dag();
+        let off_path = (0..dag.len())
+            .map(NodeId)
+            .find(|&v| dag.weight(v) == 3)
+            .expect("strand present");
+        assert_eq!(span_with_override(&dag, off_path, 0), dag.span());
+    }
+
+    #[test]
+    fn zeroing_critical_strand_reveals_second_path() {
+        let sp = Sp::par(Sp::leaf(10), Sp::leaf(7));
+        let dag = sp.to_dag();
+        let critical = (0..dag.len())
+            .map(NodeId)
+            .find(|&v| dag.weight(v) == 10)
+            .expect("strand present");
+        assert_eq!(span_with_override(&dag, critical, 0), 7);
+    }
+
+    #[test]
+    fn targets_ranked_by_savings() {
+        // Serial chain 5 → par(9, 2) → 1: best single target is the 9.
+        let sp = Sp::series(
+            Sp::series(Sp::leaf(5), Sp::par(Sp::leaf(9), Sp::leaf(2))),
+            Sp::leaf(1),
+        );
+        let dag = sp.to_dag();
+        let targets = optimization_targets(&dag, 2);
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[0].weight, 9, "heaviest critical strand first");
+        // Removing the 9 exposes the parallel 2: span 5 + 2 + 1 = 8.
+        assert_eq!(targets[0].span_if_removed, 8);
+        assert_eq!(targets[0].savings(dag.span()), dag.span() - 8);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let sp = Sp::series_of((0..10).map(|_| Sp::leaf(2)));
+        let dag = sp.to_dag();
+        assert_eq!(optimization_targets(&dag, 3).len(), 3);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = Dag::new();
+        assert!(optimization_targets(&dag, 4).is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! Computation-dag models of the workloads discussed in the paper.
+//!
+//! §2.3 quotes parallelism magnitudes for several problem classes:
+//! dense matrix multiplication ("in the millions" for 1000×1000),
+//! breadth-first search on large irregular graphs ("thousands"), sparse
+//! matrix algorithms ("hundreds") and quicksort (only O(lg n), the subject
+//! of Fig. 3). Each generator below builds the series-parallel dag that
+//! the corresponding Cilk++ program would unfold, with vertex weights in
+//! abstract instruction units.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sp::Sp;
+
+/// Cost model constants: instructions charged per element touched.
+const CMP_COST: u64 = 1;
+
+/// The dag of the paper's Fig. 1 parallel quicksort on `n` keys.
+///
+/// Each call partitions its range serially (weight = range length) and
+/// recurses on the two sides in parallel; ranges at or below `grain` are
+/// sorted serially (weight ≈ m·lg m). Pivot splits are drawn uniformly at
+/// random from the seeded RNG, matching quicksort's expected behaviour.
+///
+/// The expected parallelism is Θ(lg n): the chain of partitions along the
+/// larger side dominates the span — the reason the paper's Fig. 3 reports
+/// a parallelism of only 10.31 for n = 100M.
+pub fn qsort_sp(n: u64, grain: u64, seed: u64) -> Sp {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    qsort_rec(n, grain.max(1), &mut rng)
+}
+
+fn qsort_rec(n: u64, grain: u64, rng: &mut SmallRng) -> Sp {
+    if n <= grain {
+        // Serial sort of a small range: ~ 1.5 n lg n operations
+        // (comparisons plus data movement).
+        let lg = 64 - n.max(2).leading_zeros() as u64;
+        return Sp::leaf(CMP_COST * n * lg * 3 / 2);
+    }
+    // Partition touches every element once.
+    let partition = Sp::leaf(CMP_COST * n);
+    // Median-of-three pivot rank (production quicksorts, including the
+    // Fig. 1 code's std::partition usage on random data, split closer to
+    // the median than a single uniform sample).
+    let mut samples = [rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..n)];
+    samples.sort_unstable();
+    let left = samples[1];
+    let right = n - 1 - left; // pivot excluded
+    let rec = Sp::par(
+        qsort_rec(left.max(1), grain, rng),
+        qsort_rec(right.max(1), grain, rng),
+    );
+    Sp::series(partition, rec)
+}
+
+/// The dag of the CLRS P-MERGE-SORT the paper points to as the sort with
+/// more parallelism than quicksort (§3.1). Work Θ(n lg n), span Θ(lg³ n):
+/// each level's merge is itself a parallel divide-and-conquer with
+/// Θ(lg² n) span (a lg n binary-search chain per lg n merge-split level).
+pub fn mergesort_sp(n: u64, grain: u64) -> Sp {
+    let grain = grain.max(1);
+    if n <= grain {
+        let lg = 64 - n.max(2).leading_zeros() as u64;
+        return Sp::leaf(CMP_COST * n * lg);
+    }
+    let half = n / 2;
+    let halves = Sp::par(mergesort_sp(half, grain), mergesort_sp(n - half, grain));
+    Sp::series(halves, p_merge_sp(n, grain))
+}
+
+/// The dag of one parallel merge of `n` total elements.
+fn p_merge_sp(n: u64, grain: u64) -> Sp {
+    if n <= grain {
+        return Sp::leaf(CMP_COST * n);
+    }
+    // Binary-search split costs lg n, then the halves merge in parallel.
+    let lg = 64 - n.max(2).leading_zeros() as u64;
+    let split = Sp::leaf(CMP_COST * lg);
+    let halves = Sp::par(p_merge_sp(n / 2, grain), p_merge_sp(n - n / 2, grain));
+    Sp::series(split, halves)
+}
+
+/// The dag of the recursive `fib(n)` benchmark: the classic spawn-tree
+/// microbenchmark of the Cilk papers. Weight `leaf_work` per call.
+pub fn fib_sp(n: u64, leaf_work: u64) -> Sp {
+    if n < 2 {
+        return Sp::leaf(leaf_work);
+    }
+    Sp::series(
+        Sp::leaf(leaf_work),
+        Sp::par(fib_sp(n - 1, leaf_work), fib_sp(n - 2, leaf_work)),
+    )
+}
+
+/// The dag of a blocked dense matrix multiplication C = A·B for n×n
+/// matrices, parallelized divide-and-conquer over the output blocks down
+/// to `block` (work Θ(n³), span Θ(lg² n) — parallelism "in the millions"
+/// for n = 1000 per §2.3).
+pub fn matmul_sp(n: u64, block: u64) -> Sp {
+    let block = block.max(1);
+    if n <= block {
+        // A block multiply: n³ multiply-adds.
+        return Sp::leaf(n * n * n);
+    }
+    let h = n / 2;
+    // All eight half-size products run in parallel (into temporaries),
+    // followed by a parallel elementwise addition of the four quadrant
+    // pairs: the classic work-Θ(n³), span-Θ(n)-ish recursion whose
+    // parallelism reaches the millions at n = 1000 (§2.3).
+    let products = Sp::par_of((0..8).map(|_| matmul_sp(h, block)));
+    // Parallel add of n² elements, chunked by rows (n chunks of weight n).
+    let add = Sp::par_of((0..n).map(|_| Sp::leaf(n)));
+    Sp::series(products, add)
+}
+
+/// Closed-form [`crate::Measures`] of the divide-and-conquer matrix
+/// multiplication with *fully* fine-grained parallel additions (span
+/// Θ(lg² n)), per the recurrences
+///
+/// ```text
+/// W(n) = 8 W(n/2) + Θ(n²)       ⇒  W(n) = Θ(n³)
+/// S(n) = S(n/2) + Θ(lg n)       ⇒  S(n) = Θ(lg² n)
+/// ```
+///
+/// [`matmul_sp`] materializes a coarser dag (chunked adds) to keep node
+/// counts manageable for the simulators; this function gives the exact
+/// model the paper's §2.3 "parallelism in the millions" figure refers to.
+pub fn matmul_measures(n: u64, block: u64) -> crate::Measures {
+    let block = block.max(1).min(n.max(1));
+    // Work: n³ multiply-adds plus n² lg(n/block) addition work.
+    let levels = (n / block).max(1).ilog2() as u64;
+    let work = n * n * n + n * n * levels;
+    // Span: block³ at the leaf, plus lg(n') add-span per level.
+    let mut span = block * block * block;
+    let mut size = n;
+    while size > block {
+        span += (64 - size.leading_zeros() as u64) + 1; // Θ(lg size) add
+        size /= 2;
+    }
+    crate::Measures::new(work, span.min(work))
+}
+
+/// The dag of a level-synchronous parallel BFS on a random graph with
+/// `vertices` vertices, average degree `avg_degree` and approximately
+/// `levels` BFS levels. Each level scans its frontier in parallel
+/// (`cilk_for` over frontier vertices); levels are serialized.
+///
+/// Irregularity: frontier sizes follow a ramp-up/ramp-down profile typical
+/// of small-world graphs, and per-vertex weights vary with the seeded RNG.
+pub fn bfs_sp(vertices: u64, avg_degree: u64, levels: u64, seed: u64) -> Sp {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let levels = levels.max(2);
+    // Distribute vertices over levels with a peak in the middle.
+    let mut sizes = Vec::with_capacity(levels as usize);
+    let mut remaining = vertices;
+    for l in 0..levels {
+        let frac = {
+            // Triangle profile peaking mid-search.
+            let x = l as f64 / (levels - 1) as f64;
+            1.0 - (2.0 * x - 1.0).abs()
+        };
+        let share = ((vertices as f64) * frac * 2.0 / levels as f64).ceil() as u64;
+        let share = share.min(remaining).max(1);
+        remaining = remaining.saturating_sub(share);
+        sizes.push(share);
+    }
+    let level_dags = sizes.into_iter().map(|frontier| {
+        // cilk_for over the frontier; each vertex scans ~degree edges.
+        let scans = (0..frontier)
+            .map(|_| Sp::leaf(1 + rng.gen_range(0..=2 * avg_degree)))
+            .collect::<Vec<_>>();
+        Sp::par_of(scans)
+    });
+    Sp::series_of(level_dags)
+}
+
+/// The dag of a sparse matrix-vector multiply y = A·x iterated `iters`
+/// times (e.g. a CG-style solver): each iteration is a `cilk_for` over
+/// `rows` rows with row lengths drawn around `avg_nnz_per_row`; iterations
+/// are serialized (parallelism "in the hundreds", §2.3).
+pub fn sparse_mv_sp(rows: u64, avg_nnz_per_row: u64, iters: u64, seed: u64) -> Sp {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let iter_dags = (0..iters.max(1)).map(|_| {
+        let row_work = (0..rows)
+            .map(|_| Sp::leaf(1 + rng.gen_range(0..=2 * avg_nnz_per_row)))
+            .collect::<Vec<_>>();
+        Sp::par_of(row_work)
+    });
+    Sp::series_of(iter_dags)
+}
+
+/// The dag of the §5 tree walk (Figs. 4–7): a binary tree of `nodes`
+/// nodes, each visit costing `visit_work` plus `hit_work` on the fraction
+/// `hit_rate` of nodes that "have the property" (e.g. collision tests on
+/// mechanical assemblies).
+pub fn tree_walk_sp(nodes: u64, visit_work: u64, hit_work: u64, hit_rate: f64, seed: u64) -> Sp {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    tree_walk_rec(nodes, visit_work, hit_work, hit_rate, &mut rng)
+}
+
+fn tree_walk_rec(
+    nodes: u64,
+    visit_work: u64,
+    hit_work: u64,
+    hit_rate: f64,
+    rng: &mut SmallRng,
+) -> Sp {
+    if nodes == 0 {
+        return Sp::leaf(0);
+    }
+    let hit = rng.gen_bool(hit_rate.clamp(0.0, 1.0));
+    let my_work = visit_work + if hit { hit_work } else { 0 };
+    if nodes == 1 {
+        return Sp::leaf(my_work);
+    }
+    let rest = nodes - 1;
+    let left = rest / 2;
+    let right = rest - left;
+    Sp::series(
+        Sp::leaf(my_work),
+        Sp::par(
+            tree_walk_rec(left, visit_work, hit_work, hit_rate, rng),
+            tree_walk_rec(right, visit_work, hit_work, hit_rate, rng),
+        ),
+    )
+}
+
+/// The dag of a `cilk_for` loop of `iterations` iterations of weight
+/// `body_work` each, lowered to balanced divide-and-conquer exactly as §2
+/// describes.
+pub fn loop_sp(iterations: u64, body_work: u64) -> Sp {
+    Sp::par_of((0..iterations).map(|_| Sp::leaf(body_work)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qsort_parallelism_is_log_like() {
+        // Parallelism grows roughly logarithmically in n.
+        let p1m = qsort_sp(1_000_000, 1000, 7).parallelism();
+        let p16m = qsort_sp(16_000_000, 1000, 7).parallelism();
+        assert!(p1m > 3.0 && p1m < 40.0, "n=1M parallelism {p1m}");
+        assert!(p16m > p1m, "parallelism should grow with n");
+        assert!(
+            p16m < 4.0 * p1m,
+            "growth should be sublinear: {p1m} -> {p16m}"
+        );
+    }
+
+    #[test]
+    fn qsort_work_is_n_log_n_like() {
+        let n = 1_000_000u64;
+        let w = qsort_sp(n, 1000, 3).work();
+        let nlogn = n as f64 * (n as f64).log2();
+        let ratio = w as f64 / nlogn;
+        assert!(ratio > 0.5 && ratio < 4.0, "work/nlogn ratio {ratio}");
+    }
+
+    #[test]
+    fn mergesort_out_parallelizes_qsort() {
+        // §3.1: merge sort's Θ(n/lg² n) parallelism dwarfs quicksort's
+        // Θ(lg n) at equal n.
+        let n = 4_000_000u64;
+        let ms = mergesort_sp(n, 10_000);
+        let qs = qsort_sp(n, 10_000, 3);
+        assert!(
+            ms.parallelism() > 10.0 * qs.parallelism(),
+            "mergesort {} vs qsort {}",
+            ms.parallelism(),
+            qs.parallelism()
+        );
+    }
+
+    #[test]
+    fn mergesort_work_is_n_log_n() {
+        let n = 1_000_000u64;
+        let w = mergesort_sp(n, 1_000).work();
+        let nlogn = n as f64 * (n as f64).log2();
+        let ratio = w as f64 / nlogn;
+        assert!(ratio > 0.5 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn matmul_parallelism_is_huge() {
+        // n = 256 with 16-blocks already shows parallelism in the
+        // thousands; the paper's n = 1000 case reaches millions.
+        let sp = matmul_sp(256, 16);
+        assert!(sp.parallelism() > 1000.0, "parallelism {}", sp.parallelism());
+    }
+
+    #[test]
+    fn matmul_work_is_n_cubed() {
+        // Multiplies contribute exactly n³; additions add lower-order
+        // Θ(n² lg n) terms.
+        let n = 128u64;
+        let w = matmul_sp(n, 16).work();
+        assert!(w >= n * n * n, "work {w}");
+        assert!(w < 2 * n * n * n, "work {w} should be n³ + lower order");
+    }
+
+    #[test]
+    fn matmul_measures_parallelism_millions_at_1000() {
+        // §2.3: "matrix multiplication of 1000 × 1000 matrices is highly
+        // parallel, with a parallelism in the millions".
+        let m = matmul_measures(1024, 1);
+        assert!(
+            m.parallelism() > 1_000_000.0,
+            "parallelism {}",
+            m.parallelism()
+        );
+    }
+
+    #[test]
+    fn bfs_parallelism_thousands() {
+        let sp = bfs_sp(100_000, 8, 20, 11);
+        let p = sp.parallelism();
+        assert!(p > 1000.0, "BFS parallelism {p}");
+    }
+
+    #[test]
+    fn sparse_parallelism_hundreds() {
+        let sp = sparse_mv_sp(2000, 10, 50, 5);
+        let p = sp.parallelism();
+        assert!(p > 100.0 && p < 3000.0, "sparse parallelism {p}");
+    }
+
+    #[test]
+    fn tree_walk_total_nodes_work() {
+        let sp = tree_walk_sp(1023, 1, 0, 0.0, 1);
+        assert_eq!(sp.work(), 1023);
+    }
+
+    #[test]
+    fn loop_dag_shape() {
+        let sp = loop_sp(1024, 5);
+        assert_eq!(sp.work(), 5 * 1024);
+        assert_eq!(sp.span(), 5); // perfectly balanced
+        assert!((sp.parallelism() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fib_sp_counts_calls() {
+        // fib(10) makes 177 calls.
+        assert_eq!(fib_sp(10, 1).work(), 177);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(qsort_sp(10_000, 100, 9), qsort_sp(10_000, 100, 9));
+        assert_eq!(bfs_sp(1000, 4, 8, 2), bfs_sp(1000, 4, 8, 2));
+    }
+}

@@ -1,0 +1,674 @@
+//! # cilk-deque: a Chase–Lev work-stealing deque
+//!
+//! The Cilk++ paper (§3.2) describes each worker's stack as "in fact, a
+//! double-ended queue, with the worker operating on the bottom and thieves
+//! stealing from the top". This crate implements that structure from
+//! scratch: the lock-free dynamic circular work-stealing deque of Chase and
+//! Lev, which is the lineage of the THE protocol used by Cilk-5 and Cilk++.
+//!
+//! * The **owner** ([`Worker`]) pushes and pops at the *bottom* with plain
+//!   loads/stores plus one fence on `pop`.
+//! * **Thieves** ([`Stealer`]) steal from the *top* with a compare-and-swap.
+//! * The buffer grows geometrically; retired buffers are kept alive until
+//!   the deque is dropped so that in-flight thieves never read freed memory.
+//!
+//! # Example
+//!
+//! ```
+//! use cilk_deque::{Deque, Steal};
+//!
+//! let deque = Deque::new();
+//! let stealer = deque.stealer();
+//! let worker = deque.into_worker();
+//!
+//! worker.push(1);
+//! worker.push(2);
+//!
+//! // The owner pops LIFO from the bottom...
+//! assert_eq!(worker.pop(), Some(2));
+//! // ...while thieves steal FIFO from the top.
+//! assert_eq!(stealer.steal(), Steal::Success(1));
+//! assert_eq!(worker.pop(), None);
+//! ```
+
+mod buffer;
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use buffer::Buffer;
+
+/// Initial buffer capacity. Small so the growth path is exercised often in
+/// tests; growth is geometric so the amortized cost is O(1) per push.
+const MIN_CAP: usize = 32;
+
+/// Shared state of one deque.
+struct Inner<T> {
+    /// Index of the next element to steal (thief end).
+    top: AtomicIsize,
+    /// Index one past the last pushed element (owner end).
+    bottom: AtomicIsize,
+    /// Current buffer. Replaced (never mutated in place) on growth.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers retired by growth. They may still be read by in-flight
+    /// thieves, so they are only freed when the deque itself is dropped.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: `Inner` encapsulates raw pointers that are only dereferenced under
+// the Chase–Lev protocol; `T: Send` is required because elements move
+// between threads.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    fn new() -> Self {
+        let buf = Box::into_raw(Buffer::alloc(MIN_CAP));
+        Inner {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(buf),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let top = *self.top.get_mut();
+        let bottom = *self.bottom.get_mut();
+        let buf_ptr = *self.buffer.get_mut();
+        // SAFETY: we have exclusive access during drop; elements in
+        // [top, bottom) are live and stored in the *current* buffer.
+        unsafe {
+            let buf = &*buf_ptr;
+            let mut i = top;
+            while i < bottom {
+                drop(buf.read(i));
+                i += 1;
+            }
+            drop(Box::from_raw(buf_ptr));
+        }
+        let retired = mem::take(&mut *self.retired.lock().expect("retired lock poisoned"));
+        for ptr in retired {
+            // SAFETY: retired buffers hold only bit-copies whose ownership
+            // moved to the replacement buffer; no element drops here.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// A freshly created deque, not yet split into its owner and thief halves.
+///
+/// Call [`Deque::stealer`] any number of times, then [`Deque::into_worker`]
+/// exactly once to obtain the owner handle.
+pub struct Deque<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Deque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        Deque { inner: Arc::new(Inner::new()) }
+    }
+
+    /// Creates a new thief handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Converts this deque into its unique owner handle.
+    pub fn into_worker(self) -> Worker<T> {
+        Worker { inner: self.inner, _not_sync: PhantomData }
+    }
+}
+
+impl<T> Default for Deque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for Deque<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deque").finish_non_exhaustive()
+    }
+}
+
+/// The owner end of the deque: pushes and pops at the bottom.
+///
+/// There is exactly one `Worker` per deque; it is `Send` but deliberately
+/// not `Sync` (the `PhantomData<Cell<()>>` suppresses `Sync`), matching the
+/// single-owner protocol.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+// SAFETY: a `Worker` may migrate threads as long as only one thread uses it
+// at a time (it is not `Sync`).
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> Worker<T> {
+    /// Creates a new deque and returns its owner handle together with one
+    /// thief handle.
+    pub fn new() -> (Worker<T>, Stealer<T>) {
+        let deque = Deque::new();
+        let stealer = deque.stealer();
+        (deque.into_worker(), stealer)
+    }
+
+    /// Number of elements currently in the deque (racy but monotonic from
+    /// the owner's point of view between its own operations).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        usize::try_from(b.saturating_sub(t).max(0)).unwrap_or(0)
+    }
+
+    /// Whether the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates an additional thief handle.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Pushes `value` onto the bottom of the deque.
+    ///
+    /// Amortized O(1); grows the buffer geometrically when full.
+    pub fn push(&self, value: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: the owner is the only mutator of `buffer`.
+        let mut buf = unsafe { &*buf_ptr };
+        let len = b.wrapping_sub(t);
+        if len >= buf.cap() as isize {
+            self.grow(t, b);
+            buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+            buf = unsafe { &*buf_ptr };
+        }
+        // SAFETY: slot `b` is outside [t, b) so no live element is
+        // overwritten; only the owner writes slots.
+        unsafe { buf.write(b, value) };
+        self.inner.bottom.store(b.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Pops an element from the bottom of the deque (LIFO).
+    ///
+    /// Returns `None` when empty. The final element is raced against
+    /// thieves with a compare-and-swap, per Chase–Lev.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        let buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+
+        if t <= b {
+            // Non-empty: at least one element remains after our reservation.
+            // SAFETY: slot `b` holds a live element; we are the only popper
+            // at the bottom.
+            let value = unsafe { (*buf_ptr).read(b) };
+            if t == b {
+                // Last element: race thieves for it.
+                if self
+                    .inner
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // A thief won; it owns the value. Forget our bit-copy.
+                    mem::forget(value);
+                    self.inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                    return None;
+                }
+                self.inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            }
+            Some(value)
+        } else {
+            // Empty: restore bottom.
+            self.inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Doubles the buffer, copying live elements `[t, b)` into the new one.
+    /// The old buffer is retired (kept allocated) because concurrent
+    /// thieves may still read from it.
+    #[cold]
+    fn grow(&self, t: isize, b: isize) {
+        let old_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: owner-exclusive access to the buffer pointer.
+        let old = unsafe { &*old_ptr };
+        let new = Buffer::<T>::alloc(old.cap() * 2);
+        let mut i = t;
+        while i != b {
+            // SAFETY: bit-copy live elements; logical ownership transfers to
+            // the new buffer. The retired buffer's copies are only ever read
+            // by thieves whose CAS on `top` certifies unique ownership.
+            unsafe { new.write(i, old.read(i)) };
+            i = i.wrapping_add(1);
+        }
+        let new_ptr = Box::into_raw(new);
+        self.inner.buffer.store(new_ptr, Ordering::Release);
+        self.inner
+            .retired
+            .lock()
+            .expect("retired lock poisoned")
+            .push(old_ptr);
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Deque::new().into_worker()
+    }
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// The steal lost a race (against the owner or another thief); the
+    /// caller may retry immediately or move to another victim.
+    Retry,
+    /// An element was stolen from the top of the deque.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this result is [`Steal::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether this result is [`Steal::Retry`].
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// A thief handle: steals from the top of the deque.
+///
+/// Cloneable and shareable across threads.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stealer").finish_non_exhaustive()
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal the element at the top of the deque.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf_ptr = self.inner.buffer.load(Ordering::Acquire);
+        // SAFETY: the buffer pointed to is either current or retired;
+        // retired buffers stay allocated for the deque's lifetime, and slot
+        // `t` holds a valid bit-copy as long as our CAS below succeeds for
+        // this exact `t` (nobody recycles slot `t` until `top` passes it).
+        let value = unsafe { (*buf_ptr).read(t) };
+        if self
+            .inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Lost the race; another party owns the element.
+            mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Steals with bounded retries, returning `None` on empty or persistent
+    /// contention.
+    pub fn steal_with_retries(&self, max_retries: usize) -> Option<T> {
+        let mut attempts = 0;
+        loop {
+            match self.steal() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => {
+                    attempts += 1;
+                    if attempts > max_retries {
+                        return None;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Steals up to `limit` elements, pushing them into `dest` (another
+    /// worker's deque) and returning the count actually taken.
+    ///
+    /// Steal-batching amortizes the per-steal synchronization when a thief
+    /// finds a long queue — an optimization Cilk-family runtimes use for
+    /// flat loops. Elements keep their top-to-bottom order.
+    pub fn steal_batch(&self, dest: &Worker<T>, limit: usize) -> usize {
+        let mut moved = 0;
+        while moved < limit {
+            match self.steal() {
+                Steal::Success(v) => {
+                    dest.push(v);
+                    moved += 1;
+                }
+                Steal::Empty => break,
+                Steal::Retry => {
+                    if moved > 0 {
+                        break; // keep what we have; contention detected
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        moved
+    }
+
+    /// Approximate number of elements observable in the deque.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        let t = self.inner.top.load(Ordering::Acquire);
+        usize::try_from(b.saturating_sub(t).max(0)).unwrap_or(0)
+    }
+
+    /// Whether the deque appears empty to this thief.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn push_pop_lifo() {
+        let (w, _s) = Worker::new();
+        for i in 0..100 {
+            w.push(i);
+        }
+        for i in (0..100).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn steal_fifo() {
+        let (w, s) = Worker::new();
+        for i in 0..100 {
+            w.push(i);
+        }
+        for i in 0..100 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn interleaved_owner_and_thief_serial() {
+        let (w, s) = Worker::new();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let (w, _s) = Worker::new();
+        let n = MIN_CAP * 8;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        let mut seen = Vec::new();
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        seen.reverse();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn growth_with_offset_top() {
+        // Force wraparound: steal some, then grow.
+        let (w, s) = Worker::new();
+        for i in 0..MIN_CAP {
+            w.push(i);
+        }
+        for i in 0..MIN_CAP / 2 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        for i in MIN_CAP..(MIN_CAP * 4) {
+            w.push(i);
+        }
+        let expected: Vec<usize> = (MIN_CAP / 2..MIN_CAP * 4).collect();
+        let mut got = Vec::new();
+        while let Steal::Success(v) = s.steal() {
+            got.push(v);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn drops_remaining_elements() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (w, _s) = Worker::new();
+            for _ in 0..10 {
+                w.push(Counted);
+            }
+            drop(w.pop()); // one dropped here
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_steal_no_loss_no_dup() {
+        // All pushed values are seen exactly once across owner pops and
+        // thief steals.
+        const N: usize = 50_000;
+        const THIEVES: usize = 4;
+        let (w, s) = Worker::new();
+        let mut handles = Vec::new();
+        for _ in 0..THIEVES {
+            let s = s.clone();
+            handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            if v == usize::MAX {
+                                break;
+                            }
+                            got.push(v);
+                        }
+                        Steal::Empty => {
+                            thread::yield_now();
+                        }
+                        Steal::Retry => {}
+                    }
+                }
+                got
+            }));
+        }
+        let mut owner_got = Vec::new();
+        for i in 0..N {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    owner_got.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            owner_got.push(v);
+        }
+        // Poison pills to stop thieves.
+        for _ in 0..THIEVES {
+            w.push(usize::MAX);
+        }
+        let mut all: Vec<usize> = owner_got;
+        for h in handles {
+            all.extend(h.join().expect("thief panicked"));
+        }
+        // Drain any leftover pills the owner might still hold.
+        assert_eq!(all.len(), N, "lost or duplicated elements");
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(set.len(), N, "duplicated elements");
+    }
+
+    #[test]
+    fn concurrent_steal_boxed_values() {
+        // Heap values: leaks/double frees would crash under ASan and often
+        // corrupt the heap; the exactly-once accounting doubles as a check.
+        const N: usize = 20_000;
+        let (w, s): (Worker<Box<usize>>, Stealer<Box<usize>>) = Worker::new();
+        let total = std::sync::Arc::new(AtomicUsize::new(0));
+        let done = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s = s.clone();
+            let total = total.clone();
+            let done = done.clone();
+            handles.push(thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        total.fetch_add(*v, Ordering::Relaxed);
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {
+                        if done.load(Ordering::Relaxed) >= N {
+                            break;
+                        }
+                        thread::yield_now();
+                    }
+                    Steal::Retry => {}
+                }
+            }));
+        }
+        for i in 0..N {
+            w.push(Box::new(1usize + (i % 7)));
+        }
+        while let Some(v) = w.pop() {
+            total.fetch_add(*v, Ordering::Relaxed);
+            done.fetch_add(1, Ordering::Relaxed);
+        }
+        for h in handles {
+            h.join().expect("thief panicked");
+        }
+        let expected: usize = (0..N).map(|i| 1 + (i % 7)).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn steal_batch_moves_in_order() {
+        let (victim, stealer) = Worker::new();
+        let (thief, _ts) = Worker::new();
+        for i in 0..20 {
+            victim.push(i);
+        }
+        let moved = stealer.steal_batch(&thief, 5);
+        assert_eq!(moved, 5);
+        // The thief received the oldest elements 0..5, and pops LIFO.
+        assert_eq!(thief.pop(), Some(4));
+        assert_eq!(thief.pop(), Some(3));
+        // The victim keeps the rest.
+        assert_eq!(victim.len(), 15);
+    }
+
+    #[test]
+    fn steal_batch_respects_emptiness() {
+        let (_victim, stealer) = Worker::<u8>::new();
+        let (thief, _ts) = Worker::new();
+        assert_eq!(stealer.steal_batch(&thief, 8), 0);
+        assert!(thief.is_empty());
+    }
+
+    #[test]
+    fn steal_batch_limit_zero() {
+        let (victim, stealer) = Worker::new();
+        let (thief, _ts) = Worker::new();
+        victim.push(1);
+        assert_eq!(stealer.steal_batch(&thief, 0), 0);
+        assert_eq!(victim.len(), 1);
+    }
+
+    #[test]
+    fn steal_with_retries_empty() {
+        let (_w, s) = Worker::<u8>::new();
+        assert_eq!(s.steal_with_retries(4), None);
+    }
+
+    #[test]
+    fn worker_is_send_not_sync() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Worker<u32>>();
+        assert_send::<Stealer<u32>>();
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Stealer<u32>>();
+        // Worker<T> must NOT be Sync; enforced by PhantomData<Cell<()>>.
+        // (Compile-fail is covered by the type design; nothing to run.)
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let (w, s) = Worker::<u8>::new();
+        assert!(!format!("{w:?}").is_empty());
+        assert!(!format!("{s:?}").is_empty());
+        assert!(!format!("{:?}", Deque::<u8>::new()).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based model checking of the deque against a `VecDeque` oracle
+//! (serial interleavings of owner and a single thief), plus randomized
+//! multi-thread accounting.
+
+use std::collections::VecDeque;
+
+use cilk_deque::{Steal, Worker};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u32>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    /// In a single-threaded interleaving the deque must behave exactly like
+    /// a VecDeque with push_back/pop_back (owner) and pop_front (thief).
+    #[test]
+    fn matches_vecdeque_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let (w, s) = Worker::new();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    let expected = model.pop_front();
+                    match (s.steal(), expected) {
+                        (Steal::Success(got), Some(want)) => prop_assert_eq!(got, want),
+                        (Steal::Empty, None) => {}
+                        // Serial execution: Retry is impossible and
+                        // Success/Empty must agree with the model.
+                        (got, want) => prop_assert!(
+                            false,
+                            "deque said {:?}, model said {:?}", got, want
+                        ),
+                    }
+                }
+            }
+        }
+        // Drain and compare the remainder.
+        let mut rest = Vec::new();
+        while let Some(v) = w.pop() {
+            rest.push(v);
+        }
+        rest.reverse();
+        let model_rest: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(rest, model_rest);
+    }
+
+    /// Multi-threaded accounting: with one concurrent thief, every element
+    /// is delivered exactly once.
+    #[test]
+    fn concurrent_exactly_once(n in 1usize..2000) {
+        let (w, s) = Worker::new();
+        let thief = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut empties = 0;
+            loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        if v == u32::MAX { break; }
+                        got.push(v);
+                        empties = 0;
+                    }
+                    Steal::Empty => {
+                        empties += 1;
+                        if empties > 10_000 { std::thread::yield_now(); }
+                    }
+                    Steal::Retry => {}
+                }
+            }
+            got
+        });
+        let mut owner_got = Vec::new();
+        for i in 0..n as u32 {
+            w.push(i);
+            if i % 2 == 0 {
+                if let Some(v) = w.pop() {
+                    owner_got.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            owner_got.push(v);
+        }
+        w.push(u32::MAX);
+        let stolen = thief.join().expect("thief panicked");
+        let mut all: Vec<u32> = owner_got;
+        all.extend(stolen);
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,283 @@
+//! Reducer-aware control constructs: `join`, `scope`, and `for_each`.
+//!
+//! These wrap the raw `cilk-runtime` constructs with the view-frame
+//! protocol of §5: a stolen continuation starts with fresh identity views;
+//! when strands join, views are reduced in serial order.
+
+use std::sync::Mutex;
+
+use crate::frames::{self, Frame, FrameGuard};
+
+/// Reducer-aware fork-join: like [`cilk_runtime::join`], but hyperobject
+/// views are managed per §5.
+///
+/// `a` is the spawned child (runs on the calling worker), `b` the
+/// continuation (stealable). If `b` is stolen, its strand sees fresh
+/// identity views; when both complete, `b`'s views are reduced into the
+/// caller's in the order a serial execution would have produced.
+///
+/// # Panics
+///
+/// Propagates panics like `cilk_runtime::join`; views of a panicked branch
+/// are discarded.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_hyper::{join, ReducerList};
+///
+/// let list = ReducerList::<u32>::list();
+/// join(
+///     || list.push_back(1), // serially first
+///     || list.push_back(2), // serially second
+/// );
+/// assert_eq!(list.into_value(), vec![1, 2]);
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let (ra, (rb, stolen_views)) = cilk_runtime::join_context(
+        |_| a(),
+        |ctx| {
+            if ctx.migrated() {
+                // Stolen: execute with fresh views, hand them back for the
+                // ordered merge at the join point.
+                let guard = FrameGuard::push();
+                let r = b();
+                let frame = guard.take();
+                (r, Some(frame))
+            } else {
+                (b(), None)
+            }
+        },
+    );
+    if let Some(frame) = stolen_views {
+        frames::merge_frame_into_current(frame);
+    }
+    (ra, rb)
+}
+
+/// A reducer-aware scope; created by [`scope`].
+pub struct Scope<'s, 'scope> {
+    inner: &'s cilk_runtime::Scope<'scope>,
+    // Raw pointer rather than a `'scope` borrow: `'scope` is a
+    // caller-chosen brand, while the collection lives on `scope`'s stack
+    // frame. Validity: every spawned task finishes before
+    // `cilk_runtime::scope` returns, which happens before the collection
+    // is dropped.
+    collected: *const Mutex<Vec<(u64, Frame)>>,
+}
+
+/// Send-able wrapper for the collection pointer captured by task closures.
+#[derive(Clone, Copy)]
+struct CollectedPtr(*const Mutex<Vec<(u64, Frame)>>);
+// SAFETY: see the comment on `Scope::collected`.
+unsafe impl Send for CollectedPtr {}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Spawns `body` as a task of the scope. Every task runs with fresh
+    /// hyperobject views; at scope exit the views of all tasks are reduced
+    /// in **spawn order**, after the scope body's own updates, making the
+    /// final value independent of the dynamic schedule.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let collected = CollectedPtr(self.collected);
+        self.inner.spawn(move |ctx| {
+            let collected = collected;
+            let guard = FrameGuard::push();
+            body();
+            let frame = guard.take();
+            // SAFETY: the collection outlives all tasks of this scope.
+            let collected = unsafe { &*collected.0 };
+            collected
+                .lock()
+                .expect("scope view collection poisoned")
+                .push((ctx.seq(), frame));
+        });
+    }
+}
+
+/// Reducer-aware structured task parallelism: like
+/// [`cilk_runtime::scope`], but tasks' hyperobject views are collected and
+/// reduced deterministically (spawn order) when the scope completes.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_hyper::{scope, ReducerList};
+///
+/// let list = ReducerList::<usize>::list();
+/// scope(|s| {
+///     for i in 0..8 {
+///         let list = &list;
+///         s.spawn(move || list.push_back(i));
+///     }
+/// });
+/// assert_eq!(list.into_value(), (0..8).collect::<Vec<_>>());
+/// ```
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'_, 'scope>) -> R + Send,
+    R: Send,
+{
+    let collected: Mutex<Vec<(u64, Frame)>> = Mutex::new(Vec::new());
+    let result = {
+        let collected_ptr = CollectedPtr(&collected);
+        cilk_runtime::scope(move |inner| {
+            // Capture the whole Send wrapper, not its raw-pointer field
+            // (edition-2021 closures capture disjoint fields by default).
+            let collected_ptr = collected_ptr;
+            let scope = Scope { inner, collected: collected_ptr.0 };
+            op(&scope)
+        })
+    };
+    let mut frames_in_order = collected.into_inner().expect("scope view collection poisoned");
+    frames_in_order.sort_by_key(|(seq, _)| *seq);
+    for (_seq, frame) in frames_in_order {
+        frames::merge_frame_into_current(frame);
+    }
+    result
+}
+
+/// Reducer-aware `cilk_for`: applies `body` to each index of `range` in
+/// parallel by divide-and-conquer [`join`], so hyperobject updates inside
+/// the loop land in serial iteration order.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_hyper::{for_each_index, ReducerList};
+///
+/// let order = ReducerList::<usize>::list();
+/// for_each_index(0..100, 10, |i| order.push_back(i));
+/// assert_eq!(order.into_value(), (0..100).collect::<Vec<_>>());
+/// ```
+pub fn for_each_index<F>(range: std::ops::Range<usize>, grain: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.end.saturating_sub(range.start);
+    if n == 0 {
+        return;
+    }
+    recurse(range, grain.max(1), &body);
+
+    fn recurse<F: Fn(usize) + Sync>(range: std::ops::Range<usize>, grain: usize, body: &F) {
+        let n = range.end - range.start;
+        if n <= grain {
+            for i in range {
+                body(i);
+            }
+            return;
+        }
+        let mid = range.start + n / 2;
+        join(
+            || recurse(range.start..mid, grain, body),
+            || recurse(mid..range.end, grain, body),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reducer::{ReducerList, ReducerSum};
+
+    fn walk(list: &ReducerList<u64>, lo: u64, hi: u64) {
+        if hi - lo == 1 {
+            list.push_back(lo);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        join(|| walk(list, lo, mid), || walk(list, mid, hi));
+    }
+
+    #[test]
+    fn join_preserves_serial_order_recursive() {
+        let list = ReducerList::<u64>::list();
+        walk(&list, 0, 512);
+        assert_eq!(list.into_value(), (0..512).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_sums_correctly() {
+        let total = ReducerSum::<u64>::sum();
+        fn add_range(total: &ReducerSum<u64>, lo: u64, hi: u64) {
+            if hi - lo <= 4 {
+                for v in lo..hi {
+                    total.add(v);
+                }
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            join(|| add_range(total, lo, mid), || add_range(total, mid, hi));
+        }
+        add_range(&total, 0, 10_000);
+        assert_eq!(total.into_value(), 10_000u64 * 9999 / 2);
+    }
+
+    #[test]
+    fn scope_merges_in_spawn_order() {
+        let list = ReducerList::<usize>::list();
+        scope(|s| {
+            for i in 0..64 {
+                let list = &list;
+                s.spawn(move || list.push_back(i));
+            }
+        });
+        assert_eq!(list.into_value(), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_order_preserved_many_grains() {
+        for grain in [1usize, 3, 16, 1000] {
+            let order = ReducerList::<usize>::list();
+            for_each_index(0..500, grain, |i| order.push_back(i));
+            assert_eq!(order.into_value(), (0..500).collect::<Vec<_>>(), "grain {grain}");
+        }
+    }
+
+    #[test]
+    fn nested_joins_and_scopes_compose() {
+        let total = ReducerSum::<u64>::sum();
+        scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                s.spawn(move || {
+                    join(|| total.add(1), || total.add(2));
+                });
+            }
+        });
+        assert_eq!(total.into_value(), 12);
+    }
+
+    #[test]
+    fn panic_in_branch_discards_views_but_unwinds() {
+        let list = ReducerList::<u8>::list();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join(
+                || list.push_back(1),
+                || {
+                    list.push_back(2);
+                    panic!("branch dies");
+                },
+            );
+        }));
+        assert!(result.is_err());
+        // No guarantee about partial contents, but the reducer must still
+        // be usable and eventually drainable.
+        let _ = list.into_value();
+    }
+}

@@ -1,0 +1,352 @@
+//! The [`Reducer`] hyperobject.
+//!
+//! "A Cilk++ reducer hyperobject is a linguistic construct that allows many
+//! strands to coordinate in updating a shared variable or data structure
+//! independently by providing them different but coordinated views of the
+//! same object." (§5)
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::frames::{self, SlotOps, ViewSlot};
+use crate::monoid::{And, ListAppend, Max, Min, Monoid, Or, StrCat, Sum};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Shared core of one reducer: the monoid plus the leftmost (root) view.
+pub(crate) struct Core<M: Monoid> {
+    monoid: M,
+    root: Mutex<Option<M::Value>>,
+}
+
+impl<M: Monoid> SlotOps for Core<M> {
+    fn identity_view(&self) -> Box<dyn Any + Send> {
+        Box::new(self.monoid.identity())
+    }
+
+    fn merge(&self, left: &mut Box<dyn Any + Send>, right: Box<dyn Any + Send>) {
+        let right = *right.downcast::<M::Value>().expect("view type mismatch");
+        let left = left.downcast_mut::<M::Value>().expect("view type mismatch");
+        self.monoid.reduce(left, right);
+    }
+
+    fn merge_into_root(&self, right: Box<dyn Any + Send>) {
+        let right = *right.downcast::<M::Value>().expect("view type mismatch");
+        let mut root = self.root.lock().expect("root view lock poisoned");
+        match root.as_mut() {
+            Some(left) => self.monoid.reduce(left, right),
+            None => *root = Some(right),
+        }
+    }
+}
+
+/// A reducer hyperobject over monoid `M`.
+///
+/// Strands update the reducer through [`Reducer::with`] (or the
+/// convenience methods of the aliases below) without any locking; the
+/// runtime supplies a private view to every stolen strand and reduces
+/// views with the monoid's associative operation when strands join,
+/// "maintaining the proper ordering so that the resulting [value] contains
+/// the identical elements in the same order as in a serial execution" (§5).
+///
+/// Views are keyed to the runtime's steal structure via the wrapper
+/// control constructs in [`crate::join`] / [`crate::scope`]; plain
+/// `cilk_runtime::join` calls would not create views and would therefore
+/// race. The `cilk` facade crate wires everything together.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_hyper::{join, ReducerSum};
+///
+/// let total = ReducerSum::<u64>::sum();
+/// join(
+///     || total.with(|t| *t += 1),
+///     || total.with(|t| *t += 2),
+/// );
+/// assert_eq!(total.into_value(), 3);
+/// ```
+pub struct Reducer<M: Monoid> {
+    id: u64,
+    core: Arc<Core<M>>,
+}
+
+impl<M: Monoid> std::fmt::Debug for Reducer<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reducer").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+impl<M: Monoid> Reducer<M> {
+    /// Creates a reducer with the given monoid; the leftmost view starts at
+    /// the identity.
+    pub fn new(monoid: M) -> Self {
+        let core = Arc::new(Core { monoid, root: Mutex::new(None) });
+        Reducer { id: NEXT_ID.fetch_add(1, Ordering::Relaxed), core }
+    }
+
+    /// Creates a reducer whose leftmost view starts at `initial` (like
+    /// declaring a nonlocal variable with an initializer).
+    pub fn with_initial(monoid: M, initial: M::Value) -> Self {
+        let core = Arc::new(Core { monoid, root: Mutex::new(Some(initial)) });
+        Reducer { id: NEXT_ID.fetch_add(1, Ordering::Relaxed), core }
+    }
+
+    /// The reducer's unique identity.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Grants the current strand mutable access to **its** view.
+    ///
+    /// "A strand can access and change any of its view's state
+    /// independently, without synchronizing with other strands." (§5)
+    /// Inside a steal context this touches only thread-local state; only
+    /// strands running in root context (no steal above them) serialize on
+    /// the leftmost view's lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut M::Value) -> R) -> R {
+        let ops: Arc<dyn SlotOps> = self.core.clone();
+        let id = self.id;
+        let mut f = Some(f);
+        let in_frame = frames::with_top_frame(|top| {
+            let slot = top
+                .slots
+                .entry(id)
+                .or_insert_with(|| ViewSlot { value: ops.identity_view(), ops: ops.clone() });
+            let view = slot
+                .value
+                .downcast_mut::<M::Value>()
+                .expect("view type mismatch");
+            (f.take().expect("closure not yet consumed"))(view)
+        });
+        match in_frame {
+            Some(r) => r,
+            None => {
+                let mut root = self.core.root.lock().expect("root view lock poisoned");
+                let view = root.get_or_insert_with(|| self.core.monoid.identity());
+                (f.take().expect("closure not yet consumed"))(view)
+            }
+        }
+    }
+
+    /// Consumes the reducer and returns the fully reduced value.
+    ///
+    /// Call after all parallel work involving the reducer has synced (e.g.
+    /// after the enclosing [`crate::join`]/[`crate::scope`] returned); at
+    /// that point every stolen view has been folded into the leftmost view.
+    pub fn into_value(self) -> M::Value {
+        let mut root = self.core.root.lock().expect("root view lock poisoned");
+        root.take().unwrap_or_else(|| self.core.monoid.identity())
+    }
+
+    /// Takes the current leftmost value, resetting it to the identity.
+    pub fn take(&self) -> M::Value {
+        let mut root = self.core.root.lock().expect("root view lock poisoned");
+        root.take().unwrap_or_else(|| self.core.monoid.identity())
+    }
+}
+
+/// A list-append reducer (the paper's `reducer_list_append`).
+pub type ReducerList<T> = Reducer<ListAppend<T>>;
+
+impl<T: Send + 'static> ReducerList<T> {
+    /// Creates an empty list-append reducer.
+    pub fn list() -> Self {
+        Reducer::new(ListAppend::new())
+    }
+
+    /// Appends `value` to the current strand's view — the reducer form of
+    /// `output_list.push_back(x)` in Fig. 7.
+    pub fn push_back(&self, value: T) {
+        self.with(|v| v.push(value));
+    }
+}
+
+/// An addition reducer (the paper's "add" reducer / `reducer_opadd`).
+pub type ReducerSum<T> = Reducer<Sum<T>>;
+
+impl<T> ReducerSum<T>
+where
+    T: std::ops::AddAssign + Default + Send + 'static,
+{
+    /// Creates a zero-initialized sum reducer.
+    pub fn sum() -> Self {
+        Reducer::new(Sum::new())
+    }
+
+    /// Adds `value` to the current strand's view.
+    pub fn add(&self, value: T) {
+        self.with(|v| *v += value);
+    }
+}
+
+/// A minimum reducer.
+pub type ReducerMin<T> = Reducer<Min<T>>;
+
+impl<T: Ord + Send + 'static> ReducerMin<T> {
+    /// Creates an empty min reducer.
+    pub fn min() -> Self {
+        Reducer::new(Min::new())
+    }
+
+    /// Offers `value` as a candidate minimum.
+    pub fn update(&self, value: T) {
+        self.with(|v| {
+            let take = match v {
+                Some(cur) => value < *cur,
+                None => true,
+            };
+            if take {
+                *v = Some(value);
+            }
+        });
+    }
+}
+
+/// A maximum reducer.
+pub type ReducerMax<T> = Reducer<Max<T>>;
+
+impl<T: Ord + Send + 'static> ReducerMax<T> {
+    /// Creates an empty max reducer.
+    pub fn max() -> Self {
+        Reducer::new(Max::new())
+    }
+
+    /// Offers `value` as a candidate maximum.
+    pub fn update(&self, value: T) {
+        self.with(|v| {
+            let take = match v {
+                Some(cur) => value > *cur,
+                None => true,
+            };
+            if take {
+                *v = Some(value);
+            }
+        });
+    }
+}
+
+/// A logical-AND reducer (`true` until any strand reports `false`).
+pub type ReducerAnd = Reducer<And>;
+
+impl ReducerAnd {
+    /// Creates a `true`-initialized AND reducer.
+    pub fn and() -> Self {
+        Reducer::new(And)
+    }
+
+    /// ANDs `value` into the current strand's view.
+    pub fn record(&self, value: bool) {
+        self.with(|v| *v = *v && value);
+    }
+}
+
+/// A logical-OR reducer (`false` until any strand reports `true`).
+pub type ReducerOr = Reducer<Or>;
+
+impl ReducerOr {
+    /// Creates a `false`-initialized OR reducer.
+    pub fn or() -> Self {
+        Reducer::new(Or)
+    }
+
+    /// ORs `value` into the current strand's view.
+    pub fn record(&self, value: bool) {
+        self.with(|v| *v = *v || value);
+    }
+}
+
+/// A string-concatenation reducer.
+pub type ReducerString = Reducer<StrCat>;
+
+impl ReducerString {
+    /// Creates an empty string reducer.
+    pub fn string() -> Self {
+        Reducer::new(StrCat)
+    }
+
+    /// Appends `s` to the current strand's view.
+    pub fn append(&self, s: &str) {
+        self.with(|v| v.push_str(s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_updates_accumulate_in_root() {
+        let r = ReducerSum::<u64>::sum();
+        r.add(3);
+        r.add(4);
+        assert_eq!(r.into_value(), 7);
+    }
+
+    #[test]
+    fn with_initial_seeds_value() {
+        let r = Reducer::with_initial(Sum::<u64>::new(), 100);
+        r.add(1);
+        assert_eq!(r.into_value(), 101);
+    }
+
+    #[test]
+    fn take_resets_to_identity() {
+        let r = ReducerList::<u8>::list();
+        r.push_back(1);
+        assert_eq!(r.take(), vec![1]);
+        assert_eq!(r.take(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = ReducerSum::<u32>::sum();
+        let b = ReducerSum::<u32>::sum();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let lo = ReducerMin::<i32>::min();
+        let hi = ReducerMax::<i32>::max();
+        for v in [5, -2, 9, 0] {
+            lo.update(v);
+            hi.update(v);
+        }
+        assert_eq!(lo.into_value(), Some(-2));
+        assert_eq!(hi.into_value(), Some(9));
+    }
+
+    #[test]
+    fn string_appends() {
+        let s = ReducerString::string();
+        s.append("hello ");
+        s.append("world");
+        assert_eq!(s.into_value(), "hello world");
+    }
+
+    #[test]
+    fn and_or_reducers() {
+        let all_ok = ReducerAnd::and();
+        let any_hit = ReducerOr::or();
+        crate::join(
+            || {
+                all_ok.record(true);
+                any_hit.record(false);
+            },
+            || {
+                all_ok.record(false);
+                any_hit.record(true);
+            },
+        );
+        assert!(!all_ok.into_value());
+        assert!(any_hit.into_value());
+    }
+
+    #[test]
+    fn empty_reducer_yields_identity() {
+        let r = ReducerList::<u8>::list();
+        assert!(r.into_value().is_empty());
+    }
+}

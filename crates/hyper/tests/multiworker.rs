@@ -1,0 +1,108 @@
+//! Stress tests of reducer view management under real multi-worker pools,
+//! where continuations genuinely migrate between workers.
+
+use cilk_hyper::{join, scope, ReducerList, ReducerSum};
+use cilk_runtime::{Config, ThreadPool};
+
+fn pool(workers: usize) -> ThreadPool {
+    ThreadPool::with_config(Config::new().num_workers(workers)).expect("pool")
+}
+
+fn walk(list: &ReducerList<u64>, lo: u64, hi: u64) {
+    if hi - lo == 1 {
+        list.push_back(lo);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    join(|| walk(list, lo, mid), || walk(list, mid, hi));
+}
+
+#[test]
+fn order_preserved_with_four_workers() {
+    let pool = pool(4);
+    for round in 0..20 {
+        let list = ReducerList::<u64>::list();
+        pool.install(|| walk(&list, 0, 2000));
+        assert_eq!(
+            list.into_value(),
+            (0..2000).collect::<Vec<_>>(),
+            "round {round}: steal pattern must not affect order"
+        );
+    }
+    let m = pool.metrics();
+    assert!(m.spawns > 0);
+}
+
+#[test]
+fn sums_correct_with_eight_workers() {
+    let pool = pool(8);
+    let total = ReducerSum::<u64>::sum();
+    pool.install(|| {
+        cilk_hyper::for_each_index(0..100_000, 64, |i| total.add(i as u64));
+    });
+    assert_eq!(total.into_value(), 100_000u64 * 99_999 / 2);
+}
+
+#[test]
+fn scope_order_with_workers() {
+    let pool = pool(4);
+    for _ in 0..10 {
+        let list = ReducerList::<usize>::list();
+        pool.install(|| {
+            scope(|s| {
+                for i in 0..200 {
+                    let list = &list;
+                    s.spawn(move || list.push_back(i));
+                }
+            });
+        });
+        assert_eq!(list.into_value(), (0..200).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn two_reducers_do_not_interfere() {
+    let pool = pool(4);
+    let evens = ReducerList::<u64>::list();
+    let odds = ReducerList::<u64>::list();
+    pool.install(|| {
+        cilk_hyper::for_each_index(0..1000, 8, |i| {
+            if i % 2 == 0 {
+                evens.push_back(i as u64);
+            } else {
+                odds.push_back(i as u64);
+            }
+        });
+    });
+    assert_eq!(evens.into_value(), (0..1000).step_by(2).map(|i| i as u64).collect::<Vec<_>>());
+    assert_eq!(odds.into_value(), (1..1000).step_by(2).map(|i| i as u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn reducer_usable_across_multiple_installs() {
+    let pool = pool(2);
+    let total = ReducerSum::<u64>::sum();
+    for _ in 0..5 {
+        pool.install(|| {
+            cilk_hyper::for_each_index(0..100, 4, |_| total.add(1));
+        });
+    }
+    assert_eq!(total.into_value(), 500);
+}
+
+#[test]
+fn deeply_nested_joins_with_steals() {
+    let pool = pool(4);
+    let list = ReducerList::<u64>::list();
+    // Unbalanced recursion makes steal patterns irregular.
+    fn skewed(list: &ReducerList<u64>, lo: u64, hi: u64) {
+        if hi - lo == 1 {
+            list.push_back(lo);
+            return;
+        }
+        let cut = lo + 1.max((hi - lo) / 8);
+        join(|| skewed(list, lo, cut), || skewed(list, cut, hi));
+    }
+    pool.install(|| skewed(&list, 0, 3000));
+    assert_eq!(list.into_value(), (0..3000).collect::<Vec<_>>());
+}

@@ -1,0 +1,126 @@
+//! Property-based monoid-law and reduction-shape tests.
+//!
+//! §5's correctness argument is exactly associativity: "This
+//! parallelization takes advantage of the fact that list appending is
+//! associative." These tests check the laws on randomized values and
+//! verify that *any* parenthesization of reduces produced by a random
+//! join tree equals the linear left fold.
+
+use cilk_hyper::{And, ListAppend, Max, Min, Monoid, Or, StrCat, Sum};
+use proptest::prelude::*;
+
+fn assoc_and_identity<M: Monoid>(m: &M, a: M::Value, b: M::Value, c: M::Value) -> Result<(), TestCaseError>
+where
+    M::Value: Clone + PartialEq + std::fmt::Debug,
+{
+    let mut lhs = a.clone();
+    m.reduce(&mut lhs, b.clone());
+    m.reduce(&mut lhs, c.clone());
+    let mut bc = b.clone();
+    m.reduce(&mut bc, c.clone());
+    let mut rhs = a.clone();
+    m.reduce(&mut rhs, bc);
+    prop_assert_eq!(&lhs, &rhs, "associativity");
+
+    let mut left_id = m.identity();
+    m.reduce(&mut left_id, a.clone());
+    prop_assert_eq!(&left_id, &a, "left identity");
+    let mut right_id = a.clone();
+    m.reduce(&mut right_id, m.identity());
+    prop_assert_eq!(&right_id, &a, "right identity");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn sum_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        // Use wrapping-friendly domain to avoid overflow panics.
+        let (a, b, c) = (a >> 2, b >> 2, c >> 2);
+        assoc_and_identity(&Sum::<i64>::new(), a, b, c)?;
+    }
+
+    #[test]
+    fn min_max_laws(
+        a in proptest::option::of(any::<i32>()),
+        b in proptest::option::of(any::<i32>()),
+        c in proptest::option::of(any::<i32>()),
+    ) {
+        assoc_and_identity(&Min::<i32>::new(), a, b, c)?;
+        assoc_and_identity(&Max::<i32>::new(), a, b, c)?;
+    }
+
+    #[test]
+    fn bool_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        assoc_and_identity(&And, a, b, c)?;
+        assoc_and_identity(&Or, a, b, c)?;
+    }
+
+    #[test]
+    fn list_laws(
+        a in proptest::collection::vec(any::<u8>(), 0..8),
+        b in proptest::collection::vec(any::<u8>(), 0..8),
+        c in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        assoc_and_identity(&ListAppend::<u8>::new(), a, b, c)?;
+    }
+
+    #[test]
+    fn string_laws(a in ".{0,8}", b in ".{0,8}", c in ".{0,8}") {
+        assoc_and_identity(&StrCat, a, b, c)?;
+    }
+}
+
+/// A random binary reduction tree over a sequence of singleton views.
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf,
+    Node(Box<Tree>, Box<Tree>),
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = Just(Tree::Leaf);
+    leaf.prop_recursive(6, 64, 2, |inner| {
+        prop_oneof![
+            1 => Just(Tree::Leaf),
+            2 => (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn leaves(t: &Tree) -> usize {
+    match t {
+        Tree::Leaf => 1,
+        Tree::Node(a, b) => leaves(a) + leaves(b),
+    }
+}
+
+/// Reduces singleton lists `[0], [1], …` according to the tree shape.
+fn reduce_by_tree(t: &Tree, next: &mut u32) -> Vec<u32> {
+    match t {
+        Tree::Leaf => {
+            let v = vec![*next];
+            *next += 1;
+            v
+        }
+        Tree::Node(a, b) => {
+            let m = ListAppend::<u32>::new();
+            let mut left = reduce_by_tree(a, next);
+            let right = reduce_by_tree(b, next);
+            m.reduce(&mut left, right);
+            left
+        }
+    }
+}
+
+proptest! {
+    /// Any reduction tree shape yields the left-to-right sequence — the
+    /// §5 guarantee that the runtime may reduce views at arbitrary sync
+    /// points without changing the outcome.
+    #[test]
+    fn any_parenthesization_preserves_order(t in tree_strategy()) {
+        let mut next = 0;
+        let reduced = reduce_by_tree(&t, &mut next);
+        let expected: Vec<u32> = (0..leaves(&t) as u32).collect();
+        prop_assert_eq!(reduced, expected);
+    }
+}

@@ -1,0 +1,149 @@
+//! Pool configuration.
+//!
+//! "When the runtime system starts up, it allocates as many operating-
+//! system threads, called *workers*, as there are processors (although the
+//! programmer can override this default decision)." — §3.2
+
+use std::fmt;
+
+/// What a worker does while waiting at a `join` for a stolen continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaitPolicy {
+    /// Steal other work while waiting (the Cilk protocol; default).
+    #[default]
+    StealBack,
+    /// Spin/yield without stealing (naive baseline, for the ablation bench).
+    SpinOnly,
+}
+
+/// Builder for a [`crate::ThreadPool`].
+///
+/// # Examples
+///
+/// ```
+/// use cilk_runtime::{Config, ThreadPool};
+///
+/// let pool = ThreadPool::with_config(Config::new().num_workers(2))?;
+/// assert_eq!(pool.num_workers(), 2);
+/// # Ok::<(), cilk_runtime::BuildPoolError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    pub(crate) num_workers: Option<usize>,
+    pub(crate) wait_policy: WaitPolicy,
+    pub(crate) thread_name_prefix: String,
+    pub(crate) stack_size: usize,
+}
+
+impl Config {
+    /// Creates the default configuration: one worker per available
+    /// processor, steal-back waiting.
+    pub fn new() -> Self {
+        Config {
+            num_workers: None,
+            wait_policy: WaitPolicy::default(),
+            thread_name_prefix: "cilk-worker".to_owned(),
+            // Fork-join recursion lives on the worker stack (Cilk++ used a
+            // cactus stack); default to a roomy 8 MiB.
+            stack_size: 8 * 1024 * 1024,
+        }
+    }
+
+    /// Overrides the number of workers (the paper's programmer override).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a pool needs at least one worker");
+        self.num_workers = Some(n);
+        self
+    }
+
+    /// Sets the wait policy used inside `join`.
+    pub fn wait_policy(mut self, policy: WaitPolicy) -> Self {
+        self.wait_policy = policy;
+        self
+    }
+
+    /// Sets the OS thread-name prefix for workers.
+    pub fn thread_name_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.thread_name_prefix = prefix.into();
+        self
+    }
+
+    /// Sets the stack size of each worker thread in bytes (default 8 MiB).
+    /// Deep spawn recursions consume worker stack; raise this rather than
+    /// coarsening the recursion if you hit the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "stack size must be positive");
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Resolves the worker count: explicit override or the machine's
+    /// available parallelism.
+    pub(crate) fn resolved_workers(&self) -> usize {
+        self.num_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        })
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Error returned when a pool's worker threads cannot be started.
+#[derive(Debug)]
+pub struct BuildPoolError {
+    pub(crate) source: std::io::Error,
+}
+
+impl fmt::Display for BuildPoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to spawn worker thread: {}", self.source)
+    }
+}
+
+impl std::error::Error for BuildPoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_resolves_to_available_parallelism() {
+        let c = Config::new();
+        assert!(c.resolved_workers() >= 1);
+    }
+
+    #[test]
+    fn override_wins() {
+        assert_eq!(Config::new().num_workers(5).resolved_workers(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Config::new().num_workers(0);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = BuildPoolError {
+            source: std::io::Error::other("nope"),
+        };
+        assert!(e.to_string().contains("worker thread"));
+    }
+}

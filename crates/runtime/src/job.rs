@@ -1,0 +1,346 @@
+//! Jobs: the units of stealable work stored in worker deques.
+//!
+//! A [`JobRef`] is a type-erased pointer to a job plus its execute
+//! function — the runtime analogue of the "activation frame" the paper
+//! describes being pushed onto the worker's stack at each spawn.
+
+use std::cell::UnsafeCell;
+use std::mem;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::latch::{CountLatch, Latch, Probe};
+use crate::unwind::{self, PanicPayload};
+
+/// A type whose instances can be executed as jobs.
+///
+/// # Safety
+///
+/// `execute` consumes the logical job; it must be called at most once per
+/// job instance, with a pointer produced by [`JobRef::new`].
+pub(crate) trait Job {
+    /// Executes the job.
+    ///
+    /// # Safety
+    ///
+    /// `this` must point to a live instance and must not be used afterwards.
+    unsafe fn execute(this: *const ());
+}
+
+/// A type-erased, `Copy`able reference to a job.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+impl PartialEq for JobRef {
+    fn eq(&self, other: &Self) -> bool {
+        // Data-pointer identity suffices: each live job has a unique
+        // address (function pointers are not compared; they may be
+        // duplicated or merged by the compiler).
+        std::ptr::eq(self.pointer, other.pointer)
+    }
+}
+
+impl Eq for JobRef {}
+
+// SAFETY: jobs are designed to be executed on other threads; the data they
+// point to is either heap-allocated or stack memory that outlives the job
+// (enforced by the latch protocol in `join` and `scope`).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Creates a job reference from a pointer to a [`Job`] implementor.
+    ///
+    /// # Safety
+    ///
+    /// `data` must remain valid until the job executes.
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        JobRef { pointer: data.cast(), execute_fn: T::execute }
+    }
+
+    /// Executes the job, consuming this reference.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once across all copies of this `JobRef`.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+}
+
+/// The tristate result slot of a [`StackJob`].
+pub(crate) enum JobResult<R> {
+    /// Not yet executed.
+    None,
+    /// Completed with a value.
+    Ok(R),
+    /// Panicked; the payload is resumed at the join point.
+    Panic(PanicPayload),
+}
+
+impl<R> JobResult<R> {
+    /// Consumes the result, resuming a captured panic if there was one.
+    ///
+    /// # Panics
+    ///
+    /// Panics (resumes) if the job panicked; panics if the job never ran.
+    pub(crate) fn into_return_value(self) -> R {
+        match self {
+            JobResult::None => unreachable!("job was never executed"),
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => unwind::resume_unwinding(p),
+        }
+    }
+}
+
+/// Sentinel meaning "no worker has executed this job yet".
+pub(crate) const NOT_EXECUTED: usize = usize::MAX;
+
+/// A job allocated on the stack of a `join` caller.
+///
+/// The caller guarantees (by waiting on `latch` before returning) that the
+/// job memory outlives any execution.
+pub(crate) struct StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce(bool) -> R + Send,
+    R: Send,
+{
+    /// Set when the job finishes (success or panic).
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    /// Index of the worker that executed the job, or [`NOT_EXECUTED`].
+    /// Lets the `join` caller detect migration (i.e. the job was stolen).
+    executed_on: AtomicUsize,
+    /// Index of the worker that pushed the job.
+    owner_index: usize,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce(bool) -> R + Send,
+    R: Send,
+{
+    /// Creates a stack job owned by worker `owner_index`.
+    ///
+    /// The closure receives `migrated: bool`, true when executed by a
+    /// different worker than the one that pushed it (a successful steal).
+    pub(crate) fn new(owner_index: usize, func: F, latch: L) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+            executed_on: AtomicUsize::new(NOT_EXECUTED),
+            owner_index,
+        }
+    }
+
+    /// Returns a type-erased reference to this job.
+    ///
+    /// # Safety
+    ///
+    /// The job must outlive the returned reference's execution; the caller
+    /// ensures this by waiting on `latch`.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Runs the job inline on the owner after a successful un-push
+    /// (the common, no-steal case), bypassing the latch.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the owner, and only when the job was popped
+    /// back before any thief executed it.
+    pub(crate) unsafe fn run_inline(self, current_worker: usize) -> R {
+        self.executed_on.store(current_worker, Ordering::Relaxed);
+        let func = (*self.func.get()).take().expect("job executed twice");
+        func(false)
+    }
+
+    /// Takes the result after the latch has been set.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called once, after `latch.probe()` is true.
+    pub(crate) unsafe fn into_result(self) -> R {
+        mem::replace(&mut *self.result.get(), JobResult::None).into_return_value()
+    }
+
+    /// The worker index that executed this job ([`NOT_EXECUTED`] if none).
+    #[cfg(test)]
+    pub(crate) fn executed_on(&self) -> usize {
+        self.executed_on.load(Ordering::Relaxed)
+    }
+}
+
+impl<L, F, R> Job for StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce(bool) -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const ()) {
+        let this = &*this.cast::<Self>();
+        let current = crate::registry::current_worker_index().unwrap_or(NOT_EXECUTED - 1);
+        this.executed_on.store(current, Ordering::Relaxed);
+        let migrated = current != this.owner_index;
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = match unwind::halt_unwinding(|| func(migrated)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        };
+        *this.result.get() = result;
+        // The latch set must be the last access: it releases the waiter.
+        Latch::set(&this.latch);
+    }
+}
+
+/// A heap-allocated job used by `scope::spawn`.
+///
+/// Completion is reported to the scope's [`CountLatch`]; panics are stashed
+/// in the scope's shared panic slot rather than unwinding the worker.
+pub(crate) struct HeapJob<F>
+where
+    F: FnOnce(bool) + Send,
+{
+    func: F,
+    owner_index: usize,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce(bool) + Send,
+{
+    /// Boxes a new heap job.
+    pub(crate) fn new(owner_index: usize, func: F) -> Box<Self> {
+        Box::new(HeapJob { func, owner_index })
+    }
+
+    /// Converts the box into a type-erased job reference.
+    ///
+    /// # Safety
+    ///
+    /// The returned `JobRef` must be executed exactly once, or the box
+    /// leaks.
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef::new(Box::into_raw(self))
+    }
+}
+
+impl<F> Job for HeapJob<F>
+where
+    F: FnOnce(bool) + Send,
+{
+    unsafe fn execute(this: *const ()) {
+        let this = Box::from_raw(this.cast::<Self>().cast_mut());
+        let current = crate::registry::current_worker_index().unwrap_or(NOT_EXECUTED - 1);
+        let migrated = current != this.owner_index;
+        (this.func)(migrated);
+    }
+}
+
+/// Shared state backing one `scope`: the counting latch plus the first
+/// captured panic (subsequent panics are dropped, like rayon and like the
+/// "first exception wins" rule of Cilk++ exception handling).
+pub(crate) struct ScopeState {
+    pub(crate) latch: CountLatch,
+    panic: UnsafeCell<Option<PanicPayload>>,
+    panicked: AtomicUsize,
+}
+
+// SAFETY: the panic slot is written at most once, guarded by the atomic
+// `panicked` flag; reads happen only after the count latch is set.
+unsafe impl Sync for ScopeState {}
+unsafe impl Send for ScopeState {}
+
+impl ScopeState {
+    pub(crate) fn new() -> Self {
+        ScopeState {
+            latch: CountLatch::new(),
+            panic: UnsafeCell::new(None),
+            panicked: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records a panic payload if it is the first.
+    pub(crate) fn capture_panic(&self, payload: PanicPayload) {
+        if self.panicked.swap(1, Ordering::AcqRel) == 0 {
+            // SAFETY: first (unique) writer, and readers wait for the latch.
+            unsafe { *self.panic.get() = Some(payload) };
+        }
+    }
+
+    /// Takes the captured panic, if any. Call only after the latch is set.
+    pub(crate) fn take_panic(&self) -> Option<PanicPayload> {
+        debug_assert!(self.latch.probe());
+        if self.panicked.load(Ordering::Acquire) == 1 {
+            // SAFETY: latch set implies all writers finished.
+            unsafe { (*self.panic.get()).take() }
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latch::CoreLatch;
+
+    #[test]
+    fn stack_job_runs_and_stores_result() {
+        let job = StackJob::new(0, |migrated| if migrated { 1 } else { 2 }, CoreLatch::new());
+        let job_ref = unsafe { job.as_job_ref() };
+        assert_eq!(job.executed_on(), NOT_EXECUTED);
+        unsafe { job_ref.execute() };
+        assert!(job.latch.probe());
+        assert_ne!(job.executed_on(), NOT_EXECUTED);
+        // Executed outside any worker: counts as migrated.
+        assert_eq!(unsafe { job.into_result() }, 1);
+    }
+
+    #[test]
+    fn stack_job_inline_run_is_not_migrated() {
+        let job = StackJob::new(7, |migrated| migrated, CoreLatch::new());
+        assert!(!unsafe { job.run_inline(7) });
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job: StackJob<CoreLatch, _, ()> =
+            StackJob::new(0, |_| panic!("inner"), CoreLatch::new());
+        let job_ref = unsafe { job.as_job_ref() };
+        unsafe { job_ref.execute() };
+        assert!(job.latch.probe());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            job.into_result()
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn heap_job_executes_once() {
+        use std::sync::atomic::AtomicUsize;
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        let job = HeapJob::new(0, |_| {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+        });
+        let job_ref = unsafe { job.into_job_ref() };
+        unsafe { job_ref.execute() };
+        assert_eq!(RUNS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_state_first_panic_wins() {
+        let st = ScopeState::new();
+        st.capture_panic(Box::new("first"));
+        st.capture_panic(Box::new("second"));
+        st.latch.decrement();
+        let p = st.take_panic().expect("panic stored");
+        assert_eq!(*p.downcast_ref::<&str>().expect("str"), "first");
+    }
+}

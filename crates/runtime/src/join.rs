@@ -1,0 +1,185 @@
+//! `join`: the primitive fork-join construct.
+//!
+//! `join(a, b)` is the runtime form of
+//!
+//! ```text
+//! cilk_spawn a();
+//! b();
+//! cilk_sync;
+//! ```
+//!
+//! with the Cilk++ *work-first* discipline: the calling worker executes `a`
+//! immediately and pushes `b` (the continuation) onto the bottom of its
+//! deque, where a thief may steal it from the top. If nobody steals `b`,
+//! the worker pops it back and runs it inline — the common case, which the
+//! paper credits for the runtime's "negligible overhead (less than 2%)" on
+//! one processor.
+
+use crate::job::StackJob;
+use crate::latch::{CoreLatch, Probe};
+use crate::registry::WorkerThread;
+use crate::unwind;
+
+/// Context passed to the closures of [`join_context`].
+#[derive(Debug, Clone, Copy)]
+pub struct JoinContext {
+    migrated: bool,
+}
+
+impl JoinContext {
+    /// Whether this closure is executing on a different worker than the one
+    /// that called `join` — i.e. whether the continuation was stolen.
+    ///
+    /// Reducer hyperobjects use this to decide when a fresh view must be
+    /// created (§5 of the paper; see the `cilk-hyper` crate).
+    pub fn migrated(&self) -> bool {
+        self.migrated
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// Semantically equivalent to `(a(), b())` — the *serial elision*. `a`
+/// executes on the calling worker; `b` may be stolen by an idle worker.
+///
+/// # Panics
+///
+/// If either closure panics, the panic is resumed by `join` after both
+/// closures have come to rest. If both panic, `a`'s panic wins.
+///
+/// # Examples
+///
+/// ```
+/// let (a, b) = cilk_runtime::join(|| 1 + 1, || 2 + 2);
+/// assert_eq!((a, b), (2, 4));
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    join_context(|_| a(), |_| b())
+}
+
+/// Like [`join`], but the closures receive a [`JoinContext`] that reports
+/// whether they migrated to another worker.
+pub fn join_context<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce(JoinContext) -> RA + Send,
+    B: FnOnce(JoinContext) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    crate::in_worker(move |wt| unsafe { join_on_worker(wt, a, b) })
+}
+
+/// The worker-side implementation of `join_context`.
+///
+/// # Safety
+///
+/// Must be called on a worker thread; `wt` must be the current worker.
+unsafe fn join_on_worker<A, B, RA, RB>(wt: &WorkerThread, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce(JoinContext) -> RA + Send,
+    B: FnOnce(JoinContext) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = wt.registry();
+    registry.counters.spawns.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    wt.bump_depth();
+
+    let job_b = StackJob::new(
+        wt.index(),
+        |migrated| b(JoinContext { migrated }),
+        CoreLatch::new(),
+    );
+    let job_b_ref = job_b.as_job_ref();
+    wt.push(job_b_ref);
+
+    // Execute `a` on this worker (work-first).
+    let status_a = unwind::halt_unwinding(|| a(JoinContext { migrated: false }));
+
+    // Now resolve `b`: pop it back if it is still ours, otherwise help out
+    // until the thief finishes it.
+    let result_b = loop {
+        if job_b.latch.probe() {
+            break job_b.into_result();
+        }
+        if let Some(job) = wt.take_local_job() {
+            if job == job_b_ref {
+                // Nobody stole it: run inline without touching the latch.
+                registry
+                    .counters
+                    .inline_pops
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                break job_b.run_inline(wt.index());
+            }
+            // Some other local job (e.g. a scope spawn pushed by `a`): it
+            // is deeper in the serial order, so execute it now.
+            wt.execute(job);
+            continue;
+        }
+        // `b` was stolen; steal back other work while we wait.
+        wt.wait_until(&job_b.latch);
+    };
+
+    wt.drop_depth();
+
+    match status_a {
+        Ok(result_a) => (result_a, result_b),
+        Err(panic_a) => {
+            // `b` has already come to rest (we hold its result); propagate
+            // `a`'s panic, discarding `b`'s result.
+            drop(result_b);
+            unwind::resume_unwinding(panic_a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| "left", || "right");
+        assert_eq!((a, b), ("left", "right"));
+    }
+
+    #[test]
+    fn join_nested() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(15), 610);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_a() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| panic!("a dies"), || 42)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| 42, || panic!("b dies"))
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_context_reports_not_migrated_for_a() {
+        let (ma, _mb) = join_context(|ctx| ctx.migrated(), |ctx| ctx.migrated());
+        assert!(!ma, "the left branch always runs on the calling worker");
+    }
+}

@@ -1,0 +1,291 @@
+//! # cilk-runtime: a work-stealing fork-join runtime
+//!
+//! This crate reproduces the Cilk++ runtime system described in §3 of
+//! Leiserson, *The Cilk++ concurrency platform* (DAC 2009): a pool of
+//! worker threads, one per processor, each with a work-stealing deque.
+//! Spawned work is pushed on the bottom of the local deque; idle workers
+//! become thieves and steal from the top of a random victim's deque.
+//!
+//! The public surface mirrors the three-keyword programming model:
+//!
+//! * [`join`] / [`join_context`] — `cilk_spawn` + `cilk_sync` of two
+//!   branches (the child runs immediately, the continuation is stealable);
+//! * [`scope`] — a dynamic set of spawns with the implicit sync every Cilk
+//!   function performs before returning;
+//! * [`for_each_index`] / [`map_reduce_index`] — `cilk_for`, implemented
+//!   as divide-and-conquer recursion over the iteration space, exactly as
+//!   the paper describes.
+//!
+//! A [`ThreadPool`] may be constructed explicitly (e.g. to override the
+//! worker count, as the paper allows), or the lazily created global pool
+//! is used.
+//!
+//! # Example
+//!
+//! ```
+//! fn fib(n: u64) -> u64 {
+//!     if n < 2 {
+//!         return n;
+//!     }
+//!     let (a, b) = cilk_runtime::join(|| fib(n - 1), || fib(n - 2));
+//!     a + b
+//! }
+//! assert_eq!(fib(20), 6765);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod job;
+mod join;
+mod latch;
+mod metrics;
+mod parallel_for;
+mod registry;
+mod scope;
+mod unwind;
+
+pub use config::{BuildPoolError, Config, WaitPolicy};
+pub use join::{join, join_context, JoinContext};
+pub use metrics::MetricsSnapshot;
+pub use parallel_for::{for_each_index, for_each_slice_mut, map_reduce_index, Grain};
+pub use scope::{scope, Scope, TaskContext};
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use registry::Registry;
+
+/// A pool of worker threads executing fork-join computations.
+///
+/// Dropping the pool signals termination and joins all workers.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_runtime::{Config, ThreadPool};
+///
+/// let pool = ThreadPool::with_config(Config::new().num_workers(2))?;
+/// let sum = pool.install(|| {
+///     let (a, b) = cilk_runtime::join(|| 21, || 21);
+///     a + b
+/// });
+/// assert_eq!(sum, 42);
+/// # Ok::<(), cilk_runtime::BuildPoolError>(())
+/// ```
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with default configuration (one worker per
+    /// processor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPoolError`] if worker threads cannot be spawned.
+    pub fn new() -> Result<ThreadPool, BuildPoolError> {
+        Self::with_config(Config::new())
+    }
+
+    /// Creates a pool from an explicit [`Config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPoolError`] if worker threads cannot be spawned.
+    pub fn with_config(config: Config) -> Result<ThreadPool, BuildPoolError> {
+        let (registry, handles) = Registry::new(&config)?;
+        Ok(ThreadPool { registry, handles: Mutex::new(handles) })
+    }
+
+    /// Number of workers in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.registry.num_workers()
+    }
+
+    /// Executes `op` inside the pool, blocking until it returns. Any
+    /// [`join`]/[`scope`]/[`for_each_index`] calls made by `op` run on this
+    /// pool's workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.registry.in_worker(|_| op())
+    }
+
+    /// A snapshot of the pool's scheduling counters (steals, spawns, deque
+    /// and depth high-watermarks).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.metrics()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles lock poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_workers", &self.num_workers())
+            .finish_non_exhaustive()
+    }
+}
+
+static GLOBAL_REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The global registry, created on first use with default configuration.
+/// Worker threads of the global pool live for the process lifetime.
+fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL_REGISTRY.get_or_init(|| {
+        let (registry, _handles) =
+            Registry::new(&Config::new()).expect("failed to start global cilk runtime");
+        // Global workers are intentionally detached.
+        registry
+    })
+}
+
+/// Runs `op` on the current worker thread if there is one, otherwise on the
+/// global pool.
+pub(crate) fn in_worker<OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&registry::WorkerThread) -> R + Send,
+    R: Send,
+{
+    unsafe {
+        let current = registry::WorkerThread::current();
+        if !current.is_null() {
+            return op(&*current);
+        }
+    }
+    global_registry().in_worker(op)
+}
+
+/// The number of workers in the pool associated with the current thread
+/// (the enclosing pool for worker threads, the global pool otherwise).
+pub fn current_num_workers() -> usize {
+    unsafe {
+        let current = registry::WorkerThread::current();
+        if !current.is_null() {
+            return (*current).registry().num_workers();
+        }
+    }
+    global_registry().num_workers()
+}
+
+/// Metrics of the global pool (creating it if necessary).
+pub fn global_metrics() -> MetricsSnapshot {
+    global_registry().metrics()
+}
+
+/// The index of the worker executing the caller, or `None` on threads
+/// outside any pool. Useful for per-worker scratch arrays.
+pub fn current_worker_index() -> Option<usize> {
+    registry::current_worker_index()
+}
+
+/// The current `join` nesting depth of the calling worker (0 on non-pool
+/// threads). Backs the paper's stack-space accounting experiment.
+pub fn current_depth() -> usize {
+    unsafe {
+        let current = registry::WorkerThread::current();
+        if current.is_null() {
+            0
+        } else {
+            (*current).depth()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn worker_index_visible_inside_pool() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+        assert_eq!(current_worker_index(), None);
+        let idx = pool.install(current_worker_index);
+        assert!(idx.is_some_and(|i| i < 2));
+    }
+
+    #[test]
+    fn pool_installs_and_drops() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+        let v = pool.install(|| 7);
+        assert_eq!(v, 7);
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_runs_parallel_for() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(3)).expect("pool");
+        let count = AtomicUsize::new(0);
+        pool.install(|| {
+            for_each_index(0..1000, Grain::Explicit(10), |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn metrics_record_activity() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+        pool.install(|| {
+            for_each_index(0..10_000, Grain::Explicit(8), |_| {});
+        });
+        let m = pool.metrics();
+        assert!(m.spawns > 0, "joins should record spawns: {m:?}");
+        // Every continuation is resolved by a steal, an inline pop-back,
+        // or (rarely) a local pop during a wait loop, so the first two
+        // never exceed the spawn count.
+        assert!(
+            m.steals + m.inline_pops <= m.spawns,
+            "steal/pop accounting exceeded spawns: {m:?}"
+        );
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(1)).expect("pool");
+        let total: u64 = pool.install(|| {
+            map_reduce_index(0..1000, Grain::Auto, || 0u64, |i| i as u64, |a, b| a + b)
+        });
+        assert_eq!(total, 499_500);
+        let m = pool.metrics();
+        assert_eq!(m.steals, 0, "one worker can never steal");
+    }
+
+    #[test]
+    fn nested_installs_compose() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+        let v = pool.install(|| {
+            let (a, b) = join(
+                || map_reduce_index(0..100, Grain::Auto, || 0u64, |i| i as u64, |a, b| a + b),
+                || map_reduce_index(0..100, Grain::Auto, || 0u64, |i| i as u64, |a, b| a + b),
+            );
+            a + b
+        });
+        assert_eq!(v, 4950 * 2);
+    }
+
+    #[test]
+    fn depth_tracking_grows_with_log_n() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+        pool.install(|| {
+            for_each_index(0..1 << 12, Grain::Explicit(1), |_| {});
+        });
+        let m = pool.metrics();
+        assert!(m.depth_high_watermark >= 12, "depth {m:?}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Runtime metrics: steal counts, spawn counts, and depth high-watermarks.
+//!
+//! These counters back the paper's quantitative claims about the runtime:
+//! steals are infrequent when parallelism is ample (§3.2), and space
+//! consumption is bounded — "on P processors, a Cilk++ program consumes at
+//! most P times the stack space of a single-processor execution" (§3.1).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Atomically tracked counters for one registry (thread pool).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    /// Successful steals of a job from another worker's deque.
+    pub(crate) steals: AtomicU64,
+    /// Failed steal attempts (victim empty or lost CAS race).
+    pub(crate) failed_steals: AtomicU64,
+    /// Jobs pushed by `join` (the stealable continuations).
+    pub(crate) spawns: AtomicU64,
+    /// Jobs pushed by `scope::spawn`.
+    pub(crate) scope_spawns: AtomicU64,
+    /// Jobs injected from outside the pool.
+    pub(crate) injections: AtomicU64,
+    /// Jobs the owner popped back and ran inline (no steal happened).
+    pub(crate) inline_pops: AtomicU64,
+    /// High-watermark of any single worker's deque length.
+    pub(crate) deque_high_watermark: AtomicUsize,
+    /// High-watermark of `join` nesting depth on any worker.
+    pub(crate) depth_high_watermark: AtomicUsize,
+}
+
+impl Counters {
+    pub(crate) fn record_deque_len(&self, len: usize) {
+        self.deque_high_watermark.fetch_max(len, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_depth(&self, depth: usize) {
+        self.depth_high_watermark.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of a pool's counters.
+///
+/// Obtain one from [`crate::ThreadPool::metrics`]. All counts are
+/// cumulative since pool creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Successful steals.
+    pub steals: u64,
+    /// Steal attempts that found the victim empty or lost a race.
+    pub failed_steals: u64,
+    /// Continuations made available to thieves by `join`.
+    pub spawns: u64,
+    /// Tasks spawned through a `scope`.
+    pub scope_spawns: u64,
+    /// Jobs injected from non-pool threads.
+    pub injections: u64,
+    /// Continuations popped back and run inline by their owner.
+    pub inline_pops: u64,
+    /// Maximum observed deque length on any worker.
+    pub deque_high_watermark: usize,
+    /// Maximum observed `join` nesting depth on any worker.
+    pub depth_high_watermark: usize,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of spawned continuations that were actually stolen.
+    ///
+    /// The paper's §3.2 argument is that this ratio is small whenever the
+    /// parallelism of the application comfortably exceeds the worker count.
+    pub fn steal_ratio(&self) -> f64 {
+        if self.spawns == 0 {
+            0.0
+        } else {
+            self.steals as f64 / self.spawns as f64
+        }
+    }
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            steals: self.steals.load(Ordering::Relaxed),
+            failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            spawns: self.spawns.load(Ordering::Relaxed),
+            scope_spawns: self.scope_spawns.load(Ordering::Relaxed),
+            injections: self.injections.load(Ordering::Relaxed),
+            inline_pops: self.inline_pops.load(Ordering::Relaxed),
+            deque_high_watermark: self.deque_high_watermark.load(Ordering::Relaxed),
+            depth_high_watermark: self.depth_high_watermark.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = Counters::default();
+        c.steals.fetch_add(3, Ordering::Relaxed);
+        c.spawns.fetch_add(12, Ordering::Relaxed);
+        c.record_deque_len(5);
+        c.record_deque_len(2);
+        c.record_depth(9);
+        let s = c.snapshot();
+        assert_eq!(s.steals, 3);
+        assert_eq!(s.spawns, 12);
+        assert_eq!(s.deque_high_watermark, 5);
+        assert_eq!(s.depth_high_watermark, 9);
+        assert!((s.steal_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steal_ratio_zero_when_no_spawns() {
+        assert_eq!(MetricsSnapshot::default().steal_ratio(), 0.0);
+    }
+}

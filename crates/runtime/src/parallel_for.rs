@@ -1,0 +1,250 @@
+//! `parallel_for`: the runtime form of the paper's `cilk_for` keyword.
+//!
+//! "A `cilk_for` can be viewed as divide-and-conquer parallel recursion
+//! using `cilk_spawn` and `cilk_sync` over the iteration space." (§2)
+//! That is literally how this module implements it: ranges are split in
+//! half with [`crate::join`] until they reach the grain size, then iterated
+//! serially.
+
+use std::ops::Range;
+
+use crate::join;
+
+/// Grain-size policy for loop parallelization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Grain {
+    /// Cilk++-style automatic grain: `clamp(n / (8 * P), 1, 2048)`.
+    ///
+    /// Small enough for ample parallelism, large enough to amortize spawn
+    /// overhead.
+    #[default]
+    Auto,
+    /// A fixed number of iterations per leaf.
+    Explicit(usize),
+}
+
+impl Grain {
+    /// Resolves the policy for a loop of `n` iterations on `workers`
+    /// workers.
+    pub fn resolve(self, n: usize, workers: usize) -> usize {
+        match self {
+            Grain::Auto => (n / (8 * workers.max(1))).clamp(1, 2048),
+            Grain::Explicit(g) => g.max(1),
+        }
+    }
+}
+
+/// Applies `body` to every index in `range`, potentially in parallel.
+///
+/// Iterations are distributed by divide-and-conquer, so the spawn *depth*
+/// is O(log n) and queue lengths stay bounded — the paper's argument for
+/// why `cilk_for` does not "blow out physical memory" the way naive
+/// task-per-iteration queues do (§3.1).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let sum = AtomicU64::new(0);
+/// cilk_runtime::for_each_index(0..100, cilk_runtime::Grain::Auto, |i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 4950);
+/// ```
+pub fn for_each_index<F>(range: Range<usize>, grain: Grain, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.end.saturating_sub(range.start);
+    if n == 0 {
+        return;
+    }
+    let workers = crate::current_num_workers();
+    let grain = grain.resolve(n, workers);
+    recurse_for(range, grain, &body);
+}
+
+fn recurse_for<F>(range: Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.end - range.start;
+    if n <= grain {
+        for i in range {
+            body(i);
+        }
+        return;
+    }
+    let mid = range.start + n / 2;
+    join(
+        || recurse_for(range.start..mid, grain, body),
+        || recurse_for(mid..range.end, grain, body),
+    );
+}
+
+/// Maps every index in `range` through `map` and folds the results with
+/// `reduce`, starting from `identity` in each leaf.
+///
+/// `reduce` must be associative and `identity` must be its identity for
+/// the result to be independent of the dynamic schedule — the same
+/// requirement the paper's reducer hyperobjects impose.
+///
+/// # Examples
+///
+/// ```
+/// let total = cilk_runtime::map_reduce_index(
+///     0..1000,
+///     cilk_runtime::Grain::Auto,
+///     || 0u64,
+///     |i| i as u64,
+///     |a, b| a + b,
+/// );
+/// assert_eq!(total, 499_500);
+/// ```
+pub fn map_reduce_index<T, ID, M, R>(
+    range: Range<usize>,
+    grain: Grain,
+    identity: ID,
+    map: M,
+    reduce: R,
+) -> T
+where
+    T: Send,
+    ID: Fn() -> T + Sync,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let n = range.end.saturating_sub(range.start);
+    if n == 0 {
+        return identity();
+    }
+    let workers = crate::current_num_workers();
+    let grain = grain.resolve(n, workers);
+    recurse_map_reduce(range, grain, &identity, &map, &reduce)
+}
+
+fn recurse_map_reduce<T, ID, M, R>(
+    range: Range<usize>,
+    grain: usize,
+    identity: &ID,
+    map: &M,
+    reduce: &R,
+) -> T
+where
+    T: Send,
+    ID: Fn() -> T + Sync,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let n = range.end - range.start;
+    if n <= grain {
+        let mut acc = identity();
+        for i in range {
+            acc = reduce(acc, map(i));
+        }
+        return acc;
+    }
+    let mid = range.start + n / 2;
+    let (left, right) = join(
+        || recurse_map_reduce(range.start..mid, grain, identity, map, reduce),
+        || recurse_map_reduce(mid..range.end, grain, identity, map, reduce),
+    );
+    reduce(left, right)
+}
+
+/// Applies `body` to disjoint chunks of `data`, potentially in parallel.
+///
+/// Chunks are produced by recursive halving down to `grain` elements, so
+/// the slices handed to `body` partition `data` exactly.
+pub fn for_each_slice_mut<T, F>(data: &mut [T], grain: Grain, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let workers = crate::current_num_workers();
+    let grain = grain.resolve(n, workers);
+    recurse_slice(data, 0, grain, &body);
+}
+
+fn recurse_slice<T, F>(data: &mut [T], offset: usize, grain: usize, body: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n <= grain {
+        body(offset, data);
+        return;
+    }
+    let mid = n / 2;
+    let (lo, hi) = data.split_at_mut(mid);
+    join(
+        || recurse_slice(lo, offset, grain, body),
+        || recurse_slice(hi, offset + mid, grain, body),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn grain_auto_bounds() {
+        assert_eq!(Grain::Auto.resolve(0, 4), 1);
+        assert_eq!(Grain::Auto.resolve(100, 4), 3);
+        assert_eq!(Grain::Auto.resolve(10_000_000, 4), 2048);
+        assert_eq!(Grain::Explicit(0).resolve(100, 4), 1);
+        assert_eq!(Grain::Explicit(64).resolve(100, 4), 64);
+    }
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for_each_index(0..n, Grain::Explicit(16), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let count = AtomicU64::new(0);
+        for_each_index(5..5, Grain::Auto, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let total =
+            map_reduce_index(0..100_000, Grain::Auto, || 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn map_reduce_empty_is_identity() {
+        let v = map_reduce_index(3..3, Grain::Auto, || 7u64, |_| 0, |a, b| a + b);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn slice_chunks_partition_exactly() {
+        let mut data = vec![0u32; 4096];
+        for_each_slice_mut(&mut data, Grain::Explicit(100), |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (offset + i) as u32;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! The registry: worker threads, their deques, stealing, and sleeping.
+//!
+//! This is the scheduler of §3.2 of the paper: each worker owns a deque
+//! used as a stack ("the worker operating on the bottom and thieves
+//! stealing from the top"); a worker that runs out of work becomes a thief
+//! and steals the top frame from a randomly chosen victim. All
+//! communication and synchronization is incurred only when a worker runs
+//! out of work.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use cilk_deque::{Steal, Stealer, Worker};
+
+use crate::config::{BuildPoolError, Config, WaitPolicy};
+use crate::job::{JobRef, StackJob};
+use crate::latch::{LockLatch, Probe};
+use crate::latch::Latch;
+use crate::metrics::{Counters, MetricsSnapshot};
+
+/// Owner index used for jobs injected from outside the pool; never equal to
+/// a real worker index, so injected jobs always count as "migrated".
+pub(crate) const INJECTED_OWNER: usize = usize::MAX - 7;
+
+/// Per-worker bookkeeping visible to the whole registry.
+struct ThreadInfo {
+    stealer: Stealer<JobRef>,
+}
+
+/// Condvar-based sleep state for idle workers.
+struct Sleep {
+    mutex: Mutex<()>,
+    cvar: Condvar,
+    sleepers: AtomicUsize,
+}
+
+/// Shared state of one thread pool.
+pub(crate) struct Registry {
+    thread_infos: Vec<ThreadInfo>,
+    injected: Mutex<VecDeque<JobRef>>,
+    sleep: Sleep,
+    terminate: AtomicBool,
+    pub(crate) counters: Counters,
+    pub(crate) wait_policy: WaitPolicy,
+}
+
+// SAFETY: `JobRef`s in the injected queue are `Send`; everything else is
+// composed of sync primitives.
+unsafe impl Send for Registry {}
+unsafe impl Sync for Registry {}
+
+impl Registry {
+    /// Builds the registry and starts its worker threads.
+    pub(crate) fn new(
+        config: &Config,
+    ) -> Result<(Arc<Registry>, Vec<JoinHandle<()>>), BuildPoolError> {
+        let n = config.resolved_workers();
+        let mut deques = Vec::with_capacity(n);
+        let mut infos = Vec::with_capacity(n);
+        for _ in 0..n {
+            let deque = cilk_deque::Deque::new();
+            infos.push(ThreadInfo { stealer: deque.stealer() });
+            deques.push(deque.into_worker());
+        }
+        let registry = Arc::new(Registry {
+            thread_infos: infos,
+            injected: Mutex::new(VecDeque::new()),
+            sleep: Sleep {
+                mutex: Mutex::new(()),
+                cvar: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            },
+            terminate: AtomicBool::new(false),
+            counters: Counters::default(),
+            wait_policy: config.wait_policy,
+        });
+        let mut handles = Vec::with_capacity(n);
+        for (index, deque) in deques.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let name = format!("{}-{}", config.thread_name_prefix, index);
+            let handle = thread::Builder::new()
+                .name(name)
+                .stack_size(config.stack_size)
+                .spawn(move || {
+                    let worker = WorkerThread {
+                        deque,
+                        index,
+                        registry,
+                        rng_state: Cell::new(0x9E37_79B9_7F4A_7C15u64 ^ (index as u64 + 1)),
+                        depth: Cell::new(0),
+                    };
+                    worker.main_loop();
+                })
+                .map_err(|source| BuildPoolError { source })?;
+            handles.push(handle);
+        }
+        Ok((registry, handles))
+    }
+
+    /// Number of workers in this pool.
+    pub(crate) fn num_workers(&self) -> usize {
+        self.thread_infos.len()
+    }
+
+    /// Snapshot of the pool counters.
+    pub(crate) fn metrics(&self) -> MetricsSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Queues a job from outside the pool and wakes a worker.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injected
+            .lock()
+            .expect("injector lock poisoned")
+            .push_back(job);
+        self.counters.injections.fetch_add(1, Ordering::Relaxed);
+        self.wake_all();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        self.injected
+            .lock()
+            .expect("injector lock poisoned")
+            .pop_front()
+    }
+
+    /// Wakes sleeping workers if there might be any.
+    pub(crate) fn wake_all(&self) {
+        if self.sleep.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.mutex.lock().expect("sleep lock poisoned");
+            self.sleep.cvar.notify_all();
+        }
+    }
+
+    /// Signals workers to exit once their work is drained.
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+        let _guard = self.sleep.mutex.lock().expect("sleep lock poisoned");
+        self.sleep.cvar.notify_all();
+    }
+
+    /// Runs `op` on a worker of this pool: directly if the current thread
+    /// is already a pool worker, otherwise by injecting a job and blocking.
+    pub(crate) fn in_worker<OP, R>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        unsafe {
+            let current = WorkerThread::current();
+            if !current.is_null() {
+                // Already on a worker thread (of this or another pool);
+                // run in place. Cross-pool installs execute on the calling
+                // pool, which preserves the paper's composability property.
+                return op(&*current);
+            }
+            let latch = LockLatch::new();
+            let job = StackJob::new(
+                INJECTED_OWNER,
+                |_migrated| {
+                    let wt = WorkerThread::current();
+                    debug_assert!(!wt.is_null(), "injected job must run on a worker");
+                    op(&*wt)
+                },
+                LatchRef { latch: &latch },
+            );
+            self.inject(job.as_job_ref());
+            latch.wait();
+            job.into_result()
+        }
+    }
+}
+
+/// A [`Latch`] implementation that delegates to a borrowed latch, letting a
+/// stack-allocated [`LockLatch`] be shared with a [`StackJob`].
+pub(crate) struct LatchRef<'a, L: Latch> {
+    latch: &'a L,
+}
+
+impl<L: Latch> Latch for LatchRef<'_, L> {
+    unsafe fn set(this: *const Self) {
+        Latch::set((*this).latch as *const L);
+    }
+}
+
+thread_local! {
+    static WORKER_THREAD: Cell<*const WorkerThread> = const { Cell::new(ptr::null()) };
+}
+
+/// Returns the index of the current worker thread, if any.
+pub(crate) fn current_worker_index() -> Option<usize> {
+    let ptr = WorkerThread::current();
+    if ptr.is_null() {
+        None
+    } else {
+        // SAFETY: the pointer is set for the lifetime of `main_loop`.
+        Some(unsafe { (*ptr).index })
+    }
+}
+
+/// State owned by a single worker thread. Lives on that thread's stack for
+/// the duration of [`WorkerThread::main_loop`] and is reachable through a
+/// thread-local pointer.
+pub(crate) struct WorkerThread {
+    deque: Worker<JobRef>,
+    index: usize,
+    registry: Arc<Registry>,
+    rng_state: Cell<u64>,
+    depth: Cell<usize>,
+}
+
+impl WorkerThread {
+    /// The current thread's worker pointer (null on non-pool threads).
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER_THREAD.with(Cell::get)
+    }
+
+    /// This worker's index within its pool.
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The registry this worker belongs to.
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Current `join` nesting depth on this worker.
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.get()
+    }
+
+    pub(crate) fn bump_depth(&self) -> usize {
+        let d = self.depth.get() + 1;
+        self.depth.set(d);
+        self.registry.counters.record_depth(d);
+        d
+    }
+
+    pub(crate) fn drop_depth(&self) {
+        self.depth.set(self.depth.get().saturating_sub(1));
+    }
+
+    /// Pushes a stealable job onto the bottom of this worker's deque.
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job);
+        self.registry.counters.record_deque_len(self.deque.len());
+        self.registry.wake_all();
+    }
+
+    /// Pops the most recent local job, if any.
+    pub(crate) fn take_local_job(&self) -> Option<JobRef> {
+        self.deque.pop()
+    }
+
+    /// xorshift64* PRNG for victim selection.
+    fn next_random(&self) -> u64 {
+        let mut x = self.rng_state.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// One full round of steal attempts over random victims.
+    fn steal(&self) -> Option<JobRef> {
+        let n = self.registry.num_workers();
+        if n <= 1 {
+            return None;
+        }
+        loop {
+            let mut retry = false;
+            let start = (self.next_random() as usize) % n;
+            for offset in 0..n {
+                let victim = (start + offset) % n;
+                if victim == self.index {
+                    continue;
+                }
+                match self.registry.thread_infos[victim].stealer.steal() {
+                    Steal::Success(job) => {
+                        self.registry.counters.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Retry => {
+                        retry = true;
+                        self.registry
+                            .counters
+                            .failed_steals
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {
+                        self.registry
+                            .counters
+                            .failed_steals
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if !retry {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Finds work: local deque first, then stealing, then the injector.
+    pub(crate) fn find_work(&self) -> Option<JobRef> {
+        self.take_local_job()
+            .or_else(|| self.steal())
+            .or_else(|| self.registry.pop_injected())
+    }
+
+    /// Executes one job.
+    ///
+    /// # Safety
+    ///
+    /// `job` must not have been executed before.
+    pub(crate) unsafe fn execute(&self, job: JobRef) {
+        job.execute();
+    }
+
+    /// Busy-waits for `latch`, executing other work meanwhile (the thief
+    /// protocol) or merely yielding, per the pool's [`WaitPolicy`].
+    pub(crate) fn wait_until<L: Probe>(&self, latch: &L) {
+        let steal_back = matches!(self.registry.wait_policy, WaitPolicy::StealBack);
+        let mut idle_spins = 0u32;
+        while !latch.probe() {
+            if steal_back {
+                if let Some(job) = self.find_work() {
+                    // SAFETY: jobs from deques/injector are executed once.
+                    unsafe { self.execute(job) };
+                    idle_spins = 0;
+                    continue;
+                }
+            }
+            idle_spins += 1;
+            if idle_spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                thread::yield_now();
+            }
+        }
+    }
+
+    /// The worker's top-level scheduling loop.
+    fn main_loop(self) {
+        WORKER_THREAD.with(|cell| cell.set(&self as *const WorkerThread));
+        loop {
+            if let Some(job) = self.find_work() {
+                // SAFETY: jobs are executed exactly once.
+                unsafe { self.execute(job) };
+                continue;
+            }
+            if self.registry.terminate.load(Ordering::SeqCst) {
+                break;
+            }
+            self.sleep();
+        }
+        WORKER_THREAD.with(|cell| cell.set(ptr::null()));
+    }
+
+    /// Parks this worker until new work might exist. A bounded timeout
+    /// guards against any lost-wakeup window.
+    fn sleep(&self) {
+        let sleep = &self.registry.sleep;
+        sleep.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let guard = sleep.mutex.lock().expect("sleep lock poisoned");
+            // Re-check for work under the lock: any producer that published
+            // before we registered as a sleeper is visible now.
+            let have_work = !self
+                .registry
+                .injected
+                .lock()
+                .expect("injector lock poisoned")
+                .is_empty()
+                || self
+                    .registry
+                    .thread_infos
+                    .iter()
+                    .any(|info| !info.stealer.is_empty())
+                || self.registry.terminate.load(Ordering::SeqCst);
+            if !have_work {
+                let _ = sleep
+                    .cvar
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("sleep lock poisoned");
+            }
+        }
+        sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_starts_and_terminates() {
+        let config = Config::new().num_workers(2);
+        let (registry, handles) = Registry::new(&config).expect("spawn workers");
+        assert_eq!(registry.num_workers(), 2);
+        registry.terminate();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    }
+
+    #[test]
+    fn in_worker_runs_op_on_pool_thread() {
+        let config = Config::new().num_workers(2);
+        let (registry, handles) = Registry::new(&config).expect("spawn workers");
+        let idx = registry.in_worker(|wt| wt.index());
+        assert!(idx < 2);
+        registry.terminate();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    }
+
+    #[test]
+    fn injected_jobs_count() {
+        let config = Config::new().num_workers(1);
+        let (registry, handles) = Registry::new(&config).expect("spawn workers");
+        registry.in_worker(|_| ());
+        assert!(registry.metrics().injections >= 1);
+        registry.terminate();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! `scope`: structured task parallelism with an implicit sync.
+//!
+//! A scope models a Cilk function body: tasks spawned inside it may run in
+//! parallel, and the scope does not return until all of them complete —
+//! the paper's "every Cilk function syncs implicitly before it returns".
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::job::{HeapJob, ScopeState};
+use crate::registry::WorkerThread;
+use crate::unwind;
+
+/// Context passed to closures spawned with [`Scope::spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct TaskContext {
+    migrated: bool,
+    seq: u64,
+}
+
+impl TaskContext {
+    /// Whether the task executed on a worker other than the spawner.
+    pub fn migrated(&self) -> bool {
+        self.migrated
+    }
+
+    /// The task's spawn sequence number within its scope (0-based, in
+    /// program spawn order). Reducer hyperobjects use this to merge views
+    /// deterministically in serial order.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// A scope in which tasks can be spawned; see [`scope`].
+pub struct Scope<'scope> {
+    state: *const ScopeState,
+    seq: AtomicU64,
+    owner_index: usize,
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+// SAFETY: the scope is shared with spawned tasks on other threads; all
+// mutable state behind `state` is synchronized (atomics + latch protocol).
+unsafe impl Sync for Scope<'_> {}
+unsafe impl Send for Scope<'_> {}
+
+/// Wrapper making a raw `ScopeState` pointer `Send` for capture in jobs.
+/// Validity is guaranteed by the scope's count latch: the state outlives
+/// every spawned job.
+struct StatePtr(*const ScopeState);
+unsafe impl Send for StatePtr {}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` as a task of this scope. The task may execute on any
+    /// worker, any time before the scope completes.
+    ///
+    /// Unlike `join`, spawned tasks are fire-and-forget: results are
+    /// communicated through captured state (or reducers).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(TaskContext) + Send + 'scope,
+    {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the latch keeps `state` alive until all tasks finish.
+        let state = unsafe { &*self.state };
+        state.latch.increment();
+        let state_ptr = StatePtr(self.state);
+        let job = HeapJob::new(self.owner_index, move |migrated| {
+            let state_ptr = state_ptr;
+            // SAFETY: see StatePtr.
+            let state = unsafe { &*state_ptr.0 };
+            match unwind::halt_unwinding(|| body(TaskContext { migrated, seq })) {
+                Ok(()) => {}
+                Err(payload) => state.capture_panic(payload),
+            }
+            state.latch.decrement();
+        });
+        // SAFETY: the job executes exactly once: either by a worker that
+        // pops/steals it, or it stays queued until the scope drains it.
+        let job_ref = unsafe { job.into_job_ref() };
+        let wt = WorkerThread::current();
+        if wt.is_null() {
+            // Spawning from outside the pool shouldn't happen (scope runs
+            // in_worker), but handle it by injecting.
+            unreachable!("Scope::spawn outside a worker thread");
+        }
+        // SAFETY: current() is non-null here and valid for this thread.
+        let wt = unsafe { &*wt };
+        wt.registry()
+            .counters
+            .scope_spawns
+            .fetch_add(1, Ordering::Relaxed);
+        wt.push(job_ref);
+    }
+}
+
+/// Creates a scope, runs `op` inside it, and waits for every task spawned
+/// within (directly or transitively) to finish before returning.
+///
+/// # Panics
+///
+/// Panics (after all tasks complete) if `op` or any spawned task panicked;
+/// the first panic wins.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU32, Ordering};
+///
+/// let hits = AtomicU32::new(0);
+/// cilk_runtime::scope(|s| {
+///     for _ in 0..8 {
+///         s.spawn(|_ctx| {
+///             hits.fetch_add(1, Ordering::Relaxed);
+///         });
+///     }
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 8);
+/// ```
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    crate::in_worker(|wt| {
+        let state = ScopeState::new();
+        let scope = Scope {
+            state: &state,
+            seq: AtomicU64::new(0),
+            owner_index: wt.index(),
+            marker: PhantomData,
+        };
+        let result = match unwind::halt_unwinding(|| op(&scope)) {
+            Ok(r) => Some(r),
+            Err(payload) => {
+                state.capture_panic(payload);
+                None
+            }
+        };
+        // Drop the scope body's own unit of the count, then drain.
+        state.latch.decrement();
+        wt.wait_until(&state.latch);
+        if let Some(payload) = state.take_panic() {
+            unwind::resume_unwinding(payload);
+        }
+        result.expect("scope body neither returned nor panicked")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|_| {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let v = scope(|_| 1234);
+        assert_eq!(v, 1234);
+    }
+
+    #[test]
+    fn task_seq_numbers_are_program_order() {
+        scope(|s| {
+            for i in 0..10u64 {
+                s.spawn(move |ctx| {
+                    assert_eq!(ctx.seq(), i);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn scope_task_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task dies"));
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_body_panic_propagates_after_tasks() {
+        let count = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+                panic!("body dies");
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(count.load(Ordering::Relaxed), 1, "task still ran to completion");
+    }
+}

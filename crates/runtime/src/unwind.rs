@@ -1,0 +1,49 @@
+//! Panic capture and resumption across job boundaries.
+//!
+//! Jobs execute on arbitrary worker threads; a panic inside a job must be
+//! transported back to the logical parent (the `join` caller or the owner of
+//! a `scope`) and resumed there, so that the programming model keeps C++'s
+//! exception semantics as the paper requires ("full support for C++
+//! exceptions").
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+
+/// The payload of a captured panic.
+pub(crate) type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Runs `f`, capturing any unwinding panic and returning it as a value.
+pub(crate) fn halt_unwinding<F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: FnOnce() -> R,
+{
+    panic::catch_unwind(AssertUnwindSafe(f))
+}
+
+/// Resumes a previously captured panic on the current thread.
+pub(crate) fn resume_unwinding(payload: PanicPayload) -> ! {
+    panic::resume_unwind(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_and_resumes() {
+        let err = halt_unwinding(|| panic!("boom {}", 42)).unwrap_err();
+        let caught =
+            std::panic::catch_unwind(AssertUnwindSafe(move || resume_unwinding(err))).unwrap_err();
+        let msg = caught
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| caught.downcast_ref::<&str>().copied())
+            .expect("panic payload should be a string");
+        assert_eq!(msg, "boom 42");
+    }
+
+    #[test]
+    fn passes_values_through() {
+        assert_eq!(halt_unwinding(|| 7).unwrap(), 7);
+    }
+}

@@ -1,0 +1,165 @@
+//! Stress and failure-injection tests for the work-stealing runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cilk_runtime::{
+    for_each_index, join, map_reduce_index, scope, Config, Grain, ThreadPool, WaitPolicy,
+};
+
+fn pool(workers: usize) -> ThreadPool {
+    ThreadPool::with_config(Config::new().num_workers(workers)).expect("pool")
+}
+
+#[test]
+fn deep_unbalanced_recursion() {
+    // Left-leaning join chain 30k deep on the "a" side (which runs on the
+    // calling worker without pushing frames beyond the join itself is
+    // inlined), interleaved with tiny right tasks.
+    fn chain(depth: usize, hits: &AtomicUsize) {
+        if depth == 0 {
+            return;
+        }
+        join(
+            || chain(depth - 1, hits),
+            || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+    }
+    let pool = pool(4);
+    let hits = AtomicUsize::new(0);
+    pool.install(|| chain(3_000, &hits));
+    assert_eq!(hits.load(Ordering::Relaxed), 3_000);
+}
+
+#[test]
+fn repeated_installs_many_rounds() {
+    let pool = pool(3);
+    for round in 0..200 {
+        let v = pool.install(|| {
+            map_reduce_index(0..100, Grain::Explicit(7), || 0u64, |i| i as u64, |a, b| a + b)
+        });
+        assert_eq!(v, 4950, "round {round}");
+    }
+}
+
+#[test]
+fn concurrent_external_installs() {
+    let pool = pool(4);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            let pool = &pool;
+            handles.push(s.spawn(move || {
+                let v = pool.install(|| {
+                    map_reduce_index(
+                        0..1000,
+                        Grain::Explicit(16),
+                        || 0u64,
+                        |i| (i + t) as u64,
+                        |a, b| a + b,
+                    )
+                });
+                assert_eq!(v, (0..1000u64).map(|i| i + t as u64).sum::<u64>());
+            }));
+        }
+        for h in handles {
+            h.join().expect("external install panicked");
+        }
+    });
+}
+
+#[test]
+fn spin_only_policy_still_correct() {
+    let pool = ThreadPool::with_config(
+        Config::new().num_workers(3).wait_policy(WaitPolicy::SpinOnly),
+    )
+    .expect("pool");
+    let count = AtomicUsize::new(0);
+    pool.install(|| {
+        for_each_index(0..5_000, Grain::Explicit(32), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 5_000);
+}
+
+#[test]
+fn panic_storm_leaves_pool_healthy() {
+    let pool = pool(4);
+    for i in 0..30 {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                for_each_index(0..100, Grain::Explicit(4), |j| {
+                    if j == i * 3 % 100 {
+                        panic!("storm {i}");
+                    }
+                });
+            });
+        }));
+        assert!(r.is_err(), "iteration {i} should panic");
+    }
+    // Still functional afterwards.
+    let v = pool.install(|| {
+        map_reduce_index(0..1000, Grain::Auto, || 0u64, |i| i as u64, |a, b| a + b)
+    });
+    assert_eq!(v, 499_500);
+}
+
+#[test]
+fn scope_with_mixed_join_and_spawn() {
+    let pool = pool(4);
+    let count = AtomicUsize::new(0);
+    pool.install(|| {
+        scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    let (a, b) = join(
+                        || {
+                            map_reduce_index(
+                                0..50,
+                                Grain::Explicit(5),
+                                || 0usize,
+                                |_| 1,
+                                |a, b| a + b,
+                            )
+                        },
+                        || 1usize,
+                    );
+                    count.fetch_add(a + b, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 16 * 51);
+}
+
+#[test]
+fn many_small_pools_created_and_dropped() {
+    for i in 0..25 {
+        let pool = pool(1 + i % 4);
+        let v = pool.install(|| {
+            let (a, b) = join(|| 20, || 22);
+            a + b
+        });
+        assert_eq!(v, 42);
+        drop(pool);
+    }
+}
+
+#[test]
+fn heavy_steal_traffic_metrics_consistent() {
+    let pool = pool(8);
+    pool.install(|| {
+        for_each_index(0..50_000, Grain::Explicit(2), |_| {
+            // Minimal work: maximize scheduling pressure.
+            std::hint::black_box(0u64);
+        });
+    });
+    let m = pool.metrics();
+    assert!(m.spawns >= 24_999, "expected ~n/grain spawns, got {m:?}");
+    assert!(
+        m.steals + m.inline_pops <= m.spawns,
+        "accounting must never exceed spawns: {m:?}"
+    );
+}

@@ -1,0 +1,72 @@
+//! The classic `fib` spawn microbenchmark: maximal spawn density, used by
+//! every Cilk paper (and here by the overhead and steal experiments) to
+//! stress the scheduler.
+
+/// Serial recursive Fibonacci — the serial elision of [`fib`].
+pub fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    fib_serial(n - 1) + fib_serial(n - 2)
+}
+
+/// Parallel recursive Fibonacci: spawns at every level above the cutoff.
+pub fn fib(n: u64) -> u64 {
+    fib_cutoff(n, 12)
+}
+
+/// Parallel Fibonacci with an explicit serial `cutoff`: calls at or below
+/// it run serially (the standard coarsening idiom; `cutoff = 0` spawns all
+/// the way down to measure raw spawn overhead).
+pub fn fib_cutoff(n: u64, cutoff: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n <= cutoff {
+        return fib_serial(n);
+    }
+    let (a, b) = cilk::join(|| fib_cutoff(n - 1, cutoff), || fib_cutoff(n - 2, cutoff));
+    a + b
+}
+
+/// The number of calls the recursion makes (2·fib(n+1) − 1): the spawn
+/// count of `fib_cutoff(n, 0)` is this minus the leaf calls.
+pub fn fib_call_count(n: u64) -> u64 {
+    2 * fib_serial(n + 1) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial() {
+        for n in 0..=20 {
+            assert_eq!(fib_cutoff(n, 4), fib_serial(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn zero_cutoff_spawns_everywhere_and_is_correct() {
+        assert_eq!(fib_cutoff(16, 0), 987);
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(fib(10), 55);
+        assert_eq!(fib(20), 6765);
+    }
+
+    #[test]
+    fn call_count_formula() {
+        // fib(5): 15 calls.
+        assert_eq!(fib_call_count(5), 15);
+    }
+
+    #[test]
+    fn runs_on_multiworker_pool() {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        assert_eq!(pool.install(|| fib_cutoff(22, 8)), 17711);
+    }
+}

@@ -1,0 +1,180 @@
+//! Heat diffusion: a 2-D Jacobi stencil iterated over time steps — the
+//! classic Cilk regular-grid benchmark, parallelized with `cilk_for` over
+//! rows, double-buffered so iterations are race-free by construction.
+
+use cilk::Grain;
+
+/// A 2-D temperature grid with fixed (Dirichlet) boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    width: usize,
+    height: usize,
+    cells: Vec<f64>,
+}
+
+impl Grid {
+    /// Creates a grid of the given size, zero everywhere except a hot
+    /// square in the middle.
+    pub fn with_hot_spot(width: usize, height: usize, temperature: f64) -> Self {
+        assert!(width >= 3 && height >= 3, "grid must contain interior cells");
+        let mut grid = Grid { width, height, cells: vec![0.0; width * height] };
+        let (cx, cy) = (width / 2, height / 2);
+        for y in cy.saturating_sub(1)..=(cy + 1).min(height - 1) {
+            for x in cx.saturating_sub(1)..=(cx + 1).min(width - 1) {
+                grid.cells[y * width + x] = temperature;
+            }
+        }
+        grid
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Temperature at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        self.cells[y * self.width + x]
+    }
+
+    /// Total heat in the grid.
+    pub fn total_heat(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// Maximum absolute difference to another grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn max_abs_diff(&self, other: &Grid) -> f64 {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        self.cells
+            .iter()
+            .zip(&other.cells)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // x indexes both src (with offsets) and dst
+fn stencil_row(src: &Grid, dst_row: &mut [f64], y: usize, alpha: f64) {
+    let w = src.width;
+    for x in 0..w {
+        let idx = y * w + x;
+        let center = src.cells[idx];
+        if x == 0 || x == w - 1 || y == 0 || y == src.height - 1 {
+            dst_row[x] = center; // fixed boundary
+            continue;
+        }
+        let laplacian = src.cells[idx - 1] + src.cells[idx + 1] + src.cells[idx - w]
+            + src.cells[idx + w]
+            - 4.0 * center;
+        dst_row[x] = center + alpha * laplacian;
+    }
+}
+
+/// Serial reference: `steps` Jacobi iterations with diffusivity `alpha`.
+pub fn diffuse_serial(grid: &Grid, alpha: f64, steps: usize) -> Grid {
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+    for _ in 0..steps {
+        for y in 0..src.height {
+            let w = src.width;
+            let row = &mut dst.cells[y * w..(y + 1) * w];
+            stencil_row(&src, row, y, alpha);
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+/// Parallel version: each time step is a `cilk_for` over rows; time steps
+/// are serialized (double-buffered, so rows never alias).
+pub fn diffuse(grid: &Grid, alpha: f64, steps: usize) -> Grid {
+    let mut src = grid.clone();
+    let mut dst = grid.clone();
+    for _ in 0..steps {
+        let w = src.width;
+        let src_ref = &src;
+        let mut rows: Vec<&mut [f64]> = dst.cells.chunks_mut(w).collect();
+        cilk::runtime::for_each_slice_mut(&mut rows, Grain::Auto, |first_row, chunk| {
+            for (r, row) in chunk.iter_mut().enumerate() {
+                stencil_row(src_ref, row, first_row + r, alpha);
+            }
+        });
+        drop(rows);
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let g = Grid::with_hot_spot(64, 48, 100.0);
+        let serial = diffuse_serial(&g, 0.2, 25);
+        let parallel = diffuse(&g, 0.2, 25);
+        assert_eq!(
+            serial.max_abs_diff(&parallel),
+            0.0,
+            "identical FP operations in identical order per cell"
+        );
+    }
+
+    #[test]
+    fn heat_diffuses_outward() {
+        let g = Grid::with_hot_spot(33, 33, 100.0);
+        let later = diffuse(&g, 0.2, 50);
+        let (cx, cy) = (16, 16);
+        assert!(later.get(cx, cy) < 100.0, "peak cools");
+        assert!(later.get(cx + 5, cy) > 0.0, "neighbourhood warms");
+    }
+
+    #[test]
+    fn interior_heat_is_conserved_before_reaching_boundary() {
+        // With a hot spot far from the boundary and few steps, total heat
+        // is (nearly) conserved by the symmetric stencil.
+        let g = Grid::with_hot_spot(101, 101, 50.0);
+        let before = g.total_heat();
+        let after = diffuse(&g, 0.1, 10).total_heat();
+        assert!(
+            (before - after).abs() < 1e-6 * before.max(1.0),
+            "{before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let g = Grid::with_hot_spot(16, 16, 9.0);
+        assert_eq!(diffuse(&g, 0.25, 0), g);
+    }
+
+    #[test]
+    fn runs_on_multiworker_pool() {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        let g = Grid::with_hot_spot(128, 128, 100.0);
+        let serial = diffuse_serial(&g, 0.15, 10);
+        let parallel = pool.install(|| diffuse(&g, 0.15, 10));
+        assert_eq!(serial.max_abs_diff(&parallel), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn tiny_grid_rejected() {
+        let _ = Grid::with_hot_spot(2, 5, 1.0);
+    }
+}

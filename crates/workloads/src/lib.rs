@@ -1,0 +1,44 @@
+//! # cilk-workloads: the paper's example applications
+//!
+//! Every workload Leiserson's paper uses to motivate or evaluate the
+//! platform, implemented on the `cilk` facade:
+//!
+//! * [`qsort`] — the Fig. 1 parallel quicksort, plus the §4 race-bug
+//!   mutation replayed under Cilkscreen;
+//! * [`tree`] — the §5 tree walk in all four flavors (serial, naive/racy,
+//!   mutex, reducer);
+//! * [`fib`] — the classic spawn-density microbenchmark;
+//! * [`matmul`] — dense matrix multiply (§2.3: parallelism "in the
+//!   millions");
+//! * [`bfs`] — breadth-first search on random irregular graphs (§2.3:
+//!   parallelism "on the order of thousands");
+//! * [`nqueens`], [`strassen`], [`heat`] — the classic Cilk benchmark trio
+//!   (irregular search, rich divide-and-conquer, regular stencil), the
+//!   "compute-intensive applications" of §6.
+//!
+//! Each module carries both the parallel code and its serial elision, so
+//! the benches can measure the paper's <2% single-worker overhead claim.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod fib;
+pub mod heat;
+pub mod lu;
+pub mod matmul;
+pub mod mergesort;
+pub mod nqueens;
+pub mod qsort;
+pub mod strassen;
+pub mod tree;
+
+pub use bfs::{bfs, bfs_serial, Graph};
+pub use fib::{fib, fib_cutoff, fib_serial};
+pub use heat::{diffuse, diffuse_serial, Grid};
+pub use lu::{lu, lu_serial};
+pub use matmul::{matmul, matmul_serial, Matrix};
+pub use mergesort::{merge_sort, merge_sort_serial};
+pub use nqueens::{nqueens, nqueens_serial};
+pub use qsort::{qsort, qsort_serial, qsort_traced};
+pub use strassen::strassen;
+pub use tree::{build_tree, walk_mutex, walk_reducer, walk_serial, Node};

@@ -1,0 +1,211 @@
+//! Blocked LU decomposition (no pivoting) — the dense linear-algebra
+//! workload of the original Cilk benchmark suite.
+//!
+//! Right-looking blocked factorization: at step k, factor the diagonal
+//! block serially, solve the row/column panels in parallel, then update
+//! every trailing block in parallel (a `cilk_for` over a 2-D block grid).
+//! Inputs are made diagonally dominant so pivoting is unnecessary.
+
+use crate::matmul::Matrix;
+use cilk::Grain;
+
+/// Makes a well-conditioned, diagonally dominant test matrix.
+pub fn dominant_matrix(n: usize, seed: u64) -> Matrix {
+    let mut a = Matrix::random(n, seed);
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| a.get(i, j).abs()).sum();
+        a.set(i, i, row_sum + 1.0);
+    }
+    a
+}
+
+/// Serial unblocked LU (Doolittle): returns combined LU in one matrix
+/// (unit lower triangle implicit).
+pub fn lu_serial(a: &Matrix) -> Matrix {
+    let n = a.n();
+    let mut lu = a.clone();
+    for k in 0..n {
+        let pivot = lu.get(k, k);
+        assert!(pivot.abs() > 1e-12, "zero pivot at {k}: matrix not LU-friendly");
+        for i in k + 1..n {
+            let lik = lu.get(i, k) / pivot;
+            lu.set(i, k, lik);
+            for j in k + 1..n {
+                lu.set(i, j, lu.get(i, j) - lik * lu.get(k, j));
+            }
+        }
+    }
+    lu
+}
+
+/// Parallel blocked LU with block size `block`.
+///
+/// # Panics
+///
+/// Panics on a (near-)zero pivot; use [`dominant_matrix`]-style inputs.
+pub fn lu(a: &Matrix, block: usize) -> Matrix {
+    let n = a.n();
+    let block = block.max(1);
+    // Work on a flat buffer of rows for safe disjoint mutation.
+    let mut data: Vec<f64> = (0..n * n).map(|i| a.get(i / n, i % n)).collect();
+
+    let mut k0 = 0;
+    while k0 < n {
+        let kend = (k0 + block).min(n);
+        // 1. Factor the diagonal panel (columns k0..kend) serially,
+        //    including the sub-diagonal rows of those columns.
+        for k in k0..kend {
+            let pivot = data[k * n + k];
+            assert!(pivot.abs() > 1e-12, "zero pivot at {k}");
+            for i in k + 1..n {
+                data[i * n + k] /= pivot;
+            }
+            let lcol: Vec<f64> = (k + 1..n).map(|i| data[i * n + k]).collect();
+            let urow: Vec<f64> = (k + 1..kend).map(|j| data[k * n + j]).collect();
+            for (di, &lik) in lcol.iter().enumerate() {
+                let i = k + 1 + di;
+                for (dj, &ukj) in urow.iter().enumerate() {
+                    let j = k + 1 + dj;
+                    data[i * n + j] -= lik * ukj;
+                }
+            }
+        }
+        if kend == n {
+            break;
+        }
+        // 2. Update the U panel rows k0..kend, columns kend..n (triangular
+        //    solve with the unit-lower diagonal block): row i depends on
+        //    rows k0..i, so iterate serially over the (≤ block) rows but
+        //    parallelize across the wide column range.
+        {
+            let (head, tail) = data.split_at_mut(kend * n);
+            let _ = tail;
+            for i in k0..kend {
+                // L(i, k0..i) is already final in `head`.
+                let lrow: Vec<f64> = (k0..i).map(|k| head[i * n + k]).collect();
+                let (above, current) = head.split_at_mut(i * n);
+                let row_i = &mut current[..n];
+                let cols = kend..n;
+                let above_ref = &above[..];
+                let lrow_ref = &lrow[..];
+                let _ = cols;
+                // The dependency structure here is a small triangular
+                // solve over ≤ `block` rows; its cost is O(block² · n),
+                // dominated by the parallel trailing update below.
+                for j in kend..n {
+                    let mut v = row_i[j];
+                    for (dk, &lik) in lrow_ref.iter().enumerate() {
+                        let k = k0 + dk;
+                        v -= lik * above_ref[k * n + j];
+                    }
+                    row_i[j] = v;
+                }
+            }
+        }
+        // 3. Trailing update: A[i, j] -= L[i, k0..kend] · U[k0..kend, j]
+        //    for i, j ≥ kend — every row is independent: cilk_for.
+        let panel_u: Vec<f64> = (k0..kend)
+            .flat_map(|k| (kend..n).map(move |j| (k, j)))
+            .map(|(k, j)| data[k * n + j])
+            .collect();
+        let width = n - kend;
+        let (_, trailing) = data.split_at_mut(kend * n);
+        let mut rows: Vec<&mut [f64]> = trailing.chunks_mut(n).collect();
+        let panel_l: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|row| row[k0..kend].to_vec())
+            .collect();
+        let panel_l_ref = &panel_l;
+        let panel_u_ref = &panel_u;
+        cilk::runtime::for_each_slice_mut(&mut rows, Grain::Auto, |first, chunk| {
+            for (r, row) in chunk.iter_mut().enumerate() {
+                let l = &panel_l_ref[first + r];
+                for (dk, &lik) in l.iter().enumerate() {
+                    let urow = &panel_u_ref[dk * width..(dk + 1) * width];
+                    for (dj, &ukj) in urow.iter().enumerate() {
+                        row[kend + dj] -= lik * ukj;
+                    }
+                }
+            }
+        });
+        drop(rows);
+        k0 = kend;
+    }
+
+    let mut out = Matrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(i, j, data[i * n + j]);
+        }
+    }
+    out
+}
+
+/// Reconstructs A from a combined LU factor and returns ‖A − L·U‖∞.
+pub fn reconstruction_error(a: &Matrix, lu: &Matrix) -> f64 {
+    let n = a.n();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut v = 0.0;
+            let kmax = i.min(j);
+            for k in 0..=kmax {
+                let l = if k == i { 1.0 } else if k < i { lu.get(i, k) } else { 0.0 };
+                let u = if k <= j { lu.get(k, j) } else { 0.0 };
+                v += l * u;
+            }
+            worst = worst.max((v - a.get(i, j)).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_lu_reconstructs() {
+        let a = dominant_matrix(24, 1);
+        let f = lu_serial(&a);
+        let err = reconstruction_error(&a, &f);
+        assert!(err < 1e-8, "error {err}");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a = dominant_matrix(48, 2);
+        let serial = lu_serial(&a);
+        let parallel = lu(&a, 8);
+        assert!(
+            parallel.max_abs_diff(&serial) < 1e-8,
+            "diff {}",
+            parallel.max_abs_diff(&serial)
+        );
+    }
+
+    #[test]
+    fn parallel_reconstructs_larger() {
+        let a = dominant_matrix(96, 3);
+        let f = lu(&a, 16);
+        let err = reconstruction_error(&a, &f);
+        assert!(err < 1e-6, "error {err}");
+    }
+
+    #[test]
+    fn block_size_larger_than_matrix() {
+        let a = dominant_matrix(10, 4);
+        let f = lu(&a, 64);
+        assert!(reconstruction_error(&a, &f) < 1e-9);
+    }
+
+    #[test]
+    fn runs_under_pool() {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        let a = dominant_matrix(64, 5);
+        let serial = lu_serial(&a);
+        let parallel = pool.install(|| lu(&a, 16));
+        assert!(parallel.max_abs_diff(&serial) < 1e-8);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dense matrix multiplication — the §2.3 example of a problem with
+//! parallelism "in the millions" for 1000×1000 matrices.
+
+use cilk::Grain;
+
+/// A dense row-major square matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Creates the identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a deterministic pseudo-random matrix.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let data = (0..n * n).map(|_| next()).collect();
+        Matrix { n, data }
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets element `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Maximum absolute elementwise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Serial triple-loop multiply (the baseline and the oracle).
+pub fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n, b.n, "dimension mismatch");
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a.get(i, k);
+            for j in 0..n {
+                let v = c.get(i, j) + aik * b.get(k, j);
+                c.set(i, j, v);
+            }
+        }
+    }
+    c
+}
+
+/// Parallel multiply: a `cilk_for` over output rows, each row computed
+/// serially — the natural Cilk++ loop parallelization with Θ(n²)
+/// parallelism.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n, b.n, "dimension mismatch");
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    if n == 0 {
+        return c;
+    }
+    // Row-aligned parallelism: split the output into whole rows, then
+    // `cilk_for` over row chunks.
+    let mut rows: Vec<&mut [f64]> = c.data.chunks_mut(n).collect();
+    cilk::runtime::for_each_slice_mut(&mut rows, Grain::Auto, |first_row, chunk| {
+        for (r, row) in chunk.iter_mut().enumerate() {
+            let i = first_row + r;
+            for k in 0..n {
+                let aik = a.get(i, k);
+                let brow = &b.data[k * n..(k + 1) * n];
+                for (cv, bv) in row.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+    drop(rows);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(16, 3);
+        let i = Matrix::identity(16);
+        let c = matmul(&a, &i);
+        assert!(c.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a = Matrix::random(33, 1);
+        let b = Matrix::random(33, 2);
+        let serial = matmul_serial(&a, &b);
+        let parallel = matmul(&a, &b);
+        assert!(parallel.max_abs_diff(&serial) < 1e-9);
+    }
+
+    #[test]
+    fn works_on_multiworker_pool() {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        let a = Matrix::random(64, 7);
+        let b = Matrix::random(64, 8);
+        let serial = matmul_serial(&a, &b);
+        let parallel = pool.install(|| matmul(&a, &b));
+        assert!(parallel.max_abs_diff(&serial) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_rejected() {
+        let a = Matrix::zeros(2);
+        let b = Matrix::zeros(3);
+        let _ = matmul_serial(&a, &b);
+    }
+
+    #[test]
+    fn zero_size_matrix() {
+        let a = Matrix::zeros(0);
+        let b = Matrix::zeros(0);
+        let c = matmul(&a, &b);
+        assert_eq!(c.n(), 0);
+    }
+}

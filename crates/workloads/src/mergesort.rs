@@ -1,0 +1,198 @@
+//! Parallel merge sort with a parallel merge — the "practical sort with
+//! more parallelism" the paper points to (§3.1: "Practical sorts with
+//! more parallelism exist, however. See [9, Chap. 27]", i.e. CLRS's
+//! P-MERGE-SORT with span Θ(lg³ n) versus quicksort's Θ(n)).
+
+/// Serial cutoff below which std's sort runs (amortizes spawn cost).
+const SORT_CUTOFF: usize = 1024;
+/// Cutoff below which merges run serially.
+const MERGE_CUTOFF: usize = 1024;
+
+/// Sorts `v` with the parallel merge sort.
+///
+/// # Examples
+///
+/// ```
+/// let mut v = vec![3, 1, 2];
+/// cilk_workloads::mergesort::merge_sort(&mut v);
+/// assert_eq!(v, vec![1, 2, 3]);
+/// ```
+pub fn merge_sort<T: Ord + Clone + Send + Sync>(v: &mut [T]) {
+    if v.len() <= 1 {
+        return;
+    }
+    let mut buf = v.to_vec();
+    sort_to(v, &mut buf, false);
+}
+
+/// Serial elision with the identical structure (for overhead comparison).
+pub fn merge_sort_serial<T: Ord + Clone>(v: &mut [T]) {
+    if v.len() <= 1 {
+        return;
+    }
+    let mut buf = v.to_vec();
+    sort_to_serial(v, &mut buf, false);
+}
+
+/// Sorts `v`; the result lands in `buf` when `into_buf`, else in `v`.
+fn sort_to<T: Ord + Clone + Send + Sync>(v: &mut [T], buf: &mut [T], into_buf: bool) {
+    let n = v.len();
+    if n <= SORT_CUTOFF {
+        v.sort_unstable();
+        if into_buf {
+            buf.clone_from_slice(v);
+        }
+        return;
+    }
+    let mid = n / 2;
+    let (v_lo, v_hi) = v.split_at_mut(mid);
+    let (b_lo, b_hi) = buf.split_at_mut(mid);
+    // Sort the halves into the *other* buffer, then merge back.
+    cilk::join(
+        || sort_to(v_lo, b_lo, !into_buf),
+        || sort_to(v_hi, b_hi, !into_buf),
+    );
+    if into_buf {
+        p_merge(v_lo, v_hi, buf);
+    } else {
+        let (b_lo, b_hi) = buf.split_at(mid);
+        p_merge(b_lo, b_hi, v);
+    }
+}
+
+fn sort_to_serial<T: Ord + Clone>(v: &mut [T], buf: &mut [T], into_buf: bool) {
+    let n = v.len();
+    if n <= SORT_CUTOFF {
+        v.sort_unstable();
+        if into_buf {
+            buf.clone_from_slice(v);
+        }
+        return;
+    }
+    let mid = n / 2;
+    let (v_lo, v_hi) = v.split_at_mut(mid);
+    let (b_lo, b_hi) = buf.split_at_mut(mid);
+    sort_to_serial(v_lo, b_lo, !into_buf);
+    sort_to_serial(v_hi, b_hi, !into_buf);
+    if into_buf {
+        serial_merge(v_lo, v_hi, buf);
+    } else {
+        let (b_lo, b_hi) = buf.split_at(mid);
+        serial_merge(b_lo, b_hi, v);
+    }
+}
+
+/// CLRS P-MERGE: splits the longer input at its median, binary-searches
+/// the split point in the shorter one, and merges the two halves in
+/// parallel. Span Θ(lg² n) per merge level.
+fn p_merge<T: Ord + Clone + Send + Sync>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if a.len() + b.len() <= MERGE_CUTOFF {
+        serial_merge(a, b, out);
+        return;
+    }
+    // Ensure `a` is the longer side.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let ma = a.len() / 2;
+    let pivot = &a[ma];
+    let mb = b.partition_point(|x| x < pivot);
+    let (out_lo, out_hi) = out.split_at_mut(ma + mb);
+    cilk::join(
+        || p_merge(&a[..ma], &b[..mb], out_lo),
+        || p_merge(&a[ma..], &b[mb..], out_hi),
+    );
+}
+
+fn serial_merge<T: Ord + Clone>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            *slot = a[i].clone();
+            i += 1;
+        } else {
+            *slot = b[j].clone();
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1000..1000)).collect()
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        for n in [0usize, 1, 2, 100, SORT_CUTOFF + 1, 50_000] {
+            let mut v = random_vec(n, n as u64);
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            merge_sort(&mut v);
+            assert_eq!(v, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        for v0 in [
+            (0..10_000).collect::<Vec<i64>>(),
+            (0..10_000).rev().collect(),
+            vec![7; 10_000],
+        ] {
+            let mut v = v0.clone();
+            let mut expected = v0;
+            expected.sort_unstable();
+            merge_sort(&mut v);
+            assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn serial_elision_agrees() {
+        let mut a = random_vec(30_000, 5);
+        let mut b = a.clone();
+        merge_sort(&mut a);
+        merge_sort_serial(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_merge_interleaves() {
+        let a = [1, 3, 5];
+        let b = [2, 4, 6];
+        let mut out = [0; 6];
+        serial_merge(&a, &b, &mut out);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn parallel_merge_handles_skew() {
+        // One side much longer than the other.
+        let a: Vec<i32> = (0..4000).map(|i| i * 2).collect();
+        let b: Vec<i32> = vec![1, 3, 7999];
+        let mut out = vec![0; a.len() + b.len()];
+        p_merge(&a, &b, &mut out);
+        let mut expected = [a.clone(), b.clone()].concat();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn runs_on_multiworker_pool() {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        let mut v = random_vec(100_000, 9);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        pool.install(|| merge_sort(&mut v));
+        assert_eq!(v, expected);
+    }
+}

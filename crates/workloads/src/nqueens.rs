@@ -1,0 +1,135 @@
+//! N-queens solution counting — the classic Cilk search benchmark
+//! (irregular task tree, reducer-accumulated result; the kind of
+//! "compute-intensive application" §6 targets).
+
+use cilk::hyper::ReducerSum;
+
+/// Counts the solutions to the `n`-queens problem serially.
+pub fn nqueens_serial(n: usize) -> u64 {
+    fn rec(n: usize, row: usize, cols: u32, diag1: u32, diag2: u32) -> u64 {
+        if row == n {
+            return 1;
+        }
+        let mut count = 0;
+        let mut free = !(cols | diag1 | diag2) & ((1u32 << n) - 1);
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            count += rec(n, row + 1, cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1);
+        }
+        count
+    }
+    rec(n, 0, 0, 0, 0)
+}
+
+/// Counts the solutions in parallel: the first `depth` rows spawn, the
+/// rest run serially (the standard coarsening).
+pub fn nqueens(n: usize, spawn_depth: usize) -> u64 {
+    let total = ReducerSum::<u64>::sum();
+    par_rec(n, 0, 0, 0, 0, spawn_depth, &total);
+    total.into_value()
+}
+
+fn par_rec(
+    n: usize,
+    row: usize,
+    cols: u32,
+    diag1: u32,
+    diag2: u32,
+    spawn_depth: usize,
+    total: &ReducerSum<u64>,
+) {
+    if row == n {
+        total.add(1);
+        return;
+    }
+    if row >= spawn_depth {
+        let serial = {
+            // Reuse the serial kernel below the spawn depth.
+            fn rec(n: usize, row: usize, cols: u32, diag1: u32, diag2: u32) -> u64 {
+                if row == n {
+                    return 1;
+                }
+                let mut count = 0;
+                let mut free = !(cols | diag1 | diag2) & ((1u32 << n) - 1);
+                while free != 0 {
+                    let bit = free & free.wrapping_neg();
+                    free ^= bit;
+                    count +=
+                        rec(n, row + 1, cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1);
+                }
+                count
+            }
+            rec(n, row, cols, diag1, diag2)
+        };
+        total.add(serial);
+        return;
+    }
+    // Collect candidate columns, then fork over them pairwise.
+    let mut candidates = Vec::new();
+    let mut free = !(cols | diag1 | diag2) & ((1u32 << n) - 1);
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        candidates.push(bit);
+    }
+    let body = |bit: u32| {
+        par_rec(
+            n,
+            row + 1,
+            cols | bit,
+            (diag1 | bit) << 1,
+            (diag2 | bit) >> 1,
+            spawn_depth,
+            total,
+        );
+    };
+    fork_over(&candidates, &body);
+}
+
+/// Binary fork over a candidate list (a `cilk_for` over dynamic items).
+fn fork_over<F: Fn(u32) + Sync>(items: &[u32], body: &F) {
+    match items.len() {
+        0 => {}
+        1 => body(items[0]),
+        _ => {
+            let (lo, hi) = items.split_at(items.len() / 2);
+            cilk::join(|| fork_over(lo, body), || fork_over(hi, body));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known solution counts for n = 1..=10.
+    const KNOWN: [u64; 10] = [1, 0, 0, 2, 10, 4, 40, 92, 352, 724];
+
+    #[test]
+    fn serial_matches_known_counts() {
+        for (i, &expected) in KNOWN.iter().enumerate() {
+            assert_eq!(nqueens_serial(i + 1), expected, "n = {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        for n in 4..=9 {
+            assert_eq!(nqueens(n, 2), nqueens_serial(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_under_pool() {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        let v = pool.install(|| nqueens(10, 3));
+        assert_eq!(v, 724);
+    }
+
+    #[test]
+    fn spawn_depth_zero_is_fully_serial() {
+        assert_eq!(nqueens(8, 0), 92);
+    }
+}

@@ -1,0 +1,191 @@
+//! Parallel quicksort — the paper's Figure 1 program.
+//!
+//! `qsort` mirrors the Cilk++ code line for line: partition, then
+//! `cilk_spawn qsort(begin, middle); qsort(max(begin+1, middle), end);
+//! cilk_sync`. The traced variants replay the same recursion under the
+//! Cilkscreen detector, including the §4 mutation that replaces line 13
+//! with `qsort(max(begin + 1, middle - 1), end)` and thereby introduces a
+//! race.
+
+use cilkscreen::{Execution, Location};
+
+/// Sorts `v` in parallel, exactly as the paper's Fig. 1 quicksort.
+///
+/// # Examples
+///
+/// ```
+/// let mut v = vec![3, 1, 2];
+/// cilk_workloads::qsort(&mut v);
+/// assert_eq!(v, vec![1, 2, 3]);
+/// ```
+pub fn qsort<T: Ord + Send>(v: &mut [T]) {
+    if v.len() <= 1 {
+        return;
+    }
+    // Below this size, spawning costs more than it buys (the same reason
+    // Cilk++ programs use a serial base case).
+    const SERIAL_CUTOFF: usize = 64;
+    if v.len() <= SERIAL_CUTOFF {
+        v.sort_unstable();
+        return;
+    }
+    let mid = partition(v);
+    let (lo, hi) = v.split_at_mut(mid);
+    // hi[0] is the pivot, already in final position: `max(begin+1, middle)`.
+    cilk::join(|| qsort(lo), || qsort(&mut hi[1..]));
+}
+
+/// Serial quicksort with the identical partition — the serial elision of
+/// [`qsort`], used by the overhead experiment (E5).
+pub fn qsort_serial<T: Ord>(v: &mut [T]) {
+    if v.len() <= 1 {
+        return;
+    }
+    const SERIAL_CUTOFF: usize = 64;
+    if v.len() <= SERIAL_CUTOFF {
+        v.sort_unstable();
+        return;
+    }
+    let mid = partition(v);
+    let (lo, hi) = v.split_at_mut(mid);
+    qsort_serial(lo);
+    qsort_serial(&mut hi[1..]);
+}
+
+/// Hoare-style partition around the last element; returns the pivot's
+/// final index. Mirrors `std::partition` + `bind2nd(less<…>, *begin)` in
+/// spirit (the exact pivot choice differs but the structure is the same).
+fn partition<T: Ord>(v: &mut [T]) -> usize {
+    let last = v.len() - 1;
+    // Median-of-three pivot selection to avoid quadratic behaviour on
+    // sorted inputs.
+    let mid = v.len() / 2;
+    if v[0] > v[mid] {
+        v.swap(0, mid);
+    }
+    if v[0] > v[last] {
+        v.swap(0, last);
+    }
+    if v[mid] > v[last] {
+        v.swap(mid, last);
+    }
+    v.swap(mid, last);
+    let mut store = 0;
+    for j in 0..last {
+        if v[j] <= v[last] {
+            v.swap(store, j);
+            store += 1;
+        }
+    }
+    v.swap(store, last);
+    store
+}
+
+/// Replays the quicksort recursion over `n` abstract elements under the
+/// race detector, modelling each element's reads/writes during
+/// partitioning and recursion.
+///
+/// `overlap_bug = false` replays Fig. 1 (race-free); `overlap_bug = true`
+/// replays the §4 mutation `qsort(max(begin + 1, middle - 1), end)`, whose
+/// overlapping subproblems expose a race.
+pub fn qsort_traced(exec: &mut Execution<'_>, n: usize, overlap_bug: bool) {
+    // Locations 0..n stand for the n array slots.
+    qsort_traced_range(exec, 0, n, overlap_bug);
+    exec.sync();
+}
+
+fn qsort_traced_range(exec: &mut Execution<'_>, begin: usize, end: usize, overlap_bug: bool) {
+    if end - begin <= 1 {
+        return;
+    }
+    // Partition touches every element: read + write (swaps).
+    for i in begin..end {
+        exec.read_at(Location(i as u64), "partition:read");
+        exec.write_at(Location(i as u64), "partition:swap");
+    }
+    let middle = begin + (end - begin) / 2;
+    // cilk_spawn qsort(begin, middle);
+    exec.spawn(|exec| qsort_traced_range(exec, begin, middle, overlap_bug));
+    // qsort(max(begin+1, middle), end)   — or the buggy middle-1 variant.
+    let right_begin = if overlap_bug {
+        (begin + 1).max(middle.saturating_sub(1))
+    } else {
+        (begin + 1).max(middle)
+    };
+    qsort_traced_range(exec, right_begin, end, overlap_bug);
+    exec.sync();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let mut v = random_vec(10_000, 1);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        qsort(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        for input in [
+            Vec::new(),
+            vec![1],
+            vec![2, 1],
+            vec![1, 1, 1, 1],
+            (0..1000).collect::<Vec<i64>>(),
+            (0..1000).rev().collect::<Vec<i64>>(),
+        ] {
+            let mut v = input.clone();
+            let mut expected = input;
+            expected.sort_unstable();
+            qsort(&mut v);
+            assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn serial_elision_agrees() {
+        let mut a = random_vec(5000, 7);
+        let mut b = a.clone();
+        qsort(&mut a);
+        qsort_serial(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sort_under_pool() {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        let mut v = random_vec(50_000, 3);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        pool.install(|| qsort(&mut v));
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn traced_correct_version_is_race_free() {
+        let report = cilkscreen::Detector::new().run(|e| qsort_traced(e, 64, false));
+        assert!(report.is_race_free(), "Fig. 1 quicksort has no races: {report}");
+    }
+
+    #[test]
+    fn traced_overlap_bug_is_detected() {
+        let report = cilkscreen::Detector::new().run(|e| qsort_traced(e, 64, true));
+        assert!(
+            !report.is_race_free(),
+            "the §4 middle-1 mutation must expose a race"
+        );
+    }
+}

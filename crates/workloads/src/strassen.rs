@@ -1,0 +1,167 @@
+//! Strassen matrix multiplication: seven recursive products, all spawned
+//! in parallel — the divide-and-conquer workload with the richest spawn
+//! structure among the classic Cilk benchmarks.
+
+use crate::matmul::{matmul_serial, Matrix};
+
+/// Multiplies `a · b` with Strassen's algorithm, spawning the seven
+/// half-size products in parallel; sizes at or below `cutoff` use the
+/// serial triple loop.
+///
+/// # Panics
+///
+/// Panics unless both matrices are square of the same power-of-two order.
+pub fn strassen(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    assert_eq!(a.n(), b.n(), "dimension mismatch");
+    assert!(a.n().is_power_of_two(), "strassen needs power-of-two order");
+    strassen_rec(a, b, cutoff.max(2))
+}
+
+fn strassen_rec(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    let n = a.n();
+    if n <= cutoff {
+        return matmul_serial(a, b);
+    }
+    let h = n / 2;
+    let (a11, a12, a21, a22) = split(a);
+    let (b11, b12, b21, b22) = split(b);
+
+    // The seven Strassen products, forked as a balanced binary tree.
+    let ((m1, m2), ((m3, m4), ((m5, m6), m7))) = cilk::join(
+        || {
+            cilk::join(
+                || strassen_rec(&add(&a11, &a22), &add(&b11, &b22), cutoff),
+                || strassen_rec(&add(&a21, &a22), &b11, cutoff),
+            )
+        },
+        || {
+            cilk::join(
+                || {
+                    cilk::join(
+                        || strassen_rec(&a11, &sub(&b12, &b22), cutoff),
+                        || strassen_rec(&a22, &sub(&b21, &b11), cutoff),
+                    )
+                },
+                || {
+                    cilk::join(
+                        || {
+                            cilk::join(
+                                || strassen_rec(&add(&a11, &a12), &b22, cutoff),
+                                || strassen_rec(&sub(&a21, &a11), &add(&b11, &b12), cutoff),
+                            )
+                        },
+                        || strassen_rec(&sub(&a12, &a22), &add(&b21, &b22), cutoff),
+                    )
+                },
+            )
+        },
+    );
+
+    // C11 = M1 + M4 − M5 + M7,  C12 = M3 + M5,
+    // C21 = M2 + M4,            C22 = M1 − M2 + M3 + M6.
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&add(&sub(&m1, &m2), &m3), &m6);
+    join_quadrants(h, &c11, &c12, &c21, &c22)
+}
+
+fn split(m: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+    let n = m.n();
+    let h = n / 2;
+    let mut q = [Matrix::zeros(h), Matrix::zeros(h), Matrix::zeros(h), Matrix::zeros(h)];
+    for i in 0..h {
+        for j in 0..h {
+            q[0].set(i, j, m.get(i, j));
+            q[1].set(i, j, m.get(i, j + h));
+            q[2].set(i, j, m.get(i + h, j));
+            q[3].set(i, j, m.get(i + h, j + h));
+        }
+    }
+    let [q11, q12, q21, q22] = q;
+    (q11, q12, q21, q22)
+}
+
+fn join_quadrants(h: usize, c11: &Matrix, c12: &Matrix, c21: &Matrix, c22: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(2 * h);
+    for i in 0..h {
+        for j in 0..h {
+            c.set(i, j, c11.get(i, j));
+            c.set(i, j + h, c12.get(i, j));
+            c.set(i + h, j, c21.get(i, j));
+            c.set(i + h, j + h, c22.get(i, j));
+        }
+    }
+    c
+}
+
+fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.n();
+    let mut c = Matrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            c.set(i, j, a.get(i, j) + b.get(i, j));
+        }
+    }
+    c
+}
+
+fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.n();
+    let mut c = Matrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            c.set(i, j, a.get(i, j) - b.get(i, j));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_triple_loop() {
+        let a = Matrix::random(64, 1);
+        let b = Matrix::random(64, 2);
+        let expected = matmul_serial(&a, &b);
+        let got = strassen(&a, &b, 8);
+        assert!(got.max_abs_diff(&expected) < 1e-9, "diff {}", got.max_abs_diff(&expected));
+    }
+
+    #[test]
+    fn cutoff_at_full_size_degenerates_to_serial() {
+        let a = Matrix::random(16, 3);
+        let b = Matrix::random(16, 4);
+        let expected = matmul_serial(&a, &b);
+        let got = strassen(&a, &b, 16);
+        assert!(got.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(32, 9);
+        let id = Matrix::identity(32);
+        assert!(strassen(&a, &id, 4).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn runs_under_pool() {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        let a = Matrix::random(128, 5);
+        let b = Matrix::random(128, 6);
+        let expected = matmul_serial(&a, &b);
+        let got = pool.install(|| strassen(&a, &b, 16));
+        assert!(got.max_abs_diff(&expected) < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let a = Matrix::zeros(12);
+        let b = Matrix::zeros(12);
+        let _ = strassen(&a, &b, 4);
+    }
+}

@@ -1,0 +1,247 @@
+//! The §5 tree walk (Figures 4–7): collecting the nodes of a binary tree
+//! that satisfy a property.
+//!
+//! Four versions, matching the paper's narrative:
+//!
+//! * [`walk_serial`] — Fig. 4, the original C++ code with a nonlocal
+//!   output list;
+//! * [`walk_traced_naive`] — Fig. 5, the naive parallelization, replayed
+//!   under Cilkscreen (it has a data race on the shared list, so the real
+//!   parallel version cannot even be expressed in safe Rust — the traced
+//!   replay is how we demonstrate the bug);
+//! * [`walk_mutex`] — Fig. 6, correct but contended, and the element order
+//!   depends on the schedule;
+//! * [`walk_reducer`] — Fig. 7, lock-free and serial-order identical.
+
+use cilk::hyper::ReducerList;
+use cilk::sync::Mutex;
+use cilkscreen::{Execution, Location, LockId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A node of the binary tree being searched.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Payload tested by the property.
+    pub value: u64,
+    /// Left child.
+    pub left: Option<Box<Node>>,
+    /// Right child.
+    pub right: Option<Box<Node>>,
+}
+
+/// Builds a random binary tree with exactly `n` nodes.
+///
+/// Values are uniform in `0..1000`; shape is randomized by splitting the
+/// remaining node budget at each level.
+pub fn build_tree(n: usize, seed: u64) -> Option<Box<Node>> {
+    fn build(n: usize, rng: &mut SmallRng) -> Option<Box<Node>> {
+        if n == 0 {
+            return None;
+        }
+        let rest = n - 1;
+        let left_n = if rest == 0 { 0 } else { rng.gen_range(0..=rest) };
+        Some(Box::new(Node {
+            value: rng.gen_range(0..1000),
+            left: build(left_n, rng),
+            right: build(rest - left_n, rng),
+        }))
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    build(n, &mut rng)
+}
+
+/// The property of Figs. 4–7, `has_property(x)`: here, "value divisible by
+/// `modulus`". `work` iterations of busy work model the expensive test of
+/// the paper's collision-detection anecdote.
+pub fn has_property(value: u64, modulus: u64, work: u64) -> bool {
+    // Deterministic busy work (kept by black_box against optimization).
+    let mut acc = value;
+    for i in 0..work {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc);
+    value.is_multiple_of(modulus)
+}
+
+/// Fig. 4: the serial walk appending matches to an output list.
+pub fn walk_serial(x: &Option<Box<Node>>, modulus: u64, work: u64, output_list: &mut Vec<u64>) {
+    if let Some(node) = x {
+        if has_property(node.value, modulus, work) {
+            output_list.push(node.value);
+        }
+        walk_serial(&node.left, modulus, work, output_list);
+        walk_serial(&node.right, modulus, work, output_list);
+    }
+}
+
+/// Fig. 6: the mutex-protected parallel walk. Correct, but every match
+/// contends on `output_list`'s lock, and the resulting order depends on
+/// the schedule ("the locking solution … jumbles up the order of list
+/// elements").
+pub fn walk_mutex(x: &Option<Box<Node>>, modulus: u64, work: u64, output_list: &Mutex<Vec<u64>>) {
+    if let Some(node) = x {
+        if has_property(node.value, modulus, work) {
+            output_list.lock().push(node.value);
+        }
+        cilk::join(
+            || walk_mutex(&node.left, modulus, work, output_list),
+            || walk_mutex(&node.right, modulus, work, output_list),
+        );
+    }
+}
+
+/// Fig. 7: the reducer-hyperobject parallel walk. Lock-free, and the
+/// final list is element-for-element identical to the serial execution.
+pub fn walk_reducer(
+    x: &Option<Box<Node>>,
+    modulus: u64,
+    work: u64,
+    output_list: &ReducerList<u64>,
+) {
+    if let Some(node) = x {
+        if has_property(node.value, modulus, work) {
+            output_list.push_back(node.value);
+        }
+        cilk::join(
+            || walk_reducer(&node.left, modulus, work, output_list),
+            || walk_reducer(&node.right, modulus, work, output_list),
+        );
+    }
+}
+
+/// Fig. 5 replayed under Cilkscreen: the naive parallelization where both
+/// spawned walks push to the same shared list without protection. The
+/// detector must find the race on `output_list` (modelled as one shared
+/// location).
+pub fn walk_traced_naive(exec: &mut Execution<'_>, tree: &Option<Box<Node>>, modulus: u64) {
+    let output_list = Location(u64::MAX); // the global `output_list`
+    fn inner(
+        exec: &mut Execution<'_>,
+        x: &Option<Box<Node>>,
+        modulus: u64,
+        output_list: Location,
+    ) {
+        if let Some(node) = x {
+            if node.value % modulus == 0 {
+                // push_back: read-modify-write of the list structure.
+                exec.read_at(output_list, "walk:push_back");
+                exec.write_at(output_list, "walk:push_back");
+            }
+            exec.spawn(|exec| inner(exec, &node.left, modulus, output_list));
+            inner(exec, &node.right, modulus, output_list);
+            exec.sync();
+        }
+    }
+    inner(exec, tree, modulus, output_list);
+}
+
+/// Fig. 6 replayed under Cilkscreen: the same walk with the list accesses
+/// wrapped in a mutex — no race is reported because the parallel accesses
+/// hold a lock in common.
+pub fn walk_traced_mutex(exec: &mut Execution<'_>, tree: &Option<Box<Node>>, modulus: u64) {
+    let output_list = Location(u64::MAX);
+    let lock = LockId(1);
+    fn inner(
+        exec: &mut Execution<'_>,
+        x: &Option<Box<Node>>,
+        modulus: u64,
+        output_list: Location,
+        lock: LockId,
+    ) {
+        if let Some(node) = x {
+            if node.value % modulus == 0 {
+                exec.with_lock(lock, |exec| {
+                    exec.read_at(output_list, "walk:push_back(locked)");
+                    exec.write_at(output_list, "walk:push_back(locked)");
+                });
+            }
+            exec.spawn(|exec| inner(exec, &node.left, modulus, output_list, lock));
+            inner(exec, &node.right, modulus, output_list, lock);
+            exec.sync();
+        }
+    }
+    inner(exec, tree, modulus, output_list, lock);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(x: &Option<Box<Node>>) -> usize {
+        match x {
+            None => 0,
+            Some(n) => 1 + count(&n.left) + count(&n.right),
+        }
+    }
+
+    #[test]
+    fn build_tree_has_exact_node_count() {
+        for n in [0usize, 1, 2, 17, 1000] {
+            let t = build_tree(n, 42);
+            assert_eq!(count(&t), n);
+        }
+    }
+
+    #[test]
+    fn build_tree_deterministic() {
+        let a = format!("{:?}", build_tree(50, 9));
+        let b = format!("{:?}", build_tree(50, 9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reducer_walk_matches_serial_order() {
+        let tree = build_tree(2000, 5);
+        let mut serial = Vec::new();
+        walk_serial(&tree, 3, 0, &mut serial);
+
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(4))
+            .expect("pool");
+        for _ in 0..5 {
+            let reducer = ReducerList::<u64>::list();
+            pool.install(|| walk_reducer(&tree, 3, 0, &reducer));
+            assert_eq!(
+                reducer.into_value(),
+                serial,
+                "reducer output must match serial order exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn mutex_walk_same_multiset_possibly_different_order() {
+        let tree = build_tree(1000, 11);
+        let mut serial = Vec::new();
+        walk_serial(&tree, 3, 0, &mut serial);
+
+        let output = Mutex::new(Vec::new());
+        walk_mutex(&tree, 3, 0, &output);
+        let mut got = output.into_inner();
+        let mut expected = serial;
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "same elements regardless of order");
+    }
+
+    #[test]
+    fn naive_walk_race_is_detected() {
+        let tree = build_tree(64, 3);
+        let report = cilkscreen::Detector::new().run(|e| walk_traced_naive(e, &tree, 2));
+        assert!(!report.is_race_free(), "Fig. 5 must race");
+    }
+
+    #[test]
+    fn mutex_walk_is_race_free() {
+        let tree = build_tree(64, 3);
+        let report = cilkscreen::Detector::new().run(|e| walk_traced_mutex(e, &tree, 2));
+        assert!(report.is_race_free(), "Fig. 6 must not race: {report}");
+    }
+
+    #[test]
+    fn has_property_is_deterministic() {
+        assert_eq!(has_property(9, 3, 100), has_property(9, 3, 100));
+        assert!(has_property(9, 3, 0));
+        assert!(!has_property(10, 3, 0));
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's Figure 1: parallel quicksort.
+//!
+//! Fills an array in parallel (the `cilk_for` in Fig. 1's `main`), sorts
+//! it with the spawn/sync quicksort, verifies, and prints the Cilkview
+//! scalability analysis of the run — the workflow a Cilk++ user would
+//! follow. Run with `cargo run --release --example qsort [n]`.
+
+use cilk_workloads::qsort::{qsort, qsort_serial};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    // Fig. 1 main(): fill the array in parallel with sin(i) — cilk_for.
+    let mut a = vec![0.0f64; n];
+    let mut rows: Vec<(usize, &mut f64)> = a.iter_mut().enumerate().collect();
+    cilk::runtime::for_each_slice_mut(&mut rows, cilk::Grain::Auto, |_off, chunk| {
+        for (i, slot) in chunk.iter_mut() {
+            **slot = (*i as f64).sin();
+        }
+    });
+    drop(rows);
+
+    // Sort (f64 is not Ord; sort the total-order bit pattern like the
+    // paper sorts doubles with operator<).
+    let mut keys: Vec<i64> = a.iter().map(|x| total_order_key(*x)).collect();
+    let mut expected = keys.clone();
+
+    let (_, parallel_time) = time(|| qsort(&mut keys));
+    let (_, serial_time) = time(|| qsort_serial(&mut expected));
+
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+    assert_eq!(keys, expected, "parallel and serial elision agree");
+    println!("sorted {n} doubles: parallel {:.1} ms, serial elision {:.1} ms",
+        parallel_time * 1e3, serial_time * 1e3);
+
+    // Cilkview analysis of the quicksort dag at this n (Fig. 3 workflow).
+    let sp = cilk::dag::workload::qsort_sp(n as u64, (n as u64 / 100).max(64), 1234);
+    let profile = cilk::view::Profile {
+        work: sp.work(),
+        span: sp.span(),
+        burdened_span: sp.span_with_burden(15_000),
+        spawns: sp.spawn_count(),
+        regions: Vec::new(),
+        dag: None,
+    };
+    println!("\nCilkview scalability profile (parallelism {:.2}):", profile.parallelism());
+    println!("{}", profile.speedup_profile(8));
+}
+
+fn total_order_key(x: f64) -> i64 {
+    let bits = x.to_bits() as i64;
+    bits ^ (((bits >> 63) as u64) >> 1) as i64
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}

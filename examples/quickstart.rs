@@ -1,0 +1,41 @@
+//! Quickstart: the three keywords and a reducer, in five minutes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cilk::prelude::*;
+
+fn main() {
+    // --- cilk_spawn / cilk_sync: fork-join with `join` -------------------
+    // `join(a, b)` runs `a` on the calling worker and lets an idle worker
+    // steal `b`; it returns both results after the implicit sync.
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = cilk::join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    println!("fib(30)          = {}", fib(30));
+
+    // --- cilk_for: parallel loops ----------------------------------------
+    let total = cilk::map_reduce(0..1_000_000, || 0u64, |i| i as u64, |a, b| a + b);
+    println!("sum 0..1e6       = {total}");
+
+    // --- reducers: race-free nonlocal variables ---------------------------
+    // A list reducer preserves the exact serial order, with no locks.
+    let squares = ReducerList::<u64>::list();
+    cilk_for(0..10, |i| squares.push_back((i * i) as u64));
+    println!("squares in order = {:?}", squares.into_value());
+
+    // --- explicit pools: override the worker count (§3.2) -----------------
+    let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+    let on_pool = pool.install(|| fib(25));
+    println!("fib(25) on a 2-worker pool = {on_pool}");
+    let m = pool.metrics();
+    println!(
+        "pool metrics: {} spawns, {} steals ({:.2}% stolen)",
+        m.spawns,
+        m.steals,
+        m.steal_ratio() * 100.0
+    );
+}

@@ -1,0 +1,69 @@
+//! Cilkview-style scalability analysis of your own code (§3.1, Fig. 3).
+//!
+//! Profiles an instrumented computation once, prints the speedup-profile
+//! table (Work-Law line, Span-Law ceiling, burdened lower bound), then
+//! validates the prediction against the deterministic work-stealing
+//! simulator at several P.
+//!
+//! Run with `cargo run --example scalability`.
+
+use cilk::dag::schedule::{work_stealing, WsConfig};
+use cilk::dag::workload::bfs_sp;
+use cilk::view::{charge, Cilkview};
+
+fn main() {
+    // An "application": a two-phase pipeline — a parallel preprocessing
+    // loop followed by a mostly-serial postprocess, a classic
+    // limited-parallelism shape.
+    let ((), profile) = Cilkview::new().burden(500).record_dag().profile(|| {
+        cilk::view::for_each_index(0..4096, 16, |_| charge(250)); // parallel phase
+        charge(120_000); // serial phase
+    });
+
+    println!(
+        "measured: work {}  span {}  parallelism {:.2}  burdened {:.2}",
+        profile.work,
+        profile.span,
+        profile.parallelism(),
+        profile.burdened_parallelism()
+    );
+    let table = profile.speedup_profile(16);
+    println!("\n{table}");
+    println!("knee at P = {}\n", table.knee());
+
+    // Replay the *recorded* dag of the real run through the simulator.
+    let sp = profile.dag.clone().expect("dag recorded");
+    assert_eq!(sp.work(), profile.work);
+    assert_eq!(sp.span(), profile.span);
+    println!("work-stealing simulator replaying the recorded execution dag:");
+    println!("{:>3} {:>10} {:>18}", "P", "speedup", "within [lower,upper]");
+    for p in [1u64, 2, 4, 8, 16] {
+        let sim = work_stealing(&sp, &WsConfig::new(p as usize).steal_burden(500));
+        let speedup = sim.speedup(sp.work());
+        let row = table.row(p).expect("row");
+        let ok = speedup <= row.upper + 1e-9 && speedup >= row.burdened_lower * 0.9;
+        println!("{:>3} {:>10.2} {:>18}", p, speedup, if ok { "yes" } else { "NO" });
+    }
+
+    // What-if analysis: which strand should we optimize to raise the
+    // ceiling? (Only critical-path strands can reduce the span.)
+    let dag = sp.to_dag();
+    println!("\ntop optimization targets (zeroing the strand → new span):");
+    for t in cilk::dag::whatif::optimization_targets(&dag, 3) {
+        println!(
+            "  strand {:>4} (weight {:>7}): span {} → {} (saves {})",
+            t.node.0,
+            t.weight,
+            dag.span(),
+            t.span_if_removed,
+            t.savings(dag.span())
+        );
+    }
+
+    // Bonus: the same analysis for BFS (§2.3's "thousands" of parallelism).
+    let bfs = bfs_sp(200_000, 8, 16, 3);
+    println!(
+        "\nBFS 200k vertices: parallelism {:.0} — \"on the order of thousands\" (§2.3)",
+        bfs.parallelism()
+    );
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate for the Cilk++ concurrency platform reproduction.
+//!
+//! See `README.md` for the tour. Examples live in `examples/`,
+//! cross-crate integration tests in `tests/`; the component crates are
+//! under `crates/` and re-exported through the [`cilk`] facade.

@@ -1,0 +1,109 @@
+//! Integration of the analysis tooling: region profiling, schedule
+//! traces, DOT export and pedigrees working together over real workloads.
+
+use cilk::dag::schedule::{greedy, ScheduleTrace};
+use cilk::view::{charge, region, Cilkview};
+
+#[test]
+fn region_profile_of_a_pipeline() {
+    let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(2))
+        .expect("pool");
+    let profile = pool.install(|| {
+        let ((), p) = Cilkview::new().burden(0).profile(|| {
+            region("load", || charge(1_000));
+            cilk::view::for_each_index(0..64, 4, |_| {
+                region("transform", || charge(100));
+            });
+            region("store", || charge(500));
+        });
+        p
+    });
+    assert_eq!(profile.work, 1_000 + 64 * 100 + 500);
+    let regions: std::collections::HashMap<_, _> = profile.regions.iter().copied().collect();
+    assert_eq!(regions["transform"].calls, 64);
+    assert_eq!(regions["transform"].work, 6_400);
+    assert_eq!(regions["load"].calls, 1);
+    // The heaviest region leads the report.
+    assert_eq!(profile.regions[0].0, "transform");
+    let report = profile.region_report();
+    assert!(report.contains("transform") && report.contains("store"));
+}
+
+#[test]
+fn schedule_trace_of_fig2() {
+    let (dag, _) = cilk::dag::fig2::example_dag();
+    for p in [1usize, 2, 3] {
+        let schedule = greedy(&dag, p);
+        let trace = ScheduleTrace::from_greedy(&dag, &schedule);
+        let busy: u64 = (0..p).map(|q| trace.busy_time(q)).sum();
+        assert_eq!(busy, dag.work(), "P={p}: busy time must equal work");
+        assert!(trace.utilization() <= 1.0 + 1e-9);
+        let gantt = trace.to_ascii_gantt(36);
+        assert_eq!(gantt.lines().count(), p);
+    }
+    // At P = 2 (the dag's parallelism) utilization is decent; at P = 8 it
+    // collapses — the "starved processors" effect.
+    let u2 = ScheduleTrace::from_greedy(&dag, &greedy(&dag, 2)).utilization();
+    let u8 = ScheduleTrace::from_greedy(&dag, &greedy(&dag, 8)).utilization();
+    assert!(u2 > 2.5 * u8, "u2={u2} u8={u8}");
+}
+
+#[test]
+fn parallelism_profile_shows_serial_phase() {
+    // Serial ramp followed by a wide parallel phase: the timeline's first
+    // buckets must run at ~1 busy processor, later ones near P.
+    let sp = cilk::dag::Sp::series(
+        cilk::dag::Sp::leaf(1_000),
+        cilk::dag::workload::loop_sp(64, 125),
+    );
+    let dag = sp.to_dag();
+    let schedule = greedy(&dag, 8);
+    let trace = ScheduleTrace::from_greedy(&dag, &schedule);
+    let profile = trace.parallelism_profile(10);
+    assert!(profile[0] <= 1.2, "serial prefix: {profile:?}");
+    let peak = profile.iter().cloned().fold(0.0, f64::max);
+    assert!(peak > 6.0, "parallel phase should near P=8: {profile:?}");
+}
+
+#[test]
+fn dot_export_round_trips_vertex_count() {
+    let sp = cilk::dag::workload::fib_sp(8, 1);
+    let dag = sp.to_dag();
+    let dot = cilk::dag::dot::to_dot(&dag, &cilk::dag::dot::DotOptions::default());
+    let vertex_lines = dot
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            // Vertex lines look like `n<digit>… [label=…];`
+            t.starts_with('n')
+                && t.chars().nth(1).is_some_and(|c| c.is_ascii_digit())
+                && t.contains('[')
+                && !t.contains("->")
+        })
+        .count();
+    assert_eq!(vertex_lines, dag.len());
+}
+
+#[test]
+fn pedigree_and_reducers_together() {
+    // A randomized parallel computation whose *result* is deterministic:
+    // pedigree RNG feeds values, a list reducer collects them in order.
+    let run = |workers: usize| {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(workers))
+            .expect("pool");
+        pool.install(|| {
+            let rng = cilk::pedigree::Dprng::new(31);
+            let out = cilk::hyper::ReducerList::<u64>::list();
+            cilk::pedigree::with_root(|| {
+                cilk::pedigree::for_each_index(0..300, 16, |_| {
+                    out.push_back(rng.next_below(1000));
+                });
+            });
+            out.into_value()
+        })
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.len(), 300);
+    assert_eq!(a, b, "values and order both schedule-independent");
+}

@@ -1,0 +1,119 @@
+//! Serial-elision semantics: "parallel code retains its serial semantics
+//! when run on one processor" (§1) — and, for deterministic programs,
+//! on any number of processors. Every shipped workload is checked:
+//! its parallel version on 1-worker and multi-worker pools must produce
+//! results identical to its serial elision.
+
+use cilk::{Config, ThreadPool};
+use cilk_workloads as wl;
+
+fn pools() -> Vec<ThreadPool> {
+    [1usize, 2, 4]
+        .iter()
+        .map(|&n| ThreadPool::with_config(Config::new().num_workers(n)).expect("pool"))
+        .collect()
+}
+
+#[test]
+fn qsort_elision() {
+    let base: Vec<i64> = (0..40_000).map(|i| (i * 48_271) % 65_537 - 32_768).collect();
+    let mut expected = base.clone();
+    wl::qsort::qsort_serial(&mut expected);
+    for pool in pools() {
+        let mut v = base.clone();
+        pool.install(|| wl::qsort::qsort(&mut v));
+        assert_eq!(v, expected, "{} workers", pool.num_workers());
+    }
+}
+
+#[test]
+fn mergesort_elision() {
+    let base: Vec<i64> = (0..40_000).map(|i| (i * 16_807) % 10_007).collect();
+    let mut expected = base.clone();
+    wl::mergesort::merge_sort_serial(&mut expected);
+    for pool in pools() {
+        let mut v = base.clone();
+        pool.install(|| wl::mergesort::merge_sort(&mut v));
+        assert_eq!(v, expected, "{} workers", pool.num_workers());
+    }
+}
+
+#[test]
+fn fib_elision() {
+    let expected = wl::fib::fib_serial(24);
+    for pool in pools() {
+        assert_eq!(pool.install(|| wl::fib::fib_cutoff(24, 8)), expected);
+    }
+}
+
+#[test]
+fn matmul_elision() {
+    let a = wl::matmul::Matrix::random(40, 1);
+    let b = wl::matmul::Matrix::random(40, 2);
+    let expected = wl::matmul::matmul_serial(&a, &b);
+    for pool in pools() {
+        let c = pool.install(|| wl::matmul::matmul(&a, &b));
+        assert_eq!(c.max_abs_diff(&expected), 0.0, "row-wise FP order is identical");
+    }
+}
+
+#[test]
+fn strassen_elision_within_fp_tolerance() {
+    let a = wl::matmul::Matrix::random(64, 3);
+    let b = wl::matmul::Matrix::random(64, 4);
+    let expected = wl::matmul::matmul_serial(&a, &b);
+    for pool in pools() {
+        let c = pool.install(|| wl::strassen::strassen(&a, &b, 8));
+        // Strassen reassociates arithmetic; exactness is not expected.
+        assert!(c.max_abs_diff(&expected) < 1e-9);
+    }
+}
+
+#[test]
+fn bfs_elision() {
+    let g = wl::bfs::Graph::random(8_000, 5, 11);
+    let expected = wl::bfs::bfs_serial(&g, 0);
+    for pool in pools() {
+        assert_eq!(pool.install(|| wl::bfs::bfs(&g, 0)), expected);
+    }
+}
+
+#[test]
+fn nqueens_elision() {
+    let expected = wl::nqueens::nqueens_serial(9);
+    for pool in pools() {
+        assert_eq!(pool.install(|| wl::nqueens::nqueens(9, 3)), expected);
+    }
+}
+
+#[test]
+fn heat_elision() {
+    let g = wl::heat::Grid::with_hot_spot(96, 64, 80.0);
+    let expected = wl::heat::diffuse_serial(&g, 0.2, 12);
+    for pool in pools() {
+        let got = pool.install(|| wl::heat::diffuse(&g, 0.2, 12));
+        assert_eq!(got.max_abs_diff(&expected), 0.0);
+    }
+}
+
+#[test]
+fn lu_elision() {
+    let a = wl::lu::dominant_matrix(48, 7);
+    let expected = wl::lu::lu_serial(&a);
+    for pool in pools() {
+        let got = pool.install(|| wl::lu::lu(&a, 12));
+        assert!(got.max_abs_diff(&expected) < 1e-8);
+    }
+}
+
+#[test]
+fn tree_walk_elision() {
+    let tree = wl::tree::build_tree(4_000, 13);
+    let mut expected = Vec::new();
+    wl::tree::walk_serial(&tree, 3, 0, &mut expected);
+    for pool in pools() {
+        let out = cilk::hyper::ReducerList::<u64>::list();
+        pool.install(|| wl::tree::walk_reducer(&tree, 3, 0, &out));
+        assert_eq!(out.into_value(), expected);
+    }
+}

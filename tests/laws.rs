@@ -1,0 +1,125 @@
+//! The §2 laws hold for *measured* executions: cilkview profiles of real
+//! instrumented runs agree with the dag model, and the schedule simulators
+//! respect the Work Law, Span Law and the greedy/work-stealing bounds on
+//! those profiles.
+
+use cilk::dag::schedule::{greedy, work_stealing, WsConfig};
+use cilk::dag::{workload, Measures};
+use cilk::view::{charge, Cilkview};
+
+#[test]
+fn measured_profile_equals_dag_model_for_fib() {
+    fn fib(n: u64) -> u64 {
+        charge(1);
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = cilk::view::join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+    for n in [8u64, 12, 16] {
+        let ((), p) = Cilkview::new().burden(0).profile(|| {
+            fib(n);
+        });
+        let model = workload::fib_sp(n, 1);
+        assert_eq!(p.work, model.work(), "work at n={n}");
+        assert_eq!(p.span, model.span(), "span at n={n}");
+        assert_eq!(p.spawns, model.spawn_count(), "spawns at n={n}");
+    }
+}
+
+#[test]
+fn measured_profile_is_schedule_invariant() {
+    // The same instrumented code measured on pools of different widths
+    // must produce identical work/span: the dag is a property of the
+    // program, not of the schedule.
+    let run = |workers: usize| {
+        let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(workers))
+            .expect("pool");
+        pool.install(|| {
+            let ((), p) = Cilkview::new().burden(7).profile(|| {
+                cilk::view::for_each_index(0..500, 3, |i| charge(1 + (i as u64 % 5)));
+            });
+            p
+        })
+    };
+    let p1 = run(1);
+    let p4 = run(4);
+    assert_eq!(p1, p4, "profiles must not depend on the schedule");
+}
+
+#[test]
+fn laws_hold_on_measured_profiles() {
+    let ((), p) = Cilkview::new().burden(0).profile(|| {
+        cilk::view::for_each_index(0..256, 4, |_| charge(10));
+        charge(500);
+    });
+    let m = Measures::new(p.work, p.span);
+    // Simulate the equivalent dag.
+    // Grain 4 over 256 iterations of weight 10 = 64 leaves of weight 40.
+    let sp = cilk::dag::Sp::series(
+        workload::loop_sp(64, 40),
+        cilk::dag::Sp::leaf(500),
+    );
+    assert_eq!(sp.work(), p.work);
+    assert_eq!(sp.span(), p.span);
+    let dag = sp.to_dag();
+    for p_count in [1u64, 2, 4, 8] {
+        let g = greedy(&dag, p_count as usize);
+        assert!(g.makespan as f64 + 1e-9 >= m.lower_bound_tp(p_count), "work/span law");
+        assert!(
+            g.makespan as f64 <= m.greedy_upper_bound_tp(p_count) + 1e-9,
+            "greedy bound"
+        );
+        let ws = work_stealing(&sp, &WsConfig::new(p_count as usize));
+        assert!(ws.makespan as f64 + 1e-9 >= m.lower_bound_tp(p_count), "ws lower");
+    }
+}
+
+#[test]
+fn speedup_never_exceeds_parallelism_or_p() {
+    // §2.3: perfect linear speedup is impossible past T1/T∞.
+    for (name, sp) in [
+        ("qsort", workload::qsort_sp(200_000, 2_000, 3)),
+        ("fib", workload::fib_sp(14, 1)),
+        ("tree", workload::tree_walk_sp(2_000, 3, 10, 0.3, 5)),
+    ] {
+        let m = Measures::new(sp.work(), sp.span());
+        for p in [1u64, 2, 4, 8, 16, 32] {
+            let ws = work_stealing(&sp, &WsConfig::new(p as usize));
+            let speedup = ws.speedup(m.work);
+            assert!(
+                speedup <= m.speedup_upper_bound(p) + 1e-9,
+                "{name} P={p}: speedup {speedup} exceeds bound {}",
+                m.speedup_upper_bound(p)
+            );
+        }
+    }
+}
+
+#[test]
+fn burdened_span_upper_bounds_plain_span() {
+    for burden in [0u64, 10, 1000, 100_000] {
+        let sp = workload::qsort_sp(100_000, 1_000, 1);
+        assert!(sp.span_with_burden(burden) >= sp.span());
+        // Burden scales with the number of spawns on the critical path,
+        // never more than burden × total spawns.
+        assert!(sp.span_with_burden(burden) <= sp.span() + burden * sp.spawn_count());
+    }
+}
+
+#[test]
+fn real_runtime_depth_respects_span_structure() {
+    // The real runtime's join-depth high-watermark tracks the dag depth of
+    // the D&C loop: ~lg n, not n.
+    let pool = cilk::ThreadPool::with_config(cilk::Config::new().num_workers(2)).expect("pool");
+    pool.install(|| {
+        cilk::runtime::for_each_index(0..1 << 14, cilk::Grain::Explicit(1), |_| {});
+    });
+    let m = pool.metrics();
+    assert!(
+        m.depth_high_watermark >= 14 && m.depth_high_watermark < 100,
+        "depth {} should be Θ(lg n)",
+        m.depth_high_watermark
+    );
+}

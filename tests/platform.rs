@@ -1,0 +1,150 @@
+//! End-to-end integration: the whole platform working together, the way a
+//! Cilk++ user would combine it.
+
+use cilk::hyper::{ReducerList, ReducerMax, ReducerSum};
+use cilk::prelude::*;
+use cilk_workloads::{bfs, matmul, qsort, tree};
+
+#[test]
+fn full_pipeline_sort_then_analyze() {
+    // Sort on an explicit pool, then use the analyzer and simulator to
+    // predict scalability of the same computation.
+    let pool = ThreadPool::with_config(Config::new().num_workers(4)).expect("pool");
+    let mut data: Vec<i64> = (0..100_000).map(|i| (i * 2_654_435_761u64 as i64) % 99_991).collect();
+    let mut expected = data.clone();
+    expected.sort_unstable();
+    pool.install(|| qsort::qsort(&mut data));
+    assert_eq!(data, expected);
+
+    let sp = cilk::dag::workload::qsort_sp(100_000, 1_000, 7);
+    let m = cilk::dag::Measures::new(sp.work(), sp.span());
+    for p in [2u64, 4] {
+        let sim = cilk::dag::schedule::work_stealing(
+            &sp,
+            &cilk::dag::schedule::WsConfig::new(p as usize),
+        );
+        assert!(sim.makespan as f64 + 1e-9 >= m.lower_bound_tp(p));
+    }
+}
+
+#[test]
+fn reducers_compose_across_workload_helpers() {
+    let pool = ThreadPool::with_config(Config::new().num_workers(3)).expect("pool");
+    let tree = tree::build_tree(5_000, 8);
+
+    let mut serial = Vec::new();
+    tree::walk_serial(&tree, 5, 0, &mut serial);
+
+    let list = ReducerList::<u64>::list();
+    let total = ReducerSum::<u64>::sum();
+    let biggest = ReducerMax::<u64>::max();
+    pool.install(|| {
+        cilk::join(
+            || tree::walk_reducer(&tree, 5, 0, &list),
+            || {
+                cilk_for_grain(0..1_000, 10, |i| {
+                    total.add(i as u64);
+                    biggest.update(i as u64);
+                });
+            },
+        );
+    });
+    assert_eq!(list.into_value(), serial);
+    assert_eq!(total.into_value(), 499_500);
+    assert_eq!(biggest.into_value(), Some(999));
+}
+
+#[test]
+fn detector_certifies_every_shipped_workload() {
+    // The race detector passes over the traced versions of the workloads
+    // we ship as race-free.
+    let report = cilk::screen::Detector::new().run(|e| qsort::qsort_traced(e, 200, false));
+    assert!(report.is_race_free(), "{report}");
+
+    let t = tree::build_tree(200, 3);
+    let report = cilk::screen::Detector::new().run(|e| tree::walk_traced_mutex(e, &t, 2));
+    assert!(report.is_race_free(), "{report}");
+}
+
+#[test]
+fn independent_pools_coexist() {
+    // Two pools with different widths, used alternately and concurrently
+    // from two OS threads.
+    let a = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool a");
+    let b = ThreadPool::with_config(Config::new().num_workers(3)).expect("pool b");
+    std::thread::scope(|s| {
+        let ra = s.spawn(|| a.install(|| cilk_workloads::fib::fib_cutoff(24, 10)));
+        let rb = s.spawn(|| b.install(|| cilk_workloads::fib::fib_cutoff(23, 10)));
+        assert_eq!(ra.join().expect("thread a"), 46_368);
+        assert_eq!(rb.join().expect("thread b"), 28_657);
+    });
+}
+
+#[test]
+fn matmul_bfs_and_reducers_under_one_scope() {
+    let pool = ThreadPool::with_config(Config::new().num_workers(4)).expect("pool");
+    let g = bfs::Graph::random(2_000, 4, 99);
+    let a = matmul::Matrix::random(48, 5);
+    let b2 = matmul::Matrix::random(48, 6);
+    let serial_dist = bfs::bfs_serial(&g, 0);
+    let serial_mm = matmul::matmul_serial(&a, &b2);
+
+    let log = ReducerList::<&'static str>::list();
+    pool.install(|| {
+        scope(|s| {
+            let log_ref = &log;
+            let g_ref = &g;
+            s.spawn(move || {
+                let d = bfs::bfs(g_ref, 0);
+                assert_eq!(d.len(), 2_000);
+                log_ref.push_back("bfs");
+            });
+            let a_ref = &a;
+            let b_ref = &b2;
+            s.spawn(move || {
+                let c = matmul::matmul(a_ref, b_ref);
+                assert!(c.n() == 48);
+                log_ref.push_back("matmul");
+            });
+        });
+    });
+    // Spawn-order reduction: deterministic log order.
+    assert_eq!(log.into_value(), vec!["bfs", "matmul"]);
+    assert_eq!(bfs::bfs(&g, 0), serial_dist);
+    assert!(matmul::matmul(&a, &b2).max_abs_diff(&serial_mm) < 1e-9);
+}
+
+#[test]
+fn mutex_library_under_heavy_fork_join() {
+    let pool = ThreadPool::with_config(Config::new().num_workers(4)).expect("pool");
+    let counter = Mutex::new(0u64);
+    pool.install(|| {
+        cilk_for_grain(0..10_000, 16, |_| {
+            *counter.lock() += 1;
+        });
+    });
+    assert_eq!(counter.into_inner(), 10_000);
+}
+
+#[test]
+fn panics_propagate_through_the_whole_stack() {
+    let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            cilk::join(
+                || cilk_for(0..100, |_| {}),
+                || {
+                    cilk_for_grain(0..100, 10, |i| {
+                        if i == 57 {
+                            panic!("deep panic");
+                        }
+                    });
+                },
+            );
+        });
+    }));
+    assert!(result.is_err(), "the deep panic must surface");
+    // The pool must remain usable afterwards.
+    let v = pool.install(|| cilk::map_reduce(0..100, || 0u64, |i| i as u64, |a, b| a + b));
+    assert_eq!(v, 4950);
+}

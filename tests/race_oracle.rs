@@ -1,0 +1,198 @@
+//! Property-based validation of the SP-bags race detector against a
+//! brute-force oracle.
+//!
+//! Random fork-join programs (spawns, syncs, reads, writes over a small
+//! set of locations) are interpreted twice: once by the Cilkscreen
+//! detector, and once by an oracle that builds the *strand dag* of the
+//! execution and exhaustively tests every conflicting access pair with
+//! `Dag::parallel`. The detector's per-location verdicts must match the
+//! oracle's exactly — Feng–Leiserson's correctness theorem.
+
+use cilk::dag::{Dag, NodeId};
+use cilk::screen::{Detector, Execution, Location};
+use proptest::prelude::*;
+
+/// AST of a random fork-join program.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// Read or write one of the locations.
+    Access { loc: u8, write: bool },
+    /// `cilk_spawn f()` where f's body is the vector (with its implicit
+    /// sync on return).
+    Spawn(Vec<Stmt>),
+    /// `cilk_sync`.
+    Sync,
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (0u8..4, any::<bool>()).prop_map(|(loc, write)| Stmt::Access { loc, write }),
+        Just(Stmt::Sync),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        prop_oneof![
+            3 => (0u8..4, any::<bool>()).prop_map(|(loc, write)| Stmt::Access { loc, write }),
+            1 => Just(Stmt::Sync),
+            3 => proptest::collection::vec(inner, 0..6).prop_map(Stmt::Spawn),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Stmt>> {
+    proptest::collection::vec(stmt_strategy(), 0..10)
+}
+
+/// Interprets the program under the Cilkscreen detector.
+fn run_detector(body: &[Stmt]) -> Vec<bool> {
+    fn interp(exec: &mut Execution<'_>, body: &[Stmt]) {
+        for stmt in body {
+            match stmt {
+                Stmt::Access { loc, write } => {
+                    if *write {
+                        exec.write(Location(*loc as u64));
+                    } else {
+                        exec.read(Location(*loc as u64));
+                    }
+                }
+                Stmt::Sync => exec.sync(),
+                Stmt::Spawn(child) => exec.spawn(|e| interp(e, child)),
+            }
+        }
+    }
+    let report = Detector::new().run(|e| interp(e, body));
+    (0..4u8)
+        .map(|loc| !report.races_at(Location(loc as u64)).is_empty())
+        .collect()
+}
+
+/// Oracle: builds the strand dag of the serial execution and tests every
+/// conflicting pair for logical parallelism.
+fn run_oracle(body: &[Stmt]) -> Vec<bool> {
+    struct Builder {
+        dag: Dag,
+        accesses: Vec<(u8, bool, NodeId)>,
+    }
+
+    struct Frame {
+        cur: NodeId,
+        pending: Vec<NodeId>,
+    }
+
+    fn interp(b: &mut Builder, frame: &mut Frame, body: &[Stmt]) {
+        for stmt in body {
+            match stmt {
+                Stmt::Access { loc, write } => {
+                    b.accesses.push((*loc, *write, frame.cur));
+                }
+                Stmt::Sync => sync(b, frame),
+                Stmt::Spawn(child_body) => {
+                    // Child entry strand.
+                    let child_entry = b.dag.add_node(1);
+                    b.dag.add_edge(frame.cur, child_entry).expect("fresh edge");
+                    let mut child = Frame { cur: child_entry, pending: Vec::new() };
+                    interp(b, &mut child, child_body);
+                    // Implicit sync at child return.
+                    sync(b, &mut child);
+                    // Continuation strand of the parent.
+                    let cont = b.dag.add_node(1);
+                    b.dag.add_edge(frame.cur, cont).expect("fresh edge");
+                    frame.pending.push(child.cur);
+                    frame.cur = cont;
+                }
+            }
+        }
+    }
+
+    fn sync(b: &mut Builder, frame: &mut Frame) {
+        if frame.pending.is_empty() {
+            return;
+        }
+        let joined = b.dag.add_node(1);
+        b.dag.add_edge(frame.cur, joined).expect("fresh edge");
+        for child in frame.pending.drain(..) {
+            b.dag.add_edge(child, joined).expect("fresh edge");
+        }
+        frame.cur = joined;
+    }
+
+    let mut b = Builder { dag: Dag::new(), accesses: Vec::new() };
+    let root = b.dag.add_node(1);
+    let mut frame = Frame { cur: root, pending: Vec::new() };
+    interp(&mut b, &mut frame, body);
+    sync(&mut b, &mut frame);
+
+    (0..4u8)
+        .map(|loc| {
+            let accs: Vec<_> = b.accesses.iter().filter(|(l, _, _)| *l == loc).collect();
+            for (i, (_, w1, s1)) in accs.iter().enumerate() {
+                for (_, w2, s2) in &accs[i + 1..] {
+                    if (*w1 || *w2) && b.dag.parallel(*s1, *s2) {
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The detector's per-location race verdicts must equal the oracle's.
+    #[test]
+    fn detector_matches_bruteforce_oracle(program in program_strategy()) {
+        let detected = run_detector(&program);
+        let oracle = run_oracle(&program);
+        prop_assert_eq!(
+            detected,
+            oracle,
+            "SP-bags and the dag oracle disagree on {:?}",
+            program
+        );
+    }
+}
+
+/// A regression corpus of hand-picked tricky programs (kept even though
+/// proptest would likely rediscover them).
+#[test]
+fn corpus_cases_match() {
+    use Stmt::*;
+    let cases: Vec<Vec<Stmt>> = vec![
+        // Write in child, read after sync: serial.
+        vec![Spawn(vec![Access { loc: 0, write: true }]), Sync, Access { loc: 0, write: false }],
+        // Write in child, write before sync: race.
+        vec![Spawn(vec![Access { loc: 0, write: true }]), Access { loc: 0, write: true }],
+        // Two children, both writing, with sync between: serial.
+        vec![
+            Spawn(vec![Access { loc: 1, write: true }]),
+            Sync,
+            Spawn(vec![Access { loc: 1, write: true }]),
+            Sync,
+        ],
+        // Grandchild synced locally still races with the root continuation.
+        vec![
+            Spawn(vec![Spawn(vec![Access { loc: 2, write: true }]), Sync]),
+            Access { loc: 2, write: true },
+        ],
+        // Reads only: never a race.
+        vec![
+            Spawn(vec![Access { loc: 3, write: false }]),
+            Access { loc: 3, write: false },
+        ],
+        // Read-read in parallel then a serial write.
+        vec![
+            Spawn(vec![Access { loc: 0, write: false }]),
+            Access { loc: 0, write: false },
+            Sync,
+            Access { loc: 0, write: true },
+        ],
+    ];
+    for (i, program) in cases.iter().enumerate() {
+        assert_eq!(
+            run_detector(program),
+            run_oracle(program),
+            "corpus case {i} diverged: {program:?}"
+        );
+    }
+}

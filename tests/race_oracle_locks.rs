@@ -1,0 +1,204 @@
+//! Lock-aware oracle validation: the ALL-SETS shadow discipline against a
+//! brute-force oracle over random fork-join programs *with critical
+//! sections*.
+//!
+//! §4's race definition: logically parallel accesses to the same
+//! location, at least one write, "the two strands hold no locks in
+//! common". The oracle records every access's full lock-set and checks
+//! all conflicting pairs; the detector must agree per location.
+
+use cilk::dag::{Dag, NodeId};
+use cilk::screen::{Detector, Execution, Location, LockId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Access { loc: u8, write: bool },
+    Spawn(Vec<Stmt>),
+    Sync,
+    WithLock(u8, Vec<Stmt>),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (0u8..3, any::<bool>()).prop_map(|(loc, write)| Stmt::Access { loc, write }),
+        Just(Stmt::Sync),
+    ];
+    leaf.prop_recursive(4, 40, 5, |inner| {
+        prop_oneof![
+            3 => (0u8..3, any::<bool>()).prop_map(|(loc, write)| Stmt::Access { loc, write }),
+            1 => Just(Stmt::Sync),
+            3 => proptest::collection::vec(inner.clone(), 0..5).prop_map(Stmt::Spawn),
+            2 => (0u8..2, proptest::collection::vec(inner, 0..4))
+                .prop_map(|(l, body)| Stmt::WithLock(l, body)),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Stmt>> {
+    proptest::collection::vec(stmt_strategy(), 0..8)
+}
+
+/// Locks held are tracked as a bitmask (lock ids 0..2).
+fn run_detector(body: &[Stmt]) -> Vec<bool> {
+    fn interp(exec: &mut Execution<'_>, body: &[Stmt], held: u8) {
+        for stmt in body {
+            match stmt {
+                Stmt::Access { loc, write } => {
+                    if *write {
+                        exec.write(Location(*loc as u64));
+                    } else {
+                        exec.read(Location(*loc as u64));
+                    }
+                }
+                Stmt::Sync => exec.sync(),
+                Stmt::Spawn(child) => exec.spawn(|e| interp(e, child, held)),
+                Stmt::WithLock(l, inner) => {
+                    if held & (1 << l) != 0 {
+                        // Already held (the detector forbids recursive
+                        // acquisition, as real mutexes deadlock): run the
+                        // body without re-acquiring.
+                        interp(exec, inner, held);
+                    } else {
+                        exec.with_lock(LockId(*l as u64), |e| {
+                            interp(e, inner, held | (1 << l));
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let report = Detector::new().run(|e| interp(e, body, 0));
+    (0..3u8)
+        .map(|loc| !report.races_at(Location(loc as u64)).is_empty())
+        .collect()
+}
+
+fn run_oracle(body: &[Stmt]) -> Vec<bool> {
+    struct Builder {
+        dag: Dag,
+        accesses: Vec<(u8, bool, u8, NodeId)>, // (loc, write, lockmask, strand)
+    }
+    struct Frame {
+        cur: NodeId,
+        pending: Vec<NodeId>,
+    }
+
+    fn interp(b: &mut Builder, frame: &mut Frame, body: &[Stmt], held: u8) {
+        for stmt in body {
+            match stmt {
+                Stmt::Access { loc, write } => {
+                    b.accesses.push((*loc, *write, held, frame.cur));
+                }
+                Stmt::Sync => sync(b, frame),
+                Stmt::Spawn(child_body) => {
+                    let entry = b.dag.add_node(1);
+                    b.dag.add_edge(frame.cur, entry).expect("edge");
+                    let mut child = Frame { cur: entry, pending: Vec::new() };
+                    interp(b, &mut child, child_body, held);
+                    sync(b, &mut child);
+                    let cont = b.dag.add_node(1);
+                    b.dag.add_edge(frame.cur, cont).expect("edge");
+                    frame.pending.push(child.cur);
+                    frame.cur = cont;
+                }
+                Stmt::WithLock(l, inner) => {
+                    interp(b, frame, inner, held | (1 << l));
+                }
+            }
+        }
+    }
+
+    fn sync(b: &mut Builder, frame: &mut Frame) {
+        if frame.pending.is_empty() {
+            return;
+        }
+        let joined = b.dag.add_node(1);
+        b.dag.add_edge(frame.cur, joined).expect("edge");
+        for child in frame.pending.drain(..) {
+            b.dag.add_edge(child, joined).expect("edge");
+        }
+        frame.cur = joined;
+    }
+
+    let mut b = Builder { dag: Dag::new(), accesses: Vec::new() };
+    let root = b.dag.add_node(1);
+    let mut frame = Frame { cur: root, pending: Vec::new() };
+    interp(&mut b, &mut frame, body, 0);
+    sync(&mut b, &mut frame);
+
+    (0..3u8)
+        .map(|loc| {
+            let accs: Vec<_> = b.accesses.iter().filter(|(l, ..)| *l == loc).collect();
+            for (i, (_, w1, m1, s1)) in accs.iter().enumerate() {
+                for (_, w2, m2, s2) in &accs[i + 1..] {
+                    if (*w1 || *w2) && (m1 & m2) == 0 && b.dag.parallel(*s1, *s2) {
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// ALL-SETS verdicts equal the brute-force lock-aware oracle's.
+    #[test]
+    fn lock_aware_detector_matches_oracle(program in program_strategy()) {
+        prop_assert_eq!(
+            run_detector(&program),
+            run_oracle(&program),
+            "disagreement on {:?}", program
+        );
+    }
+}
+
+#[test]
+fn subset_lockset_case_is_caught() {
+    // The case a single writer slot misses: write{A} is overwritten by
+    // write{A,B}; the later read{B} races with the *first* write only.
+    use Stmt::*;
+    let program = vec![
+        Spawn(vec![
+            WithLock(0, vec![Access { loc: 0, write: true }]), // write {A}
+            WithLock(0, vec![WithLock(1, vec![Access { loc: 0, write: true }])]), // write {A,B}
+        ]),
+        WithLock(1, vec![Access { loc: 0, write: false }]), // read {B}, parallel
+        Sync,
+    ];
+    assert_eq!(run_oracle(&program), vec![true, false, false], "oracle sanity");
+    assert_eq!(
+        run_detector(&program),
+        vec![true, false, false],
+        "ALL-SETS must keep the {{A}} writer entry alive"
+    );
+}
+
+#[test]
+fn dominated_entries_do_not_mask_each_other() {
+    // write{} dominates write{A}: after an unlocked parallel write, a
+    // locked one adds nothing — but order of insertion must not matter.
+    use Stmt::*;
+    for first_locked in [false, true] {
+        let (w1, w2): (Stmt, Stmt) = if first_locked {
+            (
+                WithLock(0, vec![Access { loc: 0, write: true }]),
+                Access { loc: 0, write: true },
+            )
+        } else {
+            (
+                Access { loc: 0, write: true },
+                WithLock(0, vec![Access { loc: 0, write: true }]),
+            )
+        };
+        let program = vec![
+            Spawn(vec![w1, w2]),
+            WithLock(0, vec![Access { loc: 0, write: false }]),
+            Sync,
+        ];
+        assert_eq!(run_detector(&program), run_oracle(&program), "{program:?}");
+    }
+}

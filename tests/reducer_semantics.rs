@@ -1,0 +1,111 @@
+//! Property-based validation of reducer semantics (§5): for random
+//! fork-join programs and any pool width, the reducer's final value equals
+//! the serial execution's, element order included.
+
+use cilk::hyper::{ReducerList, ReducerString, ReducerSum};
+use cilk::{Config, ThreadPool};
+use proptest::prelude::*;
+
+/// A random fork-join accumulation program over one list reducer.
+#[derive(Debug, Clone)]
+enum Prog {
+    Emit(u16),
+    Seq(Box<Prog>, Box<Prog>),
+    Par(Box<Prog>, Box<Prog>),
+}
+
+fn prog_strategy() -> impl Strategy<Value = Prog> {
+    let leaf = any::<u16>().prop_map(Prog::Emit);
+    leaf.prop_recursive(6, 64, 2, |inner| {
+        prop_oneof![
+            2 => any::<u16>().prop_map(Prog::Emit),
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Prog::Seq(Box::new(a), Box::new(b))),
+            3 => (inner.clone(), inner)
+                .prop_map(|(a, b)| Prog::Par(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn run_serial(p: &Prog, out: &mut Vec<u16>) {
+    match p {
+        Prog::Emit(v) => out.push(*v),
+        Prog::Seq(a, b) | Prog::Par(a, b) => {
+            run_serial(a, out);
+            run_serial(b, out);
+        }
+    }
+}
+
+fn run_parallel(p: &Prog, list: &ReducerList<u16>, sum: &ReducerSum<u64>) {
+    match p {
+        Prog::Emit(v) => {
+            list.push_back(*v);
+            sum.add(*v as u64);
+        }
+        Prog::Seq(a, b) => {
+            run_parallel(a, list, sum);
+            run_parallel(b, list, sum);
+        }
+        Prog::Par(a, b) => {
+            cilk::join(|| run_parallel(a, list, sum), || run_parallel(b, list, sum));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reducer output is serial-order identical, regardless of pool width.
+    #[test]
+    fn reducer_equals_serial_execution(prog in prog_strategy(), workers in 1usize..5) {
+        let pool = ThreadPool::with_config(Config::new().num_workers(workers))
+            .expect("pool");
+        let mut expected = Vec::new();
+        run_serial(&prog, &mut expected);
+        let expected_sum: u64 = expected.iter().map(|v| *v as u64).sum();
+
+        let list = ReducerList::<u16>::list();
+        let sum = ReducerSum::<u64>::sum();
+        pool.install(|| run_parallel(&prog, &list, &sum));
+
+        prop_assert_eq!(list.into_value(), expected);
+        prop_assert_eq!(sum.into_value(), expected_sum);
+    }
+}
+
+#[test]
+fn string_reducer_spells_serial_sentence() {
+    // The classic demonstration: concatenating fragments in parallel must
+    // reconstruct the sentence exactly.
+    let words: Vec<String> = (0..64).map(|i| format!("w{i} ")).collect();
+    let expected: String = words.concat();
+    let pool = ThreadPool::with_config(Config::new().num_workers(4)).expect("pool");
+    for _ in 0..10 {
+        let s = ReducerString::string();
+        pool.install(|| {
+            cilk::cilk_for_grain(0..words.len(), 1, |i| s.append(&words[i]));
+        });
+        assert_eq!(s.into_value(), expected);
+    }
+}
+
+#[test]
+fn reducer_with_unbalanced_recursion() {
+    // Heavily skewed trees produce adversarial steal patterns.
+    fn skewed(list: &ReducerList<u32>, lo: u32, hi: u32, flip: bool) {
+        if hi - lo == 1 {
+            list.push_back(lo);
+            return;
+        }
+        let cut = if flip { lo + 1 } else { hi - 1 };
+        cilk::join(
+            || skewed(list, lo, cut.max(lo + 1), !flip),
+            || skewed(list, cut.max(lo + 1), hi, !flip),
+        );
+    }
+    let pool = ThreadPool::with_config(Config::new().num_workers(4)).expect("pool");
+    let list = ReducerList::<u32>::list();
+    pool.install(|| skewed(&list, 0, 600, false));
+    assert_eq!(list.into_value(), (0..600).collect::<Vec<_>>());
+}
