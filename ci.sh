@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run exactly as the hermetic-build policy demands:
+# everything `--offline`, so a registry dependency sneaking back into the
+# workspace fails the build instead of silently downloading.
+#
+#   ./ci.sh          # hermetic check + build + tests + bench compile
+#
+# Seeded suites print their reproducing seed on failure; re-run with
+# CILK_TEST_SEED=<seed> to replay a specific failure (see README).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== hermetic dependency check =="
+./scripts/check_hermetic.sh
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: test suite =="
+cargo test -q --offline --workspace
+
+echo "== bench harness compiles =="
+cargo build --offline --benches --workspace
+
+echo "ci.sh: all checks passed"

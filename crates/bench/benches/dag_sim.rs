@@ -1,12 +1,13 @@
 //! S5 throughput: the greedy and work-stealing schedule simulators.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cilk_testkit::bench::{Bench, BenchmarkId};
+use cilk_testkit::{bench_group, bench_main};
 use std::time::Duration;
 
 use cilk_dag::schedule::{greedy, work_stealing, WsConfig};
 use cilk_dag::workload::fib_sp;
 
-fn bench_sim(c: &mut Criterion) {
+fn bench_sim(c: &mut Bench) {
     let mut group = c.benchmark_group("dag_sim");
     group
         .sample_size(10)
@@ -33,5 +34,5 @@ fn bench_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);
+bench_group!(benches, bench_sim);
+bench_main!(benches);

@@ -1,15 +1,16 @@
-//! E5 criterion bench: serial elision vs one-worker execution.
+//! E5 bench: serial elision vs one-worker execution.
 //!
 //! Backs the §3 claim that "on a single core, typical programs run with
 //! negligible overhead (less than 2%)" at production grain sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cilk_testkit::bench::{Bench, BenchmarkId};
+use cilk_testkit::{bench_group, bench_main};
 use std::time::Duration;
 
 use cilk::{Config, ThreadPool};
 use cilk_workloads::fib;
 
-fn bench_overhead(c: &mut Criterion) {
+fn bench_overhead(c: &mut Bench) {
     let pool = ThreadPool::with_config(Config::new().num_workers(1)).expect("pool");
     let mut group = c.benchmark_group("serial_overhead");
     group
@@ -28,5 +29,5 @@ fn bench_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);
+bench_group!(benches, bench_overhead);
+bench_main!(benches);

@@ -4,7 +4,8 @@
 //! pay spawn overhead, too-coarse grains lose load balance (invisible on
 //! one core, but the spawn-count column of the harness shows the trade).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cilk_testkit::bench::{Bench, BenchmarkId};
+use cilk_testkit::{bench_group, bench_main};
 use std::time::Duration;
 
 use cilk::{Config, Grain, ThreadPool};
@@ -18,7 +19,7 @@ fn body(i: usize) -> u64 {
     acc
 }
 
-fn bench_grain(c: &mut Criterion) {
+fn bench_grain(c: &mut Bench) {
     let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
     const N: usize = 100_000;
 
@@ -60,5 +61,5 @@ fn bench_grain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_grain);
-criterion_main!(benches);
+bench_group!(benches, bench_grain);
+bench_main!(benches);

@@ -1,14 +1,15 @@
 //! E9 overhead: Cilkscreen detector throughput (accesses/second) on the
 //! traced quicksort and tree walk.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cilk_testkit::bench::{Bench, BenchmarkId};
+use cilk_testkit::{bench_group, bench_main};
 use std::time::Duration;
 
 use cilk_workloads::qsort_traced;
 use cilk_workloads::tree::{build_tree, walk_traced_mutex};
 use cilkscreen::Detector;
 
-fn bench_detector(c: &mut Criterion) {
+fn bench_detector(c: &mut Bench) {
     let mut group = c.benchmark_group("cilkscreen");
     group
         .sample_size(10)
@@ -29,5 +30,5 @@ fn bench_detector(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detector);
-criterion_main!(benches);
+bench_group!(benches, bench_detector);
+bench_main!(benches);

@@ -1,6 +1,7 @@
 //! E10 micro: reducer update vs mutex update vs atomic, per-operation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cilk_testkit::bench::Bench;
+use cilk_testkit::{bench_group, bench_main};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -8,7 +9,7 @@ use cilk::hyper::{ReducerList, ReducerSum};
 use cilk::sync::Mutex;
 use cilk::{Config, ThreadPool};
 
-fn bench_reducer(c: &mut Criterion) {
+fn bench_reducer(c: &mut Bench) {
     let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
     const N: usize = 10_000;
 
@@ -73,5 +74,5 @@ fn bench_reducer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reducer);
-criterion_main!(benches);
+bench_group!(benches, bench_reducer);
+bench_main!(benches);

@@ -2,12 +2,13 @@
 //! continuation), one `scope` spawn, and the wait-policy ablation of
 //! DESIGN.md §choice 2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cilk_testkit::bench::Bench;
+use cilk_testkit::{bench_group, bench_main};
 use std::time::Duration;
 
 use cilk::{Config, ThreadPool, WaitPolicy};
 
-fn bench_spawn(c: &mut Criterion) {
+fn bench_spawn(c: &mut Bench) {
     let pool1 = ThreadPool::with_config(Config::new().num_workers(1)).expect("pool");
     let pool2 = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
     let pool2_spin = ThreadPool::with_config(
@@ -66,5 +67,5 @@ fn bench_spawn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spawn);
-criterion_main!(benches);
+bench_group!(benches, bench_spawn);
+bench_main!(benches);

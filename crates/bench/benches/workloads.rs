@@ -1,13 +1,14 @@
 //! End-to-end workload benches: quicksort, matmul, BFS, on serial and
 //! pooled configurations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cilk_testkit::bench::Bench;
+use cilk_testkit::{bench_group, bench_main};
 use std::time::Duration;
 
 use cilk::{Config, ThreadPool};
 use cilk_workloads::{bfs, matmul, mergesort, qsort};
 
-fn bench_workloads(c: &mut Criterion) {
+fn bench_workloads(c: &mut Bench) {
     let pool = ThreadPool::with_config(Config::new().num_workers(2)).expect("pool");
 
     let mut group = c.benchmark_group("workloads");
@@ -80,5 +81,5 @@ fn bench_workloads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);
+bench_group!(benches, bench_workloads);
+bench_main!(benches);

@@ -1,5 +1,5 @@
 //! Shared helpers for the experiment harness binaries (`src/bin/`) and the
-//! criterion benches (`benches/`).
+//! testkit benches (`benches/`).
 //!
 //! Each binary regenerates one table or figure of the paper; see the
 //! per-experiment index in `DESIGN.md` and the recorded outputs in

@@ -8,8 +8,7 @@
 //! the corresponding Cilk++ program would unfold, with vertex weights in
 //! abstract instruction units.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cilk_testkit::Rng;
 
 use crate::sp::Sp;
 
@@ -27,11 +26,11 @@ const CMP_COST: u64 = 1;
 /// larger side dominates the span — the reason the paper's Fig. 3 reports
 /// a parallelism of only 10.31 for n = 100M.
 pub fn qsort_sp(n: u64, grain: u64, seed: u64) -> Sp {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     qsort_rec(n, grain.max(1), &mut rng)
 }
 
-fn qsort_rec(n: u64, grain: u64, rng: &mut SmallRng) -> Sp {
+fn qsort_rec(n: u64, grain: u64, rng: &mut Rng) -> Sp {
     if n <= grain {
         // Serial sort of a small range: ~ 1.5 n lg n operations
         // (comparisons plus data movement).
@@ -149,7 +148,7 @@ pub fn matmul_measures(n: u64, block: u64) -> crate::Measures {
 /// Irregularity: frontier sizes follow a ramp-up/ramp-down profile typical
 /// of small-world graphs, and per-vertex weights vary with the seeded RNG.
 pub fn bfs_sp(vertices: u64, avg_degree: u64, levels: u64, seed: u64) -> Sp {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let levels = levels.max(2);
     // Distribute vertices over levels with a peak in the middle.
     let mut sizes = Vec::with_capacity(levels as usize);
@@ -180,7 +179,7 @@ pub fn bfs_sp(vertices: u64, avg_degree: u64, levels: u64, seed: u64) -> Sp {
 /// `rows` rows with row lengths drawn around `avg_nnz_per_row`; iterations
 /// are serialized (parallelism "in the hundreds", §2.3).
 pub fn sparse_mv_sp(rows: u64, avg_nnz_per_row: u64, iters: u64, seed: u64) -> Sp {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let iter_dags = (0..iters.max(1)).map(|_| {
         let row_work = (0..rows)
             .map(|_| Sp::leaf(1 + rng.gen_range(0..=2 * avg_nnz_per_row)))
@@ -195,7 +194,7 @@ pub fn sparse_mv_sp(rows: u64, avg_nnz_per_row: u64, iters: u64, seed: u64) -> S
 /// `hit_rate` of nodes that "have the property" (e.g. collision tests on
 /// mechanical assemblies).
 pub fn tree_walk_sp(nodes: u64, visit_work: u64, hit_work: u64, hit_rate: f64, seed: u64) -> Sp {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     tree_walk_rec(nodes, visit_work, hit_work, hit_rate, &mut rng)
 }
 
@@ -204,7 +203,7 @@ fn tree_walk_rec(
     visit_work: u64,
     hit_work: u64,
     hit_rate: f64,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> Sp {
     if nodes == 0 {
         return Sp::leaf(0);
@@ -239,9 +238,16 @@ mod tests {
 
     #[test]
     fn qsort_parallelism_is_log_like() {
-        // Parallelism grows roughly logarithmically in n.
-        let p1m = qsort_sp(1_000_000, 1000, 7).parallelism();
-        let p16m = qsort_sp(16_000_000, 1000, 7).parallelism();
+        // Parallelism grows roughly logarithmically in n. A single seed's
+        // dag is noisy (one unlucky pivot chain can dominate the span), so
+        // average over a few seeds before comparing sizes.
+        const SEEDS: u64 = 8;
+        let mean_parallelism = |n: u64| {
+            let total: f64 = (0..SEEDS).map(|s| qsort_sp(n, 1000, s).parallelism()).sum();
+            total / SEEDS as f64
+        };
+        let p1m = mean_parallelism(1_000_000);
+        let p16m = mean_parallelism(16_000_000);
         assert!(p1m > 3.0 && p1m < 40.0, "n=1M parallelism {p1m}");
         assert!(p16m > p1m, "parallelism should grow with n");
         assert!(

@@ -1,114 +1,106 @@
 //! Property-based invariants of the dag model and schedulers over random
-//! series-parallel computations.
+//! series-parallel computations, on the in-tree `cilk-testkit` harness.
+
+use std::rc::Rc;
 
 use cilk_dag::schedule::{greedy, work_stealing, WsConfig};
 use cilk_dag::{Measures, Sp};
-use proptest::prelude::*;
+use cilk_testkit::forall;
+use cilk_testkit::prop::{map, recursive, weighted, SharedGen};
 
-fn sp_strategy() -> impl Strategy<Value = Sp> {
-    let leaf = (0u64..50).prop_map(Sp::leaf);
-    leaf.prop_recursive(6, 96, 2, |inner| {
-        prop_oneof![
-            2 => (0u64..50).prop_map(Sp::leaf),
-            2 => (inner.clone(), inner.clone()).prop_map(|(a, b)| Sp::series(a, b)),
-            3 => (inner.clone(), inner).prop_map(|(a, b)| Sp::par(a, b)),
-        ]
+fn sp_gen() -> SharedGen<Sp> {
+    recursive(6, map(0u64..50, Sp::leaf), |inner| {
+        Rc::new(weighted(vec![
+            (2, Rc::new(map(0u64..50, Sp::leaf)) as SharedGen<Sp>),
+            (2, Rc::new(map((inner.clone(), inner.clone()), |(a, b)| Sp::series(a, b)))),
+            (3, Rc::new(map((inner.clone(), inner), |(a, b)| Sp::par(a, b)))),
+        ]))
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
+forall! {
     /// Lowering to a flat dag preserves work and span exactly.
-    #[test]
-    fn sp_and_dag_measures_agree(sp in sp_strategy()) {
+    fn sp_and_dag_measures_agree(sp in sp_gen()) {
         let dag = sp.to_dag();
-        prop_assert_eq!(dag.work(), sp.work());
-        prop_assert_eq!(dag.span(), sp.span());
-        prop_assert!(dag.validate().is_ok());
+        assert_eq!(dag.work(), sp.work());
+        assert_eq!(dag.span(), sp.span());
+        assert!(dag.validate().is_ok());
     }
 
     /// Span obeys its defining bounds: span ≤ work, span ≥ max leaf.
-    #[test]
-    fn span_bounds(sp in sp_strategy()) {
-        prop_assert!(sp.span() <= sp.work());
-        prop_assert!(sp.span_with_burden(0) == sp.span());
+    fn span_bounds(sp in sp_gen()) {
+        assert!(sp.span() <= sp.work());
+        assert!(sp.span_with_burden(0) == sp.span());
     }
 
     /// Burdened span is monotone in the burden and bounded by
     /// span + burden × spawns.
-    #[test]
-    fn burdened_span_monotone(sp in sp_strategy(), b1 in 0u64..100, b2 in 0u64..100) {
+    fn burdened_span_monotone(sp in sp_gen(), b1 in 0u64..100, b2 in 0u64..100) {
         let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
-        prop_assert!(sp.span_with_burden(lo) <= sp.span_with_burden(hi));
-        prop_assert!(sp.span_with_burden(hi) <= sp.span() + hi * sp.spawn_count());
+        assert!(sp.span_with_burden(lo) <= sp.span_with_burden(hi));
+        assert!(sp.span_with_burden(hi) <= sp.span() + hi * sp.spawn_count());
     }
 
     /// The greedy simulator satisfies Graham's sandwich:
     /// max(T1/P, T∞) ≤ T_P ≤ T1/P + T∞.
-    #[test]
-    fn greedy_sandwich(sp in sp_strategy(), p in 1u64..10) {
+    fn greedy_sandwich(sp in sp_gen(), p in 1u64..10) {
         let work = sp.work();
         if work == 0 {
-            return Ok(());
+            return;
         }
         let m = Measures::new(work, sp.span().max(1).min(work));
         let dag = sp.to_dag();
         let s = greedy(&dag, p as usize);
-        prop_assert!(s.makespan as f64 + 1e-9 >= m.lower_bound_tp(p),
+        assert!(s.makespan as f64 + 1e-9 >= m.lower_bound_tp(p),
             "lower: {} < {}", s.makespan, m.lower_bound_tp(p));
-        prop_assert!(s.makespan as f64 <= m.greedy_upper_bound_tp(p) + 1e-9,
+        assert!(s.makespan as f64 <= m.greedy_upper_bound_tp(p) + 1e-9,
             "upper: {} > {}", s.makespan, m.greedy_upper_bound_tp(p));
     }
 
     /// The work-stealing simulator respects the Work and Span Laws and a
     /// generous expected-case upper bound.
-    #[test]
-    fn work_stealing_laws(sp in sp_strategy(), p in 1u64..10, seed in 0u64..1000) {
+    fn work_stealing_laws(sp in sp_gen(), p in 1u64..10, seed in 0u64..1000) {
         let work = sp.work();
         if work == 0 {
-            return Ok(());
+            return;
         }
         let m = Measures::new(work, sp.span().max(1).min(work));
         let s = work_stealing(&sp, &WsConfig::new(p as usize).seed(seed));
-        prop_assert!(s.makespan as f64 + 1e-9 >= m.lower_bound_tp(p));
+        assert!(s.makespan as f64 + 1e-9 >= m.lower_bound_tp(p));
         // Expected-case O(T∞) with a generous constant; random trees are
         // small, so include an additive slack for startup steals.
         let bound = m.work as f64 / p as f64 + 64.0 * m.span as f64 + 64.0 * p as f64;
-        prop_assert!(
+        assert!(
             (s.makespan as f64) <= bound,
             "P={p}: {} > {}", s.makespan, bound
         );
     }
 
     /// Work stealing on one processor is exactly the serial execution.
-    #[test]
-    fn ws_single_proc_is_serial(sp in sp_strategy(), seed in 0u64..100) {
+    fn ws_single_proc_is_serial(sp in sp_gen(), seed in 0u64..100) {
         let s = work_stealing(&sp, &WsConfig::new(1).seed(seed));
-        prop_assert_eq!(s.makespan, sp.work());
-        prop_assert_eq!(s.steals, 0);
+        assert_eq!(s.makespan, sp.work());
+        assert_eq!(s.steals, 0);
     }
 
     /// The simulator is deterministic for a fixed seed.
-    #[test]
-    fn ws_deterministic(sp in sp_strategy(), p in 1usize..8, seed in 0u64..50) {
+    fn ws_deterministic(sp in sp_gen(), p in 1usize..8, seed in 0u64..50) {
         let a = work_stealing(&sp, &WsConfig::new(p).seed(seed));
         let b = work_stealing(&sp, &WsConfig::new(p).seed(seed));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 
     /// Precedence is a strict partial order on random dags.
-    #[test]
-    fn precedence_partial_order(sp in sp_strategy()) {
+    fn precedence_partial_order(sp in sp_gen()) {
         let dag = sp.to_dag();
         let n = dag.len().min(12); // pairwise checks are quadratic
         for i in 0..n {
             let a = cilk_dag::NodeId(i);
-            prop_assert!(!dag.precedes(a, a), "irreflexive");
+            assert!(!dag.precedes(a, a), "irreflexive");
             for j in 0..n {
                 let b = cilk_dag::NodeId(j);
                 if dag.precedes(a, b) {
-                    prop_assert!(!dag.precedes(b, a), "antisymmetric");
+                    assert!(!dag.precedes(b, a), "antisymmetric");
                 }
             }
         }

@@ -1,32 +1,57 @@
 //! Property-based model checking of the deque against a `VecDeque` oracle
 //! (serial interleavings of owner and a single thief), plus randomized
-//! multi-thread accounting.
+//! multi-thread accounting — on the in-tree `cilk-testkit` harness.
+//!
+//! A failing op-sequence shrinks to a minimal counterexample: the harness
+//! deletes ops and shrinks pushed values toward zero, so a report reads
+//! like `[Push(0), Steal]` rather than a 400-element transcript.
 
 use std::collections::VecDeque;
 
 use cilk_deque::{Steal, Worker};
-use proptest::prelude::*;
+use cilk_testkit::forall;
+use cilk_testkit::prop::{vec_of, Gen};
+use cilk_testkit::Rng;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Op {
     Push(u32),
     Pop,
     Steal,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => any::<u32>().prop_map(Op::Push),
-        2 => Just(Op::Pop),
-        2 => Just(Op::Steal),
-    ]
+/// Generates `Op`s with the weights of the original suite (3 push : 2 pop :
+/// 2 steal) and shrinks `Push` payloads toward zero so minimal
+/// counterexamples carry minimal values.
+struct OpGen;
+
+impl Gen<Op> for OpGen {
+    fn generate(&self, rng: &mut Rng, size: u32) -> Op {
+        match rng.gen_range(0u32..7) {
+            0..=2 => {
+                // Size-scaled payload keeps early cases readable.
+                let cap = 1 + (u32::MAX / 100).saturating_mul(size);
+                Op::Push(rng.gen_range(0..=cap))
+            }
+            3 | 4 => Op::Pop,
+            _ => Op::Steal,
+        }
+    }
+
+    fn shrink(&self, op: &Op) -> Vec<Op> {
+        match op {
+            Op::Push(0) => Vec::new(),
+            Op::Push(1) => vec![Op::Push(0)],
+            Op::Push(v) => vec![Op::Push(0), Op::Push(1), Op::Push(v / 2)],
+            _ => Vec::new(),
+        }
+    }
 }
 
-proptest! {
+forall! {
     /// In a single-threaded interleaving the deque must behave exactly like
     /// a VecDeque with push_back/pop_back (owner) and pop_front (thief).
-    #[test]
-    fn matches_vecdeque_model(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+    fn matches_vecdeque_model(ops in vec_of(OpGen, 0..400)) {
         let (w, s) = Worker::new();
         let mut model: VecDeque<u32> = VecDeque::new();
         for op in ops {
@@ -36,19 +61,16 @@ proptest! {
                     model.push_back(v);
                 }
                 Op::Pop => {
-                    prop_assert_eq!(w.pop(), model.pop_back());
+                    assert_eq!(w.pop(), model.pop_back());
                 }
                 Op::Steal => {
                     let expected = model.pop_front();
                     match (s.steal(), expected) {
-                        (Steal::Success(got), Some(want)) => prop_assert_eq!(got, want),
+                        (Steal::Success(got), Some(want)) => assert_eq!(got, want),
                         (Steal::Empty, None) => {}
                         // Serial execution: Retry is impossible and
                         // Success/Empty must agree with the model.
-                        (got, want) => prop_assert!(
-                            false,
-                            "deque said {:?}, model said {:?}", got, want
-                        ),
+                        (got, want) => panic!("deque said {:?}, model said {:?}", got, want),
                     }
                 }
             }
@@ -60,12 +82,43 @@ proptest! {
         }
         rest.reverse();
         let model_rest: Vec<u32> = model.into_iter().collect();
-        prop_assert_eq!(rest, model_rest);
+        assert_eq!(rest, model_rest);
+    }
+
+    /// Owner-only LIFO discipline: pops return pushes in reverse order.
+    fn owner_is_a_stack(values in vec_of(0u32..1000, 0..200)) {
+        let (w, _s) = Worker::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let mut popped = Vec::new();
+        while let Some(v) = w.pop() {
+            popped.push(v);
+        }
+        popped.reverse();
+        assert_eq!(popped, values);
+    }
+
+    /// Thief-only FIFO discipline: steals drain in push order.
+    fn thief_is_a_queue(values in vec_of(0u32..1000, 0..200)) {
+        let (w, s) = Worker::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let mut stolen = Vec::new();
+        loop {
+            match s.steal() {
+                Steal::Success(v) => stolen.push(v),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        assert_eq!(stolen, values);
     }
 
     /// Multi-threaded accounting: with one concurrent thief, every element
     /// is delivered exactly once.
-    #[test]
+    cases = 64,
     fn concurrent_exactly_once(n in 1usize..2000) {
         let (w, s) = Worker::new();
         let thief = std::thread::spawn(move || {
@@ -105,6 +158,53 @@ proptest! {
         all.extend(stolen);
         all.sort_unstable();
         let expected: Vec<u32> = (0..n as u32).collect();
-        prop_assert_eq!(all, expected);
+        assert_eq!(all, expected);
     }
+}
+
+/// The shrinker itself: plant a deque-model mismatch via a wrapper that
+/// mis-reports one value, and check the reported minimum is tiny. This
+/// guards the satellite guarantee that deque regressions arrive as
+/// minimal op-sequences.
+#[test]
+fn shrinking_finds_minimal_op_sequence() {
+    use cilk_testkit::prop::{check, Config};
+
+    let result = std::panic::catch_unwind(|| {
+        check(
+            Config::new().cases(300),
+            "planted_model_bug",
+            (vec_of(OpGen, 0..60),),
+            |(ops,)| {
+                // A deliberately broken shadow model: records v + 1 for odd
+                // pushes, so the first pop of an odd value diverges.
+                let (w, _s) = Worker::new();
+                let mut shadow: Vec<u32> = Vec::new();
+                for op in &ops {
+                    match op {
+                        Op::Push(v) => {
+                            w.push(*v);
+                            shadow.push(if v % 2 == 1 { v + 1 } else { *v });
+                        }
+                        Op::Pop => {
+                            assert_eq!(w.pop(), shadow.pop(), "planted divergence");
+                        }
+                        Op::Steal => {}
+                    }
+                }
+            },
+        );
+    });
+    let msg = match result {
+        Ok(()) => panic!("planted bug was not found"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+    };
+    // Minimal counterexample: one odd push (shrunk to 1) and one pop.
+    assert!(
+        msg.contains("[Push(1), Pop]"),
+        "expected minimal [Push(1), Pop], got: {msg}"
+    );
 }

@@ -6,10 +6,15 @@
 //! verify that *any* parenthesization of reduces produced by a random
 //! join tree equals the linear left fold.
 
-use cilk_hyper::{And, ListAppend, Max, Min, Monoid, Or, StrCat, Sum};
-use proptest::prelude::*;
+use std::rc::Rc;
 
-fn assoc_and_identity<M: Monoid>(m: &M, a: M::Value, b: M::Value, c: M::Value) -> Result<(), TestCaseError>
+use cilk_hyper::{And, ListAppend, Max, Min, Monoid, Or, StrCat, Sum};
+use cilk_testkit::forall;
+use cilk_testkit::prop::{
+    any_bool, any_int, just, map, option_of, recursive, string_of, vec_of, weighted, SharedGen,
+};
+
+fn assoc_and_identity<M: Monoid>(m: &M, a: M::Value, b: M::Value, c: M::Value)
 where
     M::Value: Clone + PartialEq + std::fmt::Debug,
 {
@@ -20,53 +25,47 @@ where
     m.reduce(&mut bc, c.clone());
     let mut rhs = a.clone();
     m.reduce(&mut rhs, bc);
-    prop_assert_eq!(&lhs, &rhs, "associativity");
+    assert_eq!(&lhs, &rhs, "associativity");
 
     let mut left_id = m.identity();
     m.reduce(&mut left_id, a.clone());
-    prop_assert_eq!(&left_id, &a, "left identity");
+    assert_eq!(&left_id, &a, "left identity");
     let mut right_id = a.clone();
     m.reduce(&mut right_id, m.identity());
-    prop_assert_eq!(&right_id, &a, "right identity");
-    Ok(())
+    assert_eq!(&right_id, &a, "right identity");
 }
 
-proptest! {
-    #[test]
-    fn sum_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+forall! {
+    fn sum_laws(a in any_int::<i64>(), b in any_int::<i64>(), c in any_int::<i64>()) {
         // Use wrapping-friendly domain to avoid overflow panics.
         let (a, b, c) = (a >> 2, b >> 2, c >> 2);
-        assoc_and_identity(&Sum::<i64>::new(), a, b, c)?;
+        assoc_and_identity(&Sum::<i64>::new(), a, b, c);
     }
 
-    #[test]
     fn min_max_laws(
-        a in proptest::option::of(any::<i32>()),
-        b in proptest::option::of(any::<i32>()),
-        c in proptest::option::of(any::<i32>()),
+        a in option_of(any_int::<i32>()),
+        b in option_of(any_int::<i32>()),
+        c in option_of(any_int::<i32>()),
     ) {
-        assoc_and_identity(&Min::<i32>::new(), a, b, c)?;
-        assoc_and_identity(&Max::<i32>::new(), a, b, c)?;
+        assoc_and_identity(&Min::<i32>::new(), a.clone(), b.clone(), c.clone());
+        assoc_and_identity(&Max::<i32>::new(), a, b, c);
     }
 
-    #[test]
-    fn bool_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
-        assoc_and_identity(&And, a, b, c)?;
-        assoc_and_identity(&Or, a, b, c)?;
+    fn bool_laws(a in any_bool(), b in any_bool(), c in any_bool()) {
+        assoc_and_identity(&And, a, b, c);
+        assoc_and_identity(&Or, a, b, c);
     }
 
-    #[test]
     fn list_laws(
-        a in proptest::collection::vec(any::<u8>(), 0..8),
-        b in proptest::collection::vec(any::<u8>(), 0..8),
-        c in proptest::collection::vec(any::<u8>(), 0..8),
+        a in vec_of(any_int::<u8>(), 0..8),
+        b in vec_of(any_int::<u8>(), 0..8),
+        c in vec_of(any_int::<u8>(), 0..8),
     ) {
-        assoc_and_identity(&ListAppend::<u8>::new(), a, b, c)?;
+        assoc_and_identity(&ListAppend::<u8>::new(), a, b, c);
     }
 
-    #[test]
-    fn string_laws(a in ".{0,8}", b in ".{0,8}", c in ".{0,8}") {
-        assoc_and_identity(&StrCat, a, b, c)?;
+    fn string_laws(a in string_of(0..9), b in string_of(0..9), c in string_of(0..9)) {
+        assoc_and_identity(&StrCat, a, b, c);
     }
 }
 
@@ -77,13 +76,14 @@ enum Tree {
     Node(Box<Tree>, Box<Tree>),
 }
 
-fn tree_strategy() -> impl Strategy<Value = Tree> {
-    let leaf = Just(Tree::Leaf);
-    leaf.prop_recursive(6, 64, 2, |inner| {
-        prop_oneof![
-            1 => Just(Tree::Leaf),
-            2 => (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
-        ]
+fn tree_gen() -> SharedGen<Tree> {
+    recursive(6, just(Tree::Leaf), |inner| {
+        Rc::new(weighted(vec![
+            (1, Rc::new(just(Tree::Leaf)) as SharedGen<Tree>),
+            (2, Rc::new(map((inner.clone(), inner), |(a, b)| {
+                Tree::Node(Box::new(a), Box::new(b))
+            }))),
+        ]))
     })
 }
 
@@ -112,15 +112,14 @@ fn reduce_by_tree(t: &Tree, next: &mut u32) -> Vec<u32> {
     }
 }
 
-proptest! {
+forall! {
     /// Any reduction tree shape yields the left-to-right sequence — the
     /// §5 guarantee that the runtime may reduce views at arbitrary sync
     /// points without changing the outcome.
-    #[test]
-    fn any_parenthesization_preserves_order(t in tree_strategy()) {
+    fn any_parenthesization_preserves_order(t in tree_gen()) {
         let mut next = 0;
         let reduced = reduce_by_tree(&t, &mut next);
         let expected: Vec<u32> = (0..leaves(&t) as u32).collect();
-        prop_assert_eq!(reduced, expected);
+        assert_eq!(reduced, expected);
     }
 }

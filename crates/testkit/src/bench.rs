@@ -1,0 +1,424 @@
+//! A lightweight wall-clock benchmark harness.
+//!
+//! The in-tree replacement for the slice of `criterion` the workspace used:
+//! groups, per-group sample/warm-up/measurement configuration, `b.iter`
+//! closures, and parameterized ids. Each benchmark prints a one-line
+//! summary and writes a JSON artifact under
+//! `target/testkit-bench/<group>/<name>.json` with the raw samples and
+//! summary statistics, so the EXPERIMENTS.md workflow can diff runs.
+//!
+//! ```no_run
+//! use cilk_testkit::bench::{Bench, BenchmarkId};
+//! use cilk_testkit::{bench_group, bench_main};
+//!
+//! fn my_benches(c: &mut Bench) {
+//!     let mut group = c.benchmark_group("sums");
+//!     group.sample_size(20);
+//!     group.bench_function("iter_sum", |b| {
+//!         b.iter(|| (0..1000u64).sum::<u64>());
+//!     });
+//!     group.bench_with_input(BenchmarkId::new("to_n", 500), &500u64, |b, &n| {
+//!         b.iter(|| (0..n).sum::<u64>());
+//!     });
+//!     group.finish();
+//! }
+//!
+//! bench_group!(benches, my_benches);
+//! bench_main!(benches);
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `CILK_BENCH_QUICK=1` — one sample, minimal warm-up: CI smoke mode.
+//! * A command-line argument filters benchmarks by substring (as
+//!   `cargo bench -- <filter>` passes it through).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to each `bench_group!` function.
+pub struct Bench {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Bench {
+    /// Builds the harness from the process environment (CLI filter,
+    /// `CILK_BENCH_QUICK`).
+    pub fn from_env() -> Bench {
+        // cargo bench passes through arguments after `--`; also ignore the
+        // flags cargo itself appends to bench binaries.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        let quick = std::env::var("CILK_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+        Bench { filter, quick }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup<'_> {
+        BenchGroup {
+            harness: self,
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named identifier for a parameterized benchmark, formatted
+/// `function/parameter` like criterion's.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+pub struct BenchGroup<'a> {
+    harness: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total timed budget, split across the samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl IntoBenchId, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.into_bench_id();
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input (criterion-style; the
+    /// input is simply passed through to the closure).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into_bench_id();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing; summaries are per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run_one(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let (sample_size, warm_up, measurement) = if self.harness.quick {
+            (1, Duration::from_millis(10), Duration::from_millis(50))
+        } else {
+            (self.sample_size, self.warm_up, self.measurement)
+        };
+
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp { until: Instant::now() + warm_up, iters_done: 0, elapsed: Duration::ZERO },
+            sample_size,
+            sample_budget: measurement,
+            samples_ns: Vec::with_capacity(sample_size),
+        };
+        f(&mut bencher);
+        let stats = match bencher.into_stats() {
+            Some(s) => s,
+            None => {
+                println!("{full:<48} (no iterations run)");
+                return;
+            }
+        };
+        println!(
+            "{full:<48} median {:>12} mean {:>12} min {:>12} ({} samples)",
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.min_ns),
+            stats.samples_ns.len(),
+        );
+        if let Err(e) = stats.write_json(&self.name, id) {
+            eprintln!("warning: could not write bench artifact for {full}: {e}");
+        }
+    }
+}
+
+/// Accepts `&str` and [`BenchmarkId`] as benchmark names.
+pub trait IntoBenchId {
+    /// The display name.
+    fn into_bench_id(self) -> String;
+}
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+enum Mode {
+    WarmUp { until: Instant, iters_done: u64, elapsed: Duration },
+    Measure,
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    sample_budget: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`. Warm-up calibrates an iteration count
+    /// per sample; each sample times a batch and records ns/iteration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up phase: run until the budget elapses, counting iterations
+        // to estimate the per-iteration cost.
+        let (iters_done, elapsed) = match &mut self.mode {
+            Mode::WarmUp { until, iters_done, elapsed } => {
+                loop {
+                    let start = Instant::now();
+                    std::hint::black_box(f());
+                    *elapsed += start.elapsed();
+                    *iters_done += 1;
+                    if Instant::now() >= *until {
+                        break;
+                    }
+                }
+                (*iters_done, *elapsed)
+            }
+            Mode::Measure => unreachable!("iter called twice"),
+        };
+
+        // Calibrate: aim each sample at measurement/sample_size seconds.
+        let per_iter = elapsed.as_secs_f64() / iters_done as f64;
+        let target_sample = self.sample_budget.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = if per_iter > 0.0 {
+            ((target_sample / per_iter).round() as u64).clamp(1, 1_000_000_000)
+        } else {
+            1
+        };
+        self.mode = Mode::Measure;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn into_stats(self) -> Option<Stats> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        Some(Stats::from_samples(self.samples_ns))
+    }
+}
+
+/// Summary statistics over per-iteration nanosecond samples.
+pub struct Stats {
+    /// Raw ns/iteration samples.
+    pub samples_ns: Vec<f64>,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median.
+    pub median_ns: f64,
+    /// Minimum (the classic noise-floor estimate).
+    pub min_ns: f64,
+    /// Maximum.
+    pub max_ns: f64,
+    /// Population standard deviation.
+    pub std_dev_ns: f64,
+}
+
+impl Stats {
+    fn from_samples(samples_ns: Vec<f64>) -> Stats {
+        let n = samples_ns.len() as f64;
+        let mean = samples_ns.iter().sum::<f64>() / n;
+        let var = samples_ns.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let mut sorted = samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Stats {
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: sorted[0],
+            max_ns: *sorted.last().expect("non-empty"),
+            std_dev_ns: var.sqrt(),
+            samples_ns,
+        }
+    }
+
+    fn write_json(&self, group: &str, id: &str) -> std::io::Result<()> {
+        let dir = artifact_dir().join(sanitize(group));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", sanitize(id)));
+        let mut out = std::fs::File::create(&path)?;
+        let samples: Vec<String> = self.samples_ns.iter().map(|s| format!("{s:.1}")).collect();
+        write!(
+            out,
+            "{{\n  \"group\": \"{}\",\n  \"name\": \"{}\",\n  \"unit\": \"ns/iter\",\n  \
+             \"mean_ns\": {:.1},\n  \"median_ns\": {:.1},\n  \"min_ns\": {:.1},\n  \
+             \"max_ns\": {:.1},\n  \"std_dev_ns\": {:.1},\n  \"samples_ns\": [{}]\n}}\n",
+            escape(group),
+            escape(id),
+            self.mean_ns,
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.std_dev_ns,
+            samples.join(", "),
+        )
+    }
+}
+
+fn artifact_dir() -> PathBuf {
+    // Benches run with cwd = the package directory; the shared target dir
+    // lives at the workspace root. Walk up to the nearest Cargo.lock so all
+    // crates' artifacts land in one `target/testkit-bench` tree.
+    let target = std::env::var_os("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let root = cwd
+            .ancestors()
+            .find(|dir| dir.join("Cargo.lock").is_file())
+            .unwrap_or(&cwd)
+            .to_path_buf();
+        root.join("target")
+    });
+    target.join("testkit-bench")
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group function list, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Bench) {
+            $($fun(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Bench::from_env();
+            $($group(&mut harness);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_sane() {
+        let s = Stats::from_samples(vec![1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.median_ns, 3.0);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.max_ns, 100.0);
+        assert_eq!(s.mean_ns, 22.0);
+        assert!(s.std_dev_ns > 0.0);
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + Duration::from_millis(5),
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            },
+            sample_size: 4,
+            sample_budget: Duration::from_millis(20),
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        let stats = b.into_stats().expect("samples");
+        assert_eq!(stats.samples_ns.len(), 4);
+        assert!(stats.min_ns >= 0.0);
+    }
+
+    #[test]
+    fn sanitize_strips_separators() {
+        assert_eq!(sanitize("a/b c"), "a_b_c");
+        assert_eq!(sanitize("qsort-200k_v1.2"), "qsort-200k_v1.2");
+    }
+
+    #[test]
+    fn fmt_ns_picks_unit() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

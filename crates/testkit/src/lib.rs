@@ -1,0 +1,36 @@
+//! # cilk-testkit: the workspace's hermetic test substrate
+//!
+//! Everything the Cilk++ reproduction needs to randomize, property-test and
+//! benchmark itself **with zero external dependencies**, so the whole
+//! workspace builds and verifies offline (`cargo build --offline`,
+//! `cargo test --offline`). Three modules:
+//!
+//! * [`rng`] — deterministic seedable PRNG (SplitMix64 + xoshiro256++) with
+//!   the small `rand`-like surface the workloads use (`gen_range`,
+//!   `gen_bool`, `shuffle`, `fill`) plus forkable per-worker streams;
+//! * [`prop`] — a property-based testing harness ([`forall!`]) with
+//!   composable generators, bounded greedy shrinking, and failure reports
+//!   that print the reproducing seed;
+//! * [`bench`] — a criterion-shaped wall-clock bench harness
+//!   ([`bench_group!`]/[`bench_main!`]) emitting JSON artifacts under
+//!   `target/testkit-bench/`.
+//!
+//! # Determinism contract
+//!
+//! All randomness in tests flows from one base seed
+//! ([`seed::base_seed`]): the fixed [`seed::DEFAULT_SEED`] unless
+//! `CILK_TEST_SEED=<decimal|0xhex>` overrides it. Every failure message
+//! from the [`forall!`] runner echoes that seed; re-running the named test
+//! with `CILK_TEST_SEED=<printed value>` replays the identical case
+//! sequence. Tests that roll their own randomness should derive their
+//! generator via [`seed::rng_for`] so they inherit the same contract.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod seed;
+
+pub use rng::{Rng, SplitMix64, Xoshiro256pp};
+pub use seed::{base_seed, rng_for, rng_for_case, DEFAULT_SEED, SEED_ENV};

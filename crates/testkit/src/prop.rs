@@ -1,0 +1,749 @@
+//! A minimal property-based testing harness with bounded shrinking.
+//!
+//! The in-tree replacement for the slice of `proptest` the workspace used:
+//! random test cases are drawn from composable [`Gen`]erators, the property
+//! body is an ordinary closure using ordinary `assert!`s, and on failure the
+//! harness greedily shrinks the counterexample before reporting it together
+//! with the seed that reproduces it:
+//!
+//! ```text
+//! property 'matches_vecdeque_model' falsified
+//!   seed: 0xc11c20090dac5eed (case 17 of 256)
+//!   reproduce with: CILK_TEST_SEED=0xc11c20090dac5eed cargo test matches_vecdeque_model
+//!   minimal input (after 41 shrink steps): [Push(0), Steal]
+//!   failure: deque said Empty, model said Some(0)
+//! ```
+//!
+//! # Writing properties
+//!
+//! ```
+//! use cilk_testkit::forall;
+//! use cilk_testkit::prop::vec_of;
+//!
+//! forall! {
+//!     fn sum_is_commutative(a in -1000i64..1000, b in -1000i64..1000) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//!
+//!     cases = 64,
+//!     fn reverse_twice_is_identity(v in vec_of(0u32..100, 0..40)) {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         assert_eq!(v, w);
+//!     }
+//! }
+//! ```
+//!
+//! Plain integer ranges are generators. Collections come from [`vec_of`];
+//! sums of alternatives from [`one_of`]/[`weighted`]; recursive structures
+//! (ASTs, trees) from [`recursive`]. Custom types get custom shrinking by
+//! implementing [`Gen`] directly.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+
+use crate::rng::Rng;
+use crate::seed;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `T`, with optional shrinking.
+///
+/// `size` is a hint in `0..=100` that grows over the run: early cases draw
+/// small values so trivial counterexamples surface with minimal noise.
+pub trait Gen<T> {
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng, size: u32) -> T;
+
+    /// Proposes strictly "smaller" candidates for a failing value, most
+    /// aggressive first. The default is no shrinking.
+    fn shrink(&self, _value: &T) -> Vec<T> {
+        Vec::new()
+    }
+}
+
+/// A shareable, type-erased generator (needed for recursive definitions).
+pub type SharedGen<T> = Rc<dyn Gen<T>>;
+
+impl<T> Gen<T> for SharedGen<T> {
+    fn generate(&self, rng: &mut Rng, size: u32) -> T {
+        (**self).generate(rng, size)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
+}
+
+impl<T, G: Gen<T> + ?Sized> Gen<T> for &G {
+    fn generate(&self, rng: &mut Rng, size: u32) -> T {
+        (**self).generate(rng, size)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
+}
+
+/// Integer ranges are generators: `0u64..100` draws uniformly and shrinks
+/// toward the lower bound.
+macro_rules! impl_gen_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Gen<$t> for std::ops::Range<$t> {
+            fn generate(&self, rng: &mut Rng, _size: u32) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*value, self.start)
+            }
+        }
+        impl Gen<$t> for std::ops::RangeInclusive<$t> {
+            fn generate(&self, rng: &mut Rng, _size: u32) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*value, *self.start())
+            }
+        }
+    )*};
+}
+impl_gen_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Candidates between `origin` and `value`, closest-to-origin first:
+/// the origin itself, then repeated halvings of the distance.
+fn shrink_int<T>(value: T, origin: T) -> Vec<T>
+where
+    T: Copy + PartialEq + ShrinkHalf,
+{
+    if value == origin {
+        return Vec::new();
+    }
+    let mut out = vec![origin];
+    let mut cur = origin.midpoint_toward(value);
+    while cur != value && !out.contains(&cur) {
+        out.push(cur);
+        cur = cur.midpoint_toward(value);
+    }
+    out
+}
+
+/// Integer halving used by [`shrink_int`].
+pub trait ShrinkHalf {
+    /// The midpoint between `self` (the shrink origin side) and `toward`.
+    fn midpoint_toward(self, toward: Self) -> Self;
+}
+macro_rules! impl_shrink_half {
+    ($($t:ty),*) => {$(
+        impl ShrinkHalf for $t {
+            fn midpoint_toward(self, toward: Self) -> Self {
+                // Overflow-safe midpoint: a/2 + b/2 + carry of the halves.
+                (self / 2) + (toward / 2) + ((self % 2 + toward % 2) / 2)
+            }
+        }
+    )*};
+}
+impl_shrink_half!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The full domain of an integer type, shrinking toward zero.
+pub fn any_int<T: AnyInt>() -> AnyIntGen<T> {
+    AnyIntGen(std::marker::PhantomData)
+}
+
+/// See [`any_int`].
+pub struct AnyIntGen<T>(std::marker::PhantomData<T>);
+
+/// Integer types supported by [`any_int`].
+pub trait AnyInt: Copy + PartialEq + ShrinkHalf + Debug {
+    /// Reinterprets 64 pseudo-random bits as a value of this type.
+    fn from_bits(bits: u64) -> Self;
+    /// The shrink origin (zero).
+    fn zero() -> Self;
+}
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl AnyInt for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+            fn zero() -> Self { 0 }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: AnyInt> Gen<T> for AnyIntGen<T> {
+    fn generate(&self, rng: &mut Rng, size: u32) -> T {
+        // Size-driven magnitude: early cases mask down to few bits so
+        // counterexamples surface with small, readable values.
+        let bits = rng.next_u64();
+        if size >= 100 {
+            T::from_bits(bits)
+        } else {
+            let keep = 1 + (63 * size as u64) / 100;
+            T::from_bits(bits & ((1u64 << keep) - 1))
+        }
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        shrink_int(*value, T::zero())
+    }
+}
+
+/// Booleans, shrinking `true` → `false`.
+pub fn any_bool() -> BoolGen {
+    BoolGen
+}
+
+/// See [`any_bool`].
+pub struct BoolGen;
+
+impl Gen<bool> for BoolGen {
+    fn generate(&self, rng: &mut Rng, _size: u32) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// `Option<T>`: `None` one time in four, shrinking `Some(x)` → `None` then
+/// through `x`'s own shrinks.
+pub fn option_of<T, G: Gen<T>>(inner: G) -> OptionGen<G> {
+    OptionGen(inner)
+}
+
+/// See [`option_of`].
+pub struct OptionGen<G>(G);
+
+impl<T, G: Gen<T>> Gen<Option<T>> for OptionGen<G> {
+    fn generate(&self, rng: &mut Rng, size: u32) -> Option<T> {
+        if rng.gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng, size))
+        }
+    }
+    fn shrink(&self, value: &Option<T>) -> Vec<Option<T>> {
+        match value {
+            None => Vec::new(),
+            Some(x) => {
+                let mut out = vec![None];
+                out.extend(self.0.shrink(x).into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+/// Vectors of `inner` with length in `len` (scaled down by `size` early in
+/// the run). Shrinks by deleting chunks, deleting single elements, and
+/// shrinking individual elements.
+pub fn vec_of<T, G: Gen<T>>(inner: G, len: std::ops::Range<usize>) -> VecGen<G> {
+    VecGen { inner, min: len.start, max: len.end.saturating_sub(1).max(len.start) }
+}
+
+/// See [`vec_of`].
+pub struct VecGen<G> {
+    inner: G,
+    min: usize,
+    max: usize,
+}
+
+impl<T: Clone, G: Gen<T>> Gen<Vec<T>> for VecGen<G> {
+    fn generate(&self, rng: &mut Rng, size: u32) -> Vec<T> {
+        // Scale the maximum length with the size hint.
+        let hi = self.min + ((self.max - self.min) * size as usize) / 100;
+        let n = rng.gen_range(self.min..=hi.max(self.min));
+        (0..n).map(|_| self.inner.generate(rng, size)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<T>) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        let n = value.len();
+        // 1. Remove chunks, biggest first (halves, quarters, ...).
+        let mut chunk = n / 2;
+        while chunk >= 1 && n.saturating_sub(chunk) >= self.min {
+            let mut start = 0;
+            while start + chunk <= n {
+                let mut shorter = Vec::with_capacity(n - chunk);
+                shorter.extend_from_slice(&value[..start]);
+                shorter.extend_from_slice(&value[start + chunk..]);
+                out.push(shorter);
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // 2. Shrink each element in place (first few candidates only, to
+        //    bound the fan-out; the greedy loop revisits).
+        for (i, item) in value.iter().enumerate() {
+            for candidate in self.inner.shrink(item).into_iter().take(3) {
+                let mut copy = value.clone();
+                copy[i] = candidate;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// ASCII strings with length in `len`, shrinking like vectors.
+pub fn string_of(len: std::ops::Range<usize>) -> StringGen {
+    StringGen { min: len.start, max: len.end.saturating_sub(1).max(len.start) }
+}
+
+/// See [`string_of`].
+pub struct StringGen {
+    min: usize,
+    max: usize,
+}
+
+impl Gen<String> for StringGen {
+    fn generate(&self, rng: &mut Rng, size: u32) -> String {
+        let hi = self.min + ((self.max - self.min) * size as usize) / 100;
+        let n = rng.gen_range(self.min..=hi.max(self.min));
+        (0..n).map(|_| rng.gen_range(0x20u8..0x7F) as char).collect()
+    }
+    fn shrink(&self, value: &String) -> Vec<String> {
+        if value.len() <= self.min {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let half: String = value.chars().take(value.len() / 2).collect();
+        if half.len() >= self.min {
+            out.push(half);
+        }
+        let mut minus_one = value.clone();
+        minus_one.pop();
+        out.push(minus_one);
+        out
+    }
+}
+
+/// Maps a generator through `f`. The mapped generator cannot shrink (there
+/// is no inverse); wrap with a custom [`Gen`] impl if shrinking matters.
+pub fn map<T, U, G: Gen<T>, F: Fn(T) -> U>(inner: G, f: F) -> MapGen<G, F, T> {
+    MapGen { inner, f, _source: std::marker::PhantomData }
+}
+
+/// See [`map`].
+pub struct MapGen<G, F, T> {
+    inner: G,
+    f: F,
+    _source: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T, U, G: Gen<T>, F: Fn(T) -> U> Gen<U> for MapGen<G, F, T> {
+    fn generate(&self, rng: &mut Rng, size: u32) -> U {
+        (self.f)(self.inner.generate(rng, size))
+    }
+}
+
+/// A generator from a plain closure; no shrinking.
+pub fn from_fn<T, F: Fn(&mut Rng, u32) -> T>(f: F) -> FnGen<F> {
+    FnGen(f)
+}
+
+/// See [`from_fn`].
+pub struct FnGen<F>(F);
+
+impl<T, F: Fn(&mut Rng, u32) -> T> Gen<T> for FnGen<F> {
+    fn generate(&self, rng: &mut Rng, size: u32) -> T {
+        (self.0)(rng, size)
+    }
+}
+
+/// Chooses between alternatives with the given weights. Shrinking defers
+/// to the chosen alternative's own shrinks (tried against every branch).
+pub fn weighted<T>(choices: Vec<(u32, SharedGen<T>)>) -> WeightedGen<T> {
+    assert!(!choices.is_empty(), "weighted() needs at least one choice");
+    assert!(choices.iter().any(|(w, _)| *w > 0), "all weights are zero");
+    WeightedGen { choices }
+}
+
+/// Uniform choice between alternatives.
+pub fn one_of<T>(choices: Vec<SharedGen<T>>) -> WeightedGen<T> {
+    weighted(choices.into_iter().map(|g| (1, g)).collect())
+}
+
+/// See [`weighted`].
+pub struct WeightedGen<T> {
+    choices: Vec<(u32, SharedGen<T>)>,
+}
+
+impl<T> Gen<T> for WeightedGen<T> {
+    fn generate(&self, rng: &mut Rng, size: u32) -> T {
+        let total: u32 = self.choices.iter().map(|(w, _)| w).sum();
+        let mut roll = rng.gen_range(0u32..total);
+        for (w, g) in &self.choices {
+            if roll < *w {
+                return g.generate(rng, size);
+            }
+            roll -= w;
+        }
+        unreachable!("weights sum checked above")
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // We don't know which branch produced the value; union all branch
+        // shrinks (deduping is the greedy loop's job).
+        self.choices.iter().flat_map(|(_, g)| g.shrink(value)).collect()
+    }
+}
+
+/// A value that is always `v`.
+pub fn just<T: Clone>(v: T) -> JustGen<T> {
+    JustGen(v)
+}
+
+/// See [`just`].
+pub struct JustGen<T>(T);
+
+impl<T: Clone> Gen<T> for JustGen<T> {
+    fn generate(&self, _rng: &mut Rng, _size: u32) -> T {
+        self.0.clone()
+    }
+}
+
+/// Builds a recursive generator: `branch` receives the generator for the
+/// next-smaller depth and returns the composite for the current depth;
+/// applied `depth` times on top of `leaf`.
+pub fn recursive<T: 'static>(
+    depth: u32,
+    leaf: impl Gen<T> + 'static,
+    branch: impl Fn(SharedGen<T>) -> SharedGen<T>,
+) -> SharedGen<T> {
+    let mut cur: SharedGen<T> = Rc::new(leaf);
+    for _ in 0..depth {
+        cur = branch(cur);
+    }
+    cur
+}
+
+// Tuple generators: each coordinate generated independently; shrinking is
+// coordinate-wise (handled by the runner, which needs per-coordinate
+// candidates to hold the others fixed).
+macro_rules! impl_tuple_gen {
+    ($(($($G:ident $T:ident $idx:tt),+))*) => {$(
+        impl<$($T: Clone,)+ $($G: Gen<$T>,)+> Gen<($($T,)+)> for ($($G,)+) {
+            fn generate(&self, rng: &mut Rng, size: u32) -> ($($T,)+) {
+                ($(self.$idx.generate(rng, size),)+)
+            }
+            fn shrink(&self, value: &($($T,)+)) -> Vec<($($T,)+)> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = candidate;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_tuple_gen! {
+    (G0 T0 0)
+    (G0 T0 0, G1 T1 1)
+    (G0 T0 0, G1 T1 1, G2 T2 2)
+    (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3)
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Property-run configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to draw.
+    pub cases: u32,
+    /// Budget of candidate evaluations during shrinking.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_steps: 2048 }
+    }
+}
+
+impl Config {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+}
+
+thread_local! {
+    // While probing candidates we expect panics; suppress their output.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` on `value`, returning the panic message if it fails.
+fn probe<T, F>(f: &F, value: T) -> Option<String>
+where
+    F: Fn(T),
+{
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(value)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match result {
+        Ok(()) => None,
+        Err(payload) => Some(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The size hint for a given case index: ramps 1 → 100 over the first half
+/// of the run, then stays at full size.
+fn size_for(case: u32, cases: u32) -> u32 {
+    let ramp = (cases / 2).max(1);
+    (1 + (99 * case.min(ramp)) / ramp).min(100)
+}
+
+/// Checks `property` against `cases` random values drawn from `gen`.
+///
+/// On failure: greedily shrinks the counterexample within the configured
+/// budget, then panics with the minimal input, the base seed, and the exact
+/// environment variable to set to reproduce the run.
+pub fn check<T, G, F>(cfg: Config, name: &str, gen: G, property: F)
+where
+    T: Clone + Debug,
+    G: Gen<T>,
+    F: Fn(T),
+{
+    install_quiet_hook();
+    let seed = seed::base_seed();
+    for case in 0..cfg.cases {
+        let mut rng = seed::rng_for_case(name, case as u64);
+        let size = size_for(case, cfg.cases);
+        let value = gen.generate(&mut rng, size);
+        if let Some(first_failure) = probe(&property, value.clone()) {
+            let (minimal, steps, message) =
+                shrink_failure(&gen, &property, value, first_failure, cfg.max_shrink_steps);
+            panic!(
+                "\nproperty '{name}' falsified\n  \
+                 seed: 0x{seed:x} (case {case} of {cases})\n  \
+                 reproduce with: {env}=0x{seed:x} cargo test {name}\n  \
+                 minimal input (after {steps} shrink steps): {minimal:?}\n  \
+                 failure: {message}\n",
+                cases = cfg.cases,
+                env = seed::SEED_ENV,
+            );
+        }
+    }
+}
+
+/// Greedy descent: repeatedly replace the counterexample with the first
+/// still-failing shrink candidate until none fails or the budget runs out.
+fn shrink_failure<T, G, F>(
+    gen: &G,
+    property: &F,
+    mut value: T,
+    mut message: String,
+    budget: u32,
+) -> (T, u32, String)
+where
+    T: Clone + Debug,
+    G: Gen<T>,
+    F: Fn(T),
+{
+    let mut steps = 0u32;
+    'outer: while steps < budget {
+        let candidates = gen.shrink(&value);
+        if candidates.is_empty() {
+            break;
+        }
+        for candidate in candidates {
+            if steps >= budget {
+                break 'outer;
+            }
+            steps += 1;
+            if let Some(msg) = probe(property, candidate.clone()) {
+                value = candidate;
+                message = msg;
+                continue 'outer;
+            }
+        }
+        break; // no candidate fails: local minimum
+    }
+    (value, steps, message)
+}
+
+/// Declares property tests. See the [module docs](self) for the grammar:
+/// each `fn name(var in generator, ...) { body }` becomes a `#[test]`; an
+/// optional `cases = N,` prefix overrides the default case count.
+#[macro_export]
+macro_rules! forall {
+    () => {};
+    ($(#[$meta:meta])* cases = $cases:expr, fn $name:ident($($var:ident in $gen:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $crate::__forall_one!($(#[$meta])* ($cases) fn $name($($var in $gen),+) $body);
+        $crate::forall!($($rest)*);
+    };
+    ($(#[$meta:meta])* fn $name:ident($($var:ident in $gen:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $crate::__forall_one!($(#[$meta])* (256u32) fn $name($($var in $gen),+) $body);
+        $crate::forall!($($rest)*);
+    };
+}
+
+/// Implementation detail of [`forall!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __forall_one {
+    ($(#[$meta:meta])* ($cases:expr) fn $name:ident($($var:ident in $gen:expr),+) $body:block) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let config = $crate::prop::Config::new().cases($cases);
+            let generators = ($($gen,)+);
+            $crate::prop::check(config, stringify!($name), generators, |($($var,)+)| $body);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check(Config::new().cases(50), "always_true", (0u32..10,), |(_x,)| {
+            counter.set(counter.get() + 1);
+        });
+        assert_eq!(counter.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = panic::catch_unwind(|| {
+            check(Config::new().cases(200), "finds_big", (0u64..1000,), |(x,)| {
+                assert!(x < 50, "x too big: {x}");
+            });
+        });
+        let msg = panic_message(&result.expect_err("property must fail"));
+        assert!(msg.contains("falsified"), "message: {msg}");
+        assert!(msg.contains("CILK_TEST_SEED=0x"), "message: {msg}");
+        // Greedy shrinking over `0..1000` must land on exactly 50, the
+        // smallest failing value.
+        assert!(msg.contains("minimal input (after"), "message: {msg}");
+        assert!(msg.contains("(50,)"), "shrinking missed the minimum: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reaches_minimal_sequence() {
+        let result = panic::catch_unwind(|| {
+            check(
+                Config::new().cases(300),
+                "no_sevens",
+                (vec_of(0u32..10, 0..50),),
+                |(v,)| {
+                    assert!(!v.contains(&7), "found a 7 in {v:?}");
+                },
+            );
+        });
+        let msg = panic_message(&result.expect_err("property must fail"));
+        // Minimal counterexample is the single-element vector [7].
+        assert!(msg.contains("([7],)"), "shrinking did not minimize: {msg}");
+    }
+
+    #[test]
+    fn size_ramp_is_bounded() {
+        assert_eq!(size_for(0, 256), 1);
+        assert!(size_for(255, 256) == 100);
+        for c in 0..512 {
+            let s = size_for(c, 512);
+            assert!((1..=100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn weighted_generates_all_branches() {
+        let g = weighted::<u32>(vec![
+            (1, Rc::new(just(1u32))),
+            (2, Rc::new(just(2u32))),
+        ]);
+        let mut rng = Rng::seed_from_u64(4);
+        let draws: Vec<u32> = (0..200).map(|_| g.generate(&mut rng, 50)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+
+    #[test]
+    fn recursive_generator_terminates() {
+        // A tiny expression tree: leaves are ints, branches are sums.
+        #[derive(Debug, Clone)]
+        enum E {
+            N(u32),
+            Add(Box<E>, Box<E>),
+        }
+        let gen = recursive(
+            5,
+            map(0u32..10, E::N),
+            |inner| {
+                Rc::new(weighted(vec![
+                    (1, Rc::new(map(0u32..10, E::N)) as SharedGen<E>),
+                    (2, Rc::new(map((inner.clone(), inner), |(a, b)| {
+                        E::Add(Box::new(a), Box::new(b))
+                    }))),
+                ]))
+            },
+        );
+        fn depth(e: &E) -> u32 {
+            match e {
+                E::N(_) => 1,
+                E::Add(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaf_sum(e: &E) -> u64 {
+            match e {
+                E::N(n) => *n as u64,
+                E::Add(a, b) => leaf_sum(a) + leaf_sum(b),
+            }
+        }
+        let mut rng = Rng::seed_from_u64(8);
+        for _ in 0..100 {
+            let e = gen.generate(&mut rng, 100); // must not hang or overflow
+            assert!(depth(&e) <= 6, "depth budget exceeded: {e:?}");
+            // Leaves draw from 0..10 and depth 6 bounds the tree at 32
+            // leaves, so the sum is bounded too.
+            assert!(leaf_sum(&e) < 10 * 32, "leaf values out of range: {e:?}");
+        }
+    }
+}

@@ -3,8 +3,7 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cilk_testkit::Rng;
 
 /// A directed graph in compressed adjacency form.
 #[derive(Debug, Clone)]
@@ -18,7 +17,7 @@ impl Graph {
     /// `avg_degree`, connected enough for interesting BFS levels (each
     /// vertex gets an edge to vertex `(v+1) % n` plus random extras).
     pub fn random(n: usize, avg_degree: usize, seed: u64) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (v, list) in adj.iter_mut().enumerate() {
             list.push(((v + 1) % n) as u32);

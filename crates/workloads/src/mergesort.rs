@@ -121,11 +121,10 @@ fn serial_merge<T: Ord + Clone>(a: &[T], b: &[T], out: &mut [T]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use cilk_testkit::Rng;
 
     fn random_vec(n: usize, seed: u64) -> Vec<i64> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen_range(-1000..1000)).collect()
     }
 

@@ -119,11 +119,10 @@ fn qsort_traced_range(exec: &mut Execution<'_>, begin: usize, end: usize, overla
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use cilk_testkit::Rng;
 
     fn random_vec(n: usize, seed: u64) -> Vec<i64> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
     }
 

@@ -16,8 +16,7 @@
 use cilk::hyper::ReducerList;
 use cilk::sync::Mutex;
 use cilkscreen::{Execution, Location, LockId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cilk_testkit::Rng;
 
 /// A node of the binary tree being searched.
 #[derive(Debug, Clone)]
@@ -35,7 +34,7 @@ pub struct Node {
 /// Values are uniform in `0..1000`; shape is randomized by splitting the
 /// remaining node budget at each level.
 pub fn build_tree(n: usize, seed: u64) -> Option<Box<Node>> {
-    fn build(n: usize, rng: &mut SmallRng) -> Option<Box<Node>> {
+    fn build(n: usize, rng: &mut Rng) -> Option<Box<Node>> {
         if n == 0 {
             return None;
         }
@@ -47,7 +46,7 @@ pub fn build_tree(n: usize, seed: u64) -> Option<Box<Node>> {
             right: build(rest - left_n, rng),
         }))
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     build(n, &mut rng)
 }
 

@@ -1,0 +1,114 @@
+//! Randomized serial-elision oracle (§1: "parallel code retains its
+//! serial semantics").
+//!
+//! Where `tests/elision.rs` checks each workload once on a fixed input,
+//! this suite drives the deterministic workloads with *randomized* inputs
+//! drawn from the seeded `cilk-testkit` streams and asserts the parallel
+//! execution is bit-identical to the serial elision at 1, 2 and 4
+//! workers. Any divergence reproduces exactly via the printed
+//! `CILK_TEST_SEED`.
+
+use cilk::{Config, ThreadPool};
+use cilk_testkit::forall;
+use cilk_testkit::prop::{any_int, vec_of};
+use cilk_workloads as wl;
+
+const WIDTHS: [usize; 3] = [1, 2, 4];
+
+fn pools() -> Vec<ThreadPool> {
+    WIDTHS
+        .iter()
+        .map(|&n| ThreadPool::with_config(Config::new().num_workers(n)).expect("pool"))
+        .collect()
+}
+
+forall! {
+    /// fib at every cutoff equals its serial elision.
+    cases = 8,
+    fn fib_matches_serial_elision(n in 8u64..22, cutoff in 1u64..9) {
+        let expected = wl::fib::fib_serial(n);
+        for pool in pools() {
+            assert_eq!(
+                pool.install(|| wl::fib::fib_cutoff(n, cutoff)),
+                expected,
+                "fib({n}) cutoff {cutoff} at {} workers",
+                pool.num_workers()
+            );
+        }
+    }
+
+    /// Parallel quicksort of random data is bit-identical to the serial sort.
+    cases = 8,
+    fn qsort_matches_serial_elision(base in vec_of(any_int::<i64>(), 0..3000)) {
+        let mut expected = base.clone();
+        wl::qsort::qsort_serial(&mut expected);
+        for pool in pools() {
+            let mut v = base.clone();
+            pool.install(|| wl::qsort::qsort(&mut v));
+            assert_eq!(v, expected, "{} workers", pool.num_workers());
+        }
+    }
+
+    /// Parallel mergesort of random data is bit-identical to the serial sort.
+    cases = 8,
+    fn mergesort_matches_serial_elision(base in vec_of(any_int::<i32>(), 0..3000)) {
+        let mut expected = base.clone();
+        wl::mergesort::merge_sort_serial(&mut expected);
+        for pool in pools() {
+            let mut v = base.clone();
+            pool.install(|| wl::mergesort::merge_sort(&mut v));
+            assert_eq!(v, expected, "{} workers", pool.num_workers());
+        }
+    }
+
+    /// Blocked matmul preserves the serial row-wise FP evaluation order, so
+    /// random matrices multiply bit-identically at any width.
+    cases = 6,
+    fn matmul_matches_serial_elision(n in 1usize..48, seed in 0u64..1000) {
+        let a = wl::matmul::Matrix::random(n, seed);
+        let b = wl::matmul::Matrix::random(n, seed.wrapping_add(1));
+        let expected = wl::matmul::matmul_serial(&a, &b);
+        for pool in pools() {
+            let c = pool.install(|| wl::matmul::matmul(&a, &b));
+            assert_eq!(
+                c.max_abs_diff(&expected),
+                0.0,
+                "n={n} seed={seed} at {} workers",
+                pool.num_workers()
+            );
+        }
+    }
+
+    /// Parallel BFS distance vectors on random graphs equal serial BFS.
+    cases = 6,
+    fn bfs_matches_serial_elision(
+        n in 1usize..4000,
+        degree in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let g = wl::bfs::Graph::random(n, degree, seed);
+        let expected = wl::bfs::bfs_serial(&g, 0);
+        for pool in pools() {
+            assert_eq!(
+                pool.install(|| wl::bfs::bfs(&g, 0)),
+                expected,
+                "n={n} degree={degree} seed={seed} at {} workers",
+                pool.num_workers()
+            );
+        }
+    }
+
+    /// nqueens solution counts at every spawn depth equal the serial count.
+    cases = 6,
+    fn nqueens_matches_serial_elision(n in 4usize..10, depth in 0usize..5) {
+        let expected = wl::nqueens::nqueens_serial(n);
+        for pool in pools() {
+            assert_eq!(
+                pool.install(|| wl::nqueens::nqueens(n, depth)),
+                expected,
+                "n={n} depth={depth} at {} workers",
+                pool.num_workers()
+            );
+        }
+    }
+}

@@ -8,9 +8,12 @@
 //! `Dag::parallel`. The detector's per-location verdicts must match the
 //! oracle's exactly — Feng–Leiserson's correctness theorem.
 
+use std::rc::Rc;
+
 use cilk::dag::{Dag, NodeId};
 use cilk::screen::{Detector, Execution, Location};
-use proptest::prelude::*;
+use cilk_testkit::forall;
+use cilk_testkit::prop::{any_bool, just, map, recursive, vec_of, weighted, SharedGen, VecGen};
 
 /// AST of a random fork-join program.
 #[derive(Debug, Clone)]
@@ -24,22 +27,28 @@ enum Stmt {
     Sync,
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (0u8..4, any::<bool>()).prop_map(|(loc, write)| Stmt::Access { loc, write }),
-        Just(Stmt::Sync),
-    ];
-    leaf.prop_recursive(4, 48, 6, |inner| {
-        prop_oneof![
-            3 => (0u8..4, any::<bool>()).prop_map(|(loc, write)| Stmt::Access { loc, write }),
-            1 => Just(Stmt::Sync),
-            3 => proptest::collection::vec(inner, 0..6).prop_map(Stmt::Spawn),
-        ]
-    })
+fn stmt_gen() -> SharedGen<Stmt> {
+    let access = || {
+        map((0u8..4, any_bool()), |(loc, write)| Stmt::Access { loc, write })
+    };
+    recursive(
+        4,
+        weighted(vec![
+            (1, Rc::new(access()) as SharedGen<Stmt>),
+            (1, Rc::new(just(Stmt::Sync))),
+        ]),
+        move |inner| {
+            Rc::new(weighted(vec![
+                (3, Rc::new(access()) as SharedGen<Stmt>),
+                (1, Rc::new(just(Stmt::Sync))),
+                (3, Rc::new(map(vec_of(inner, 0..6), Stmt::Spawn))),
+            ]))
+        },
+    )
 }
 
-fn program_strategy() -> impl Strategy<Value = Vec<Stmt>> {
-    proptest::collection::vec(stmt_strategy(), 0..10)
+fn program_gen() -> VecGen<SharedGen<Stmt>> {
+    vec_of(stmt_gen(), 0..10)
 }
 
 /// Interprets the program under the Cilkscreen detector.
@@ -136,15 +145,13 @@ fn run_oracle(body: &[Stmt]) -> Vec<bool> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
+forall! {
     /// The detector's per-location race verdicts must equal the oracle's.
-    #[test]
-    fn detector_matches_bruteforce_oracle(program in program_strategy()) {
+    cases = 512,
+    fn detector_matches_bruteforce_oracle(program in program_gen()) {
         let detected = run_detector(&program);
         let oracle = run_oracle(&program);
-        prop_assert_eq!(
+        assert_eq!(
             detected,
             oracle,
             "SP-bags and the dag oracle disagree on {:?}",
@@ -154,7 +161,7 @@ proptest! {
 }
 
 /// A regression corpus of hand-picked tricky programs (kept even though
-/// proptest would likely rediscover them).
+/// the property suite would likely rediscover them).
 #[test]
 fn corpus_cases_match() {
     use Stmt::*;

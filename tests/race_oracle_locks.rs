@@ -7,9 +7,12 @@
 //! common". The oracle records every access's full lock-set and checks
 //! all conflicting pairs; the detector must agree per location.
 
+use std::rc::Rc;
+
 use cilk::dag::{Dag, NodeId};
 use cilk::screen::{Detector, Execution, Location, LockId};
-use proptest::prelude::*;
+use cilk_testkit::forall;
+use cilk_testkit::prop::{any_bool, just, map, recursive, vec_of, weighted, SharedGen, VecGen};
 
 #[derive(Debug, Clone)]
 enum Stmt {
@@ -19,24 +22,31 @@ enum Stmt {
     WithLock(u8, Vec<Stmt>),
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (0u8..3, any::<bool>()).prop_map(|(loc, write)| Stmt::Access { loc, write }),
-        Just(Stmt::Sync),
-    ];
-    leaf.prop_recursive(4, 40, 5, |inner| {
-        prop_oneof![
-            3 => (0u8..3, any::<bool>()).prop_map(|(loc, write)| Stmt::Access { loc, write }),
-            1 => Just(Stmt::Sync),
-            3 => proptest::collection::vec(inner.clone(), 0..5).prop_map(Stmt::Spawn),
-            2 => (0u8..2, proptest::collection::vec(inner, 0..4))
-                .prop_map(|(l, body)| Stmt::WithLock(l, body)),
-        ]
-    })
+fn stmt_gen() -> SharedGen<Stmt> {
+    let access = || {
+        map((0u8..3, any_bool()), |(loc, write)| Stmt::Access { loc, write })
+    };
+    recursive(
+        4,
+        weighted(vec![
+            (1, Rc::new(access()) as SharedGen<Stmt>),
+            (1, Rc::new(just(Stmt::Sync))),
+        ]),
+        move |inner| {
+            Rc::new(weighted(vec![
+                (3, Rc::new(access()) as SharedGen<Stmt>),
+                (1, Rc::new(just(Stmt::Sync))),
+                (3, Rc::new(map(vec_of(inner.clone(), 0..5), Stmt::Spawn))),
+                (2, Rc::new(map((0u8..2, vec_of(inner, 0..4)), |(l, body)| {
+                    Stmt::WithLock(l, body)
+                }))),
+            ]))
+        },
+    )
 }
 
-fn program_strategy() -> impl Strategy<Value = Vec<Stmt>> {
-    proptest::collection::vec(stmt_strategy(), 0..8)
+fn program_gen() -> VecGen<SharedGen<Stmt>> {
+    vec_of(stmt_gen(), 0..8)
 }
 
 /// Locks held are tracked as a bitmask (lock ids 0..2).
@@ -142,13 +152,11 @@ fn run_oracle(body: &[Stmt]) -> Vec<bool> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
+forall! {
     /// ALL-SETS verdicts equal the brute-force lock-aware oracle's.
-    #[test]
-    fn lock_aware_detector_matches_oracle(program in program_strategy()) {
-        prop_assert_eq!(
+    cases = 512,
+    fn lock_aware_detector_matches_oracle(program in program_gen()) {
+        assert_eq!(
             run_detector(&program),
             run_oracle(&program),
             "disagreement on {:?}", program

@@ -2,9 +2,12 @@
 //! fork-join programs and any pool width, the reducer's final value equals
 //! the serial execution's, element order included.
 
+use std::rc::Rc;
+
 use cilk::hyper::{ReducerList, ReducerString, ReducerSum};
 use cilk::{Config, ThreadPool};
-use proptest::prelude::*;
+use cilk_testkit::forall;
+use cilk_testkit::prop::{any_int, map, recursive, weighted, SharedGen};
 
 /// A random fork-join accumulation program over one list reducer.
 #[derive(Debug, Clone)]
@@ -14,16 +17,17 @@ enum Prog {
     Par(Box<Prog>, Box<Prog>),
 }
 
-fn prog_strategy() -> impl Strategy<Value = Prog> {
-    let leaf = any::<u16>().prop_map(Prog::Emit);
-    leaf.prop_recursive(6, 64, 2, |inner| {
-        prop_oneof![
-            2 => any::<u16>().prop_map(Prog::Emit),
-            2 => (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Prog::Seq(Box::new(a), Box::new(b))),
-            3 => (inner.clone(), inner)
-                .prop_map(|(a, b)| Prog::Par(Box::new(a), Box::new(b))),
-        ]
+fn prog_gen() -> SharedGen<Prog> {
+    recursive(6, map(any_int::<u16>(), Prog::Emit), |inner| {
+        Rc::new(weighted(vec![
+            (2, Rc::new(map(any_int::<u16>(), Prog::Emit)) as SharedGen<Prog>),
+            (2, Rc::new(map((inner.clone(), inner.clone()), |(a, b)| {
+                Prog::Seq(Box::new(a), Box::new(b))
+            }))),
+            (3, Rc::new(map((inner.clone(), inner), |(a, b)| {
+                Prog::Par(Box::new(a), Box::new(b))
+            }))),
+        ]))
     })
 }
 
@@ -53,12 +57,10 @@ fn run_parallel(p: &Prog, list: &ReducerList<u16>, sum: &ReducerSum<u64>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+forall! {
     /// Reducer output is serial-order identical, regardless of pool width.
-    #[test]
-    fn reducer_equals_serial_execution(prog in prog_strategy(), workers in 1usize..5) {
+    cases = 64,
+    fn reducer_equals_serial_execution(prog in prog_gen(), workers in 1usize..5) {
         let pool = ThreadPool::with_config(Config::new().num_workers(workers))
             .expect("pool");
         let mut expected = Vec::new();
@@ -69,8 +71,8 @@ proptest! {
         let sum = ReducerSum::<u64>::sum();
         pool.install(|| run_parallel(&prog, &list, &sum));
 
-        prop_assert_eq!(list.into_value(), expected);
-        prop_assert_eq!(sum.into_value(), expected_sum);
+        assert_eq!(list.into_value(), expected);
+        assert_eq!(sum.into_value(), expected_sum);
     }
 }
 
