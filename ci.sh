@@ -3,7 +3,7 @@
 # everything `--offline`, so a registry dependency sneaking back into the
 # workspace fails the build instead of silently downloading.
 #
-#   ./ci.sh          # hermetic check + build + tests + bench compile
+#   ./ci.sh          # hermetic check + lint gate + build + tests + smoke
 #
 # Seeded suites print their reproducing seed on failure; re-run with
 # CILK_TEST_SEED=<seed> to replay a specific failure (see README).
@@ -13,11 +13,25 @@ cd "$(dirname "$0")"
 echo "== hermetic dependency check =="
 ./scripts/check_hermetic.sh
 
-echo "== tier-1: release build =="
-cargo build --release --offline
+echo "== tier-1: release build (warnings are errors) =="
+RUSTFLAGS="-D warnings" cargo build --release --offline
+
+echo "== lint gate: clippy (when installed) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping (rustc -D warnings gate above still applies)"
+fi
 
 echo "== tier-1: test suite =="
 cargo test -q --offline --workspace
+
+echo "== cilkscreen CLI smoke: workload expectations must hold =="
+# --check exits 0 only when every workload's verdict (racy locations,
+# reducer suppression, functional result) matches its expectation; the
+# JSON artifact lands in target/cilkscreen/.
+cargo run -q --release --offline -p cilk-workloads --bin cilkscreen -- \
+    --check --workers 2 --json target/cilkscreen/ci-report.json
 
 echo "== bench harness compiles =="
 cargo build --offline --benches --workspace

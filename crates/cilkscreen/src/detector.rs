@@ -13,6 +13,11 @@ use crate::spbags::{ProcId, SpBags};
 use crate::structure::{StructureEvent, StructureTrace};
 
 /// A recorded access: who, holding which locks, labeled how.
+///
+/// `locks` is always sorted and deduplicated (it is a snapshot of the
+/// session's `held_locks`, which maintains that invariant at insertion),
+/// so the subset/disjointness tests below run as linear merges and race
+/// reports are deterministic regardless of lock-acquisition order.
 #[derive(Debug, Clone)]
 struct Access {
     proc: ProcId,
@@ -106,12 +111,61 @@ impl Detector {
     where
         F: FnOnce(&mut Execution<'_>),
     {
+        let ((), report) = self.monitor_with(
+            || {
+                let mut exec = Execution { _marker: std::marker::PhantomData };
+                program(&mut exec);
+            },
+            trace_out,
+        );
+        report
+    }
+
+    /// Executes an arbitrary closure under surveillance and returns its
+    /// value together with the race report.
+    ///
+    /// Unlike [`Detector::run`], the program is *not* expressed against the
+    /// [`Execution`] DSL: it is real code whose parallel constructs and
+    /// memory accesses report themselves through the instrumentation layer
+    /// ([`crate::instrument`]) — tracked [`crate::instrument::Shadow`] /
+    /// [`crate::instrument::ShadowSlice`] data, `cilk-runtime` scheduler
+    /// hooks, `cilk::sync::Mutex` lock events. Prefer the convenience
+    /// wrapper [`crate::instrument::run_monitored`], which also installs
+    /// the runtime hooks.
+    ///
+    /// An implicit root `sync` is performed when the closure returns, like
+    /// every Cilk function.
+    pub fn monitor<F, R>(self, program: F) -> (R, Report)
+    where
+        F: FnOnce() -> R,
+    {
+        let mut trace = StructureTrace::default();
+        self.monitor_with(program, &mut trace)
+    }
+
+    /// Like [`Detector::monitor`], but additionally returns the recorded
+    /// [`StructureTrace`] (implies structure recording).
+    pub fn monitor_traced<F, R>(mut self, program: F) -> (R, Report, StructureTrace)
+    where
+        F: FnOnce() -> R,
+    {
+        self.record_structure = true;
+        let mut trace = StructureTrace::default();
+        let (value, report) = self.monitor_with(program, &mut trace);
+        (value, report, trace)
+    }
+
+    fn monitor_with<F, R>(self, program: F, trace_out: &mut StructureTrace) -> (R, Report)
+    where
+        F: FnOnce() -> R,
+    {
         let state = State {
             bags: SpBags::new(),
             shadow: HashMap::new(),
             held_locks: Vec::new(),
             races: Vec::new(),
             seen: HashSet::new(),
+            suppressed_views: 0,
             dedup: self.dedup_per_location,
             structure: if self.record_structure {
                 Some(StructureTrace::default())
@@ -132,9 +186,12 @@ impl Detector {
             }
         }
         let guard = SessionGuard;
-        let mut exec = Execution { _marker: std::marker::PhantomData };
-        program(&mut exec);
-        exec.sync();
+        let value = program();
+        // The root procedure's implicit sync.
+        with_state(|state| {
+            state.record_structure(StructureEvent::Sync);
+            state.bags.sync();
+        });
         let state = SESSION
             .with(|session| session.borrow_mut().take())
             .expect("session still active");
@@ -142,7 +199,10 @@ impl Detector {
         if let Some(trace) = state.structure {
             *trace_out = trace;
         }
-        Report { races: state.races }
+        let mut report =
+            Report { races: state.races, suppressed_views: state.suppressed_views };
+        report.normalize();
+        (value, report)
     }
 }
 
@@ -166,11 +226,40 @@ fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
     })
 }
 
+thread_local! {
+    /// Reducer-view suppression depth (§5): while positive, shadow-memory
+    /// accesses on this thread are not recorded. Incremented/decremented
+    /// by [`crate::instrument::suppress_view_access`], which `cilk-hyper`
+    /// wraps around every reducer view access.
+    static SUPPRESSED: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Whether shadow accesses on this thread are currently suppressed.
+pub(crate) fn suppressed() -> bool {
+    SUPPRESSED.with(|depth| depth.get() > 0)
+}
+
+pub(crate) fn suppression_enter() {
+    SUPPRESSED.with(|depth| depth.set(depth.get() + 1));
+}
+
+pub(crate) fn suppression_exit() {
+    SUPPRESSED.with(|depth| {
+        let current = depth.get();
+        debug_assert!(current > 0, "unbalanced suppression exit");
+        depth.set(current.saturating_sub(1));
+    });
+}
+
 /// Reports a read to the active session, if any (no-op otherwise).
-/// Used by the instrumented containers in [`crate::trace`].
+/// Used by the instrumented containers in [`crate::trace`] and the
+/// tracked data types in [`crate::instrument`].
 pub(crate) fn record_read(location: Location, site: Option<&'static str>) {
     SESSION.with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
+            if suppressed() {
+                return;
+            }
             state.on_read(location, site);
         }
     });
@@ -180,7 +269,96 @@ pub(crate) fn record_read(location: Location, site: Option<&'static str>) {
 pub(crate) fn record_write(location: Location, site: Option<&'static str>) {
     SESSION.with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
+            if suppressed() {
+                return;
+            }
             state.on_write(location, site);
+        }
+    });
+}
+
+/// Whether a detector session is active on this thread. This is the
+/// `active` predicate handed to the `cilk-runtime` scheduler hooks and the
+/// fast-path gate for the `Mutex` lock events.
+pub(crate) fn session_active() -> bool {
+    SESSION.with(|session| session.borrow().is_some())
+}
+
+/// Scheduler hook: the current strand spawned a child procedure that is
+/// about to execute (serial elision order). No-op without a session.
+pub(crate) fn session_spawn() {
+    SESSION.with(|session| {
+        if let Some(state) = session.borrow_mut().as_mut() {
+            state.record_structure(StructureEvent::Spawn);
+            state.bags.spawn_procedure();
+        }
+    });
+}
+
+/// Scheduler hook: the spawned child returned (with its implicit sync).
+/// No-op without a session.
+pub(crate) fn session_return() {
+    SESSION.with(|session| {
+        if let Some(state) = session.borrow_mut().as_mut() {
+            state.bags.sync(); // the child's own implicit sync
+            state.bags.return_procedure();
+            state.record_structure(StructureEvent::Return);
+        }
+    });
+}
+
+/// Scheduler hook: a `cilk_sync` in the current procedure. No-op without a
+/// session.
+pub(crate) fn session_sync() {
+    SESSION.with(|session| {
+        if let Some(state) = session.borrow_mut().as_mut() {
+            state.record_structure(StructureEvent::Sync);
+            state.bags.sync();
+        }
+    });
+}
+
+/// Reducer hook: the current strand is entering an access to a reducer
+/// view (`cilk-hyper`'s `Reducer::with`, or a view merge). While inside,
+/// shadow accesses are suppressed — "the race detector should ignore
+/// apparent races due to reducers" (§5) — and the session counts the
+/// access so reports can show how much reducer traffic was excused.
+pub(crate) fn view_enter(_reducer: u64) {
+    SESSION.with(|session| {
+        if let Some(state) = session.borrow_mut().as_mut() {
+            state.suppressed_views += 1;
+        }
+    });
+    suppression_enter();
+}
+
+/// Reducer hook: the matching exit of [`view_enter`].
+pub(crate) fn view_exit(_reducer: u64) {
+    suppression_exit();
+}
+
+/// Lock hook: the current strand acquired `lock` (a real `Mutex`, not the
+/// DSL's `with_lock`). Lenient — re-acquisition is ignored rather than a
+/// panic, and no session means no-op — because the hook fires from
+/// production locking code paths.
+pub(crate) fn session_lock_acquired(lock: LockId) {
+    SESSION.with(|session| {
+        if let Some(state) = session.borrow_mut().as_mut() {
+            if let Err(pos) = state.held_locks.binary_search(&lock) {
+                state.held_locks.insert(pos, lock);
+            }
+        }
+    });
+}
+
+/// Lock hook: the current strand released `lock`. Lenient like
+/// [`session_lock_acquired`].
+pub(crate) fn session_lock_released(lock: LockId) {
+    SESSION.with(|session| {
+        if let Some(state) = session.borrow_mut().as_mut() {
+            if let Ok(pos) = state.held_locks.binary_search(&lock) {
+                state.held_locks.remove(pos);
+            }
         }
     });
 }
@@ -191,6 +369,7 @@ struct State {
     held_locks: Vec<LockId>,
     races: Vec<Race>,
     seen: HashSet<(Location, RaceKind)>,
+    suppressed_views: u64,
     dedup: bool,
     structure: Option<StructureTrace>,
 }
@@ -218,13 +397,42 @@ impl State {
         self.races.push(Race { location, kind, first_site: first, second_site: second });
     }
 
+    /// Whether two lock sets share no lock. Both sides are sorted and
+    /// deduplicated (the `held_locks` invariant), so this is a linear merge
+    /// walk that short-circuits at the first common element.
     fn locks_disjoint(held: &[LockId], prev: &[LockId]) -> bool {
-        held.iter().all(|l| !prev.contains(l))
+        let (mut i, mut j) = (0, 0);
+        while i < held.len() && j < prev.len() {
+            match held[i].cmp(&prev[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
     }
 
-    /// Whether every lock in `sub` also appears in `sup`.
+    /// Whether every lock in `sub` also appears in `sup`. Sorted-merge walk
+    /// over the same invariant as [`Self::locks_disjoint`]; short-circuits
+    /// as soon as an element of `sub` is missing from `sup`.
     fn locks_subset(sub: &[LockId], sup: &[LockId]) -> bool {
-        sub.iter().all(|l| sup.contains(l))
+        if sub.len() > sup.len() {
+            return false;
+        }
+        let mut j = 0;
+        for l in sub {
+            loop {
+                if j == sup.len() || sup[j] > *l {
+                    return false;
+                }
+                if sup[j] == *l {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+        }
+        true
     }
 
     /// Inserts `access` into `entries`, pruning entries *dominated* by it:
@@ -382,16 +590,22 @@ impl Execution<'_> {
         F: FnOnce(&mut Execution<'_>),
     {
         with_state(|state| {
-            assert!(
-                !state.held_locks.contains(&lock),
-                "lock {lock:?} is already held (recursive locking)"
-            );
-            state.held_locks.push(lock);
+            // Sorted insertion keeps `held_locks` ordered and duplicate-free
+            // so lock-set snapshots compare as linear merges and reports do
+            // not depend on acquisition order.
+            match state.held_locks.binary_search(&lock) {
+                Ok(_) => panic!("lock {lock:?} is already held (recursive locking)"),
+                Err(pos) => state.held_locks.insert(pos, lock),
+            }
         });
         let mut inner = Execution { _marker: std::marker::PhantomData };
         body(&mut inner);
         with_state(|state| {
-            state.held_locks.pop();
+            let pos = state
+                .held_locks
+                .binary_search(&lock)
+                .expect("released lock not held");
+            state.held_locks.remove(pos);
         });
     }
 

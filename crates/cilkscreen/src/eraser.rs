@@ -108,6 +108,13 @@ impl EraserDetector {
     pub fn warns_at(&self, location: Location) -> bool {
         self.warned.contains(&location)
     }
+
+    /// The warnings naming `location` (at most one, since warnings are
+    /// deduplicated per location). Convenience for cross-checking Eraser
+    /// against the SP-bags report at a specific address.
+    pub fn warnings_for(&self, location: Location) -> Vec<&LocksetWarning> {
+        self.warnings.iter().filter(|w| w.location == location).collect()
+    }
 }
 
 fn intersect(c: &[LockId], held: &[LockId]) -> Vec<LockId> {
@@ -177,6 +184,44 @@ mod tests {
         assert!(
             e.warns_at(Location(9)),
             "Eraser must flag the handoff — the false positive SP-bags avoids"
+        );
+    }
+
+    #[test]
+    fn warnings_for_filters_by_location() {
+        let mut e = EraserDetector::new();
+        e.access(Location(1), ProcId(0), true, &[]);
+        e.access(Location(1), ProcId(1), true, &[]);
+        e.access(Location(2), ProcId(0), true, &[]);
+        assert_eq!(e.warnings_for(Location(1)).len(), 1);
+        assert_eq!(e.warnings_for(Location(1))[0].location, Location(1));
+        assert!(e.warnings_for(Location(2)).is_empty());
+    }
+
+    #[test]
+    fn benign_synced_handoff_eraser_warns_spbags_does_not() {
+        // The benign pattern: a child writes, the parent syncs, then the
+        // parent's continuation writes. The sync orders the two writes —
+        // there is no race — and the SP-bags detector proves it. Eraser,
+        // blind to fork-join ordering, sees two strands writing with no
+        // common lock and raises a false positive at the same location.
+        let loc = Location(77);
+        let report = crate::Detector::new().run(|e| {
+            e.spawn(|e| e.write(loc));
+            e.sync();
+            e.write(loc);
+        });
+        assert!(report.is_race_free(), "SP-bags sees the sync: {report}");
+
+        let mut eraser = EraserDetector::new();
+        // The same serial replay, as Eraser observes it: two distinct
+        // strands, no locks held, both writing.
+        eraser.access(loc, ProcId(1), true, &[]); // the spawned child
+        eraser.access(loc, ProcId(0), true, &[]); // the parent, after sync
+        assert_eq!(
+            eraser.warnings_for(loc).len(),
+            1,
+            "lockset discipline cannot express 'ordered by sync'"
         );
     }
 

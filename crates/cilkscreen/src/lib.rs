@@ -38,6 +38,7 @@
 
 mod detector;
 pub mod eraser;
+pub mod instrument;
 mod report;
 pub mod spbags;
 mod structure;
@@ -45,6 +46,7 @@ mod trace;
 pub mod union_find;
 
 pub use detector::{Detector, Execution};
+pub use instrument::{Shadow, ShadowSlice};
 pub use report::{Location, LockId, Race, RaceKind, Report};
 pub use structure::{StructureEvent, StructureTrace};
 pub use trace::{TraceCell, TraceVec};

@@ -85,10 +85,31 @@ impl fmt::Display for Race {
 }
 
 /// The outcome of a monitored execution.
+///
+/// # Ordering
+///
+/// Reports returned by the detector are **normalized**: races are sorted
+/// by location, then kind (write/write < write/read < read/write), then
+/// by the two site labels. The order is therefore a function of the
+/// monitored execution alone — independent of lock-acquisition order,
+/// hash-map iteration, or scheduling — so serialized artifacts
+/// ([`Report::to_json`]) diff cleanly across runs and seeds.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
-    /// Every distinct race found, in detection order.
+    /// Every distinct race found, in normalized order (see above).
     pub races: Vec<Race>,
+    /// Number of reducer-view accesses that were observed and suppressed:
+    /// "the analysis performed by Cilkscreen indicates when the race
+    /// detector should ignore apparent races due to reducers" (§5).
+    pub suppressed_views: u64,
+}
+
+fn kind_rank(kind: RaceKind) -> u8 {
+    match kind {
+        RaceKind::WriteWrite => 0,
+        RaceKind::WriteRead => 1,
+        RaceKind::ReadWrite => 2,
+    }
 }
 
 impl Report {
@@ -103,6 +124,90 @@ impl Report {
     pub fn races_at(&self, location: Location) -> Vec<&Race> {
         self.races.iter().filter(|r| r.location == location).collect()
     }
+
+    /// The distinct locations with at least one race, sorted ascending.
+    ///
+    /// One *bug* usually manifests as several [`Race`] entries (one per
+    /// access-kind pair); counting distinct locations counts bugs the way
+    /// the paper's §4 narrative does ("*the* race" of the quicksort
+    /// mutation).
+    pub fn race_locations(&self) -> Vec<Location> {
+        let mut locs: Vec<Location> = self.races.iter().map(|r| r.location).collect();
+        locs.sort_unstable();
+        locs.dedup();
+        locs
+    }
+
+    /// Sorts the race list into the documented deterministic order:
+    /// location, then kind, then first/second site labels. Idempotent;
+    /// called by the detector before a report is returned.
+    pub fn normalize(&mut self) {
+        self.races.sort_by(|a, b| {
+            (a.location, kind_rank(a.kind), a.first_site, a.second_site).cmp(&(
+                b.location,
+                kind_rank(b.kind),
+                b.first_site,
+                b.second_site,
+            ))
+        });
+    }
+
+    /// Serializes the report as a stable, human-diffable JSON object.
+    ///
+    /// Races appear in normalized order (see the type-level docs), so two
+    /// runs of the same monitored execution produce byte-identical JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"race_free\":{},", self.is_race_free()));
+        out.push_str(&format!("\"race_count\":{},", self.races.len()));
+        out.push_str(&format!(
+            "\"racy_locations\":{},",
+            self.race_locations().len()
+        ));
+        out.push_str(&format!("\"suppressed_views\":{},", self.suppressed_views));
+        out.push_str("\"races\":[");
+        for (i, race) in self.races.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"location\":\"{}\",\"kind\":\"{}\",\"first_site\":{},\"second_site\":{}}}",
+                race.location,
+                race.kind,
+                json_opt_str(race.first_site),
+                json_opt_str(race.second_site),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON-encodes an optional site label (`null` when absent).
+fn json_opt_str(s: Option<&str>) -> String {
+    match s {
+        None => "null".to_string(),
+        Some(s) => json_str(s),
+    }
+}
+
+/// Minimal JSON string escaping for site labels and workload names.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Report {

@@ -19,12 +19,15 @@ use crate::report::Location;
 
 static NEXT_CONTAINER: AtomicU64 = AtomicU64::new(1);
 
-fn fresh_base() -> u64 {
+/// Allocates a fresh logical container id (shared with
+/// [`crate::instrument`], so `Trace*` and `Shadow*` containers can never
+/// alias each other).
+pub(crate) fn fresh_base() -> u64 {
     NEXT_CONTAINER.fetch_add(1, Ordering::Relaxed) << 32
 }
 
 /// Index used for a container's own structure (length, capacity).
-const STRUCTURE: u64 = 0xFFFF_FFFF;
+pub(crate) const STRUCTURE: u64 = 0xFFFF_FFFF;
 
 /// A single instrumented memory cell.
 ///

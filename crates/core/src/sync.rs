@@ -56,8 +56,21 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// The lock's identity for the race detector: the address of its state
+    /// word, stable for the mutex's lifetime and unique among live locks.
+    /// Cilkscreen's §4 race definition exempts logically parallel accesses
+    /// that "hold a lock in common"; acquire/release events keyed by this
+    /// id are how the detector learns what is held.
+    pub fn lock_id(&self) -> cilkscreen::LockId {
+        cilkscreen::LockId(&self.locked as *const AtomicBool as u64)
+    }
+
     /// Acquires the lock, spinning with exponential backoff until
     /// available, and returns an RAII guard.
+    ///
+    /// Under a Cilkscreen session the acquisition is reported to the
+    /// detector, so tracked accesses made while the guard lives carry this
+    /// lock in their lockset.
     ///
     /// Unlike `std::sync::Mutex` there is no poisoning: a panic while the
     /// guard is live simply releases the lock in the guard's destructor
@@ -69,6 +82,7 @@ impl<T: ?Sized> Mutex<T> {
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
+            cilkscreen::instrument::lock_acquired(self.lock_id());
             return MutexGuard { mutex: self };
         }
         self.contended.fetch_add(1, Ordering::Relaxed);
@@ -91,6 +105,7 @@ impl<T: ?Sized> Mutex<T> {
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
+                cilkscreen::instrument::lock_acquired(self.lock_id());
                 return MutexGuard { mutex: self };
             }
         }
@@ -103,6 +118,7 @@ impl<T: ?Sized> Mutex<T> {
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
+            cilkscreen::instrument::lock_acquired(self.lock_id());
             Some(MutexGuard { mutex: self })
         } else {
             None
@@ -157,6 +173,7 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        cilkscreen::instrument::lock_released(self.mutex.lock_id());
         self.mutex.locked.store(false, Ordering::Release);
     }
 }
@@ -244,6 +261,68 @@ mod tests {
         let g = m.lock();
         assert!(format!("{m:?}").contains("locked"));
         drop(g);
+    }
+
+    #[test]
+    fn monitored_common_lock_suppresses_race() {
+        use cilkscreen::instrument::{run_monitored, Shadow};
+        let cell = Shadow::new(0u64);
+        let m = Mutex::new(());
+        let ((), report) = run_monitored(|| {
+            crate::join(
+                || {
+                    let _g = m.lock();
+                    cell.update(|v| *v += 1);
+                },
+                || {
+                    let _g = m.lock();
+                    cell.update(|v| *v += 1);
+                },
+            );
+        });
+        assert!(report.is_race_free(), "common mutex held: {report}");
+        assert_eq!(cell.get(), 2);
+    }
+
+    #[test]
+    fn monitored_distinct_locks_still_race() {
+        use cilkscreen::instrument::{run_monitored, Shadow};
+        let cell = Shadow::new(0u64);
+        let (m1, m2) = (Mutex::new(()), Mutex::new(()));
+        let ((), report) = run_monitored(|| {
+            crate::join(
+                || {
+                    let _g = m1.lock();
+                    cell.update(|v| *v += 1);
+                },
+                || {
+                    let _g = m2.lock();
+                    cell.update(|v| *v += 1);
+                },
+            );
+        });
+        assert!(!report.is_race_free(), "different locks do not protect (§4)");
+    }
+
+    #[test]
+    fn monitored_try_lock_reports_too() {
+        use cilkscreen::instrument::{run_monitored, Shadow};
+        let cell = Shadow::new(0u64);
+        let m = Mutex::new(());
+        let ((), report) = run_monitored(|| {
+            crate::join(
+                || {
+                    // Serial elision: the lock is always free here.
+                    let _g = m.try_lock().expect("uncontended under monitoring");
+                    cell.update(|v| *v += 1);
+                },
+                || {
+                    let _g = m.lock();
+                    cell.update(|v| *v += 1);
+                },
+            );
+        });
+        assert!(report.is_race_free(), "{report}");
     }
 
     #[test]

@@ -97,6 +97,9 @@ pub(crate) fn merge_frame_into_current(frame: Frame) {
         match frames.last_mut() {
             Some(top) => {
                 for (id, slot) in frame.slots {
+                    // Ordered merges touch both views: bracket them for the
+                    // race detector like any other view access (§5).
+                    let _view = crate::hooks::view_access(id);
                     match top.slots.entry(id) {
                         std::collections::hash_map::Entry::Occupied(mut cur) => {
                             let ops = Arc::clone(&cur.get().ops);
@@ -114,7 +117,8 @@ pub(crate) fn merge_frame_into_current(frame: Frame) {
         }
     });
     if let Some(frame) = leftovers {
-        for (_id, slot) in frame.slots {
+        for (id, slot) in frame.slots {
+            let _view = crate::hooks::view_access(id);
             slot.ops.merge_into_root(slot.value);
         }
     }

@@ -1,0 +1,80 @@
+//! Reducer-view instrumentation hooks — how Cilkscreen learns about §5.
+//!
+//! "The analysis performed by Cilkscreen indicates when the race detector
+//! should ignore apparent races due to reducers" (§5). The real tool
+//! recognizes reducer views in the instrumented binary; the equivalent
+//! seam here is a process-global table of function pointers that a race
+//! detector installs once. Every access to a reducer view — a
+//! [`crate::Reducer::with`] call or an ordered view merge at a join — is
+//! then bracketed by `enter(reducer_id)`/`exit(reducer_id)` on threads the
+//! `active` predicate reports as monitored, so the detector can suppress
+//! the apparent races the view protocol would otherwise surface.
+//!
+//! Like `cilk_runtime::hooks`, this module knows nothing about the
+//! detector: `cilkscreen::instrument` installs the table, keeping the
+//! dependency pointed one way.
+
+use std::sync::OnceLock;
+
+/// The table of reducer-view event hooks a detector installs via
+/// [`install`].
+#[derive(Debug, Clone, Copy)]
+pub struct ViewHooks {
+    /// Whether the current thread is executing under a detector session.
+    pub active: fn() -> bool,
+    /// The current strand is entering an access to a view of the reducer
+    /// with the given id.
+    pub enter: fn(u64),
+    /// The matching exit of `enter` (balanced even on panic).
+    pub exit: fn(u64),
+}
+
+static HOOKS: OnceLock<ViewHooks> = OnceLock::new();
+
+/// Installs the process-wide view hooks. The first installation wins;
+/// returns `false` if hooks were already installed (the call is then a
+/// no-op, which makes installation idempotent for a single detector).
+pub fn install(hooks: ViewHooks) -> bool {
+    HOOKS.set(hooks).is_ok()
+}
+
+/// Balanced enter/exit bracket around one view access; exit runs on drop
+/// so the bracket survives panics inside the access closure.
+#[derive(Debug)]
+pub(crate) struct ViewAccess {
+    hooks: &'static ViewHooks,
+    reducer: u64,
+}
+
+impl Drop for ViewAccess {
+    fn drop(&mut self) {
+        (self.hooks.exit)(self.reducer);
+    }
+}
+
+/// Begins a view access for the detector, if the current thread is
+/// monitored. Hold the returned guard for the duration of the access.
+#[inline]
+pub(crate) fn view_access(reducer: u64) -> Option<ViewAccess> {
+    match HOOKS.get() {
+        Some(hooks) if (hooks.active)() => {
+            (hooks.enter)(reducer);
+            Some(ViewAccess { hooks, reducer })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: `install` is process-global; like the runtime's hook test,
+    // only an `active = false` table may be installed from tests.
+    #[test]
+    fn uninstalled_or_inactive_hooks_do_not_bracket() {
+        assert!(view_access(1).is_none());
+        let _ = install(ViewHooks { active: || false, enter: |_| {}, exit: |_| {} });
+        assert!(view_access(1).is_none());
+    }
+}

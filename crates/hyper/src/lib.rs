@@ -43,6 +43,7 @@
 
 mod control;
 mod frames;
+pub mod hooks;
 mod monoid;
 mod reducer;
 

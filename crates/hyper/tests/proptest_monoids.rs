@@ -47,7 +47,7 @@ forall! {
         b in option_of(any_int::<i32>()),
         c in option_of(any_int::<i32>()),
     ) {
-        assoc_and_identity(&Min::<i32>::new(), a.clone(), b.clone(), c.clone());
+        assoc_and_identity(&Min::<i32>::new(), a, b, c);
         assoc_and_identity(&Max::<i32>::new(), a, b, c);
     }
 

@@ -1,0 +1,85 @@
+//! Scheduler instrumentation hooks — the seam Cilkscreen plugs into.
+//!
+//! The real Cilkscreen "uses dynamic instrumentation" on the compiled
+//! binary (§4 of the paper); the runtime equivalent here is a small table
+//! of function pointers that a race detector installs once per process.
+//! When the `active` predicate reports that the *current thread* is under
+//! surveillance, [`crate::join`]/[`crate::join_context`], [`crate::scope`]
+//! and everything built on them ([`crate::for_each_index`],
+//! [`crate::map_reduce_index`], the reducer-aware wrappers in
+//! `cilk-hyper`) switch to the **serial elision**: the spawned child runs
+//! immediately on the calling thread, the continuation follows, and the
+//! appropriate `spawn`/`return`/`sync` structure events are emitted to the
+//! detector. That serial, depth-first replay is exactly the execution
+//! order the SP-bags algorithm requires.
+//!
+//! Threads for which `active` is `false` (every thread, once the monitored
+//! run finishes) pay a single atomic load plus one predicate call per
+//! spawn; with no hooks installed at all, the cost is one atomic load.
+//!
+//! This module deliberately knows nothing about the detector: the
+//! dependency points the other way (`cilkscreen::instrument` installs the
+//! hooks), keeping the runtime crate self-contained.
+
+use std::sync::OnceLock;
+
+/// The table of scheduler event hooks a detector installs via [`install`].
+///
+/// All callbacks refer to the *current thread*: the runtime only invokes
+/// `spawn_begin`/`spawn_end`/`sync` on a thread for which `active`
+/// returned `true` at the enclosing spawn construct.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerHooks {
+    /// Whether the current thread is executing under a detector session.
+    pub active: fn() -> bool,
+    /// Entering a spawned child procedure (`cilk_spawn`); the child's body
+    /// runs between `spawn_begin` and `spawn_end`.
+    pub spawn_begin: fn(),
+    /// The spawned child returned to its parent (implicit child sync
+    /// included, as every Cilk function syncs before returning).
+    pub spawn_end: fn(),
+    /// A `cilk_sync` in the current procedure: all outstanding children
+    /// become serial with what follows.
+    pub sync: fn(),
+}
+
+static HOOKS: OnceLock<SchedulerHooks> = OnceLock::new();
+
+/// Installs the process-wide scheduler hooks. The first installation wins;
+/// returns `false` if hooks were already installed (the call is then a
+/// no-op, which makes installation idempotent for a single detector).
+pub fn install(hooks: SchedulerHooks) -> bool {
+    HOOKS.set(hooks).is_ok()
+}
+
+/// The installed hooks, if the current thread is under serial capture.
+#[inline]
+pub(crate) fn serial_capture() -> Option<&'static SchedulerHooks> {
+    match HOOKS.get() {
+        Some(hooks) if (hooks.active)() => Some(hooks),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: `install` is process-global, so this test deliberately avoids
+    // installing anything that would serialize other tests' spawns: the
+    // `active` predicate is constantly false.
+    #[test]
+    fn uninstalled_or_inactive_hooks_do_not_capture() {
+        assert!(serial_capture().is_none());
+        let first = install(SchedulerHooks {
+            active: || false,
+            spawn_begin: || {},
+            spawn_end: || {},
+            sync: || {},
+        });
+        // Whether or not another component installed first, an inactive
+        // predicate must never trigger capture.
+        let _ = first;
+        assert!(serial_capture().is_none());
+    }
+}

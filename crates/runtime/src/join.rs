@@ -72,6 +72,17 @@ where
     RA: Send,
     RB: Send,
 {
+    // Under a race-detector session (see [`crate::hooks`]) the join runs
+    // as its serial elision on the current thread, bracketed by the
+    // structure events SP-bags needs: spawn a; return; b; sync.
+    if let Some(hooks) = crate::hooks::serial_capture() {
+        (hooks.spawn_begin)();
+        let ra = a(JoinContext { migrated: false });
+        (hooks.spawn_end)();
+        let rb = b(JoinContext { migrated: false });
+        (hooks.sync)();
+        return (ra, rb);
+    }
     crate::in_worker(move |wt| unsafe { join_on_worker(wt, a, b) })
 }
 

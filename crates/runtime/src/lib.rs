@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod hooks;
 mod job;
 mod join;
 mod latch;

@@ -34,6 +34,10 @@ impl TaskContext {
 
 /// A scope in which tasks can be spawned; see [`scope`].
 pub struct Scope<'scope> {
+    /// Null when the scope runs in serial-capture mode (a race-detector
+    /// session is active on the creating thread; see [`crate::hooks`]):
+    /// tasks then execute inline at the spawn site, bracketed by
+    /// detector structure events.
     state: *const ScopeState,
     seq: AtomicU64,
     owner_index: usize,
@@ -62,6 +66,16 @@ impl<'scope> Scope<'scope> {
         F: FnOnce(TaskContext) + Send + 'scope,
     {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.state.is_null() {
+            // Serial-capture mode: run the task now, as the serial elision
+            // would, emitting spawn/return events for the detector.
+            let hooks = crate::hooks::serial_capture()
+                .expect("serial-capture scope outside a detector session");
+            (hooks.spawn_begin)();
+            body(TaskContext { migrated: false, seq });
+            (hooks.spawn_end)();
+            return;
+        }
         // SAFETY: the latch keeps `state` alive until all tasks finish.
         let state = unsafe { &*self.state };
         state.latch.increment();
@@ -123,6 +137,20 @@ where
     OP: FnOnce(&Scope<'scope>) -> R + Send,
     R: Send,
 {
+    // Under a race-detector session the scope body runs on the current
+    // thread with inline task execution; the scope's implicit sync is
+    // reported to the detector when the body returns.
+    if let Some(hooks) = crate::hooks::serial_capture() {
+        let scope = Scope {
+            state: std::ptr::null(),
+            seq: AtomicU64::new(0),
+            owner_index: usize::MAX,
+            marker: PhantomData,
+        };
+        let result = op(&scope);
+        (hooks.sync)();
+        return result;
+    }
     crate::in_worker(|wt| {
         let state = ScopeState::new();
         let scope = Scope {

@@ -1,0 +1,409 @@
+//! The `cilkscreen` command-line driver: runs the paper's workloads on the
+//! real runtime under the race detector, prints a human-readable report,
+//! and writes a machine-readable JSON artifact.
+//!
+//! §4 of the paper: "Cilkscreen race detector. … in a single serial
+//! execution on a test input for a deterministic program, Cilkscreen
+//! guarantees to report a race bug if the race bug is exposed." This
+//! binary exercises that guarantee in both directions: correct workloads
+//! (Fig. 1 quicksort, Fig. 6 mutex walk, Fig. 7 reducer walk, fib,
+//! matmul) must be *certified* race-free, while the §4 quicksort mutation
+//! and the Fig. 5 unlocked walk must each be *indicted* at exactly one
+//! location.
+//!
+//! ```text
+//! cilkscreen [--check] [--json PATH] [--workers N] [--list] [WORKLOAD...]
+//! ```
+//!
+//! Exit status: 0 when every run matched expectations and no unexpected
+//! race was found; 1 when races were detected (the normal "you have a
+//! bug" signal); 2 on usage errors or when `--check` finds a verdict or
+//! functional mismatch.
+//!
+//! NOTE: the binary lives in `cilk-workloads` (not the `cilkscreen`
+//! library crate) because it drives `cilk::sync::Mutex` and the reducer
+//! workloads, which sit *above* the detector in the crate graph.
+
+use std::process::ExitCode;
+
+use cilk_workloads::instrumented::{
+    exposing_qsort_input, fib_shadow, matmul_shadow, qsort_shadow, walk_shadow_mutex,
+    walk_shadow_unlocked, QSORT_SHADOW_CUTOFF,
+};
+use cilk_workloads::{build_tree, fib_serial, walk_reducer, walk_serial};
+use cilkscreen::instrument::run_monitored;
+use cilkscreen::{Report, Shadow, ShadowSlice};
+
+/// One workload's definition: what to run and what the §4/§5 analysis is
+/// expected to conclude about it.
+struct Workload {
+    name: &'static str,
+    description: &'static str,
+    /// `Some(k)`: the workload is known-racy with exactly `k` distinct
+    /// racy locations; `None`: it must be certified race-free.
+    expected_racy_locations: Option<usize>,
+    /// Whether the report must show suppressed reducer-view accesses.
+    expects_suppressed_views: bool,
+    run: fn(u64) -> (Report, Result<(), String>),
+}
+
+fn check(ok: bool, msg: &str) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(msg.to_string())
+    }
+}
+
+fn run_fib(_seed: u64) -> (Report, Result<(), String>) {
+    let calls = cilk::hyper::ReducerSum::<u64>::sum();
+    let (value, report) = run_monitored(|| fib_shadow(16, 8, &calls));
+    let functional = check(value == fib_serial(16), "fib value mismatch");
+    (report, functional)
+}
+
+fn run_qsort(seed: u64) -> (Report, Result<(), String>) {
+    let input = exposing_qsort_input(seed, 300);
+    let mut expected = input.clone();
+    expected.sort_unstable();
+    let data: ShadowSlice<i64> = input.into_iter().collect();
+    let ((), report) = run_monitored(|| qsort_shadow(&data, QSORT_SHADOW_CUTOFF, false));
+    let functional = check(data.into_vec() == expected, "output not sorted");
+    (report, functional)
+}
+
+fn run_qsort_overlap(seed: u64) -> (Report, Result<(), String>) {
+    // One spawn level (cutoff = n - 2): the §4 mutation's overlap is a
+    // single element, so exactly one racy location must be reported.
+    let n = 40;
+    let input = exposing_qsort_input(seed, n);
+    let mut expected = input.clone();
+    expected.sort_unstable();
+    let data: ShadowSlice<i64> = input.into_iter().collect();
+    let ((), report) = run_monitored(|| qsort_shadow(&data, n - 2, true));
+    // §4: "even though the serial program sorts correctly" — the monitored
+    // (serial) run must still sort.
+    let functional = check(data.into_vec() == expected, "serial elision failed to sort");
+    (report, functional)
+}
+
+fn run_tree_unlocked(seed: u64) -> (Report, Result<(), String>) {
+    let tree = build_tree(96, seed);
+    let list = Shadow::named(Vec::new(), "output_list");
+    let ((), report) = run_monitored(|| walk_shadow_unlocked(&tree, 3, &list));
+    let mut expected = Vec::new();
+    walk_serial(&tree, 3, 0, &mut expected);
+    let functional = check(list.into_inner() == expected, "serial-order output mismatch");
+    (report, functional)
+}
+
+fn run_tree_mutex(seed: u64) -> (Report, Result<(), String>) {
+    let tree = build_tree(96, seed);
+    let list = cilk::sync::Mutex::new(Shadow::named(Vec::new(), "output_list"));
+    let ((), report) = run_monitored(|| walk_shadow_mutex(&tree, 3, &list));
+    let mut expected = Vec::new();
+    walk_serial(&tree, 3, 0, &mut expected);
+    let functional =
+        check(list.into_inner().into_inner() == expected, "serial-order output mismatch");
+    (report, functional)
+}
+
+fn run_tree_reducer(seed: u64) -> (Report, Result<(), String>) {
+    let tree = build_tree(96, seed);
+    let list = cilk::hyper::ReducerList::<u64>::list();
+    let ((), report) = run_monitored(|| walk_reducer(&tree, 3, 0, &list));
+    let mut expected = Vec::new();
+    walk_serial(&tree, 3, 0, &mut expected);
+    let functional = check(list.into_value() == expected, "reducer order mismatch");
+    (report, functional)
+}
+
+fn run_matmul(seed: u64) -> (Report, Result<(), String>) {
+    let n = 8;
+    let mut rng = cilk_testkit::Rng::seed_from_u64(seed);
+    let av: Vec<i64> = (0..n * n).map(|_| rng.gen_range(-9..10)).collect();
+    let bv: Vec<i64> = (0..n * n).map(|_| rng.gen_range(-9..10)).collect();
+    let mut expected = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            expected[i * n + j] = (0..n).map(|k| av[i * n + k] * bv[k * n + j]).sum();
+        }
+    }
+    let a: ShadowSlice<i64> = av.into_iter().collect();
+    let b: ShadowSlice<i64> = bv.into_iter().collect();
+    let c: ShadowSlice<i64> = std::iter::repeat_n(0, n * n).collect();
+    let ((), report) = run_monitored(|| matmul_shadow(&a, &b, &c, n));
+    let functional = check(c.into_vec() == expected, "product mismatch");
+    (report, functional)
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "fib",
+        description: "parallel fib with a reducer-counted call total",
+        expected_racy_locations: None,
+        expects_suppressed_views: true,
+        run: run_fib,
+    },
+    Workload {
+        name: "qsort",
+        description: "Fig. 1 parallel quicksort (correct bounds)",
+        expected_racy_locations: None,
+        expects_suppressed_views: false,
+        run: run_qsort,
+    },
+    Workload {
+        name: "qsort-overlap",
+        description: "the §4 mutation: qsort(max(begin+1, middle-1), end)",
+        expected_racy_locations: Some(1),
+        expects_suppressed_views: false,
+        run: run_qsort_overlap,
+    },
+    Workload {
+        name: "tree-unlocked",
+        description: "Fig. 5 tree walk pushing to a shared unprotected list",
+        expected_racy_locations: Some(1),
+        expects_suppressed_views: false,
+        run: run_tree_unlocked,
+    },
+    Workload {
+        name: "tree-mutex",
+        description: "Fig. 6 tree walk, list protected by cilk::sync::Mutex",
+        expected_racy_locations: None,
+        expects_suppressed_views: false,
+        run: run_tree_mutex,
+    },
+    Workload {
+        name: "tree-reducer",
+        description: "Fig. 7 tree walk via a list-append reducer (§5)",
+        expected_racy_locations: None,
+        expects_suppressed_views: true,
+        run: run_tree_reducer,
+    },
+    Workload {
+        name: "matmul",
+        description: "cilk_for matrix multiply, disjoint row writes",
+        expected_racy_locations: None,
+        expects_suppressed_views: false,
+        run: run_matmul,
+    },
+];
+
+struct Outcome {
+    workload: &'static Workload,
+    report: Report,
+    functional: Result<(), String>,
+}
+
+impl Outcome {
+    /// Whether the detector's verdict and the functional output both match
+    /// the workload's documented expectation.
+    fn as_expected(&self) -> Result<(), String> {
+        self.functional.clone()?;
+        let racy = self.report.race_locations().len();
+        match self.workload.expected_racy_locations {
+            None if racy != 0 => {
+                Err(format!("expected certification, found {racy} racy location(s)"))
+            }
+            Some(k) if racy != k => {
+                Err(format!("expected exactly {k} racy location(s), found {racy}"))
+            }
+            _ => {
+                if self.workload.expects_suppressed_views && self.report.suppressed_views == 0 {
+                    Err("expected suppressed reducer-view accesses, found none".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn artifact_json(seed: u64, workers: Option<usize>, outcomes: &[Outcome]) -> String {
+    let mut out = String::from("{\"tool\":\"cilkscreen\",");
+    out.push_str(&format!("\"seed\":\"0x{seed:016x}\","));
+    match workers {
+        Some(w) => out.push_str(&format!("\"workers\":{w},")),
+        None => out.push_str("\"workers\":null,"),
+    }
+    let races: usize = outcomes.iter().map(|o| o.report.races.len()).sum();
+    let mismatches = outcomes.iter().filter(|o| o.as_expected().is_err()).count();
+    out.push_str(&format!("\"races_found\":{races},\"mismatches\":{mismatches},"));
+    out.push_str("\"workloads\":[");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let expected = match o.workload.expected_racy_locations {
+            None => "null".to_string(),
+            Some(k) => k.to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"description\":\"{}\",\"expected_racy_locations\":{},\
+             \"as_expected\":{},\"report\":{}}}",
+            json_escape(o.workload.name),
+            json_escape(o.workload.description),
+            expected,
+            o.as_expected().is_ok(),
+            o.report.to_json(),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = WORKLOADS.iter().map(|w| w.name).collect();
+    format!(
+        "usage: cilkscreen [--check] [--json PATH] [--workers N] [--list] [WORKLOAD...]\n\
+         workloads: {}",
+        names.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut check_mode = false;
+    let mut json_path: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check_mode = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--workers" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => workers = Some(n),
+                _ => {
+                    eprintln!("--workers requires a positive integer\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => {
+                for w in WORKLOADS {
+                    let verdict = match w.expected_racy_locations {
+                        None => "race-free".to_string(),
+                        Some(k) => format!("{k} racy location(s)"),
+                    };
+                    println!("{:<16} [{verdict}] {}", w.name, w.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') => selected.push(name.to_string()),
+            other => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let to_run: Vec<&'static Workload> = if selected.is_empty() {
+        WORKLOADS.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for name in &selected {
+            match WORKLOADS.iter().find(|w| w.name == *name) {
+                Some(w) => picked.push(w),
+                None => {
+                    eprintln!("unknown workload `{name}`\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let seed = cilk_testkit::base_seed();
+    // Monitoring runs serially on the calling thread; `--workers` proves
+    // the detector behaves identically when that thread is a pool worker.
+    let pool = workers.map(|n| {
+        cilk::ThreadPool::with_config(cilk::Config::new().num_workers(n))
+            .expect("failed to build thread pool")
+    });
+    let run_one = |w: &'static Workload| -> Outcome {
+        let (report, functional) = match &pool {
+            Some(pool) => pool.install(|| (w.run)(seed)),
+            None => (w.run)(seed),
+        };
+        Outcome { workload: w, report, functional }
+    };
+
+    println!("cilkscreen: monitoring {} workload(s), seed 0x{seed:016x}", to_run.len());
+    let outcomes: Vec<Outcome> = to_run.into_iter().map(run_one).collect();
+
+    let mut races_found = 0usize;
+    let mut mismatches = 0usize;
+    for o in &outcomes {
+        let racy = o.report.race_locations().len();
+        races_found += o.report.races.len();
+        let verdict = if racy == 0 {
+            "certified race-free".to_string()
+        } else {
+            format!("{} race(s) at {racy} location(s)", o.report.races.len())
+        };
+        println!("\n== {} — {}", o.workload.name, o.workload.description);
+        println!("   {verdict}; {} reducer-view access(es) suppressed", o.report.suppressed_views);
+        for race in &o.report.races {
+            println!("   {race}");
+        }
+        match o.as_expected() {
+            Ok(()) => println!("   expectation: OK"),
+            Err(why) => {
+                mismatches += 1;
+                println!("   expectation: MISMATCH — {why}");
+            }
+        }
+    }
+
+    let artifact = artifact_json(seed, workers, &outcomes);
+    let path = json_path.unwrap_or_else(|| "target/cilkscreen/report.json".to_string());
+    let write_result = std::path::Path::new(&path)
+        .parent()
+        .map(std::fs::create_dir_all)
+        .unwrap_or(Ok(()))
+        .and_then(|()| std::fs::write(&path, &artifact));
+    match write_result {
+        Ok(()) => println!("\ncilkscreen: wrote {path}"),
+        Err(e) => {
+            eprintln!("cilkscreen: failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if check_mode {
+        if mismatches == 0 {
+            println!("cilkscreen: all {} workload(s) matched expectations", outcomes.len());
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("cilkscreen: {mismatches} workload(s) did not match expectations");
+            ExitCode::from(2)
+        }
+    } else if races_found > 0 {
+        println!("cilkscreen: {races_found} race(s) detected");
+        ExitCode::FAILURE
+    } else {
+        println!("cilkscreen: no races detected");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,336 @@
+//! Real-runtime workloads instrumented for Cilkscreen.
+//!
+//! The traced workloads elsewhere in this crate (`qsort_traced`,
+//! `walk_traced_naive`, …) replay each algorithm's *recursion skeleton*
+//! against the detector's [`cilkscreen::Execution`] DSL. The functions
+//! here are the real thing: production algorithms running on the real
+//! `cilk` runtime over tracked data
+//! ([`ShadowSlice`]/[`Shadow`]), so that
+//! [`cilkscreen::instrument::run_monitored`] can certify or indict them
+//! end-to-end — actual spawns, actual `cilk::sync::Mutex` acquisitions,
+//! actual reducer views.
+//!
+//! Workloads mirror the paper's narrative:
+//!
+//! * [`qsort_shadow`] — Fig. 1 quicksort, with the §4 line-13 mutation
+//!   `qsort(max(begin + 1, middle - 1), end)` behind a flag;
+//! * [`walk_shadow_unlocked`] — Fig. 5's naive tree walk pushing to a
+//!   shared list (racy);
+//! * [`walk_shadow_mutex`] — Fig. 6's mutex-protected walk (race-free via
+//!   lock-aware suppression);
+//! * Fig. 7's reducer walk is [`crate::walk_reducer`] itself — reducer
+//!   views need no shadow wrapper, the §5 suppression hooks cover them;
+//! * [`fib_shadow`] — fib with a reducer-counted call total;
+//! * [`matmul_shadow`] — `cilk_for` matrix multiply over tracked storage
+//!   (disjoint writes, race-free).
+
+use cilk::sync::Mutex;
+use cilk_testkit::Rng;
+use cilkscreen::{Shadow, ShadowSlice};
+
+use crate::tree::Node;
+
+/// Serial cutoff below which [`qsort_shadow`] insertion-sorts in place.
+/// Small enough that tests expose several spawn levels, large enough that
+/// monitored runs stay fast.
+pub const QSORT_SHADOW_CUTOFF: usize = 16;
+
+/// Fig. 1 quicksort over tracked storage, on the real runtime.
+///
+/// With `overlap_bug = false` this is the paper's correct program:
+/// `cilk_spawn qsort(begin, middle); qsort(max(begin + 1, middle + 1),
+/// end)` around the pivot's final position. With `overlap_bug = true` it
+/// applies the §4 mutation — the right subproblem starts at `middle - 1`,
+/// overlapping the spawned left subproblem in one element, "serially
+/// correct but racy in parallel".
+///
+/// Subranges at or below `cutoff` are insertion-sorted; the base case
+/// (re)writes every element of its range, as a real sort does, which is
+/// what makes the overlap observable to the detector.
+pub fn qsort_shadow(data: &ShadowSlice<i64>, cutoff: usize, overlap_bug: bool) {
+    qsort_shadow_range(data, 0, data.len(), cutoff.max(1), overlap_bug);
+}
+
+fn qsort_shadow_range(
+    data: &ShadowSlice<i64>,
+    lo: usize,
+    hi: usize,
+    cutoff: usize,
+    overlap_bug: bool,
+) {
+    if hi - lo <= cutoff {
+        insertion_sort_shadow(data, lo, hi);
+        return;
+    }
+    let mid = partition_shadow(data, lo, hi);
+    // Fig. 1 line 13: the pivot at `mid` is final, the right recursion
+    // starts past it — unless the §4 mutation pulls it back to `mid - 1`,
+    // into the spawned left half.
+    let right_lo = if overlap_bug { (lo + 1).max(mid.saturating_sub(1)) } else { mid + 1 };
+    cilk::join(
+        || qsort_shadow_range(data, lo, mid, cutoff, overlap_bug),
+        || qsort_shadow_range(data, right_lo.min(hi), hi, cutoff, overlap_bug),
+    );
+}
+
+/// Median-of-three partition over tracked storage; returns the pivot's
+/// final index, strictly interior for ranges with ≥ 2 distinct values
+/// below/above the median sample.
+fn partition_shadow(data: &ShadowSlice<i64>, lo: usize, hi: usize) -> usize {
+    let last = hi - 1;
+    let mid = lo + (hi - lo) / 2;
+    if data.get(lo) > data.get(mid) {
+        data.swap(lo, mid);
+    }
+    if data.get(lo) > data.get(last) {
+        data.swap(lo, last);
+    }
+    if data.get(mid) > data.get(last) {
+        data.swap(mid, last);
+    }
+    data.swap(mid, last);
+    let pivot = data.get(last);
+    let mut store = lo;
+    for j in lo..last {
+        if data.get(j) <= pivot {
+            data.swap(store, j);
+            store += 1;
+        }
+    }
+    data.swap(store, last);
+    store
+}
+
+/// Insertion sort of `data[lo..hi]`; every element of the range is read
+/// and rewritten (the key is stored back even when already in place).
+fn insertion_sort_shadow(data: &ShadowSlice<i64>, lo: usize, hi: usize) {
+    for j in lo..hi {
+        let key = data.get(j);
+        let mut i = j;
+        while i > lo && data.get(i - 1) > key {
+            let shifted = data.get(i - 1);
+            data.set(i, shifted);
+            i -= 1;
+        }
+        data.set(i, key);
+    }
+}
+
+/// Draws a length-`n` input (a shuffled permutation of `0..n`) from `seed`
+/// on which the §4 overlap mutation is *exposed* at the top-level split:
+/// the first partition point must be interior (≥ `lo + 2`), otherwise the
+/// `max(begin + 1, middle - 1)` clamp degenerates to the correct bounds
+/// and the run is accidentally race-free.
+///
+/// Cilkscreen's §4 guarantee is conditional on exactly this: it reports a
+/// race "if the race bug is exposed" on the test input — so demonstration
+/// drivers re-draw until the exposing condition holds (virtually always
+/// the first draw).
+pub fn exposing_qsort_input(seed: u64, n: usize) -> Vec<i64> {
+    assert!(n >= 4, "need at least 4 elements to expose the overlap");
+    for attempt in 0..64 {
+        let mut rng = Rng::seed_from_u64(seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut v: Vec<i64> = (0..n as i64).collect();
+        // Fisher–Yates.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..(i as i64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        // Dry-run the top-level partition (outside any session: tracked
+        // accesses are unreported) to check the exposing condition.
+        let probe: ShadowSlice<i64> = v.iter().copied().collect();
+        if partition_shadow(&probe, 0, n) >= 2 {
+            return v;
+        }
+    }
+    unreachable!("no exposing permutation of 0..{n} found in 64 draws");
+}
+
+/// Fig. 5: the naive parallel tree walk. Matching values are pushed to a
+/// **shared, unprotected** list — the exact bug the paper uses to motivate
+/// both locks and reducers. Monitored, this must report the race on the
+/// list (one racy location: the list itself).
+pub fn walk_shadow_unlocked(x: &Option<Box<Node>>, modulus: u64, list: &Shadow<Vec<u64>>) {
+    if let Some(node) = x {
+        if node.value % modulus == 0 {
+            list.update(|v| v.push(node.value));
+        }
+        cilk::join(
+            || walk_shadow_unlocked(&node.left, modulus, list),
+            || walk_shadow_unlocked(&node.right, modulus, list),
+        );
+    }
+}
+
+/// Fig. 6: the same walk with the shared list behind a real
+/// [`cilk::sync::Mutex`]. The tracked accesses all carry the mutex's
+/// [`cilk::sync::Mutex::lock_id`] in their lockset, so the detector
+/// certifies the walk race-free (§4: parallel accesses holding a lock in
+/// common are not races).
+pub fn walk_shadow_mutex(x: &Option<Box<Node>>, modulus: u64, list: &Mutex<Shadow<Vec<u64>>>) {
+    if let Some(node) = x {
+        if node.value % modulus == 0 {
+            let guard = list.lock();
+            guard.update(|v| v.push(node.value));
+        }
+        cilk::join(
+            || walk_shadow_mutex(&node.left, modulus, list),
+            || walk_shadow_mutex(&node.right, modulus, list),
+        );
+    }
+}
+
+/// Parallel fib with a reducer-counted number of calls: the recursion is
+/// pure (no shared memory at all) and the call counter is a §5 reducer, so
+/// a monitored run must be certified race-free with a nonzero
+/// suppressed-view count.
+pub fn fib_shadow(n: u64, cutoff: u64, calls: &cilk::hyper::ReducerSum<u64>) -> u64 {
+    calls.add(1);
+    if n < 2 {
+        return n;
+    }
+    if n <= cutoff {
+        return crate::fib_serial(n - 1) + crate::fib_serial(n - 2);
+    }
+    let (a, b) = cilk::join(|| fib_shadow(n - 1, cutoff, calls), || fib_shadow(n - 2, cutoff, calls));
+    a + b
+}
+
+/// `cilk_for` matrix multiply over tracked storage: `c = a × b`, row
+/// parallel. Reads of `a`/`b` are shared (read/read: never a race); each
+/// strand writes a disjoint row range of `c` — race-free by construction,
+/// and the detector proves it on the real runtime.
+pub fn matmul_shadow(
+    a: &ShadowSlice<i64>,
+    b: &ShadowSlice<i64>,
+    c: &ShadowSlice<i64>,
+    n: usize,
+) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    cilk::cilk_for_grain(0..n, 1, |i| {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for k in 0..n {
+                acc += a.get(i * n + k) * b.get(k * n + j);
+            }
+            c.set(i * n + j, acc);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_tree;
+    use cilkscreen::instrument::run_monitored;
+
+    #[test]
+    fn shadow_qsort_sorts() {
+        let input = exposing_qsort_input(42, 200);
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        let data: ShadowSlice<i64> = input.into_iter().collect();
+        qsort_shadow(&data, QSORT_SHADOW_CUTOFF, false);
+        assert_eq!(data.into_vec(), expected);
+    }
+
+    #[test]
+    fn shadow_qsort_bug_still_sorts_serially() {
+        // §4: "Because the two subproblems overlap, a race bug exists —
+        // even though the serial program sorts correctly." A monitored run
+        // IS a serial run, so sorting must still succeed.
+        let input = exposing_qsort_input(7, 120);
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        let data: ShadowSlice<i64> = input.into_iter().collect();
+        let ((), report) = run_monitored(|| qsort_shadow(&data, QSORT_SHADOW_CUTOFF, true));
+        assert!(!report.is_race_free(), "overlap must be detected");
+        assert_eq!(data.into_vec(), expected, "serially still correct");
+    }
+
+    #[test]
+    fn shadow_qsort_correct_certified_race_free() {
+        let data: ShadowSlice<i64> = exposing_qsort_input(3, 150).into_iter().collect();
+        let ((), report) = run_monitored(|| qsort_shadow(&data, QSORT_SHADOW_CUTOFF, false));
+        assert!(report.is_race_free(), "{report}");
+    }
+
+    #[test]
+    fn shadow_qsort_single_split_races_exactly_once() {
+        // Only one spawn level (cutoff = n - 2 forces both halves into the
+        // base case), so the mutation's overlap is a single element: the
+        // report must name exactly one racy location.
+        let n = 40;
+        let data: ShadowSlice<i64> = exposing_qsort_input(11, n).into_iter().collect();
+        let ((), report) = run_monitored(|| qsort_shadow(&data, n - 2, true));
+        assert_eq!(report.race_locations().len(), 1, "{report}");
+    }
+
+    #[test]
+    fn unlocked_walk_races_on_the_list_only() {
+        let tree = build_tree(64, 5);
+        let list = Shadow::named(Vec::new(), "output_list");
+        let ((), report) = run_monitored(|| walk_shadow_unlocked(&tree, 3, &list));
+        assert!(!report.is_race_free());
+        assert_eq!(report.race_locations(), vec![list.location()]);
+        // Serial elision: the monitored run produced the serial order.
+        let mut expected = Vec::new();
+        crate::walk_serial(&tree, 3, 0, &mut expected);
+        assert_eq!(list.into_inner(), expected);
+    }
+
+    #[test]
+    fn mutex_walk_certified_race_free() {
+        let tree = build_tree(64, 9);
+        let list = Mutex::new(Shadow::named(Vec::new(), "output_list"));
+        let ((), report) = run_monitored(|| walk_shadow_mutex(&tree, 3, &list));
+        assert!(report.is_race_free(), "{report}");
+        let mut expected = Vec::new();
+        crate::walk_serial(&tree, 3, 0, &mut expected);
+        assert_eq!(list.into_inner().into_inner(), expected);
+    }
+
+    #[test]
+    fn reducer_walk_certified_with_suppressed_views() {
+        let tree = build_tree(64, 13);
+        let list = cilk::hyper::ReducerList::<u64>::list();
+        let ((), report) = run_monitored(|| crate::walk_reducer(&tree, 3, 0, &list));
+        assert!(report.is_race_free(), "{report}");
+        assert!(report.suppressed_views > 0, "reducer views must be counted");
+        let mut expected = Vec::new();
+        crate::walk_serial(&tree, 3, 0, &mut expected);
+        assert_eq!(list.into_value(), expected);
+    }
+
+    #[test]
+    fn fib_shadow_counts_and_certifies() {
+        let calls = cilk::hyper::ReducerSum::<u64>::sum();
+        let (value, report) = run_monitored(|| fib_shadow(12, 4, &calls));
+        assert_eq!(value, crate::fib_serial(12));
+        assert!(report.is_race_free(), "{report}");
+        assert!(report.suppressed_views > 0);
+        assert!(calls.into_value() > 0);
+    }
+
+    #[test]
+    fn matmul_shadow_matches_serial_and_certifies() {
+        let n = 6;
+        let mut rng = Rng::seed_from_u64(77);
+        let av: Vec<i64> = (0..n * n).map(|_| rng.gen_range(-5..6)).collect();
+        let bv: Vec<i64> = (0..n * n).map(|_| rng.gen_range(-5..6)).collect();
+        let mut expected = vec![0i64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                expected[i * n + j] = (0..n).map(|k| av[i * n + k] * bv[k * n + j]).sum();
+            }
+        }
+        let a: ShadowSlice<i64> = av.into_iter().collect();
+        let b: ShadowSlice<i64> = bv.into_iter().collect();
+        let c: ShadowSlice<i64> = std::iter::repeat_n(0, n * n).collect();
+        let ((), report) = run_monitored(|| matmul_shadow(&a, &b, &c, n));
+        assert!(report.is_race_free(), "{report}");
+        assert_eq!(c.into_vec(), expected);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod bfs;
 pub mod fib;
 pub mod heat;
+pub mod instrumented;
 pub mod lu;
 pub mod matmul;
 pub mod mergesort;

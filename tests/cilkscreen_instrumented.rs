@@ -1,0 +1,252 @@
+//! Cross-validation: real-runtime instrumentation vs the hand-traced DSL.
+//!
+//! The tentpole claim of the instrumentation layer is that monitoring
+//! *production* code through `cilkscreen::instrument` reaches the same
+//! verdicts as replaying the algorithm's skeleton against the
+//! [`cilk::screen::Execution`] DSL. This suite checks that claim three
+//! ways, each across `CILK_TEST_SEED`-derived inputs and (where a pool is
+//! involved) at 1, 2 and 4 workers:
+//!
+//! 1. **Named workloads** — the §4 quicksort (correct and overlap-mutated)
+//!    and the §5 tree walk (unlocked / mutex / reducer), real vs traced.
+//! 2. **Planted dags** — the generated fork-join programs from
+//!    [`planting`] are executed on the real runtime through a tracked
+//!    [`ShadowSlice`], and the racy-location sets must match the DSL
+//!    SP-bags verdict *and* the planted ground truth exactly.
+//! 3. **Worker sweep** — monitoring is serial capture on the installing
+//!    thread, so verdicts must be identical no matter which pool size the
+//!    monitored call is installed on.
+
+mod planting;
+
+use cilk::screen::Detector;
+use cilk::sync::Mutex;
+use cilk_testkit::{forall, rng_for};
+use cilkscreen::instrument::run_monitored;
+use cilkscreen::{Shadow, ShadowSlice};
+use cilk_workloads::instrumented::{
+    exposing_qsort_input, qsort_shadow, walk_shadow_mutex, walk_shadow_unlocked,
+    QSORT_SHADOW_CUTOFF,
+};
+use cilk_workloads::tree::{walk_traced_mutex, walk_traced_naive};
+use cilk_workloads::{build_tree, qsort_traced, walk_reducer, walk_serial};
+use planting::{run_spbags, ProgramGen, Stmt};
+
+/// Pool sizes exercised by every cross-validation test: serial elision
+/// must make monitored verdicts independent of the worker count.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn pool_with(workers: usize) -> cilk::ThreadPool {
+    cilk::ThreadPool::with_config(cilk::Config::new().num_workers(workers))
+        .expect("failed to build worker pool")
+}
+
+// ---------------------------------------------------------------------------
+// 1. Named workloads: real instrumented runs vs the traced DSL replays.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn qsort_real_and_traced_agree_across_workers() {
+    let mut rng = rng_for("qsort_real_and_traced_agree_across_workers");
+    for workers in WORKER_COUNTS {
+        let pool = pool_with(workers);
+        for case in 0..3u64 {
+            let n = 48 + 8 * case as usize;
+            let input = exposing_qsort_input(rng.gen_range(0u64..u64::MAX), n);
+            for overlap_bug in [false, true] {
+                // Real: production qsort_shadow on the real runtime,
+                // monitored from inside the pool.
+                let data: ShadowSlice<i64> = input.iter().copied().collect();
+                let ((), real) =
+                    pool.install(|| run_monitored(|| qsort_shadow(&data, QSORT_SHADOW_CUTOFF, overlap_bug)));
+                // DSL: the hand-traced recursion skeleton.
+                let traced = Detector::new().run(|e| qsort_traced(e, n, overlap_bug));
+                assert_eq!(
+                    real.is_race_free(),
+                    traced.is_race_free(),
+                    "real/DSL verdicts diverge (workers={workers}, n={n}, bug={overlap_bug}):\n\
+                     real: {real}\ntraced: {traced}"
+                );
+                if overlap_bug {
+                    assert!(!real.is_race_free(), "exposing input must expose the §4 race");
+                    assert!(!real.race_locations().is_empty());
+                } else {
+                    assert!(real.is_race_free(), "workers={workers}: {real}");
+                }
+                // Monitored runs are serial elisions: the sort result is
+                // correct either way (§4: "serially correct but racy").
+                let mut expected = input.clone();
+                expected.sort_unstable();
+                assert_eq!(data.into_vec(), expected, "workers={workers}, bug={overlap_bug}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_walks_real_and_traced_agree_across_workers() {
+    let mut rng = rng_for("tree_walks_real_and_traced_agree_across_workers");
+    for workers in WORKER_COUNTS {
+        let pool = pool_with(workers);
+        let tree = build_tree(96, rng.gen_range(1u64..1 << 31));
+        let modulus = 3;
+        let mut serial_order = Vec::new();
+        walk_serial(&tree, modulus, 0, &mut serial_order);
+
+        // Fig. 5 unlocked: real and DSL both indict; the real run indicts
+        // exactly one location — the shared list itself.
+        let list = Shadow::named(Vec::new(), "output_list");
+        let ((), real) = pool.install(|| run_monitored(|| walk_shadow_unlocked(&tree, modulus, &list)));
+        let traced = Detector::new().run(|e| walk_traced_naive(e, &tree, modulus));
+        assert!(!real.is_race_free(), "workers={workers}");
+        assert!(!traced.is_race_free());
+        assert_eq!(real.race_locations(), vec![list.location()], "workers={workers}: {real}");
+        assert_eq!(list.into_inner(), serial_order, "serial elision order");
+
+        // Fig. 6 mutex: real and DSL both certify (lock-aware suppression).
+        let locked = Mutex::new(Shadow::named(Vec::new(), "output_list"));
+        let ((), real) = pool.install(|| run_monitored(|| walk_shadow_mutex(&tree, modulus, &locked)));
+        let traced = Detector::new().run(|e| walk_traced_mutex(e, &tree, modulus));
+        assert!(real.is_race_free(), "workers={workers}: {real}");
+        assert!(traced.is_race_free(), "{traced}");
+        assert_eq!(locked.into_inner().into_inner(), serial_order);
+
+        // Fig. 7 reducer: certified race-free with views suppressed (§5),
+        // and the serial-elision result equals the serial walk.
+        let reducer = cilk::hyper::ReducerList::<u64>::list();
+        let ((), real) = pool.install(|| run_monitored(|| walk_reducer(&tree, modulus, 0, &reducer)));
+        assert!(real.is_race_free(), "workers={workers}: {real}");
+        assert!(real.suppressed_views > 0, "reducer views must be suppressed, not missed");
+        assert_eq!(reducer.into_value(), serial_order);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Planted dags: run the generated programs from `planting` on the REAL
+//    runtime and cross-validate against the DSL SP-bags verdict.
+// ---------------------------------------------------------------------------
+
+/// Collects every distinct abstract location of a program, in first-use
+/// order, so it can be materialized as indices of one [`ShadowSlice`].
+fn collect_locations(body: &[Stmt], out: &mut Vec<u64>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Access { loc, .. } => {
+                if !out.contains(loc) {
+                    out.push(*loc);
+                }
+            }
+            Stmt::Spawn(child) => collect_locations(child, out),
+            Stmt::Sync => {}
+        }
+    }
+}
+
+/// Executes one generated procedure body on the **real runtime**.
+///
+/// The DSL's `Sync` statement maps onto real `cilk::scope` boundaries: the
+/// body is cut into segments at its top-level `Sync`s, and each segment
+/// runs as one scope — `Spawn(child)` becomes a real `Scope::spawn` and
+/// the scope's implicit join plays the role of the `cilk_sync` that ended
+/// the segment. (A DSL sync joins every outstanding child of the current
+/// procedure; since earlier segments already joined theirs at scope end,
+/// the two formulations produce the same series-parallel dag.) The
+/// trailing segment's scope join is the procedure's implicit sync. Each
+/// `Access` becomes a tracked read/write of the location's slot in the
+/// shared [`ShadowSlice`].
+fn run_real_proc(body: &[Stmt], data: &ShadowSlice<u64>, locs: &[u64]) {
+    let slot = |loc: u64| locs.iter().position(|&l| l == loc).expect("location not collected");
+    for segment in body.split(|s| matches!(s, Stmt::Sync)) {
+        cilk::scope(|s| {
+            for stmt in segment {
+                match stmt {
+                    Stmt::Access { loc, write } => {
+                        let i = slot(*loc);
+                        if *write {
+                            data.set(i, *loc);
+                        } else {
+                            let _ = data.get(i);
+                        }
+                    }
+                    Stmt::Spawn(child) => s.spawn(move || run_real_proc(child, data, locs)),
+                    Stmt::Sync => unreachable!("split removed top-level syncs"),
+                }
+            }
+        });
+    }
+}
+
+/// Monitored real-runtime execution of a generated program; returns the
+/// racy *abstract* locations (mapped back through the slice), sorted.
+fn run_real(program: &[Stmt]) -> Vec<u64> {
+    let mut locs = Vec::new();
+    collect_locations(program, &mut locs);
+    let data: ShadowSlice<u64> = std::iter::repeat_n(0, locs.len().max(1)).collect();
+    let ((), report) = run_monitored(|| run_real_proc(program, &data, &locs));
+    let mut racy: Vec<u64> = report
+        .race_locations()
+        .into_iter()
+        .map(|l| {
+            let i = data.index_of(l).expect("race outside the tracked slice");
+            locs[i]
+        })
+        .collect();
+    racy.sort_unstable();
+    racy
+}
+
+forall! {
+    /// Race-free-by-construction dags stay clean on the real runtime, in
+    /// agreement with the DSL detector.
+    cases = 48,
+    fn real_runtime_agrees_on_race_free_dags(p in ProgramGen { plant: false }) {
+        let dsl = run_spbags(&p.program);
+        assert!(dsl.is_race_free(), "oracle violated: {dsl}");
+        let racy = run_real(&p.program);
+        assert!(
+            racy.is_empty(),
+            "real runtime reported races {racy:?} on a race-free dag\nprogram: {:?}",
+            p.program
+        );
+    }
+
+    /// Planted dags: the real runtime's racy-location set equals both the
+    /// DSL verdict and the planted ground truth, exactly.
+    cases = 48,
+    fn real_runtime_agrees_on_planted_dags(p in ProgramGen { plant: true }) {
+        let dsl = run_spbags(&p.program);
+        let mut dsl_racy: Vec<u64> =
+            dsl.races.iter().map(|r| r.location.0).collect();
+        dsl_racy.sort_unstable();
+        dsl_racy.dedup();
+        let mut expected = p.planted.clone();
+        expected.sort_unstable();
+        assert_eq!(dsl_racy, expected, "DSL oracle violated: {dsl}");
+        let racy = run_real(&p.program);
+        assert_eq!(
+            racy, expected,
+            "real runtime diverges from planted ground truth\nprogram: {:?}",
+            p.program
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Worker sweep over a planted program: serial capture makes the verdict
+//    identical regardless of which pool the monitored call runs on.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn planted_dag_verdict_is_worker_count_invariant() {
+    let mut rng = rng_for("planted_dag_verdict_is_worker_count_invariant");
+    let p = cilk_testkit::prop::Gen::generate(&ProgramGen { plant: true }, &mut rng, 20);
+    let mut expected = p.planted.clone();
+    expected.sort_unstable();
+    let baseline = run_real(&p.program);
+    assert_eq!(baseline, expected);
+    for workers in WORKER_COUNTS {
+        let pool = pool_with(workers);
+        let racy = pool.install(|| run_real(&p.program));
+        assert_eq!(racy, baseline, "verdict changed at workers={workers}");
+    }
+}

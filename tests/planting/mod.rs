@@ -1,0 +1,160 @@
+//! Shared race-planting machinery for the integration suites.
+//!
+//! Random spawn/sync dags are generated *race-free by construction*
+//! (every ordinary access touches a location unique to that access, plus
+//! some shared read-only locations, which §4's definition exempts). Races
+//! are then planted at chosen locations: a write in a spawned child
+//! logically parallel with a write in the parent's continuation.
+//!
+//! `race_plants.rs` uses this as a known-answer oracle for the DSL
+//! detectors; `cilkscreen_instrumented.rs` replays the same programs on
+//! the **real** runtime through the instrumentation layer and
+//! cross-validates the verdicts.
+
+// The two consuming test crates use overlapping-but-different subsets.
+#![allow(dead_code)]
+
+use cilk::screen::{Detector, Execution, Location, Report};
+use cilkscreen::eraser::EraserDetector;
+use cilkscreen::spbags::ProcId;
+use cilk_testkit::prop::Gen;
+use cilk_testkit::Rng;
+
+/// One statement of a generated fork-join program.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Read or write an abstract location.
+    Access { loc: u64, write: bool },
+    /// Spawn a child procedure with the given body.
+    Spawn(Vec<Stmt>),
+    /// `cilk_sync` in the current procedure.
+    Sync,
+}
+
+/// A generated program together with the locations where races were
+/// planted (empty for race-free programs).
+#[derive(Debug, Clone)]
+pub struct Planted {
+    pub program: Vec<Stmt>,
+    pub planted: Vec<u64>,
+}
+
+/// Location-id blocks that cannot collide: unique single-access locations
+/// count up from 0, shared read-only locations live at `RO_BASE + k`, and
+/// planted racy locations at `PLANT_BASE + k`.
+pub const RO_BASE: u64 = 1 << 40;
+pub const PLANT_BASE: u64 = 1 << 41;
+
+/// Appends a random race-free statement sequence: unique-location
+/// accesses, shared read-only reads, spawns and syncs.
+pub fn skeleton(rng: &mut Rng, depth: u32, next_loc: &mut u64, out: &mut Vec<Stmt>) {
+    let len = rng.gen_range(0u64..5);
+    for _ in 0..len {
+        match rng.gen_range(0u32..10) {
+            0..=4 => {
+                let loc = *next_loc;
+                *next_loc += 1;
+                out.push(Stmt::Access { loc, write: rng.gen_bool(0.5) });
+            }
+            5 | 6 => out.push(Stmt::Access {
+                loc: RO_BASE + rng.gen_range(0u64..4),
+                write: false,
+            }),
+            7 | 8 if depth > 0 => {
+                let mut body = Vec::new();
+                skeleton(rng, depth - 1, next_loc, &mut body);
+                out.push(Stmt::Spawn(body));
+            }
+            _ => out.push(Stmt::Sync),
+        }
+    }
+}
+
+/// Generates [`Planted`] programs; with `plant: true`, 1–3 races are
+/// injected, each a spawned-child write logically parallel with a
+/// continuation write to the same fresh location.
+pub struct ProgramGen {
+    pub plant: bool,
+}
+
+impl Gen<Planted> for ProgramGen {
+    fn generate(&self, rng: &mut Rng, _size: u32) -> Planted {
+        let mut next_loc = 0u64;
+        let mut program = Vec::new();
+        let mut planted = Vec::new();
+        skeleton(rng, 2, &mut next_loc, &mut program);
+        if self.plant {
+            for k in 0..rng.gen_range(1u64..4) {
+                let loc = PLANT_BASE + k;
+                // Child body: filler, the planted write, filler.
+                let mut body = Vec::new();
+                skeleton(rng, 1, &mut next_loc, &mut body);
+                body.push(Stmt::Access { loc, write: true });
+                skeleton(rng, 1, &mut next_loc, &mut body);
+                program.push(Stmt::Spawn(body));
+                // Parent continuation: filler (with top-level syncs removed
+                // — a sync here would serialize the pair and un-plant the
+                // race), then the parallel partner write, then the sync that
+                // would have serialized it arrives too late. The partner is
+                // a write so both detectors must flag it: Eraser's faithful
+                // state machine only warns on shared-*modified* locations.
+                let mut filler = Vec::new();
+                skeleton(rng, 1, &mut next_loc, &mut filler);
+                filler.retain(|s| !matches!(s, Stmt::Sync));
+                program.append(&mut filler);
+                program.push(Stmt::Access { loc, write: true });
+                program.push(Stmt::Sync);
+                planted.push(loc);
+            }
+        }
+        Planted { program, planted }
+    }
+}
+
+/// Runs the program through the SP-bags detector via the `Execution` DSL.
+pub fn run_spbags(body: &[Stmt]) -> Report {
+    fn interp(exec: &mut Execution<'_>, body: &[Stmt]) {
+        for stmt in body {
+            match stmt {
+                Stmt::Access { loc, write } => {
+                    if *write {
+                        exec.write(Location(*loc));
+                    } else {
+                        exec.read(Location(*loc));
+                    }
+                }
+                Stmt::Sync => exec.sync(),
+                Stmt::Spawn(child) => exec.spawn(|e| interp(e, child)),
+            }
+        }
+    }
+    Detector::new().run(|e| interp(e, body))
+}
+
+/// Replays the same serial execution into the Eraser lockset detector,
+/// handing every spawned child and every continuation a fresh strand id.
+pub fn run_eraser(body: &[Stmt]) -> EraserDetector {
+    fn interp(det: &mut EraserDetector, body: &[Stmt], cur: &mut usize, fresh: &mut usize) {
+        for stmt in body {
+            match stmt {
+                Stmt::Access { loc, write } => {
+                    det.access(Location(*loc), ProcId(*cur), *write, &[]);
+                }
+                Stmt::Sync => {}
+                Stmt::Spawn(child) => {
+                    *fresh += 1;
+                    let mut child_proc = *fresh;
+                    interp(det, child, &mut child_proc, fresh);
+                    // Parent resumes in its continuation strand.
+                    *fresh += 1;
+                    *cur = *fresh;
+                }
+            }
+        }
+    }
+    let mut det = EraserDetector::new();
+    let mut cur = 0usize;
+    let mut fresh = 0usize;
+    interp(&mut det, body, &mut cur, &mut fresh);
+    det
+}
