@@ -26,6 +26,19 @@ fi
 echo "== tier-1: test suite =="
 cargo test -q --offline --workspace
 
+echo "== fault matrix: pinned-seed slice (docs/faults.md) =="
+# Deterministic plans over every site at 1/2/4 workers; already part of
+# the workspace suite above, repeated here by name so a matrix failure is
+# attributed immediately.
+cargo test -q --offline --test fault_matrix pinned_seed_slice
+
+echo "== fault matrix: randomized slice (seed printed for replay) =="
+# One fresh-seed exploration per CI run. The test prints the effective
+# CILK_TEST_SEED; replaying it reproduces the identical plans.
+CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
+    cargo test -q --offline --test fault_matrix randomized_seed_slice -- --nocapture \
+    | grep -v '^$'
+
 echo "== cilkscreen CLI smoke: workload expectations must hold =="
 # --check exits 0 only when every workload's verdict (racy locations,
 # reducer suppression, functional result) matches its expectation; the

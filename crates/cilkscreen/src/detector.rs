@@ -235,16 +235,21 @@ thread_local! {
 }
 
 /// Whether shadow accesses on this thread are currently suppressed.
+// These helpers (and every session hook below) use `try_with`: they fire
+// from production code paths — lock guards, reducer accesses — which can
+// run while the thread's TLS is already being torn down (e.g. a guard
+// held in a TLS destructor) or while the thread unwinds from a panic. A
+// destroyed slot means "no session": degrade to a no-op, never panic.
 pub(crate) fn suppressed() -> bool {
-    SUPPRESSED.with(|depth| depth.get() > 0)
+    SUPPRESSED.try_with(|depth| depth.get() > 0).unwrap_or(false)
 }
 
 pub(crate) fn suppression_enter() {
-    SUPPRESSED.with(|depth| depth.set(depth.get() + 1));
+    let _ = SUPPRESSED.try_with(|depth| depth.set(depth.get() + 1));
 }
 
 pub(crate) fn suppression_exit() {
-    SUPPRESSED.with(|depth| {
+    let _ = SUPPRESSED.try_with(|depth| {
         let current = depth.get();
         debug_assert!(current > 0, "unbalanced suppression exit");
         depth.set(current.saturating_sub(1));
@@ -255,7 +260,7 @@ pub(crate) fn suppression_exit() {
 /// Used by the instrumented containers in [`crate::trace`] and the
 /// tracked data types in [`crate::instrument`].
 pub(crate) fn record_read(location: Location, site: Option<&'static str>) {
-    SESSION.with(|session| {
+    let _ = SESSION.try_with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
             if suppressed() {
                 return;
@@ -267,7 +272,7 @@ pub(crate) fn record_read(location: Location, site: Option<&'static str>) {
 
 /// Reports a write to the active session, if any (no-op otherwise).
 pub(crate) fn record_write(location: Location, site: Option<&'static str>) {
-    SESSION.with(|session| {
+    let _ = SESSION.try_with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
             if suppressed() {
                 return;
@@ -281,13 +286,13 @@ pub(crate) fn record_write(location: Location, site: Option<&'static str>) {
 /// `active` predicate handed to the `cilk-runtime` scheduler hooks and the
 /// fast-path gate for the `Mutex` lock events.
 pub(crate) fn session_active() -> bool {
-    SESSION.with(|session| session.borrow().is_some())
+    SESSION.try_with(|session| session.borrow().is_some()).unwrap_or(false)
 }
 
 /// Scheduler hook: the current strand spawned a child procedure that is
 /// about to execute (serial elision order). No-op without a session.
 pub(crate) fn session_spawn() {
-    SESSION.with(|session| {
+    let _ = SESSION.try_with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
             state.record_structure(StructureEvent::Spawn);
             state.bags.spawn_procedure();
@@ -298,7 +303,7 @@ pub(crate) fn session_spawn() {
 /// Scheduler hook: the spawned child returned (with its implicit sync).
 /// No-op without a session.
 pub(crate) fn session_return() {
-    SESSION.with(|session| {
+    let _ = SESSION.try_with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
             state.bags.sync(); // the child's own implicit sync
             state.bags.return_procedure();
@@ -310,7 +315,7 @@ pub(crate) fn session_return() {
 /// Scheduler hook: a `cilk_sync` in the current procedure. No-op without a
 /// session.
 pub(crate) fn session_sync() {
-    SESSION.with(|session| {
+    let _ = SESSION.try_with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
             state.record_structure(StructureEvent::Sync);
             state.bags.sync();
@@ -324,7 +329,7 @@ pub(crate) fn session_sync() {
 /// apparent races due to reducers" (§5) — and the session counts the
 /// access so reports can show how much reducer traffic was excused.
 pub(crate) fn view_enter(_reducer: u64) {
-    SESSION.with(|session| {
+    let _ = SESSION.try_with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
             state.suppressed_views += 1;
         }
@@ -342,7 +347,7 @@ pub(crate) fn view_exit(_reducer: u64) {
 /// panic, and no session means no-op — because the hook fires from
 /// production locking code paths.
 pub(crate) fn session_lock_acquired(lock: LockId) {
-    SESSION.with(|session| {
+    let _ = SESSION.try_with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
             if let Err(pos) = state.held_locks.binary_search(&lock) {
                 state.held_locks.insert(pos, lock);
@@ -354,7 +359,7 @@ pub(crate) fn session_lock_acquired(lock: LockId) {
 /// Lock hook: the current strand released `lock`. Lenient like
 /// [`session_lock_acquired`].
 pub(crate) fn session_lock_released(lock: LockId) {
-    SESSION.with(|session| {
+    let _ = SESSION.try_with(|session| {
         if let Some(state) = session.borrow_mut().as_mut() {
             if let Ok(pos) = state.held_locks.binary_search(&lock) {
                 state.held_locks.remove(pos);

@@ -76,6 +76,10 @@ impl<T: ?Sized> Mutex<T> {
     /// guard is live simply releases the lock in the guard's destructor
     /// during unwinding.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        // The injectable fault fires before the lock is touched: an
+        // injected panic here unwinds with the lock free and no acquire
+        // event emitted, keeping the detector's lockset balanced.
+        cilk_runtime::fault::fault_point(cilk_runtime::fault::FaultSite::LockAcquire);
         // Fast path.
         if self
             .locked
@@ -113,6 +117,8 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        // See `lock` for the placement rationale.
+        cilk_runtime::fault::fault_point(cilk_runtime::fault::FaultSite::LockAcquire);
         if self
             .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -173,8 +179,21 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        // The store must happen even if the detector hook panics (a hook
+        // failure must never wedge the lock for every other thread), so it
+        // lives in a drop guard that runs on the hook's unwind path too.
+        struct Unlock<'a>(&'a AtomicBool);
+        impl Drop for Unlock<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        let _unlock = Unlock(&self.mutex.locked);
+        // Emitting the release *before* the store keeps the event balanced
+        // with the acquire even when the guard drops during a panic's
+        // unwind: the detector sees acquire/release pairs, never a lock
+        // that stays "held" after its guard died.
         cilkscreen::instrument::lock_released(self.mutex.lock_id());
-        self.mutex.locked.store(false, Ordering::Release);
     }
 }
 
@@ -323,6 +342,29 @@ mod tests {
             );
         });
         assert!(report.is_race_free(), "{report}");
+    }
+
+    #[test]
+    fn monitored_lockset_balanced_after_panic_while_locked() {
+        use cilkscreen::instrument::{run_monitored, Shadow};
+        let cell = Shadow::new(0u64);
+        let m = Mutex::new(());
+        let ((), report) = run_monitored(|| {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = m.lock();
+                panic!("dies holding the lock");
+            }));
+            assert!(r.is_err());
+            // If the unwinding guard had failed to emit its release event,
+            // the session's lockset would still contain `m`, and the raw
+            // race below would be wrongly suppressed by the common-lock
+            // rule (§4).
+            crate::join(|| cell.update(|v| *v += 1), || cell.update(|v| *v += 1));
+        });
+        assert!(
+            !report.is_race_free(),
+            "a stale held-lock entry would have masked this race: {report}"
+        );
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Hand-rolled (de)serialization of the FaultPlan replay format.
+//!
+//! The workspace builds offline with no registry crates, so there is no
+//! serde; this module implements exactly the one fixed-schema document the
+//! plan needs (see `docs/faults.md`):
+//!
+//! ```json
+//! {"seed": 7,
+//!  "injections": [
+//!    {"site": "spawn",  "nth": 3, "action": "panic"},
+//!    {"site": "steal",  "nth": 1, "action": "stall", "stall_micros": 200},
+//!    {"site": "sync",   "nth": 2, "action": "die"}]}
+//! ```
+//!
+//! The parser is a small recursive-descent scanner over that schema:
+//! whitespace-tolerant, order-insensitive within objects, strict about
+//! everything else (unknown keys, unknown sites, `nth` of 0, a `stall`
+//! without `stall_micros`). Strictness is a feature here — a plan pasted
+//! from a bug report must either mean exactly what it says or be rejected
+//! loudly, never be half-understood.
+
+use std::fmt;
+use std::time::Duration;
+
+use cilk_runtime::fault::{FaultAction, FaultSite};
+
+use crate::{FaultPlan, Injection};
+
+/// Why a plan document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// Human-readable description, with byte offset where useful.
+    message: String,
+}
+
+impl PlanParseError {
+    fn new(message: impl Into<String>) -> PlanParseError {
+        PlanParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid FaultPlan JSON: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+pub(crate) fn plan_to_json(plan: &FaultPlan) -> String {
+    let mut out = String::with_capacity(64 + plan.injections.len() * 64);
+    out.push_str("{\"seed\": ");
+    out.push_str(&plan.seed.to_string());
+    out.push_str(", \"injections\": [");
+    for (i, inj) in plan.injections.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"site\": \"");
+        out.push_str(inj.site.name());
+        out.push_str("\", \"nth\": ");
+        out.push_str(&inj.nth.to_string());
+        out.push_str(", \"action\": ");
+        match inj.action {
+            FaultAction::Continue => out.push_str("\"continue\""),
+            FaultAction::Panic => out.push_str("\"panic\""),
+            FaultAction::Die => out.push_str("\"die\""),
+            FaultAction::Stall(d) => {
+                out.push_str("\"stall\", \"stall_micros\": ");
+                out.push_str(&(d.as_micros() as u64).to_string());
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+pub(crate) fn plan_from_json(text: &str) -> Result<FaultPlan, PlanParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let plan = p.plan()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the plan object"));
+    }
+    Ok(plan)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: impl fmt::Display) -> PlanParseError {
+        PlanParseError::new(format!("{what} (at byte {})", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), PlanParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format_args!("expected `{}`", ch as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// A JSON string without escapes (the schema's keys and tokens never
+    /// need them).
+    fn string(&mut self) -> Result<&'a str, PlanParseError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("non-UTF-8 string"))?;
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => return Err(self.err("escape sequences are not part of the schema")),
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn u64(&mut self) -> Result<u64, PlanParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected an unsigned integer"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| self.err("integer out of u64 range"))
+    }
+
+    fn plan(&mut self) -> Result<FaultPlan, PlanParseError> {
+        self.expect(b'{')?;
+        let mut seed: Option<u64> = None;
+        let mut injections: Option<Vec<Injection>> = None;
+        loop {
+            match self.string()? {
+                "seed" => {
+                    self.expect(b':')?;
+                    seed = Some(self.u64()?);
+                }
+                "injections" => {
+                    self.expect(b':')?;
+                    injections = Some(self.injections()?);
+                }
+                other => return Err(self.err(format_args!("unknown plan key `{other}`"))),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                _ => break,
+            }
+        }
+        self.expect(b'}')?;
+        Ok(FaultPlan {
+            seed: seed.ok_or_else(|| self.err("missing `seed`"))?,
+            injections: injections.ok_or_else(|| self.err("missing `injections`"))?,
+        })
+    }
+
+    fn injections(&mut self) -> Result<Vec<Injection>, PlanParseError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.injection()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                _ => break,
+            }
+        }
+        self.expect(b']')?;
+        Ok(out)
+    }
+
+    fn injection(&mut self) -> Result<Injection, PlanParseError> {
+        self.expect(b'{')?;
+        let mut site: Option<FaultSite> = None;
+        let mut nth: Option<u64> = None;
+        let mut action: Option<&str> = None;
+        let mut stall_micros: Option<u64> = None;
+        loop {
+            match self.string()? {
+                "site" => {
+                    self.expect(b':')?;
+                    let name = self.string()?;
+                    site = Some(
+                        FaultSite::parse(name)
+                            .ok_or_else(|| self.err(format_args!("unknown site `{name}`")))?,
+                    );
+                }
+                "nth" => {
+                    self.expect(b':')?;
+                    let n = self.u64()?;
+                    if n == 0 {
+                        return Err(self.err("`nth` is 1-based; 0 never fires"));
+                    }
+                    nth = Some(n);
+                }
+                "action" => {
+                    self.expect(b':')?;
+                    action = Some(self.string()?);
+                }
+                "stall_micros" => {
+                    self.expect(b':')?;
+                    stall_micros = Some(self.u64()?);
+                }
+                other => return Err(self.err(format_args!("unknown injection key `{other}`"))),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                _ => break,
+            }
+        }
+        self.expect(b'}')?;
+        let action = match action.ok_or_else(|| self.err("missing `action`"))? {
+            "continue" => FaultAction::Continue,
+            "panic" => FaultAction::Panic,
+            "die" => FaultAction::Die,
+            "stall" => FaultAction::Stall(Duration::from_micros(
+                stall_micros.ok_or_else(|| self.err("`stall` requires `stall_micros`"))?,
+            )),
+            other => return Err(self.err(format_args!("unknown action `{other}`"))),
+        };
+        if !matches!(action, FaultAction::Stall(_)) && stall_micros.is_some() {
+            return Err(self.err("`stall_micros` only applies to action `stall`"));
+        }
+        Ok(Injection {
+            site: site.ok_or_else(|| self.err("missing `site`"))?,
+            nth: nth.ok_or_else(|| self.err("missing `nth`"))?,
+            action,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_and_key_order_are_tolerated() {
+        let text = r#"
+            { "injections" : [ { "nth" : 2 ,
+                                 "action" : "stall" , "stall_micros" : 99 ,
+                                 "site" : "loop-chunk" } ] ,
+              "seed" : 11 }
+        "#;
+        let plan = plan_from_json(text).unwrap();
+        assert_eq!(plan.seed, 11);
+        assert_eq!(
+            plan.injections,
+            vec![Injection {
+                site: FaultSite::LoopChunk,
+                nth: 2,
+                action: FaultAction::Stall(Duration::from_micros(99)),
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_injections_list_is_a_valid_plan() {
+        let plan = plan_from_json(r#"{"seed": 0, "injections": []}"#).unwrap();
+        assert!(plan.injections.is_empty());
+        assert_eq!(plan_from_json(&plan_to_json(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn stray_stall_micros_is_rejected() {
+        let text =
+            r#"{"seed": 1, "injections": [{"site": "sync", "nth": 1, "action": "panic", "stall_micros": 5}]}"#;
+        assert!(plan_from_json(text).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let text = r#"{"seed": 1, "injections": []} extra"#;
+        let err = plan_from_json(text).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+}

@@ -1,0 +1,359 @@
+//! # cilk-faults: deterministic, seed-driven fault plans
+//!
+//! The runtime exposes named fault-injection points
+//! ([`cilk_runtime::fault::FaultSite`]); this crate decides *when* they
+//! fire. A [`FaultPlan`] is a small, serializable description — "panic at
+//! the 3rd `spawn`, stall 200µs at the 1st `steal`" — that can be
+//!
+//! * **generated** from a seed with the workspace PRNG
+//!   ([`FaultPlan::generate`]), so a sweep over seeds explores many
+//!   distinct failure schedules deterministically;
+//! * **serialized** to a tiny JSON document ([`FaultPlan::to_json`] /
+//!   [`FaultPlan::from_json`]) so the exact plan of a failing run can be
+//!   pasted into a bug report and replayed bit-for-bit;
+//! * **armed** into an [`ArmedPlan`] — per-site occurrence counters plus
+//!   once-only firing flags — whose [`ArmedPlan::as_handler`] plugs
+//!   directly into [`cilk_runtime::Config::fault_handler`].
+//!
+//! Determinism contract: with the same plan, the *decision sequence* is a
+//! pure function of the per-site occurrence index. Which worker reaches an
+//! occurrence first may vary with the OS schedule, but the nth `spawn` is
+//! the nth `spawn` regardless, so outcome-level assertions (did the planted
+//! panic surface? are views balanced?) are schedule-independent.
+//!
+//! ```
+//! use cilk_faults::FaultPlan;
+//! use cilk_runtime::fault::{FaultAction, FaultSite, InjectedFault};
+//!
+//! let plan = FaultPlan::single(FaultSite::Spawn, 1, FaultAction::Panic);
+//! let replay = FaultPlan::from_json(&plan.to_json()).unwrap();
+//! assert_eq!(plan, replay);
+//!
+//! let config = cilk_runtime::Config::new()
+//!     .num_workers(2)
+//!     .fault_handler(plan.armed().as_handler());
+//! let pool = cilk_runtime::ThreadPool::with_config(config).unwrap();
+//! let planted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+//!     pool.install(|| cilk_runtime::join(|| 1, || 2))
+//! }));
+//! let payload = planted.expect_err("first spawn panics");
+//! assert!(payload.downcast_ref::<InjectedFault>().is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+mod json;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cilk_runtime::fault::{FaultAction, FaultHandler, FaultSite};
+use cilk_testkit::rng::{mix_str, Rng};
+
+pub use json::PlanParseError;
+
+/// One planned fault: at the `nth` occurrence (1-based, counted per site
+/// across all workers of the pool) of `site`, take `action`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// The fault point this injection targets.
+    pub site: FaultSite,
+    /// Which occurrence of the site fires the fault (1 = the first time
+    /// any worker reaches the site).
+    pub nth: u64,
+    /// What happens there: [`FaultAction::Panic`], [`FaultAction::Stall`]
+    /// or [`FaultAction::Die`]. [`FaultAction::Continue`] is legal but
+    /// pointless (it is the default everywhere else).
+    pub action: FaultAction,
+}
+
+/// A deterministic, replayable schedule of fault injections.
+///
+/// The `seed` records provenance: plans built by [`FaultPlan::generate`]
+/// carry the seed they came from, so a failure report that prints the plan
+/// JSON also names the seed that produced it. Hand-built plans
+/// ([`FaultPlan::single`], [`FaultPlan::with_injections`]) use seed 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// The planned faults, in no particular order; each fires at most once.
+    pub injections: Vec<Injection>,
+}
+
+/// Bounds for [`FaultPlan::generate`]: how many injections a generated
+/// plan may hold and how deep into a site's occurrence stream they may
+/// land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanShape {
+    /// Maximum number of injections in the plan (at least 1 is generated).
+    pub max_injections: usize,
+    /// Upper bound (inclusive) for an injection's `nth` occurrence.
+    pub max_nth: u64,
+    /// Whether [`FaultAction::Die`] may be generated. Worker death changes
+    /// the pool's capacity for the rest of its life; sweeps that reuse a
+    /// pool across cases turn this off.
+    pub allow_death: bool,
+}
+
+impl Default for PlanShape {
+    fn default() -> Self {
+        PlanShape { max_injections: 3, max_nth: 12, allow_death: false }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with a single injection (seed 0).
+    pub fn single(site: FaultSite, nth: u64, action: FaultAction) -> FaultPlan {
+        FaultPlan { seed: 0, injections: vec![Injection { site, nth, action }] }
+    }
+
+    /// A hand-built plan from explicit injections (seed 0).
+    pub fn with_injections(injections: Vec<Injection>) -> FaultPlan {
+        FaultPlan { seed: 0, injections }
+    }
+
+    /// Generates a plan from `seed`, drawing injections over `sites` within
+    /// `shape`'s bounds. Deterministic: the same arguments always yield the
+    /// same plan, independent of `CILK_TEST_SEED` (sweeps pass the seed in
+    /// explicitly so the plan↔seed mapping is stable in bug reports).
+    pub fn generate(seed: u64, sites: &[FaultSite], shape: PlanShape) -> FaultPlan {
+        assert!(!sites.is_empty(), "a plan needs at least one candidate site");
+        let mut rng = Rng::from_keys(seed, &[mix_str("cilk-faults.plan")]);
+        let count = rng.gen_range(1..=shape.max_injections.max(1));
+        let injections = (0..count)
+            .map(|_| {
+                let site = *rng.choose(sites);
+                let nth = rng.gen_range(1..=shape.max_nth.max(1));
+                // Panic is the interesting action (it exercises capture,
+                // cancellation and teardown), so it dominates the draw.
+                let action = match rng.gen_range(0..10u32) {
+                    0..=6 => FaultAction::Panic,
+                    7..=8 => {
+                        FaultAction::Stall(Duration::from_micros(rng.gen_range(50..=500u64)))
+                    }
+                    _ if shape.allow_death => FaultAction::Die,
+                    _ => FaultAction::Panic,
+                };
+                Injection { site, nth, action }
+            })
+            .collect();
+        FaultPlan { seed, injections }
+    }
+
+    /// Serializes the plan as a single-line JSON document (the replay
+    /// format documented in `docs/faults.md`).
+    pub fn to_json(&self) -> String {
+        json::plan_to_json(self)
+    }
+
+    /// Parses a plan from [`FaultPlan::to_json`]'s format.
+    pub fn from_json(text: &str) -> Result<FaultPlan, PlanParseError> {
+        json::plan_from_json(text)
+    }
+
+    /// Arms the plan: allocates fresh occurrence counters and firing flags.
+    /// Each [`ArmedPlan`] is single-use state for one run; re-arm the plan
+    /// to replay it.
+    pub fn armed(&self) -> Arc<ArmedPlan> {
+        Arc::new(ArmedPlan {
+            injections: self.injections.clone(),
+            occurrences: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired: self.injections.iter().map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// A [`FaultPlan`] armed with run state: one occurrence counter per
+/// [`FaultSite`] (shared by all workers of the pool) and a once-only
+/// firing flag per injection.
+///
+/// The decision function ([`ArmedPlan::decide`]) is consulted through the
+/// pool's [`FaultHandler`]; it counts every occurrence of every site and
+/// answers [`FaultAction::Continue`] except at each injection's designated
+/// occurrence, where it answers that injection's action exactly once.
+#[derive(Debug)]
+pub struct ArmedPlan {
+    injections: Vec<Injection>,
+    occurrences: [AtomicU64; FaultSite::ALL.len()],
+    fired: Vec<AtomicBool>,
+}
+
+impl ArmedPlan {
+    /// Counts one occurrence of `site` and decides what the runtime should
+    /// do there. Called by the installed handler at every fault point; also
+    /// callable directly in tests.
+    pub fn decide(&self, site: FaultSite) -> FaultAction {
+        let n = self.occurrences[site.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        for (i, inj) in self.injections.iter().enumerate() {
+            if inj.site == site
+                && inj.nth == n
+                && !self.fired[i].swap(true, Ordering::SeqCst)
+            {
+                return inj.action;
+            }
+        }
+        FaultAction::Continue
+    }
+
+    /// Wraps the armed plan as a pool-installable [`FaultHandler`].
+    pub fn as_handler(self: &Arc<Self>) -> FaultHandler {
+        let plan = Arc::clone(self);
+        Arc::new(move |site| plan.decide(site))
+    }
+
+    /// How many times `site` has been reached so far.
+    pub fn occurrences(&self, site: FaultSite) -> u64 {
+        self.occurrences[site.index()].load(Ordering::SeqCst)
+    }
+
+    /// How many of the plan's injections have fired.
+    pub fn fired_count(&self) -> usize {
+        self.fired.iter().filter(|f| f.load(Ordering::SeqCst)).count()
+    }
+
+    /// Whether every injection of the plan has fired. A sweep uses this to
+    /// tell "the fault was provoked and survived" apart from "the workload
+    /// never reached the designated occurrence" (e.g. `nth` beyond the
+    /// site's actual count for that workload).
+    pub fn exhausted(&self) -> bool {
+        self.fired.iter().all(|f| f.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_plan_round_trips_json() {
+        let plan = FaultPlan::single(FaultSite::ViewMerge, 4, FaultAction::Panic);
+        let json = plan.to_json();
+        assert_eq!(FaultPlan::from_json(&json).unwrap(), plan);
+        assert!(json.contains("view-merge"), "{json}");
+    }
+
+    #[test]
+    fn stall_and_die_round_trip_json() {
+        let plan = FaultPlan::with_injections(vec![
+            Injection {
+                site: FaultSite::Steal,
+                nth: 2,
+                action: FaultAction::Stall(Duration::from_micros(250)),
+            },
+            Injection { site: FaultSite::LockAcquire, nth: 1, action: FaultAction::Die },
+        ]);
+        assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::generate(seed, &FaultSite::ALL, PlanShape::default());
+            let b = FaultPlan::generate(seed, &FaultSite::ALL, PlanShape::default());
+            assert_eq!(a, b, "seed {seed}");
+            assert!(!a.injections.is_empty());
+            assert!(a.injections.len() <= PlanShape::default().max_injections);
+            for inj in &a.injections {
+                assert!(inj.nth >= 1 && inj.nth <= PlanShape::default().max_nth);
+                assert_ne!(inj.action, FaultAction::Die, "death disabled by default");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_plans() {
+        let plans: Vec<_> = (0..16u64)
+            .map(|s| FaultPlan::generate(s, &FaultSite::ALL, PlanShape::default()))
+            .collect();
+        let distinct = plans
+            .iter()
+            .map(|p| p.to_json())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct >= 12, "only {distinct} distinct plans out of 16 seeds");
+    }
+
+    #[test]
+    fn generated_json_round_trips() {
+        for seed in 0..16u64 {
+            let shape = PlanShape { allow_death: true, ..PlanShape::default() };
+            let plan = FaultPlan::generate(seed, &FaultSite::ALL, shape);
+            assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn armed_plan_fires_on_nth_occurrence_exactly_once() {
+        let plan = FaultPlan::single(FaultSite::Spawn, 3, FaultAction::Panic);
+        let armed = plan.armed();
+        assert_eq!(armed.decide(FaultSite::Spawn), FaultAction::Continue);
+        assert_eq!(armed.decide(FaultSite::Steal), FaultAction::Continue);
+        assert_eq!(armed.decide(FaultSite::Spawn), FaultAction::Continue);
+        assert_eq!(armed.decide(FaultSite::Spawn), FaultAction::Panic, "3rd spawn");
+        assert_eq!(armed.decide(FaultSite::Spawn), FaultAction::Continue, "fires once");
+        assert_eq!(armed.occurrences(FaultSite::Spawn), 4);
+        assert_eq!(armed.occurrences(FaultSite::Steal), 1);
+        assert!(armed.exhausted());
+        assert_eq!(armed.fired_count(), 1);
+    }
+
+    #[test]
+    fn rearming_replays_the_same_decisions() {
+        let plan = FaultPlan::generate(7, &FaultSite::ALL, PlanShape::default());
+        let trace = |armed: Arc<ArmedPlan>| {
+            let mut out = Vec::new();
+            for round in 0..PlanShape::default().max_nth + 2 {
+                for site in FaultSite::ALL {
+                    out.push((round, site, armed.decide(site)));
+                }
+            }
+            out
+        };
+        assert_eq!(trace(plan.armed()), trace(plan.armed()));
+    }
+
+    #[test]
+    fn handler_is_installable_and_counts_through_the_pool() {
+        let plan = FaultPlan::single(FaultSite::Sync, 1, FaultAction::Panic);
+        let armed = plan.armed();
+        let config =
+            cilk_runtime::Config::new().num_workers(2).fault_handler(armed.as_handler());
+        let pool = cilk_runtime::ThreadPool::with_config(config).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| cilk_runtime::join(|| (), || ()));
+        }));
+        let payload = caught.expect_err("first sync panics");
+        let fault = payload
+            .downcast_ref::<cilk_runtime::fault::InjectedFault>()
+            .expect("planted payload type");
+        assert_eq!(fault.site, FaultSite::Sync);
+        assert!(armed.exhausted());
+        assert!(armed.occurrences(FaultSite::Sync) >= 1);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_context() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            r#"{"seed": 1}"#,
+            r#"{"seed": 1, "injections": [{"site": "nope", "nth": 1, "action": "panic"}]}"#,
+            r#"{"seed": 1, "injections": [{"site": "spawn", "nth": 0, "action": "panic"}]}"#,
+            r#"{"seed": 1, "injections": [{"site": "spawn", "nth": 1, "action": "explode"}]}"#,
+            r#"{"seed": 1, "injections": [{"site": "spawn", "nth": 1, "action": "stall"}]}"#,
+            r#"{"seed": -3, "injections": []}"#,
+        ] {
+            let err = FaultPlan::from_json(bad).expect_err(bad);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -101,10 +101,7 @@ impl<'scope> Scope<'_, 'scope> {
             let frame = guard.take();
             // SAFETY: the collection outlives all tasks of this scope.
             let collected = unsafe { &*collected.0 };
-            collected
-                .lock()
-                .expect("scope view collection poisoned")
-                .push((ctx.seq(), frame));
+            frames::recover(collected.lock()).push((ctx.seq(), frame));
         });
     }
 }
@@ -143,7 +140,7 @@ where
             op(&scope)
         })
     };
-    let mut frames_in_order = collected.into_inner().expect("scope view collection poisoned");
+    let mut frames_in_order = frames::recover(collected.into_inner());
     frames_in_order.sort_by_key(|(seq, _)| *seq);
     for (_seq, frame) in frames_in_order {
         frames::merge_frame_into_current(frame);
@@ -206,6 +203,7 @@ mod tests {
 
     #[test]
     fn join_preserves_serial_order_recursive() {
+        let _serial = crate::frames::view_test_lock();
         let list = ReducerList::<u64>::list();
         walk(&list, 0, 512);
         assert_eq!(list.into_value(), (0..512).collect::<Vec<_>>());
@@ -213,6 +211,7 @@ mod tests {
 
     #[test]
     fn join_sums_correctly() {
+        let _serial = crate::frames::view_test_lock();
         let total = ReducerSum::<u64>::sum();
         fn add_range(total: &ReducerSum<u64>, lo: u64, hi: u64) {
             if hi - lo <= 4 {
@@ -230,6 +229,7 @@ mod tests {
 
     #[test]
     fn scope_merges_in_spawn_order() {
+        let _serial = crate::frames::view_test_lock();
         let list = ReducerList::<usize>::list();
         scope(|s| {
             for i in 0..64 {
@@ -242,6 +242,7 @@ mod tests {
 
     #[test]
     fn for_each_order_preserved_many_grains() {
+        let _serial = crate::frames::view_test_lock();
         for grain in [1usize, 3, 16, 1000] {
             let order = ReducerList::<usize>::list();
             for_each_index(0..500, grain, |i| order.push_back(i));
@@ -251,6 +252,7 @@ mod tests {
 
     #[test]
     fn nested_joins_and_scopes_compose() {
+        let _serial = crate::frames::view_test_lock();
         let total = ReducerSum::<u64>::sum();
         scope(|s| {
             for _ in 0..4 {
@@ -265,6 +267,7 @@ mod tests {
 
     #[test]
     fn panic_in_branch_discards_views_but_unwinds() {
+        let _serial = crate::frames::view_test_lock();
         let list = ReducerList::<u8>::list();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             join(

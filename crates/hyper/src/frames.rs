@@ -11,7 +11,70 @@
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+
+/// Extracts a lock guard, recovering from poison. Sound here: the states
+/// behind cilk-hyper's locks (a root view `Option`, a frame collection
+/// `Vec`) stay usable after a panicking user closure — a half-reduced view
+/// is a best-effort value, strictly better than cascading the panic into
+/// every later reducer access on unrelated strands.
+pub(crate) fn recover<T>(result: std::sync::LockResult<T>) -> T {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Count of reducer views currently alive in frames anywhere in the
+/// process (root views excluded: they belong to their reducer, not to the
+/// steal structure).
+static LIVE_VIEWS: AtomicI64 = AtomicI64::new(0);
+
+/// Number of frame-held reducer views currently alive process-wide.
+///
+/// After every `join`/`scope`/`for_each_index` of this crate has returned
+/// — normally *or by panic* — this is zero: each view created for a stolen
+/// strand is either merged (consumed) exactly once or dropped on the
+/// unwind path. The fault-injection matrix asserts exactly that.
+pub fn live_views() -> i64 {
+    LIVE_VIEWS.load(Ordering::SeqCst)
+}
+
+/// A frame-owned reducer view with leak accounting: creation increments
+/// [`live_views`], consumption (merge) or drop decrements it, so a view
+/// can neither leak nor be double-consumed without the balance showing it.
+pub(crate) struct ViewBox(Option<Box<dyn Any + Send>>);
+
+impl ViewBox {
+    pub(crate) fn new(value: Box<dyn Any + Send>) -> ViewBox {
+        LIVE_VIEWS.fetch_add(1, Ordering::SeqCst);
+        ViewBox(Some(value))
+    }
+
+    /// Consumes the view for a merge, settling its accounting.
+    pub(crate) fn into_inner(mut self) -> Box<dyn Any + Send> {
+        let value = self.0.take().expect("view already consumed");
+        LIVE_VIEWS.fetch_sub(1, Ordering::SeqCst);
+        value
+    }
+
+    pub(crate) fn as_box_mut(&mut self) -> &mut Box<dyn Any + Send> {
+        self.0.as_mut().expect("view already consumed")
+    }
+
+    #[cfg(test)]
+    pub(crate) fn as_box(&self) -> &Box<dyn Any + Send> {
+        self.0.as_ref().expect("view already consumed")
+    }
+}
+
+impl Drop for ViewBox {
+    fn drop(&mut self) {
+        // Discard path (e.g. a frame dropped during unwind): the view dies
+        // here, exactly once.
+        if self.0.is_some() {
+            LIVE_VIEWS.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
 
 /// Type-erased per-reducer operations a view slot needs: identity creation
 /// and ordered merging, plus access to the reducer's leftmost (root) view.
@@ -26,7 +89,7 @@ pub(crate) trait SlotOps: Send + Sync {
 
 /// One hyperobject's view within a frame.
 pub(crate) struct ViewSlot {
-    pub(crate) value: Box<dyn Any + Send>,
+    pub(crate) value: ViewBox,
     pub(crate) ops: Arc<dyn SlotOps>,
 }
 
@@ -92,6 +155,10 @@ pub(crate) fn with_top_frame<R>(f: impl FnOnce(&mut Frame) -> R) -> Option<R> {
 /// Views of distinct hyperobjects are independent; within one hyperobject
 /// the merge is ordered `current ⊗ incoming`.
 pub(crate) fn merge_frame_into_current(frame: Frame) {
+    // The `view-merge` fault point fires before any view is consumed: an
+    // injected panic here drops `frame` whole, so every view dies exactly
+    // once on the unwind path and `live_views` stays balanced.
+    cilk_runtime::fault::fault_point(cilk_runtime::fault::FaultSite::ViewMerge);
     let leftovers = FRAMES.with(|frames| {
         let mut frames = frames.borrow_mut();
         match frames.last_mut() {
@@ -103,7 +170,7 @@ pub(crate) fn merge_frame_into_current(frame: Frame) {
                     match top.slots.entry(id) {
                         std::collections::hash_map::Entry::Occupied(mut cur) => {
                             let ops = Arc::clone(&cur.get().ops);
-                            ops.merge(&mut cur.get_mut().value, slot.value);
+                            ops.merge(cur.get_mut().value.as_box_mut(), slot.value.into_inner());
                         }
                         std::collections::hash_map::Entry::Vacant(v) => {
                             // Current context held the identity: identity ⊗ x = x.
@@ -119,7 +186,7 @@ pub(crate) fn merge_frame_into_current(frame: Frame) {
     if let Some(frame) = leftovers {
         for (id, slot) in frame.slots {
             let _view = crate::hooks::view_access(id);
-            slot.ops.merge_into_root(slot.value);
+            slot.ops.merge_into_root(slot.value.into_inner());
         }
     }
 }
@@ -128,6 +195,15 @@ pub(crate) fn merge_frame_into_current(frame: Frame) {
 #[cfg(test)]
 pub(crate) fn frame_depth() -> usize {
     FRAMES.with(|f| f.borrow().len())
+}
+
+/// Serializes tests that create views: [`live_views`] is process-global,
+/// so exact-balance assertions require that no other test is concurrently
+/// creating or consuming views.
+#[cfg(test)]
+pub(crate) fn view_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    recover(LOCK.lock())
 }
 
 #[cfg(test)]
@@ -173,11 +249,12 @@ mod tests {
 
     #[test]
     fn merge_into_root_when_no_frames() {
+        let _serial = view_test_lock();
         let ops = Arc::new(VecOps { root: Mutex::new(vec![1]) });
         let mut frame = Frame::default();
         frame.slots.insert(
             7,
-            ViewSlot { value: Box::new(vec![2u32, 3]), ops: ops.clone() },
+            ViewSlot { value: ViewBox::new(Box::new(vec![2u32, 3])), ops: ops.clone() },
         );
         merge_frame_into_current(frame);
         assert_eq!(*ops.root.lock().expect("lock"), vec![1, 2, 3]);
@@ -185,25 +262,57 @@ mod tests {
 
     #[test]
     fn merge_into_top_frame_preserves_order() {
+        let _serial = view_test_lock();
         let ops = Arc::new(VecOps { root: Mutex::new(Vec::new()) });
         let g = FrameGuard::push();
         with_top_frame(|top| {
             top.slots.insert(
                 7,
-                ViewSlot { value: Box::new(vec![10u32]), ops: ops.clone() },
+                ViewSlot { value: ViewBox::new(Box::new(vec![10u32])), ops: ops.clone() },
             );
         });
         let mut incoming = Frame::default();
         incoming.slots.insert(
             7,
-            ViewSlot { value: Box::new(vec![20u32, 30]), ops: ops.clone() },
+            ViewSlot { value: ViewBox::new(Box::new(vec![20u32, 30])), ops: ops.clone() },
         );
         merge_frame_into_current(incoming);
         let frame = g.take();
         let v = frame.slots[&7]
             .value
+            .as_box()
             .downcast_ref::<Vec<u32>>()
             .expect("vec view");
         assert_eq!(*v, vec![10, 20, 30], "current ⊗ incoming order");
+    }
+
+    #[test]
+    fn view_box_balances_on_consume_and_on_drop() {
+        let _serial = view_test_lock();
+        let before = live_views();
+        let a = ViewBox::new(Box::new(1u8));
+        let b = ViewBox::new(Box::new(2u8));
+        assert_eq!(live_views(), before + 2);
+        drop(a.into_inner());
+        assert_eq!(live_views(), before + 1, "consume settles the count");
+        drop(b);
+        assert_eq!(live_views(), before, "drop settles the count");
+    }
+
+    #[test]
+    fn dropped_frame_releases_views() {
+        let _serial = view_test_lock();
+        let before = live_views();
+        let ops = Arc::new(VecOps { root: Mutex::new(Vec::new()) });
+        let mut frame = Frame::default();
+        for id in 0..4 {
+            frame.slots.insert(
+                id,
+                ViewSlot { value: ViewBox::new(Box::new(Vec::<u32>::new())), ops: ops.clone() },
+            );
+        }
+        assert_eq!(live_views(), before + 4);
+        drop(frame);
+        assert_eq!(live_views(), before, "unwind-style discard leaks nothing");
     }
 }

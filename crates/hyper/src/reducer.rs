@@ -9,7 +9,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::frames::{self, SlotOps, ViewSlot};
+use crate::frames::{self, recover, SlotOps, ViewBox, ViewSlot};
 use crate::monoid::{And, ListAppend, Max, Min, Monoid, Or, StrCat, Sum};
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -33,7 +33,9 @@ impl<M: Monoid> SlotOps for Core<M> {
 
     fn merge_into_root(&self, right: Box<dyn Any + Send>) {
         let right = *right.downcast::<M::Value>().expect("view type mismatch");
-        let mut root = self.root.lock().expect("root view lock poisoned");
+        // Recover from poison: a panicking user `reduce` must not cascade
+        // into every later access of this reducer (see `frames::recover`).
+        let mut root = recover(self.root.lock());
         match root.as_mut() {
             Some(left) => self.monoid.reduce(left, right),
             None => *root = Some(right),
@@ -113,12 +115,13 @@ impl<M: Monoid> Reducer<M> {
         let id = self.id;
         let mut f = Some(f);
         let in_frame = frames::with_top_frame(|top| {
-            let slot = top
-                .slots
-                .entry(id)
-                .or_insert_with(|| ViewSlot { value: ops.identity_view(), ops: ops.clone() });
+            let slot = top.slots.entry(id).or_insert_with(|| ViewSlot {
+                value: ViewBox::new(ops.identity_view()),
+                ops: ops.clone(),
+            });
             let view = slot
                 .value
+                .as_box_mut()
                 .downcast_mut::<M::Value>()
                 .expect("view type mismatch");
             (f.take().expect("closure not yet consumed"))(view)
@@ -126,7 +129,7 @@ impl<M: Monoid> Reducer<M> {
         match in_frame {
             Some(r) => r,
             None => {
-                let mut root = self.core.root.lock().expect("root view lock poisoned");
+                let mut root = recover(self.core.root.lock());
                 let view = root.get_or_insert_with(|| self.core.monoid.identity());
                 (f.take().expect("closure not yet consumed"))(view)
             }
@@ -139,13 +142,13 @@ impl<M: Monoid> Reducer<M> {
     /// after the enclosing [`crate::join`]/[`crate::scope`] returned); at
     /// that point every stolen view has been folded into the leftmost view.
     pub fn into_value(self) -> M::Value {
-        let mut root = self.core.root.lock().expect("root view lock poisoned");
+        let mut root = recover(self.core.root.lock());
         root.take().unwrap_or_else(|| self.core.monoid.identity())
     }
 
     /// Takes the current leftmost value, resetting it to the identity.
     pub fn take(&self) -> M::Value {
-        let mut root = self.core.root.lock().expect("root view lock poisoned");
+        let mut root = recover(self.core.root.lock());
         root.take().unwrap_or_else(|| self.core.monoid.identity())
     }
 }

@@ -5,6 +5,10 @@
 //! programmer can override this default decision)." — §3.2
 
 use std::fmt;
+use std::time::Duration;
+
+use crate::fault::FaultHandler;
+use crate::metrics::MetricsSnapshot;
 
 /// What a worker does while waiting at a `join` for a stolen continuation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,13 +31,48 @@ pub enum WaitPolicy {
 /// assert_eq!(pool.num_workers(), 2);
 /// # Ok::<(), cilk_runtime::BuildPoolError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Config {
     pub(crate) num_workers: Option<usize>,
     pub(crate) wait_policy: WaitPolicy,
     pub(crate) thread_name_prefix: String,
     pub(crate) stack_size: usize,
+    pub(crate) fault_handler: Option<FaultHandler>,
+    pub(crate) stall_timeout: Option<Duration>,
 }
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Config")
+            .field("num_workers", &self.num_workers)
+            .field("wait_policy", &self.wait_policy)
+            .field("thread_name_prefix", &self.thread_name_prefix)
+            .field("stack_size", &self.stack_size)
+            .field("fault_handler", &self.fault_handler.as_ref().map(|_| "<handler>"))
+            .field("stall_timeout", &self.stall_timeout)
+            .finish()
+    }
+}
+
+impl PartialEq for Config {
+    fn eq(&self, other: &Self) -> bool {
+        let handlers_eq = match (&self.fault_handler, &other.fault_handler) {
+            (None, None) => true,
+            // Closures have no structural equality; identity is the only
+            // meaningful comparison.
+            (Some(a), Some(b)) => std::sync::Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        handlers_eq
+            && self.num_workers == other.num_workers
+            && self.wait_policy == other.wait_policy
+            && self.thread_name_prefix == other.thread_name_prefix
+            && self.stack_size == other.stack_size
+            && self.stall_timeout == other.stall_timeout
+    }
+}
+
+impl Eq for Config {}
 
 impl Config {
     /// Creates the default configuration: one worker per available
@@ -46,6 +85,8 @@ impl Config {
             // Fork-join recursion lives on the worker stack (Cilk++ used a
             // cactus stack); default to a roomy 8 MiB.
             stack_size: 8 * 1024 * 1024,
+            fault_handler: None,
+            stall_timeout: None,
         }
     }
 
@@ -85,6 +126,29 @@ impl Config {
         self
     }
 
+    /// Installs a fault handler consulted at every [`crate::fault`] point
+    /// reached by this pool's workers. Testing-only plumbing: pools without
+    /// a handler skip the injection machinery entirely.
+    pub fn fault_handler(mut self, handler: FaultHandler) -> Self {
+        self.fault_handler = Some(handler);
+        self
+    }
+
+    /// Bounds how long an external `install` waits for the pool to pick up
+    /// its job before failing with [`RuntimeStalled`] — turning a
+    /// lost-worker hang (e.g. every worker died under fault injection)
+    /// into a diagnosable error instead of a deadlock. Unset by default:
+    /// waits are unbounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "stall timeout must be positive");
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
     /// Resolves the worker count: explicit override or the machine's
     /// available parallelism.
     pub(crate) fn resolved_workers(&self) -> usize {
@@ -118,6 +182,47 @@ impl std::error::Error for BuildPoolError {
     }
 }
 
+/// The pool failed to make progress within the configured
+/// [`Config::stall_timeout`]: an injected job sat unclaimed past the
+/// deadline (typically because every worker is dead, parked, or wedged).
+///
+/// Returned by [`crate::ThreadPool::try_install`]; carries enough of the
+/// pool's state to diagnose the stall instead of staring at a hung
+/// process.
+#[derive(Debug, Clone)]
+pub struct RuntimeStalled {
+    /// How long the caller waited before giving up.
+    pub waited: Duration,
+    /// Total workers the pool was built with.
+    pub workers: usize,
+    /// Workers that have simulated death and parked.
+    pub workers_died: u64,
+    /// Jobs still sitting in the external-injection queue.
+    pub pending_injected: usize,
+    /// Full counter snapshot at the moment of diagnosis (boxed: the error
+    /// travels through `Result`s on the hot install path, and the snapshot
+    /// is by far its largest field).
+    pub metrics: Box<MetricsSnapshot>,
+}
+
+impl fmt::Display for RuntimeStalled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "runtime stalled: injected job unclaimed after {:?} \
+             ({} of {} workers dead, {} jobs pending, steals={} aborted={})",
+            self.waited,
+            self.workers_died,
+            self.workers,
+            self.pending_injected,
+            self.metrics.steals,
+            self.metrics.steals_aborted,
+        )
+    }
+}
+
+impl std::error::Error for RuntimeStalled {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +250,38 @@ mod tests {
             source: std::io::Error::other("nope"),
         };
         assert!(e.to_string().contains("worker thread"));
+    }
+
+    #[test]
+    #[should_panic(expected = "stall timeout")]
+    fn zero_stall_timeout_rejected() {
+        let _ = Config::new().stall_timeout(Duration::ZERO);
+    }
+
+    #[test]
+    fn config_equality_tracks_handler_identity() {
+        use crate::fault::{FaultAction, FaultHandler};
+        let h: FaultHandler = std::sync::Arc::new(|_| FaultAction::Continue);
+        let a = Config::new().fault_handler(std::sync::Arc::clone(&h));
+        let b = Config::new().fault_handler(std::sync::Arc::clone(&h));
+        assert_eq!(a, b, "same handler Arc compares equal");
+        let c = Config::new().fault_handler(std::sync::Arc::new(|_| FaultAction::Continue));
+        assert_ne!(a, c, "distinct handler closures compare unequal");
+        assert_ne!(a, Config::new());
+        assert!(format!("{a:?}").contains("<handler>"));
+    }
+
+    #[test]
+    fn runtime_stalled_displays_diagnosis() {
+        let e = RuntimeStalled {
+            waited: Duration::from_millis(250),
+            workers: 2,
+            workers_died: 2,
+            pending_injected: 1,
+            metrics: Box::new(MetricsSnapshot::default()),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2 of 2 workers dead"), "{msg}");
+        assert!(msg.contains("1 jobs pending"), "{msg}");
     }
 }

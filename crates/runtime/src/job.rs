@@ -6,7 +6,7 @@
 
 use std::cell::UnsafeCell;
 use std::mem;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::latch::{CountLatch, Latch, Probe};
 use crate::unwind::{self, PanicPayload};
@@ -191,7 +191,10 @@ where
         let func = (*this.func.get()).take().expect("job executed twice");
         let result = match unwind::halt_unwinding(|| func(migrated)) {
             Ok(r) => JobResult::Ok(r),
-            Err(p) => JobResult::Panic(p),
+            Err(p) => {
+                crate::registry::note_panic_captured();
+                JobResult::Panic(p)
+            }
         };
         *this.result.get() = result;
         // The latch set must be the last access: it releases the waiter.
@@ -250,6 +253,10 @@ pub(crate) struct ScopeState {
     pub(crate) latch: CountLatch,
     panic: UnsafeCell<Option<PanicPayload>>,
     panicked: AtomicUsize,
+    /// Once set, not-yet-started sibling tasks skip their bodies (they
+    /// still report to the latch). Set by the first captured panic and by
+    /// explicit [`crate::Scope::cancel`].
+    cancelled: AtomicBool,
 }
 
 // SAFETY: the panic slot is written at most once, guarded by the atomic
@@ -263,15 +270,29 @@ impl ScopeState {
             latch: CountLatch::new(),
             panic: UnsafeCell::new(None),
             panicked: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
         }
     }
 
-    /// Records a panic payload if it is the first.
+    /// Records a panic payload if it is the first, and cancels the scope
+    /// so not-yet-started siblings skip their bodies.
     pub(crate) fn capture_panic(&self, payload: PanicPayload) {
+        self.cancel();
         if self.panicked.swap(1, Ordering::AcqRel) == 0 {
             // SAFETY: first (unique) writer, and readers wait for the latch.
             unsafe { *self.panic.get() = Some(payload) };
         }
+    }
+
+    /// Requests cancellation: tasks that have not started yet will skip
+    /// their bodies (still reporting to the latch); running tasks finish.
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether this scope has been cancelled.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 
     /// Takes the captured panic, if any. Call only after the latch is set.
@@ -342,5 +363,18 @@ mod tests {
         st.latch.decrement();
         let p = st.take_panic().expect("panic stored");
         assert_eq!(*p.downcast_ref::<&str>().expect("str"), "first");
+    }
+
+    #[test]
+    fn scope_state_panic_implies_cancelled() {
+        let st = ScopeState::new();
+        assert!(!st.is_cancelled());
+        st.capture_panic(Box::new("boom"));
+        assert!(st.is_cancelled(), "first panic cancels siblings");
+        let st2 = ScopeState::new();
+        st2.cancel();
+        assert!(st2.is_cancelled());
+        st2.latch.decrement();
+        assert!(st2.take_panic().is_none(), "explicit cancel is not a panic");
     }
 }

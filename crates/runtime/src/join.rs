@@ -15,6 +15,7 @@
 //! paper credits for the runtime's "negligible overhead (less than 2%)" on
 //! one processor.
 
+use crate::fault::{self, FaultSite};
 use crate::job::StackJob;
 use crate::latch::{CoreLatch, Probe};
 use crate::registry::WorkerThread;
@@ -77,11 +78,21 @@ where
     // structure events SP-bags needs: spawn a; return; b; sync.
     if let Some(hooks) = crate::hooks::serial_capture() {
         (hooks.spawn_begin)();
-        let ra = a(JoinContext { migrated: false });
+        // Both closures run under panic capture so the bracketing events
+        // stay balanced even when one unwinds: skipping a `spawn_end` or
+        // `sync` would silently desynchronize the detector's SP-bags state
+        // for everything that follows in the session. This also matches
+        // the parallel semantics (both sides come to rest; `a`'s panic
+        // wins) rather than the strict serial elision.
+        let ra = unwind::halt_unwinding(|| a(JoinContext { migrated: false }));
         (hooks.spawn_end)();
-        let rb = b(JoinContext { migrated: false });
+        let rb = unwind::halt_unwinding(|| b(JoinContext { migrated: false }));
         (hooks.sync)();
-        return (ra, rb);
+        return match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(pa), _) => unwind::resume_unwinding(pa),
+            (Ok(_), Err(pb)) => unwind::resume_unwinding(pb),
+        };
     }
     crate::in_worker(move |wt| unsafe { join_on_worker(wt, a, b) })
 }
@@ -110,8 +121,16 @@ where
     let job_b_ref = job_b.as_job_ref();
     wt.push(job_b_ref);
 
-    // Execute `a` on this worker (work-first).
-    let status_a = unwind::halt_unwinding(|| a(JoinContext { migrated: false }));
+    // Execute `a` on this worker (work-first). The `spawn` fault point sits
+    // inside the capture frame, so an injected panic is indistinguishable
+    // from the spawned child itself panicking on entry.
+    let status_a = unwind::halt_unwinding(|| {
+        fault::fault_point(FaultSite::Spawn);
+        a(JoinContext { migrated: false })
+    });
+    if status_a.is_err() {
+        crate::registry::note_panic_captured();
+    }
 
     // Now resolve `b`: pop it back if it is still ours, otherwise help out
     // until the thief finishes it.
@@ -139,8 +158,18 @@ where
 
     wt.drop_depth();
 
+    // The implicit `cilk_sync`: an injected fault here surfaces after both
+    // branches have come to rest, exactly like a panic at the sync point.
+    let status_sync = unwind::halt_unwinding(|| fault::fault_point(FaultSite::Sync));
+
     match status_a {
-        Ok(result_a) => (result_a, result_b),
+        Ok(result_a) => match status_sync {
+            Ok(()) => (result_a, result_b),
+            Err(panic_sync) => {
+                drop((result_a, result_b));
+                unwind::resume_unwinding(panic_sync)
+            }
+        },
         Err(panic_a) => {
             // `b` has already come to rest (we hold its result); propagate
             // `a`'s panic, discarding `b`'s result.

@@ -9,6 +9,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::poison;
 
 /// A latch that can be probed and set.
 ///
@@ -81,10 +84,38 @@ impl LockLatch {
     }
 
     /// Blocks the calling thread until the latch is set.
+    // Poison recovery throughout: the latch guards a single `bool`, which
+    // is always consistent between operations — see `crate::poison`.
     pub(crate) fn wait(&self) {
-        let mut guard = self.mutex.lock().expect("latch mutex poisoned");
+        let mut guard = poison::recover(self.mutex.lock());
         while !*guard {
-            guard = self.cond.wait(guard).expect("latch mutex poisoned");
+            guard = poison::recover(self.cond.wait(guard));
+        }
+    }
+
+    /// Blocks until the latch is set or `timeout` elapses; returns whether
+    /// the latch was set. Backs the pool's stall detection
+    /// ([`crate::Config::stall_timeout`]).
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut guard = poison::recover(self.mutex.lock());
+        let mut remaining = timeout;
+        loop {
+            if *guard {
+                return true;
+            }
+            if remaining.is_zero() {
+                return false;
+            }
+            let start = std::time::Instant::now();
+            let (g, result) = match self.cond.wait_timeout(guard, remaining) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard = g;
+            if result.timed_out() && !*guard {
+                return false;
+            }
+            remaining = remaining.saturating_sub(start.elapsed());
         }
     }
 }
@@ -92,7 +123,7 @@ impl LockLatch {
 impl Latch for LockLatch {
     unsafe fn set(this: *const Self) {
         let this = &*this;
-        let mut guard = this.mutex.lock().expect("latch mutex poisoned");
+        let mut guard = poison::recover(this.mutex.lock());
         *guard = true;
         this.cond.notify_all();
     }
@@ -100,7 +131,7 @@ impl Latch for LockLatch {
 
 impl Probe for LockLatch {
     fn probe(&self) -> bool {
-        *self.mutex.lock().expect("latch mutex poisoned")
+        *poison::recover(self.mutex.lock())
     }
 }
 
@@ -170,6 +201,19 @@ mod tests {
         });
         l.wait();
         assert!(l.probe());
+        t.join().expect("setter panicked");
+    }
+
+    #[test]
+    fn lock_latch_wait_timeout_expires_then_succeeds() {
+        let l = Arc::new(LockLatch::new());
+        assert!(!l.wait_timeout(Duration::from_millis(5)), "unset latch times out");
+        let l2 = Arc::clone(&l);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            unsafe { Latch::set(&*l2 as *const LockLatch) };
+        });
+        assert!(l.wait_timeout(Duration::from_secs(30)), "set latch is observed");
         t.join().expect("setter panicked");
     }
 

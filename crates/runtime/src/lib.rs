@@ -36,17 +36,19 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod fault;
 pub mod hooks;
 mod job;
 mod join;
 mod latch;
 mod metrics;
 mod parallel_for;
+mod poison;
 mod registry;
 mod scope;
 mod unwind;
 
-pub use config::{BuildPoolError, Config, WaitPolicy};
+pub use config::{BuildPoolError, Config, RuntimeStalled, WaitPolicy};
 pub use join::{join, join_context, JoinContext};
 pub use metrics::MetricsSnapshot;
 pub use parallel_for::{for_each_index, for_each_slice_mut, map_reduce_index, Grain};
@@ -116,6 +118,27 @@ impl ThreadPool {
         self.registry.in_worker(|_| op())
     }
 
+    /// Like [`ThreadPool::install`], but a pool that fails to pick the job
+    /// up within the configured
+    /// [`stall_timeout`](Config::stall_timeout) yields a diagnosable
+    /// [`RuntimeStalled`] error instead of hanging (e.g. because every
+    /// worker simulated death under fault injection).
+    ///
+    /// Without a configured timeout this never returns `Err` — it waits
+    /// unboundedly, exactly like `install`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeStalled`] when the injected job sat unclaimed past
+    /// the timeout.
+    pub fn try_install<OP, R>(&self, op: OP) -> Result<R, RuntimeStalled>
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.registry.in_worker_checked(|_| op())
+    }
+
     /// A snapshot of the pool's scheduling counters (steals, spawns, deque
     /// and depth high-watermarks).
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -126,7 +149,8 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.registry.terminate();
-        let handles = std::mem::take(&mut *self.handles.lock().expect("handles lock poisoned"));
+        let handles =
+            std::mem::take(&mut *crate::poison::recover(self.handles.lock()));
         for handle in handles {
             let _ = handle.join();
         }

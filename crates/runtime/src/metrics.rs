@@ -26,6 +26,20 @@ pub(crate) struct Counters {
     pub(crate) deque_high_watermark: AtomicUsize,
     /// High-watermark of `join` nesting depth on any worker.
     pub(crate) depth_high_watermark: AtomicUsize,
+    /// Panics captured from user code (spawned children, scope tasks and
+    /// bodies, `cilk_for` chunks) for propagation to the logical parent.
+    pub(crate) panics_captured: AtomicU64,
+    /// Scope tasks and `cilk_for` subranges skipped because their scope or
+    /// loop was cancelled (a sibling panicked or `Scope::cancel` ran).
+    pub(crate) tasks_cancelled: AtomicU64,
+    /// Steal rounds aborted by an injected fault at the `steal` site.
+    pub(crate) steals_aborted: AtomicU64,
+    /// Faults of any kind fired by the pool's fault handler.
+    pub(crate) faults_injected: AtomicU64,
+    /// Injected stalls (a subset of `faults_injected`).
+    pub(crate) stalls_injected: AtomicU64,
+    /// Workers that simulated death and parked permanently.
+    pub(crate) workers_died: AtomicU64,
 }
 
 impl Counters {
@@ -35,6 +49,13 @@ impl Counters {
 
     pub(crate) fn record_depth(&self, depth: usize) {
         self.depth_high_watermark.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Relaxed increment of one counter (the only write pattern the pool's
+    /// robustness counters need).
+    #[inline]
+    pub(crate) fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -60,6 +81,19 @@ pub struct MetricsSnapshot {
     pub deque_high_watermark: usize,
     /// Maximum observed `join` nesting depth on any worker.
     pub depth_high_watermark: usize,
+    /// Panics captured from user code for propagation to the logical
+    /// parent (spawned children, scope tasks/bodies, `cilk_for` chunks).
+    pub panics_captured: u64,
+    /// Scope tasks and `cilk_for` subranges skipped by cancellation.
+    pub tasks_cancelled: u64,
+    /// Steal rounds aborted by an injected fault at the `steal` site.
+    pub steals_aborted: u64,
+    /// Faults fired by the pool's fault handler (all kinds).
+    pub faults_injected: u64,
+    /// Injected stalls (a subset of `faults_injected`).
+    pub stalls_injected: u64,
+    /// Workers that simulated death and parked permanently.
+    pub workers_died: u64,
 }
 
 impl MetricsSnapshot {
@@ -87,6 +121,12 @@ impl Counters {
             inline_pops: self.inline_pops.load(Ordering::Relaxed),
             deque_high_watermark: self.deque_high_watermark.load(Ordering::Relaxed),
             depth_high_watermark: self.depth_high_watermark.load(Ordering::Relaxed),
+            panics_captured: self.panics_captured.load(Ordering::Relaxed),
+            tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
+            steals_aborted: self.steals_aborted.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            stalls_injected: self.stalls_injected.load(Ordering::Relaxed),
+            workers_died: self.workers_died.load(Ordering::Relaxed),
         }
     }
 }
@@ -114,5 +154,24 @@ mod tests {
     #[test]
     fn steal_ratio_zero_when_no_spawns() {
         assert_eq!(MetricsSnapshot::default().steal_ratio(), 0.0);
+    }
+
+    #[test]
+    fn robustness_counters_snapshot() {
+        let c = Counters::default();
+        c.bump(&c.panics_captured);
+        c.bump(&c.tasks_cancelled);
+        c.bump(&c.tasks_cancelled);
+        c.bump(&c.steals_aborted);
+        c.bump(&c.faults_injected);
+        c.bump(&c.stalls_injected);
+        c.bump(&c.workers_died);
+        let s = c.snapshot();
+        assert_eq!(s.panics_captured, 1);
+        assert_eq!(s.tasks_cancelled, 2);
+        assert_eq!(s.steals_aborted, 1);
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.stalls_injected, 1);
+        assert_eq!(s.workers_died, 1);
     }
 }

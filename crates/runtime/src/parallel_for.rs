@@ -7,8 +7,75 @@
 //! serially.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
+use crate::fault::{self, FaultSite};
 use crate::join;
+use crate::poison;
+use crate::unwind::{self, PanicPayload};
+
+/// Shared cancellation + first-panic state for one `cilk_for` loop.
+///
+/// A panicking leaf chunk does not unwind through the divide-and-conquer
+/// spine (that would let one branch finish while its sibling keeps
+/// spawning). Instead the first panic is captured here, the loop is
+/// cancelled so not-yet-started chunks skip their iterations, and the
+/// panic is resumed at the loop entry point once every branch has come to
+/// rest. The result: each surviving index runs *at most once*, and exactly
+/// once when nothing panics.
+struct LoopControl {
+    cancelled: AtomicBool,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl LoopControl {
+    fn new() -> Self {
+        LoopControl {
+            cancelled: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Records the first panic and cancels the remaining subranges.
+    fn capture(&self, payload: PanicPayload) {
+        crate::registry::note_panic_captured();
+        self.cancelled.store(true, Ordering::Release);
+        let mut slot = poison::recover(self.panic.lock());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Resumes the captured panic, if any, once the loop has quiesced.
+    fn resume_if_panicked(&self) {
+        let payload = poison::recover(self.panic.lock()).take();
+        if let Some(p) = payload {
+            unwind::resume_unwinding(p);
+        }
+    }
+
+    /// Runs one leaf chunk under panic capture, with the `loop-chunk`
+    /// fault point inside the capture frame; skips the chunk entirely if
+    /// the loop has been cancelled (counted in `tasks_cancelled`).
+    fn run_chunk(&self, chunk: impl FnOnce()) {
+        if self.is_cancelled() {
+            crate::registry::note_task_cancelled();
+            return;
+        }
+        match unwind::halt_unwinding(|| {
+            fault::fault_point(FaultSite::LoopChunk);
+            chunk()
+        }) {
+            Ok(()) => {}
+            Err(payload) => self.capture(payload),
+        }
+    }
+}
 
 /// Grain-size policy for loop parallelization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +108,13 @@ impl Grain {
 /// why `cilk_for` does not "blow out physical memory" the way naive
 /// task-per-iteration queues do (§3.1).
 ///
+/// # Panics
+///
+/// If `body` panics for some index, the first panic is captured, chunks
+/// that have not started yet are cancelled, and the panic is resumed here
+/// once every in-flight chunk has come to rest. Each index is therefore
+/// visited *at most once* even on a panicking run.
+///
 /// # Examples
 ///
 /// ```
@@ -62,24 +136,33 @@ where
     }
     let workers = crate::current_num_workers();
     let grain = grain.resolve(n, workers);
-    recurse_for(range, grain, &body);
+    let control = LoopControl::new();
+    recurse_for(range, grain, &body, &control);
+    control.resume_if_panicked();
 }
 
-fn recurse_for<F>(range: Range<usize>, grain: usize, body: &F)
+fn recurse_for<F>(range: Range<usize>, grain: usize, body: &F, control: &LoopControl)
 where
     F: Fn(usize) + Sync,
 {
     let n = range.end - range.start;
     if n <= grain {
-        for i in range {
-            body(i);
-        }
+        control.run_chunk(|| {
+            for i in range {
+                body(i);
+            }
+        });
+        return;
+    }
+    if control.is_cancelled() {
+        // Prune the whole subtree: no point splitting a cancelled range.
+        crate::registry::note_task_cancelled();
         return;
     }
     let mid = range.start + n / 2;
     join(
-        || recurse_for(range.start..mid, grain, body),
-        || recurse_for(mid..range.end, grain, body),
+        || recurse_for(range.start..mid, grain, body, control),
+        || recurse_for(mid..range.end, grain, body, control),
     );
 }
 
@@ -121,7 +204,10 @@ where
     }
     let workers = crate::current_num_workers();
     let grain = grain.resolve(n, workers);
-    recurse_map_reduce(range, grain, &identity, &map, &reduce)
+    let control = LoopControl::new();
+    let result = recurse_map_reduce(range, grain, &identity, &map, &reduce, &control);
+    control.resume_if_panicked();
+    result
 }
 
 fn recurse_map_reduce<T, ID, M, R>(
@@ -130,6 +216,7 @@ fn recurse_map_reduce<T, ID, M, R>(
     identity: &ID,
     map: &M,
     reduce: &R,
+    control: &LoopControl,
 ) -> T
 where
     T: Send,
@@ -139,16 +226,26 @@ where
 {
     let n = range.end - range.start;
     if n <= grain {
-        let mut acc = identity();
-        for i in range {
-            acc = reduce(acc, map(i));
-        }
-        return acc;
+        // A cancelled or panicking leaf contributes the identity; the
+        // partial fold is discarded when the captured panic resumes.
+        let mut acc = Some(identity());
+        control.run_chunk(|| {
+            let mut a = acc.take().expect("leaf accumulator present");
+            for i in range {
+                a = reduce(a, map(i));
+            }
+            acc = Some(a);
+        });
+        return acc.unwrap_or_else(identity);
+    }
+    if control.is_cancelled() {
+        crate::registry::note_task_cancelled();
+        return identity();
     }
     let mid = range.start + n / 2;
     let (left, right) = join(
-        || recurse_map_reduce(range.start..mid, grain, identity, map, reduce),
-        || recurse_map_reduce(mid..range.end, grain, identity, map, reduce),
+        || recurse_map_reduce(range.start..mid, grain, identity, map, reduce, control),
+        || recurse_map_reduce(mid..range.end, grain, identity, map, reduce, control),
     );
     reduce(left, right)
 }
@@ -168,24 +265,35 @@ where
     }
     let workers = crate::current_num_workers();
     let grain = grain.resolve(n, workers);
-    recurse_slice(data, 0, grain, &body);
+    let control = LoopControl::new();
+    recurse_slice(data, 0, grain, &body, &control);
+    control.resume_if_panicked();
 }
 
-fn recurse_slice<T, F>(data: &mut [T], offset: usize, grain: usize, body: &F)
-where
+fn recurse_slice<T, F>(
+    data: &mut [T],
+    offset: usize,
+    grain: usize,
+    body: &F,
+    control: &LoopControl,
+) where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     let n = data.len();
     if n <= grain {
-        body(offset, data);
+        control.run_chunk(|| body(offset, data));
+        return;
+    }
+    if control.is_cancelled() {
+        crate::registry::note_task_cancelled();
         return;
     }
     let mid = n / 2;
     let (lo, hi) = data.split_at_mut(mid);
     join(
-        || recurse_slice(lo, offset, grain, body),
-        || recurse_slice(hi, offset + mid, grain, body),
+        || recurse_slice(lo, offset, grain, body, control),
+        || recurse_slice(hi, offset + mid, grain, body, control),
     );
 }
 
@@ -233,6 +341,55 @@ mod tests {
     fn map_reduce_empty_is_identity() {
         let v = map_reduce_index(3..3, Grain::Auto, || 7u64, |_| 0, |a, b| a + b);
         assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn panicking_iteration_propagates_and_visits_at_most_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for_each_index(0..n, Grain::Explicit(8), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                if i == 333 {
+                    panic!("iteration dies");
+                }
+            });
+        }));
+        assert!(r.is_err(), "the iteration panic must surface at the loop");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) <= 1));
+        assert_eq!(hits[333].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn map_reduce_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            map_reduce_index(
+                0..10_000,
+                Grain::Explicit(16),
+                || 0u64,
+                |i| {
+                    if i == 7777 {
+                        panic!("map dies");
+                    }
+                    i as u64
+                },
+                |a, b| a + b,
+            )
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn slice_panic_propagates() {
+        let mut data = vec![0u32; 2048];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for_each_slice_mut(&mut data, Grain::Explicit(64), |offset, _chunk| {
+                if offset >= 1024 {
+                    panic!("chunk dies");
+                }
+            });
+        }));
+        assert!(r.is_err());
     }
 
     #[test]

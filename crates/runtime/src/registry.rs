@@ -17,11 +17,13 @@ use std::time::Duration;
 
 use cilk_deque::{Steal, Stealer, Worker};
 
-use crate::config::{BuildPoolError, Config, WaitPolicy};
+use crate::config::{BuildPoolError, Config, RuntimeStalled, WaitPolicy};
+use crate::fault::{self, FaultAction, FaultHandler, FaultSite};
 use crate::job::{JobRef, StackJob};
 use crate::latch::{LockLatch, Probe};
 use crate::latch::Latch;
 use crate::metrics::{Counters, MetricsSnapshot};
+use crate::poison;
 
 /// Owner index used for jobs injected from outside the pool; never equal to
 /// a real worker index, so injected jobs always count as "migrated".
@@ -47,6 +49,10 @@ pub(crate) struct Registry {
     terminate: AtomicBool,
     pub(crate) counters: Counters,
     pub(crate) wait_policy: WaitPolicy,
+    /// Fault-injection decision function, if this pool is under test.
+    fault_handler: Option<FaultHandler>,
+    /// External-wait deadline before diagnosing a stall (None = unbounded).
+    stall_timeout: Option<Duration>,
 }
 
 // SAFETY: `JobRef`s in the injected queue are `Send`; everything else is
@@ -78,6 +84,8 @@ impl Registry {
             terminate: AtomicBool::new(false),
             counters: Counters::default(),
             wait_policy: config.wait_policy,
+            fault_handler: config.fault_handler.clone(),
+            stall_timeout: config.stall_timeout,
         });
         let mut handles = Vec::with_capacity(n);
         for (index, deque) in deques.into_iter().enumerate() {
@@ -93,6 +101,7 @@ impl Registry {
                         registry,
                         rng_state: Cell::new(0x9E37_79B9_7F4A_7C15u64 ^ (index as u64 + 1)),
                         depth: Cell::new(0),
+                        pending_death: Cell::new(false),
                     };
                     worker.main_loop();
                 })
@@ -112,27 +121,44 @@ impl Registry {
         self.counters.snapshot()
     }
 
+    /// This pool's fault handler, if one was configured.
+    #[inline]
+    pub(crate) fn fault_handler(&self) -> Option<&FaultHandler> {
+        self.fault_handler.as_ref()
+    }
+
     /// Queues a job from outside the pool and wakes a worker.
+    // Poison recovery throughout: the queue's invariants hold between
+    // operations (no closure runs under the lock), so a panic elsewhere
+    // must not cascade into unrelated callers — see `crate::poison`.
     pub(crate) fn inject(&self, job: JobRef) {
-        self.injected
-            .lock()
-            .expect("injector lock poisoned")
-            .push_back(job);
+        poison::recover(self.injected.lock()).push_back(job);
         self.counters.injections.fetch_add(1, Ordering::Relaxed);
         self.wake_all();
     }
 
     fn pop_injected(&self) -> Option<JobRef> {
-        self.injected
-            .lock()
-            .expect("injector lock poisoned")
-            .pop_front()
+        poison::recover(self.injected.lock()).pop_front()
+    }
+
+    /// Removes a not-yet-claimed injected job; `true` if it was still
+    /// queued. Used by stall recovery: a removed job will never execute,
+    /// so its stack frame can be safely abandoned by the injector.
+    fn cancel_injected(&self, job: JobRef) -> bool {
+        let mut queue = poison::recover(self.injected.lock());
+        match queue.iter().position(|j| *j == job) {
+            Some(pos) => {
+                queue.remove(pos);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Wakes sleeping workers if there might be any.
     pub(crate) fn wake_all(&self) {
         if self.sleep.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.sleep.mutex.lock().expect("sleep lock poisoned");
+            let _guard = poison::recover(self.sleep.mutex.lock());
             self.sleep.cvar.notify_all();
         }
     }
@@ -140,7 +166,7 @@ impl Registry {
     /// Signals workers to exit once their work is drained.
     pub(crate) fn terminate(&self) {
         self.terminate.store(true, Ordering::SeqCst);
-        let _guard = self.sleep.mutex.lock().expect("sleep lock poisoned");
+        let _guard = poison::recover(self.sleep.mutex.lock());
         self.sleep.cvar.notify_all();
     }
 
@@ -151,13 +177,30 @@ impl Registry {
         OP: FnOnce(&WorkerThread) -> R + Send,
         R: Send,
     {
+        match self.in_worker_checked(op) {
+            Ok(r) => r,
+            // The unchecked entry point has no error channel; a diagnosed
+            // stall becomes a panic carrying the full diagnosis, which is
+            // still strictly better than the silent deadlock it replaces.
+            Err(stall) => panic!("{stall}"),
+        }
+    }
+
+    /// Like [`Registry::in_worker`], but a configured
+    /// [`Config::stall_timeout`](crate::Config::stall_timeout) turns an
+    /// unclaimed injected job into an [`RuntimeStalled`] error.
+    pub(crate) fn in_worker_checked<OP, R>(self: &Arc<Self>, op: OP) -> Result<R, RuntimeStalled>
+    where
+        OP: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
         unsafe {
             let current = WorkerThread::current();
             if !current.is_null() {
                 // Already on a worker thread (of this or another pool);
                 // run in place. Cross-pool installs execute on the calling
                 // pool, which preserves the paper's composability property.
-                return op(&*current);
+                return Ok(op(&*current));
             }
             let latch = LockLatch::new();
             let job = StackJob::new(
@@ -169,9 +212,38 @@ impl Registry {
                 },
                 LatchRef { latch: &latch },
             );
-            self.inject(job.as_job_ref());
-            latch.wait();
-            job.into_result()
+            let job_ref = job.as_job_ref();
+            self.inject(job_ref);
+            match self.stall_timeout {
+                None => latch.wait(),
+                Some(timeout) => {
+                    let mut waited = Duration::ZERO;
+                    while !latch.wait_timeout(timeout) {
+                        waited += timeout;
+                        // Deadline passed. If the job is still sitting in
+                        // the queue no worker will ever claim it (all dead
+                        // or wedged): cancel it — making the stack frame
+                        // safe to abandon — and diagnose. If it has been
+                        // claimed it is executing; keep waiting.
+                        if self.cancel_injected(job_ref) {
+                            return Err(self.stall_error(waited));
+                        }
+                    }
+                }
+            }
+            Ok(job.into_result())
+        }
+    }
+
+    /// Assembles the [`RuntimeStalled`] diagnosis for a timed-out wait.
+    fn stall_error(&self, waited: Duration) -> RuntimeStalled {
+        let metrics = self.metrics();
+        RuntimeStalled {
+            waited,
+            workers: self.num_workers(),
+            workers_died: metrics.workers_died,
+            pending_injected: poison::recover(self.injected.lock()).len(),
+            metrics: Box::new(metrics),
         }
     }
 }
@@ -190,6 +262,30 @@ impl<L: Latch> Latch for LatchRef<'_, L> {
 
 thread_local! {
     static WORKER_THREAD: Cell<*const WorkerThread> = const { Cell::new(ptr::null()) };
+}
+
+/// Bumps the current pool's `panics_captured` counter. Called at every
+/// site that captures a [`crate::unwind::PanicPayload`] for propagation;
+/// counts capture *events* (a panic crossing several nested joins is
+/// captured once per frame). No-op off-pool (e.g. under serial capture).
+pub(crate) fn note_panic_captured() {
+    let ptr = WorkerThread::current();
+    if !ptr.is_null() {
+        // SAFETY: the pointer is set for the lifetime of `main_loop` and
+        // only read from its own thread.
+        let c = unsafe { &(*ptr).registry().counters };
+        c.bump(&c.panics_captured);
+    }
+}
+
+/// Bumps the current pool's `tasks_cancelled` counter. No-op off-pool.
+pub(crate) fn note_task_cancelled() {
+    let ptr = WorkerThread::current();
+    if !ptr.is_null() {
+        // SAFETY: as in `note_panic_captured`.
+        let c = unsafe { &(*ptr).registry().counters };
+        c.bump(&c.tasks_cancelled);
+    }
 }
 
 /// Returns the index of the current worker thread, if any.
@@ -212,6 +308,9 @@ pub(crate) struct WorkerThread {
     registry: Arc<Registry>,
     rng_state: Cell<u64>,
     depth: Cell<usize>,
+    /// Set by [`FaultAction::Die`]: the worker finishes the obligations
+    /// already on its stack and parks at its next top-of-loop.
+    pending_death: Cell<bool>,
 }
 
 impl WorkerThread {
@@ -246,6 +345,14 @@ impl WorkerThread {
         self.depth.set(self.depth.get().saturating_sub(1));
     }
 
+    /// Marks this worker for simulated death (see [`FaultAction::Die`]).
+    /// Deliberately deferred: dying mid-`join` would leak the latch the
+    /// continuation's thief will set, so the worker only parks once its
+    /// stack has unwound back to the scheduling loop.
+    pub(crate) fn request_death(&self) {
+        self.pending_death.set(true);
+    }
+
     /// Pushes a stealable job onto the bottom of this worker's deque.
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job);
@@ -270,6 +377,28 @@ impl WorkerThread {
 
     /// One full round of steal attempts over random victims.
     fn steal(&self) -> Option<JobRef> {
+        // Fault consultation happens before the single-worker early-return
+        // so `steal`-site plans fire deterministically at any pool width.
+        // `Panic` cannot unwind here — a scheduler thread outside a job has
+        // no capture frame — so it aborts the round instead (and `Die`
+        // additionally marks the worker).
+        if let Some(handler) = self.registry.fault_handler() {
+            // Consult exactly once per round: handlers may count occurrences.
+            let action = handler(FaultSite::Steal);
+            match action {
+                FaultAction::Continue => {}
+                FaultAction::Panic | FaultAction::Die => {
+                    let c = &self.registry.counters;
+                    c.bump(&c.faults_injected);
+                    c.bump(&c.steals_aborted);
+                    if action == FaultAction::Die {
+                        self.request_death();
+                    }
+                    return None;
+                }
+                FaultAction::Stall(_) => fault::apply(self, action, FaultSite::Steal),
+            }
+        }
         let n = self.registry.num_workers();
         if n <= 1 {
             return None;
@@ -352,6 +481,13 @@ impl WorkerThread {
     fn main_loop(self) {
         WORKER_THREAD.with(|cell| cell.set(&self as *const WorkerThread));
         loop {
+            if self.pending_death.get() {
+                // Simulated worker loss: every stack obligation has unwound
+                // (we are at top-of-loop), so parking here leaves no latch
+                // unset and no job half-run. The deque stays stealable.
+                self.park_dead();
+                break;
+            }
             if let Some(job) = self.find_work() {
                 // SAFETY: jobs are executed exactly once.
                 unsafe { self.execute(job) };
@@ -365,21 +501,31 @@ impl WorkerThread {
         WORKER_THREAD.with(|cell| cell.set(ptr::null()));
     }
 
+    /// Parks a "dead" worker until pool termination. It never takes work
+    /// again, but still honours `terminate` so `ThreadPool::drop` joins it.
+    fn park_dead(&self) {
+        let c = &self.registry.counters;
+        c.bump(&c.workers_died);
+        let sleep = &self.registry.sleep;
+        while !self.registry.terminate.load(Ordering::SeqCst) {
+            let guard = poison::recover(sleep.mutex.lock());
+            // Timed wait: a dead worker must not rely on being woken, and
+            // the bounded interval keeps shutdown latency low. Poison is
+            // irrelevant — the guard is dropped immediately either way.
+            drop(sleep.cvar.wait_timeout(guard, Duration::from_millis(1)));
+        }
+    }
+
     /// Parks this worker until new work might exist. A bounded timeout
     /// guards against any lost-wakeup window.
     fn sleep(&self) {
         let sleep = &self.registry.sleep;
         sleep.sleepers.fetch_add(1, Ordering::SeqCst);
         {
-            let guard = sleep.mutex.lock().expect("sleep lock poisoned");
+            let guard = poison::recover(sleep.mutex.lock());
             // Re-check for work under the lock: any producer that published
             // before we registered as a sleeper is visible now.
-            let have_work = !self
-                .registry
-                .injected
-                .lock()
-                .expect("injector lock poisoned")
-                .is_empty()
+            let have_work = !poison::recover(self.registry.injected.lock()).is_empty()
                 || self
                     .registry
                     .thread_infos
@@ -387,10 +533,8 @@ impl WorkerThread {
                     .any(|info| !info.stealer.is_empty())
                 || self.registry.terminate.load(Ordering::SeqCst);
             if !have_work {
-                let _ = sleep
-                    .cvar
-                    .wait_timeout(guard, Duration::from_millis(1))
-                    .expect("sleep lock poisoned");
+                // Poison is irrelevant — the guard drops immediately.
+                drop(sleep.cvar.wait_timeout(guard, Duration::from_millis(1)));
             }
         }
         sleep.sleepers.fetch_sub(1, Ordering::SeqCst);

@@ -7,6 +7,7 @@
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::fault::{self, FaultSite};
 use crate::job::{HeapJob, ScopeState};
 use crate::registry::WorkerThread;
 use crate::unwind;
@@ -68,12 +69,17 @@ impl<'scope> Scope<'scope> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if self.state.is_null() {
             // Serial-capture mode: run the task now, as the serial elision
-            // would, emitting spawn/return events for the detector.
+            // would, emitting spawn/return events for the detector. Capture
+            // a panicking body so `spawn_end` still fires (an unbalanced
+            // spawn would desync the detector's SP-bags state), then resume.
             let hooks = crate::hooks::serial_capture()
                 .expect("serial-capture scope outside a detector session");
             (hooks.spawn_begin)();
-            body(TaskContext { migrated: false, seq });
+            let status = unwind::halt_unwinding(|| body(TaskContext { migrated: false, seq }));
             (hooks.spawn_end)();
+            if let Err(payload) = status {
+                unwind::resume_unwinding(payload);
+            }
             return;
         }
         // SAFETY: the latch keeps `state` alive until all tasks finish.
@@ -84,9 +90,23 @@ impl<'scope> Scope<'scope> {
             let state_ptr = state_ptr;
             // SAFETY: see StatePtr.
             let state = unsafe { &*state_ptr.0 };
-            match unwind::halt_unwinding(|| body(TaskContext { migrated, seq })) {
+            if state.is_cancelled() {
+                // A sibling panicked (or the scope was cancelled): skip the
+                // body, but still report to the latch so the scope drains.
+                crate::registry::note_task_cancelled();
+                state.latch.decrement();
+                return;
+            }
+            let status = unwind::halt_unwinding(|| {
+                fault::fault_point(FaultSite::Spawn);
+                body(TaskContext { migrated, seq })
+            });
+            match status {
                 Ok(()) => {}
-                Err(payload) => state.capture_panic(payload),
+                Err(payload) => {
+                    crate::registry::note_panic_captured();
+                    state.capture_panic(payload);
+                }
             }
             state.latch.decrement();
         });
@@ -106,6 +126,33 @@ impl<'scope> Scope<'scope> {
             .scope_spawns
             .fetch_add(1, Ordering::Relaxed);
         wt.push(job_ref);
+    }
+
+    /// Cancels the scope: tasks that have not started yet skip their
+    /// bodies (each counted in the pool's `tasks_cancelled` metric).
+    /// Already-running tasks finish normally, and the scope still waits
+    /// for everything at its implicit sync. Idempotent.
+    ///
+    /// This is the same mechanism the runtime uses internally when a task
+    /// panics: the first panic cancels the remaining siblings.
+    pub fn cancel(&self) {
+        if self.state.is_null() {
+            // Serial-capture mode runs tasks inline at the spawn site;
+            // there are never pending tasks to cancel.
+            return;
+        }
+        // SAFETY: the latch keeps `state` alive while the scope exists.
+        unsafe { (*self.state).cancel() }
+    }
+
+    /// Whether this scope has been cancelled (explicitly via
+    /// [`Scope::cancel`] or implicitly by a panicking task).
+    pub fn is_cancelled(&self) -> bool {
+        if self.state.is_null() {
+            return false;
+        }
+        // SAFETY: the latch keeps `state` alive while the scope exists.
+        unsafe { (*self.state).is_cancelled() }
     }
 }
 
@@ -162,6 +209,7 @@ where
         let result = match unwind::halt_unwinding(|| op(&scope)) {
             Ok(r) => Some(r),
             Err(payload) => {
+                crate::registry::note_panic_captured();
                 state.capture_panic(payload);
                 None
             }
@@ -172,6 +220,9 @@ where
         if let Some(payload) = state.take_panic() {
             unwind::resume_unwinding(payload);
         }
+        // The implicit sync: every task has come to rest, none panicked.
+        // An injected fault here surfaces like a panic at `cilk_sync`.
+        fault::fault_point(FaultSite::Sync);
         result.expect("scope body neither returned nor panicked")
     })
 }
@@ -241,6 +292,23 @@ mod tests {
     }
 
     #[test]
+    fn explicit_cancel_skips_pending_tasks() {
+        let ran = AtomicUsize::new(0);
+        scope(|s| {
+            s.cancel();
+            assert!(s.is_cancelled());
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // Every task was spawned after the cancel, so none may run. (Tasks
+        // already running at cancel time would be allowed to finish.)
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn scope_body_panic_propagates_after_tasks() {
         let count = AtomicUsize::new(0);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -252,6 +320,9 @@ mod tests {
             });
         }));
         assert!(r.is_err());
-        assert_eq!(count.load(Ordering::Relaxed), 1, "task still ran to completion");
+        // The body's panic cancels not-yet-started tasks; depending on the
+        // schedule the task either completed before the cancel or was
+        // skipped — never half-run (it increments exactly once or never).
+        assert!(count.load(Ordering::Relaxed) <= 1);
     }
 }

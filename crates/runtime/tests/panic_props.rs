@@ -1,0 +1,112 @@
+//! Property tests for panic hygiene in the parallel loops.
+//!
+//! The robustness contract of `for_each_index` under a user panic is
+//! narrow but absolute, whatever the range, grain or panic position:
+//!
+//! * every index runs **at most once** (a cancelled subrange is skipped
+//!   whole, never retried);
+//! * the panicking index itself runs exactly once and its payload — not
+//!   some replacement — reaches the caller;
+//! * the pool survives and runs the next loop normally.
+//!
+//! `forall!` drives the sweep from the workspace seed, so a failure prints
+//! a `CILK_TEST_SEED` that replays the exact (range, grain, position)
+//! triple that broke.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+use cilk_runtime::{for_each_index, map_reduce_index, Config, Grain, ThreadPool};
+use cilk_testkit::forall;
+
+/// A marker payload, so an infrastructure panic can never masquerade as
+/// the planted one.
+#[derive(Debug, PartialEq, Eq)]
+struct Planted(usize);
+
+fn pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        ThreadPool::with_config(Config::new().num_workers(2)).expect("pool builds")
+    })
+}
+
+forall! {
+    cases = 64,
+    fn panic_mid_loop_visits_each_index_at_most_once(
+        n in 1usize..400,
+        grain in 1usize..32,
+        position_seed in 0usize..1 << 16,
+    ) {
+        let panic_at = position_seed % n;
+        let visits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool().install(|| {
+                for_each_index(0..n, Grain::Explicit(grain), |i| {
+                    visits[i].fetch_add(1, Ordering::Relaxed);
+                    if i == panic_at {
+                        std::panic::panic_any(Planted(i));
+                    }
+                });
+            });
+        }));
+
+        let payload = caught.expect_err("the planted panic must surface");
+        assert_eq!(
+            payload.downcast_ref::<Planted>(),
+            Some(&Planted(panic_at)),
+            "a different panic surfaced (n={n}, grain={grain}, panic_at={panic_at})"
+        );
+        for (i, v) in visits.iter().enumerate() {
+            let count = v.load(Ordering::Relaxed);
+            assert!(
+                count <= 1,
+                "index {i} ran {count} times (n={n}, grain={grain}, panic_at={panic_at})"
+            );
+        }
+        assert_eq!(visits[panic_at].load(Ordering::Relaxed), 1);
+
+        // The pool must come back unharmed: the same loop with no panic
+        // now visits every index exactly once.
+        let visits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        pool().install(|| {
+            for_each_index(0..n, Grain::Explicit(grain), |i| {
+                visits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(visits.iter().all(|v| v.load(Ordering::Relaxed) == 1));
+    }
+
+    cases = 48,
+    fn panic_mid_map_reduce_leaves_pool_usable(
+        n in 1usize..300,
+        grain in 1usize..24,
+        position_seed in 0usize..1 << 16,
+    ) {
+        let panic_at = position_seed % n;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool().install(|| {
+                map_reduce_index(
+                    0..n,
+                    Grain::Explicit(grain),
+                    || 0u64,
+                    |i| {
+                        if i == panic_at {
+                            std::panic::panic_any(Planted(i));
+                        }
+                        i as u64
+                    },
+                    |a, b| a + b,
+                )
+            })
+        }));
+        let payload = caught.expect_err("the planted panic must surface");
+        assert_eq!(payload.downcast_ref::<Planted>(), Some(&Planted(panic_at)));
+
+        let total = pool().install(|| {
+            map_reduce_index(0..n, Grain::Explicit(grain), || 0u64, |i| i as u64, |a, b| a + b)
+        });
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2, "pool damaged (n={n}, grain={grain})");
+    }
+}

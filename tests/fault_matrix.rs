@@ -1,0 +1,421 @@
+//! The fault matrix: seed-driven fault injection swept over sites, worker
+//! counts and real workloads.
+//!
+//! Every case builds a dedicated pool with an armed [`cilk_faults::FaultPlan`]
+//! installed and runs a real workload (`fib`, `qsort`, `matmul`, the Fig. 7
+//! reducer tree walk) under it. The invariants checked after each case are
+//! the robustness contract of the runtime:
+//!
+//! * the run either completes with a **correct result** or unwinds with the
+//!   **planted** [`InjectedFault`] payload — never a different panic, never
+//!   a hang;
+//! * **zero reducer views leak** ([`cilk::hyper::live_views`] returns to 0)
+//!   no matter where the panic landed;
+//! * the pool's metrics agree with the armed plan (every fired injection is
+//!   accounted as `faults_injected`);
+//! * with `stall_timeout` set, a pool whose only worker died reports
+//!   [`cilk::runtime::RuntimeStalled`] instead of deadlocking;
+//! * at one worker, structural sites (`spawn`/`sync`/`loop-chunk`) are
+//!   fully deterministic: the same plan JSON replays to the identical
+//!   outcome.
+//!
+//! Tests serialize on one lock: `live_views` is process-global, and pools
+//! with stalls/death are timing-sensitive enough that running them
+//! concurrently would only add noise.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use cilk::hyper::ReducerList;
+use cilk::runtime::fault::{FaultAction, FaultSite, InjectedFault};
+use cilk::runtime::{Grain, RuntimeStalled, ThreadPool};
+use cilk::Config;
+use cilk_faults::{ArmedPlan, FaultPlan, Injection, PlanShape};
+use cilk_workloads::{build_tree, fib_cutoff, fib_serial, matmul, matmul_serial, qsort, Matrix};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn pool_with(workers: usize, armed: &std::sync::Arc<ArmedPlan>) -> ThreadPool {
+    let config = Config::new().num_workers(workers).fault_handler(armed.as_handler());
+    ThreadPool::with_config(config).expect("pool builds")
+}
+
+/// The outcome of one matrix case, normalized for comparison: either the
+/// workload's digest or the site of the planted panic that surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Completed(u64),
+    Planted(FaultSite),
+}
+
+/// Runs `work` on `pool`, requiring that any unwind carries the planted
+/// [`InjectedFault`] payload (an unexpected panic fails the test).
+fn run_case(pool: &ThreadPool, work: impl FnOnce() -> u64 + Send) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(|| pool.install(work))) {
+        Ok(digest) => Outcome::Completed(digest),
+        Err(payload) => match payload.downcast_ref::<InjectedFault>() {
+            Some(fault) => Outcome::Planted(fault.site),
+            None => panic!(
+                "a non-planted panic escaped: {:?}",
+                payload.downcast_ref::<&str>().copied().unwrap_or("<non-str payload>")
+            ),
+        },
+    }
+}
+
+/// The named workloads of the matrix. Each returns a `u64` digest whose
+/// expected value is computed serially, so a silently wrong result (e.g. a
+/// subtree skipped without a surfaced panic) is caught.
+#[derive(Debug, Clone, Copy)]
+enum Workload {
+    Fib,
+    Qsort,
+    Matmul,
+    TreeReducer,
+}
+
+const WORKLOADS: [Workload; 4] =
+    [Workload::Fib, Workload::Qsort, Workload::Matmul, Workload::TreeReducer];
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Fib => "fib",
+            Workload::Qsort => "qsort",
+            Workload::Matmul => "matmul",
+            Workload::TreeReducer => "tree-reducer",
+        }
+    }
+
+    fn expected(self) -> u64 {
+        match self {
+            Workload::Fib => fib_serial(16),
+            Workload::Qsort => {
+                let mut v = qsort_input();
+                v.sort_unstable();
+                digest_i64(&v)
+            }
+            Workload::Matmul => {
+                let (a, b) = matmul_input();
+                digest_f64(&matmul_serial(&a, &b))
+            }
+            Workload::TreeReducer => {
+                let tree = build_tree(192, 0xDAC);
+                let mut out = Vec::new();
+                cilk_workloads::walk_serial(&tree, 3, 1, &mut out);
+                digest_u64(&out)
+            }
+        }
+    }
+
+    fn run(self) -> u64 {
+        match self {
+            Workload::Fib => fib_cutoff(16, 8),
+            Workload::Qsort => {
+                let mut v = qsort_input();
+                qsort(&mut v);
+                digest_i64(&v)
+            }
+            Workload::Matmul => {
+                let (a, b) = matmul_input();
+                digest_f64(&matmul(&a, &b))
+            }
+            Workload::TreeReducer => {
+                let tree = build_tree(192, 0xDAC);
+                let out = ReducerList::<u64>::list();
+                cilk_workloads::walk_reducer(&tree, 3, 1, &out);
+                digest_u64(&out.into_value())
+            }
+        }
+    }
+}
+
+fn qsort_input() -> Vec<i64> {
+    let mut rng = cilk_testkit::rng::Rng::seed_from_u64(0x9_5027);
+    (0..1500).map(|_| rng.next_u64() as i64 % 1000).collect()
+}
+
+fn matmul_input() -> (Matrix, Matrix) {
+    (Matrix::random(24, 7), Matrix::random(24, 8))
+}
+
+fn digest_i64(v: &[i64]) -> u64 {
+    v.iter().fold(0u64, |acc, &x| {
+        acc.wrapping_mul(0x100_0000_01B3).wrapping_add(x as u64)
+    })
+}
+
+fn digest_u64(v: &[u64]) -> u64 {
+    v.iter().fold(0u64, |acc, &x| acc.wrapping_mul(0x100_0000_01B3).wrapping_add(x))
+}
+
+fn digest_f64(m: &Matrix) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..m.n() {
+        for j in 0..m.n() {
+            acc = acc.wrapping_mul(0x100_0000_01B3).wrapping_add(m.get(i, j).to_bits());
+        }
+    }
+    acc
+}
+
+/// One seed × worker-count × workload sweep cell: a generated plan runs the
+/// workload, then the robustness invariants are checked.
+fn sweep_cell(seed: u64, workers: usize, workload: Workload) {
+    let plan = FaultPlan::generate(seed, &FaultSite::ALL, PlanShape::default());
+    let armed = plan.armed();
+    let pool = pool_with(workers, &armed);
+    let outcome = run_case(&pool, || workload.run());
+    if let Outcome::Completed(digest) = outcome {
+        assert_eq!(
+            digest,
+            workload.expected(),
+            "wrong result with no surfaced panic: seed {seed}, {workers}w, {} — plan {plan}",
+            workload.name(),
+        );
+    }
+    assert_eq!(
+        cilk::hyper::live_views(),
+        0,
+        "leaked views: seed {seed}, {workers}w, {} — plan {plan}, outcome {outcome:?}",
+        workload.name(),
+    );
+    let metrics = pool.metrics();
+    assert_eq!(
+        metrics.faults_injected,
+        armed.fired_count() as u64,
+        "metrics disagree with the armed plan: seed {seed}, {workers}w, {} — plan {plan}",
+        workload.name(),
+    );
+    drop(pool); // must terminate cleanly even after injected faults
+}
+
+/// The pinned-seed slice that CI runs by name (`ci.sh` step "fault-matrix
+/// slice"): deterministic plans, every workload, 1/2/4 workers.
+#[test]
+fn pinned_seed_slice() {
+    let _serial = serial();
+    for seed in 0..4u64 {
+        for workers in [1usize, 2, 4] {
+            for workload in WORKLOADS {
+                sweep_cell(seed, workers, workload);
+            }
+        }
+    }
+}
+
+/// The randomized slice: seeds derived from the workspace base seed, so
+/// `CILK_TEST_SEED=<n> cargo test --test fault_matrix randomized` explores
+/// (and replays) fresh plans. The effective seeds are printed for replay.
+#[test]
+fn randomized_seed_slice() {
+    let _serial = serial();
+    let mut rng = cilk_testkit::rng_for("fault-matrix.randomized");
+    let seeds: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+    println!(
+        "fault-matrix randomized slice: CILK_TEST_SEED={:#x} -> plan seeds {:x?}",
+        cilk_testkit::base_seed(),
+        seeds
+    );
+    for &seed in &seeds {
+        for workers in [1usize, 2, 4] {
+            for workload in WORKLOADS {
+                sweep_cell(seed, workers, workload);
+            }
+        }
+    }
+}
+
+/// A planted panic in a spawned child must surface at the logical parent
+/// (the install caller), at every worker count, and be counted as a
+/// captured panic.
+#[test]
+fn planted_child_panic_propagates_to_parent() {
+    let _serial = serial();
+    for workers in [1usize, 2, 4] {
+        let plan = FaultPlan::single(FaultSite::Spawn, 1, FaultAction::Panic);
+        let armed = plan.armed();
+        let pool = pool_with(workers, &armed);
+        let outcome = run_case(&pool, || fib_cutoff(14, 6));
+        assert_eq!(outcome, Outcome::Planted(FaultSite::Spawn), "{workers} workers");
+        assert!(armed.exhausted());
+        let metrics = pool.metrics();
+        assert!(metrics.panics_captured >= 1, "{workers} workers: {metrics:?}");
+        assert_eq!(metrics.faults_injected, 1);
+    }
+}
+
+/// Panics injected mid view-merge leak no views: each view is merged or
+/// dropped exactly once, so the process-wide live-view count returns to
+/// zero whether or not the fault fired.
+#[test]
+fn view_merge_panic_leaks_no_views() {
+    let _serial = serial();
+    for workers in [1usize, 2, 4] {
+        for nth in [1u64, 2, 5] {
+            let plan = FaultPlan::single(FaultSite::ViewMerge, nth, FaultAction::Panic);
+            let armed = plan.armed();
+            let pool = pool_with(workers, &armed);
+            let outcome = run_case(&pool, || Workload::TreeReducer.run());
+            if let Outcome::Completed(digest) = outcome {
+                assert_eq!(digest, Workload::TreeReducer.expected(), "{workers}w nth {nth}");
+            }
+            assert_eq!(cilk::hyper::live_views(), 0, "{workers}w nth {nth}: {outcome:?}");
+            // At one worker nothing is ever stolen, so no merge can fire;
+            // at several workers both outcomes are legal schedules.
+            if workers == 1 {
+                assert_eq!(outcome, Outcome::Completed(Workload::TreeReducer.expected()));
+                assert!(!armed.exhausted(), "no merges happen on one worker");
+            }
+        }
+    }
+}
+
+/// Injected stalls perturb the schedule but never the results.
+#[test]
+fn stalls_preserve_results() {
+    let _serial = serial();
+    let plan = FaultPlan::with_injections(vec![
+        Injection {
+            site: FaultSite::Steal,
+            nth: 1,
+            action: FaultAction::Stall(Duration::from_micros(300)),
+        },
+        Injection {
+            site: FaultSite::Spawn,
+            nth: 2,
+            action: FaultAction::Stall(Duration::from_micros(200)),
+        },
+        Injection {
+            site: FaultSite::Sync,
+            nth: 3,
+            action: FaultAction::Stall(Duration::from_micros(100)),
+        },
+    ]);
+    for workers in [2usize, 4] {
+        let armed = plan.armed();
+        let pool = pool_with(workers, &armed);
+        for workload in WORKLOADS {
+            let outcome = run_case(&pool, || workload.run());
+            assert_eq!(
+                outcome,
+                Outcome::Completed(workload.expected()),
+                "{workers}w {}",
+                workload.name()
+            );
+        }
+        let metrics = pool.metrics();
+        assert_eq!(metrics.stalls_injected, armed.fired_count() as u64);
+        assert_eq!(metrics.faults_injected, metrics.stalls_injected);
+    }
+}
+
+/// At one worker the structural sites are deterministic: replaying the
+/// same plan (round-tripped through its JSON) yields the identical
+/// outcome, occurrence counts included.
+#[test]
+fn structural_sites_replay_identically_from_json() {
+    let _serial = serial();
+    let structural = [FaultSite::Spawn, FaultSite::Sync, FaultSite::LoopChunk];
+    for site in structural {
+        for nth in [1u64, 2, 4] {
+            let plan = FaultPlan::single(site, nth, FaultAction::Panic);
+            let replayed = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+            let run_once = |p: &FaultPlan| {
+                let armed = p.armed();
+                let pool = pool_with(1, &armed);
+                let outcome = run_case(&pool, || {
+                    if site == FaultSite::LoopChunk {
+                        let mut acc = 0u64;
+                        let total = cilk::runtime::map_reduce_index(
+                            0..256,
+                            Grain::Explicit(16),
+                            || 0u64,
+                            |i| i as u64,
+                            |a, b| a + b,
+                        );
+                        acc = acc.wrapping_add(total);
+                        acc
+                    } else {
+                        fib_cutoff(12, 6)
+                    }
+                });
+                (outcome, armed.occurrences(site), armed.fired_count())
+            };
+            let first = run_once(&plan);
+            let second = run_once(&replayed);
+            assert_eq!(first, second, "site {site}, nth {nth}");
+            assert_eq!(cilk::hyper::live_views(), 0);
+        }
+    }
+}
+
+/// A worker that "dies" parks gracefully: the in-flight computation still
+/// completes correctly, and — with `stall_timeout` set — the next install
+/// on the now-empty pool reports [`RuntimeStalled`] instead of hanging.
+#[test]
+fn dead_worker_turns_next_install_into_runtime_stalled() {
+    let _serial = serial();
+    let plan = FaultPlan::single(FaultSite::Spawn, 1, FaultAction::Die);
+    let armed = plan.armed();
+    let config = Config::new()
+        .num_workers(1)
+        .fault_handler(armed.as_handler())
+        .stall_timeout(Duration::from_millis(40));
+    let pool = ThreadPool::with_config(config).expect("pool builds");
+
+    // The computation in flight when the fault fires must finish — death
+    // is deferred to the top of the scheduling loop.
+    let result = pool.install(|| fib_cutoff(12, 6));
+    assert_eq!(result, fib_serial(12));
+    assert!(armed.exhausted());
+
+    let stalled: Result<u64, RuntimeStalled> = pool.try_install(|| 7);
+    let err = stalled.expect_err("the only worker is dead; nothing can run the job");
+    assert_eq!(err.workers, 1);
+    assert_eq!(err.workers_died, 1);
+    assert!(err.waited >= Duration::from_millis(40));
+    let msg = err.to_string();
+    assert!(msg.contains("stalled"), "{msg}");
+
+    let metrics = pool.metrics();
+    assert_eq!(metrics.workers_died, 1);
+    drop(pool); // a dead worker must not block pool teardown
+}
+
+/// Worker death at 4 workers degrades capacity but not correctness, and
+/// the pool still terminates.
+#[test]
+fn worker_death_degrades_gracefully_at_four_workers() {
+    let _serial = serial();
+    let plan = FaultPlan::with_injections(vec![
+        Injection { site: FaultSite::Steal, nth: 2, action: FaultAction::Die },
+        Injection { site: FaultSite::Spawn, nth: 5, action: FaultAction::Die },
+    ]);
+    let armed = plan.armed();
+    let pool = pool_with(4, &armed);
+    for workload in WORKLOADS {
+        let outcome = run_case(&pool, || workload.run());
+        assert_eq!(outcome, Outcome::Completed(workload.expected()), "{}", workload.name());
+    }
+    // Both injections fired, but they may have picked the same worker
+    // (which can only die once), and a doomed worker parks at its next
+    // top-of-loop, not instantly — so wait for at least one death and
+    // bound by the number of fired injections.
+    let fired = armed.fired_count() as u64;
+    assert!(fired >= 1, "the workloads reach steal #2 and spawn #5 at 4 workers");
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while pool.metrics().workers_died == 0 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let died = pool.metrics().workers_died;
+    assert!(
+        (1..=fired).contains(&died),
+        "expected 1..={fired} dead workers, saw {died}"
+    );
+    drop(pool);
+}
