@@ -46,6 +46,24 @@ echo "== cilkscreen CLI smoke: workload expectations must hold =="
 cargo run -q --release --offline -p cilk-workloads --bin cilkscreen -- \
     --check --workers 2 --json target/cilkscreen/ci-report.json
 
+echo "== probe smoke: zero-consumer overhead contract =="
+# A fresh process that never registers a probe consumer: the scheduler
+# must run entirely on the one-atomic-load fast path and produce the
+# seed runtime's exact metrics (docs/probe.md's overhead contract).
+cargo run -q --release --offline -p cilk-bench --bin probe_smoke
+
+echo "== Fig. 3 from a real trace: regenerate + schema diff =="
+# fig3_qsort_profile runs the real cilk_workloads::qsort on a multi-worker
+# pool under Cilkview::profile_runtime, asserts 1-worker and
+# serial-elision profiles agree exactly, cross-checks the recorded dag
+# against the work-stealing simulator, and writes the speedup-profile
+# JSON. The key set is pinned: a schema drift fails CI here.
+cargo run -q --release --offline -p cilk-bench --bin fig3_qsort_profile > /dev/null
+grep -o '"[a-z_]*":' target/cilkview/fig3_real_run.json | sort -u \
+    | diff -u scripts/fig3_schema.txt - \
+    || { echo "fig3_real_run.json schema drifted from scripts/fig3_schema.txt"; exit 1; }
+echo "target/cilkview/fig3_real_run.json schema OK"
+
 echo "== bench harness compiles =="
 cargo build --offline --benches --workspace
 

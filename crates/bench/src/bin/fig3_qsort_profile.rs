@@ -7,17 +7,23 @@
 //!
 //! 1. **analytic dag** at the paper's exact n = 100,000,000 (a coarse
 //!    strand dag from the quicksort recurrence with random pivots);
-//! 2. **instrumented run** of the real parallel quicksort recursion at
-//!    n = 1,000,000 under the `cilkview` analyzer.
+//! 2. **real run**: the actual `cilk_workloads::qsort` executed on a
+//!    multi-worker pool, measured online by the runtime's strand profiler
+//!    through `Cilkview::profile_runtime` — no re-modelling. The same
+//!    execution is measured again at 1 worker and as the serial elision
+//!    (`profile_elision`); all three must agree *exactly*, and the
+//!    recorded dag replays through the work-stealing simulator.
 //!
-//! It also cross-validates the profile against the work-stealing
-//! simulator: measured speedup must land between the burdened lower bound
-//! and the upper bound for every P. Pass `--burden <units>` to sweep the
-//! ablation of DESIGN.md §choice 3.
+//! The real-run speedup profile is written as JSON to
+//! `target/cilkview/fig3_real_run.json` (schema pinned by
+//! `scripts/fig3_schema.txt`, diffed in `ci.sh`). Pass `--burden <units>`
+//! to sweep the ablation of DESIGN.md §choice 3.
 
 use cilk_dag::schedule::{work_stealing, WsConfig};
 use cilk_dag::workload::qsort_sp;
-use cilkview::{charge, Cilkview};
+use cilk_testkit::Rng;
+use cilk_workloads::{qsort, qsort_serial};
+use cilkview::Cilkview;
 
 fn main() {
     let burden: u64 = std::env::args()
@@ -27,7 +33,7 @@ fn main() {
         .unwrap_or(15_000);
 
     analytic_profile(burden);
-    instrumented_profile(burden);
+    real_run_profile(burden);
     simulator_check();
 }
 
@@ -64,40 +70,97 @@ fn analytic_profile(burden: u64) {
     println!("wrote artifacts/fig3_analytic.csv");
 }
 
-fn instrumented_profile(burden: u64) {
-    cilk_bench::section("Fig. 3 (instrumented run): qsort on n = 1,000,000");
-    // The real recursion, instrumented: partition charges its range
-    // length, leaves charge m·lg m.
-    fn qsort_profiled(n: u64, grain: u64, seed: u64) {
-        if n <= grain {
-            let lg = 64 - n.max(2).leading_zeros() as u64;
-            charge(n * lg);
-            return;
-        }
-        charge(n); // partition
-        let left = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let split = left % n;
-        cilkview::join(
-            || qsort_profiled(split.max(1), grain, left ^ 0x9E37),
-            || qsort_profiled((n - 1 - split).max(1), grain, left ^ 0x79B9),
-        );
-    }
-    let ((), profile) = Cilkview::new().burden(burden).profile(|| {
-        qsort_profiled(1_000_000, 2_048, 42);
-    });
+fn random_vec(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1_000_000_000..1_000_000_000)).collect()
+}
+
+fn pool(workers: usize) -> cilk::ThreadPool {
+    cilk::ThreadPool::with_config(cilk::Config::new().num_workers(workers)).expect("pool")
+}
+
+fn real_run_profile(burden: u64) {
+    const N: usize = 200_000;
+    const WORKERS: usize = 8;
+    cilk_bench::section("Fig. 3 (real run): cilk_workloads::qsort on n = 200,000, 8 workers");
+
+    // The actual parallel quicksort on a multi-worker pool, measured by
+    // the probe layer's strand profiler: partition charges its range
+    // length, base-case sorts charge n·lg n (instrumentation lives in the
+    // workload itself).
+    let input = random_vec(N, 42);
+    let view = Cilkview::new().burden(burden).record_dag();
+    let mut v = input.clone();
+    let ((), profile) = view.profile_runtime(&pool(WORKERS), || qsort(&mut v));
+    assert!(v.windows(2).all(|w| w[0] <= w[1]), "profiled run must still sort");
     println!(
-        "work {}  span {}  parallelism {:.2}  spawns {}",
+        "work {}  span {}  parallelism {:.2}  burdened par. {:.2}  spawns {}",
         profile.work,
         profile.span,
         profile.parallelism(),
+        profile.burdened_parallelism(),
         profile.spawns
     );
+
+    // Acceptance checks: the same execution measured at 1 worker and as
+    // the serial elision must agree exactly — the strand profiler is
+    // schedule-independent.
+    let mut v1 = input.clone();
+    let ((), at_one) = view.profile_runtime(&pool(1), || qsort(&mut v1));
+    assert_eq!(at_one, profile, "1-worker profile must equal the 8-worker profile");
+    let mut ve = input.clone();
+    let ((), elided) = view.profile_elision(|| qsort(&mut ve));
+    assert_eq!(elided, profile, "serial-elision profile must equal the runtime profile");
+    println!("1-worker and serial-elision measurements agree exactly ✓");
+
+    // The hand-written serial quicksort charges the same costs: its total
+    // work (measured through the elision profiler, where span == work
+    // trivially bounds nothing) must match the parallel version's work.
+    let mut vs = input.clone();
+    let ((), serial) = view.profile_elision(|| qsort_serial(&mut vs));
+    assert_eq!(serial.work, profile.work, "identical charges in qsort_serial");
+
+    // Cross-check against the dag simulator: replay the *recorded* real
+    // execution at each P; measured speedup must respect the bounds.
+    let dag = profile.dag.as_ref().expect("record_dag was on");
+    assert_eq!(dag.work(), profile.work);
+    assert_eq!(dag.span(), profile.span);
+    println!("{:>3} {:>12} {:>9} {:>9}", "P", "T_P (sim)", "speedup", "upper");
+    for p in [1usize, 2, 4, 8, 16] {
+        let s = work_stealing(dag, &WsConfig::new(p).steal_burden(100).seed(1));
+        let upper = (p as f64).min(profile.parallelism());
+        println!(
+            "{:>3} {:>12} {:>9.2} {:>9.2}",
+            p,
+            s.makespan,
+            s.speedup(profile.work),
+            upper
+        );
+        assert!(
+            s.speedup(profile.work) <= upper + 1e-9,
+            "simulated replay of the real run must respect the upper bound"
+        );
+    }
+
+    // The machine-readable Fig. 3 artifact, from the real trace.
     let table = profile.speedup_profile(16);
     println!("\n{table}");
+    let json = format!(
+        "{{\n\"schema\": \"cilkview-fig3-v1\",\n\"workload\": \"qsort\",\n\
+         \"n\": {N},\n\"workers\": {WORKERS},\n\"burden\": {burden},\n\
+         \"burdened_span\": {},\n\"spawns\": {},\n\"profile\": {}\n}}\n",
+        profile.burdened_span,
+        profile.spawns,
+        table.to_json()
+    );
+    std::fs::create_dir_all("target/cilkview").expect("create target/cilkview");
+    std::fs::write("target/cilkview/fig3_real_run.json", json)
+        .expect("write fig3_real_run.json");
+    println!("wrote target/cilkview/fig3_real_run.json");
     std::fs::create_dir_all("artifacts").expect("create artifacts dir");
-    std::fs::write("artifacts/fig3_instrumented.csv", table.to_csv())
-        .expect("write fig3_instrumented.csv");
-    println!("wrote artifacts/fig3_instrumented.csv");
+    std::fs::write("artifacts/fig3_real_run.csv", table.to_csv())
+        .expect("write fig3_real_run.csv");
+    println!("wrote artifacts/fig3_real_run.csv");
 }
 
 fn simulator_check() {

@@ -1,0 +1,87 @@
+//! Probe-overhead smoke check, run by `ci.sh`.
+//!
+//! This binary is a fresh process that never registers a probe consumer,
+//! so it certifies the probe layer's disabled-cost contract end to end:
+//!
+//! * the global gate mask is empty and stays empty — every emission site
+//!   in the scheduler ran as one relaxed atomic load;
+//! * scheduler behaviour through the probe seams is unchanged: a 1-worker
+//!   fib run produces exactly the spawn counts the pre-probe runtime
+//!   produced (spawns = internal calls, every continuation popped back
+//!   inline, zero steals);
+//! * the per-pool metrics counters — now fed as `ProbeEvent` translations
+//!   — report the identical numbers.
+//!
+//! Timing is printed informationally; assertions are count-based so the
+//! check is deterministic on loaded CI machines.
+
+use std::time::Instant;
+
+use cilk_runtime::probe;
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = cilk_runtime::join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+/// Number of `join` calls fib(n) executes: one per internal call.
+fn join_count(n: u64) -> u64 {
+    if n < 2 {
+        0
+    } else {
+        join_count(n - 1) + join_count(n - 2) + 1
+    }
+}
+
+fn main() {
+    cilk_bench::section("probe smoke: zero-consumer fast path");
+
+    assert_eq!(
+        probe::consumer_count(),
+        0,
+        "a fresh process must start with no probe consumers"
+    );
+    assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
+    assert!(!probe::enabled(probe::EventMask::ALL), "no group may be enabled");
+
+    const N: u64 = 21;
+    let expected_spawns = join_count(N);
+
+    let pool = cilk_runtime::ThreadPool::with_config(
+        cilk_runtime::Config::new().num_workers(1),
+    )
+    .expect("pool");
+    let start = Instant::now();
+    let v = pool.install(|| fib(N));
+    let elapsed = start.elapsed();
+    assert_eq!(v, 10946);
+
+    let m = pool.metrics();
+    println!("fib({N}) on 1 worker: {elapsed:?}");
+    println!(
+        "spawns {}  inline_pops {}  steals {}",
+        m.spawns, m.inline_pops, m.steals
+    );
+    assert_eq!(
+        m.spawns, expected_spawns,
+        "metrics through the probe seam must match the join count"
+    );
+    assert_eq!(
+        m.inline_pops, m.spawns,
+        "at 1 worker every continuation is popped back inline"
+    );
+    assert_eq!(m.steals, 0, "a single worker cannot steal");
+
+    // The run itself must not have registered anything.
+    assert_eq!(probe::consumer_count(), 0);
+    assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
+    assert!(
+        !probe::strand_session_active(),
+        "no strand-profiling frame may be live outside a session"
+    );
+
+    println!("probe smoke: all disabled-cost invariants hold");
+}

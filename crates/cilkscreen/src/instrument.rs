@@ -5,24 +5,28 @@
 //! The real Cilkscreen "uses dynamic instrumentation to intercept every
 //! load and store executed at user level" and runs the program serially
 //! under its own scheduler (§4). This module assembles the Rust
-//! equivalent from three seams:
+//! equivalent from the platform's unified probe layer
+//! ([`cilk_runtime::probe`]) plus self-reporting shadow data:
 //!
-//! * **Structure** — [`run_monitored`] installs the `cilk-runtime`
-//!   scheduler hooks (`cilk_runtime::hooks`). While a session is active on
-//!   the current thread, every `join`/`scope`/`cilk_for` runs as its
-//!   serial elision *inline*, emitting the spawn/return/sync events the
-//!   SP-bags algorithm consumes. The program under test is unmodified
-//!   production code.
+//! * **Structure** — [`run_monitored`] registers the detector as a
+//!   *serial-capture* probe consumer. While a session is active on the
+//!   current thread, every `join`/`scope`/`cilk_for` runs as its serial
+//!   elision *inline*, emitting the pedigree-stamped
+//!   `SpawnBegin`/`SpawnEnd`/`Sync` events the SP-bags algorithm
+//!   consumes. The program under test is unmodified production code, and
+//!   because probe consumers compose, a Cilkscreen session coexists with
+//!   metrics, fault logging, or a Cilkview profile of the same process.
 //! * **Memory** — loads and stores cannot be intercepted at the binary
 //!   level in safe Rust, so tracked data ([`Shadow`], [`ShadowSlice`])
 //!   reports its own accesses to shadow memory, like the `RefCell`-based
 //!   [`crate::TraceCell`]/[`crate::TraceVec`] but `Sync`, so real
 //!   (potentially parallel) runtime closures can capture them.
-//! * **Suppression** — `cilk::sync::Mutex` reports lock acquire/release
-//!   events ([`lock_acquired`]/[`lock_released`]) feeding the ALL-SETS
-//!   lockset logic, and `cilk-hyper` brackets every reducer-view access
-//!   with the view hooks so the detector "ignore[s] apparent races due to
-//!   reducers" (§5).
+//! * **Suppression** — `cilk::sync::Mutex` emits `LockAcquired`/
+//!   `LockReleased` probe events feeding the ALL-SETS lockset logic
+//!   (custom locks can call [`lock_acquired`]/[`lock_released`]
+//!   directly), and `cilk-hyper` brackets every reducer-view access with
+//!   `ViewAccessBegin`/`ViewAccessEnd` events so the detector "ignore[s]
+//!   apparent races due to reducers" (§5).
 //!
 //! # Example
 //!
@@ -40,6 +44,9 @@
 //! ```
 
 use std::cell::UnsafeCell;
+use std::sync::{Arc, OnceLock};
+
+use cilk_runtime::probe::{self, EventMask, Probe, ProbeEvent, ProbeHandle};
 
 use crate::detector;
 use crate::report::{Location, LockId, Report};
@@ -47,21 +54,49 @@ use crate::structure::StructureTrace;
 use crate::trace::{fresh_base, STRUCTURE};
 use crate::Detector;
 
-/// Installs the scheduler and reducer-view hook tables (idempotent; first
-/// installation wins process-wide, and the hooks are inert on any thread
-/// without an active session).
+/// The detector as one probe consumer. `serial_capture` makes monitored
+/// constructs run as their serial elision on session threads; structure,
+/// reducer-view and lock events map onto the SP-bags session state.
+struct ScreenProbe;
+
+impl Probe for ScreenProbe {
+    fn mask(&self) -> EventMask {
+        EventMask::STRAND | EventMask::VIEW | EventMask::LOCK
+    }
+
+    fn serial_capture(&self) -> bool {
+        true
+    }
+
+    fn active(&self) -> bool {
+        detector::session_active()
+    }
+
+    fn on_event(&self, event: &ProbeEvent) {
+        match *event {
+            ProbeEvent::SpawnBegin { .. } => detector::session_spawn(),
+            ProbeEvent::SpawnEnd { .. } => detector::session_return(),
+            ProbeEvent::Sync { .. } => detector::session_sync(),
+            ProbeEvent::ViewAccessBegin { reducer } => detector::view_enter(reducer),
+            ProbeEvent::ViewAccessEnd { reducer } => detector::view_exit(reducer),
+            ProbeEvent::LockAcquired { lock } => detector::session_lock_acquired(LockId(lock)),
+            ProbeEvent::LockReleased { lock } => detector::session_lock_released(LockId(lock)),
+            _ => {}
+        }
+    }
+}
+
+/// The process-wide registration of [`ScreenProbe`] (the consumer is
+/// inert on threads without an active session, so it is registered once
+/// and kept).
+static DETECTOR_PROBE: OnceLock<ProbeHandle> = OnceLock::new();
+
+/// Registers the detector probe consumer (idempotent) and resets the
+/// current thread's pedigree tracker, so strand stamps replay identically
+/// across repeated monitoring sessions.
 fn install_hooks() {
-    cilk_runtime::hooks::install(cilk_runtime::hooks::SchedulerHooks {
-        active: detector::session_active,
-        spawn_begin: detector::session_spawn,
-        spawn_end: detector::session_return,
-        sync: detector::session_sync,
-    });
-    cilk_hyper::hooks::install(cilk_hyper::hooks::ViewHooks {
-        active: detector::session_active,
-        enter: detector::view_enter,
-        exit: detector::view_exit,
-    });
+    DETECTOR_PROBE.get_or_init(|| probe::register(Arc::new(ScreenProbe)));
+    probe::pedigree_reset();
 }
 
 /// Runs real platform code under the race detector and returns its value

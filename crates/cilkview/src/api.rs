@@ -1,7 +1,24 @@
-//! Instrumented control constructs and the `profile` entry point.
+//! Instrumented control constructs and the `profile` entry points.
+//!
+//! Three ways to measure the same program:
+//!
+//! * [`Cilkview::profile`] — the original analyzer: parallel structure is
+//!   declared through this crate's [`join`] / [`for_each_index`], measures
+//!   travel through return values.
+//! * [`Cilkview::profile_runtime`] — the probe-layer path: runs ordinary
+//!   `cilk::join`/`scope` code **in parallel on a real pool** while the
+//!   runtime's strand profiler records work and span online. No special
+//!   control constructs; just [`charge`] costs.
+//! * [`Cilkview::profile_elision`] — the same probe-layer measurement of
+//!   the program's **serial elision**: a serial-capture probe consumer
+//!   switches every spawning construct to depth-first serial execution on
+//!   the calling thread. Work and span come out *identical* to
+//!   `profile_runtime` at any worker count — the acceptance criterion the
+//!   probe refactor is held to.
 
 use crate::profile::Profile;
 use crate::theta::{self, Theta};
+use cilk_runtime::probe::{self, SpShape, StrandProfile};
 
 /// Configuration of the analyzer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +72,144 @@ impl Cilkview {
         let result = f();
         let t = theta::pop();
         (result, profile_from(t))
+    }
+
+    /// The [`probe::ProfileSpec`] equivalent of this configuration.
+    fn strand_spec(&self) -> probe::ProfileSpec {
+        probe::ProfileSpec::new().burden(self.burden).record_shape(self.record_dag)
+    }
+
+    /// Runs `f` **in parallel on `pool`** and measures it through the
+    /// runtime's strand profiler: every `cilk::join`, `scope` task and
+    /// `cilk_for` chunk carries its measurement frame to whichever worker
+    /// executes it, so the recorded work and span are exact and
+    /// schedule-independent — the same numbers at 1 worker, at 8, and as
+    /// [`Cilkview::profile_elision`] reports for the serial elision.
+    ///
+    /// Costs are the units passed to [`charge`] (which feeds both this
+    /// profiler and [`Cilkview::profile`], so a workload instruments
+    /// once). With [`Cilkview::record_dag`], the full series-parallel dag
+    /// of the *real execution* is recorded for replay through the
+    /// `cilk_dag` schedule simulators.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cilkview::{charge, Cilkview};
+    ///
+    /// let pool = cilk_runtime::ThreadPool::with_config(
+    ///     cilk_runtime::Config::new().num_workers(2),
+    /// )
+    /// .expect("pool");
+    /// let (_, profile) = Cilkview::new().profile_runtime(&pool, || {
+    ///     cilk_runtime::join(|| charge(60), || charge(40));
+    /// });
+    /// assert_eq!(profile.work, 100);
+    /// assert_eq!(profile.span, 60);
+    /// ```
+    pub fn profile_runtime<OP, R>(&self, pool: &cilk_runtime::ThreadPool, op: OP) -> (R, Profile)
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let spec = self.strand_spec();
+        let (result, measured) = pool.install(move || probe::profile_strands(spec, op));
+        (result, profile_from_strands(measured))
+    }
+
+    /// Measures the **serial elision** of `f`: a serial-capture probe
+    /// consumer is registered for the duration of the call, so every
+    /// spawning construct on this thread runs its depth-first serial
+    /// schedule (spawn = call, sync = no-op) while the strand profiler
+    /// still records the *parallel* structure. Pedigree stamps are reset
+    /// at session start, so repeated elision sessions are deterministic.
+    ///
+    /// Work and span equal those of [`Cilkview::profile_runtime`] on the
+    /// same (deterministic) computation at any worker count; the tier-1
+    /// suite asserts exact equality for quicksort.
+    pub fn profile_elision<R>(&self, f: impl FnOnce() -> R) -> (R, Profile) {
+        let session = elision::Session::begin();
+        probe::pedigree_reset();
+        let (result, measured) = probe::profile_strands(self.strand_spec(), f);
+        drop(session);
+        (result, profile_from_strands(measured))
+    }
+}
+
+/// The serial-elision probe consumer: no events, no delivery — just the
+/// serial-capture gate, active only on threads currently inside a
+/// [`Cilkview::profile_elision`] call.
+mod elision {
+    use std::cell::Cell;
+    use std::sync::Arc;
+
+    use cilk_runtime::probe::{self, EventMask, Probe, ProbeEvent, ProbeHandle};
+
+    thread_local! {
+        /// Nesting depth of elision sessions on this thread.
+        static DEPTH: Cell<u32> = const { Cell::new(0) };
+    }
+
+    struct ElisionProbe;
+
+    impl Probe for ElisionProbe {
+        fn mask(&self) -> EventMask {
+            EventMask::NONE
+        }
+
+        fn serial_capture(&self) -> bool {
+            true
+        }
+
+        fn active(&self) -> bool {
+            DEPTH.with(Cell::get) > 0
+        }
+
+        fn on_event(&self, _event: &ProbeEvent) {}
+    }
+
+    /// RAII elision session: registration on begin, deregistration (and
+    /// depth restore) on drop — panic-safe, and the process returns to
+    /// the zero-consumer fast path after every session.
+    pub(super) struct Session {
+        _handle: ProbeHandle,
+    }
+
+    impl Session {
+        pub(super) fn begin() -> Session {
+            DEPTH.with(|d| d.set(d.get() + 1));
+            Session { _handle: probe::register(Arc::new(ElisionProbe)) }
+        }
+    }
+
+    impl Drop for Session {
+        fn drop(&mut self) {
+            DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+}
+
+/// Converts a runtime-recorded [`SpShape`] into the dag model's
+/// [`cilk_dag::Sp`] (the runtime cannot depend on `cilk-dag`, so the
+/// bridge lives here).
+fn sp_from_shape(shape: SpShape) -> cilk_dag::Sp {
+    match shape {
+        SpShape::Leaf(cost) => cilk_dag::Sp::leaf(cost),
+        SpShape::Series(items) => cilk_dag::Sp::series_of(items.into_iter().map(sp_from_shape)),
+        SpShape::Par(a, b) => cilk_dag::Sp::par(sp_from_shape(*a), sp_from_shape(*b)),
+    }
+}
+
+/// Converts the strand profiler's output into a [`Profile`]. Regions are
+/// a `profile()`-path feature; the probe path leaves the table empty.
+fn profile_from_strands(p: StrandProfile) -> Profile {
+    Profile {
+        work: p.work,
+        span: p.span,
+        burdened_span: p.burdened_span,
+        spawns: p.spawns,
+        regions: Vec::new(),
+        dag: p.shape.map(sp_from_shape),
     }
 }
 
@@ -327,6 +482,82 @@ mod tests {
         // Heaviest region first.
         assert_eq!(p.regions[0].0, "body");
         assert!(p.region_report().contains("body"));
+    }
+
+    fn pool(workers: usize) -> cilk_runtime::ThreadPool {
+        cilk_runtime::ThreadPool::with_config(cilk_runtime::Config::new().num_workers(workers))
+            .expect("pool")
+    }
+
+    /// The real (un-instrumented-control-flow) quicksort shape: charges
+    /// only, parallel structure from `cilk_runtime::join`.
+    fn charged_fib(n: u64) -> u64 {
+        charge(1);
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = cilk_runtime::join(|| charged_fib(n - 1), || charged_fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn profile_runtime_measures_real_parallel_execution() {
+        let p8 = pool(4);
+        let (v, profile) = Cilkview::new().burden(7).profile_runtime(&p8, || charged_fib(12));
+        assert_eq!(v, 144);
+        assert_eq!(profile.work, 2 * 233 - 1, "one charge per call");
+        assert_eq!(profile.span, 12);
+        assert_eq!(profile.spawns, 232);
+        assert_eq!(profile.burdened_span, 12 + 7 * 11);
+    }
+
+    #[test]
+    fn runtime_profile_is_identical_at_any_worker_count() {
+        let view = Cilkview::new().burden(100);
+        let (_, at1) = view.profile_runtime(&pool(1), || charged_fib(11));
+        let (_, at4) = view.profile_runtime(&pool(4), || charged_fib(11));
+        assert_eq!(at1, at4, "work/span must be schedule-independent");
+    }
+
+    #[test]
+    fn elision_profile_equals_runtime_profile() {
+        let view = Cilkview::new().burden(13);
+        let (v, serial) = view.profile_elision(|| charged_fib(11));
+        assert_eq!(v, 89);
+        let (_, parallel) = view.profile_runtime(&pool(4), || charged_fib(11));
+        assert_eq!(
+            serial, parallel,
+            "the serial elision and the real parallel run measure the same dag"
+        );
+        // After the session the elision consumer is deregistered.
+        assert!(!cilk_runtime::probe::strand_session_active());
+    }
+
+    #[test]
+    fn recorded_runtime_dag_replays_in_simulator() {
+        let (_, profile) =
+            Cilkview::new().record_dag().profile_runtime(&pool(4), || charged_fib(10));
+        let dag = profile.dag.as_ref().expect("dag recorded");
+        assert_eq!(dag.work(), profile.work);
+        assert_eq!(dag.span(), profile.span);
+        assert_eq!(dag.spawn_count(), profile.spawns);
+        let sim = cilk_dag::schedule::greedy(&dag.to_dag(), 4);
+        assert!(sim.makespan >= dag.span() && sim.makespan <= dag.work());
+    }
+
+    #[test]
+    fn profile_runtime_measures_scope_tasks() {
+        let ((), p) = Cilkview::new().burden(5).profile_runtime(&pool(2), || {
+            cilk_runtime::scope(|s| {
+                for cost in [10u64, 20, 30] {
+                    s.spawn(move |_| charge(cost));
+                }
+                charge(4);
+            });
+        });
+        assert_eq!(p.work, 64);
+        assert_eq!(p.span, 30);
+        assert_eq!(p.spawns, 3);
     }
 
     #[test]

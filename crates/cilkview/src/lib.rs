@@ -7,15 +7,24 @@
 //! * [`Cilkview::profile`] runs instrumented code once and measures its
 //!   work T₁, span T∞, **burdened** span (span plus per-spawn scheduling
 //!   cost), and spawn count;
+//! * [`Cilkview::profile_runtime`] measures ordinary `cilk` code running
+//!   **in parallel on a real pool**, through the runtime probe layer's
+//!   strand profiler — schedule-independent by construction;
+//! * [`Cilkview::profile_elision`] measures the same program's serial
+//!   elision (a serial-capture probe consumer runs every spawn
+//!   depth-first) and agrees exactly with `profile_runtime`;
 //! * [`Profile::speedup_profile`] turns the measures into the exact
 //!   content of the paper's Figure 3: the slope-1 Work-Law line, the
 //!   horizontal Span-Law ceiling at T₁/T∞, and the estimated lower-bound
 //!   curve from burdened parallelism.
 //!
 //! Work is charged explicitly with [`charge`] (deterministic, unlike
-//! wall-clock timing on a time-shared machine); parallel structure is
-//! declared with the instrumented [`join`] / [`for_each_index`], which
-//! execute on the real work-stealing runtime while they measure.
+//! wall-clock timing on a time-shared machine); one `charge` call feeds
+//! every measurement path. Under [`Cilkview::profile`], parallel
+//! structure is declared with the instrumented [`join`] /
+//! [`for_each_index`]; the probe-layer paths record the structure of
+//! plain `cilk_runtime::join` / `scope` / `cilk_for` executions
+//! directly.
 //!
 //! # Example
 //!

@@ -144,6 +144,31 @@ impl SpeedupProfile {
 }
 
 impl SpeedupProfile {
+    /// Renders the profile as a JSON object — the machine-readable Fig. 3
+    /// artifact `ci.sh` regenerates from a real execution and diffs
+    /// against `scripts/fig3_schema.txt`. Hand-rolled (the workspace is
+    /// hermetic, no serde); keys are stable schema.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"work\": {},\n  \"span\": {},\n  \"parallelism\": {:.4},\n  \"rows\": [",
+            self.work,
+            self.span,
+            self.work as f64 / self.span.max(1) as f64
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"p\": {}, \"work_law\": {:.4}, \"span_law\": {:.4}, \
+                 \"upper\": {:.4}, \"burdened_lower\": {:.4}}}",
+                r.p, r.work_law, r.span_law, r.upper, r.burdened_lower
+            ));
+        }
+        out.push_str("\n  ]\n}");
+        out
+    }
+
     /// Renders the profile as CSV (`p,work_law,span_law,upper,
     /// burdened_lower` rows), suitable for plotting Fig. 3 directly.
     pub fn to_csv(&self) -> String {
@@ -237,6 +262,18 @@ mod tests {
         assert_eq!(lines.len(), 5);
         assert!(lines[0].starts_with("p,work_law"));
         assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    fn json_has_stable_keys_and_rows() {
+        let json = sample().speedup_profile(3).to_json();
+        for key in ["\"work\":", "\"span\":", "\"parallelism\":", "\"rows\":",
+                    "\"p\":", "\"work_law\":", "\"span_law\":", "\"upper\":",
+                    "\"burdened_lower\":"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("\"p\":").count(), 3);
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
     #[test]

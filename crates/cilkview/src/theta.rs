@@ -161,10 +161,16 @@ pub(crate) fn with_current(f: impl FnOnce(&mut Theta)) -> bool {
 
 /// Charges `units` of work to the currently profiled strand.
 ///
-/// Outside any [`crate::profile`] call this is a no-op, so library code can
-/// charge unconditionally.
+/// One call feeds **both** measurement paths: the analyzer's own
+/// accumulator (under [`crate::Cilkview::profile`]) and the runtime's
+/// strand profiler (under [`crate::Cilkview::profile_runtime`] /
+/// [`profile_elision`](crate::Cilkview::profile_elision)), so a workload
+/// instruments once and is measurable every way. Outside any profiling
+/// session both sides are a cheap no-op (one thread-local read each), so
+/// library code can charge unconditionally.
 pub fn charge(units: u64) {
     let _ = with_current(|theta| theta.charge(units));
+    cilk_runtime::probe::charge(units);
 }
 
 #[cfg(test)]

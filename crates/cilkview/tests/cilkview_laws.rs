@@ -1,0 +1,156 @@
+//! Property-based laws of the Cilkview analyzers over random
+//! series-parallel programs, executed on the **real runtime** and
+//! measured through the probe layer's strand profiler.
+//!
+//! Each random [`Expr`] is an executable program (charges at the leaves,
+//! `cilk_runtime::join` at the parallel nodes), so these laws hold for
+//! actual executions, not a model:
+//!
+//! * work = the sum of all charges, span ≤ work;
+//! * measured span equals the series-parallel recurrence on the tree;
+//! * parallelism is monotone under added parallel slack;
+//! * the serial-elision profile equals the runtime-recorded profile at
+//!   1 worker (and the recorded dag agrees with both).
+
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+use cilk_testkit::forall;
+use cilk_testkit::prop::{map, recursive, weighted, SharedGen};
+use cilkview::Cilkview;
+
+/// An executable series-parallel program.
+#[derive(Clone, Debug)]
+enum Expr {
+    Charge(u64),
+    Series(Box<Expr>, Box<Expr>),
+    Par(Box<Expr>, Box<Expr>),
+}
+
+fn expr_gen() -> SharedGen<Expr> {
+    // Leaves charge at least 1 so spans are positive (the monotonicity
+    // law divides by the span).
+    let leaf = || map(1u64..50, Expr::Charge);
+    recursive(5, leaf(), move |inner| {
+        Rc::new(weighted(vec![
+            (2, Rc::new(leaf()) as SharedGen<Expr>),
+            (2, Rc::new(map((inner.clone(), inner.clone()), |(a, b)| {
+                Expr::Series(Box::new(a), Box::new(b))
+            }))),
+            (3, Rc::new(map((inner.clone(), inner), |(a, b)| {
+                Expr::Par(Box::new(a), Box::new(b))
+            }))),
+        ]))
+    })
+}
+
+/// Executes the program on whatever scheduler is current, charging costs.
+fn run(e: &Expr) {
+    match e {
+        Expr::Charge(c) => cilkview::charge(*c),
+        Expr::Series(a, b) => {
+            run(a);
+            run(b);
+        }
+        Expr::Par(a, b) => {
+            cilk_runtime::join(|| run(a), || run(b));
+        }
+    }
+}
+
+/// Expected work: the sum of all charges.
+fn total_charge(e: &Expr) -> u64 {
+    match e {
+        Expr::Charge(c) => *c,
+        Expr::Series(a, b) | Expr::Par(a, b) => total_charge(a) + total_charge(b),
+    }
+}
+
+/// Expected span: the series-parallel recurrence.
+fn expected_span(e: &Expr) -> u64 {
+    match e {
+        Expr::Charge(c) => *c,
+        Expr::Series(a, b) => expected_span(a) + expected_span(b),
+        Expr::Par(a, b) => expected_span(a).max(expected_span(b)),
+    }
+}
+
+/// Number of parallel compositions.
+fn spawn_count(e: &Expr) -> u64 {
+    match e {
+        Expr::Charge(_) => 0,
+        Expr::Series(a, b) => spawn_count(a) + spawn_count(b),
+        Expr::Par(a, b) => spawn_count(a) + spawn_count(b) + 1,
+    }
+}
+
+fn pool(workers: usize) -> &'static cilk_runtime::ThreadPool {
+    static POOLS: OnceLock<(cilk_runtime::ThreadPool, cilk_runtime::ThreadPool)> =
+        OnceLock::new();
+    let (one, four) = POOLS.get_or_init(|| {
+        let mk = |n| {
+            cilk_runtime::ThreadPool::with_config(cilk_runtime::Config::new().num_workers(n))
+                .expect("pool")
+        };
+        (mk(1), mk(4))
+    });
+    if workers == 1 {
+        one
+    } else {
+        four
+    }
+}
+
+forall! {
+    /// Work is the sum of charges; span obeys the SP recurrence and the
+    /// span law (span ≤ work).
+    cases = 64,
+    fn work_is_sum_of_charges_and_span_obeys_recurrence(e in expr_gen()) {
+        let ((), p) = Cilkview::new().profile_elision(|| run(&e));
+        assert_eq!(p.work, total_charge(&e), "work = Σ charges");
+        assert_eq!(p.span, expected_span(&e), "span = SP recurrence");
+        assert_eq!(p.spawns, spawn_count(&e));
+        assert!(p.span <= p.work, "span law");
+        assert!(p.burdened_span >= p.span, "burden only lengthens the path");
+    }
+
+    /// The serial elision and the runtime recording at 1 worker (and at
+    /// 4) measure the identical profile — the probe refactor's
+    /// acceptance criterion, over arbitrary programs.
+    cases = 48,
+    fn elision_equals_runtime_profile_at_any_worker_count(e in expr_gen()) {
+        let view = Cilkview::new().burden(11);
+        let ((), elided) = view.profile_elision(|| run(&e));
+        let ((), at_one) = view.profile_runtime(pool(1), || run(&e));
+        let ((), at_four) = view.profile_runtime(pool(4), || run(&e));
+        assert_eq!(elided, at_one, "elision == 1-worker recording");
+        assert_eq!(at_one, at_four, "schedule independence");
+    }
+
+    /// Adding parallel slack (a parallel branch no longer than the
+    /// current span) never decreases parallelism.
+    cases = 64,
+    fn parallelism_monotone_under_parallel_slack(e in expr_gen()) {
+        let view = Cilkview::new();
+        let ((), before) = view.profile_elision(|| run(&e));
+        let slack = Expr::Par(Box::new(e.clone()), Box::new(Expr::Charge(1)));
+        let ((), after) = view.profile_elision(|| run(&slack));
+        assert_eq!(after.span, before.span.max(1), "slack of 1 cannot stretch the span");
+        assert!(
+            after.parallelism() >= before.parallelism(),
+            "added parallel slack must not reduce parallelism: {} < {}",
+            after.parallelism(),
+            before.parallelism()
+        );
+    }
+
+    /// The recorded dag of a real run agrees with the online measures.
+    cases = 32,
+    fn recorded_dag_agrees_with_online_measures(e in expr_gen()) {
+        let ((), p) = Cilkview::new().record_dag().profile_runtime(pool(4), || run(&e));
+        let dag = p.dag.as_ref().expect("dag recorded");
+        assert_eq!(dag.work(), p.work);
+        assert_eq!(dag.span(), p.span);
+        assert_eq!(dag.spawn_count(), p.spawns);
+    }
+}

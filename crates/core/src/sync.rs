@@ -65,6 +65,16 @@ impl<T: ?Sized> Mutex<T> {
         cilkscreen::LockId(&self.locked as *const AtomicBool as u64)
     }
 
+    /// Reports an acquisition as a [`cilk_runtime::probe::ProbeEvent`]:
+    /// Cilkscreen's detector consumes it for lockset suppression, and any
+    /// other registered `LOCK` consumer sees it too. One relaxed atomic
+    /// load when nobody listens.
+    fn note_acquired(&self) {
+        cilk_runtime::probe::emit(&cilk_runtime::probe::ProbeEvent::LockAcquired {
+            lock: self.lock_id().0,
+        });
+    }
+
     /// Acquires the lock, spinning with exponential backoff until
     /// available, and returns an RAII guard.
     ///
@@ -86,7 +96,7 @@ impl<T: ?Sized> Mutex<T> {
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
-            cilkscreen::instrument::lock_acquired(self.lock_id());
+            self.note_acquired();
             return MutexGuard { mutex: self };
         }
         self.contended.fetch_add(1, Ordering::Relaxed);
@@ -109,7 +119,7 @@ impl<T: ?Sized> Mutex<T> {
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
-                cilkscreen::instrument::lock_acquired(self.lock_id());
+                self.note_acquired();
                 return MutexGuard { mutex: self };
             }
         }
@@ -124,7 +134,7 @@ impl<T: ?Sized> Mutex<T> {
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
-            cilkscreen::instrument::lock_acquired(self.lock_id());
+            self.note_acquired();
             Some(MutexGuard { mutex: self })
         } else {
             None
@@ -193,7 +203,9 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
         // with the acquire even when the guard drops during a panic's
         // unwind: the detector sees acquire/release pairs, never a lock
         // that stays "held" after its guard died.
-        cilkscreen::instrument::lock_released(self.mutex.lock_id());
+        cilk_runtime::probe::emit(&cilk_runtime::probe::ProbeEvent::LockReleased {
+            lock: self.mutex.lock_id().0,
+        });
     }
 }
 

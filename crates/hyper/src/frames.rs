@@ -159,6 +159,9 @@ pub(crate) fn merge_frame_into_current(frame: Frame) {
     // injected panic here drops `frame` whole, so every view dies exactly
     // once on the unwind path and `live_views` stays balanced.
     cilk_runtime::fault::fault_point(cilk_runtime::fault::FaultSite::ViewMerge);
+    cilk_runtime::probe::emit(&cilk_runtime::probe::ProbeEvent::ViewMerge {
+        views: frame.slots.len(),
+    });
     let leftovers = FRAMES.with(|frames| {
         let mut frames = frames.borrow_mut();
         match frames.last_mut() {

@@ -1,20 +1,30 @@
-//! Reducer-view instrumentation hooks — how Cilkscreen learns about §5.
+//! Reducer-view instrumentation hooks — how Cilkscreen learns about §5,
+//! now a compatibility shim over the runtime's probe layer
+//! ([`cilk_runtime::probe`]).
 //!
 //! "The analysis performed by Cilkscreen indicates when the race detector
 //! should ignore apparent races due to reducers" (§5). The real tool
 //! recognizes reducer views in the instrumented binary; the equivalent
-//! seam here is a process-global table of function pointers that a race
-//! detector installs once. Every access to a reducer view — a
-//! [`crate::Reducer::with`] call or an ordered view merge at a join — is
-//! then bracketed by `enter(reducer_id)`/`exit(reducer_id)` on threads the
-//! `active` predicate reports as monitored, so the detector can suppress
-//! the apparent races the view protocol would otherwise surface.
+//! seam here used to be a process-global `OnceLock` table of function
+//! pointers where the first installation won forever. Every view access —
+//! a [`crate::Reducer::with`] call or an ordered view merge at a join —
+//! is now bracketed by [`cilk_runtime::probe::ProbeEvent::ViewAccessBegin`]
+//! / [`ViewAccessEnd`](cilk_runtime::probe::ProbeEvent::ViewAccessEnd)
+//! probe events instead, and each [`ViewHooks`] table installed here is
+//! registered as one probe **consumer** translating those events back
+//! into the table's function pointers.
 //!
-//! Like `cilk_runtime::hooks`, this module knows nothing about the
-//! detector: `cilkscreen::instrument` installs the table, keeping the
-//! dependency pointed one way.
+//! The probe registry gives this seam the guarantees the `OnceLock` could
+//! not: distinct tables compose, repeated sessions are deterministic (a
+//! table installed after another session ended behaves like the first in
+//! the process), and re-installing an identical table is an idempotent
+//! no-op. Consumers that want session-scoped registration should
+//! implement [`cilk_runtime::probe::Probe`] directly — with mask
+//! [`EventMask::VIEW`] — and drop the returned handle.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex};
+
+use cilk_runtime::probe::{self, EventMask, Probe, ProbeEvent, ProbeHandle};
 
 /// The table of reducer-view event hooks a detector installs via
 /// [`install`].
@@ -29,52 +39,82 @@ pub struct ViewHooks {
     pub exit: fn(u64),
 }
 
-static HOOKS: OnceLock<ViewHooks> = OnceLock::new();
-
-/// Installs the process-wide view hooks. The first installation wins;
-/// returns `false` if hooks were already installed (the call is then a
-/// no-op, which makes installation idempotent for a single detector).
-pub fn install(hooks: ViewHooks) -> bool {
-    HOOKS.set(hooks).is_ok()
-}
-
-/// Balanced enter/exit bracket around one view access; exit runs on drop
-/// so the bracket survives panics inside the access closure.
-#[derive(Debug)]
-pub(crate) struct ViewAccess {
-    hooks: &'static ViewHooks,
-    reducer: u64,
-}
-
-impl Drop for ViewAccess {
-    fn drop(&mut self) {
-        (self.hooks.exit)(self.reducer);
+impl PartialEq for ViewHooks {
+    /// Pointer-identity equality, the key that makes re-installation
+    /// idempotent (see `cilk_runtime::hooks` for the caveats).
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::fn_addr_eq(self.active, other.active)
+            && std::ptr::fn_addr_eq(self.enter, other.enter)
+            && std::ptr::fn_addr_eq(self.exit, other.exit)
     }
 }
 
-/// Begins a view access for the detector, if the current thread is
-/// monitored. Hold the returned guard for the duration of the access.
-#[inline]
-pub(crate) fn view_access(reducer: u64) -> Option<ViewAccess> {
-    match HOOKS.get() {
-        Some(hooks) if (hooks.active)() => {
-            (hooks.enter)(reducer);
-            Some(ViewAccess { hooks, reducer })
+impl Eq for ViewHooks {}
+
+/// Probe consumer wrapping one installed [`ViewHooks`] table.
+struct ViewHooksProbe {
+    table: ViewHooks,
+}
+
+impl Probe for ViewHooksProbe {
+    fn mask(&self) -> EventMask {
+        EventMask::VIEW
+    }
+
+    fn active(&self) -> bool {
+        (self.table.active)()
+    }
+
+    fn on_event(&self, event: &ProbeEvent) {
+        match *event {
+            ProbeEvent::ViewAccessBegin { reducer } => (self.table.enter)(reducer),
+            ProbeEvent::ViewAccessEnd { reducer } => (self.table.exit)(reducer),
+            _ => {}
         }
-        _ => None,
     }
+}
+
+/// Tables installed through the compat API, with their registry handles
+/// (held forever: the legacy API had no uninstall).
+static INSTALLED: Mutex<Vec<(ViewHooks, ProbeHandle)>> = Mutex::new(Vec::new());
+
+/// Installs a view-hook table as a probe consumer. Returns `true` if the
+/// table was newly registered, `false` if an identical table (same three
+/// function pointers) was already installed — the call is then a no-op,
+/// keeping per-run installation idempotent for a single detector.
+/// Distinct tables compose.
+pub fn install(hooks: ViewHooks) -> bool {
+    let mut installed = INSTALLED.lock().unwrap_or_else(|e| e.into_inner());
+    if installed.iter().any(|(t, _)| *t == hooks) {
+        return false;
+    }
+    let handle = probe::register(Arc::new(ViewHooksProbe { table: hooks }));
+    installed.push((hooks, handle));
+    true
+}
+
+/// Begins a view access for any active `VIEW` probe consumer. Hold the
+/// returned guard for the duration of the access; one relaxed atomic load
+/// when nobody listens.
+#[inline]
+pub(crate) fn view_access(reducer: u64) -> Option<probe::ViewAccess> {
+    probe::view_access(reducer)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // NOTE: `install` is process-global; like the runtime's hook test,
-    // only an `active = false` table may be installed from tests.
+    // NOTE: `install` is process-global and permanent; like the runtime's
+    // hook test, only an `active = false` table may be installed here.
     #[test]
     fn uninstalled_or_inactive_hooks_do_not_bracket() {
+        let table = ViewHooks { active: || false, enter: |_| {}, exit: |_| {} };
+        let first = install(table);
+        // An inactive table must never bracket accesses.
         assert!(view_access(1).is_none());
-        let _ = install(ViewHooks { active: || false, enter: |_| {}, exit: |_| {} });
-        assert!(view_access(1).is_none());
+        // Re-installing the identical table is an idempotent no-op.
+        assert!(!install(table), "identical table dedupes");
+        let _ = first;
     }
 }

@@ -119,6 +119,19 @@ pub enum FaultAction {
     Die,
 }
 
+impl FaultAction {
+    /// The probe-event kind of a non-`Continue` action (see
+    /// [`crate::probe::ProbeEvent::Fault`]).
+    pub(crate) fn kind(self) -> Option<crate::probe::FaultKind> {
+        match self {
+            FaultAction::Continue => None,
+            FaultAction::Panic => Some(crate::probe::FaultKind::Panic),
+            FaultAction::Stall(_) => Some(crate::probe::FaultKind::Stall),
+            FaultAction::Die => Some(crate::probe::FaultKind::Die),
+        }
+    }
+}
+
 /// A pool-scoped fault decision function. Consulted at every fault point
 /// reached by that pool's workers; must be cheap and deterministic if the
 /// run is to be replayable.
@@ -166,23 +179,20 @@ pub fn fault_point(site: FaultSite) {
 
 /// Applies a fault action on behalf of `wt` (shared by [`fault_point`] and
 /// the steal-site handling in the registry).
+///
+/// Every fired fault is reported as a [`crate::probe::ProbeEvent::Fault`]
+/// through the pool's probe seam, which both updates the pool's
+/// `faults_injected`/`stalls_injected` counters (the metrics consumer)
+/// and reaches any registered global consumer.
 pub(crate) fn apply(wt: &WorkerThread, action: FaultAction, site: FaultSite) {
+    if let Some(kind) = action.kind() {
+        wt.registry().probe(crate::probe::ProbeEvent::Fault { site, kind });
+    }
     match action {
         FaultAction::Continue => {}
-        FaultAction::Panic => {
-            wt.registry().counters.bump(&wt.registry().counters.faults_injected);
-            std::panic::panic_any(InjectedFault { site });
-        }
-        FaultAction::Stall(d) => {
-            let c = &wt.registry().counters;
-            c.bump(&c.faults_injected);
-            c.bump(&c.stalls_injected);
-            std::thread::sleep(d);
-        }
-        FaultAction::Die => {
-            wt.registry().counters.bump(&wt.registry().counters.faults_injected);
-            wt.request_death();
-        }
+        FaultAction::Panic => std::panic::panic_any(InjectedFault { site }),
+        FaultAction::Stall(d) => std::thread::sleep(d),
+        FaultAction::Die => wt.request_death(),
     }
 }
 

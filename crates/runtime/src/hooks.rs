@@ -1,27 +1,41 @@
-//! Scheduler instrumentation hooks — the seam Cilkscreen plugs into.
+//! Legacy scheduler-hook tables, now a compatibility shim over
+//! [`crate::probe`].
 //!
 //! The real Cilkscreen "uses dynamic instrumentation" on the compiled
-//! binary (§4 of the paper); the runtime equivalent here is a small table
-//! of function pointers that a race detector installs once per process.
-//! When the `active` predicate reports that the *current thread* is under
-//! surveillance, [`crate::join`]/[`crate::join_context`], [`crate::scope`]
-//! and everything built on them ([`crate::for_each_index`],
-//! [`crate::map_reduce_index`], the reducer-aware wrappers in
-//! `cilk-hyper`) switch to the **serial elision**: the spawned child runs
-//! immediately on the calling thread, the continuation follows, and the
-//! appropriate `spawn`/`return`/`sync` structure events are emitted to the
-//! detector. That serial, depth-first replay is exactly the execution
-//! order the SP-bags algorithm requires.
+//! binary (§4 of the paper); the runtime equivalent used to be a single
+//! process-wide `OnceLock` table of function pointers, which meant the
+//! first installation won forever: a detector (or test) that installed
+//! after another component had claimed the slot silently got nothing.
+//! The probe layer replaced that seam — every [`SchedulerHooks`] table
+//! installed here is registered as one probe **consumer** translating
+//! [`ProbeEvent::SpawnBegin`]/[`ProbeEvent::SpawnEnd`]/[`ProbeEvent::Sync`]
+//! structure events back into the table's function pointers.
 //!
-//! Threads for which `active` is `false` (every thread, once the monitored
-//! run finishes) pay a single atomic load plus one predicate call per
-//! spawn; with no hooks installed at all, the cost is one atomic load.
+//! # Guarantees (the repeated-session fix)
 //!
-//! This module deliberately knows nothing about the detector: the
-//! dependency points the other way (`cilkscreen::instrument` installs the
-//! hooks), keeping the runtime crate self-contained.
+//! * Installations **compose**: any number of distinct tables can be
+//!   installed and each receives the structure events while its `active`
+//!   predicate holds. Installation order does not matter.
+//! * Installation is **deterministic across sessions**: installing after
+//!   another consumer's session completed behaves exactly like the first
+//!   installation in the process — there is no hidden "slot" to lose.
+//! * Re-installing an identical table (same four function pointers) is
+//!   idempotent and returns `false`, preserving the old API's contract
+//!   for single-detector callers that install once per run.
+//!
+//! Tables installed here live for the rest of the process (the old
+//! behaviour); consumers that want session-scoped registration should
+//! implement [`crate::probe::Probe`] directly and drop the returned
+//! [`crate::probe::ProbeHandle`].
+//!
+//! Threads for which `active` is `false` (every thread, once a monitored
+//! run finishes) pay one atomic load plus one predicate call per spawn;
+//! with no strand consumer registered at all, the cost is one atomic
+//! load — asserted by `tests/probe.rs`.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex};
+
+use crate::probe::{self, EventMask, Probe, ProbeEvent, ProbeHandle};
 
 /// The table of scheduler event hooks a detector installs via [`install`].
 ///
@@ -43,43 +57,104 @@ pub struct SchedulerHooks {
     pub sync: fn(),
 }
 
-static HOOKS: OnceLock<SchedulerHooks> = OnceLock::new();
-
-/// Installs the process-wide scheduler hooks. The first installation wins;
-/// returns `false` if hooks were already installed (the call is then a
-/// no-op, which makes installation idempotent for a single detector).
-pub fn install(hooks: SchedulerHooks) -> bool {
-    HOOKS.set(hooks).is_ok()
+impl PartialEq for SchedulerHooks {
+    /// Tables are equal when all four function pointers are: the identity
+    /// that makes re-installation idempotent. (Pointer identity is an
+    /// approximation — codegen may merge or duplicate functions — but a
+    /// false negative only registers a redundant consumer, and a false
+    /// positive only dedupes behaviourally identical tables.)
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::fn_addr_eq(self.active, other.active)
+            && std::ptr::fn_addr_eq(self.spawn_begin, other.spawn_begin)
+            && std::ptr::fn_addr_eq(self.spawn_end, other.spawn_end)
+            && std::ptr::fn_addr_eq(self.sync, other.sync)
+    }
 }
 
-/// The installed hooks, if the current thread is under serial capture.
-#[inline]
-pub(crate) fn serial_capture() -> Option<&'static SchedulerHooks> {
-    match HOOKS.get() {
-        Some(hooks) if (hooks.active)() => Some(hooks),
-        _ => None,
+impl Eq for SchedulerHooks {}
+
+/// Probe consumer wrapping one installed [`SchedulerHooks`] table.
+struct HooksProbe {
+    table: SchedulerHooks,
+}
+
+impl Probe for HooksProbe {
+    fn mask(&self) -> EventMask {
+        EventMask::STRAND
     }
+
+    fn serial_capture(&self) -> bool {
+        true
+    }
+
+    fn active(&self) -> bool {
+        (self.table.active)()
+    }
+
+    fn on_event(&self, event: &ProbeEvent) {
+        match event {
+            ProbeEvent::SpawnBegin { .. } => (self.table.spawn_begin)(),
+            ProbeEvent::SpawnEnd { .. } => (self.table.spawn_end)(),
+            ProbeEvent::Sync { .. } => (self.table.sync)(),
+            _ => {}
+        }
+    }
+}
+
+/// Tables installed through the compat API, with their registry handles
+/// (held forever: the legacy API had no uninstall).
+static INSTALLED: Mutex<Vec<(SchedulerHooks, ProbeHandle)>> = Mutex::new(Vec::new());
+
+/// Installs a scheduler-hook table as a probe consumer. Returns `true` if
+/// the table was newly registered, `false` if an identical table (same
+/// function pointers) was already installed — the call is then a no-op,
+/// keeping per-run installation idempotent for a single detector.
+///
+/// Unlike the pre-probe seam, *distinct* tables compose instead of the
+/// first one winning; see the module docs for the guarantees.
+pub fn install(hooks: SchedulerHooks) -> bool {
+    let mut installed = crate::poison::recover(INSTALLED.lock());
+    if installed.iter().any(|(t, _)| *t == hooks) {
+        return false;
+    }
+    let handle = probe::register(Arc::new(HooksProbe { table: hooks }));
+    installed.push((hooks, handle));
+    true
+}
+
+/// Serial-capture check for the spawning constructs: delegates to the
+/// probe registry, which covers both compat tables installed here and
+/// native [`crate::probe::Probe`] consumers requesting capture.
+#[inline]
+pub(crate) fn serial_capture() -> Option<probe::SerialCapture> {
+    probe::serial_capture()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // NOTE: `install` is process-global, so this test deliberately avoids
-    // installing anything that would serialize other tests' spawns: the
-    // `active` predicate is constantly false.
+    // NOTE: `install` is process-global and permanent, so this test
+    // deliberately avoids installing anything that would serialize other
+    // tests' spawns: the `active` predicate is constantly false.
     #[test]
     fn uninstalled_or_inactive_hooks_do_not_capture() {
+        fn inactive() -> bool {
+            false
+        }
+        fn nop() {}
+        let table = SchedulerHooks {
+            active: inactive,
+            spawn_begin: nop,
+            spawn_end: nop,
+            sync: nop,
+        };
+        let first = install(table);
+        // An inactive predicate must never trigger capture, no matter how
+        // many other components installed tables.
         assert!(serial_capture().is_none());
-        let first = install(SchedulerHooks {
-            active: || false,
-            spawn_begin: || {},
-            spawn_end: || {},
-            sync: || {},
-        });
-        // Whether or not another component installed first, an inactive
-        // predicate must never trigger capture.
+        // Re-installing the identical table is an idempotent no-op.
+        assert!(!install(table), "identical table dedupes");
         let _ = first;
-        assert!(serial_capture().is_none());
     }
 }

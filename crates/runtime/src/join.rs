@@ -18,6 +18,7 @@
 use crate::fault::{self, FaultSite};
 use crate::job::StackJob;
 use crate::latch::{CoreLatch, Probe};
+use crate::probe::{self, ProbeEvent};
 use crate::registry::WorkerThread;
 use crate::unwind;
 
@@ -73,28 +74,96 @@ where
     RA: Send,
     RB: Send,
 {
-    // Under a race-detector session (see [`crate::hooks`]) the join runs
-    // as its serial elision on the current thread, bracketed by the
-    // structure events SP-bags needs: spawn a; return; b; sync.
-    if let Some(hooks) = crate::hooks::serial_capture() {
-        (hooks.spawn_begin)();
-        // Both closures run under panic capture so the bracketing events
-        // stay balanced even when one unwinds: skipping a `spawn_end` or
-        // `sync` would silently desynchronize the detector's SP-bags state
-        // for everything that follows in the session. This also matches
-        // the parallel semantics (both sides come to rest; `a`'s panic
-        // wins) rather than the strict serial elision.
-        let ra = unwind::halt_unwinding(|| a(JoinContext { migrated: false }));
-        (hooks.spawn_end)();
-        let rb = unwind::halt_unwinding(|| b(JoinContext { migrated: false }));
-        (hooks.sync)();
-        return match (ra, rb) {
-            (Ok(ra), Ok(rb)) => (ra, rb),
-            (Err(pa), _) => unwind::resume_unwinding(pa),
-            (Ok(_), Err(pb)) => unwind::resume_unwinding(pb),
-        };
+    // Under a serial-capture session (a race-detector run or an elision
+    // profile; see [`crate::probe`]) the join runs as its serial elision
+    // on the current thread, bracketed by the pedigree-stamped structure
+    // events SP-bags needs: spawn a; return; b; sync.
+    if let Some(capture) = crate::hooks::serial_capture() {
+        return join_serial_capture(capture, a, b);
     }
-    crate::in_worker(move |wt| unsafe { join_on_worker(wt, a, b) })
+    // A strand-profiling session wraps both branches in frames whose
+    // `Copy` context travels with the closure to whichever worker runs
+    // it, then combines the two measures on the parent strand — exact at
+    // any worker count. Without a session this is one thread-local read.
+    match probe::strand_children() {
+        None => crate::in_worker(move |wt| unsafe { join_on_worker(wt, a, b) }),
+        Some((actx, bctx)) => {
+            let ((ra, ma), (rb, mb)) = crate::in_worker(move |wt| unsafe {
+                join_on_worker(
+                    wt,
+                    move |ctx| {
+                        let frame = probe::StrandScope::enter(actx);
+                        let r = a(ctx);
+                        (r, frame.finish())
+                    },
+                    move |ctx| {
+                        let frame = probe::StrandScope::enter(bctx);
+                        let r = b(ctx);
+                        (r, frame.finish())
+                    },
+                )
+            });
+            probe::strand_combine(ma, mb);
+            (ra, rb)
+        }
+    }
+}
+
+/// The serial-elision path of [`join_context`]: both branches run
+/// depth-first on the current thread with structure events (and, when a
+/// profiling session is also active, strand measures) around them.
+fn join_serial_capture<A, B, RA, RB>(capture: probe::SerialCapture, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce(JoinContext) -> RA + Send,
+    B: FnOnce(JoinContext) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let profiled = probe::strand_children();
+    capture.spawn_begin();
+    // Both closures run under panic capture so the bracketing events
+    // stay balanced even when one unwinds: skipping a `spawn_end` or
+    // `sync` would silently desynchronize the detector's SP-bags state
+    // for everything that follows in the session. This also matches
+    // the parallel semantics (both sides come to rest; `a`'s panic
+    // wins) rather than the strict serial elision.
+    let (ra, ma) = run_captured_branch(profiled.map(|p| p.0), || a(JoinContext { migrated: false }));
+    capture.spawn_end();
+    let (rb, mb) = run_captured_branch(profiled.map(|p| p.1), || b(JoinContext { migrated: false }));
+    capture.sync();
+    if let (Some(ma), Some(mb)) = (ma, mb) {
+        probe::strand_combine(ma, mb);
+    }
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(pa), _) => unwind::resume_unwinding(pa),
+        (Ok(_), Err(pb)) => unwind::resume_unwinding(pb),
+    }
+}
+
+/// Runs one captured branch, optionally inside a strand frame; a
+/// panicking branch discards its measure (the panic unwinds the whole
+/// profile anyway) but still pops its frame.
+fn run_captured_branch<R>(
+    ctx: Option<probe::StrandCtx>,
+    f: impl FnOnce() -> R,
+) -> (Result<R, Box<dyn std::any::Any + Send>>, Option<probe::Measure>) {
+    match ctx {
+        None => (unwind::halt_unwinding(f), None),
+        Some(ctx) => {
+            let frame = probe::StrandScope::enter(ctx);
+            match unwind::halt_unwinding(f) {
+                Ok(r) => {
+                    let m = frame.finish();
+                    (Ok(r), Some(m))
+                }
+                Err(p) => {
+                    drop(frame);
+                    (Err(p), None)
+                }
+            }
+        }
+    }
 }
 
 /// The worker-side implementation of `join_context`.
@@ -110,8 +179,8 @@ where
     RB: Send,
 {
     let registry = wt.registry();
-    registry.counters.spawns.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    wt.bump_depth();
+    let depth = wt.bump_depth();
+    registry.probe(ProbeEvent::Spawn { worker: wt.index(), depth });
 
     let job_b = StackJob::new(
         wt.index(),
@@ -141,10 +210,7 @@ where
         if let Some(job) = wt.take_local_job() {
             if job == job_b_ref {
                 // Nobody stole it: run inline without touching the latch.
-                registry
-                    .counters
-                    .inline_pops
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                registry.probe(ProbeEvent::InlinePop { worker: wt.index() });
                 break job_b.run_inline(wt.index());
             }
             // Some other local job (e.g. a scope spawn pushed by `a`): it

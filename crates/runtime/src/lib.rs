@@ -44,6 +44,7 @@ mod latch;
 mod metrics;
 mod parallel_for;
 mod poison;
+pub mod probe;
 mod registry;
 mod scope;
 mod unwind;

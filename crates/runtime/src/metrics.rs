@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use crate::probe::{FaultKind, ProbeEvent};
+
 /// Atomically tracked counters for one registry (thread pool).
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
@@ -56,6 +58,38 @@ impl Counters {
     #[inline]
     pub(crate) fn bump(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The metrics seam as a probe consumer: every counter update is the
+    /// delivery of one [`ProbeEvent`]. The registry delivers scheduler
+    /// events here directly (see `Registry::probe`) rather than through
+    /// the global consumer list, so per-pool metrics keep their original
+    /// cost — one relaxed `fetch_add` — and need no pool filtering.
+    #[inline]
+    pub(crate) fn on_event(&self, event: &ProbeEvent) {
+        match *event {
+            ProbeEvent::Spawn { depth, .. } => {
+                self.bump(&self.spawns);
+                self.record_depth(depth);
+            }
+            ProbeEvent::ScopeSpawn { .. } => self.bump(&self.scope_spawns),
+            ProbeEvent::InlinePop { .. } => self.bump(&self.inline_pops),
+            ProbeEvent::Inject => self.bump(&self.injections),
+            ProbeEvent::StealSuccess { .. } => self.bump(&self.steals),
+            ProbeEvent::StealFailed { .. } => self.bump(&self.failed_steals),
+            ProbeEvent::StealAborted { .. } => self.bump(&self.steals_aborted),
+            ProbeEvent::DequeLen { len, .. } => self.record_deque_len(len),
+            ProbeEvent::PanicCaptured { .. } => self.bump(&self.panics_captured),
+            ProbeEvent::TaskCancelled { .. } => self.bump(&self.tasks_cancelled),
+            ProbeEvent::Fault { kind, .. } => {
+                self.bump(&self.faults_injected);
+                if kind == FaultKind::Stall {
+                    self.bump(&self.stalls_injected);
+                }
+            }
+            ProbeEvent::WorkerDied { .. } => self.bump(&self.workers_died),
+            _ => {}
+        }
     }
 }
 
@@ -154,6 +188,43 @@ mod tests {
     #[test]
     fn steal_ratio_zero_when_no_spawns() {
         assert_eq!(MetricsSnapshot::default().steal_ratio(), 0.0);
+    }
+
+    #[test]
+    fn counters_consume_probe_events() {
+        use crate::fault::FaultSite;
+        let c = Counters::default();
+        c.on_event(&ProbeEvent::Spawn { worker: 0, depth: 4 });
+        c.on_event(&ProbeEvent::ScopeSpawn { worker: 0 });
+        c.on_event(&ProbeEvent::InlinePop { worker: 0 });
+        c.on_event(&ProbeEvent::Inject);
+        c.on_event(&ProbeEvent::StealSuccess { thief: 1, victim: 0 });
+        c.on_event(&ProbeEvent::StealFailed { thief: 1 });
+        c.on_event(&ProbeEvent::StealAborted { thief: 1 });
+        c.on_event(&ProbeEvent::DequeLen { worker: 0, len: 6 });
+        c.on_event(&ProbeEvent::PanicCaptured { worker: 0 });
+        c.on_event(&ProbeEvent::TaskCancelled { worker: 0 });
+        c.on_event(&ProbeEvent::Fault { site: FaultSite::Steal, kind: FaultKind::Stall });
+        c.on_event(&ProbeEvent::Fault { site: FaultSite::Sync, kind: FaultKind::Panic });
+        c.on_event(&ProbeEvent::WorkerDied { worker: 0 });
+        // Lifecycle/structure events that map to no counter must be inert.
+        c.on_event(&ProbeEvent::WorkerStart { worker: 0 });
+        c.on_event(&ProbeEvent::Sync { strand: 1, depth: 0 });
+        let s = c.snapshot();
+        assert_eq!(s.spawns, 1);
+        assert_eq!(s.depth_high_watermark, 4);
+        assert_eq!(s.scope_spawns, 1);
+        assert_eq!(s.inline_pops, 1);
+        assert_eq!(s.injections, 1);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.failed_steals, 1);
+        assert_eq!(s.steals_aborted, 1);
+        assert_eq!(s.deque_high_watermark, 6);
+        assert_eq!(s.panics_captured, 1);
+        assert_eq!(s.tasks_cancelled, 1);
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.stalls_injected, 1);
+        assert_eq!(s.workers_died, 1);
     }
 
     #[test]

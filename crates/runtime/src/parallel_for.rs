@@ -13,6 +13,7 @@ use std::sync::Mutex;
 use crate::fault::{self, FaultSite};
 use crate::join;
 use crate::poison;
+use crate::probe::{self, ProbeEvent};
 use crate::unwind::{self, PanicPayload};
 
 /// Shared cancellation + first-panic state for one `cilk_for` loop.
@@ -59,14 +60,17 @@ impl LoopControl {
         }
     }
 
-    /// Runs one leaf chunk under panic capture, with the `loop-chunk`
-    /// fault point inside the capture frame; skips the chunk entirely if
-    /// the loop has been cancelled (counted in `tasks_cancelled`).
-    fn run_chunk(&self, chunk: impl FnOnce()) {
+    /// Runs one leaf chunk of `len` iterations starting at `start` under
+    /// panic capture, with the `loop-chunk` fault point inside the capture
+    /// frame; skips the chunk entirely if the loop has been cancelled
+    /// (counted in `tasks_cancelled`). Executed chunks are reported as
+    /// [`ProbeEvent::LoopChunk`].
+    fn run_chunk(&self, start: usize, len: usize, chunk: impl FnOnce()) {
         if self.is_cancelled() {
             crate::registry::note_task_cancelled();
             return;
         }
+        probe::emit(&ProbeEvent::LoopChunk { start, len });
         match unwind::halt_unwinding(|| {
             fault::fault_point(FaultSite::LoopChunk);
             chunk()
@@ -147,7 +151,7 @@ where
 {
     let n = range.end - range.start;
     if n <= grain {
-        control.run_chunk(|| {
+        control.run_chunk(range.start, n, || {
             for i in range {
                 body(i);
             }
@@ -229,7 +233,7 @@ where
         // A cancelled or panicking leaf contributes the identity; the
         // partial fold is discarded when the captured panic resumes.
         let mut acc = Some(identity());
-        control.run_chunk(|| {
+        control.run_chunk(range.start, n, || {
             let mut a = acc.take().expect("leaf accumulator present");
             for i in range {
                 a = reduce(a, map(i));
@@ -282,7 +286,7 @@ fn recurse_slice<T, F>(
 {
     let n = data.len();
     if n <= grain {
-        control.run_chunk(|| body(offset, data));
+        control.run_chunk(offset, n, || body(offset, data));
         return;
     }
     if control.is_cancelled() {

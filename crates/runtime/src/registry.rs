@@ -24,6 +24,7 @@ use crate::latch::{LockLatch, Probe};
 use crate::latch::Latch;
 use crate::metrics::{Counters, MetricsSnapshot};
 use crate::poison;
+use crate::probe::{self, ProbeEvent};
 
 /// Owner index used for jobs injected from outside the pool; never equal to
 /// a real worker index, so injected jobs always count as "migrated".
@@ -127,13 +128,23 @@ impl Registry {
         self.fault_handler.as_ref()
     }
 
+    /// Reports one scheduler event: delivered to this pool's metrics
+    /// counters directly (same cost as the pre-probe hand-maintained
+    /// bumps) and then to any registered global probe consumers (one
+    /// relaxed atomic load when there are none).
+    #[inline]
+    pub(crate) fn probe(&self, event: ProbeEvent) {
+        self.counters.on_event(&event);
+        probe::emit(&event);
+    }
+
     /// Queues a job from outside the pool and wakes a worker.
     // Poison recovery throughout: the queue's invariants hold between
     // operations (no closure runs under the lock), so a panic elsewhere
     // must not cascade into unrelated callers — see `crate::poison`.
     pub(crate) fn inject(&self, job: JobRef) {
         poison::recover(self.injected.lock()).push_back(job);
-        self.counters.injections.fetch_add(1, Ordering::Relaxed);
+        self.probe(ProbeEvent::Inject);
         self.wake_all();
     }
 
@@ -273,8 +284,8 @@ pub(crate) fn note_panic_captured() {
     if !ptr.is_null() {
         // SAFETY: the pointer is set for the lifetime of `main_loop` and
         // only read from its own thread.
-        let c = unsafe { &(*ptr).registry().counters };
-        c.bump(&c.panics_captured);
+        let wt = unsafe { &*ptr };
+        wt.registry().probe(ProbeEvent::PanicCaptured { worker: wt.index() });
     }
 }
 
@@ -283,8 +294,8 @@ pub(crate) fn note_task_cancelled() {
     let ptr = WorkerThread::current();
     if !ptr.is_null() {
         // SAFETY: as in `note_panic_captured`.
-        let c = unsafe { &(*ptr).registry().counters };
-        c.bump(&c.tasks_cancelled);
+        let wt = unsafe { &*ptr };
+        wt.registry().probe(ProbeEvent::TaskCancelled { worker: wt.index() });
     }
 }
 
@@ -337,7 +348,8 @@ impl WorkerThread {
     pub(crate) fn bump_depth(&self) -> usize {
         let d = self.depth.get() + 1;
         self.depth.set(d);
-        self.registry.counters.record_depth(d);
+        // The depth high-watermark is recorded when `join` reports its
+        // `Spawn` probe event (see `Counters::on_event`).
         d
     }
 
@@ -356,7 +368,8 @@ impl WorkerThread {
     /// Pushes a stealable job onto the bottom of this worker's deque.
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job);
-        self.registry.counters.record_deque_len(self.deque.len());
+        self.registry
+            .probe(ProbeEvent::DequeLen { worker: self.index, len: self.deque.len() });
         self.registry.wake_all();
     }
 
@@ -388,9 +401,9 @@ impl WorkerThread {
             match action {
                 FaultAction::Continue => {}
                 FaultAction::Panic | FaultAction::Die => {
-                    let c = &self.registry.counters;
-                    c.bump(&c.faults_injected);
-                    c.bump(&c.steals_aborted);
+                    let kind = action.kind().expect("non-Continue action has a kind");
+                    self.registry.probe(ProbeEvent::Fault { site: FaultSite::Steal, kind });
+                    self.registry.probe(ProbeEvent::StealAborted { thief: self.index });
                     if action == FaultAction::Die {
                         self.request_death();
                     }
@@ -413,21 +426,16 @@ impl WorkerThread {
                 }
                 match self.registry.thread_infos[victim].stealer.steal() {
                     Steal::Success(job) => {
-                        self.registry.counters.steals.fetch_add(1, Ordering::Relaxed);
+                        self.registry
+                            .probe(ProbeEvent::StealSuccess { thief: self.index, victim });
                         return Some(job);
                     }
                     Steal::Retry => {
                         retry = true;
-                        self.registry
-                            .counters
-                            .failed_steals
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.registry.probe(ProbeEvent::StealFailed { thief: self.index });
                     }
                     Steal::Empty => {
-                        self.registry
-                            .counters
-                            .failed_steals
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.registry.probe(ProbeEvent::StealFailed { thief: self.index });
                     }
                 }
             }
@@ -480,6 +488,7 @@ impl WorkerThread {
     /// The worker's top-level scheduling loop.
     fn main_loop(self) {
         WORKER_THREAD.with(|cell| cell.set(&self as *const WorkerThread));
+        self.registry.probe(ProbeEvent::WorkerStart { worker: self.index });
         loop {
             if self.pending_death.get() {
                 // Simulated worker loss: every stack obligation has unwound
@@ -498,14 +507,14 @@ impl WorkerThread {
             }
             self.sleep();
         }
+        self.registry.probe(ProbeEvent::WorkerTerminate { worker: self.index });
         WORKER_THREAD.with(|cell| cell.set(ptr::null()));
     }
 
     /// Parks a "dead" worker until pool termination. It never takes work
     /// again, but still honours `terminate` so `ThreadPool::drop` joins it.
     fn park_dead(&self) {
-        let c = &self.registry.counters;
-        c.bump(&c.workers_died);
+        self.registry.probe(ProbeEvent::WorkerDied { worker: self.index });
         let sleep = &self.registry.sleep;
         while !self.registry.terminate.load(Ordering::SeqCst) {
             let guard = poison::recover(sleep.mutex.lock());

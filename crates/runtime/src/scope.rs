@@ -6,9 +6,11 @@
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::fault::{self, FaultSite};
 use crate::job::{HeapJob, ScopeState};
+use crate::probe::{self, ProbeEvent};
 use crate::registry::WorkerThread;
 use crate::unwind;
 
@@ -35,18 +37,27 @@ impl TaskContext {
 
 /// A scope in which tasks can be spawned; see [`scope`].
 pub struct Scope<'scope> {
-    /// Null when the scope runs in serial-capture mode (a race-detector
-    /// session is active on the creating thread; see [`crate::hooks`]):
-    /// tasks then execute inline at the spawn site, bracketed by
-    /// detector structure events.
+    /// Null when the scope runs in serial-capture mode (a serial-capture
+    /// probe consumer — a race-detector session or an elision profile —
+    /// is active on the creating thread; see [`crate::probe`]): tasks
+    /// then execute inline at the spawn site, bracketed by structure
+    /// events.
     state: *const ScopeState,
     seq: AtomicU64,
     owner_index: usize,
+    /// Strand-profiling session of the enclosing `scope` call, if one was
+    /// active on the creating thread.
+    session: Option<probe::ScopeSession>,
+    /// Measures of completed profiled tasks; points into the `scope`
+    /// stack frame, null when `session` is `None`. Kept alive past every
+    /// task by the scope's count latch.
+    measures: *const Mutex<Vec<(u64, probe::Measure)>>,
     marker: PhantomData<&'scope mut &'scope ()>,
 }
 
 // SAFETY: the scope is shared with spawned tasks on other threads; all
-// mutable state behind `state` is synchronized (atomics + latch protocol).
+// mutable state behind `state`/`measures` is synchronized (atomics +
+// latch protocol, mutex).
 unsafe impl Sync for Scope<'_> {}
 unsafe impl Send for Scope<'_> {}
 
@@ -55,6 +66,25 @@ unsafe impl Send for Scope<'_> {}
 /// every spawned job.
 struct StatePtr(*const ScopeState);
 unsafe impl Send for StatePtr {}
+
+/// Wrapper making the task-measure collector pointer `Send`; same
+/// validity argument as [`StatePtr`]. Null when the scope is unprofiled.
+#[derive(Clone, Copy)]
+struct MeasuresPtr(*const Mutex<Vec<(u64, probe::Measure)>>);
+unsafe impl Send for MeasuresPtr {}
+
+impl MeasuresPtr {
+    /// Records a finished task's measure.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and the collector still alive (both
+    /// guaranteed by the scope latch for measures pushed by live tasks).
+    unsafe fn push(self, seq: u64, m: probe::Measure) {
+        let measures = &*self.0;
+        crate::poison::recover(measures.lock()).push((seq, m));
+    }
+}
 
 impl<'scope> Scope<'scope> {
     /// Spawns `body` as a task of this scope. The task may execute on any
@@ -67,16 +97,28 @@ impl<'scope> Scope<'scope> {
         F: FnOnce(TaskContext) + Send + 'scope,
     {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let task_ctx = self.session.map(|sess| probe::task_ctx(sess.task_base, seq));
         if self.state.is_null() {
             // Serial-capture mode: run the task now, as the serial elision
             // would, emitting spawn/return events for the detector. Capture
             // a panicking body so `spawn_end` still fires (an unbalanced
             // spawn would desync the detector's SP-bags state), then resume.
-            let hooks = crate::hooks::serial_capture()
-                .expect("serial-capture scope outside a detector session");
-            (hooks.spawn_begin)();
+            let capture = crate::hooks::serial_capture()
+                .expect("serial-capture scope outside a capture session");
+            capture.spawn_begin();
+            let frame = task_ctx.map(probe::StrandScope::enter);
             let status = unwind::halt_unwinding(|| body(TaskContext { migrated: false, seq }));
-            (hooks.spawn_end)();
+            let measure = match (&status, frame) {
+                (Ok(()), Some(frame)) => Some(frame.finish()),
+                _ => None,
+            };
+            capture.spawn_end();
+            if let Some(m) = measure {
+                // SAFETY: `measures` is non-null whenever `session` is
+                // Some, and the collector lives on the enclosing `scope`
+                // frame, which cannot return while we run inline in it.
+                unsafe { MeasuresPtr(self.measures).push(seq, m) };
+            }
             if let Err(payload) = status {
                 unwind::resume_unwinding(payload);
             }
@@ -86,6 +128,7 @@ impl<'scope> Scope<'scope> {
         let state = unsafe { &*self.state };
         state.latch.increment();
         let state_ptr = StatePtr(self.state);
+        let measures_ptr = MeasuresPtr(self.measures);
         let job = HeapJob::new(self.owner_index, move |migrated| {
             let state_ptr = state_ptr;
             // SAFETY: see StatePtr.
@@ -97,13 +140,23 @@ impl<'scope> Scope<'scope> {
                 state.latch.decrement();
                 return;
             }
+            // A profiled task re-installs its strand frame on whichever
+            // worker runs it; the measure lands in the scope's collector.
+            let frame = task_ctx.map(probe::StrandScope::enter);
             let status = unwind::halt_unwinding(|| {
                 fault::fault_point(FaultSite::Spawn);
                 body(TaskContext { migrated, seq })
             });
             match status {
-                Ok(()) => {}
+                Ok(()) => {
+                    if let Some(frame) = frame {
+                        // SAFETY: see MeasuresPtr; the latch we have not
+                        // yet decremented keeps the collector alive.
+                        unsafe { measures_ptr.push(seq, frame.finish()) };
+                    }
+                }
                 Err(payload) => {
+                    drop(frame);
                     crate::registry::note_panic_captured();
                     state.capture_panic(payload);
                 }
@@ -121,10 +174,7 @@ impl<'scope> Scope<'scope> {
         }
         // SAFETY: current() is non-null here and valid for this thread.
         let wt = unsafe { &*wt };
-        wt.registry()
-            .counters
-            .scope_spawns
-            .fetch_add(1, Ordering::Relaxed);
+        wt.registry().probe(ProbeEvent::ScopeSpawn { worker: wt.index() });
         wt.push(job_ref);
     }
 
@@ -184,34 +234,44 @@ where
     OP: FnOnce(&Scope<'scope>) -> R + Send,
     R: Send,
 {
-    // Under a race-detector session the scope body runs on the current
+    // Under a serial-capture session the scope body runs on the current
     // thread with inline task execution; the scope's implicit sync is
-    // reported to the detector when the body returns.
-    if let Some(hooks) = crate::hooks::serial_capture() {
-        let scope = Scope {
-            state: std::ptr::null(),
-            seq: AtomicU64::new(0),
-            owner_index: usize::MAX,
-            marker: PhantomData,
-        };
-        let result = op(&scope);
-        (hooks.sync)();
-        return result;
+    // reported when the body returns.
+    if let Some(capture) = crate::hooks::serial_capture() {
+        return scope_serial_capture(capture, op);
     }
-    crate::in_worker(|wt| {
+    // Strand profiling of a scope uses the fork-at-start model
+    // (body ∥ task₀ ∥ task₁ ∥ …; see `docs/probe.md`): the body and each
+    // task run in their own frame, finished measures collect here, and
+    // the combine happens on the calling thread after the implicit sync.
+    let session = probe::strand_scope_begin();
+    let measures: Mutex<Vec<(u64, probe::Measure)>> = Mutex::new(Vec::new());
+    let measures_ptr = if session.is_some() {
+        MeasuresPtr(&measures)
+    } else {
+        MeasuresPtr(std::ptr::null())
+    };
+    let (result, body_measure) = crate::in_worker(move |wt| {
+        // Capture the whole `Send` wrapper, not just its pointer field
+        // (edition-2021 closures capture disjoint fields by default).
+        let measures_ptr = measures_ptr;
         let state = ScopeState::new();
         let scope = Scope {
             state: &state,
             seq: AtomicU64::new(0),
             owner_index: wt.index(),
+            session,
+            measures: measures_ptr.0,
             marker: PhantomData,
         };
-        let result = match unwind::halt_unwinding(|| op(&scope)) {
-            Ok(r) => Some(r),
+        let body_frame = session.map(|s| probe::StrandScope::enter(s.body));
+        let (result, body_measure) = match unwind::halt_unwinding(|| op(&scope)) {
+            Ok(r) => (Some(r), body_frame.map(probe::StrandScope::finish)),
             Err(payload) => {
+                drop(body_frame);
                 crate::registry::note_panic_captured();
                 state.capture_panic(payload);
-                None
+                (None, None)
             }
         };
         // Drop the scope body's own unit of the count, then drain.
@@ -223,8 +283,52 @@ where
         // The implicit sync: every task has come to rest, none panicked.
         // An injected fault here surfaces like a panic at `cilk_sync`.
         fault::fault_point(FaultSite::Sync);
-        result.expect("scope body neither returned nor panicked")
-    })
+        (result.expect("scope body neither returned nor panicked"), body_measure)
+    });
+    if let (Some(sess), Some(body_measure)) = (session, body_measure) {
+        let tasks = std::mem::take(&mut *crate::poison::recover(measures.lock()));
+        probe::strand_scope_combine(sess.body.burden, body_measure, tasks);
+    }
+    result
+}
+
+/// The serial-elision path of [`scope`]: the body runs on the current
+/// thread, tasks execute inline at their spawn sites, and the implicit
+/// sync is reported (and the profile combined) when the body returns.
+fn scope_serial_capture<'scope, OP, R>(capture: probe::SerialCapture, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let session = probe::strand_scope_begin();
+    let measures: Mutex<Vec<(u64, probe::Measure)>> = Mutex::new(Vec::new());
+    let scope = Scope {
+        state: std::ptr::null(),
+        seq: AtomicU64::new(0),
+        owner_index: usize::MAX,
+        session,
+        measures: if session.is_some() { &measures } else { std::ptr::null() },
+        marker: PhantomData,
+    };
+    let body_frame = session.map(|s| probe::StrandScope::enter(s.body));
+    match unwind::halt_unwinding(|| op(&scope)) {
+        Ok(result) => {
+            let body_measure = body_frame.map(probe::StrandScope::finish);
+            capture.sync();
+            if let (Some(sess), Some(body_measure)) = (session, body_measure) {
+                let tasks = std::mem::take(&mut *crate::poison::recover(measures.lock()));
+                probe::strand_scope_combine(sess.body.burden, body_measure, tasks);
+            }
+            result
+        }
+        Err(payload) => {
+            // Matches the pre-probe behaviour: a panicking body skips the
+            // sync event (the session is torn down by the unwind anyway),
+            // but the profiling frame must still pop.
+            drop(body_frame);
+            unwind::resume_unwinding(payload)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,32 @@
 
 use cilkscreen::{Execution, Location};
 
+/// Below this size, spawning costs more than it buys (the same reason
+/// Cilk++ programs use a serial base case).
+const SERIAL_CUTOFF: usize = 64;
+
+/// Cost charged to the Cilkview profilers for a serial base-case sort of
+/// `n` elements: `n · ⌈lg n⌉` comparison units. Outside a profiling
+/// session a charge is a thread-local read — the workload stays
+/// permanently instrumented.
+fn charge_leaf_sort(n: usize) {
+    let n = n as u64;
+    let lg = 64 - n.max(2).leading_zeros() as u64;
+    cilkview::charge(n * lg);
+}
+
+/// Cost charged for one partition pass over `n` elements.
+fn charge_partition(n: usize) {
+    cilkview::charge(n as u64);
+}
+
 /// Sorts `v` in parallel, exactly as the paper's Fig. 1 quicksort.
+///
+/// The recursion is charge-instrumented for the Cilkview analyzers
+/// (partition charges its range length, base-case sorts charge
+/// `n · lg n`), identically to [`qsort_serial`], so
+/// `Cilkview::profile_runtime` and `Cilkview::profile_elision` measure
+/// the same dag.
 ///
 /// # Examples
 ///
@@ -22,30 +47,30 @@ pub fn qsort<T: Ord + Send>(v: &mut [T]) {
     if v.len() <= 1 {
         return;
     }
-    // Below this size, spawning costs more than it buys (the same reason
-    // Cilk++ programs use a serial base case).
-    const SERIAL_CUTOFF: usize = 64;
     if v.len() <= SERIAL_CUTOFF {
+        charge_leaf_sort(v.len());
         v.sort_unstable();
         return;
     }
+    charge_partition(v.len());
     let mid = partition(v);
     let (lo, hi) = v.split_at_mut(mid);
     // hi[0] is the pivot, already in final position: `max(begin+1, middle)`.
     cilk::join(|| qsort(lo), || qsort(&mut hi[1..]));
 }
 
-/// Serial quicksort with the identical partition — the serial elision of
-/// [`qsort`], used by the overhead experiment (E5).
+/// Serial quicksort with the identical partition and identical charges —
+/// the serial elision of [`qsort`], used by the overhead experiment (E5).
 pub fn qsort_serial<T: Ord>(v: &mut [T]) {
     if v.len() <= 1 {
         return;
     }
-    const SERIAL_CUTOFF: usize = 64;
     if v.len() <= SERIAL_CUTOFF {
+        charge_leaf_sort(v.len());
         v.sort_unstable();
         return;
     }
+    charge_partition(v.len());
     let mid = partition(v);
     let (lo, hi) = v.split_at_mut(mid);
     qsort_serial(lo);
