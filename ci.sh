@@ -39,6 +39,17 @@ CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
     cargo test -q --offline --test fault_matrix randomized_seed_slice -- --nocapture \
     | grep -v '^$'
 
+echo "== chaos soak: pinned-seed supervised fault sweep =="
+# Death-heavy generated plans against supervised pools: every workload
+# must complete correctly with zero stranded jobs while workers die,
+# respawn, and degrade (docs/supervision.md).
+cargo test -q --offline --test fault_matrix chaos_soak_pinned_seeds
+
+echo "== chaos soak: randomized slice (seed printed for replay) =="
+CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
+    cargo test -q --offline --test fault_matrix chaos_soak_randomized -- --nocapture \
+    | grep -v '^$'
+
 echo "== cilkscreen CLI smoke: workload expectations must hold =="
 # --check exits 0 only when every workload's verdict (racy locations,
 # reducer suppression, functional result) matches its expectation; the

@@ -83,5 +83,45 @@ fn main() {
         "no strand-profiling frame may be live outside a session"
     );
 
+    // Supervision-off contract: an unsupervised pool pays exactly one
+    // relaxed load per heartbeat site (the `Option` discriminant test) and
+    // its supervision counters stay at zero.
+    assert_eq!(pool.live_workers(), pool.num_workers());
+    assert!(pool.supervisor_report().is_none(), "unsupervised pool has no supervisor");
+    assert_eq!(m.workers_respawned, 0);
+    assert_eq!(m.jobs_reclaimed, 0);
+    assert_eq!(m.pool_degraded, 0);
+
+    cilk_bench::section("probe smoke: supervision stays off the probe registry");
+
+    // A *supervised* pool runs its own monitor thread but must not widen
+    // the global probe gate: supervision is per-pool state, not a probe
+    // consumer, so unrelated pools keep the one-relaxed-load fast path.
+    let supervised = cilk_runtime::ThreadPool::with_config(
+        cilk_runtime::Config::new()
+            .num_workers(2)
+            .supervision(cilk_runtime::SupervisionPolicy::new().max_respawns(2)),
+    )
+    .expect("supervised pool");
+    assert_eq!(
+        probe::consumer_count(),
+        0,
+        "supervision must not register probe consumers"
+    );
+    assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
+    let v = supervised.install(|| fib(16));
+    assert_eq!(v, 987);
+    let report = supervised.supervisor_report().expect("supervised pool reports");
+    assert_eq!(report.live_workers, 2);
+    assert_eq!(report.respawns_used, 0, "no faults, no respawns");
+    assert!(!report.degraded);
+    assert!(
+        report.heartbeats.iter().sum::<u64>() > 0,
+        "workers beat at scheduling-loop boundaries: {report:?}"
+    );
+    drop(supervised);
+    assert_eq!(probe::consumer_count(), 0);
+    assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
+
     println!("probe smoke: all disabled-cost invariants hold");
 }

@@ -5,38 +5,62 @@
 //! application exhibits sufficient parallelism, one can prove
 //! mathematically that stealing is infrequent."
 //!
-//! Two views: (a) the real runtime's steal counters for fib on 1–8
-//! workers; (b) the work-stealing simulator sweeping the parallelism of a
-//! loop dag to show the steal fraction falling as parallelism/P grows.
+//! Two views: (a) the real runtime's steal behaviour for fib on 1–8
+//! workers — the steal ratio plus probe-driven *distributions* (spawn
+//! depth, estimated steal depth, deque length, each as p50/p90/max) that
+//! test the claim's second half: steals land on shallow frames at the top
+//! of the victim's deque; (b) the work-stealing simulator sweeping the
+//! parallelism of a loop dag to show the steal fraction falling as
+//! parallelism/P grows.
 
 use cilk::{Config, ThreadPool};
+use cilk_bench::histogram::SchedHistograms;
 use cilk_dag::schedule::{work_stealing, WsConfig};
 use cilk_dag::workload::loop_sp;
 use cilk_workloads::fib;
 
 fn main() {
-    cilk_bench::section("real runtime: fib(26) cutoff 12, steals vs spawns");
+    cilk_bench::section("real runtime: fib(26) cutoff 12, steal distributions");
     println!(
-        "{:>3} {:>10} {:>10} {:>12} {:>12}",
-        "P", "spawns", "steals", "steal ratio", "failed"
+        "{:>3} {:>10} {:>10} {:>12} {:>14} {:>14} {:>14}",
+        "P", "spawns", "steals", "steal ratio", "spawn depth", "steal depth", "deque len"
     );
+    println!("{:>66}", "(each distribution: p50/p90/max)");
     for p in [1usize, 2, 4, 8] {
+        let hist = SchedHistograms::new(p);
+        let handle = hist.install();
         let pool = ThreadPool::with_config(Config::new().num_workers(p)).expect("pool");
         let v = pool.install(|| fib::fib_cutoff(26, 12));
         assert_eq!(v, 121_393);
         let m = pool.metrics();
+        drop(pool);
+        drop(handle);
         println!(
-            "{:>3} {:>10} {:>10} {:>11.2}% {:>12}",
+            "{:>3} {:>10} {:>10} {:>11.2}% {:>14} {:>14} {:>14}",
             p,
             m.spawns,
             m.steals,
             m.steal_ratio() * 100.0,
-            m.failed_steals
+            hist.spawn_depth.summary(),
+            hist.steal_depth.summary(),
+            hist.deque_len.summary(),
         );
+        assert_eq!(hist.spawn_depth.count(), m.spawns, "every spawn histogrammed");
+        assert_eq!(hist.steal_depth.count(), m.steals, "every steal histogrammed");
         if p == 1 {
             assert_eq!(m.steals, 0);
+        } else if m.steals > 0 {
+            assert!(
+                hist.steal_depth.percentile(0.5) <= hist.spawn_depth.percentile(0.9),
+                "stolen frames should sit shallow relative to the spawn distribution"
+            );
         }
     }
+    println!(
+        "\nSteals take the top (oldest, shallowest) frame of the victim's\n\
+         deque: the steal-depth distribution hugs the shallow end while\n\
+         spawns reach the full recursion depth (§3.2)."
+    );
 
     cilk_bench::section("simulator: steal fraction vs parallelism (P = 8, burden 1)");
     println!(

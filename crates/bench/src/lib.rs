@@ -5,6 +5,8 @@
 //! per-experiment index in `DESIGN.md` and the recorded outputs in
 //! `EXPERIMENTS.md`.
 
+pub mod histogram;
+
 use std::time::{Duration, Instant};
 
 /// Prints a section header for harness output.

@@ -37,7 +37,7 @@ use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
 use buffer::Buffer;
@@ -57,6 +57,10 @@ struct Inner<T> {
     /// Buffers retired by growth. They may still be read by in-flight
     /// thieves, so they are only freed when the deque itself is dropped.
     retired: Mutex<Vec<*mut Buffer<T>>>,
+    /// Set once the owner has declared this deque closed to new pushes
+    /// (see [`Worker::seal`]). Steals remain legal: elements already in
+    /// the deque stay up for grabs while the owner drains the remainder.
+    sealed: AtomicBool,
 }
 
 // SAFETY: `Inner` encapsulates raw pointers that are only dereferenced under
@@ -73,6 +77,7 @@ impl<T> Inner<T> {
             bottom: AtomicIsize::new(0),
             buffer: AtomicPtr::new(buf),
             retired: Mutex::new(Vec::new()),
+            sealed: AtomicBool::new(false),
         }
     }
 }
@@ -190,6 +195,10 @@ impl<T> Worker<T> {
     ///
     /// Amortized O(1); grows the buffer geometrically when full.
     pub fn push(&self, value: T) {
+        debug_assert!(
+            !self.inner.sealed.load(Ordering::Relaxed),
+            "push on a sealed deque: unseal before reuse"
+        );
         let b = self.inner.bottom.load(Ordering::Relaxed);
         let t = self.inner.top.load(Ordering::Acquire);
         let mut buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
@@ -244,6 +253,38 @@ impl<T> Worker<T> {
             self.inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
             None
         }
+    }
+
+    /// Seals the deque against further pushes and drains every element the
+    /// owner can still claim, returning them oldest-first (top-to-bottom
+    /// order, the order thieves would have seen).
+    ///
+    /// Concurrent thieves may race the drain; the Chase–Lev protocol keeps
+    /// every element exactly-once, so anything a thief wins is simply
+    /// missing from the returned vector. After `seal` the deque stays
+    /// usable for steals but `push` asserts (debug) until [`Worker::unseal`]
+    /// is called — the hand-off protocol for adopting a dead worker's deque.
+    pub fn seal(&self) -> Vec<T> {
+        self.inner.sealed.store(true, Ordering::Release);
+        let mut drained = Vec::new();
+        while let Some(v) = self.pop() {
+            drained.push(v);
+        }
+        // `pop` drains bottom-up (newest first); callers re-enqueueing the
+        // orphaned work expect the age order thieves would have observed.
+        drained.reverse();
+        drained
+    }
+
+    /// Reopens a sealed deque for pushes. Used when a replacement owner
+    /// adopts the deque of a dead worker.
+    pub fn unseal(&self) {
+        self.inner.sealed.store(false, Ordering::Release);
+    }
+
+    /// Whether the owner has sealed this deque.
+    pub fn is_sealed(&self) -> bool {
+        self.inner.sealed.load(Ordering::Acquire)
     }
 
     /// Doubles the buffer, copying live elements `[t, b)` into the new one.
@@ -413,6 +454,12 @@ impl<T> Stealer<T> {
     /// Whether the deque appears empty to this thief.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether the owner has sealed this deque (no further pushes will
+    /// arrive; what is visible now is all there will ever be).
+    pub fn is_sealed(&self) -> bool {
+        self.inner.sealed.load(Ordering::Acquire)
     }
 }
 
@@ -662,6 +709,86 @@ mod tests {
         assert_sync::<Stealer<u32>>();
         // Worker<T> must NOT be Sync; enforced by PhantomData<Cell<()>>.
         // (Compile-fail is covered by the type design; nothing to run.)
+    }
+
+    #[test]
+    fn seal_drains_oldest_first() {
+        let (w, s) = Worker::new();
+        for i in 0..10 {
+            w.push(i);
+        }
+        assert!(!s.is_sealed());
+        let drained = w.seal();
+        assert!(w.is_sealed());
+        assert!(s.is_sealed());
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+        assert!(w.is_empty());
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn unseal_reopens_for_pushes() {
+        let (w, s) = Worker::new();
+        w.push(1);
+        assert_eq!(w.seal(), vec![1]);
+        w.unseal();
+        assert!(!s.is_sealed());
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(2));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "push on a sealed deque")]
+    fn push_on_sealed_asserts() {
+        let (w, _s) = Worker::new();
+        let _ = w.seal();
+        w.push(1);
+    }
+
+    #[test]
+    fn seal_races_thieves_exactly_once() {
+        // Elements are split between the sealing owner and concurrent
+        // thieves, never lost or duplicated.
+        const N: usize = 20_000;
+        const THIEVES: usize = 3;
+        for _round in 0..8 {
+            let (w, s) = Worker::new();
+            for i in 0..N {
+                w.push(i);
+            }
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(THIEVES + 1));
+            let mut handles = Vec::new();
+            for _ in 0..THIEVES {
+                let s = s.clone();
+                let barrier = barrier.clone();
+                handles.push(thread::spawn(move || {
+                    barrier.wait();
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty => {
+                                if s.is_sealed() {
+                                    break;
+                                }
+                                thread::yield_now();
+                            }
+                            Steal::Retry => {}
+                        }
+                    }
+                    got
+                }));
+            }
+            barrier.wait();
+            let mut all = w.seal();
+            for h in handles {
+                all.extend(h.join().expect("thief panicked"));
+            }
+            assert_eq!(all.len(), N, "lost or duplicated elements across seal");
+            let set: HashSet<usize> = all.iter().copied().collect();
+            assert_eq!(set.len(), N, "duplicated elements across seal");
+        }
     }
 
     #[test]

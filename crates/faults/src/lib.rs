@@ -142,6 +142,37 @@ impl FaultPlan {
         FaultPlan { seed, injections }
     }
 
+    /// Generates a death-heavy chaos plan from `seed` for supervised-pool
+    /// soaks: 1–4 injections over `sites`, dominated by [`FaultAction::Die`]
+    /// (multiple deaths per plan are expected) with occasional panics and
+    /// stalls mixed in to collide recovery with ordinary fault handling.
+    ///
+    /// Deterministic like [`FaultPlan::generate`], and keyed separately
+    /// from it, so the two generators' seed↔plan mappings never interfere.
+    /// Plans from this generator assume the pool can survive worker loss —
+    /// pair them with [`cilk_runtime::Config::supervision`] (or accept that
+    /// an unsupervised pool shrinks permanently).
+    pub fn generate_chaos(seed: u64, sites: &[FaultSite]) -> FaultPlan {
+        assert!(!sites.is_empty(), "a plan needs at least one candidate site");
+        let mut rng = Rng::from_keys(seed, &[mix_str("cilk-faults.chaos")]);
+        let count = rng.gen_range(1..=4usize);
+        let injections = (0..count)
+            .map(|_| {
+                let site = *rng.choose(sites);
+                let nth = rng.gen_range(1..=8u64);
+                // Death dominates: chaos soaks exist to exercise the
+                // supervisor's reclamation and respawn machinery.
+                let action = match rng.gen_range(0..10u32) {
+                    0..=6 => FaultAction::Die,
+                    7..=8 => FaultAction::Panic,
+                    _ => FaultAction::Stall(Duration::from_micros(rng.gen_range(50..=300u64))),
+                };
+                Injection { site, nth, action }
+            })
+            .collect();
+        FaultPlan { seed, injections }
+    }
+
     /// Serializes the plan as a single-line JSON document (the replay
     /// format documented in `docs/faults.md`).
     pub fn to_json(&self) -> String {
@@ -279,6 +310,45 @@ mod tests {
             .collect::<std::collections::HashSet<_>>()
             .len();
         assert!(distinct >= 12, "only {distinct} distinct plans out of 16 seeds");
+    }
+
+    #[test]
+    fn chaos_generator_is_deterministic_and_death_heavy() {
+        let mut deaths = 0usize;
+        let mut total = 0usize;
+        for seed in 0..32u64 {
+            let a = FaultPlan::generate_chaos(seed, &FaultSite::ALL);
+            let b = FaultPlan::generate_chaos(seed, &FaultSite::ALL);
+            assert_eq!(a, b, "seed {seed}");
+            assert!((1..=4).contains(&a.injections.len()));
+            assert_eq!(FaultPlan::from_json(&a.to_json()).unwrap(), a, "seed {seed}");
+            for inj in &a.injections {
+                assert!((1..=8).contains(&inj.nth));
+                total += 1;
+                if inj.action == FaultAction::Die {
+                    deaths += 1;
+                }
+            }
+        }
+        assert!(
+            deaths * 2 > total,
+            "chaos plans should be death-heavy: {deaths} of {total} injections"
+        );
+    }
+
+    #[test]
+    fn chaos_and_default_generators_are_independent() {
+        // Changing one generator's draw stream must not change the other's:
+        // they are keyed separately, and the default mapping is part of the
+        // replay contract.
+        let shape = PlanShape::default();
+        for seed in [0u64, 1, 7, 42] {
+            assert_ne!(
+                FaultPlan::generate(seed, &FaultSite::ALL, shape).to_json(),
+                FaultPlan::generate_chaos(seed, &FaultSite::ALL).to_json(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

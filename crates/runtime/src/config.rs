@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use crate::fault::FaultHandler;
 use crate::metrics::MetricsSnapshot;
+use crate::supervisor::SupervisionPolicy;
 
 /// What a worker does while waiting at a `join` for a stolen continuation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +40,7 @@ pub struct Config {
     pub(crate) stack_size: usize,
     pub(crate) fault_handler: Option<FaultHandler>,
     pub(crate) stall_timeout: Option<Duration>,
+    pub(crate) supervision: Option<SupervisionPolicy>,
 }
 
 impl fmt::Debug for Config {
@@ -50,6 +52,7 @@ impl fmt::Debug for Config {
             .field("stack_size", &self.stack_size)
             .field("fault_handler", &self.fault_handler.as_ref().map(|_| "<handler>"))
             .field("stall_timeout", &self.stall_timeout)
+            .field("supervision", &self.supervision)
             .finish()
     }
 }
@@ -69,6 +72,7 @@ impl PartialEq for Config {
             && self.thread_name_prefix == other.thread_name_prefix
             && self.stack_size == other.stack_size
             && self.stall_timeout == other.stall_timeout
+            && self.supervision == other.supervision
     }
 }
 
@@ -87,6 +91,7 @@ impl Config {
             stack_size: 8 * 1024 * 1024,
             fault_handler: None,
             stall_timeout: None,
+            supervision: None,
         }
     }
 
@@ -146,6 +151,18 @@ impl Config {
     pub fn stall_timeout(mut self, timeout: Duration) -> Self {
         assert!(!timeout.is_zero(), "stall timeout must be positive");
         self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables supervision: the pool self-heals from worker loss according
+    /// to `policy` — dead workers' deques are reclaimed, replacements are
+    /// respawned under a budget with seeded exponential backoff, and a pool
+    /// whose budget is exhausted degrades gracefully (survivors keep
+    /// executing; at zero workers `install` runs serially in place instead
+    /// of stalling). Unsupervised pools keep the PR-3 behaviour: losses are
+    /// permanent and only diagnosable via [`Config::stall_timeout`].
+    pub fn supervision(mut self, policy: SupervisionPolicy) -> Self {
+        self.supervision = Some(policy);
         self
     }
 

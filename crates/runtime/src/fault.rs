@@ -18,21 +18,29 @@
 //!
 //! | site | fires | `Panic` | `Stall` | `Die` |
 //! |------|-------|---------|---------|-------|
-//! | `Spawn` | entry of every spawned child (`join`'s left branch, every `scope` task) | captured like a user panic and propagated to the logical parent | delays the child, reordering steals | worker parks at its next top-of-loop |
-//! | `Steal` | entry of every steal round | aborts the round (counted as `steals_aborted`) | delays the thief | aborts the round and parks the worker at its next top-of-loop |
-//! | `Sync` | the implicit sync of `join`/`scope` | surfaces at the sync point after all children rest | delays the sync | parks at next top-of-loop |
-//! | `ViewMerge` | every reducer view merge (`cilk-hyper`) | captured/propagated; views still torn down exactly once | reorders merges | parks at next top-of-loop |
-//! | `LockAcquire` | entry of `cilk::sync::Mutex::lock`/`try_lock` | user panic before the lock is held (lock events stay balanced) | forces contention | parks at next top-of-loop |
-//! | `LoopChunk` | before each `cilk_for` leaf chunk | captured, siblings cancelled, propagated | reorders chunk execution | parks at next top-of-loop |
+//! | `Spawn` | entry of every spawned child (`join`'s left branch, every `scope` task) | captured like a user panic and propagated to the logical parent | delays the child, reordering steals | worker retires at its next top-of-loop |
+//! | `Steal` | entry of every steal round | aborts the round (counted as `steals_aborted`) | delays the thief | aborts the round and retires the worker at its next top-of-loop |
+//! | `Sync` | the implicit sync of `join`/`scope` | surfaces at the sync point after all children rest | delays the sync | retires at next top-of-loop |
+//! | `ViewMerge` | every reducer view merge (`cilk-hyper`) | captured/propagated; views still torn down exactly once | reorders merges | retires at next top-of-loop |
+//! | `LockAcquire` | entry of `cilk::sync::Mutex::lock`/`try_lock` | user panic before the lock is held (lock events stay balanced) | forces contention | retires at next top-of-loop |
+//! | `LoopChunk` | before each `cilk_for` leaf chunk | captured, siblings cancelled, propagated | reorders chunk execution | retires at next top-of-loop |
 //!
 //! Worker death is deliberately graceful: the worker finishes every
 //! obligation already on its stack (an in-flight `join` must resolve its
-//! continuation before the stack frame can be popped) and parks at the
-//! next top of its scheduling loop, never taking work again, while its
-//! deque remains stealable and the pool can still terminate. A pool whose
-//! workers have all died turns subsequent `install`s into a diagnosable
-//! [`crate::RuntimeStalled`] instead of a deadlock when
-//! [`crate::Config::stall_timeout`] is set.
+//! continuation before the stack frame can be popped), then retires at the
+//! next top of its scheduling loop — sealing its deque, draining every
+//! unstolen job back into the injection queue so no task is stranded, and
+//! letting the thread exit. What happens next depends on the pool:
+//!
+//! * With [`crate::Config::supervision`], the supervisor respawns a
+//!   replacement into the dead worker's slot (under the policy's budget
+//!   and backoff); past the budget the pool degrades gracefully —
+//!   survivors keep executing, and at zero workers `install` runs jobs
+//!   serially in place.
+//! * Without supervision the loss is permanent, and a pool whose workers
+//!   have all died turns subsequent `install`s into a diagnosable
+//!   [`crate::RuntimeStalled`] instead of a deadlock when
+//!   [`crate::Config::stall_timeout`] is set.
 
 use std::fmt;
 use std::sync::Arc;
@@ -114,8 +122,10 @@ pub enum FaultAction {
     /// Sleep for the given duration at the fault point, perturbing the
     /// schedule (forces steals and merge reorders even on one core).
     Stall(Duration),
-    /// Simulate losing the worker: it finishes its current obligations and
-    /// parks permanently at the next top of its scheduling loop.
+    /// Simulate losing the worker: it finishes its current obligations,
+    /// then retires at the next top of its scheduling loop, reclaiming its
+    /// deque into the injection queue. Supervised pools respawn the slot;
+    /// unsupervised pools lose it permanently.
     Die,
 }
 
@@ -161,7 +171,7 @@ impl fmt::Display for InjectedFault {
 /// A `Panic` action unwinds with an [`InjectedFault`] payload — callers at
 /// user-code sites sit under the runtime's usual panic capture, so the
 /// panic propagates to the logical parent like any application panic. A
-/// `Die` action is deferred: the worker parks at its next top-of-loop.
+/// `Die` action is deferred: the worker retires at its next top-of-loop.
 #[inline]
 pub fn fault_point(site: FaultSite) {
     let wt = WorkerThread::current();

@@ -179,6 +179,8 @@ where
     RB: Send,
 {
     let registry = wt.registry();
+    // Strand boundary: tell the supervisor this worker is making progress.
+    wt.beat();
     let depth = wt.bump_depth();
     registry.probe(ProbeEvent::Spawn { worker: wt.index(), depth });
 

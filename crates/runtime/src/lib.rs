@@ -47,6 +47,7 @@ mod poison;
 pub mod probe;
 mod registry;
 mod scope;
+mod supervisor;
 mod unwind;
 
 pub use config::{BuildPoolError, Config, RuntimeStalled, WaitPolicy};
@@ -54,6 +55,7 @@ pub use join::{join, join_context, JoinContext};
 pub use metrics::MetricsSnapshot;
 pub use parallel_for::{for_each_index, for_each_slice_mut, map_reduce_index, Grain};
 pub use scope::{scope, Scope, TaskContext};
+pub use supervisor::{SupervisionPolicy, SupervisorReport};
 
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -145,6 +147,25 @@ impl ThreadPool {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.registry.metrics()
     }
+
+    /// Number of workers currently alive. Equal to
+    /// [`num_workers`](ThreadPool::num_workers) unless workers have died
+    /// (fault injection or an escaped panic) and not yet been respawned.
+    pub fn live_workers(&self) -> usize {
+        self.registry.live_workers()
+    }
+
+    /// Jobs currently queued in the external-injection queue (installs
+    /// waiting for pickup plus work reclaimed from dead workers).
+    pub fn queued_jobs(&self) -> usize {
+        self.registry.queued_jobs()
+    }
+
+    /// The supervisor's view of the pool, or `None` when the pool was built
+    /// without [`Config::supervision`].
+    pub fn supervisor_report(&self) -> Option<SupervisorReport> {
+        self.registry.supervision().map(|sup| sup.report())
+    }
 }
 
 impl Drop for ThreadPool {
@@ -154,6 +175,13 @@ impl Drop for ThreadPool {
             std::mem::take(&mut *crate::poison::recover(self.handles.lock()));
         for handle in handles {
             let _ = handle.join();
+        }
+        // The monitor thread is joined above, so no further respawns can
+        // happen; collect the replacement workers it started.
+        if let Some(sup) = self.registry.supervision() {
+            for handle in sup.take_respawned_handles() {
+                let _ = handle.join();
+            }
         }
     }
 }

@@ -40,8 +40,15 @@ pub(crate) struct Counters {
     pub(crate) faults_injected: AtomicU64,
     /// Injected stalls (a subset of `faults_injected`).
     pub(crate) stalls_injected: AtomicU64,
-    /// Workers that simulated death and parked permanently.
+    /// Workers that died (fault-injected `Die` or an escaped panic).
     pub(crate) workers_died: AtomicU64,
+    /// Jobs drained from dead workers' deques back into the injector.
+    pub(crate) jobs_reclaimed: AtomicU64,
+    /// Replacement workers spawned by the supervisor.
+    pub(crate) workers_respawned: AtomicU64,
+    /// Degradation events: losses the supervisor could not (or will not)
+    /// recover, including serial in-place installs on a dead pool.
+    pub(crate) pool_degraded: AtomicU64,
 }
 
 impl Counters {
@@ -88,6 +95,11 @@ impl Counters {
                 }
             }
             ProbeEvent::WorkerDied { .. } => self.bump(&self.workers_died),
+            ProbeEvent::DequeReclaimed { jobs, .. } => {
+                self.jobs_reclaimed.fetch_add(jobs as u64, Ordering::Relaxed);
+            }
+            ProbeEvent::WorkerRespawned { .. } => self.bump(&self.workers_respawned),
+            ProbeEvent::PoolDegraded { .. } => self.bump(&self.pool_degraded),
             _ => {}
         }
     }
@@ -126,8 +138,15 @@ pub struct MetricsSnapshot {
     pub faults_injected: u64,
     /// Injected stalls (a subset of `faults_injected`).
     pub stalls_injected: u64,
-    /// Workers that simulated death and parked permanently.
+    /// Workers that died (fault-injected `Die` or an escaped panic).
     pub workers_died: u64,
+    /// Jobs drained from dead workers' deques back into the injector.
+    pub jobs_reclaimed: u64,
+    /// Replacement workers spawned by the supervisor.
+    pub workers_respawned: u64,
+    /// Degradation events observed (unrecovered losses and serial
+    /// in-place installs on a dead pool).
+    pub pool_degraded: u64,
 }
 
 impl MetricsSnapshot {
@@ -161,6 +180,9 @@ impl Counters {
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             stalls_injected: self.stalls_injected.load(Ordering::Relaxed),
             workers_died: self.workers_died.load(Ordering::Relaxed),
+            jobs_reclaimed: self.jobs_reclaimed.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            pool_degraded: self.pool_degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -207,6 +229,9 @@ mod tests {
         c.on_event(&ProbeEvent::Fault { site: FaultSite::Steal, kind: FaultKind::Stall });
         c.on_event(&ProbeEvent::Fault { site: FaultSite::Sync, kind: FaultKind::Panic });
         c.on_event(&ProbeEvent::WorkerDied { worker: 0 });
+        c.on_event(&ProbeEvent::DequeReclaimed { worker: 0, jobs: 3 });
+        c.on_event(&ProbeEvent::WorkerRespawned { worker: 0 });
+        c.on_event(&ProbeEvent::PoolDegraded { live: 0 });
         // Lifecycle/structure events that map to no counter must be inert.
         c.on_event(&ProbeEvent::WorkerStart { worker: 0 });
         c.on_event(&ProbeEvent::Sync { strand: 1, depth: 0 });
@@ -225,6 +250,9 @@ mod tests {
         assert_eq!(s.faults_injected, 2);
         assert_eq!(s.stalls_injected, 1);
         assert_eq!(s.workers_died, 1);
+        assert_eq!(s.jobs_reclaimed, 3);
+        assert_eq!(s.workers_respawned, 1);
+        assert_eq!(s.pool_degraded, 1);
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl EventMask {
     pub const LOCK: EventMask = EventMask(1 << 4);
     /// Robustness events: `Fault`, `PanicCaptured`, `TaskCancelled`.
     pub const FAULT: EventMask = EventMask(1 << 5);
-    /// Worker lifecycle: `WorkerStart`, `WorkerDied`, `WorkerTerminate`.
+    /// Worker lifecycle and supervision: `WorkerStart`, `WorkerDied`,
+    /// `WorkerTerminate`, `DequeReclaimed`, `WorkerRespawned`,
+    /// `PoolDegraded`.
     pub const WORKER: EventMask = EventMask(1 << 6);
     /// Every group.
     pub const ALL: EventMask = EventMask(0x7f);
@@ -255,15 +257,38 @@ pub enum ProbeEvent {
         /// The worker's index within its pool.
         worker: usize,
     },
-    /// A worker simulated death and parked permanently.
+    /// A worker died: either it simulated death (fault-injected `Die`) or a
+    /// panic escaped the job boundary. The thread retires after reclaiming
+    /// its deque.
     WorkerDied {
-        /// The parked worker's index.
+        /// The dead worker's index.
         worker: usize,
     },
     /// A worker exited its scheduling loop at pool termination.
     WorkerTerminate {
         /// The exiting worker's index.
         worker: usize,
+    },
+    /// A dead worker's deque was sealed and its remaining jobs drained back
+    /// into the pool's injector so no task is stranded.
+    DequeReclaimed {
+        /// Index of the dead worker whose deque was drained.
+        worker: usize,
+        /// Number of jobs reclaimed from the deque.
+        jobs: usize,
+    },
+    /// The supervisor spawned a replacement worker that adopted a dead
+    /// worker's slot and deque identity.
+    WorkerRespawned {
+        /// The slot index the replacement adopted.
+        worker: usize,
+    },
+    /// The pool degraded: the respawn budget is exhausted (or supervision
+    /// could not recover a loss) and execution continues on the survivors —
+    /// or serially in place when none remain.
+    PoolDegraded {
+        /// Number of live workers remaining.
+        live: usize,
     },
 }
 
@@ -292,7 +317,10 @@ impl ProbeEvent {
             | ProbeEvent::TaskCancelled { .. } => EventMask::FAULT,
             ProbeEvent::WorkerStart { .. }
             | ProbeEvent::WorkerDied { .. }
-            | ProbeEvent::WorkerTerminate { .. } => EventMask::WORKER,
+            | ProbeEvent::WorkerTerminate { .. }
+            | ProbeEvent::DequeReclaimed { .. }
+            | ProbeEvent::WorkerRespawned { .. }
+            | ProbeEvent::PoolDegraded { .. } => EventMask::WORKER,
         }
     }
 }
@@ -341,6 +369,9 @@ mod tests {
             ProbeEvent::WorkerStart { worker: 0 },
             ProbeEvent::WorkerDied { worker: 0 },
             ProbeEvent::WorkerTerminate { worker: 0 },
+            ProbeEvent::DequeReclaimed { worker: 0, jobs: 2 },
+            ProbeEvent::WorkerRespawned { worker: 0 },
+            ProbeEvent::PoolDegraded { live: 1 },
         ];
         for e in samples {
             let g = e.group();

@@ -25,6 +25,8 @@ use crate::latch::Latch;
 use crate::metrics::{Counters, MetricsSnapshot};
 use crate::poison;
 use crate::probe::{self, ProbeEvent};
+use crate::supervisor::{self, Supervision};
+use crate::unwind;
 
 /// Owner index used for jobs injected from outside the pool; never equal to
 /// a real worker index, so injected jobs always count as "migrated".
@@ -54,6 +56,12 @@ pub(crate) struct Registry {
     fault_handler: Option<FaultHandler>,
     /// External-wait deadline before diagnosing a stall (None = unbounded).
     stall_timeout: Option<Duration>,
+    /// Self-healing state, if the pool is supervised (see `supervisor`).
+    supervision: Option<Supervision>,
+    /// Thread-naming prefix, kept for respawned workers.
+    thread_name_prefix: String,
+    /// Worker stack size, kept for respawned workers.
+    stack_size: usize,
 }
 
 // SAFETY: `JobRef`s in the injected queue are `Send`; everything else is
@@ -87,29 +95,60 @@ impl Registry {
             wait_policy: config.wait_policy,
             fault_handler: config.fault_handler.clone(),
             stall_timeout: config.stall_timeout,
+            supervision: config
+                .supervision
+                .as_ref()
+                .map(|policy| Supervision::new(n, policy.clone())),
+            thread_name_prefix: config.thread_name_prefix.clone(),
+            stack_size: config.stack_size,
         });
-        let mut handles = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n + 1);
         for (index, deque) in deques.into_iter().enumerate() {
-            let registry = Arc::clone(&registry);
-            let name = format!("{}-{}", config.thread_name_prefix, index);
+            handles.push(registry.spawn_worker(index, deque, 0)?);
+        }
+        if registry.supervision.is_some() {
+            // The watchdog/respawn monitor. It exits on `terminate`, so it
+            // joins with the ordinary worker handles at pool drop.
+            let monitor_registry = Arc::clone(&registry);
             let handle = thread::Builder::new()
-                .name(name)
-                .stack_size(config.stack_size)
-                .spawn(move || {
-                    let worker = WorkerThread {
-                        deque,
-                        index,
-                        registry,
-                        rng_state: Cell::new(0x9E37_79B9_7F4A_7C15u64 ^ (index as u64 + 1)),
-                        depth: Cell::new(0),
-                        pending_death: Cell::new(false),
-                    };
-                    worker.main_loop();
-                })
+                .name(format!("{}-supervisor", config.thread_name_prefix))
+                .spawn(move || supervisor::monitor_main(monitor_registry))
                 .map_err(|source| BuildPoolError { source })?;
             handles.push(handle);
         }
         Ok((registry, handles))
+    }
+
+    /// Spawns the worker thread for `index`, owning `deque`. `generation`
+    /// is 0 for the pool's original workers and the respawn attempt number
+    /// for replacements (it only affects the thread name).
+    pub(crate) fn spawn_worker(
+        self: &Arc<Self>,
+        index: usize,
+        deque: Worker<JobRef>,
+        generation: u64,
+    ) -> Result<JoinHandle<()>, BuildPoolError> {
+        let registry = Arc::clone(self);
+        let name = if generation == 0 {
+            format!("{}-{}", self.thread_name_prefix, index)
+        } else {
+            format!("{}-{}-r{}", self.thread_name_prefix, index, generation)
+        };
+        thread::Builder::new()
+            .name(name)
+            .stack_size(self.stack_size)
+            .spawn(move || {
+                let worker = WorkerThread {
+                    deque,
+                    index,
+                    registry,
+                    rng_state: Cell::new(0x9E37_79B9_7F4A_7C15u64 ^ (index as u64 + 1)),
+                    depth: Cell::new(0),
+                    pending_death: Cell::new(false),
+                };
+                worker.main_loop();
+            })
+            .map_err(|source| BuildPoolError { source })
     }
 
     /// Number of workers in this pool.
@@ -126,6 +165,39 @@ impl Registry {
     #[inline]
     pub(crate) fn fault_handler(&self) -> Option<&FaultHandler> {
         self.fault_handler.as_ref()
+    }
+
+    /// This pool's supervision state, if it was configured.
+    #[inline]
+    pub(crate) fn supervision(&self) -> Option<&Supervision> {
+        self.supervision.as_ref()
+    }
+
+    /// Whether termination has been signalled.
+    pub(crate) fn should_terminate(&self) -> bool {
+        self.terminate.load(Ordering::SeqCst)
+    }
+
+    /// Workers currently alive: every slot when unsupervised (losses are
+    /// not tracked), the supervision live count otherwise.
+    pub(crate) fn live_workers(&self) -> usize {
+        match &self.supervision {
+            Some(sup) => sup.live(),
+            None => self.num_workers(),
+        }
+    }
+
+    /// Jobs sitting in the external-injection queue right now.
+    pub(crate) fn queued_jobs(&self) -> usize {
+        poison::recover(self.injected.lock()).len()
+    }
+
+    /// Whether installs must degrade to serial in-place execution: a
+    /// supervised pool with zero live workers and no recovery in flight.
+    fn degraded_serial(&self) -> bool {
+        self.supervision
+            .as_ref()
+            .is_some_and(|sup| sup.live() == 0 && !sup.recovery_possible())
     }
 
     /// Reports one scheduler event: delivered to this pool's metrics
@@ -145,6 +217,19 @@ impl Registry {
     pub(crate) fn inject(&self, job: JobRef) {
         poison::recover(self.injected.lock()).push_back(job);
         self.probe(ProbeEvent::Inject);
+        self.wake_all();
+    }
+
+    /// Requeues jobs reclaimed from a dead worker's deque. Unlike
+    /// [`Registry::inject`] this does not count as an external injection —
+    /// the jobs were already accounted when first spawned.
+    pub(crate) fn reinject(&self, jobs: Vec<JobRef>) {
+        {
+            let mut queue = poison::recover(self.injected.lock());
+            for job in jobs {
+                queue.push_back(job);
+            }
+        }
         self.wake_all();
     }
 
@@ -199,7 +284,10 @@ impl Registry {
 
     /// Like [`Registry::in_worker`], but a configured
     /// [`Config::stall_timeout`](crate::Config::stall_timeout) turns an
-    /// unclaimed injected job into an [`RuntimeStalled`] error.
+    /// unclaimed injected job into an [`RuntimeStalled`] error — and a
+    /// supervised pool that has lost every worker with no recovery left
+    /// runs the job serially in place instead of failing (graceful
+    /// degradation to the serial elision).
     pub(crate) fn in_worker_checked<OP, R>(self: &Arc<Self>, op: OP) -> Result<R, RuntimeStalled>
     where
         OP: FnOnce(&WorkerThread) -> R + Send,
@@ -213,30 +301,58 @@ impl Registry {
                 // pool, which preserves the paper's composability property.
                 return Ok(op(&*current));
             }
+            if self.degraded_serial() {
+                return Ok(self.run_in_place(op));
+            }
             let latch = LockLatch::new();
+            // The op lives in a slot the injected job empties on execution.
+            // If the pool dies before claiming the job, the slot still
+            // holds the op and the caller can run it serially in place.
+            let mut op_slot = Some(op);
+            let op_ptr = SendPtr(&mut op_slot as *mut Option<OP>);
             let job = StackJob::new(
                 INJECTED_OWNER,
-                |_migrated| {
+                move |_migrated| {
+                    let op_ptr = op_ptr;
                     let wt = WorkerThread::current();
                     debug_assert!(!wt.is_null(), "injected job must run on a worker");
+                    // SAFETY: the slot outlives the job (the caller waits
+                    // on the latch), and exactly one of {job execution,
+                    // post-cancel fallback} takes from it.
+                    let op = (*op_ptr.0).take().expect("injected op taken twice");
                     op(&*wt)
                 },
                 LatchRef { latch: &latch },
             );
             let job_ref = job.as_job_ref();
             self.inject(job_ref);
-            match self.stall_timeout {
+            let step = match (self.stall_timeout, &self.supervision) {
+                (None, None) => None,
+                (Some(t), None) => Some(t),
+                (None, Some(sup)) => Some(sup.policy.wait_step()),
+                (Some(t), Some(sup)) => Some(t.min(sup.policy.wait_step())),
+            };
+            match step {
                 None => latch.wait(),
-                Some(timeout) => {
+                Some(step) => {
                     let mut waited = Duration::ZERO;
-                    while !latch.wait_timeout(timeout) {
-                        waited += timeout;
-                        // Deadline passed. If the job is still sitting in
-                        // the queue no worker will ever claim it (all dead
-                        // or wedged): cancel it — making the stack frame
-                        // safe to abandon — and diagnose. If it has been
-                        // claimed it is executing; keep waiting.
-                        if self.cancel_injected(job_ref) {
+                    while !latch.wait_timeout(step) {
+                        waited += step;
+                        // A supervised pool that went fully dead with no
+                        // recovery in flight will never claim the job:
+                        // reclaim it from the queue and run it serially.
+                        // (A claimed job is already executing — wait on.)
+                        if self.degraded_serial() && self.cancel_injected(job_ref) {
+                            let op = op_slot.take().expect("cancelled job retains its op");
+                            return Ok(self.run_in_place(op));
+                        }
+                        // Stall deadline passed. If the job is still
+                        // sitting in the queue no worker will ever claim
+                        // it (all dead or wedged): cancel it — making the
+                        // stack frame safe to abandon — and diagnose.
+                        if self.stall_timeout.is_some_and(|t| waited >= t)
+                            && self.cancel_injected(job_ref)
+                        {
                             return Err(self.stall_error(waited));
                         }
                     }
@@ -244,6 +360,39 @@ impl Registry {
             }
             Ok(job.into_result())
         }
+    }
+
+    /// Serial in-place execution of an installed op: the last resort of a
+    /// supervised pool with no live workers and no respawn budget. An
+    /// "emergency" worker context is materialized on the caller's stack so
+    /// nested `join`/`scope`/`cilk_for` calls work normally — they just
+    /// run depth-first, exactly like the serial elision. Its deque is
+    /// invisible to the (dead) pool, and its sentinel index sits one past
+    /// the real slots so probes and victim loops stay well-formed.
+    fn run_in_place<OP, R>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        self.probe(ProbeEvent::PoolDegraded { live: 0 });
+        let worker = WorkerThread {
+            deque: cilk_deque::Deque::new().into_worker(),
+            index: self.num_workers(),
+            registry: Arc::clone(self),
+            rng_state: Cell::new(0x9E37_79B9_7F4A_7C15u64 ^ 0xE5CA_1A7E),
+            depth: Cell::new(0),
+            pending_death: Cell::new(false),
+        };
+        // Restore the previous TLS value even if `op` panics.
+        struct TlsRestore(*const WorkerThread);
+        impl Drop for TlsRestore {
+            fn drop(&mut self) {
+                WORKER_THREAD.with(|cell| cell.set(self.0));
+            }
+        }
+        let _restore = TlsRestore(WorkerThread::current());
+        WORKER_THREAD.with(|cell| cell.set(&worker as *const WorkerThread));
+        op(&worker)
     }
 
     /// Assembles the [`RuntimeStalled`] diagnosis for a timed-out wait.
@@ -258,6 +407,21 @@ impl Registry {
         }
     }
 }
+
+/// A raw pointer that may travel into a `Send` closure. Safety is argued at
+/// each use site; the wrapper only exists to satisfy the auto-trait bound.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: see the use sites — the pointee outlives the closure and access
+// is mutually exclusive by protocol.
+unsafe impl<T> Send for SendPtr<T> {}
 
 /// A [`Latch`] implementation that delegates to a borrowed latch, letting a
 /// stack-allocated [`LockLatch`] be shared with a [`StackJob`].
@@ -320,7 +484,8 @@ pub(crate) struct WorkerThread {
     rng_state: Cell<u64>,
     depth: Cell<usize>,
     /// Set by [`FaultAction::Die`]: the worker finishes the obligations
-    /// already on its stack and parks at its next top-of-loop.
+    /// already on its stack and retires at its next top-of-loop (sealing
+    /// and reclaiming its deque; see [`WorkerThread::retire`]).
     pending_death: Cell<bool>,
 }
 
@@ -359,10 +524,20 @@ impl WorkerThread {
 
     /// Marks this worker for simulated death (see [`FaultAction::Die`]).
     /// Deliberately deferred: dying mid-`join` would leak the latch the
-    /// continuation's thief will set, so the worker only parks once its
+    /// continuation's thief will set, so the worker only retires once its
     /// stack has unwound back to the scheduling loop.
     pub(crate) fn request_death(&self) {
         self.pending_death.set(true);
+    }
+
+    /// One heartbeat for the watchdog. A single `Option` discriminant test
+    /// when supervision is off — the same order of cost as the probe
+    /// layer's disabled relaxed load.
+    #[inline]
+    pub(crate) fn beat(&self) {
+        if let Some(sup) = self.registry.supervision() {
+            sup.beat(self.index);
+        }
     }
 
     /// Pushes a stealable job onto the bottom of this worker's deque.
@@ -390,6 +565,7 @@ impl WorkerThread {
 
     /// One full round of steal attempts over random victims.
     fn steal(&self) -> Option<JobRef> {
+        self.beat();
         // Fault consultation happens before the single-worker early-return
         // so `steal`-site plans fire deterministically at any pool width.
         // `Panic` cannot unwind here — a scheduler thread outside a job has
@@ -423,6 +599,14 @@ impl WorkerThread {
                 let victim = (start + offset) % n;
                 if victim == self.index {
                     continue;
+                }
+                // Degraded pools shrink the victim set to live workers. A
+                // dead slot is only marked dead *after* its deque has been
+                // drained into the injector, so skipping it strands nothing.
+                if let Some(sup) = self.registry.supervision() {
+                    if !sup.is_alive(victim) {
+                        continue;
+                    }
                 }
                 match self.registry.thread_infos[victim].stealer.steal() {
                     Steal::Success(job) => {
@@ -472,6 +656,7 @@ impl WorkerThread {
                 if let Some(job) = self.find_work() {
                     // SAFETY: jobs from deques/injector are executed once.
                     unsafe { self.execute(job) };
+                    self.beat();
                     idle_spins = 0;
                     continue;
                 }
@@ -489,17 +674,27 @@ impl WorkerThread {
     fn main_loop(self) {
         WORKER_THREAD.with(|cell| cell.set(&self as *const WorkerThread));
         self.registry.probe(ProbeEvent::WorkerStart { worker: self.index });
+        let mut died = false;
         loop {
+            self.beat();
             if self.pending_death.get() {
                 // Simulated worker loss: every stack obligation has unwound
-                // (we are at top-of-loop), so parking here leaves no latch
-                // unset and no job half-run. The deque stays stealable.
-                self.park_dead();
+                // (we are at top-of-loop), so retiring here leaves no latch
+                // unset and no job half-run.
+                died = true;
                 break;
             }
             if let Some(job) = self.find_work() {
+                // A panic escaping the job boundary would otherwise tear
+                // down the thread with no accounting at all (jobs capture
+                // their own panics, so this is a raw `Job` impl or a
+                // runtime bug). Treat it as worker death: the supervisor
+                // reclaims the deque and can respawn the slot.
                 // SAFETY: jobs are executed exactly once.
-                unsafe { self.execute(job) };
+                if unwind::halt_unwinding(|| unsafe { self.execute(job) }).is_err() {
+                    died = true;
+                    break;
+                }
                 continue;
             }
             if self.registry.terminate.load(Ordering::SeqCst) {
@@ -507,22 +702,42 @@ impl WorkerThread {
             }
             self.sleep();
         }
-        self.registry.probe(ProbeEvent::WorkerTerminate { worker: self.index });
         WORKER_THREAD.with(|cell| cell.set(ptr::null()));
+        if died {
+            self.retire();
+        } else {
+            self.registry.probe(ProbeEvent::WorkerTerminate { worker: self.index });
+        }
     }
 
-    /// Parks a "dead" worker until pool termination. It never takes work
-    /// again, but still honours `terminate` so `ThreadPool::drop` joins it.
-    fn park_dead(&self) {
-        self.registry.probe(ProbeEvent::WorkerDied { worker: self.index });
-        let sleep = &self.registry.sleep;
-        while !self.registry.terminate.load(Ordering::SeqCst) {
-            let guard = poison::recover(sleep.mutex.lock());
-            // Timed wait: a dead worker must not rely on being woken, and
-            // the bounded interval keeps shutdown latency low. Poison is
-            // irrelevant — the guard is dropped immediately either way.
-            drop(sleep.cvar.wait_timeout(guard, Duration::from_millis(1)));
+    /// Retires a dead worker: reclaims its deque so no task is stranded,
+    /// reports the loss to the supervisor (which may respawn the slot with
+    /// this very deque), and lets the thread exit. Unsupervised pools do
+    /// the same reclamation — the loss is then simply permanent.
+    fn retire(self) {
+        let registry = Arc::clone(&self.registry);
+        let index = self.index;
+        registry.probe(ProbeEvent::WorkerDied { worker: index });
+        // Seal against (impossible, but cheap to enforce) further pushes
+        // and drain everything the owner can still claim back into the
+        // injector. Thieves racing the drain keep exactly-once semantics:
+        // whatever they win is executed instead of reinjected.
+        let reclaimed = self.deque.seal();
+        let jobs = reclaimed.len();
+        if jobs > 0 {
+            registry.reinject(reclaimed);
         }
+        registry.probe(ProbeEvent::DequeReclaimed { worker: index, jobs });
+        if let Some(sup) = registry.supervision() {
+            // Death is recorded only after the drain above, so thieves
+            // never skip a "dead" slot that still holds work, and an
+            // installer observing `live == 0` knows the injector already
+            // has everything.
+            sup.note_death(index);
+            let WorkerThread { deque, .. } = self;
+            sup.offer_orphan(index, deque);
+        }
+        registry.probe(ProbeEvent::WorkerTerminate { worker: index });
     }
 
     /// Parks this worker until new work might exist. A bounded timeout
@@ -587,5 +802,120 @@ mod tests {
         for h in handles {
             h.join().expect("worker panicked");
         }
+    }
+
+    /// Polls `cond` until it holds or `deadline` elapses.
+    fn wait_for(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let start = std::time::Instant::now();
+        while start.elapsed() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        cond()
+    }
+
+    #[test]
+    fn escaped_panic_retires_worker_reclaims_deque_and_respawns() {
+        use crate::job::HeapJob;
+        use crate::supervisor::SupervisionPolicy;
+        use std::sync::atomic::AtomicUsize;
+
+        const PLANTED: usize = 8;
+        let config = Config::new()
+            .num_workers(1)
+            .supervision(SupervisionPolicy::new().max_respawns(2).seed(7));
+        let (registry, handles) = Registry::new(&config).expect("spawn workers");
+        let ran = Arc::new(AtomicUsize::new(0));
+        let bomb = {
+            let ran = Arc::clone(&ran);
+            HeapJob::new(0, move |_| {
+                // Plant jobs on the (sole) worker's own deque, then panic
+                // out of the job boundary: the worker must retire,
+                // reclaim the planted jobs, and a respawned replacement
+                // must run every one of them.
+                // SAFETY: running on a pool worker, so current() is
+                // non-null and valid.
+                let wt = unsafe { &*WorkerThread::current() };
+                for _ in 0..PLANTED {
+                    let ran = Arc::clone(&ran);
+                    let job = HeapJob::new(wt.index(), move |_| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    });
+                    // SAFETY: planted jobs are executed (possibly after
+                    // reclamation) exactly once.
+                    wt.push(unsafe { job.into_job_ref() });
+                }
+                panic!("simulated runtime bug escaping the job boundary");
+            })
+        };
+        // SAFETY: the injected job is executed exactly once.
+        registry.inject(unsafe { bomb.into_job_ref() });
+
+        assert!(
+            wait_for(Duration::from_secs(10), || ran.load(Ordering::SeqCst) == PLANTED),
+            "planted jobs stranded: {} of {PLANTED} ran",
+            ran.load(Ordering::SeqCst)
+        );
+        assert!(
+            wait_for(Duration::from_secs(10), || {
+                registry.metrics().workers_respawned == 1
+            }),
+            "replacement never recorded: {:?}",
+            registry.metrics()
+        );
+        let m = registry.metrics();
+        assert_eq!(m.workers_died, 1, "{m:?}");
+        assert_eq!(m.jobs_reclaimed, PLANTED as u64, "{m:?}");
+        let sup = registry.supervision().expect("supervised pool");
+        assert!(wait_for(Duration::from_secs(5), || sup.live() == 1));
+
+        registry.terminate();
+        for h in handles {
+            h.join().expect("worker/monitor panicked");
+        }
+        for h in sup.take_respawned_handles() {
+            h.join().expect("respawned worker panicked");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_serial_installs() {
+        use crate::job::HeapJob;
+        use crate::supervisor::SupervisionPolicy;
+
+        let config = Config::new()
+            .num_workers(1)
+            .supervision(SupervisionPolicy::new().max_respawns(0).seed(11));
+        let (registry, handles) = Registry::new(&config).expect("spawn workers");
+        let kill = HeapJob::new(0, |_| {
+            // SAFETY: running on a pool worker, so current() is non-null.
+            let wt = unsafe { &*WorkerThread::current() };
+            wt.request_death();
+        });
+        // SAFETY: the injected job is executed exactly once.
+        registry.inject(unsafe { kill.into_job_ref() });
+        let sup = registry.supervision().expect("supervised pool");
+        assert!(
+            wait_for(Duration::from_secs(10), || sup.live() == 0),
+            "worker never retired"
+        );
+        // Budget 0: recovery is impossible, so an install must run
+        // serially in place instead of stalling forever.
+        let v = registry.in_worker_checked(|_| 6 * 7).expect("serial fallback");
+        assert_eq!(v, 42);
+        let m = registry.metrics();
+        assert!(m.pool_degraded >= 1, "{m:?}");
+        assert_eq!(registry.queued_jobs(), 0, "no job may linger: {m:?}");
+
+        registry.terminate();
+        for h in handles {
+            h.join().expect("worker/monitor panicked");
+        }
+        assert!(
+            sup.take_respawned_handles().is_empty(),
+            "budget 0 must never respawn"
+        );
     }
 }

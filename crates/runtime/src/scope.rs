@@ -174,6 +174,9 @@ impl<'scope> Scope<'scope> {
         }
         // SAFETY: current() is non-null here and valid for this thread.
         let wt = unsafe { &*wt };
+        // Strand boundary: tell the supervisor this worker is making
+        // progress.
+        wt.beat();
         wt.registry().probe(ProbeEvent::ScopeSpawn { worker: wt.index() });
         wt.push(job_ref);
     }

@@ -1,0 +1,538 @@
+//! Worker supervision: watchdog, work reclamation, respawn, degradation.
+//!
+//! The fault seam of `crate::fault` lets a pool *lose* workers (an injected
+//! [`FaultAction::Die`](crate::fault::FaultAction::Die), or a panic that
+//! escapes the job boundary). Without supervision such a loss is permanent:
+//! the pool runs on the survivors forever and an install on a fully dead
+//! pool can only be diagnosed, never served. This module adds the recovery
+//! layer:
+//!
+//! * **Watchdog.** Every worker bumps a per-slot heartbeat epoch at its
+//!   scheduling-loop boundaries (top of loop, steal rounds, `join` entry,
+//!   scope spawns). A low-frequency monitor thread — one per supervised
+//!   pool — scans the epochs each [`SupervisionPolicy::check_interval`] and
+//!   counts *suspect* workers (alive but not beating). Death itself is
+//!   reported synchronously: a dying worker hands its deque to the monitor
+//!   as an orphan. When supervision is off none of this exists — the beat
+//!   is a single `Option` discriminant test and no monitor is spawned,
+//!   preserving the probe layer's disabled-cost contract.
+//! * **Work reclamation.** A dying worker seals its deque
+//!   ([`cilk_deque::Worker::seal`]) and drains every job it can still claim
+//!   back into the pool's injector, so no task is stranded no matter when
+//!   the death lands. The drain is raced by thieves under the Chase–Lev
+//!   exactly-once protocol; whatever they win is simply executed instead.
+//! * **Respawn.** The monitor replaces dead workers while the
+//!   [`SupervisionPolicy::max_respawns`] budget lasts, after a seeded
+//!   exponential backoff (testkit PRNG — deterministic per seed). The
+//!   replacement adopts the dead worker's *slot and deque identity*: the
+//!   registry's stealer for that slot still points at the same deque, so
+//!   pedigrees, victim selection, and Cilkview strand profiles stay
+//!   coherent across the swap.
+//! * **Degradation.** With the budget exhausted the pool shrinks its
+//!   steal-victim set to the survivors and keeps executing. At zero live
+//!   workers an `install` runs serially in place on the caller's thread
+//!   (see `Registry::in_worker_checked`) instead of stalling.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cilk_deque::Worker as DequeWorker;
+use cilk_testkit::rng::mix_str;
+use cilk_testkit::Rng;
+
+use crate::job::JobRef;
+use crate::poison;
+use crate::probe::ProbeEvent;
+use crate::registry::Registry;
+
+/// Recovery policy for a supervised pool, set with
+/// [`Config::supervision`](crate::Config::supervision).
+///
+/// The defaults are tuned for tests and interactive workloads: a respawn
+/// budget of 16, sub-millisecond initial backoff capped at 20 ms, and a
+/// 1 ms watchdog tick. Production pools should widen the backoff.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_runtime::{Config, SupervisionPolicy, ThreadPool};
+///
+/// let pool = ThreadPool::with_config(
+///     Config::new()
+///         .num_workers(2)
+///         .supervision(SupervisionPolicy::new().max_respawns(4).seed(7)),
+/// )?;
+/// assert_eq!(pool.live_workers(), 2);
+/// # Ok::<(), cilk_runtime::BuildPoolError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisionPolicy {
+    pub(crate) max_respawns: u32,
+    pub(crate) backoff_base: Duration,
+    pub(crate) backoff_cap: Duration,
+    pub(crate) check_interval: Duration,
+    pub(crate) seed: u64,
+}
+
+impl SupervisionPolicy {
+    /// The default policy: budget 16, 500 µs base backoff capped at 20 ms,
+    /// 1 ms watchdog tick, seed 0.
+    pub fn new() -> Self {
+        SupervisionPolicy {
+            max_respawns: 16,
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(20),
+            check_interval: Duration::from_millis(1),
+            seed: 0,
+        }
+    }
+
+    /// Total replacement workers the pool may ever spawn. A budget of 0
+    /// disables respawning entirely: losses degrade the pool immediately.
+    pub fn max_respawns(mut self, budget: u32) -> Self {
+        self.max_respawns = budget;
+        self
+    }
+
+    /// Exponential-backoff window before each respawn: the `k`-th respawn
+    /// waits roughly `base * 2^k`, jittered, never above `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero or `cap < base`.
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        assert!(!base.is_zero(), "backoff base must be positive");
+        assert!(cap >= base, "backoff cap must be at least the base");
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// How often the watchdog scans heartbeats and the orphan queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn check_interval(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "check interval must be positive");
+        self.check_interval = interval;
+        self
+    }
+
+    /// Seeds the backoff jitter PRNG. Two pools with the same policy, the
+    /// same fault plan, and one worker replay identical recovery schedules.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The bounded wait step installers use while a recovery might still
+    /// happen (they must re-check the pool's state, not block forever).
+    pub(crate) fn wait_step(&self) -> Duration {
+        self.check_interval.max(Duration::from_millis(1))
+    }
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time view of a supervised pool's recovery state, from
+/// [`ThreadPool::supervisor_report`](crate::ThreadPool::supervisor_report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Workers currently alive (original or replacement).
+    pub live_workers: usize,
+    /// Replacement workers spawned so far.
+    pub respawns_used: u64,
+    /// The policy's total respawn budget.
+    pub respawn_budget: u32,
+    /// Whether the pool has taken an unrecoverable loss (budget exhausted
+    /// or a respawn failed).
+    pub degraded: bool,
+    /// Alive-but-not-beating workers seen at the watchdog's last scan.
+    pub suspect_workers: usize,
+    /// Per-slot heartbeat epochs (monotonic; bumped at scheduling-loop
+    /// boundaries).
+    pub heartbeats: Vec<u64>,
+}
+
+/// A dead worker's slot and deque, queued for the monitor to adopt.
+pub(crate) struct Orphan {
+    pub(crate) slot: usize,
+    pub(crate) deque: DequeWorker<JobRef>,
+}
+
+/// Per-pool supervision state, embedded in the registry when
+/// [`Config::supervision`](crate::Config::supervision) is set.
+pub(crate) struct Supervision {
+    pub(crate) policy: SupervisionPolicy,
+    /// Monotonic per-slot liveness epochs (relaxed; diagnostic only).
+    heartbeats: Vec<AtomicU64>,
+    /// Which slots currently have a live worker.
+    alive: Vec<AtomicBool>,
+    /// Count of `true` bits in `alive`.
+    live: AtomicUsize,
+    /// Replacement workers spawned (monotonic; bounded by the budget).
+    respawns_used: AtomicU64,
+    /// Respawns reserved (budget consumed) but not yet live — the window
+    /// covering the backoff sleep. Installers treat a pending respawn as
+    /// "recovery in flight" and keep waiting.
+    pending_respawns: AtomicUsize,
+    /// Set on the first unrecoverable loss.
+    degraded: AtomicBool,
+    /// Suspect count from the watchdog's last heartbeat scan.
+    suspects: AtomicUsize,
+    /// Deques handed over by dying workers, awaiting adoption.
+    orphans: Mutex<Vec<Orphan>>,
+    /// Join handles of replacement workers (the originals live in
+    /// `ThreadPool::handles`).
+    respawned_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Supervision {
+    pub(crate) fn new(workers: usize, policy: SupervisionPolicy) -> Self {
+        Supervision {
+            policy,
+            heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            alive: (0..workers).map(|_| AtomicBool::new(true)).collect(),
+            live: AtomicUsize::new(workers),
+            respawns_used: AtomicU64::new(0),
+            pending_respawns: AtomicUsize::new(0),
+            degraded: AtomicBool::new(false),
+            suspects: AtomicUsize::new(0),
+            orphans: Mutex::new(Vec::new()),
+            respawned_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// One heartbeat from worker `slot`. Out-of-range slots (the serial
+    /// fallback's emergency worker) are ignored.
+    #[inline]
+    pub(crate) fn beat(&self, slot: usize) {
+        if let Some(h) = self.heartbeats.get(slot) {
+            h.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn is_alive(&self, slot: usize) -> bool {
+        self.alive.get(slot).is_none_or(|a| a.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn live(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn respawns_used(&self) -> u64 {
+        self.respawns_used.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Whether a lost worker can still come back: budget remains, or a
+    /// respawn is already in its backoff window. While this holds,
+    /// installers on a zero-live pool keep waiting instead of degrading
+    /// to serial execution.
+    pub(crate) fn recovery_possible(&self) -> bool {
+        self.pending_respawns.load(Ordering::SeqCst) > 0
+            || self.respawns_used.load(Ordering::SeqCst) < u64::from(self.policy.max_respawns)
+    }
+
+    /// Marks `slot` dead. Called by the dying worker *after* its deque has
+    /// been drained, so a thief never skips a slot that still holds work.
+    pub(crate) fn note_death(&self, slot: usize) {
+        if self.alive[slot].swap(false, Ordering::SeqCst) {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn note_alive(&self, slot: usize) {
+        if !self.alive[slot].swap(true, Ordering::SeqCst) {
+            self.live.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    pub(crate) fn offer_orphan(&self, slot: usize, deque: DequeWorker<JobRef>) {
+        poison::recover(self.orphans.lock()).push(Orphan { slot, deque });
+    }
+
+    fn take_orphans(&self) -> Vec<Orphan> {
+        std::mem::take(&mut *poison::recover(self.orphans.lock()))
+    }
+
+    /// Reserves one unit of respawn budget; returns the 0-based attempt
+    /// number, or `None` when the budget is spent.
+    fn try_reserve_respawn(&self) -> Option<u64> {
+        let budget = u64::from(self.policy.max_respawns);
+        let mut used = self.respawns_used.load(Ordering::SeqCst);
+        loop {
+            if used >= budget {
+                return None;
+            }
+            match self.respawns_used.compare_exchange(
+                used,
+                used + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    self.pending_respawns.fetch_add(1, Ordering::SeqCst);
+                    return Some(used);
+                }
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    pub(crate) fn take_respawned_handles(&self) -> Vec<JoinHandle<()>> {
+        std::mem::take(&mut *poison::recover(self.respawned_handles.lock()))
+    }
+
+    pub(crate) fn report(&self) -> SupervisorReport {
+        SupervisorReport {
+            live_workers: self.live(),
+            respawns_used: self.respawns_used(),
+            respawn_budget: self.policy.max_respawns,
+            degraded: self.is_degraded(),
+            suspect_workers: self.suspects.load(Ordering::Relaxed),
+            heartbeats: self
+                .heartbeats
+                .iter()
+                .map(|h| h.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// One watchdog scan: counts alive slots whose epoch did not advance
+    /// since `last`. Purely diagnostic — death is reported synchronously
+    /// via the orphan queue, and a suspect may just be parked idle.
+    fn scan_heartbeats(&self, last: &mut [u64]) {
+        let mut suspects = 0;
+        for (slot, h) in self.heartbeats.iter().enumerate() {
+            let now = h.load(Ordering::Relaxed);
+            if now == last[slot] && self.is_alive(slot) {
+                suspects += 1;
+            }
+            last[slot] = now;
+        }
+        self.suspects.store(suspects, Ordering::Relaxed);
+    }
+}
+
+/// The backoff before attempt `k` (0-based): `base * 2^k` capped at `cap`,
+/// then jittered to `[delay/2, delay]` with the policy-seeded PRNG.
+fn backoff_delay(policy: &SupervisionPolicy, attempt: u64, rng: &mut Rng) -> Duration {
+    let shift = attempt.min(16) as u32;
+    let full = policy
+        .backoff_base
+        .saturating_mul(1u32 << shift.min(16))
+        .min(policy.backoff_cap);
+    let half = full / 2;
+    let jitter_ns = rng.gen_range(0..=half.as_nanos() as u64);
+    half + Duration::from_nanos(jitter_ns)
+}
+
+/// Sleeps up to `total`, returning early (false) if the pool terminates.
+fn interruptible_sleep(registry: &Registry, total: Duration) -> bool {
+    const SLICE: Duration = Duration::from_micros(200);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if registry.should_terminate() {
+            return false;
+        }
+        let step = remaining.min(SLICE);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+    !registry.should_terminate()
+}
+
+/// The monitor thread of one supervised pool.
+///
+/// Ticks every `check_interval`: adopts orphaned deques (respawning a
+/// replacement after backoff while the budget lasts, degrading otherwise)
+/// and scans heartbeats for suspects. Exits when the pool terminates.
+pub(crate) fn monitor_main(registry: Arc<Registry>) {
+    let sup = registry
+        .supervision()
+        .expect("monitor spawned without supervision state");
+    let mut rng = Rng::from_keys(sup.policy.seed, &[mix_str("cilk-runtime.supervisor")]);
+    let mut last_beats = vec![0u64; registry.num_workers()];
+    while !registry.should_terminate() {
+        for orphan in sup.take_orphans() {
+            if registry.should_terminate() {
+                return;
+            }
+            match sup.try_reserve_respawn() {
+                Some(attempt) => {
+                    let delay = backoff_delay(&sup.policy, attempt, &mut rng);
+                    if !interruptible_sleep(&registry, delay) {
+                        sup.pending_respawns.fetch_sub(1, Ordering::SeqCst);
+                        return;
+                    }
+                    let Orphan { slot, deque } = orphan;
+                    deque.unseal();
+                    match registry.spawn_worker(slot, deque, attempt + 1) {
+                        Ok(handle) => {
+                            // Liveness first, then the pending count: at
+                            // every instant either `live > 0` holds or a
+                            // recovery is still accounted as in flight, so
+                            // installers never degrade during the swap.
+                            sup.note_alive(slot);
+                            sup.pending_respawns.fetch_sub(1, Ordering::SeqCst);
+                            poison::recover(sup.respawned_handles.lock()).push(handle);
+                            registry.probe(ProbeEvent::WorkerRespawned { worker: slot });
+                            registry.wake_all();
+                        }
+                        Err(_) => {
+                            // The OS refused a thread. Treat as an
+                            // unrecoverable loss of this slot.
+                            sup.pending_respawns.fetch_sub(1, Ordering::SeqCst);
+                            sup.degraded.store(true, Ordering::SeqCst);
+                            registry.probe(ProbeEvent::PoolDegraded { live: sup.live() });
+                        }
+                    }
+                }
+                None => {
+                    // Budget exhausted: the slot stays dead and its (already
+                    // drained) deque is dropped. Survivors keep running.
+                    sup.degraded.store(true, Ordering::SeqCst);
+                    registry.probe(ProbeEvent::PoolDegraded { live: sup.live() });
+                }
+            }
+        }
+        sup.scan_heartbeats(&mut last_beats);
+        if !interruptible_sleep(&registry, sup.policy.check_interval) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_builder_and_equality() {
+        let p = SupervisionPolicy::new()
+            .max_respawns(3)
+            .backoff(Duration::from_millis(1), Duration::from_millis(8))
+            .check_interval(Duration::from_millis(2))
+            .seed(42);
+        assert_eq!(p.max_respawns, 3);
+        assert_eq!(p, p.clone());
+        assert_ne!(p, SupervisionPolicy::new());
+        assert_eq!(SupervisionPolicy::default(), SupervisionPolicy::new());
+        assert!(format!("{p:?}").contains("max_respawns"));
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff base")]
+    fn zero_backoff_base_rejected() {
+        let _ = SupervisionPolicy::new().backoff(Duration::ZERO, Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff cap")]
+    fn inverted_backoff_rejected() {
+        let _ = SupervisionPolicy::new()
+            .backoff(Duration::from_millis(2), Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "check interval")]
+    fn zero_check_interval_rejected() {
+        let _ = SupervisionPolicy::new().check_interval(Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded() {
+        let policy = SupervisionPolicy::new()
+            .backoff(Duration::from_micros(100), Duration::from_millis(5))
+            .seed(99);
+        let draw = || {
+            let mut rng = Rng::from_keys(policy.seed, &[mix_str("cilk-runtime.supervisor")]);
+            (0..8)
+                .map(|k| backoff_delay(&policy, k, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = draw();
+        let b = draw();
+        assert_eq!(a, b, "same seed must replay the same backoff schedule");
+        for (k, d) in a.iter().enumerate() {
+            let full = policy
+                .backoff_base
+                .saturating_mul(1 << (k as u32).min(16))
+                .min(policy.backoff_cap);
+            assert!(*d >= full / 2 && *d <= full, "attempt {k}: {d:?} vs {full:?}");
+            assert!(*d <= policy.backoff_cap);
+        }
+    }
+
+    #[test]
+    fn backoff_caps_exponent_shift() {
+        // Attempt numbers far past the doubling range must not overflow.
+        let policy = SupervisionPolicy::new();
+        let mut rng = Rng::seed_from_u64(1);
+        let d = backoff_delay(&policy, 1_000, &mut rng);
+        assert!(d <= policy.backoff_cap);
+    }
+
+    #[test]
+    fn liveness_accounting() {
+        let sup = Supervision::new(3, SupervisionPolicy::new().max_respawns(1));
+        assert_eq!(sup.live(), 3);
+        assert!(sup.is_alive(1));
+        sup.note_death(1);
+        sup.note_death(1); // idempotent
+        assert_eq!(sup.live(), 2);
+        assert!(!sup.is_alive(1));
+        assert!(sup.recovery_possible());
+        assert_eq!(sup.try_reserve_respawn(), Some(0));
+        assert!(sup.recovery_possible(), "pending respawn keeps recovery alive");
+        sup.note_alive(1);
+        sup.pending_respawns.fetch_sub(1, Ordering::SeqCst);
+        assert_eq!(sup.live(), 3);
+        assert_eq!(sup.try_reserve_respawn(), None, "budget of 1 is spent");
+        assert!(!sup.recovery_possible());
+    }
+
+    #[test]
+    fn heartbeat_scan_flags_silent_slots() {
+        let sup = Supervision::new(2, SupervisionPolicy::new());
+        let mut last = vec![0u64; 2];
+        sup.beat(0);
+        sup.scan_heartbeats(&mut last);
+        assert_eq!(sup.report().suspect_workers, 1, "slot 1 never beat");
+        sup.note_death(1);
+        sup.scan_heartbeats(&mut last);
+        assert_eq!(
+            sup.report().suspect_workers,
+            1,
+            "slot 0 is silent; dead slot 1 is not a suspect"
+        );
+        sup.beat(0);
+        sup.scan_heartbeats(&mut last);
+        assert_eq!(sup.report().suspect_workers, 0, "live slot beat again");
+        // Out-of-range beats (the emergency serial worker) are ignored.
+        sup.beat(17);
+        assert_eq!(sup.report().heartbeats, vec![2, 0]);
+    }
+
+    #[test]
+    fn report_reflects_state() {
+        let sup = Supervision::new(2, SupervisionPolicy::new().max_respawns(5));
+        let r = sup.report();
+        assert_eq!(r.live_workers, 2);
+        assert_eq!(r.respawn_budget, 5);
+        assert_eq!(r.respawns_used, 0);
+        assert!(!r.degraded);
+        assert_eq!(r.heartbeats.len(), 2);
+    }
+}

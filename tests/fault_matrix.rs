@@ -29,7 +29,7 @@ use std::time::Duration;
 
 use cilk::hyper::ReducerList;
 use cilk::runtime::fault::{FaultAction, FaultSite, InjectedFault};
-use cilk::runtime::{Grain, RuntimeStalled, ThreadPool};
+use cilk::runtime::{Grain, RuntimeStalled, SupervisionPolicy, ThreadPool};
 use cilk::Config;
 use cilk_faults::{ArmedPlan, FaultPlan, Injection, PlanShape};
 use cilk_workloads::{build_tree, fib_cutoff, fib_serial, matmul, matmul_serial, qsort, Matrix};
@@ -76,6 +76,9 @@ enum Workload {
     Qsort,
     Matmul,
     TreeReducer,
+    /// A `cilk_for` map-reduce: the only workload that reaches the
+    /// `loop-chunk` fault site.
+    MapReduce,
 }
 
 const WORKLOADS: [Workload; 4] =
@@ -88,6 +91,7 @@ impl Workload {
             Workload::Qsort => "qsort",
             Workload::Matmul => "matmul",
             Workload::TreeReducer => "tree-reducer",
+            Workload::MapReduce => "map-reduce",
         }
     }
 
@@ -109,6 +113,7 @@ impl Workload {
                 cilk_workloads::walk_serial(&tree, 3, 1, &mut out);
                 digest_u64(&out)
             }
+            Workload::MapReduce => (0..512u64).map(|i| i * i).sum(),
         }
     }
 
@@ -130,6 +135,13 @@ impl Workload {
                 cilk_workloads::walk_reducer(&tree, 3, 1, &out);
                 digest_u64(&out.into_value())
             }
+            Workload::MapReduce => cilk::runtime::map_reduce_index(
+                0..512,
+                Grain::Explicit(16),
+                || 0u64,
+                |i| (i as u64) * (i as u64),
+                |a, b| a + b,
+            ),
         }
     }
 }
@@ -385,6 +397,258 @@ fn dead_worker_turns_next_install_into_runtime_stalled() {
     let metrics = pool.metrics();
     assert_eq!(metrics.workers_died, 1);
     drop(pool); // a dead worker must not block pool teardown
+}
+
+fn supervised_pool(workers: usize, budget: u32, armed: &std::sync::Arc<ArmedPlan>) -> ThreadPool {
+    let config = Config::new()
+        .num_workers(workers)
+        .fault_handler(armed.as_handler())
+        .supervision(SupervisionPolicy::new().max_respawns(budget).seed(0xDAC));
+    ThreadPool::with_config(config).expect("pool builds")
+}
+
+/// Waits (bounded) until a supervised pool's recovery has settled:
+/// `deaths` workers have retired, each death within the budget has been
+/// answered by a respawn, and no reclaimed job lingers in the injector.
+fn quiesce_supervised(pool: &ThreadPool, deaths: u64, budget: u32, ctx: &str) {
+    let settled = |m: &cilk::runtime::MetricsSnapshot| {
+        m.workers_died == deaths
+            && m.workers_respawned == deaths.min(budget as u64)
+            && pool.queued_jobs() == 0
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !settled(&pool.metrics()) && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let m = pool.metrics();
+    assert!(
+        settled(&m),
+        "{ctx}: recovery never settled (want {deaths} deaths, \
+         {} respawns, empty queue): {m:?}, report {:?}",
+        deaths.min(budget as u64),
+        pool.supervisor_report(),
+    );
+}
+
+/// Checks the supervision counter contract after a settled run: respawns
+/// never exceed the budget or the death count, and every death is either
+/// answered by a respawn or visible as a permanently lost slot.
+fn check_supervision_counters(pool: &ThreadPool, workers: usize, budget: u32, ctx: &str) {
+    let m = pool.metrics();
+    let report = pool.supervisor_report().expect("supervised pool");
+    assert!(m.workers_respawned <= budget as u64, "{ctx}: {m:?}");
+    assert!(m.workers_respawned <= m.workers_died, "{ctx}: {m:?}");
+    if budget == 0 {
+        assert_eq!(m.workers_respawned, 0, "{ctx}: {m:?}");
+    }
+    assert_eq!(
+        m.workers_died - m.workers_respawned,
+        (workers - report.live_workers) as u64,
+        "{ctx}: every death is respawned or a lost slot: {m:?}, {report:?}"
+    );
+    assert_eq!(pool.queued_jobs(), 0, "{ctx}: reclaimed job stranded");
+}
+
+/// One cell of the recovery matrix: `Die` planted at `site`, a supervised
+/// pool, two installs of `workload`. Both installs must complete with the
+/// correct digest — on replacements when the budget allows, on survivors
+/// (or serially, at zero workers) when it does not.
+fn recovery_cell(site: FaultSite, workload: Workload, budget: u32, workers: usize) {
+    let plan = FaultPlan::single(site, 1, FaultAction::Die);
+    let armed = plan.armed();
+    let pool = supervised_pool(workers, budget, &armed);
+    let ctx = format!(
+        "site {site}, {}, budget {budget}, {workers}w",
+        workload.name()
+    );
+    for round in 0..2 {
+        let outcome = run_case(&pool, || workload.run());
+        assert_eq!(
+            outcome,
+            Outcome::Completed(workload.expected()),
+            "{ctx}, round {round}"
+        );
+    }
+    assert_eq!(cilk::hyper::live_views(), 0, "{ctx}");
+    // Death is deferred to the doomed worker's next top-of-loop, so it can
+    // land after the install returns; wait for recovery to settle before
+    // judging the counters. (The site may legitimately never fire — e.g.
+    // `steal` on a one-worker pool has no victims to steal from.)
+    let deaths = armed.fired_count() as u64;
+    quiesce_supervised(&pool, deaths, budget, &ctx);
+    check_supervision_counters(&pool, workers, budget, &ctx);
+    drop(pool);
+}
+
+/// The recovery matrix: `Die` at every fault-site class × respawn budget
+/// {on, zero} × 1/2/4 workers × real workloads. The `loop-chunk` site only
+/// fires inside `cilk_for`, so it is paired with the map-reduce workload.
+#[test]
+fn supervised_recovery_matrix() {
+    let _serial = serial();
+    let cells: &[(FaultSite, Workload)] = &[
+        (FaultSite::Steal, Workload::Fib),
+        (FaultSite::Spawn, Workload::Fib),
+        (FaultSite::Steal, Workload::Qsort),
+        (FaultSite::Spawn, Workload::Qsort),
+        (FaultSite::Steal, Workload::TreeReducer),
+        (FaultSite::Spawn, Workload::TreeReducer),
+        (FaultSite::LoopChunk, Workload::MapReduce),
+    ];
+    for &(site, workload) in cells {
+        for budget in [4u32, 0] {
+            for workers in [1usize, 2, 4] {
+                recovery_cell(site, workload, budget, workers);
+            }
+        }
+    }
+}
+
+/// Supervised runs replay deterministically: at one worker the structural
+/// sites fire at fixed occurrences, so the same plan JSON yields the
+/// identical outcomes *and* identical recovery counters.
+#[test]
+fn supervised_structural_replay_is_deterministic() {
+    let _serial = serial();
+    for site in [FaultSite::Spawn, FaultSite::Sync, FaultSite::LoopChunk] {
+        for nth in [1u64, 3] {
+            let plan = FaultPlan::single(site, nth, FaultAction::Die);
+            let replayed = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+            let workload = if site == FaultSite::LoopChunk {
+                Workload::MapReduce
+            } else {
+                Workload::Fib
+            };
+            let run_once = |p: &FaultPlan| {
+                let armed = p.armed();
+                let pool = supervised_pool(1, 4, &armed);
+                let outcomes: Vec<Outcome> =
+                    (0..2).map(|_| run_case(&pool, || workload.run())).collect();
+                let deaths = armed.fired_count() as u64;
+                quiesce_supervised(&pool, deaths, 4, &format!("replay {site} nth {nth}"));
+                let m = pool.metrics();
+                (
+                    outcomes,
+                    armed.occurrences(site),
+                    armed.fired_count(),
+                    m.workers_died,
+                    m.workers_respawned,
+                )
+            };
+            assert_eq!(run_once(&plan), run_once(&replayed), "site {site}, nth {nth}");
+            assert_eq!(cilk::hyper::live_views(), 0);
+        }
+    }
+}
+
+/// One chaos-soak case: a death-heavy generated plan against a supervised
+/// 4-worker pool running every workload. Whatever the plan provoked, the
+/// contract holds: correct results (or the planted panic), zero leaked
+/// views, zero stranded jobs, and self-consistent recovery counters.
+fn chaos_case(seed: u64) {
+    const WORKERS: usize = 4;
+    const BUDGET: u32 = 8;
+    let plan = FaultPlan::generate_chaos(seed, &FaultSite::ALL);
+    let armed = plan.armed();
+    let pool = supervised_pool(WORKERS, BUDGET, &armed);
+    let ctx = format!("chaos seed {seed}, plan {plan}");
+    for workload in WORKLOADS {
+        let outcome = run_case(&pool, || workload.run());
+        if let Outcome::Completed(digest) = outcome {
+            assert_eq!(
+                digest,
+                workload.expected(),
+                "{ctx}, {}",
+                workload.name()
+            );
+        }
+    }
+    assert_eq!(cilk::hyper::live_views(), 0, "{ctx}");
+    // The number of deaths is plan-dependent (a worker hit by two `Die`
+    // injections dies once), so wait for stability instead of an exact
+    // count: the queue drained and two consecutive samples agree.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let sample = |pool: &ThreadPool| {
+        let m = pool.metrics();
+        (m.workers_died, m.workers_respawned, pool.live_workers(), pool.queued_jobs())
+    };
+    let mut prev = sample(&pool);
+    loop {
+        std::thread::sleep(Duration::from_millis(25));
+        let cur = sample(&pool);
+        let (died, respawned, live, queued) = cur;
+        if queued == 0
+            && cur == prev
+            && died - respawned == (WORKERS - live) as u64
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{ctx}: never quiesced: {cur:?}"
+        );
+        prev = cur;
+    }
+    check_supervision_counters(&pool, WORKERS, BUDGET, &ctx);
+    drop(pool);
+}
+
+/// The pinned chaos-soak slice CI runs by name (`ci.sh` step
+/// "chaos-soak slice"): deterministic death-heavy plans.
+#[test]
+fn chaos_soak_pinned_seeds() {
+    let _serial = serial();
+    for seed in 0..6u64 {
+        chaos_case(seed);
+    }
+}
+
+/// The randomized chaos-soak slice: seeds derive from the workspace base
+/// seed and are printed for replay, like `randomized_seed_slice`.
+#[test]
+fn chaos_soak_randomized() {
+    let _serial = serial();
+    let mut rng = cilk_testkit::rng_for("fault-matrix.chaos");
+    let seeds: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+    println!(
+        "chaos soak randomized slice: CILK_TEST_SEED={:#x} -> plan seeds {:x?}",
+        cilk_testkit::base_seed(),
+        seeds
+    );
+    for &seed in &seeds {
+        chaos_case(seed);
+    }
+}
+
+/// The satellite bugfix regression: jobs sitting on a doomed worker's
+/// deque when it dies must be reclaimed and executed, not silently
+/// stranded. A one-worker supervised pool plants a scope full of tasks and
+/// kills the worker at its first spawn; every planted task must still run.
+#[test]
+fn dying_worker_strands_no_planted_jobs() {
+    let _serial = serial();
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    const TASKS: usize = 64;
+    let plan = FaultPlan::single(FaultSite::Spawn, 1, FaultAction::Die);
+    let armed = plan.armed();
+    let pool = supervised_pool(1, 2, &armed);
+    let ran = AtomicUsize::new(0);
+    pool.install(|| {
+        cilk::runtime::scope(|s| {
+            for _ in 0..TASKS {
+                s.spawn(|_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+    });
+    assert_eq!(ran.load(Ordering::SeqCst), TASKS, "planted jobs lost");
+    let deaths = armed.fired_count() as u64;
+    quiesce_supervised(&pool, deaths, 2, "stranded-jobs regression");
+    let m = pool.metrics();
+    assert_eq!(m.workers_died, 1, "the planted death fires: {m:?}");
+    check_supervision_counters(&pool, 1, 2, "stranded-jobs regression");
+    drop(pool);
 }
 
 /// Worker death at 4 workers degrades capacity but not correctness, and
