@@ -26,6 +26,24 @@ fi
 echo "== tier-1: test suite =="
 cargo test -q --offline --workspace
 
+echo "== cilk-check: bounded-exhaustive model suites (docs/model-checking.md) =="
+# Under --cfg cilk_check the deque swaps std::sync::atomic for the
+# cilk-check shims, so the models explore the shipping deque code itself.
+# A separate target dir keeps the two cfg builds from evicting each
+# other's incremental cache. Any counterexample prints a copy-pasteable
+#   CILK_TEST_SEED=... CILK_CHECK_SCHEDULE=... cargo test ...
+# repro line that replays the exact failing interleaving.
+RUSTFLAGS="--cfg cilk_check -D warnings" CARGO_TARGET_DIR=target/check \
+    cargo test -q --offline -p cilk-check -p cilk-deque
+
+echo "== cilk-check: randomized deep slice (seed printed for replay) =="
+# Unbounded random walks over a model too large to enumerate; one fresh
+# seed per CI run, printed so the whole run replays from the seed alone.
+CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
+    RUSTFLAGS="--cfg cilk_check -D warnings" CARGO_TARGET_DIR=target/check \
+    cargo test -q --offline -p cilk-check --test models -- --ignored --nocapture \
+    | grep -v '^$'
+
 echo "== fault matrix: pinned-seed slice (docs/faults.md) =="
 # Deterministic plans over every site at 1/2/4 workers; already part of
 # the workspace suite above, repeated here by name so a matrix failure is

@@ -1,0 +1,92 @@
+//! Vector clocks: the happens-before bookkeeping of the checker's
+//! weak-memory model.
+//!
+//! Every virtual thread carries a [`VClock`]; every store event is stamped
+//! with `(tid, seq)` where `seq` is the storer's own component after a
+//! [`VClock::tick`]. "Event E happens-before thread T" is then the test
+//! `T.clock.contains(E.tid, E.seq)`.
+
+/// A grow-on-demand vector clock over virtual-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    /// The empty clock (bottom element: happens-after nothing).
+    pub fn new() -> Self {
+        VClock { slots: Vec::new() }
+    }
+
+    /// This clock's component for `tid` (0 when never ticked or joined).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s own component and returns the new value. The
+    /// returned sequence number uniquely stamps one event of that thread.
+    pub fn tick(&mut self, tid: usize) -> u32 {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+        self.slots[tid]
+    }
+
+    /// Pointwise maximum: afterwards `self` happens-after everything either
+    /// clock happened-after.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether the event `(tid, seq)` happens-before (or is) this clock.
+    /// Sequence 0 is the pre-execution epoch, which happens-before
+    /// everything.
+    pub fn contains(&self, tid: usize, seq: u32) -> bool {
+        seq == 0 || self.get(tid) >= seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        assert_eq!(c.tick(3), 1);
+        assert_eq!(c.tick(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+    }
+
+    #[test]
+    fn contains_epoch_and_events() {
+        let mut c = VClock::new();
+        assert!(c.contains(7, 0), "epoch events happen-before everything");
+        assert!(!c.contains(2, 1));
+        c.tick(2);
+        assert!(c.contains(2, 1));
+        assert!(!c.contains(2, 2));
+    }
+}

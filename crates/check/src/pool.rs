@@ -1,0 +1,64 @@
+//! A tiny reusable OS-thread pool backing the checker's virtual threads.
+//!
+//! Schedule exploration re-runs a model thousands of times; spawning a real
+//! OS thread per virtual thread per execution would dominate the cost. The
+//! pool parks idle OS threads on a channel and hands them one closure at a
+//! time. Threads are never shut down — a process-lifetime pool of (at most)
+//! the widest model's thread count, which the test binary reclaims on exit.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+static IDLE: Mutex<Vec<Sender<Job>>> = Mutex::new(Vec::new());
+
+/// Runs `f` on a pooled OS thread, creating one if none is idle.
+pub fn run(f: Job) {
+    let tx = {
+        let mut idle = IDLE.lock().unwrap_or_else(|e| e.into_inner());
+        idle.pop()
+    };
+    let tx = tx.unwrap_or_else(|| {
+        let (tx, rx) = channel::<Job>();
+        std::thread::Builder::new()
+            .name("cilk-check-vthread".to_owned())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .expect("spawn cilk-check pool thread");
+        tx
+    });
+    let tx2 = tx.clone();
+    let wrapped: Job = Box::new(move || {
+        f();
+        // Only return the sender once the job is fully done, so a pooled
+        // thread is never handed two jobs at once.
+        IDLE.lock().unwrap_or_else(|e| e.into_inner()).push(tx2);
+    });
+    tx.send(wrapped).expect("pool thread hung up");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_jobs_and_reuses_threads() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let (tx, rx) = channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            run(Box::new(move || {
+                HITS.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }));
+            rx.recv().unwrap();
+        }
+        assert_eq!(HITS.load(Ordering::SeqCst), 8);
+    }
+}

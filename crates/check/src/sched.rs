@@ -1,0 +1,91 @@
+//! Schedule strings: the replayable serialization of one execution's
+//! choices.
+//!
+//! A schedule is a comma-separated token list, one token per decision the
+//! explorer made, in order:
+//!
+//! * `t<tid>` — the scheduler ran virtual thread `tid`'s next operation;
+//! * `v<k>` — a load with several visible store entries chose option `k`
+//!   (0 is the most recent store, i.e. the sequentially consistent value).
+//!
+//! Because every nondeterministic decision of an execution is one token,
+//! replaying the token list reproduces the execution bit-for-bit — the
+//! schedule analogue of replaying a `forall!` failure via `CILK_TEST_SEED`.
+
+/// One recorded decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Run virtual thread `tid`'s pending operation.
+    Thread(usize),
+    /// Resolve a multi-valued load to visible option `k` (0 = newest).
+    Value(usize),
+}
+
+/// Formats a token list as a schedule string (`t0,t1,v1,...`).
+pub fn format(toks: &[Tok]) -> String {
+    toks.iter()
+        .map(|tok| match tok {
+            Tok::Thread(tid) => format!("t{tid}"),
+            Tok::Value(k) => format!("v{k}"),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a schedule string produced by [`format`].
+pub fn parse(s: &str) -> Result<Vec<Tok>, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|raw| {
+            let raw = raw.trim();
+            let (kind, digits) = raw.split_at(1.min(raw.len()));
+            let n: usize = digits
+                .parse()
+                .map_err(|_| format!("bad schedule token {raw:?}"))?;
+            match kind {
+                "t" => Ok(Tok::Thread(n)),
+                "v" => Ok(Tok::Value(n)),
+                _ => Err(format!("bad schedule token {raw:?}")),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let toks = vec![Tok::Thread(0), Tok::Thread(12), Tok::Value(1), Tok::Thread(2)];
+        let s = format(&toks);
+        assert_eq!(s, "t0,t12,v1,t2");
+        assert_eq!(parse(&s).unwrap(), toks);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        assert_eq!(parse("").unwrap(), Vec::new());
+        assert_eq!(parse("  ").unwrap(), Vec::new());
+        assert_eq!(format(&[]), "");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("x3").is_err());
+        assert!(parse("t").is_err());
+        assert!(parse("t1,,t2").is_err());
+        assert!(parse("tt1").is_err());
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        assert_eq!(
+            parse(" t1 , v0 ").unwrap(),
+            vec![Tok::Thread(1), Tok::Value(0)]
+        );
+    }
+}

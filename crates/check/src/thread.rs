@@ -1,0 +1,48 @@
+//! Virtual threads: the checker's replacement for `std::thread`.
+//!
+//! A spawned closure becomes a *virtual thread* multiplexed onto a pooled
+//! OS thread; the engine runs exactly one virtual thread at a time and
+//! chooses the interleaving at every shimmed atomic operation. Spawning is
+//! deterministic (thread ids are assigned in spawn order), so schedule
+//! strings replay across runs.
+//!
+//! Unlike `std::thread::JoinHandle`, [`JoinHandle::join`] returns `T`
+//! directly: a panic on any virtual thread is a counterexample that aborts
+//! the whole execution, so a join can never observe a panicked child.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+use crate::engine;
+
+/// Handle to a spawned virtual thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// Spawns a virtual thread running `f`. Panics when called outside a model
+/// execution — virtual threads only exist under the checker.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let tid = engine::spawn_vthread(Box::new(move || Box::new(f()) as Box<dyn Any + Send>));
+    JoinHandle { tid, _marker: PhantomData }
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Blocks (as a schedulable transition with a happens-before edge)
+    /// until the thread finishes, returning its result.
+    pub fn join(self) -> T {
+        *engine::join_vthread(self.tid)
+            .downcast::<T>()
+            .expect("join result type matches the spawn closure")
+    }
+
+    /// The virtual thread id, as it appears in schedule strings (`t<id>`).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}

@@ -1,0 +1,161 @@
+//! Classic memory-model litmus tests, run directly against the checked
+//! shim (no `--cfg cilk_check` needed): they calibrate the checker itself.
+//!
+//! Each "fails" test asserts the checker *finds* the well-known weak-memory
+//! counterexample; each "passes" test asserts correctly-synchronized code
+//! survives exhaustive exploration — i.e. the model has no false positives
+//! on the idioms the deque relies on.
+//!
+//! Note: model state must be created *inside* the model closure so every
+//! execution starts from the constructor values.
+
+use std::sync::Arc;
+
+use cilk_check::sync::atomic::{fence, AtomicUsize, Ordering};
+use cilk_check::{check, model, thread, Config, Mode};
+
+/// Two increment-by-CAS threads: the final count is exactly 2 in every
+/// interleaving (RMWs always read the newest value).
+#[test]
+fn cas_counter_is_exact() {
+    let report = model("cas_counter_is_exact", || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || loop {
+                    let cur = n.load(Ordering::Relaxed);
+                    if n.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+                    {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.executions > 1, "exploration should cover several interleavings");
+}
+
+fn message_passing(store_ord: Ordering, load_ord: Ordering) -> impl Fn() {
+    move || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, store_ord);
+        });
+        let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+        let r = thread::spawn(move || {
+            if f3.load(load_ord) == 1 {
+                assert_eq!(d3.load(Ordering::Relaxed), 42, "MP: stale data behind flag");
+            }
+        });
+        w.join();
+        r.join();
+    }
+}
+
+/// Release/acquire message passing is correct: exhaustive exploration finds
+/// no counterexample (no false positives).
+#[test]
+fn mp_release_acquire_passes() {
+    model(
+        "mp_release_acquire_passes",
+        message_passing(Ordering::Release, Ordering::Acquire),
+    );
+}
+
+/// Fully relaxed message passing is broken, and the checker proves it:
+/// some interleaving reads the flag but stale data.
+#[test]
+fn mp_relaxed_fails() {
+    let report = check(
+        "mp_relaxed_fails",
+        &Config::default(),
+        Mode::Exhaustive,
+        message_passing(Ordering::Relaxed, Ordering::Relaxed),
+    );
+    let failure = report.failure.expect("checker must find the relaxed-MP violation");
+    assert!(
+        failure.message.contains("stale data behind flag"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+fn store_buffering(with_fences: bool) -> impl Fn() {
+    move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let side = |a: Arc<AtomicUsize>, b: Arc<AtomicUsize>| {
+            thread::spawn(move || {
+                a.store(1, Ordering::Relaxed);
+                if with_fences {
+                    fence(Ordering::SeqCst);
+                }
+                b.load(Ordering::Relaxed)
+            })
+        };
+        let h1 = side(Arc::clone(&x), Arc::clone(&y));
+        let h2 = side(Arc::clone(&y), Arc::clone(&x));
+        let (r1, r2) = (h1.join(), h2.join());
+        assert!(!(r1 == 0 && r2 == 0), "SB: both threads read 0");
+    }
+}
+
+/// Store buffering with SeqCst fences between the store and the load is
+/// forbidden: the fences join the global SC clock both ways, so at least
+/// one load observes the other store. This is exactly the idiom `pop`
+/// vs `steal` relies on.
+#[test]
+fn sb_with_seqcst_fences_passes() {
+    model("sb_with_seqcst_fences_passes", store_buffering(true));
+}
+
+/// Store buffering without fences exhibits r1 == r2 == 0.
+#[test]
+fn sb_relaxed_fails() {
+    let report = check(
+        "sb_relaxed_fails",
+        &Config::default(),
+        Mode::Exhaustive,
+        store_buffering(false),
+    );
+    let failure = report.failure.expect("checker must find the SB weak outcome");
+    assert!(failure.message.contains("both threads read 0"), "{}", failure.message);
+}
+
+/// Spawn/join passes results and establishes happens-before: the parent
+/// reads the child's relaxed store without any extra synchronization.
+#[test]
+fn join_synchronizes() {
+    model("join_synchronizes", || {
+        let v = Arc::new(AtomicUsize::new(0));
+        let v2 = Arc::clone(&v);
+        let h = thread::spawn(move || {
+            v2.store(7, Ordering::Relaxed);
+            "done"
+        });
+        assert_eq!(h.join(), "done");
+        assert_eq!(v.load(Ordering::Relaxed), 7, "join must synchronize");
+    });
+}
+
+/// Random mode finds the relaxed-MP bug too (with enough iterations), and
+/// reports a replayable schedule.
+#[test]
+fn random_walk_finds_mp() {
+    let report = check(
+        "random_walk_finds_mp",
+        &Config::default(),
+        Mode::Random { iters: 2000 },
+        message_passing(Ordering::Relaxed, Ordering::Relaxed),
+    );
+    let failure = report.failure.expect("random walk should hit the MP violation");
+    assert!(!failure.schedule.is_empty());
+}

@@ -1,0 +1,269 @@
+//! Mutation self-test (the checker checking itself): a checker-shadowed
+//! copy of the Chase–Lev deque with *plantable* memory-ordering bugs.
+//! `cilk-check` must find a counterexample for every planted mutation and
+//! none for the faithful copy — otherwise the model suites in
+//! `tests/models.rs` would be vacuous.
+//!
+//! The copy mirrors `crates/deque/src/lib.rs` structurally (raw buffer
+//! pointer, retired-buffer retention, the same ordering discipline) but is
+//! shrunk to `usize` payloads and the push/pop/steal core.
+
+use std::sync::atomic::AtomicUsize as RealUsize;
+use std::sync::atomic::Ordering::Relaxed as RealRelaxed;
+use std::sync::{Arc, Mutex};
+
+use cilk_check::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use cilk_check::{check, model_with, thread, Config, Mode};
+
+/// Which single memory-ordering weakening to plant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mutation {
+    /// The faithful copy: must survive exhaustive exploration.
+    None,
+    /// Drop the `SeqCst` fence between `pop`'s bottom decrement and its
+    /// top read — the canonical Chase–Lev bug (owner and thief both take
+    /// the last element).
+    PopFenceSkipped,
+    /// `steal` reads `bottom` with `Relaxed` instead of `Acquire`: the
+    /// thief can pair a fresh `bottom` with a stale (retired) buffer
+    /// pointer after growth and steal a wrong value.
+    StealBottomRelaxed,
+    /// `push` publishes `bottom` with `Relaxed` instead of `Release`:
+    /// same stale-buffer pairing, planted on the owner side.
+    PushBottomRelaxed,
+}
+
+struct Buf {
+    cap: usize,
+    slots: Vec<RealUsize>,
+}
+
+impl Buf {
+    fn alloc(cap: usize) -> *mut Buf {
+        Box::into_raw(Box::new(Buf {
+            cap,
+            slots: (0..cap).map(|_| RealUsize::new(0)).collect(),
+        }))
+    }
+    /// Slot for absolute index `i` (wrap by capacity mask, like
+    /// `deque::buffer::Buffer::at`).
+    fn slot(&self, i: isize) -> &RealUsize {
+        &self.slots[(i as usize) & (self.cap - 1)]
+    }
+}
+
+/// The shadowed deque. Slot contents are plain (real) memory — exactly as
+/// in the real deque, where only the indices and the buffer pointer are
+/// atomic; the checker serializes all access, and stale *pointer* reads
+/// land in retired (still-allocated) buffers.
+struct MutDeque {
+    mutation: Mutation,
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buf>,
+    retired: Mutex<Vec<*mut Buf>>,
+}
+
+unsafe impl Send for MutDeque {}
+unsafe impl Sync for MutDeque {}
+
+impl MutDeque {
+    fn new(cap: usize, mutation: Mutation) -> Self {
+        assert!(cap.is_power_of_two());
+        MutDeque {
+            mutation,
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buf::alloc(cap)),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn push(&self, v: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        if b.wrapping_sub(t) >= unsafe { (*buf).cap } as isize {
+            buf = self.grow(buf, t, b);
+        }
+        unsafe { (*buf).slot(b).store(v, RealRelaxed) };
+        let ord = if self.mutation == Mutation::PushBottomRelaxed {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.bottom.store(b.wrapping_add(1), ord);
+    }
+
+    fn grow(&self, old: *mut Buf, t: isize, b: isize) -> *mut Buf {
+        let new = Buf::alloc(unsafe { (*old).cap } * 2);
+        let mut i = t;
+        while i != b {
+            unsafe { (*new).slot(i).store((*old).slot(i).load(RealRelaxed), RealRelaxed) };
+            i = i.wrapping_add(1);
+        }
+        self.buffer.store(new, Ordering::Release);
+        self.retired.lock().unwrap().push(old);
+        new
+    }
+
+    fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        let buf = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        if self.mutation != Mutation::PopFenceSkipped {
+            fence(Ordering::SeqCst);
+        }
+        let t = self.top.load(Ordering::Relaxed);
+        if t.wrapping_sub(b) <= 0 {
+            if t == b {
+                // Last element: race thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                won.then(|| unsafe { (*buf).slot(b).load(RealRelaxed) })
+            } else {
+                Some(unsafe { (*buf).slot(b).load(RealRelaxed) })
+            }
+        } else {
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            None
+        }
+    }
+
+    fn steal(&self) -> Option<usize> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let ord = if self.mutation == Mutation::StealBottomRelaxed {
+            Ordering::Relaxed
+        } else {
+            Ordering::Acquire
+        };
+        let b = self.bottom.load(ord);
+        if t.wrapping_sub(b) < 0 {
+            let buf = self.buffer.load(Ordering::Acquire);
+            let v = unsafe { (*buf).slot(t).load(RealRelaxed) };
+            self.top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+                .then_some(v)
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for MutDeque {
+    fn drop(&mut self) {
+        // `get_mut` bypasses the shim: Drop may run while an aborted
+        // execution unwinds.
+        unsafe {
+            drop(Box::from_raw(*self.buffer.get_mut()));
+            for p in self.retired.get_mut().unwrap().drain(..) {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+/// Owner pushes `v0..=v1`, one thief makes `attempts` steals, owner drains,
+/// and the union must be exactly one copy of every pushed value.
+fn partition_model(cap: usize, pushes: usize, attempts: usize, mutation: Mutation) -> impl Fn() {
+    move || {
+        let q = Arc::new(MutDeque::new(cap, mutation));
+        // Spawn the thief *before* pushing: spawn synchronizes (the child
+        // inherits the parent's clock), so anything pushed earlier could
+        // never be observed stale.
+        let q2 = Arc::clone(&q);
+        let thief = thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..attempts {
+                if let Some(v) = q2.steal() {
+                    got.push(v);
+                }
+            }
+            got
+        });
+        for v in 0..pushes {
+            q.push(v + 1); // 0 is the "empty slot" sentinel; never push it
+        }
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        got.extend(thief.join());
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            (1..=pushes).collect::<Vec<_>>(),
+            "each pushed job must be taken exactly once"
+        );
+    }
+}
+
+fn cfg() -> Config {
+    Config { preemption_bound: Some(2), ..Config::default() }
+}
+
+/// The faithful copy survives exhaustive exploration of the last-element
+/// race (no growth) — the checker has no false positives here.
+#[test]
+fn faithful_copy_passes_steal_race() {
+    let report = model_with(
+        "faithful_copy_passes_steal_race",
+        &cfg(),
+        partition_model(4, 2, 2, Mutation::None),
+    );
+    assert!(report.executions > 10, "expected a real exploration, got {report:?}");
+}
+
+/// The faithful copy survives exhaustive exploration across a buffer
+/// growth (retired-buffer scenario).
+#[test]
+fn faithful_copy_passes_growth() {
+    model_with("faithful_copy_passes_growth", &cfg(), partition_model(2, 3, 3, Mutation::None));
+}
+
+fn assert_caught(name: &str, f: impl Fn()) {
+    let report = check(name, &cfg(), Mode::Exhaustive, f);
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("planted mutation not caught in {} executions", report.executions));
+    assert!(
+        failure.message.contains("exactly once"),
+        "unexpected counterexample: {}",
+        failure.message
+    );
+    assert!(!failure.schedule.is_empty(), "counterexample must be replayable");
+}
+
+/// Removing pop's SeqCst fence lets owner and thief take the same job.
+#[test]
+fn catches_pop_fence_skipped() {
+    assert_caught(
+        "catches_pop_fence_skipped",
+        partition_model(4, 2, 2, Mutation::PopFenceSkipped),
+    );
+}
+
+/// A Relaxed bottom read in steal pairs a fresh index with a retired
+/// buffer: the thief steals a stale value.
+#[test]
+fn catches_steal_bottom_relaxed() {
+    assert_caught(
+        "catches_steal_bottom_relaxed",
+        partition_model(2, 3, 3, Mutation::StealBottomRelaxed),
+    );
+}
+
+/// A Relaxed bottom publish in push has the same stale-buffer consequence,
+/// planted on the owner side.
+#[test]
+fn catches_push_bottom_relaxed() {
+    assert_caught(
+        "catches_push_bottom_relaxed",
+        partition_model(2, 3, 3, Mutation::PushBottomRelaxed),
+    );
+}

@@ -1,0 +1,96 @@
+//! Failure-replay ergonomics: every counterexample is a schedule string,
+//! and replaying it reproduces the identical counterexample.
+
+use std::sync::Arc;
+
+use cilk_check::sync::atomic::{AtomicUsize, Ordering};
+use cilk_check::{check, replay, thread, Config, Mode};
+
+/// A deliberately broken model: relaxed message passing.
+fn broken_mp() -> impl Fn() {
+    || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+        let r = thread::spawn(move || {
+            if f3.load(Ordering::Relaxed) == 1 {
+                assert_eq!(d3.load(Ordering::Relaxed), 42, "stale data behind flag");
+            }
+        });
+        w.join();
+        r.join();
+    }
+}
+
+/// Replaying a recorded failing schedule reproduces the same
+/// counterexample: same failure message, same (re-recorded) schedule.
+#[test]
+fn replay_reproduces_counterexample() {
+    let original = check("replay_seed", &Config::default(), Mode::Exhaustive, broken_mp())
+        .failure
+        .expect("exhaustive run finds the MP violation");
+
+    let replayed = replay("replay_seed", &original.schedule, broken_mp());
+    assert_eq!(replayed.executions, 1, "replay runs exactly one execution");
+    let failure = replayed.failure.expect("replay must reproduce the failure");
+    assert_eq!(failure.message, original.message, "same counterexample message");
+    assert_eq!(
+        failure.schedule, original.schedule,
+        "the replayed execution re-records the identical schedule"
+    );
+}
+
+/// Replaying against a *fixed* model diverges loudly instead of silently
+/// passing: the schedule was recorded for different code.
+#[test]
+fn replay_against_fixed_model_diverges_or_passes_explicitly() {
+    let original = check("replay_fixed", &Config::default(), Mode::Exhaustive, broken_mp())
+        .failure
+        .expect("exhaustive run finds the MP violation");
+
+    let fixed = || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+        let r = thread::spawn(move || {
+            if f3.load(Ordering::Acquire) == 1 {
+                assert_eq!(d3.load(Ordering::Relaxed), 42);
+            }
+        });
+        w.join();
+        r.join();
+    };
+    let report = replay("replay_fixed", &original.schedule, fixed);
+    // The fix removes the failing load branch, so the old schedule either
+    // no longer matches (divergence failure) or runs clean — it must never
+    // reproduce the original counterexample.
+    if let Some(f) = report.failure {
+        assert!(
+            f.message.contains("schedule diverged"),
+            "fixed model cannot fail the old way: {}",
+            f.message
+        );
+    }
+}
+
+/// The repro line is a single copy-pasteable env prefix naming both knobs.
+#[test]
+fn repro_line_is_copy_pasteable() {
+    let failure = check("repro_line", &Config::default(), Mode::Exhaustive, broken_mp())
+        .failure
+        .expect("exhaustive run finds the MP violation");
+    let line = failure.repro_line("repro_line");
+    assert!(line.starts_with("reproduce with: CILK_TEST_SEED=0x"), "{line}");
+    assert!(line.contains(&format!("CILK_CHECK_SCHEDULE={}", failure.schedule)), "{line}");
+    assert!(line.contains("cargo test -p cilk-check repro_line"), "{line}");
+}

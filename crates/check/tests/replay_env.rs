@@ -1,0 +1,46 @@
+//! The `CILK_CHECK_SCHEDULE` environment override. Kept in its own test
+//! binary with a single test: environment variables are process-global, so
+//! this must not race other tests on the harness's thread pool.
+
+use std::sync::Arc;
+
+use cilk_check::sync::atomic::{AtomicUsize, Ordering};
+use cilk_check::{check, thread, Config, Mode, SCHEDULE_ENV};
+
+fn broken_mp() -> impl Fn() {
+    || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+        let r = thread::spawn(move || {
+            if f3.load(Ordering::Relaxed) == 1 {
+                assert_eq!(d3.load(Ordering::Relaxed), 42, "stale data behind flag");
+            }
+        });
+        w.join();
+        r.join();
+    }
+}
+
+/// Setting `CILK_CHECK_SCHEDULE` turns any `check` call into a replay of
+/// that schedule, exactly as the printed repro line promises.
+#[test]
+fn schedule_env_overrides_mode() {
+    let original = check("env_override", &Config::default(), Mode::Exhaustive, broken_mp())
+        .failure
+        .expect("exhaustive run finds the MP violation");
+
+    std::env::set_var(SCHEDULE_ENV, &original.schedule);
+    let replayed = check("env_override", &Config::default(), Mode::Exhaustive, broken_mp());
+    std::env::remove_var(SCHEDULE_ENV);
+
+    assert_eq!(replayed.executions, 1, "env override must replay a single execution");
+    let failure = replayed.failure.expect("replay reproduces the counterexample");
+    assert_eq!(failure.message, original.message);
+    assert_eq!(failure.schedule, original.schedule);
+}

@@ -37,7 +37,17 @@ use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
+// The single model-checker seam: compiled with `RUSTFLAGS="--cfg
+// cilk_check"` (see ci.sh's `check` stage and docs/model-checking.md), the
+// exact protocol code below runs against cilk-check's recorded atomics and
+// is schedule-explored by `crates/check/tests/models.rs`. In ordinary
+// builds this import is `std`'s and the checker crate is dead code.
+#[cfg(not(cilk_check))]
 use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, Ordering};
+
+#[cfg(cilk_check)]
+use cilk_check::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, Ordering};
+
 use std::sync::{Arc, Mutex};
 
 use buffer::Buffer;
@@ -71,10 +81,14 @@ unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Inner<T> {
     fn new() -> Self {
-        let buf = Box::into_raw(Buffer::alloc(MIN_CAP));
+        Self::with(MIN_CAP, 0)
+    }
+
+    fn with(cap: usize, origin: isize) -> Self {
+        let buf = Box::into_raw(Buffer::alloc(cap));
         Inner {
-            top: AtomicIsize::new(0),
-            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(origin),
+            bottom: AtomicIsize::new(origin),
             buffer: AtomicPtr::new(buf),
             retired: Mutex::new(Vec::new()),
             sealed: AtomicBool::new(false),
@@ -91,10 +105,19 @@ impl<T> Drop for Inner<T> {
         // [top, bottom) are live and stored in the *current* buffer.
         unsafe {
             let buf = &*buf_ptr;
+            // Signed length, not an `i != bottom` walk: `pop` transiently
+            // decrements `bottom` below `top`, and a drop during unwinding
+            // (e.g. a cilk-check aborted execution) can observe that state.
+            // A negative window drops nothing (leaking the in-flight
+            // element is safe; walking to equality would wrap the entire
+            // isize range).
+            let len = bottom.wrapping_sub(top);
             let mut i = top;
-            while i < bottom {
+            let mut remaining = if len > 0 { len } else { 0 };
+            while remaining > 0 {
                 drop(buf.read(i));
-                i += 1;
+                i = i.wrapping_add(1);
+                remaining -= 1;
             }
             drop(Box::from_raw(buf_ptr));
         }
@@ -119,6 +142,25 @@ impl<T> Deque<T> {
     /// Creates an empty deque.
     pub fn new() -> Self {
         Deque { inner: Arc::new(Inner::new()) }
+    }
+
+    /// Creates an empty deque with initial buffer capacity `cap` (a power
+    /// of two). Small capacities exercise the growth path early — useful
+    /// for tests and model checking.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_capacity_and_origin(cap, 0)
+    }
+
+    /// Creates an empty deque whose `top`/`bottom` counters start at
+    /// `origin` instead of 0.
+    ///
+    /// The counters are free-running: they only ever increase and are
+    /// reduced modulo the buffer capacity on access, so a deque is correct
+    /// arbitrarily close to (and across) `isize::MAX`. Placing the origin
+    /// there lets tests cover the wraparound in minutes instead of the
+    /// centuries a counter would need to get there by itself.
+    pub fn with_capacity_and_origin(cap: usize, origin: isize) -> Self {
+        Deque { inner: Arc::new(Inner::with(cap, origin)) }
     }
 
     /// Creates a new thief handle for this deque.
@@ -178,7 +220,9 @@ impl<T> Worker<T> {
     pub fn len(&self) -> usize {
         let b = self.inner.bottom.load(Ordering::Relaxed);
         let t = self.inner.top.load(Ordering::Relaxed);
-        usize::try_from(b.saturating_sub(t).max(0)).unwrap_or(0)
+        // Wrapping difference: the counters are free-running and may cross
+        // `isize::MAX`; their distance is always small and non-negative.
+        usize::try_from(b.wrapping_sub(t)).unwrap_or(0)
     }
 
     /// Whether the deque appears empty.
@@ -227,7 +271,9 @@ impl<T> Worker<T> {
         fence(Ordering::SeqCst);
         let t = self.inner.top.load(Ordering::Relaxed);
 
-        if t <= b {
+        // `b - t >= 0` via wrapping arithmetic, not `t <= b`: near
+        // `isize::MAX` the reserved window [t, b] can straddle the wrap.
+        if b.wrapping_sub(t) >= 0 {
             // Non-empty: at least one element remains after our reservation.
             // SAFETY: slot `b` holds a live element; we are the only popper
             // at the bottom.
@@ -377,7 +423,9 @@ impl<T> Stealer<T> {
         let t = self.inner.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.inner.bottom.load(Ordering::Acquire);
-        if t >= b {
+        // Wrapping comparison, as in `pop`: the counters may cross
+        // `isize::MAX` while the deque holds only a handful of elements.
+        if b.wrapping_sub(t) <= 0 {
             return Steal::Empty;
         }
         let buf_ptr = self.inner.buffer.load(Ordering::Acquire);
@@ -448,7 +496,8 @@ impl<T> Stealer<T> {
     pub fn len(&self) -> usize {
         let b = self.inner.bottom.load(Ordering::Acquire);
         let t = self.inner.top.load(Ordering::Acquire);
-        usize::try_from(b.saturating_sub(t).max(0)).unwrap_or(0)
+        // Wrapping difference, as in `Worker::len`.
+        usize::try_from(b.wrapping_sub(t)).unwrap_or(0)
     }
 
     /// Whether the deque appears empty to this thief.

@@ -1,0 +1,145 @@
+//! Property tests for the deque's two index-arithmetic hazards: buffer
+//! growth (retired-buffer retention, element migration by absolute index)
+//! and signed wraparound of the free-running `top`/`bottom` counters past
+//! `isize::MAX` (`Deque::with_capacity_and_origin` plants the counters next
+//! to the cliff so ordinary op-sequences cross it).
+//!
+//! Complements `proptest_model.rs` (which starts at origin 0 with the
+//! default capacity): every property here runs the same `VecDeque` oracle
+//! while forcing growth from a minimal buffer and/or wrapped indices, and
+//! additionally checks `len` on both handles at every step.
+
+use std::collections::VecDeque;
+
+use cilk_deque::{Deque, Steal};
+use cilk_testkit::forall;
+use cilk_testkit::prop::{vec_of, Gen};
+use cilk_testkit::Rng;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+/// Push-heavy op mix (4 push : 2 pop : 1 steal) so short sequences still
+/// outgrow a 2-slot buffer several times over.
+struct OpGen;
+
+impl Gen<Op> for OpGen {
+    fn generate(&self, rng: &mut Rng, size: u32) -> Op {
+        match rng.gen_range(0u32..7) {
+            0..=3 => {
+                let cap = 1 + (u32::MAX / 100).saturating_mul(size);
+                Op::Push(rng.gen_range(0..=cap))
+            }
+            4 | 5 => Op::Pop,
+            _ => Op::Steal,
+        }
+    }
+
+    fn shrink(&self, op: &Op) -> Vec<Op> {
+        match op {
+            Op::Push(0) => Vec::new(),
+            Op::Push(1) => vec![Op::Push(0)],
+            Op::Push(v) => vec![Op::Push(0), Op::Push(1), Op::Push(v / 2)],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Runs `ops` against a deque seeded at `origin` with a 2-slot buffer and
+/// a `VecDeque` oracle, checking results and both handles' `len` at every
+/// step, then drains and compares the remainder.
+fn check_against_model(origin: isize, ops: Vec<Op>) {
+    let deque = Deque::with_capacity_and_origin(2, origin);
+    let s = deque.stealer();
+    let w = deque.into_worker();
+    let mut model: VecDeque<u32> = VecDeque::new();
+    for op in ops {
+        match op {
+            Op::Push(v) => {
+                w.push(v);
+                model.push_back(v);
+            }
+            Op::Pop => assert_eq!(w.pop(), model.pop_back()),
+            Op::Steal => {
+                let expected = model.pop_front();
+                match (s.steal(), expected) {
+                    (Steal::Success(got), Some(want)) => assert_eq!(got, want),
+                    (Steal::Empty, None) => {}
+                    // Serial execution: Retry is impossible and
+                    // Success/Empty must agree with the model.
+                    (got, want) => panic!("deque said {:?}, model said {:?}", got, want),
+                }
+            }
+        }
+        assert_eq!(w.len(), model.len(), "owner len diverged from the model");
+        assert_eq!(s.len(), model.len(), "stealer len diverged from the model");
+        assert_eq!(w.is_empty(), model.is_empty());
+    }
+    let mut rest = Vec::new();
+    while let Some(v) = w.pop() {
+        rest.push(v);
+    }
+    rest.reverse();
+    assert_eq!(rest, model.into_iter().collect::<Vec<u32>>());
+}
+
+forall! {
+    /// Growth from a 2-slot buffer: long push-heavy sequences double the
+    /// buffer repeatedly; migration must preserve the model at every step.
+    fn growth_matches_model(ops in vec_of(OpGen, 0..300)) {
+        check_against_model(0, ops);
+    }
+
+    /// The same property with the counters planted just below `isize::MAX`:
+    /// pushes drive `bottom` (and steals drive `top`) across the signed
+    /// wraparound cliff mid-sequence. Every slot index, growth migration,
+    /// and `len`/emptiness comparison must survive the wrap.
+    fn wraparound_near_isize_max_matches_model(
+        offset in 0u32..64,
+        ops in vec_of(OpGen, 0..200),
+    ) {
+        check_against_model(isize::MAX - offset as isize, ops);
+    }
+
+    /// Wraparound with the origin *exactly at* `isize::MAX`: the very first
+    /// push lands on the boundary index and the deque window immediately
+    /// spans the wrap.
+    fn wraparound_at_the_cliff_matches_model(ops in vec_of(OpGen, 0..200)) {
+        check_against_model(isize::MAX, ops);
+    }
+
+    /// Growth migrates a wrapped window intact: fill across the boundary,
+    /// force one more growth, then both drain orders are exactly right.
+    cases = 128,
+    fn wrapped_window_survives_growth(n in 1usize..64, steal_first in 0u32..2) {
+        let deque = Deque::with_capacity_and_origin(2, isize::MAX - 2);
+        let s = deque.stealer();
+        let w = deque.into_worker();
+        for v in 0..n as u32 {
+            w.push(v);
+        }
+        let mut got = Vec::new();
+        if steal_first == 1 {
+            // FIFO half from the thief...
+            for _ in 0..n / 2 {
+                match s.steal() {
+                    Steal::Success(v) => got.push(v),
+                    other => panic!("expected a success, got {other:?}"),
+                }
+            }
+            assert_eq!(got, (0..(n / 2) as u32).collect::<Vec<_>>());
+        }
+        // ...and the rest LIFO from the owner.
+        let mut rest = Vec::new();
+        while let Some(v) = w.pop() {
+            rest.push(v);
+        }
+        rest.reverse();
+        got.extend(rest);
+        assert_eq!(got, (0..n as u32).collect::<Vec<_>>());
+    }
+}

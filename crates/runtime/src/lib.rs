@@ -41,6 +41,7 @@ pub mod hooks;
 mod job;
 mod join;
 mod latch;
+pub mod lifecycle;
 mod metrics;
 mod parallel_for;
 mod poison;

@@ -1,0 +1,301 @@
+//! The worker retire / orphan-adoption protocol, extracted as a pure state
+//! machine over environment traits.
+//!
+//! When a supervised worker dies, its deque must be handed off to a
+//! replacement without losing or duplicating a single job, while thieves
+//! keep stealing throughout. The protocol lives here, *separated from the
+//! OS-thread plumbing*, for two reasons:
+//!
+//! * The pinned step order **is** the correctness argument (see the doc
+//!   comments on [`retire_worker`] and [`adopt_orphan`]); keeping it in one
+//!   place makes the order auditable and unit-testable.
+//! * `cilk-check` drives these functions under its schedule-exploration
+//!   engine (`crates/check/tests/models.rs`): the takeover protocol is
+//!   model-checked against racing thieves without spawning real workers.
+//!
+//! The production wiring implements [`RetireEnv`] over the registry
+//! (`WorkerThread::retire`) and [`AdoptEnv`] over the supervisor monitor
+//! (`supervisor::monitor_main`); model environments implement them over
+//! plain vectors and checked atomics.
+
+use cilk_deque::Worker;
+
+/// Environment hooks for [`retire_worker`]: what a dying worker needs from
+/// the pool around it. Methods are called in a pinned order — see
+/// [`retire_worker`].
+pub trait RetireEnv<T> {
+    /// The worker's death is now public knowledge (observability only;
+    /// nothing has been reclaimed yet).
+    fn on_died(&mut self);
+    /// Requeue jobs reclaimed from the sealed deque so survivors execute
+    /// them. Only called when at least one job was reclaimed.
+    fn reinject(&mut self, jobs: Vec<T>);
+    /// The deque has been sealed and drained; `jobs` were reinjected.
+    fn on_reclaimed(&mut self, jobs: usize);
+    /// Record the slot's death. Returns `true` when a supervisor exists and
+    /// the sealed deque should be offered for adoption; `false` (an
+    /// unsupervised pool) drops the deque — the slot's loss is permanent.
+    fn note_death(&mut self) -> bool;
+    /// Queue the sealed deque for the supervisor to adopt. Only called when
+    /// [`RetireEnv::note_death`] returned `true`.
+    fn offer_orphan(&mut self, deque: Worker<T>);
+    /// The retire protocol is complete; the worker thread may exit.
+    fn on_terminate(&mut self);
+}
+
+/// Retires a dead worker's deque. The step order is load-bearing:
+///
+/// 1. `on_died` — announce the death.
+/// 2. [`Worker::seal`] — close the deque against further pushes and drain
+///    everything the owner can still claim. Thieves racing the drain keep
+///    exactly-once semantics: whatever they win is executed instead of
+///    reinjected.
+/// 3. `reinject` (if non-empty) **before** `note_death` — a thief must
+///    never skip a "dead" slot that still holds work, and anyone observing
+///    the death knows the injector already has everything the thieves did
+///    not win.
+/// 4. `note_death`, then `offer_orphan` — the supervisor learns of the
+///    death only with the deque already drained, so adopting the orphan can
+///    never resurrect a job the injector also holds.
+/// 5. `on_terminate`.
+pub fn retire_worker<T, E: RetireEnv<T>>(deque: Worker<T>, env: &mut E) {
+    env.on_died();
+    let reclaimed = deque.seal();
+    let jobs = reclaimed.len();
+    if jobs > 0 {
+        env.reinject(reclaimed);
+    }
+    env.on_reclaimed(jobs);
+    if env.note_death() {
+        env.offer_orphan(deque);
+    }
+    env.on_terminate();
+}
+
+/// How one orphan adoption ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdoptOutcome {
+    /// A replacement worker owns the (unsealed) deque.
+    Respawned,
+    /// The respawn budget is spent; the pool degrades and the (already
+    /// drained) deque is dropped.
+    BudgetExhausted,
+    /// Budget was reserved but the environment could not install a
+    /// replacement (the OS refused a thread); the pool degrades.
+    SpawnFailed,
+    /// The pool is terminating; the adoption was abandoned.
+    Terminated,
+}
+
+/// Environment hooks for [`adopt_orphan`]: what the supervisor monitor
+/// needs from the pool. Methods are called in a pinned order — see
+/// [`adopt_orphan`].
+pub trait AdoptEnv<T> {
+    /// Whether the pool is shutting down.
+    fn should_terminate(&mut self) -> bool;
+    /// Reserve one unit of respawn budget; returns the 0-based attempt
+    /// number, or `None` when the budget is spent. A successful reservation
+    /// also marks one recovery as *pending* (in flight).
+    fn try_reserve_respawn(&mut self) -> Option<u64>;
+    /// Back off before attempt `attempt`; returns `false` if the pool
+    /// terminated during the wait.
+    fn backoff(&mut self, attempt: u64) -> bool;
+    /// Drop the pending-recovery mark taken by
+    /// [`AdoptEnv::try_reserve_respawn`].
+    fn release_pending(&mut self);
+    /// Hand the (already unsealed) deque to a replacement worker for this
+    /// slot; `generation` names the respawn attempt. Returns `false` when
+    /// no replacement could be started (the deque is consumed either way —
+    /// it is already drained).
+    fn install(&mut self, deque: Worker<T>, generation: u64) -> bool;
+    /// Mark the slot live again.
+    fn note_alive(&mut self);
+    /// The replacement is running (observability; wake sleepers).
+    fn on_respawned(&mut self);
+    /// The slot stays dead and the pool is degraded (observability).
+    fn on_degraded(&mut self);
+}
+
+/// Adopts one orphaned deque, respawning a replacement worker for its slot.
+/// The step order is load-bearing:
+///
+/// 1. Reserve budget **before** backing off, so a concurrent installer
+///    observing `live == 0` sees the recovery as pending and keeps waiting
+///    instead of degrading to serial execution.
+/// 2. [`Worker::unseal`] only after the backoff: the deque reopens at the
+///    last possible moment before the replacement takes ownership.
+/// 3. On success: `note_alive` **before** `release_pending` — at every
+///    instant either the slot counts as live or its recovery is still
+///    accounted as in flight.
+/// 4. On failure (budget spent, or no thread): `on_degraded`; survivors
+///    keep running.
+pub fn adopt_orphan<T, E: AdoptEnv<T>>(deque: Worker<T>, env: &mut E) -> AdoptOutcome {
+    if env.should_terminate() {
+        return AdoptOutcome::Terminated;
+    }
+    let Some(attempt) = env.try_reserve_respawn() else {
+        env.on_degraded();
+        return AdoptOutcome::BudgetExhausted;
+    };
+    if !env.backoff(attempt) {
+        env.release_pending();
+        return AdoptOutcome::Terminated;
+    }
+    deque.unseal();
+    if env.install(deque, attempt + 1) {
+        env.note_alive();
+        env.release_pending();
+        env.on_respawned();
+        AdoptOutcome::Respawned
+    } else {
+        env.release_pending();
+        env.on_degraded();
+        AdoptOutcome::SpawnFailed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cilk_deque::Deque;
+
+    /// Records every hook call so the pinned orders are asserted literally.
+    #[derive(Default)]
+    struct Recorder {
+        calls: Vec<String>,
+        supervised: bool,
+        budget: u64,
+        terminate_at: Option<usize>,
+        fail_install: bool,
+        orphan: Option<Worker<usize>>,
+        injected: Vec<usize>,
+    }
+
+    impl RetireEnv<usize> for Recorder {
+        fn on_died(&mut self) {
+            self.calls.push("died".into());
+        }
+        fn reinject(&mut self, jobs: Vec<usize>) {
+            self.calls.push(format!("reinject:{}", jobs.len()));
+            self.injected.extend(jobs);
+        }
+        fn on_reclaimed(&mut self, jobs: usize) {
+            self.calls.push(format!("reclaimed:{jobs}"));
+        }
+        fn note_death(&mut self) -> bool {
+            self.calls.push("note_death".into());
+            self.supervised
+        }
+        fn offer_orphan(&mut self, deque: Worker<usize>) {
+            self.calls.push("offer".into());
+            self.orphan = Some(deque);
+        }
+        fn on_terminate(&mut self) {
+            self.calls.push("terminate".into());
+        }
+    }
+
+    impl AdoptEnv<usize> for Recorder {
+        fn should_terminate(&mut self) -> bool {
+            self.terminate_at == Some(self.calls.len())
+        }
+        fn try_reserve_respawn(&mut self) -> Option<u64> {
+            self.calls.push("reserve".into());
+            (self.budget > 0).then(|| {
+                self.budget -= 1;
+                0
+            })
+        }
+        fn backoff(&mut self, attempt: u64) -> bool {
+            self.calls.push(format!("backoff:{attempt}"));
+            self.terminate_at != Some(self.calls.len())
+        }
+        fn release_pending(&mut self) {
+            self.calls.push("release".into());
+        }
+        fn install(&mut self, deque: Worker<usize>, generation: u64) -> bool {
+            self.calls.push(format!("install:{generation}"));
+            self.orphan = Some(deque);
+            !self.fail_install
+        }
+        fn note_alive(&mut self) {
+            self.calls.push("alive".into());
+        }
+        fn on_respawned(&mut self) {
+            self.calls.push("respawned".into());
+        }
+        fn on_degraded(&mut self) {
+            self.calls.push("degraded".into());
+        }
+    }
+
+    fn deque_with(jobs: &[usize]) -> Worker<usize> {
+        let w = Deque::with_capacity(4).into_worker();
+        for &j in jobs {
+            w.push(j);
+        }
+        w
+    }
+
+    #[test]
+    fn retire_order_supervised() {
+        let mut env = Recorder { supervised: true, ..Recorder::default() };
+        retire_worker(deque_with(&[1, 2]), &mut env);
+        assert_eq!(
+            env.calls,
+            ["died", "reinject:2", "reclaimed:2", "note_death", "offer", "terminate"]
+        );
+        assert_eq!(env.injected, [1, 2], "reclaimed jobs drain oldest-first");
+        assert!(env.orphan.is_some(), "supervised retire offers the deque");
+    }
+
+    #[test]
+    fn retire_unsupervised_drops_the_deque_and_skips_reinject_when_empty() {
+        let mut env = Recorder::default();
+        retire_worker(deque_with(&[]), &mut env);
+        assert_eq!(env.calls, ["died", "reclaimed:0", "note_death", "terminate"]);
+        assert!(env.orphan.is_none());
+    }
+
+    #[test]
+    fn adopt_success_order() {
+        let mut env = Recorder { budget: 1, ..Recorder::default() };
+        let outcome = adopt_orphan(deque_with(&[]), &mut env);
+        assert_eq!(outcome, AdoptOutcome::Respawned);
+        assert_eq!(
+            env.calls,
+            ["reserve", "backoff:0", "install:1", "alive", "release", "respawned"]
+        );
+        let w = env.orphan.expect("deque handed to the replacement");
+        w.push(7);
+        assert_eq!(w.pop(), Some(7), "the adopted deque is unsealed");
+    }
+
+    #[test]
+    fn adopt_budget_exhausted_degrades() {
+        let mut env = Recorder::default();
+        assert_eq!(adopt_orphan(deque_with(&[]), &mut env), AdoptOutcome::BudgetExhausted);
+        assert_eq!(env.calls, ["reserve", "degraded"]);
+    }
+
+    #[test]
+    fn adopt_install_failure_releases_then_degrades() {
+        let mut env = Recorder { budget: 1, fail_install: true, ..Recorder::default() };
+        assert_eq!(adopt_orphan(deque_with(&[]), &mut env), AdoptOutcome::SpawnFailed);
+        assert_eq!(
+            env.calls,
+            ["reserve", "backoff:0", "install:1", "release", "degraded"]
+        );
+    }
+
+    #[test]
+    fn adopt_terminated_before_start_and_during_backoff() {
+        let mut env = Recorder { terminate_at: Some(0), ..Recorder::default() };
+        assert_eq!(adopt_orphan(deque_with(&[]), &mut env), AdoptOutcome::Terminated);
+        assert_eq!(env.calls, Vec::<String>::new());
+
+        let mut env = Recorder { budget: 1, terminate_at: Some(2), ..Recorder::default() };
+        assert_eq!(adopt_orphan(deque_with(&[]), &mut env), AdoptOutcome::Terminated);
+        assert_eq!(env.calls, ["reserve", "backoff:0", "release"]);
+    }
+}

@@ -22,6 +22,7 @@ use crate::fault::{self, FaultAction, FaultHandler, FaultSite};
 use crate::job::{JobRef, StackJob};
 use crate::latch::{LockLatch, Probe};
 use crate::latch::Latch;
+use crate::lifecycle::{self, RetireEnv};
 use crate::metrics::{Counters, MetricsSnapshot};
 use crate::poison;
 use crate::probe::{self, ProbeEvent};
@@ -715,29 +716,8 @@ impl WorkerThread {
     /// this very deque), and lets the thread exit. Unsupervised pools do
     /// the same reclamation — the loss is then simply permanent.
     fn retire(self) {
-        let registry = Arc::clone(&self.registry);
-        let index = self.index;
-        registry.probe(ProbeEvent::WorkerDied { worker: index });
-        // Seal against (impossible, but cheap to enforce) further pushes
-        // and drain everything the owner can still claim back into the
-        // injector. Thieves racing the drain keep exactly-once semantics:
-        // whatever they win is executed instead of reinjected.
-        let reclaimed = self.deque.seal();
-        let jobs = reclaimed.len();
-        if jobs > 0 {
-            registry.reinject(reclaimed);
-        }
-        registry.probe(ProbeEvent::DequeReclaimed { worker: index, jobs });
-        if let Some(sup) = registry.supervision() {
-            // Death is recorded only after the drain above, so thieves
-            // never skip a "dead" slot that still holds work, and an
-            // installer observing `live == 0` knows the injector already
-            // has everything.
-            sup.note_death(index);
-            let WorkerThread { deque, .. } = self;
-            sup.offer_orphan(index, deque);
-        }
-        registry.probe(ProbeEvent::WorkerTerminate { worker: index });
+        let WorkerThread { deque, index, registry, .. } = self;
+        lifecycle::retire_worker(deque, &mut RegistryRetire { registry: &registry, index });
     }
 
     /// Parks this worker until new work might exist. A bounded timeout
@@ -762,6 +742,48 @@ impl WorkerThread {
             }
         }
         sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// [`RetireEnv`] over the registry: probes for observability, the injector
+/// for reclaimed jobs, and the supervisor (if any) for the orphaned deque.
+struct RegistryRetire<'a> {
+    registry: &'a Arc<Registry>,
+    index: usize,
+}
+
+impl RetireEnv<JobRef> for RegistryRetire<'_> {
+    fn on_died(&mut self) {
+        self.registry.probe(ProbeEvent::WorkerDied { worker: self.index });
+    }
+
+    fn reinject(&mut self, jobs: Vec<JobRef>) {
+        self.registry.reinject(jobs);
+    }
+
+    fn on_reclaimed(&mut self, jobs: usize) {
+        self.registry.probe(ProbeEvent::DequeReclaimed { worker: self.index, jobs });
+    }
+
+    fn note_death(&mut self) -> bool {
+        match self.registry.supervision() {
+            Some(sup) => {
+                sup.note_death(self.index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn offer_orphan(&mut self, deque: Worker<JobRef>) {
+        self.registry
+            .supervision()
+            .expect("offer_orphan follows a supervised note_death")
+            .offer_orphan(self.index, deque);
+    }
+
+    fn on_terminate(&mut self) {
+        self.registry.probe(ProbeEvent::WorkerTerminate { worker: self.index });
     }
 }
 

@@ -43,6 +43,7 @@ use cilk_testkit::rng::mix_str;
 use cilk_testkit::Rng;
 
 use crate::job::JobRef;
+use crate::lifecycle::{self, AdoptEnv, AdoptOutcome};
 use crate::poison;
 use crate::probe::ProbeEvent;
 use crate::registry::Registry;
@@ -365,52 +366,78 @@ pub(crate) fn monitor_main(registry: Arc<Registry>) {
     let mut rng = Rng::from_keys(sup.policy.seed, &[mix_str("cilk-runtime.supervisor")]);
     let mut last_beats = vec![0u64; registry.num_workers()];
     while !registry.should_terminate() {
-        for orphan in sup.take_orphans() {
-            if registry.should_terminate() {
+        for Orphan { slot, deque } in sup.take_orphans() {
+            let mut env = MonitorAdopt { registry: &registry, sup, slot, rng: &mut rng, handle: None };
+            if lifecycle::adopt_orphan(deque, &mut env) == AdoptOutcome::Terminated {
                 return;
-            }
-            match sup.try_reserve_respawn() {
-                Some(attempt) => {
-                    let delay = backoff_delay(&sup.policy, attempt, &mut rng);
-                    if !interruptible_sleep(&registry, delay) {
-                        sup.pending_respawns.fetch_sub(1, Ordering::SeqCst);
-                        return;
-                    }
-                    let Orphan { slot, deque } = orphan;
-                    deque.unseal();
-                    match registry.spawn_worker(slot, deque, attempt + 1) {
-                        Ok(handle) => {
-                            // Liveness first, then the pending count: at
-                            // every instant either `live > 0` holds or a
-                            // recovery is still accounted as in flight, so
-                            // installers never degrade during the swap.
-                            sup.note_alive(slot);
-                            sup.pending_respawns.fetch_sub(1, Ordering::SeqCst);
-                            poison::recover(sup.respawned_handles.lock()).push(handle);
-                            registry.probe(ProbeEvent::WorkerRespawned { worker: slot });
-                            registry.wake_all();
-                        }
-                        Err(_) => {
-                            // The OS refused a thread. Treat as an
-                            // unrecoverable loss of this slot.
-                            sup.pending_respawns.fetch_sub(1, Ordering::SeqCst);
-                            sup.degraded.store(true, Ordering::SeqCst);
-                            registry.probe(ProbeEvent::PoolDegraded { live: sup.live() });
-                        }
-                    }
-                }
-                None => {
-                    // Budget exhausted: the slot stays dead and its (already
-                    // drained) deque is dropped. Survivors keep running.
-                    sup.degraded.store(true, Ordering::SeqCst);
-                    registry.probe(ProbeEvent::PoolDegraded { live: sup.live() });
-                }
             }
         }
         sup.scan_heartbeats(&mut last_beats);
         if !interruptible_sleep(&registry, sup.policy.check_interval) {
             return;
         }
+    }
+}
+
+/// [`AdoptEnv`] over the monitor: the respawn budget and pending counter
+/// live in [`Supervision`], the replacement thread comes from
+/// [`Registry::spawn_worker`], and backoff is the policy's jittered
+/// exponential delay (interruptible by termination).
+struct MonitorAdopt<'a> {
+    registry: &'a Arc<Registry>,
+    sup: &'a Supervision,
+    slot: usize,
+    rng: &'a mut Rng,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AdoptEnv<JobRef> for MonitorAdopt<'_> {
+    fn should_terminate(&mut self) -> bool {
+        self.registry.should_terminate()
+    }
+
+    fn try_reserve_respawn(&mut self) -> Option<u64> {
+        self.sup.try_reserve_respawn()
+    }
+
+    fn backoff(&mut self, attempt: u64) -> bool {
+        let delay = backoff_delay(&self.sup.policy, attempt, self.rng);
+        interruptible_sleep(self.registry, delay)
+    }
+
+    fn release_pending(&mut self) {
+        self.sup.pending_respawns.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn install(&mut self, deque: DequeWorker<JobRef>, generation: u64) -> bool {
+        // On `Err` the OS refused a thread: the deque is consumed and the
+        // slot's loss is unrecoverable.
+        match self.registry.spawn_worker(self.slot, deque, generation) {
+            Ok(handle) => {
+                self.handle = Some(handle);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn note_alive(&mut self) {
+        // Liveness first, then the pending count (in `release_pending`): at
+        // every instant either `live > 0` holds or a recovery is still
+        // accounted as in flight, so installers never degrade mid-swap.
+        self.sup.note_alive(self.slot);
+    }
+
+    fn on_respawned(&mut self) {
+        let handle = self.handle.take().expect("install stored the replacement handle");
+        poison::recover(self.sup.respawned_handles.lock()).push(handle);
+        self.registry.probe(ProbeEvent::WorkerRespawned { worker: self.slot });
+        self.registry.wake_all();
+    }
+
+    fn on_degraded(&mut self) {
+        self.sup.degraded.store(true, Ordering::SeqCst);
+        self.registry.probe(ProbeEvent::PoolDegraded { live: self.sup.live() });
     }
 }
 
