@@ -68,12 +68,33 @@ CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
     cargo test -q --offline --test fault_matrix chaos_soak_randomized -- --nocapture \
     | grep -v '^$'
 
+echo "== parallel cilkscreen: pinned-seed oracle cross-validation =="
+# The parallel monitor (SP-order labels + concurrent shadow memory,
+# docs/cilkscreen.md Layer 3) must report exactly the serial SP-bags
+# oracle's race set at 1/2/4/8 workers, with schedule-independent
+# reports and every planted race caught; already part of the workspace
+# suite above, repeated by name so a divergence is attributed here.
+cargo test -q --offline --test parallel_screen
+
+echo "== parallel cilkscreen: randomized slice (seed printed for replay) =="
+# Fresh-seed planted slice races, serial vs 4-worker parallel agreement.
+PAR_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')"
+echo "CILK_TEST_SEED=${PAR_SEED}"
+CILK_TEST_SEED="${PAR_SEED}" \
+    cargo test -q --offline --test parallel_screen randomized_planted_slice_races_match_oracle
+
 echo "== cilkscreen CLI smoke: workload expectations must hold =="
 # --check exits 0 only when every workload's verdict (racy locations,
 # reducer suppression, functional result) matches its expectation; the
 # JSON artifact lands in target/cilkscreen/.
 cargo run -q --release --offline -p cilk-workloads --bin cilkscreen -- \
     --check --workers 2 --json target/cilkscreen/ci-report.json
+
+echo "== cilkscreen CLI smoke: --parallel-check at 1/2/4/8 workers =="
+# Real multi-worker monitoring of every workload must agree with the
+# serial oracle at each pool size (exit 2 on any divergence).
+cargo run -q --release --offline -p cilk-workloads --bin cilkscreen -- \
+    --parallel-check --json target/cilkscreen/ci-parallel-report.json
 
 echo "== probe smoke: zero-consumer overhead contract =="
 # A fresh process that never registers a probe consumer: the scheduler

@@ -6,7 +6,7 @@
 //! input. The program is expressed against [`Execution`]: `spawn`, `sync`,
 //! `read`/`write` of [`Location`]s, and `with_lock` critical sections.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use crate::report::{Location, LockId, Race, RaceKind, Report};
 use crate::spbags::{ProcId, SpBags};
@@ -164,7 +164,7 @@ impl Detector {
             shadow: HashMap::new(),
             held_locks: Vec::new(),
             races: Vec::new(),
-            seen: HashSet::new(),
+            seen: HashMap::new(),
             suppressed_views: 0,
             dedup: self.dedup_per_location,
             structure: if self.record_structure {
@@ -259,27 +259,49 @@ pub(crate) fn suppression_exit() {
 /// Reports a read to the active session, if any (no-op otherwise).
 /// Used by the instrumented containers in [`crate::trace`] and the
 /// tracked data types in [`crate::instrument`].
+///
+/// Dispatch order: a thread-local serial session (SP-bags) claims the
+/// access first; otherwise, if the thread carries an SP-order label (it
+/// is executing a strand of a parallel monitoring session), the access
+/// goes to the concurrent shadow memory ([`crate::shadow`]). The two
+/// sessions are mutually exclusive by construction — serial capture
+/// forces the elision, so no labeled strand exists during it.
 pub(crate) fn record_read(location: Location, site: Option<&'static str>) {
-    let _ = SESSION.try_with(|session| {
-        if let Some(state) = session.borrow_mut().as_mut() {
-            if suppressed() {
-                return;
+    let serial = SESSION
+        .try_with(|session| {
+            if let Some(state) = session.borrow_mut().as_mut() {
+                if !suppressed() {
+                    state.on_read(location, site);
+                }
+                true
+            } else {
+                false
             }
-            state.on_read(location, site);
-        }
-    });
+        })
+        .unwrap_or(false);
+    if !serial {
+        crate::shadow::par_record_read(location, site);
+    }
 }
 
 /// Reports a write to the active session, if any (no-op otherwise).
+/// Dispatches like [`record_read`].
 pub(crate) fn record_write(location: Location, site: Option<&'static str>) {
-    let _ = SESSION.try_with(|session| {
-        if let Some(state) = session.borrow_mut().as_mut() {
-            if suppressed() {
-                return;
+    let serial = SESSION
+        .try_with(|session| {
+            if let Some(state) = session.borrow_mut().as_mut() {
+                if !suppressed() {
+                    state.on_write(location, site);
+                }
+                true
+            } else {
+                false
             }
-            state.on_write(location, site);
-        }
-    });
+        })
+        .unwrap_or(false);
+    if !serial {
+        crate::shadow::par_record_write(location, site);
+    }
 }
 
 /// Whether a detector session is active on this thread. This is the
@@ -368,12 +390,56 @@ pub(crate) fn session_lock_released(lock: LockId) {
     });
 }
 
+/// Whether two lock sets share no lock. Both sides are sorted and
+/// deduplicated (the `held_locks` invariant, maintained identically by the
+/// serial session and the parallel monitor's thread-local lock stacks), so
+/// this is a linear merge walk that short-circuits at the first common
+/// element.
+pub(crate) fn locks_disjoint(held: &[LockId], prev: &[LockId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < held.len() && j < prev.len() {
+        match held[i].cmp(&prev[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+/// Whether every lock in `sub` also appears in `sup`. Sorted-merge walk
+/// over the same invariant as [`locks_disjoint`]; short-circuits as soon
+/// as an element of `sub` is missing from `sup`.
+pub(crate) fn locks_subset(sub: &[LockId], sup: &[LockId]) -> bool {
+    if sub.len() > sup.len() {
+        return false;
+    }
+    let mut j = 0;
+    for l in sub {
+        loop {
+            if j == sup.len() || sup[j] > *l {
+                return false;
+            }
+            if sup[j] == *l {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+    }
+    true
+}
+
 struct State {
     bags: SpBags,
     shadow: HashMap<Location, LocState>,
     held_locks: Vec<LockId>,
     races: Vec<Race>,
-    seen: HashSet<(Location, RaceKind)>,
+    /// Dedup index: canonical (location, kind) → position in `races` of
+    /// the representative entry, which keeps the minimum site pair so the
+    /// chosen representative is a function of the dag, not of which
+    /// access the monitor happened to see first.
+    seen: HashMap<(Location, RaceKind), usize>,
     suppressed_views: u64,
     dedup: bool,
     structure: Option<StructureTrace>,
@@ -396,48 +462,31 @@ impl State {
         first: Option<&'static str>,
         second: Option<&'static str>,
     ) {
-        if self.dedup && !self.seen.insert((location, kind)) {
+        // Canonical form at insertion (see `report::canonical`): the
+        // serial observation order of the two racers is as much a
+        // schedule artifact as the parallel one, and canonicalizing here
+        // keeps the dedup key and the representative's site pair
+        // identical between this oracle and the parallel monitor.
+        let (kind, first, second) = crate::report::canonical(kind, first, second);
+        let race = Race { location, kind, first_site: first, second_site: second };
+        if !self.dedup {
+            self.races.push(race);
             return;
         }
-        self.races.push(Race { location, kind, first_site: first, second_site: second });
-    }
-
-    /// Whether two lock sets share no lock. Both sides are sorted and
-    /// deduplicated (the `held_locks` invariant), so this is a linear merge
-    /// walk that short-circuits at the first common element.
-    fn locks_disjoint(held: &[LockId], prev: &[LockId]) -> bool {
-        let (mut i, mut j) = (0, 0);
-        while i < held.len() && j < prev.len() {
-            match held[i].cmp(&prev[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return false,
+        match self.seen.entry((location, kind)) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.races.len());
+                self.races.push(race);
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let existing = &mut self.races[*slot.get()];
+                if (race.first_site, race.second_site)
+                    < (existing.first_site, existing.second_site)
+                {
+                    *existing = race;
+                }
             }
         }
-        true
-    }
-
-    /// Whether every lock in `sub` also appears in `sup`. Sorted-merge walk
-    /// over the same invariant as [`Self::locks_disjoint`]; short-circuits
-    /// as soon as an element of `sub` is missing from `sup`.
-    fn locks_subset(sub: &[LockId], sup: &[LockId]) -> bool {
-        if sub.len() > sup.len() {
-            return false;
-        }
-        let mut j = 0;
-        for l in sub {
-            loop {
-                if j == sup.len() || sup[j] > *l {
-                    return false;
-                }
-                if sup[j] == *l {
-                    j += 1;
-                    break;
-                }
-                j += 1;
-            }
-        }
-        true
     }
 
     /// Inserts `access` into `entries`, pruning entries *dominated* by it:
@@ -450,7 +499,7 @@ impl State {
     fn insert_pruned(bags: &mut SpBags, entries: &mut Vec<Access>, access: Access) {
         entries.retain(|e| {
             let serial = !bags.is_parallel_with_current(e.proc);
-            !(serial && Self::locks_subset(&access.locks, &e.locks))
+            !(serial && locks_subset(&access.locks, &e.locks))
         });
         entries.push(access);
     }
@@ -462,7 +511,7 @@ impl State {
         let mut found: Vec<(RaceKind, Option<&'static str>)> = Vec::new();
         for w in state.writers.clone() {
             if self.bags.is_parallel_with_current(w.proc)
-                && Self::locks_disjoint(&self.held_locks, &w.locks)
+                && locks_disjoint(&self.held_locks, &w.locks)
             {
                 found.push((RaceKind::WriteWrite, w.site));
                 break; // one representative per kind suffices
@@ -470,7 +519,7 @@ impl State {
         }
         for r in state.readers.clone() {
             if self.bags.is_parallel_with_current(r.proc)
-                && Self::locks_disjoint(&self.held_locks, &r.locks)
+                && locks_disjoint(&self.held_locks, &r.locks)
             {
                 found.push((RaceKind::ReadWrite, r.site));
                 break;
@@ -491,7 +540,7 @@ impl State {
         let mut found: Option<(RaceKind, Option<&'static str>)> = None;
         for w in state.writers.clone() {
             if self.bags.is_parallel_with_current(w.proc)
-                && Self::locks_disjoint(&self.held_locks, &w.locks)
+                && locks_disjoint(&self.held_locks, &w.locks)
             {
                 found = Some((RaceKind::WriteRead, w.site));
                 break;
@@ -710,12 +759,16 @@ mod tests {
     fn read_then_parallel_write_races() {
         let loc = Location(1);
         let report = Detector::new().run(|e| {
-            e.spawn(|e| e.read(loc));
-            e.write(loc);
+            e.spawn(|e| e.read_at(loc, "reader"));
+            e.write_at(loc, "writer");
             e.sync();
         });
         assert_eq!(report.races.len(), 1);
-        assert_eq!(report.races[0].kind, RaceKind::ReadWrite);
+        // Canonical form: observation order (read seen first) is erased,
+        // so the race renders as write/read with the writer first.
+        assert_eq!(report.races[0].kind, RaceKind::WriteRead);
+        assert_eq!(report.races[0].first_site, Some("writer"));
+        assert_eq!(report.races[0].second_site, Some("reader"));
     }
 
     #[test]

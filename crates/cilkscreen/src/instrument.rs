@@ -27,6 +27,13 @@
 //!   directly), and `cilk-hyper` brackets every reducer-view access with
 //!   `ViewAccessBegin`/`ViewAccessEnd` events so the detector "ignore[s]
 //!   apparent races due to reducers" (§5).
+//! * **Parallel mode** — [`run_monitored_parallel`] monitors a **real
+//!   multi-worker execution** on a caller-supplied pool: no serial
+//!   elision, work stealing and all. Structure comes from SP-order
+//!   labels ([`crate::sporder`]) the runtime attaches to every strand,
+//!   and accesses land in a sharded concurrent shadow memory instead of
+//!   the per-thread session. See `docs/cilkscreen.md` for the guarantees
+//!   relative to serial capture.
 //!
 //! # Example
 //!
@@ -50,6 +57,7 @@ use cilk_runtime::probe::{self, EventMask, Probe, ProbeEvent, ProbeHandle};
 
 use crate::detector;
 use crate::report::{Location, LockId, Report};
+use crate::shadow;
 use crate::structure::StructureTrace;
 use crate::trace::{fresh_base, STRUCTURE};
 use crate::Detector;
@@ -99,6 +107,42 @@ fn install_hooks() {
     probe::pedigree_reset();
 }
 
+/// The parallel monitor as a probe consumer. No `serial_capture` — that
+/// is the point: spawning constructs keep their real parallel semantics
+/// and the consumer is active exactly on threads currently executing an
+/// SP-labeled strand. Only view and lock events are needed; structure
+/// travels in the labels themselves, and memory accesses reach the
+/// concurrent shadow map directly from the tracked containers.
+struct ParScreenProbe;
+
+impl Probe for ParScreenProbe {
+    fn mask(&self) -> EventMask {
+        EventMask::VIEW | EventMask::LOCK
+    }
+
+    fn active(&self) -> bool {
+        probe::sp_session_active()
+    }
+
+    fn on_event(&self, event: &ProbeEvent) {
+        match *event {
+            ProbeEvent::ViewAccessBegin { .. } => shadow::par_view_enter(),
+            ProbeEvent::ViewAccessEnd { .. } => shadow::par_view_exit(),
+            ProbeEvent::LockAcquired { lock } => shadow::par_lock_acquired(LockId(lock)),
+            ProbeEvent::LockReleased { lock } => shadow::par_lock_released(LockId(lock)),
+            _ => {}
+        }
+    }
+}
+
+/// The process-wide registration of [`ParScreenProbe`]; like
+/// [`DETECTOR_PROBE`], registered once and kept (inert off-session).
+static PAR_PROBE: OnceLock<ProbeHandle> = OnceLock::new();
+
+fn install_par_hooks() {
+    PAR_PROBE.get_or_init(|| probe::register(Arc::new(ParScreenProbe)));
+}
+
 /// Runs real platform code under the race detector and returns its value
 /// together with the race [`Report`].
 ///
@@ -141,6 +185,35 @@ where
     Detector::new().monitor_traced(program)
 }
 
+/// Runs real platform code under the **parallel** race detector: the
+/// program executes on `pool` with genuine multi-worker scheduling — no
+/// serial elision — while every strand carries an SP-order label pair
+/// ([`crate::sporder`]) and every tracked access is checked against a
+/// sharded concurrent shadow memory.
+///
+/// The race set is a function of the computation dag, so after
+/// normalization the report equals the serial oracle's
+/// ([`run_monitored`]) on the same program and input, at any worker
+/// count — the cross-validation suite (`tests/parallel_screen.rs`)
+/// asserts exactly that. One parallel session runs at a time
+/// process-wide; concurrent calls queue.
+///
+/// Tracked containers stay physically sound during genuinely racy
+/// executions: their accesses serialize through per-container stripe
+/// locks while a labeling session is active, which linearizes the
+/// *memory operations* without affecting the *logical* race decision
+/// (labels, not interleavings, decide).
+pub fn run_monitored_parallel<F, R>(pool: &cilk_runtime::ThreadPool, program: F) -> (R, Report)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    install_par_hooks();
+    let session = shadow::ParSession::begin();
+    let value = pool.install(|| probe::with_sp_root(program));
+    (value, session.finish())
+}
+
 /// Whether the current thread is inside a monitored session.
 pub fn is_monitoring() -> bool {
     detector::session_active()
@@ -164,15 +237,24 @@ pub fn suppress<R>(f: impl FnOnce() -> R) -> R {
 }
 
 /// Reports that the current strand acquired `lock`. Called by
-/// `cilk::sync::Mutex`; custom lock types can call it too. No-op without
-/// an active session on this thread.
+/// `cilk::sync::Mutex`; custom lock types can call it too. Feeds the
+/// serial session's lock set and, on labeled strands, the parallel
+/// monitor's thread-local lock stack (idempotent on re-entry, so a lock
+/// that both emits probe events and calls this directly stays
+/// consistent). No-op without an active session on this thread.
 pub fn lock_acquired(lock: LockId) {
     detector::session_lock_acquired(lock);
+    if probe::sp_session_active() {
+        shadow::par_lock_acquired(lock);
+    }
 }
 
 /// Reports that the current strand released `lock` (see [`lock_acquired`]).
 pub fn lock_released(lock: LockId) {
     detector::session_lock_released(lock);
+    if probe::sp_session_active() {
+        shadow::par_lock_released(lock);
+    }
 }
 
 /// A tracked memory cell usable from real runtime closures.
@@ -184,15 +266,20 @@ pub fn lock_released(lock: LockId) {
 ///
 /// # Safety model
 ///
-/// `Shadow` performs **no synchronization** — that is the point: it holds
-/// the program's racy (or race-free) data exactly as a plain variable
-/// would in Cilk++. Under [`run_monitored`] every strand executes serially
-/// on one thread, so even racy programs execute soundly *while being
-/// diagnosed*. Outside a monitored session, concurrent conflicting access
-/// from several threads is a genuine data race — the very bug class this
-/// crate exists to find before it ships; callers get safety there from
-/// the same discipline (locks, disjointness, reducers) the detector
-/// verifies.
+/// `Shadow` performs **no synchronization in its own right** — that is
+/// the point: it holds the program's racy (or race-free) data exactly as
+/// a plain variable would in Cilk++. Under [`run_monitored`] every
+/// strand executes serially on one thread, so even racy programs execute
+/// soundly *while being diagnosed*. Under [`run_monitored_parallel`] the
+/// racy program really runs on several workers; there each physical
+/// access additionally takes a per-container stripe lock (engaged only
+/// on labeled strands), so the *tool* never commits undefined behavior
+/// while observing a logical race — the race is still reported, because
+/// detection compares SP-order labels, not interleavings. Outside any
+/// monitored session, concurrent conflicting access from several threads
+/// is a genuine data race — the very bug class this crate exists to find
+/// before it ships; callers get safety there from the same discipline
+/// (locks, disjointness, reducers) the detector verifies.
 #[derive(Debug)]
 pub struct Shadow<T> {
     base: u64,
@@ -230,29 +317,30 @@ impl<T> Shadow<T> {
     {
         detector::record_read(self.location(), self.site);
         // SAFETY: see the type-level safety model.
-        unsafe { *self.value.get() }
+        shadow::with_cell_lock(self.base, || unsafe { *self.value.get() })
     }
 
     /// Replaces the value (reported as a write).
     pub fn set(&self, value: T) {
         detector::record_write(self.location(), self.site);
         // SAFETY: see the type-level safety model.
-        unsafe { *self.value.get() = value }
+        shadow::with_cell_lock(self.base, || unsafe { *self.value.get() = value })
     }
 
     /// Applies `f` to a shared borrow (reported as a read).
     pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
         detector::record_read(self.location(), self.site);
         // SAFETY: see the type-level safety model.
-        f(unsafe { &*self.value.get() })
+        shadow::with_cell_lock(self.base, || f(unsafe { &*self.value.get() }))
     }
 
-    /// Read-modify-write through `f` (reported as a read then a write).
+    /// Read-modify-write through `f` (reported as a read then a write,
+    /// physically atomic under parallel monitoring).
     pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
         detector::record_read(self.location(), self.site);
         detector::record_write(self.location(), self.site);
         // SAFETY: see the type-level safety model.
-        f(unsafe { &mut *self.value.get() })
+        shadow::with_cell_lock(self.base, || f(unsafe { &mut *self.value.get() }))
     }
 
     /// Exclusive access through the borrow checker (unreported: `&mut self`
@@ -341,24 +429,26 @@ impl<T> ShadowSlice<T> {
     {
         detector::record_read(self.location_of(index), self.site);
         // SAFETY: see `Shadow`'s safety model; index checked by location_of.
-        unsafe { (*self.items.get())[index] }
+        shadow::with_cell_lock(self.base, || unsafe { (*self.items.get())[index] })
     }
 
     /// Writes element `index` (reported).
     pub fn set(&self, index: usize, value: T) {
         detector::record_write(self.location_of(index), self.site);
         // SAFETY: see `Shadow`'s safety model; index checked by location_of.
-        unsafe { (*self.items.get())[index] = value }
+        shadow::with_cell_lock(self.base, || unsafe { (*self.items.get())[index] = value })
     }
 
-    /// Swaps elements `a` and `b` (reported as reads and writes of both).
+    /// Swaps elements `a` and `b` (reported as reads and writes of both;
+    /// one stripe lock covers the whole exchange under parallel
+    /// monitoring — both elements live in this container).
     pub fn swap(&self, a: usize, b: usize) {
         detector::record_read(self.location_of(a), self.site);
         detector::record_read(self.location_of(b), self.site);
         detector::record_write(self.location_of(a), self.site);
         detector::record_write(self.location_of(b), self.site);
         // SAFETY: see `Shadow`'s safety model; indices checked above.
-        unsafe { (*self.items.get()).swap(a, b) }
+        shadow::with_cell_lock(self.base, || unsafe { (*self.items.get()).swap(a, b) })
     }
 
     /// Consumes the wrapper, returning the elements (unreported).

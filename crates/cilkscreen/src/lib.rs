@@ -12,7 +12,12 @@
 //! * [`Detector`] / [`Execution`] — shadow memory over abstract
 //!   [`Location`]s, with [`LockId`]-based suppression of accesses that hold
 //!   a lock in common (the §4 definition of a data race);
-//! * [`Report`] / [`Race`] — localized race reports.
+//! * [`Report`] / [`Race`] — localized race reports;
+//! * [`sporder`] + a sharded concurrent shadow memory (via
+//!   [`instrument::run_monitored_parallel`]) — the parallel monitor:
+//!   SP-order reachability labels decide "logically parallel" under any
+//!   schedule, so the detector can watch *real multi-worker executions*
+//!   instead of the serial elision.
 //!
 //! # Example
 //!
@@ -40,7 +45,9 @@ mod detector;
 pub mod eraser;
 pub mod instrument;
 mod report;
+mod shadow;
 pub mod spbags;
+pub mod sporder;
 mod structure;
 mod trace;
 pub mod union_find;

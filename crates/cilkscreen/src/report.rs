@@ -112,6 +112,25 @@ fn kind_rank(kind: RaceKind) -> u8 {
     }
 }
 
+/// Puts one racer pair into canonical form, erasing which access the
+/// detector happened to *observe* first — an artifact of the schedule
+/// under parallel monitoring (and of serial order under SP-bags):
+/// read/write becomes write/read with the sites swapped, and the two
+/// sites of a write/write race are sorted. After canonicalization the
+/// same dag race renders identically no matter which worker got there
+/// first.
+pub(crate) fn canonical(
+    kind: RaceKind,
+    first: Option<&'static str>,
+    second: Option<&'static str>,
+) -> (RaceKind, Option<&'static str>, Option<&'static str>) {
+    match kind {
+        RaceKind::ReadWrite => (RaceKind::WriteRead, second, first),
+        RaceKind::WriteWrite if second < first => (RaceKind::WriteWrite, second, first),
+        _ => (kind, first, second),
+    }
+}
+
 impl Report {
     /// Whether the execution was determinacy-race free — Cilkscreen's
     /// guarantee: for a deterministic program on a given input, *no* races
@@ -138,10 +157,19 @@ impl Report {
         locs
     }
 
-    /// Sorts the race list into the documented deterministic order:
-    /// location, then kind, then first/second site labels. Idempotent;
+    /// Puts the race list into the documented deterministic order:
+    /// each racer pair is first canonicalized (read/write → write/read
+    /// with sites swapped; write/write sites sorted — observation order
+    /// is a schedule artifact, not part of the race), then the list is
+    /// sorted by location, kind, and the two site labels. Idempotent;
     /// called by the detector before a report is returned.
     pub fn normalize(&mut self) {
+        for race in &mut self.races {
+            let (kind, first, second) = canonical(race.kind, race.first_site, race.second_site);
+            race.kind = kind;
+            race.first_site = first;
+            race.second_site = second;
+        }
         self.races.sort_by(|a, b| {
             (a.location, kind_rank(a.kind), a.first_site, a.second_site).cmp(&(
                 b.location,
@@ -150,6 +178,27 @@ impl Report {
                 b.second_site,
             ))
         });
+    }
+
+    /// Rewrites every location to a small dense index (0, 1, 2, …)
+    /// assigned in ascending order of the original identifiers, returning
+    /// the renumbered report. Shadow containers allocate fresh location
+    /// bases per construction, so two executions of the same program see
+    /// different raw identifiers for the same logical data; after
+    /// renumbering, reports from distinct runs (serial oracle vs parallel
+    /// monitor, different worker counts) compare and diff directly.
+    pub fn renumber_locations(&self) -> Report {
+        let mut locs: Vec<Location> = self.races.iter().map(|r| r.location).collect();
+        locs.sort_unstable();
+        locs.dedup();
+        let index: std::collections::HashMap<Location, u64> =
+            locs.iter().enumerate().map(|(i, l)| (*l, i as u64)).collect();
+        let mut out = self.clone();
+        for race in &mut out.races {
+            race.location = Location(index[&race.location]);
+        }
+        out.normalize();
+        out
     }
 
     /// Serializes the report as a stable, human-diffable JSON object.
@@ -238,6 +287,62 @@ mod tests {
     fn slice_locations_distinct() {
         let v = [1u8, 2, 3];
         assert_ne!(Location::of_index(&v, 0), Location::of_index(&v, 2));
+    }
+
+    #[test]
+    fn normalize_canonicalizes_symmetric_racer_pairs() {
+        // The same dag race observed in either order must render
+        // identically: read-then-write and write-then-read collapse to
+        // one canonical write/read entry, write/write sites sort.
+        let mk = |kind, first, second| Race {
+            location: Location(0x10),
+            kind,
+            first_site: first,
+            second_site: second,
+        };
+        let mut a = Report {
+            races: vec![mk(RaceKind::ReadWrite, Some("r"), Some("w"))],
+            suppressed_views: 0,
+        };
+        let mut b = Report {
+            races: vec![mk(RaceKind::WriteRead, Some("w"), Some("r"))],
+            suppressed_views: 0,
+        };
+        a.normalize();
+        b.normalize();
+        assert_eq!(a, b);
+        let mut ww = Report {
+            races: vec![mk(RaceKind::WriteWrite, Some("z"), Some("a"))],
+            suppressed_views: 0,
+        };
+        ww.normalize();
+        assert_eq!(ww.races[0].first_site, Some("a"));
+        assert_eq!(ww.races[0].second_site, Some("z"));
+        // Idempotent.
+        let again = {
+            let mut c = ww.clone();
+            c.normalize();
+            c
+        };
+        assert_eq!(again, ww);
+    }
+
+    #[test]
+    fn renumber_locations_is_run_independent() {
+        let mk = |loc: u64| Race {
+            location: Location(loc),
+            kind: RaceKind::WriteWrite,
+            first_site: Some("a"),
+            second_site: Some("b"),
+        };
+        let run1 = Report { races: vec![mk(0x5000), mk(0x7000)], suppressed_views: 1 };
+        let run2 = Report { races: vec![mk(0x9000), mk(0xf000)], suppressed_views: 1 };
+        assert_ne!(run1, run2, "raw addresses differ across runs");
+        assert_eq!(run1.renumber_locations(), run2.renumber_locations());
+        assert_eq!(
+            run1.renumber_locations().race_locations(),
+            vec![Location(0), Location(1)]
+        );
     }
 
     #[test]

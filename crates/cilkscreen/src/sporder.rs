@@ -1,0 +1,108 @@
+//! SP-order reachability: the labels behind parallel race detection.
+//!
+//! "Logically parallel" is a property of the computation dag, not of any
+//! particular schedule. The serial detector answers it with SP-bags,
+//! which fundamentally requires the depth-first serial elision; this
+//! module is the alternative that works under **real parallelism**, in
+//! the style of the English–Hebrew order-maintenance labelings of
+//! Nudler–Rudolph and Bender et al.'s *SP-order*:
+//!
+//! * every strand carries a pair of labels — its position in the
+//!   *English* order (spawned child before continuation) and in the
+//!   *Hebrew* order (continuation before spawned child);
+//! * a strand precedes another in the dag iff it precedes it in **both**
+//!   orders; the two labelings *disagree* exactly for logically parallel
+//!   strands — so [`SpLabel::relation`] decides reachability by two
+//!   lexicographic comparisons, with no shared mutable structure;
+//! * labels are assigned at fork points by the runtime
+//!   (`cilk_runtime::probe`) and travel with each branch closure to
+//!   whichever worker steals it, so the answer is identical under every
+//!   schedule and every worker count.
+//!
+//! The types live in `cilk-runtime` (the runtime assigns labels inside
+//! `join`/`scope` with no dependency on this crate) and are re-exported
+//! here because this is their consumer-facing home: Cilkscreen's
+//! concurrent shadow memory tags every recorded access with the
+//! accessing strand's [`SpLabel`] and reports a race when two accesses
+//! to one location compare [`SpRel::Parallel`] without a common lock.
+//!
+//! # Examples
+//!
+//! ```
+//! use cilkscreen::sporder::{self, SpRel};
+//!
+//! let (child, cont) = sporder::with_sp_root(|| {
+//!     cilk_runtime::join(
+//!         || sporder::current_sp_label().unwrap(),
+//!         || sporder::current_sp_label().unwrap(),
+//!     )
+//! });
+//! assert_eq!(child.relation(&cont), SpRel::Parallel);
+//! assert!(sporder::logically_parallel(&child, &cont));
+//! ```
+
+pub use cilk_runtime::probe::{
+    current_sp_label, sp_session_active, with_sp_root, SpLabel, SpRel,
+};
+
+/// Whether the strands labeled `a` and `b` are logically in parallel —
+/// neither reaches the other in the computation dag, so their memory
+/// accesses may interleave under some schedule.
+pub fn logically_parallel(a: &SpLabel, b: &SpLabel) -> bool {
+    a.parallel_with(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_decide_reachability_without_the_serial_elision() {
+        // The defining properties, exercised through the runtime's real
+        // join (which may execute the branches on different workers):
+        // pre-fork precedes both branches, the branches are mutually
+        // parallel, and labels compare the same however they migrated.
+        let (before, child, cont, after) = with_sp_root(|| {
+            let before = current_sp_label().expect("labeled");
+            let (child, cont) = cilk_runtime::join(
+                || current_sp_label().expect("labeled"),
+                || current_sp_label().expect("labeled"),
+            );
+            let after = current_sp_label().expect("labeled");
+            (before, child, cont, after)
+        });
+        assert_eq!(before.relation(&child), SpRel::Before);
+        assert_eq!(before.relation(&cont), SpRel::Before);
+        assert!(logically_parallel(&child, &cont));
+        assert_eq!(child.relation(&after), SpRel::Before, "sync orders child before after");
+        assert_eq!(after.relation(&cont), SpRel::After);
+        assert_eq!(before.relation(&before), SpRel::Equal);
+    }
+
+    #[test]
+    fn deep_spawn_trees_keep_cousins_parallel() {
+        // fib-shaped recursion: every strand of the left subtree is
+        // parallel with every strand of the right subtree.
+        fn leaves(depth: usize) -> Vec<SpLabel> {
+            if depth == 0 {
+                return vec![current_sp_label().expect("labeled")];
+            }
+            let (mut l, r) = cilk_runtime::join(|| leaves(depth - 1), || leaves(depth - 1));
+            l.extend(r);
+            l
+        }
+        let labels = with_sp_root(|| leaves(4));
+        assert_eq!(labels.len(), 16);
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert!(logically_parallel(a, b), "distinct leaves are parallel");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_outside_a_session_are_absent() {
+        assert!(current_sp_label().is_none());
+        assert!(!sp_session_active());
+    }
+}

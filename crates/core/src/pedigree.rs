@@ -37,6 +37,19 @@
 
 use std::cell::RefCell;
 
+pub use cilk_runtime::probe::{current_sp_label, sp_session_active, with_sp_root, SpLabel, SpRel};
+
+/// Whether the strands labeled `a` and `b` are logically in parallel —
+/// neither precedes the other in the computation dag. SP-order labels are
+/// schedule-independent, so the answer is the same no matter which workers
+/// executed the strands or in what real-time order.
+///
+/// Labels come from [`current_sp_label`] inside a [`with_sp_root`] region
+/// (Cilkscreen's parallel monitor installs one around the whole program).
+pub fn logically_parallel(a: &SpLabel, b: &SpLabel) -> bool {
+    a.parallel_with(b)
+}
+
 thread_local! {
     static PEDIGREE: RefCell<PedigreeState> = const {
         RefCell::new(PedigreeState { path: Vec::new(), counter: 0 })
@@ -340,6 +353,25 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 200);
+    }
+
+    #[test]
+    fn sp_labels_order_strands_schedule_independently() {
+        // The ordering helpers re-exported here answer "logically
+        // parallel?" for strands of a labeled region: spawned child and
+        // continuation are parallel, pre-fork code precedes both.
+        let (root, a, b) = with_sp_root(|| {
+            let root = current_sp_label().expect("root labeled");
+            let (a, b) = crate::join(
+                || current_sp_label().expect("child labeled"),
+                || current_sp_label().expect("continuation labeled"),
+            );
+            (root, a, b)
+        });
+        assert!(super::logically_parallel(&a, &b));
+        assert_eq!(root.relation(&a), SpRel::Before);
+        assert_eq!(root.relation(&b), SpRel::Before);
+        assert!(!sp_session_active(), "labeling ends with the region");
     }
 
     #[test]

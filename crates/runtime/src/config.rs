@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use crate::fault::FaultHandler;
 use crate::metrics::MetricsSnapshot;
-use crate::supervisor::SupervisionPolicy;
+use crate::supervisor::{BeatSite, SupervisionPolicy};
 
 /// What a worker does while waiting at a `join` for a stolen continuation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -220,6 +220,11 @@ pub struct RuntimeStalled {
     /// travels through `Result`s on the hot install path, and the snapshot
     /// is by far its largest field).
     pub metrics: Box<MetricsSnapshot>,
+    /// Worker slots the supervisor's heartbeat scan flagged as silent,
+    /// each with the probe site it last beat from (`None`: never beat).
+    /// Empty when the pool runs without supervision — then the stall can
+    /// only be diagnosed from the counters above.
+    pub suspects: Vec<(usize, Option<BeatSite>)>,
 }
 
 impl fmt::Display for RuntimeStalled {
@@ -234,7 +239,20 @@ impl fmt::Display for RuntimeStalled {
             self.pending_injected,
             self.metrics.steals,
             self.metrics.steals_aborted,
-        )
+        )?;
+        if !self.suspects.is_empty() {
+            write!(f, "; suspects:")?;
+            for (i, (slot, site)) in self.suspects.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                match site {
+                    Some(site) => write!(f, " slot {slot} (last beat {site})")?,
+                    None => write!(f, " slot {slot} (never beat)")?,
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -296,9 +314,25 @@ mod tests {
             workers_died: 2,
             pending_injected: 1,
             metrics: Box::new(MetricsSnapshot::default()),
+            suspects: Vec::new(),
         };
         let msg = e.to_string();
         assert!(msg.contains("2 of 2 workers dead"), "{msg}");
         assert!(msg.contains("1 jobs pending"), "{msg}");
+        assert!(!msg.contains("suspects"), "no suspects without supervision: {msg}");
+    }
+
+    #[test]
+    fn runtime_stalled_names_suspect_slots() {
+        let e = RuntimeStalled {
+            waited: Duration::from_millis(250),
+            workers: 4,
+            workers_died: 0,
+            pending_injected: 1,
+            metrics: Box::new(MetricsSnapshot::default()),
+            suspects: vec![(0, Some(BeatSite::StealRound)), (2, None)],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("suspects: slot 0 (last beat steal-round), slot 2 (never beat)"), "{msg}");
     }
 }

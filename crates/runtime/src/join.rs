@@ -81,6 +81,23 @@ where
     if let Some(capture) = crate::hooks::serial_capture() {
         return join_serial_capture(capture, a, b);
     }
+    // An SP-order labeling session (parallel race detection; see
+    // `probe::with_sp_root`) forks the current strand's label pair here:
+    // each branch carries its frame bases into its closure and installs
+    // them on whichever worker runs it, so "logically parallel" stays
+    // decidable under any schedule. One thread-local read when inactive.
+    let (sp_a, sp_b) = match probe::sp_join_fork() {
+        Some((child, cont)) => (Some(child), Some(cont)),
+        None => (None, None),
+    };
+    let a = move |ctx| {
+        let _sp = sp_a.map(probe::SpFrameGuard::enter);
+        a(ctx)
+    };
+    let b = move |ctx| {
+        let _sp = sp_b.map(probe::SpFrameGuard::enter);
+        b(ctx)
+    };
     // A strand-profiling session wraps both branches in frames whose
     // `Copy` context travels with the closure to whichever worker runs
     // it, then combines the two measures on the parent strand — exact at
@@ -180,7 +197,7 @@ where
 {
     let registry = wt.registry();
     // Strand boundary: tell the supervisor this worker is making progress.
-    wt.beat();
+    wt.beat(crate::supervisor::BeatSite::JoinEntry);
     let depth = wt.bump_depth();
     registry.probe(ProbeEvent::Spawn { worker: wt.index(), depth });
 

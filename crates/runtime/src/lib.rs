@@ -56,7 +56,7 @@ pub use join::{join, join_context, JoinContext};
 pub use metrics::MetricsSnapshot;
 pub use parallel_for::{for_each_index, for_each_slice_mut, map_reduce_index, Grain};
 pub use scope::{scope, Scope, TaskContext};
-pub use supervisor::{SupervisionPolicy, SupervisorReport};
+pub use supervisor::{BeatSite, SupervisionPolicy, SupervisorReport};
 
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;

@@ -39,15 +39,20 @@
 
 mod events;
 mod registry;
+mod sporder;
 mod strand;
 
 pub use events::{EventMask, FaultKind, ProbeEvent};
 pub use registry::{consumer_count, emit, enabled, installed_mask, register, Probe, ProbeHandle};
+pub use sporder::{
+    current_sp_label, sp_session_active, with_sp_root, SpBranch, SpFrameGuard, SpLabel, SpRel,
+};
 pub use strand::{
     charge, pedigree_reset, profile_strands, strand_session_active, ProfileSpec, SpShape,
     StrandProfile,
 };
 
+pub(crate) use sporder::{sp_join_fork, sp_scope_begin, sp_task_fork};
 pub(crate) use strand::{
     strand_children, strand_combine, strand_scope_begin, strand_scope_combine, task_ctx, Measure,
     ScopeSession, StrandCtx, StrandScope,

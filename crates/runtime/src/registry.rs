@@ -397,6 +397,9 @@ impl Registry {
     }
 
     /// Assembles the [`RuntimeStalled`] diagnosis for a timed-out wait.
+    /// On a supervised pool the error also names the suspect worker slots
+    /// from the watchdog's last heartbeat scan, each with the probe site
+    /// where it was last seen beating.
     fn stall_error(&self, waited: Duration) -> RuntimeStalled {
         let metrics = self.metrics();
         RuntimeStalled {
@@ -404,6 +407,10 @@ impl Registry {
             workers: self.num_workers(),
             workers_died: metrics.workers_died,
             pending_injected: poison::recover(self.injected.lock()).len(),
+            suspects: self
+                .supervision()
+                .map(|sup| sup.suspect_slots())
+                .unwrap_or_default(),
             metrics: Box::new(metrics),
         }
     }
@@ -531,13 +538,15 @@ impl WorkerThread {
         self.pending_death.set(true);
     }
 
-    /// One heartbeat for the watchdog. A single `Option` discriminant test
-    /// when supervision is off — the same order of cost as the probe
-    /// layer's disabled relaxed load.
+    /// One heartbeat for the watchdog, tagged with the probe site it came
+    /// from (so stall diagnoses can name where a silent worker was last
+    /// seen). A single `Option` discriminant test when supervision is off
+    /// — the same order of cost as the probe layer's disabled relaxed
+    /// load.
     #[inline]
-    pub(crate) fn beat(&self) {
+    pub(crate) fn beat(&self, site: supervisor::BeatSite) {
         if let Some(sup) = self.registry.supervision() {
-            sup.beat(self.index);
+            sup.beat(self.index, site);
         }
     }
 
@@ -566,7 +575,7 @@ impl WorkerThread {
 
     /// One full round of steal attempts over random victims.
     fn steal(&self) -> Option<JobRef> {
-        self.beat();
+        self.beat(supervisor::BeatSite::StealRound);
         // Fault consultation happens before the single-worker early-return
         // so `steal`-site plans fire deterministically at any pool width.
         // `Panic` cannot unwind here — a scheduler thread outside a job has
@@ -657,7 +666,7 @@ impl WorkerThread {
                 if let Some(job) = self.find_work() {
                     // SAFETY: jobs from deques/injector are executed once.
                     unsafe { self.execute(job) };
-                    self.beat();
+                    self.beat(supervisor::BeatSite::WaitExecute);
                     idle_spins = 0;
                     continue;
                 }
@@ -677,7 +686,7 @@ impl WorkerThread {
         self.registry.probe(ProbeEvent::WorkerStart { worker: self.index });
         let mut died = false;
         loop {
-            self.beat();
+            self.beat(supervisor::BeatSite::MainLoop);
             if self.pending_death.get() {
                 // Simulated worker loss: every stack obligation has unwound
                 // (we are at top-of-loop), so retiring here leaves no latch

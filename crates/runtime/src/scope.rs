@@ -98,6 +98,11 @@ impl<'scope> Scope<'scope> {
     {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let task_ctx = self.session.map(|sess| probe::task_ctx(sess.task_base, seq));
+        // SP-order labeling (parallel race detection): fork the task's
+        // label bases off the spawning strand's frame — the spawner
+        // continues as the task's parallel sibling — and let the task
+        // install them on whichever worker runs it.
+        let sp_task = probe::sp_task_fork();
         if self.state.is_null() {
             // Serial-capture mode: run the task now, as the serial elision
             // would, emitting spawn/return events for the detector. Capture
@@ -107,6 +112,7 @@ impl<'scope> Scope<'scope> {
                 .expect("serial-capture scope outside a capture session");
             capture.spawn_begin();
             let frame = task_ctx.map(probe::StrandScope::enter);
+            let _sp = sp_task.map(probe::SpFrameGuard::enter);
             let status = unwind::halt_unwinding(|| body(TaskContext { migrated: false, seq }));
             let measure = match (&status, frame) {
                 (Ok(()), Some(frame)) => Some(frame.finish()),
@@ -142,7 +148,9 @@ impl<'scope> Scope<'scope> {
             }
             // A profiled task re-installs its strand frame on whichever
             // worker runs it; the measure lands in the scope's collector.
+            // A labeled task likewise installs its SP-order frame there.
             let frame = task_ctx.map(probe::StrandScope::enter);
+            let _sp = sp_task.map(probe::SpFrameGuard::enter);
             let status = unwind::halt_unwinding(|| {
                 fault::fault_point(FaultSite::Spawn);
                 body(TaskContext { migrated, seq })
@@ -176,7 +184,7 @@ impl<'scope> Scope<'scope> {
         let wt = unsafe { &*wt };
         // Strand boundary: tell the supervisor this worker is making
         // progress.
-        wt.beat();
+        wt.beat(crate::supervisor::BeatSite::ScopeSpawn);
         wt.registry().probe(ProbeEvent::ScopeSpawn { worker: wt.index() });
         wt.push(job_ref);
     }
@@ -248,6 +256,10 @@ where
     // task run in their own frame, finished measures collect here, and
     // the combine happens on the calling thread after the implicit sync.
     let session = probe::strand_scope_begin();
+    // SP-order labeling: the scope body runs in its own sub-frame
+    // (serial with the surrounding code) from which `Scope::spawn` forks
+    // task labels; the caller's frame retires past the implicit sync.
+    let sp_scope = probe::sp_scope_begin();
     let measures: Mutex<Vec<(u64, probe::Measure)>> = Mutex::new(Vec::new());
     let measures_ptr = if session.is_some() {
         MeasuresPtr(&measures)
@@ -268,6 +280,7 @@ where
             marker: PhantomData,
         };
         let body_frame = session.map(|s| probe::StrandScope::enter(s.body));
+        let _sp_body = sp_scope.map(probe::SpFrameGuard::enter);
         let (result, body_measure) = match unwind::halt_unwinding(|| op(&scope)) {
             Ok(r) => (Some(r), body_frame.map(probe::StrandScope::finish)),
             Err(payload) => {

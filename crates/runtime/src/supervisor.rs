@@ -33,7 +33,7 @@
 //!   workers an `install` runs serially in place on the caller's thread
 //!   (see `Registry::in_worker_checked`) instead of stalling.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -142,6 +142,64 @@ impl Default for SupervisionPolicy {
     }
 }
 
+/// The probe site at which a worker last bumped its heartbeat.
+///
+/// Each heartbeat carries the scheduling-loop boundary it came from, so a
+/// stall diagnosis ([`RuntimeStalled`](crate::RuntimeStalled)) can say not
+/// just *which* worker went silent but *where it was last seen* — a worker
+/// whose last beat was `JoinEntry` is wedged inside user code, one stuck
+/// at `StealRound` is spinning for work that never comes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BeatSite {
+    /// Top of the worker's main scheduling loop.
+    MainLoop,
+    /// A steal round while idle or waiting on a latch.
+    StealRound,
+    /// Executed a stolen or injected job inside a wait loop.
+    WaitExecute,
+    /// Entry to a `join` (the fork of a new strand pair).
+    JoinEntry,
+    /// A `Scope::spawn` pushed a task.
+    ScopeSpawn,
+}
+
+impl BeatSite {
+    /// Stable wire encoding for the per-slot `AtomicU8` (0 is "never
+    /// beat"); `decode` is its inverse.
+    fn encode(self) -> u8 {
+        match self {
+            BeatSite::MainLoop => 1,
+            BeatSite::StealRound => 2,
+            BeatSite::WaitExecute => 3,
+            BeatSite::JoinEntry => 4,
+            BeatSite::ScopeSpawn => 5,
+        }
+    }
+
+    fn decode(raw: u8) -> Option<BeatSite> {
+        match raw {
+            1 => Some(BeatSite::MainLoop),
+            2 => Some(BeatSite::StealRound),
+            3 => Some(BeatSite::WaitExecute),
+            4 => Some(BeatSite::JoinEntry),
+            5 => Some(BeatSite::ScopeSpawn),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BeatSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BeatSite::MainLoop => "main-loop",
+            BeatSite::StealRound => "steal-round",
+            BeatSite::WaitExecute => "wait-execute",
+            BeatSite::JoinEntry => "join-entry",
+            BeatSite::ScopeSpawn => "scope-spawn",
+        })
+    }
+}
+
 /// Point-in-time view of a supervised pool's recovery state, from
 /// [`ThreadPool::supervisor_report`](crate::ThreadPool::supervisor_report).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,6 +215,9 @@ pub struct SupervisorReport {
     pub degraded: bool,
     /// Alive-but-not-beating workers seen at the watchdog's last scan.
     pub suspect_workers: usize,
+    /// The suspect slots themselves, each with the probe site of its last
+    /// heartbeat (`None` if the worker never beat at all).
+    pub suspects: Vec<(usize, Option<BeatSite>)>,
     /// Per-slot heartbeat epochs (monotonic; bumped at scheduling-loop
     /// boundaries).
     pub heartbeats: Vec<u64>,
@@ -174,6 +235,9 @@ pub(crate) struct Supervision {
     pub(crate) policy: SupervisionPolicy,
     /// Monotonic per-slot liveness epochs (relaxed; diagnostic only).
     heartbeats: Vec<AtomicU64>,
+    /// Per-slot encoded [`BeatSite`] of the most recent heartbeat
+    /// (0 = never beat; relaxed, diagnostic only).
+    last_sites: Vec<AtomicU8>,
     /// Which slots currently have a live worker.
     alive: Vec<AtomicBool>,
     /// Count of `true` bits in `alive`.
@@ -188,6 +252,9 @@ pub(crate) struct Supervision {
     degraded: AtomicBool,
     /// Suspect count from the watchdog's last heartbeat scan.
     suspects: AtomicUsize,
+    /// The suspect slot identities (with last beat sites) from that scan;
+    /// what [`Registry::stall_error`](crate::registry::Registry) names.
+    suspect_slots: Mutex<Vec<(usize, Option<BeatSite>)>>,
     /// Deques handed over by dying workers, awaiting adoption.
     orphans: Mutex<Vec<Orphan>>,
     /// Join handles of replacement workers (the originals live in
@@ -200,24 +267,42 @@ impl Supervision {
         Supervision {
             policy,
             heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            last_sites: (0..workers).map(|_| AtomicU8::new(0)).collect(),
             alive: (0..workers).map(|_| AtomicBool::new(true)).collect(),
             live: AtomicUsize::new(workers),
             respawns_used: AtomicU64::new(0),
             pending_respawns: AtomicUsize::new(0),
             degraded: AtomicBool::new(false),
             suspects: AtomicUsize::new(0),
+            suspect_slots: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
             respawned_handles: Mutex::new(Vec::new()),
         }
     }
 
-    /// One heartbeat from worker `slot`. Out-of-range slots (the serial
-    /// fallback's emergency worker) are ignored.
+    /// One heartbeat from worker `slot`, tagged with the probe site it
+    /// came from. Out-of-range slots (the serial fallback's emergency
+    /// worker) are ignored.
     #[inline]
-    pub(crate) fn beat(&self, slot: usize) {
+    pub(crate) fn beat(&self, slot: usize, site: BeatSite) {
         if let Some(h) = self.heartbeats.get(slot) {
             h.fetch_add(1, Ordering::Relaxed);
+            self.last_sites[slot].store(site.encode(), Ordering::Relaxed);
         }
+    }
+
+    /// The probe site of `slot`'s most recent heartbeat, `None` if the
+    /// worker never beat (or the slot is out of range).
+    pub(crate) fn last_beat_site(&self, slot: usize) -> Option<BeatSite> {
+        self.last_sites
+            .get(slot)
+            .and_then(|s| BeatSite::decode(s.load(Ordering::Relaxed)))
+    }
+
+    /// The suspect slots (alive but silent) retained from the watchdog's
+    /// last heartbeat scan, each with its last-beaten probe site.
+    pub(crate) fn suspect_slots(&self) -> Vec<(usize, Option<BeatSite>)> {
+        poison::recover(self.suspect_slots.lock()).clone()
     }
 
     pub(crate) fn is_alive(&self, slot: usize) -> bool {
@@ -302,6 +387,7 @@ impl Supervision {
             respawn_budget: self.policy.max_respawns,
             degraded: self.is_degraded(),
             suspect_workers: self.suspects.load(Ordering::Relaxed),
+            suspects: self.suspect_slots(),
             heartbeats: self
                 .heartbeats
                 .iter()
@@ -310,19 +396,22 @@ impl Supervision {
         }
     }
 
-    /// One watchdog scan: counts alive slots whose epoch did not advance
-    /// since `last`. Purely diagnostic — death is reported synchronously
-    /// via the orphan queue, and a suspect may just be parked idle.
+    /// One watchdog scan: records the alive slots whose epoch did not
+    /// advance since `last`, with each one's last-beaten probe site.
+    /// Purely diagnostic — death is reported synchronously via the orphan
+    /// queue, and a suspect may just be parked idle — but a stall error
+    /// names exactly these slots ([`suspect_slots`](Self::suspect_slots)).
     fn scan_heartbeats(&self, last: &mut [u64]) {
-        let mut suspects = 0;
+        let mut suspects = Vec::new();
         for (slot, h) in self.heartbeats.iter().enumerate() {
             let now = h.load(Ordering::Relaxed);
             if now == last[slot] && self.is_alive(slot) {
-                suspects += 1;
+                suspects.push((slot, self.last_beat_site(slot)));
             }
             last[slot] = now;
         }
-        self.suspects.store(suspects, Ordering::Relaxed);
+        self.suspects.store(suspects.len(), Ordering::Relaxed);
+        *poison::recover(self.suspect_slots.lock()) = suspects;
     }
 }
 
@@ -534,9 +623,14 @@ mod tests {
     fn heartbeat_scan_flags_silent_slots() {
         let sup = Supervision::new(2, SupervisionPolicy::new());
         let mut last = vec![0u64; 2];
-        sup.beat(0);
+        sup.beat(0, BeatSite::MainLoop);
         sup.scan_heartbeats(&mut last);
         assert_eq!(sup.report().suspect_workers, 1, "slot 1 never beat");
+        assert_eq!(
+            sup.report().suspects,
+            vec![(1, None)],
+            "a never-beaten suspect has no last site"
+        );
         sup.note_death(1);
         sup.scan_heartbeats(&mut last);
         assert_eq!(
@@ -544,12 +638,36 @@ mod tests {
             1,
             "slot 0 is silent; dead slot 1 is not a suspect"
         );
-        sup.beat(0);
+        assert_eq!(
+            sup.report().suspects,
+            vec![(0, Some(BeatSite::MainLoop))],
+            "the silent slot is named with its last-beaten site"
+        );
+        sup.beat(0, BeatSite::StealRound);
         sup.scan_heartbeats(&mut last);
         assert_eq!(sup.report().suspect_workers, 0, "live slot beat again");
+        assert!(sup.report().suspects.is_empty());
         // Out-of-range beats (the emergency serial worker) are ignored.
-        sup.beat(17);
+        sup.beat(17, BeatSite::MainLoop);
         assert_eq!(sup.report().heartbeats, vec![2, 0]);
+        assert_eq!(sup.last_beat_site(17), None);
+        assert_eq!(sup.last_beat_site(0), Some(BeatSite::StealRound));
+    }
+
+    #[test]
+    fn beat_site_encoding_round_trips() {
+        for site in [
+            BeatSite::MainLoop,
+            BeatSite::StealRound,
+            BeatSite::WaitExecute,
+            BeatSite::JoinEntry,
+            BeatSite::ScopeSpawn,
+        ] {
+            assert_eq!(BeatSite::decode(site.encode()), Some(site));
+            assert!(!site.to_string().is_empty());
+        }
+        assert_eq!(BeatSite::decode(0), None);
+        assert_eq!(BeatSite::decode(200), None);
     }
 
     #[test]

@@ -12,13 +12,20 @@
 //! location.
 //!
 //! ```text
-//! cilkscreen [--check] [--json PATH] [--workers N] [--list] [WORKLOAD...]
+//! cilkscreen [--check] [--parallel-check] [--json PATH] [--workers N] [--list] [WORKLOAD...]
 //! ```
+//!
+//! `--parallel-check` is the parallel-detection acceptance gate: each
+//! workload is first monitored serially (the SP-bags oracle), then
+//! monitored under **real multi-worker execution** on pools of 1, 2, 4
+//! and 8 workers (SP-order labels + concurrent shadow memory), and the
+//! renumbered race reports must agree at every count. `--workers N`
+//! narrows the sweep to one pool size.
 //!
 //! Exit status: 0 when every run matched expectations and no unexpected
 //! race was found; 1 when races were detected (the normal "you have a
-//! bug" signal); 2 on usage errors or when `--check` finds a verdict or
-//! functional mismatch.
+//! bug" signal); 2 on usage errors or when `--check`/`--parallel-check`
+//! finds a verdict, agreement, or functional mismatch.
 //!
 //! NOTE: the binary lives in `cilk-workloads` (not the `cilkscreen`
 //! library crate) because it drives `cilk::sync::Mutex` and the reducer
@@ -31,8 +38,12 @@ use cilk_workloads::instrumented::{
     walk_shadow_unlocked, QSORT_SHADOW_CUTOFF,
 };
 use cilk_workloads::{build_tree, fib_serial, walk_reducer, walk_serial};
-use cilkscreen::instrument::run_monitored;
+use cilkscreen::instrument::{run_monitored, run_monitored_parallel};
 use cilkscreen::{Report, Shadow, ShadowSlice};
+
+/// What a workload run produced: its race report plus the functional
+/// verdict on the program's output.
+type RunResult = (Report, Result<(), String>);
 
 /// One workload's definition: what to run and what the §4/§5 analysis is
 /// expected to conclude about it.
@@ -44,7 +55,12 @@ struct Workload {
     expected_racy_locations: Option<usize>,
     /// Whether the report must show suppressed reducer-view accesses.
     expects_suppressed_views: bool,
-    run: fn(u64) -> (Report, Result<(), String>),
+    run: fn(u64) -> RunResult,
+    /// `--parallel-check` runner: the same program monitored on a real
+    /// multi-worker pool (SP-order labels, no serial elision). Functional
+    /// checks are relaxed to multisets where the planted race genuinely
+    /// perturbs execution order.
+    par_run: fn(&cilk::ThreadPool, u64) -> RunResult,
 }
 
 fn check(ok: bool, msg: &str) -> Result<(), String> {
@@ -137,6 +153,100 @@ fn run_matmul(seed: u64) -> (Report, Result<(), String>) {
     (report, functional)
 }
 
+fn par_run_fib(pool: &cilk::ThreadPool, _seed: u64) -> (Report, Result<(), String>) {
+    let calls = cilk::hyper::ReducerSum::<u64>::sum();
+    let (value, report) = run_monitored_parallel(pool, || fib_shadow(16, 8, &calls));
+    let functional = check(value == fib_serial(16), "fib value mismatch");
+    (report, functional)
+}
+
+fn par_run_qsort(pool: &cilk::ThreadPool, seed: u64) -> (Report, Result<(), String>) {
+    let input = exposing_qsort_input(seed, 300);
+    let mut expected = input.clone();
+    expected.sort_unstable();
+    let data: ShadowSlice<i64> = input.into_iter().collect();
+    let ((), report) =
+        run_monitored_parallel(pool, || qsort_shadow(&data, QSORT_SHADOW_CUTOFF, false));
+    let functional = check(data.into_vec() == expected, "output not sorted");
+    (report, functional)
+}
+
+fn par_run_qsort_overlap(pool: &cilk::ThreadPool, seed: u64) -> (Report, Result<(), String>) {
+    let n = 40;
+    let input = exposing_qsort_input(seed, n);
+    let mut expected = input.clone();
+    expected.sort_unstable();
+    let data: ShadowSlice<i64> = input.into_iter().collect();
+    let ((), report) = run_monitored_parallel(pool, || qsort_shadow(&data, n - 2, true));
+    // The racy overlap may actually corrupt the sort under real
+    // parallelism; only the multiset of elements is guaranteed.
+    let mut got = data.into_vec();
+    got.sort_unstable();
+    let functional = check(got == expected, "elements created or destroyed");
+    (report, functional)
+}
+
+fn par_run_tree_unlocked(pool: &cilk::ThreadPool, seed: u64) -> (Report, Result<(), String>) {
+    let tree = build_tree(96, seed);
+    let list = Shadow::named(Vec::new(), "output_list");
+    let ((), report) = run_monitored_parallel(pool, || walk_shadow_unlocked(&tree, 3, &list));
+    let mut expected = Vec::new();
+    walk_serial(&tree, 3, 0, &mut expected);
+    expected.sort_unstable();
+    // The unprotected pushes interleave under real parallelism (that is
+    // the bug being detected) — only the multiset of values survives.
+    let mut got = list.into_inner();
+    got.sort_unstable();
+    let functional = check(got == expected, "values created or destroyed");
+    (report, functional)
+}
+
+fn par_run_tree_mutex(pool: &cilk::ThreadPool, seed: u64) -> (Report, Result<(), String>) {
+    let tree = build_tree(96, seed);
+    let list = cilk::sync::Mutex::new(Shadow::named(Vec::new(), "output_list"));
+    let ((), report) = run_monitored_parallel(pool, || walk_shadow_mutex(&tree, 3, &list));
+    let mut expected = Vec::new();
+    walk_serial(&tree, 3, 0, &mut expected);
+    expected.sort_unstable();
+    // The mutex makes the pushes atomic but not ordered: workers reach
+    // the lock in schedule order, so only the multiset is deterministic.
+    let mut got = list.into_inner().into_inner();
+    got.sort_unstable();
+    let functional = check(got == expected, "mutex walk lost or invented values");
+    (report, functional)
+}
+
+fn par_run_tree_reducer(pool: &cilk::ThreadPool, seed: u64) -> (Report, Result<(), String>) {
+    let tree = build_tree(96, seed);
+    let list = cilk::hyper::ReducerList::<u64>::list();
+    let ((), report) = run_monitored_parallel(pool, || walk_reducer(&tree, 3, 0, &list));
+    let mut expected = Vec::new();
+    walk_serial(&tree, 3, 0, &mut expected);
+    // §5's whole point: the reducer restores the *exact* serial order
+    // even under real parallel execution.
+    let functional = check(list.into_value() == expected, "reducer order mismatch");
+    (report, functional)
+}
+
+fn par_run_matmul(pool: &cilk::ThreadPool, seed: u64) -> (Report, Result<(), String>) {
+    let n = 8;
+    let mut rng = cilk_testkit::Rng::seed_from_u64(seed);
+    let av: Vec<i64> = (0..n * n).map(|_| rng.gen_range(-9..10)).collect();
+    let bv: Vec<i64> = (0..n * n).map(|_| rng.gen_range(-9..10)).collect();
+    let mut expected = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            expected[i * n + j] = (0..n).map(|k| av[i * n + k] * bv[k * n + j]).sum();
+        }
+    }
+    let a: ShadowSlice<i64> = av.into_iter().collect();
+    let b: ShadowSlice<i64> = bv.into_iter().collect();
+    let c: ShadowSlice<i64> = std::iter::repeat_n(0, n * n).collect();
+    let ((), report) = run_monitored_parallel(pool, || matmul_shadow(&a, &b, &c, n));
+    let functional = check(c.into_vec() == expected, "product mismatch");
+    (report, functional)
+}
+
 const WORKLOADS: &[Workload] = &[
     Workload {
         name: "fib",
@@ -144,6 +254,7 @@ const WORKLOADS: &[Workload] = &[
         expected_racy_locations: None,
         expects_suppressed_views: true,
         run: run_fib,
+        par_run: par_run_fib,
     },
     Workload {
         name: "qsort",
@@ -151,6 +262,7 @@ const WORKLOADS: &[Workload] = &[
         expected_racy_locations: None,
         expects_suppressed_views: false,
         run: run_qsort,
+        par_run: par_run_qsort,
     },
     Workload {
         name: "qsort-overlap",
@@ -158,6 +270,7 @@ const WORKLOADS: &[Workload] = &[
         expected_racy_locations: Some(1),
         expects_suppressed_views: false,
         run: run_qsort_overlap,
+        par_run: par_run_qsort_overlap,
     },
     Workload {
         name: "tree-unlocked",
@@ -165,6 +278,7 @@ const WORKLOADS: &[Workload] = &[
         expected_racy_locations: Some(1),
         expects_suppressed_views: false,
         run: run_tree_unlocked,
+        par_run: par_run_tree_unlocked,
     },
     Workload {
         name: "tree-mutex",
@@ -172,6 +286,7 @@ const WORKLOADS: &[Workload] = &[
         expected_racy_locations: None,
         expects_suppressed_views: false,
         run: run_tree_mutex,
+        par_run: par_run_tree_mutex,
     },
     Workload {
         name: "tree-reducer",
@@ -179,6 +294,7 @@ const WORKLOADS: &[Workload] = &[
         expected_racy_locations: None,
         expects_suppressed_views: true,
         run: run_tree_reducer,
+        par_run: par_run_tree_reducer,
     },
     Workload {
         name: "matmul",
@@ -186,6 +302,7 @@ const WORKLOADS: &[Workload] = &[
         expected_racy_locations: None,
         expects_suppressed_views: false,
         run: run_matmul,
+        par_run: par_run_matmul,
     },
 ];
 
@@ -193,6 +310,10 @@ struct Outcome {
     workload: &'static Workload,
     report: Report,
     functional: Result<(), String>,
+    /// `--parallel-check` disagreements: one entry per worker count whose
+    /// parallel run failed functionally or diverged from the serial
+    /// oracle's race set. Empty when the mode is off or all counts agreed.
+    parallel_failures: Vec<String>,
 }
 
 impl Outcome {
@@ -200,6 +321,11 @@ impl Outcome {
     /// the workload's documented expectation.
     fn as_expected(&self) -> Result<(), String> {
         self.functional.clone()?;
+        if let Some(first) = self.parallel_failures.first() {
+            return Err(format!(
+                "parallel monitoring disagreed with the serial oracle ({first})"
+            ));
+        }
         let racy = self.report.race_locations().len();
         match self.workload.expected_racy_locations {
             None if racy != 0 => {
@@ -231,13 +357,19 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn artifact_json(seed: u64, workers: Option<usize>, outcomes: &[Outcome]) -> String {
+fn artifact_json(
+    seed: u64,
+    workers: Option<usize>,
+    parallel_check: bool,
+    outcomes: &[Outcome],
+) -> String {
     let mut out = String::from("{\"tool\":\"cilkscreen\",");
     out.push_str(&format!("\"seed\":\"0x{seed:016x}\","));
     match workers {
         Some(w) => out.push_str(&format!("\"workers\":{w},")),
         None => out.push_str("\"workers\":null,"),
     }
+    out.push_str(&format!("\"parallel_check\":{parallel_check},"));
     let races: usize = outcomes.iter().map(|o| o.report.races.len()).sum();
     let mismatches = outcomes.iter().filter(|o| o.as_expected().is_err()).count();
     out.push_str(&format!("\"races_found\":{races},\"mismatches\":{mismatches},"));
@@ -250,13 +382,19 @@ fn artifact_json(seed: u64, workers: Option<usize>, outcomes: &[Outcome]) -> Str
             None => "null".to_string(),
             Some(k) => k.to_string(),
         };
+        let failures: Vec<String> = o
+            .parallel_failures
+            .iter()
+            .map(|f| format!("\"{}\"", json_escape(f)))
+            .collect();
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"description\":\"{}\",\"expected_racy_locations\":{},\
-             \"as_expected\":{},\"report\":{}}}",
+             \"as_expected\":{},\"parallel_failures\":[{}],\"report\":{}}}",
             json_escape(o.workload.name),
             json_escape(o.workload.description),
             expected,
             o.as_expected().is_ok(),
+            failures.join(","),
             o.report.to_json(),
         ));
     }
@@ -267,7 +405,11 @@ fn artifact_json(seed: u64, workers: Option<usize>, outcomes: &[Outcome]) -> Str
 fn usage() -> String {
     let names: Vec<&str> = WORKLOADS.iter().map(|w| w.name).collect();
     format!(
-        "usage: cilkscreen [--check] [--json PATH] [--workers N] [--list] [WORKLOAD...]\n\
+        "usage: cilkscreen [--check] [--parallel-check] [--json PATH] [--workers N] [--list] \
+         [WORKLOAD...]\n\
+         --parallel-check: monitor real multi-worker runs at 1/2/4/8 workers\n\
+         \x20                 (or just --workers N) and require agreement with\n\
+         \x20                 the serial SP-bags oracle; implies --check\n\
          workloads: {}",
         names.join(", ")
     )
@@ -275,6 +417,7 @@ fn usage() -> String {
 
 fn main() -> ExitCode {
     let mut check_mode = false;
+    let mut parallel_check = false;
     let mut json_path: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut selected: Vec<String> = Vec::new();
@@ -282,6 +425,10 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check_mode = true,
+            "--parallel-check" => {
+                parallel_check = true;
+                check_mode = true;
+            }
             "--json" => match args.next() {
                 Some(p) => json_path = Some(p),
                 None => {
@@ -335,21 +482,55 @@ fn main() -> ExitCode {
     };
 
     let seed = cilk_testkit::base_seed();
-    // Monitoring runs serially on the calling thread; `--workers` proves
-    // the detector behaves identically when that thread is a pool worker.
-    let pool = workers.map(|n| {
+    let build_pool = |n: usize| {
         cilk::ThreadPool::with_config(cilk::Config::new().num_workers(n))
             .expect("failed to build thread pool")
-    });
+    };
+    // `--parallel-check`: serial oracle first, then real multi-worker
+    // monitoring at each count; renumbered race sets must agree.
+    let sweep: Vec<usize> = match workers {
+        Some(n) => vec![n],
+        None => vec![1, 2, 4, 8],
+    };
+    let run_parallel_check = |w: &'static Workload| -> Outcome {
+        let (report, functional) = (w.run)(seed);
+        let oracle = report.renumber_locations();
+        let mut parallel_failures = Vec::new();
+        for &count in &sweep {
+            let pool = build_pool(count);
+            let (par_report, par_functional) = (w.par_run)(&pool, seed);
+            if let Err(why) = par_functional {
+                parallel_failures.push(format!("{count} workers: {why}"));
+            }
+            if par_report.renumber_locations().races != oracle.races {
+                parallel_failures
+                    .push(format!("{count} workers: race set diverges from the serial oracle"));
+            }
+        }
+        Outcome { workload: w, report, functional, parallel_failures }
+    };
+    // Serial modes: monitoring runs on the calling thread; `--workers`
+    // proves the detector behaves identically when that thread is a pool
+    // worker.
+    let pool = if parallel_check { None } else { workers.map(build_pool) };
     let run_one = |w: &'static Workload| -> Outcome {
+        if parallel_check {
+            return run_parallel_check(w);
+        }
         let (report, functional) = match &pool {
             Some(pool) => pool.install(|| (w.run)(seed)),
             None => (w.run)(seed),
         };
-        Outcome { workload: w, report, functional }
+        Outcome { workload: w, report, functional, parallel_failures: Vec::new() }
     };
 
-    println!("cilkscreen: monitoring {} workload(s), seed 0x{seed:016x}", to_run.len());
+    let mode = if parallel_check { " (parallel check)" } else { "" };
+    println!("cilkscreen: monitoring {} workload(s){mode}, seed 0x{seed:016x}", to_run.len());
+    if parallel_check {
+        let counts: Vec<String> = sweep.iter().map(|c| c.to_string()).collect();
+        println!("cilkscreen: cross-validating against the serial oracle at {} worker(s)",
+            counts.join("/"));
+    }
     let outcomes: Vec<Outcome> = to_run.into_iter().map(run_one).collect();
 
     let mut races_found = 0usize;
@@ -367,6 +548,15 @@ fn main() -> ExitCode {
         for race in &o.report.races {
             println!("   {race}");
         }
+        if parallel_check {
+            if o.parallel_failures.is_empty() {
+                println!("   parallel: oracle race set reproduced at every worker count");
+            } else {
+                for failure in &o.parallel_failures {
+                    println!("   parallel: DIVERGED — {failure}");
+                }
+            }
+        }
         match o.as_expected() {
             Ok(()) => println!("   expectation: OK"),
             Err(why) => {
@@ -376,7 +566,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let artifact = artifact_json(seed, workers, &outcomes);
+    let artifact = artifact_json(seed, workers, parallel_check, &outcomes);
     let path = json_path.unwrap_or_else(|| "target/cilkscreen/report.json".to_string());
     let write_result = std::path::Path::new(&path)
         .parent()

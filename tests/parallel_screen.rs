@@ -1,0 +1,385 @@
+//! Cross-validation: the parallel monitor vs the serial SP-bags oracle.
+//!
+//! The tentpole claim of parallel race detection is that the race set is
+//! a function of the computation dag alone, so monitoring a **real
+//! multi-worker execution** (`run_monitored_parallel`: SP-order labels +
+//! concurrent shadow memory, no serial elision) must reach exactly the
+//! verdict of the serial SP-bags oracle (`run_monitored`) on the same
+//! program and input. This suite asserts that claim three ways:
+//!
+//! 1. **Named workloads** — the §4 quicksort (correct and
+//!    overlap-mutated), the §5 tree walks (unlocked / mutex / reducer),
+//!    fib and matmul, serial oracle vs parallel monitor at 1, 2, 4 and 8
+//!    workers, with reports compared after location renumbering.
+//! 2. **Schedule independence** — repeated parallel runs of a racy
+//!    workload at several worker counts all produce byte-identical
+//!    normalized reports.
+//! 3. **Planted races** — a mutation suite: each planted-race variant
+//!    must be caught at exactly the planted location under parallel
+//!    monitoring, and each clean twin certified race-free, so a vacuous
+//!    detector (or one drowning in false positives) fails loudly.
+//!
+//! Functional results are also checked, but racy workloads only up to
+//! reordering: under real parallelism the unlocked tree walk really does
+//! interleave (that is the bug being detected), so only the multiset of
+//! its output survives.
+
+use cilk::sync::Mutex;
+use cilk_testkit::rng_for;
+use cilkscreen::instrument::{run_monitored, run_monitored_parallel};
+use cilkscreen::{Report, Shadow, ShadowSlice};
+use cilk_workloads::build_tree;
+use cilk_workloads::instrumented::{
+    exposing_qsort_input, fib_shadow, matmul_shadow, qsort_shadow, walk_shadow_mutex,
+    walk_shadow_unlocked, QSORT_SHADOW_CUTOFF,
+};
+
+/// Pool sizes for every cross-validation: 1 worker (parallel machinery,
+/// serial schedule), 2, 4 (real stealing) and 8 (more workers than
+/// cores on most CI hosts — heavy oversubscription).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn pool_with(workers: usize) -> cilk::ThreadPool {
+    cilk::ThreadPool::with_config(cilk::Config::new().num_workers(workers))
+        .expect("pool builds")
+}
+
+/// Runs `serial` under the SP-bags oracle and `parallel(workers)` under
+/// the parallel monitor at every worker count, asserting the renumbered
+/// normalized reports all agree. Returns the oracle report (renumbered)
+/// for additional assertions.
+fn cross_validate(
+    name: &str,
+    serial: impl Fn() -> Report,
+    parallel: impl Fn(&cilk::ThreadPool) -> Report,
+) -> Report {
+    let oracle = serial().renumber_locations();
+    for workers in WORKER_COUNTS {
+        let pool = pool_with(workers);
+        let got = parallel(&pool).renumber_locations();
+        assert_eq!(
+            got.races, oracle.races,
+            "{name}: parallel report at {workers} workers diverges from the serial oracle\n\
+             parallel: {got}\noracle: {oracle}"
+        );
+    }
+    oracle
+}
+
+#[test]
+fn qsort_correct_is_race_free_under_parallel_monitoring() {
+    let input = exposing_qsort_input(rng_for("par-qsort-clean").next_u64(), 160);
+    let oracle = cross_validate(
+        "qsort-clean",
+        || {
+            let data: ShadowSlice<i64> = input.iter().copied().collect();
+            let ((), report) = run_monitored(|| qsort_shadow(&data, QSORT_SHADOW_CUTOFF, false));
+            report
+        },
+        |pool| {
+            let data: ShadowSlice<i64> = input.iter().copied().collect();
+            let ((), report) =
+                run_monitored_parallel(pool, || qsort_shadow(&data, QSORT_SHADOW_CUTOFF, false));
+            let mut sorted = input.clone();
+            sorted.sort_unstable();
+            assert_eq!(data.into_vec(), sorted, "race-free qsort sorts in parallel");
+            report
+        },
+    );
+    assert!(oracle.is_race_free(), "{oracle}");
+}
+
+#[test]
+fn qsort_overlap_race_detected_at_every_worker_count() {
+    let input = exposing_qsort_input(rng_for("par-qsort-overlap").next_u64(), 160);
+    let oracle = cross_validate(
+        "qsort-overlap",
+        || {
+            let data: ShadowSlice<i64> = input.iter().copied().collect();
+            let ((), report) = run_monitored(|| qsort_shadow(&data, QSORT_SHADOW_CUTOFF, true));
+            report
+        },
+        |pool| {
+            let data: ShadowSlice<i64> = input.iter().copied().collect();
+            let ((), report) =
+                run_monitored_parallel(pool, || qsort_shadow(&data, QSORT_SHADOW_CUTOFF, true));
+            // The racy overlap may actually corrupt the sort under real
+            // parallelism; only the multiset of elements is guaranteed.
+            let mut got = data.into_vec();
+            let mut want = input.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "no elements created or destroyed");
+            report
+        },
+    );
+    assert!(!oracle.is_race_free(), "§4 overlap mutation must be caught");
+    // With a deep recursion the one-element overlap recurs at every
+    // partition level, so several elements race — what matters here is
+    // that the parallel monitor found *exactly* the oracle's set (checked
+    // above) and that the set is non-empty.
+    assert!(!oracle.race_locations().is_empty());
+}
+
+#[test]
+fn unlocked_tree_walk_race_detected_at_every_worker_count() {
+    let tree = build_tree(64, rng_for("par-tree").next_u64());
+    let oracle = cross_validate(
+        "tree-unlocked",
+        || {
+            let list = Shadow::named(Vec::new(), "walk:list");
+            let ((), report) = run_monitored(|| walk_shadow_unlocked(&tree, 3, &list));
+            report
+        },
+        |pool| {
+            let list = Shadow::named(Vec::new(), "walk:list");
+            let ((), report) =
+                run_monitored_parallel(pool, || walk_shadow_unlocked(&tree, 3, &list));
+            report
+        },
+    );
+    assert!(!oracle.is_race_free(), "unprotected shared list must race");
+    assert_eq!(oracle.race_locations().len(), 1, "one racy location: the list");
+}
+
+#[test]
+fn mutexed_tree_walk_race_free_with_identical_output_multiset() {
+    let tree = build_tree(64, rng_for("par-tree-mutex").next_u64());
+    let mut serial_values: Vec<u64> = Vec::new();
+    cilk_workloads::walk_serial(&tree, 3, 0, &mut serial_values);
+    serial_values.sort_unstable();
+    let oracle = cross_validate(
+        "tree-mutex",
+        || {
+            let list = Mutex::new(Shadow::named(Vec::new(), "walk:list"));
+            let ((), report) = run_monitored(|| walk_shadow_mutex(&tree, 3, &list));
+            report
+        },
+        |pool| {
+            let list = Mutex::new(Shadow::named(Vec::new(), "walk:list"));
+            let ((), report) =
+                run_monitored_parallel(pool, || walk_shadow_mutex(&tree, 3, &list));
+            let mut got = list.into_inner().into_inner();
+            got.sort_unstable();
+            assert_eq!(got, serial_values, "mutex walk collects every value");
+            report
+        },
+    );
+    assert!(oracle.is_race_free(), "common lock means no race: {oracle}");
+}
+
+#[test]
+fn fib_with_reducer_is_race_free_and_suppression_counted() {
+    let oracle = cross_validate(
+        "fib-reducer",
+        || {
+            let calls = cilk::hyper::ReducerSum::<u64>::sum();
+            let (value, report) = run_monitored(|| fib_shadow(18, 8, &calls));
+            assert_eq!(value, 2584);
+            report
+        },
+        |pool| {
+            let calls = cilk::hyper::ReducerSum::<u64>::sum();
+            let (value, report) = run_monitored_parallel(pool, || fib_shadow(18, 8, &calls));
+            assert_eq!(value, 2584, "fib computes the same value in parallel");
+            report
+        },
+    );
+    assert!(oracle.is_race_free(), "{oracle}");
+}
+
+#[test]
+fn matmul_disjoint_rows_race_free_with_exact_product() {
+    let n = 8usize;
+    let mut rng = rng_for("par-matmul");
+    let a_vals: Vec<i64> = (0..n * n).map(|_| rng.gen_range(-4i64..5)).collect();
+    let b_vals: Vec<i64> = (0..n * n).map(|_| rng.gen_range(-4i64..5)).collect();
+    let mut expected = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                expected[i * n + j] += a_vals[i * n + k] * b_vals[k * n + j];
+            }
+        }
+    }
+    let oracle = cross_validate(
+        "matmul",
+        || {
+            let a: ShadowSlice<i64> = a_vals.iter().copied().collect();
+            let b: ShadowSlice<i64> = b_vals.iter().copied().collect();
+            let c: ShadowSlice<i64> = vec![0i64; n * n].into_iter().collect();
+            let ((), report) = run_monitored(|| matmul_shadow(&a, &b, &c, n));
+            report
+        },
+        |pool| {
+            let a: ShadowSlice<i64> = a_vals.iter().copied().collect();
+            let b: ShadowSlice<i64> = b_vals.iter().copied().collect();
+            let c: ShadowSlice<i64> = vec![0i64; n * n].into_iter().collect();
+            let ((), report) = run_monitored_parallel(pool, || matmul_shadow(&a, &b, &c, n));
+            assert_eq!(c.into_vec(), expected, "parallel product is exact");
+            report
+        },
+    );
+    assert!(oracle.is_race_free(), "{oracle}");
+}
+
+#[test]
+fn parallel_reports_are_schedule_independent() {
+    // Satellite claim for `Report::normalize`: same workload, same input,
+    // different worker counts and repeated runs — byte-identical JSON
+    // after renumbering.
+    let input = exposing_qsort_input(rng_for("par-stable").next_u64(), 120);
+    let mut seen: Option<String> = None;
+    for workers in WORKER_COUNTS {
+        let pool = pool_with(workers);
+        for round in 0..3 {
+            let data: ShadowSlice<i64> = input.iter().copied().collect();
+            let ((), report) =
+                run_monitored_parallel(&pool, || qsort_shadow(&data, QSORT_SHADOW_CUTOFF, true));
+            let json = report.renumber_locations().to_json();
+            match &seen {
+                None => seen = Some(json),
+                Some(reference) => assert_eq!(
+                    &json, reference,
+                    "report changed at {workers} workers round {round}"
+                ),
+            }
+        }
+    }
+}
+
+/// The planted-race mutation suite: each case is a small real program
+/// with one deliberately injected race (and a clean twin differing only
+/// by the synchronization that removes it). Parallel monitoring at 4
+/// workers must catch every plant at its exact location and must not
+/// accuse any clean twin.
+#[test]
+fn planted_races_caught_and_clean_twins_certified() {
+    let pool = pool_with(4);
+
+    // Plant 1: spawned child vs continuation write. Twin: joins touch
+    // disjoint cells.
+    let planted = Shadow::named(0u64, "plant:cell");
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::join(|| planted.set(1), || planted.set(2));
+    });
+    assert_eq!(report.race_locations(), vec![planted.location()], "plant 1 caught");
+    let left = Shadow::new(0u64);
+    let right = Shadow::new(0u64);
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::join(|| left.set(1), || right.set(2));
+    });
+    assert!(report.is_race_free(), "clean twin 1: {report}");
+
+    // Plant 2: read in one branch vs write in the other. Twin: the write
+    // happens after the join's sync.
+    let cell = Shadow::named(7u64, "plant:rw");
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::join(|| cell.get(), || cell.set(9));
+    });
+    assert_eq!(report.race_locations(), vec![cell.location()], "plant 2 caught");
+    let cell = Shadow::new(7u64);
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::join(|| cell.get(), || ());
+        cell.set(9);
+    });
+    assert!(report.is_race_free(), "clean twin 2: {report}");
+
+    // Plant 3: one element of a slice written by overlapping ranges.
+    // Twin: the ranges are disjoint.
+    let slice: ShadowSlice<u64> = (0..16).collect();
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::join(
+            || (0..9).for_each(|i| slice.set(i, 1)),
+            || (8..16).for_each(|i| slice.set(i, 2)),
+        );
+    });
+    assert_eq!(report.race_locations(), vec![slice.location_of(8)], "plant 3 caught");
+    let slice: ShadowSlice<u64> = (0..16).collect();
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::join(
+            || (0..8).for_each(|i| slice.set(i, 1)),
+            || (8..16).for_each(|i| slice.set(i, 2)),
+        );
+    });
+    assert!(report.is_race_free(), "clean twin 3: {report}");
+
+    // Plant 4: scope task racing with the spawning body's continuation.
+    // Twin: the continuation touches the cell only after the scope ends.
+    let cell = Shadow::named(0u64, "plant:scope");
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::scope(|s| {
+            s.spawn(|| cell.set(1));
+            cell.set(2);
+        });
+    });
+    assert_eq!(report.race_locations(), vec![cell.location()], "plant 4 caught");
+    let cell = Shadow::new(0u64);
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::scope(|s| s.spawn(|| cell.set(1)));
+        cell.set(2);
+    });
+    assert!(report.is_race_free(), "clean twin 4: {report}");
+
+    // Plant 5: lock held on one side only. Twin: both sides lock.
+    let lock = cilk::sync::Mutex::new(());
+    let cell = Shadow::named(0u64, "plant:lock");
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::join(
+            || {
+                let _g = lock.lock();
+                cell.set(1);
+            },
+            || cell.set(2),
+        );
+    });
+    assert_eq!(report.race_locations(), vec![cell.location()], "plant 5 caught");
+    let cell = Shadow::new(0u64);
+    let (_, report) = run_monitored_parallel(&pool, || {
+        cilk::join(
+            || {
+                let _g = lock.lock();
+                cell.set(1);
+            },
+            || {
+                let _g = lock.lock();
+                cell.set(2);
+            },
+        );
+    });
+    assert!(report.is_race_free(), "clean twin 5: {report}");
+}
+
+#[test]
+fn randomized_planted_slice_races_match_oracle() {
+    // Randomized slice plants driven by CILK_TEST_SEED: pick a racy
+    // index, overlap two otherwise-disjoint halves at exactly that
+    // index, and require serial and 4-worker parallel monitoring to
+    // agree on the racy location set.
+    let mut rng = rng_for("par-planted-slice");
+    let pool = pool_with(4);
+    for case in 0..8 {
+        let len = rng.gen_range(8usize..32);
+        let split = rng.gen_range(1usize..len);
+        let racy = rng.gen_bool(0.5);
+        let run = |report_of: &dyn Fn(&ShadowSlice<u64>) -> Report| {
+            let slice: ShadowSlice<u64> = (0..len as u64).collect();
+            let report = report_of(&slice);
+            report.renumber_locations()
+        };
+        let program = |slice: &ShadowSlice<u64>| {
+            let hi_start = if racy { split.saturating_sub(1) } else { split };
+            cilk::join(
+                || (0..split).for_each(|i| slice.set(i, 1)),
+                || (hi_start..len).for_each(|i| slice.set(i, 2)),
+            );
+        };
+        let serial = run(&|slice| run_monitored(|| program(slice)).1);
+        let parallel = run(&|slice| run_monitored_parallel(&pool, || program(slice)).1);
+        assert_eq!(
+            serial.races, parallel.races,
+            "case {case}: len={len} split={split} racy={racy}"
+        );
+        assert_eq!(!serial.is_race_free(), racy, "case {case}: plant verdict");
+    }
+}
