@@ -68,6 +68,19 @@ CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
     cargo test -q --offline --test fault_matrix chaos_soak_randomized -- --nocapture \
     | grep -v '^$'
 
+echo "== overload soak: pinned-seed scheduler-service slice =="
+# Offered load past capacity at 2/4/8 workers: rejections must absorb the
+# excess (typed, accounted), queue depth stays bounded, a within-quota
+# tenant keeps ≥90% of its throughput while another floods, and a degraded
+# pool sheds instead of stalling (docs/scheduler-service.md).
+cargo test -q --offline --test overload_soak overload_soak_pinned_seeds
+cargo test -q --offline --test overload_soak degraded_pool_sheds_instead_of_stalling
+
+echo "== overload soak: randomized slice (seed printed for replay) =="
+CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
+    cargo test -q --offline --test overload_soak overload_soak_randomized -- --nocapture \
+    | grep -v '^$'
+
 echo "== parallel cilkscreen: pinned-seed oracle cross-validation =="
 # The parallel monitor (SP-order labels + concurrent shadow memory,
 # docs/cilkscreen.md Layer 3) must report exactly the serial SP-bags
@@ -113,6 +126,15 @@ grep -o '"[a-z_]*":' target/cilkview/fig3_real_run.json | sort -u \
     | diff -u scripts/fig3_schema.txt - \
     || { echo "fig3_real_run.json schema drifted from scripts/fig3_schema.txt"; exit 1; }
 echo "target/cilkview/fig3_real_run.json schema OK"
+
+echo "== scheduler service bench: BENCH_sched.json =="
+# Closed-loop two-tenant traffic at 2/4/8 workers; p50/p99
+# admission-to-completion latency from the log₂ latency histogram. The
+# JSON lands in target/sched/ and is archived under artifacts/.
+cargo run -q --release --offline -p cilk-bench --bin sched_service
+mkdir -p artifacts
+cp target/sched/BENCH_sched.json artifacts/BENCH_sched.json
+echo "archived artifacts/BENCH_sched.json"
 
 echo "== bench harness compiles =="
 cargo build --offline --benches --workspace

@@ -123,5 +123,76 @@ fn main() {
     assert_eq!(probe::consumer_count(), 0);
     assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
 
+    cilk_bench::section("probe smoke: admission layer stays off the probe registry");
+
+    // A scheduler-service pool (admission policy installed) routes every
+    // submission through quota + sharded bounded queues, emitting
+    // JobAdmitted/JobRejected/QueueDepth events — all of which must ride
+    // the same one-relaxed-load fast path and register no consumers.
+    let service = cilk_runtime::ThreadPool::with_config(
+        cilk_runtime::Config::new().num_workers(1).admission(
+            cilk_runtime::AdmissionPolicy::new()
+                .shards(2)
+                .shard_capacity(8)
+                .fair_share(1)
+                .burst(0),
+        ),
+    )
+    .expect("service pool");
+    assert_eq!(
+        probe::consumer_count(),
+        0,
+        "admission control must not register probe consumers"
+    );
+    assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
+
+    let tenant = cilk_runtime::TenantId(5);
+    // Deterministic quota rejection: hold the tenant's single in-flight
+    // slot open with a gated job, then submit again from this thread.
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        let holder = s.spawn(|| {
+            service.submit(tenant, move || {
+                started_tx.send(()).expect("main thread listens");
+                release_rx.recv().expect("main thread releases");
+                21
+            })
+        });
+        started_rx.recv().expect("held job starts");
+        match service.submit(tenant, || 0) {
+            Err(cilk_runtime::SubmitError::Overloaded(over)) => {
+                assert_eq!(over.tenant, tenant, "{over}");
+                assert_eq!(over.queued, 1, "one in-flight submission: {over}");
+                assert_eq!(over.capacity, 1, "fair_share 1 + burst 0: {over}");
+                assert_eq!(over.reason, cilk_runtime::RejectReason::QuotaExceeded);
+            }
+            other => panic!("tenant at quota must be rejected, got {other:?}"),
+        }
+        release_tx.send(()).expect("held job waits");
+        let v = holder.join().expect("submitter thread").expect("admitted work completes");
+        assert_eq!(v, 21);
+    });
+    let v = service.submit(tenant, || 2).expect("slot released: admitted again");
+    assert_eq!(v, 2);
+
+    let m = service.metrics();
+    assert_eq!(m.jobs_admitted, 2, "two admitted submissions: {m:?}");
+    assert_eq!(m.jobs_rejected, 1, "exactly the quota rejection: {m:?}");
+    assert_eq!(m.injector_high_watermark, 1, "never more than one queued: {m:?}");
+    assert_eq!(m.injector_batches, 0, "single-job claims are not batches: {m:?}");
+    let report = service.admission_report();
+    assert_eq!(report.shards, 2);
+    assert_eq!(report.queued, 0, "service drained: {report:?}");
+    let stats = *report.tenant(tenant).expect("tenant recorded");
+    assert_eq!(stats.admitted, 2, "{stats:?}");
+    assert_eq!(stats.rejected, 1, "{stats:?}");
+    assert_eq!(stats.completed, 2, "{stats:?}");
+    assert_eq!(stats.cancelled, 0, "{stats:?}");
+    assert_eq!(stats.in_flight, 0, "all quota slots returned: {stats:?}");
+    drop(service);
+    assert_eq!(probe::consumer_count(), 0);
+    assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
+
     println!("probe smoke: all disabled-cost invariants hold");
 }

@@ -1,0 +1,129 @@
+//! Scheduler-service latency benchmark, run by `ci.sh`.
+//!
+//! A closed-loop two-tenant traffic mix (an interactive high-priority
+//! stream and a bulk low-priority stream) drives a service pool at 2, 4
+//! and 8 workers. Admission-to-completion latency of every admitted job
+//! lands in a log₂-bucketed [`LatencyHistogram`]; the emitted p50/p99 are
+//! that histogram's conservative bucket upper bounds. A
+//! [`SchedHistograms`] consumer rides along to record the injection-queue
+//! depth distribution each submission observed.
+//!
+//! Output: a human table on stdout and `target/sched/BENCH_sched.json`
+//! (hand-rolled JSON — the workspace is hermetic) for CI to archive.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use cilk_bench::histogram::{LatencyHistogram, SchedHistograms};
+use cilk_runtime::{AdmissionPolicy, Config, Priority, TenantId, ThreadPool};
+use cilk_workloads::traffic::{run_traffic, StreamSpec};
+
+struct Run {
+    workers: usize,
+    admitted: u64,
+    rejected: u64,
+    p50: Duration,
+    p99: Duration,
+    throughput: f64,
+    queue_depth_p90: usize,
+    queue_depth_max: usize,
+}
+
+fn service_run(workers: usize) -> Run {
+    let hist = SchedHistograms::new(workers);
+    let handle = hist.install();
+    let pool = ThreadPool::with_config(Config::new().num_workers(workers).admission(
+        AdmissionPolicy::new()
+            .shards(4)
+            .shard_capacity(128)
+            .fair_share(4 * workers as u64)
+            .burst(workers as u64)
+            .handoff_batch(4),
+    ))
+    .expect("pool builds");
+
+    // Closed-loop offered load ≈ 3 clients per worker: enough to keep every
+    // worker busy and exercise the queues without drowning the run in
+    // rejections (quota 5·workers > 3·workers clients).
+    let interactive = StreamSpec {
+        priority: Priority::High,
+        clients: workers,
+        jobs_per_client: 48,
+        work: 12,
+        work_spread: 2,
+        ..StreamSpec::new(TenantId(1))
+    };
+    let bulk = StreamSpec {
+        priority: Priority::Low,
+        clients: 2 * workers,
+        jobs_per_client: 48,
+        work: 15,
+        work_spread: 3,
+        ..StreamSpec::new(TenantId(2))
+    };
+    let report = run_traffic(&pool, &[interactive, bulk]);
+    drop(pool);
+    drop(handle);
+
+    let latency = LatencyHistogram::new();
+    for stream in &report.streams {
+        for &sample in &stream.latencies {
+            latency.record(sample);
+        }
+    }
+    Run {
+        workers,
+        admitted: report.total_admitted(),
+        rejected: report.total_rejected(),
+        p50: latency.percentile(0.50),
+        p99: latency.percentile(0.99),
+        throughput: report.total_admitted() as f64 / report.elapsed.as_secs_f64(),
+        queue_depth_p90: hist.queue_depth.percentile(0.90),
+        queue_depth_max: hist.queue_depth.max(),
+    }
+}
+
+fn main() {
+    cilk_bench::section("scheduler service: closed-loop admission-to-completion latency");
+    println!(
+        "{:>7}  {:>8}  {:>8}  {:>9}  {:>9}  {:>9}  {:>8}",
+        "workers", "admitted", "rejected", "p50", "p99", "jobs/s", "depth p90/max"
+    );
+    let runs: Vec<Run> = [2usize, 4, 8].into_iter().map(service_run).collect();
+    let mut json = String::from("{\n  \"bench\": \"sched_service\",\n  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        println!(
+            "{:>7}  {:>8}  {:>8}  {:>9}  {:>9}  {:>9.0}  {:>5}/{}",
+            run.workers,
+            run.admitted,
+            run.rejected,
+            format!("{:?}", run.p50),
+            format!("{:?}", run.p99),
+            run.throughput,
+            run.queue_depth_p90,
+            run.queue_depth_max,
+        );
+        assert!(run.admitted > 0, "{} workers: nothing admitted", run.workers);
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"admitted\": {}, \"rejected\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"throughput_jobs_per_s\": {:.1}, \
+             \"queue_depth_p90\": {}, \"queue_depth_max\": {}}}{}",
+            run.workers,
+            run.admitted,
+            run.rejected,
+            run.p50.as_micros(),
+            run.p99.as_micros(),
+            run.throughput,
+            run.queue_depth_p90,
+            run.queue_depth_max,
+            if i + 1 < runs.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out_dir = std::path::Path::new("target/sched");
+    std::fs::create_dir_all(out_dir).expect("create target/sched");
+    let out = out_dir.join("BENCH_sched.json");
+    std::fs::write(&out, &json).expect("write BENCH_sched.json");
+    println!("\nwrote {}", out.display());
+}

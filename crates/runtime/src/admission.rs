@@ -1,0 +1,798 @@
+//! The admission layer: tenants, quotas, priorities, and the sharded
+//! bounded injection queues behind [`crate::ThreadPool::submit`].
+//!
+//! The paper's runtime serves *one* program: a single global injection
+//! queue and an unconditionally blocking `install` are fine when the only
+//! caller is the process that built the pool. A scheduler *service* — one
+//! pool absorbing request streams from many callers — needs three things
+//! the paper never had to provide:
+//!
+//! * **Bounded, sharded injection.** External submissions land in one of
+//!   several independently locked shards (a tenant hashes to a home
+//!   shard), each with its own capacity. One hot tenant fills its own
+//!   shard and is rejected there; other tenants' shards stay shallow and
+//!   responsive. Idle workers drain shards round-robin in small batches,
+//!   amortizing the cross-thread handoff the same way
+//!   `Registry::reinject` already batches dead-worker reclamation (the
+//!   low-synchronization injection argument of Rito & Paulino,
+//!   PAPERS.md).
+//! * **Per-tenant quotas.** Every submission reserves an in-flight slot
+//!   against its tenant's fair share plus burst allowance before it may
+//!   enqueue. A tenant at its quota is *rejected*, not queued — the
+//!   structural guarantee behind the fairness property tests: admitted
+//!   in-flight work per tenant never exceeds `fair_share + burst`, no
+//!   matter the arrival order.
+//! * **Typed backpressure.** Overload is an [`Overloaded`] value carrying
+//!   the observed queue depth, the capacity it hit, and the tenant —
+//!   never an unbounded queue and never a silent stall. Degraded pools
+//!   (zero live workers, no recovery budget) shed new submissions for the
+//!   same reason; work already admitted still completes (serially in
+//!   place if it must).
+//!
+//! The exhaustive blocking-at-the-boundary bug catalog of Yu et al.
+//! ("Fearless Concurrency?", PAPERS.md) is the negative space this module
+//! is shaped by: every path either completes, returns a typed rejection,
+//! or folds into the [`RuntimeStalled`](crate::RuntimeStalled) diagnosis —
+//! there is no path that waits forever.
+//!
+//! Accounting invariants (asserted by `tests/admission_props.rs` and the
+//! overload soak):
+//!
+//! * `in_flight` returns to 0 once every submission has resolved;
+//! * `admitted == completed + cancelled` after drain — rejected
+//!   submissions touch neither side;
+//! * per-shard queue depth never exceeds `shard_capacity` (reclaimed jobs
+//!   from dead workers are exempt: they were admitted once already and
+//!   must not be dropped).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::config::RuntimeStalled;
+use crate::job::JobRef;
+use crate::poison;
+
+/// Identifies one tenant (caller / request stream) of a scheduler-service
+/// pool. Quotas, rejection accounting, and shard placement are keyed by
+/// this id. Plain `u32` newtype: tenants are a caller-side namespace, the
+/// pool imposes no registration step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The default tenant used by [`crate::ThreadPool::submit`] callers
+    /// that do not care about multi-tenancy.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Scheduling priority of a submission. Within one shard, workers always
+/// drain higher bands first; across shards the round-robin rotation keeps
+/// any one band of any one shard from monopolizing the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Served before all `Normal` and `Low` work of the same shard.
+    High,
+    /// The default band.
+    #[default]
+    Normal,
+    /// Background work: served only when the shard's other bands are empty.
+    Low,
+}
+
+/// Number of priority bands (the length of a shard's queue array).
+const BANDS: usize = 3;
+
+impl Priority {
+    const fn band(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Admission-control policy for a scheduler-service pool, installed with
+/// [`Config::admission`](crate::Config::admission).
+///
+/// Pools built *without* a policy keep the original single-caller
+/// behaviour: one unbounded shard, no quotas, and submissions are always
+/// admitted. With a policy, [`crate::ThreadPool::submit`] enforces the
+/// bounds described at the module level.
+///
+/// # Examples
+///
+/// ```
+/// use cilk_runtime::{AdmissionPolicy, Config, TenantId, ThreadPool};
+///
+/// let pool = ThreadPool::with_config(
+///     Config::new().num_workers(2).admission(
+///         AdmissionPolicy::new().shards(2).shard_capacity(64).fair_share(8).burst(8),
+///     ),
+/// )?;
+/// let v = pool.submit(TenantId(7), || 6 * 7).expect("under quota");
+/// assert_eq!(v, 42);
+/// # Ok::<(), cilk_runtime::BuildPoolError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    pub(crate) shards: usize,
+    pub(crate) shard_capacity: usize,
+    pub(crate) fair_share: u64,
+    pub(crate) burst: u64,
+    pub(crate) handoff_batch: usize,
+}
+
+impl AdmissionPolicy {
+    /// The default service policy: 4 shards of capacity 256, a fair share
+    /// of 16 in-flight submissions per tenant with a burst allowance of
+    /// 16 more, and 4-job handoff batches.
+    pub fn new() -> AdmissionPolicy {
+        AdmissionPolicy {
+            shards: 4,
+            shard_capacity: 256,
+            fair_share: 16,
+            burst: 16,
+            handoff_batch: 4,
+        }
+    }
+
+    /// Number of independently locked injection shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "a pool needs at least one injection shard");
+        self.shards = n;
+        self
+    }
+
+    /// Maximum queued submissions per shard; a full shard rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn shard_capacity(mut self, n: usize) -> Self {
+        assert!(n > 0, "a shard needs capacity for at least one job");
+        self.shard_capacity = n;
+        self
+    }
+
+    /// Per-tenant fair share of concurrently in-flight submissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn fair_share(mut self, n: u64) -> Self {
+        assert!(n > 0, "a tenant's fair share must admit at least one job");
+        self.fair_share = n;
+        self
+    }
+
+    /// Extra in-flight allowance above the fair share (may be zero).
+    pub fn burst(mut self, n: u64) -> Self {
+        self.burst = n;
+        self
+    }
+
+    /// Maximum jobs one idle worker claims from a shard in a single lock
+    /// acquisition; the surplus rides to the worker's own deque, so the
+    /// per-job synchronization cost of the handoff is `1/batch` locks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn handoff_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "a handoff batch moves at least one job");
+        self.handoff_batch = n;
+        self
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Why a submission was rejected (the `reason` of [`Overloaded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's home shard is at capacity.
+    QueueFull,
+    /// The tenant is at its in-flight quota (`fair_share + burst`).
+    QuotaExceeded,
+    /// The pool shed the submission: it is degraded (zero live workers
+    /// with no recovery possible) — or an injected [`FaultAction::Die`]
+    /// (see [`crate::fault::FaultSite::Inject`]) simulated exactly that
+    /// at the admission boundary.
+    Shed,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RejectReason::QueueFull => "queue full",
+            RejectReason::QuotaExceeded => "quota exceeded",
+            RejectReason::Shed => "load shed",
+        })
+    }
+}
+
+/// Typed backpressure: the pool refused a submission instead of queueing
+/// it unboundedly or blocking the caller.
+///
+/// Returned by [`crate::ThreadPool::submit`] (inside
+/// [`SubmitError::Overloaded`]). The fields are the load observation at
+/// the moment of rejection, so callers can make a real decision — retry
+/// with backoff, shed their own load, or fail the request upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The tenant whose submission was rejected.
+    pub tenant: TenantId,
+    /// Jobs queued on the rejecting shard at the moment of rejection (for
+    /// [`RejectReason::QuotaExceeded`]: the tenant's in-flight count).
+    pub queued: usize,
+    /// The bound that was hit: the shard capacity, the tenant's
+    /// `fair_share + burst`, or 0 for a degraded pool shedding load.
+    pub capacity: usize,
+    /// Which bound rejected the submission.
+    pub reason: RejectReason,
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pool overloaded: {} rejected ({}, {}/{})",
+            self.tenant, self.reason, self.queued, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// Why a [`crate::ThreadPool::submit`] call failed.
+#[derive(Debug, Clone)]
+pub enum SubmitError {
+    /// Rejected at admission: quota, shard capacity, or load shedding.
+    Overloaded(Overloaded),
+    /// Admitted (or waiting for admission past its deadline) but the pool
+    /// failed to make progress: the full stall diagnosis, including the
+    /// supervisor's suspect workers, current queue depth, and live-worker
+    /// count — enough to distinguish "overloaded" from "dead".
+    Stalled(RuntimeStalled),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded(o) => o.fmt(f),
+            SubmitError::Stalled(s) => s.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<Overloaded> for SubmitError {
+    fn from(o: Overloaded) -> SubmitError {
+        SubmitError::Overloaded(o)
+    }
+}
+
+impl From<RuntimeStalled> for SubmitError {
+    fn from(s: RuntimeStalled) -> SubmitError {
+        SubmitError::Stalled(s)
+    }
+}
+
+/// Per-tenant admission counters, as reported by
+/// [`crate::ThreadPool::admission_report`]. All cumulative since pool
+/// creation except `in_flight`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Submissions admitted past quota and capacity into the queue (or
+    /// run inline on a worker thread).
+    pub admitted: u64,
+    /// Submissions rejected (quota, capacity, or shed).
+    pub rejected: u64,
+    /// Admitted submissions whose work ran to completion (including ones
+    /// that completed by unwinding with the caller's own panic).
+    pub completed: u64,
+    /// Admitted submissions cancelled before running (stall-cancelled
+    /// from the queue, or released by a fault at the admission boundary).
+    pub cancelled: u64,
+    /// Submissions currently holding an in-flight quota slot.
+    pub in_flight: u64,
+}
+
+/// A point-in-time view of the admission layer: shard geometry, current
+/// queue depth, and every tenant's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionReport {
+    /// Number of injection shards.
+    pub shards: usize,
+    /// Capacity of each shard (`usize::MAX` when unbounded).
+    pub shard_capacity: usize,
+    /// Per-tenant in-flight quota (`fair_share + burst`; `u64::MAX` when
+    /// unbounded).
+    pub quota: u64,
+    /// Total jobs currently queued across all shards.
+    pub queued: usize,
+    /// Every tenant that has ever submitted, sorted by id.
+    pub tenants: Vec<(TenantId, TenantStats)>,
+}
+
+impl AdmissionReport {
+    /// The stats of one tenant, if it ever submitted.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantStats> {
+        self.tenants.iter().find(|(id, _)| *id == tenant).map(|(_, s)| s)
+    }
+}
+
+/// One injection shard: priority-banded queues plus the admission state of
+/// the tenants that hash here. A single mutex covers both, so a submit is
+/// one lock acquisition for quota + enqueue and a claim is one for the
+/// whole batch.
+#[derive(Debug, Default)]
+struct ShardState {
+    bands: [VecDeque<JobRef>; BANDS],
+    /// Total queued across the bands (maintained, not recomputed).
+    queued: usize,
+    tenants: HashMap<u32, TenantStats>,
+}
+
+// SAFETY: `JobRef`s are `Send`; the shard is only ever accessed under its
+// mutex.
+unsafe impl Send for ShardState {}
+
+/// The sharded, bounded injection queue set of one registry. Replaces the
+/// former single `Mutex<VecDeque<JobRef>>` global injector.
+#[derive(Debug)]
+pub(crate) struct Injector {
+    shards: Vec<Mutex<ShardState>>,
+    shard_capacity: usize,
+    quota: u64,
+    pub(crate) handoff_batch: usize,
+    /// Total queued jobs across shards, for lock-free `queued_jobs()` and
+    /// the sleep re-check.
+    depth: AtomicUsize,
+    /// Round-robin cursor for untenanted pushes (installs, reinjection).
+    cursor: AtomicUsize,
+}
+
+impl Injector {
+    /// Builds the injector for a pool. Without a policy this is a single
+    /// unbounded shard with 1-job handoffs — byte-for-byte the original
+    /// global-injector behaviour.
+    pub(crate) fn new(policy: Option<&AdmissionPolicy>) -> Injector {
+        let (shards, shard_capacity, quota, handoff_batch) = match policy {
+            Some(p) => (
+                p.shards,
+                p.shard_capacity,
+                p.fair_share.saturating_add(p.burst),
+                p.handoff_batch,
+            ),
+            None => (1, usize::MAX, u64::MAX, 1),
+        };
+        Injector {
+            shards: (0..shards).map(|_| Mutex::new(ShardState::default())).collect(),
+            shard_capacity,
+            quota,
+            handoff_batch,
+            depth: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub(crate) fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total jobs currently queued across all shards.
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Reserves an in-flight quota slot for `tenant`, or reports the quota
+    /// it hit. The reservation is released by exactly one of
+    /// [`note_completed`](Injector::note_completed),
+    /// [`note_cancelled`](Injector::note_cancelled),
+    /// [`release_reservation`](Injector::release_reservation) or
+    /// [`note_shed_reserved`](Injector::note_shed_reserved).
+    pub(crate) fn reserve(&self, tenant: TenantId) -> Result<(), Overloaded> {
+        let shard = self.shard_of(tenant);
+        let mut state = poison::recover(self.shards[shard].lock());
+        let stats = state.tenants.entry(tenant.0).or_default();
+        if stats.in_flight >= self.quota {
+            return Err(Overloaded {
+                tenant,
+                queued: stats.in_flight as usize,
+                capacity: self.quota as usize,
+                reason: RejectReason::QuotaExceeded,
+            });
+        }
+        stats.in_flight += 1;
+        Ok(())
+    }
+
+    /// Enqueues a reserved submission, or reports the shard capacity it
+    /// hit (releasing the reservation is the caller's job via the ticket).
+    /// On success returns `(shard, depth_after_push)` for the
+    /// `QueueDepth` probe event.
+    pub(crate) fn enqueue(
+        &self,
+        tenant: TenantId,
+        priority: Priority,
+        job: JobRef,
+    ) -> Result<(usize, usize), Overloaded> {
+        let shard = self.shard_of(tenant);
+        let mut state = poison::recover(self.shards[shard].lock());
+        if state.queued >= self.shard_capacity {
+            return Err(Overloaded {
+                tenant,
+                queued: state.queued,
+                capacity: self.shard_capacity,
+                reason: RejectReason::QueueFull,
+            });
+        }
+        state.bands[priority.band()].push_back(job);
+        state.queued += 1;
+        let depth = state.queued;
+        state.tenants.entry(tenant.0).or_default().admitted += 1;
+        drop(state);
+        self.depth.fetch_add(1, Ordering::SeqCst);
+        Ok((shard, depth))
+    }
+
+    /// Records an inline admission (the submitter was already a pool
+    /// worker: the op runs in place, nothing queues).
+    pub(crate) fn note_admitted_inline(&self, tenant: TenantId) {
+        self.with_tenant(tenant, |s| s.admitted += 1);
+    }
+
+    /// An admitted submission's work finished (possibly by unwinding with
+    /// the caller's own panic): releases the quota slot.
+    pub(crate) fn note_completed(&self, tenant: TenantId) {
+        self.with_tenant(tenant, |s| {
+            s.completed += 1;
+            s.in_flight = s.in_flight.saturating_sub(1);
+        });
+    }
+
+    /// An admitted submission was cancelled before running (stall-cancel):
+    /// releases the quota slot.
+    pub(crate) fn note_cancelled(&self, tenant: TenantId) {
+        self.with_tenant(tenant, |s| {
+            s.cancelled += 1;
+            s.in_flight = s.in_flight.saturating_sub(1);
+        });
+    }
+
+    /// Releases a reservation that never became an admission (a fault
+    /// unwound the submission between reserve and enqueue). Counts
+    /// nothing: the submission was neither admitted nor rejected — the
+    /// panic is the caller's outcome.
+    pub(crate) fn release_reservation(&self, tenant: TenantId) {
+        self.with_tenant(tenant, |s| s.in_flight = s.in_flight.saturating_sub(1));
+    }
+
+    /// A reserved submission was shed (injected `Die` at the admission
+    /// boundary): releases the slot and counts the rejection.
+    pub(crate) fn note_shed_reserved(&self, tenant: TenantId) {
+        self.with_tenant(tenant, |s| {
+            s.rejected += 1;
+            s.in_flight = s.in_flight.saturating_sub(1);
+        });
+    }
+
+    /// Counts a rejection that never held a reservation (quota/capacity
+    /// refusal, degraded-pool shed).
+    pub(crate) fn note_rejected(&self, tenant: TenantId) {
+        self.with_tenant(tenant, |s| s.rejected += 1);
+    }
+
+    fn with_tenant(&self, tenant: TenantId, f: impl FnOnce(&mut TenantStats)) {
+        let shard = self.shard_of(tenant);
+        let mut state = poison::recover(self.shards[shard].lock());
+        f(state.tenants.entry(tenant.0).or_default());
+    }
+
+    /// Queues an untenanted job (an `install`, which predates the
+    /// admission layer and has no error channel). Round-robin across
+    /// shards, `Normal` band, exempt from capacity. Returns
+    /// `(shard, depth_after_push)`.
+    pub(crate) fn push_untenanted(&self, job: JobRef) -> (usize, usize) {
+        let shard = self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut state = poison::recover(self.shards[shard].lock());
+        state.bands[Priority::Normal.band()].push_back(job);
+        state.queued += 1;
+        let depth = state.queued;
+        drop(state);
+        self.depth.fetch_add(1, Ordering::SeqCst);
+        (shard, depth)
+    }
+
+    /// Queues a batch of jobs reclaimed from a dead worker's deque in one
+    /// lock acquisition. `High` band (they were already runnable — new
+    /// arrivals must not starve them) and exempt from capacity (dropping
+    /// reclaimed work would strand it, the exact bug reclamation exists to
+    /// prevent). Returns `(shard, depth_after_push)`.
+    pub(crate) fn push_reclaimed(&self, jobs: Vec<JobRef>) -> (usize, usize) {
+        let n = jobs.len();
+        let shard = self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut state = poison::recover(self.shards[shard].lock());
+        for job in jobs {
+            state.bands[Priority::High.band()].push_back(job);
+        }
+        state.queued += n;
+        let depth = state.queued;
+        drop(state);
+        self.depth.fetch_add(n, Ordering::SeqCst);
+        (shard, depth)
+    }
+
+    /// Claims up to `max` jobs for an idle worker: shards are scanned
+    /// round-robin from `start`, and the first non-empty shard surrenders
+    /// a batch (highest priority band first) in a single lock
+    /// acquisition. Returns the claimed jobs in execution order.
+    pub(crate) fn claim(&self, start: usize, max: usize) -> Vec<JobRef> {
+        if self.depth.load(Ordering::SeqCst) == 0 {
+            return Vec::new();
+        }
+        let n = self.shards.len();
+        for offset in 0..n {
+            let shard = (start + offset) % n;
+            let mut state = poison::recover(self.shards[shard].lock());
+            if state.queued == 0 {
+                continue;
+            }
+            let mut out = Vec::with_capacity(max.min(state.queued));
+            'bands: for band in 0..BANDS {
+                while let Some(job) = state.bands[band].pop_front() {
+                    out.push(job);
+                    if out.len() == max {
+                        break 'bands;
+                    }
+                }
+            }
+            state.queued -= out.len();
+            drop(state);
+            self.depth.fetch_sub(out.len(), Ordering::SeqCst);
+            return out;
+        }
+        Vec::new()
+    }
+
+    /// Removes a not-yet-claimed job from whichever shard and band holds
+    /// it; `true` if it was still queued. Used by stall recovery: a
+    /// removed job will never execute, so its stack frame can be safely
+    /// abandoned by the submitter.
+    pub(crate) fn cancel(&self, job: JobRef) -> bool {
+        for shard in &self.shards {
+            let mut state = poison::recover(shard.lock());
+            for band in 0..BANDS {
+                if let Some(pos) = state.bands[band].iter().position(|j| *j == job) {
+                    state.bands[band].remove(pos);
+                    state.queued -= 1;
+                    drop(state);
+                    self.depth.fetch_sub(1, Ordering::SeqCst);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Snapshot for [`crate::ThreadPool::admission_report`].
+    pub(crate) fn report(&self) -> AdmissionReport {
+        let mut tenants: Vec<(TenantId, TenantStats)> = Vec::new();
+        for shard in &self.shards {
+            let state = poison::recover(shard.lock());
+            tenants.extend(state.tenants.iter().map(|(&id, &s)| (TenantId(id), s)));
+        }
+        tenants.sort_by_key(|(id, _)| *id);
+        AdmissionReport {
+            shards: self.shards.len(),
+            shard_capacity: self.shard_capacity,
+            quota: self.quota,
+            queued: self.depth(),
+            tenants,
+        }
+    }
+
+    fn shard_of(&self, tenant: TenantId) -> usize {
+        // Multiplicative (Fibonacci) hash: dense tenant ids spread over
+        // shards instead of clustering.
+        let h = (tenant.0 as u64 ^ 0xDAC_2009).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::HeapJob;
+
+    fn dummy_job() -> JobRef {
+        // SAFETY: test jobs are either executed exactly once or leaked
+        // deliberately (cancel path drops the reference without running).
+        unsafe { HeapJob::new(0, |_| ()).into_job_ref() }
+    }
+
+    fn drain_all(inj: &Injector) {
+        loop {
+            let batch = inj.claim(0, 64);
+            if batch.is_empty() {
+                break;
+            }
+            for job in batch {
+                // SAFETY: claimed jobs are executed exactly once.
+                unsafe { job.execute() };
+            }
+        }
+    }
+
+    #[test]
+    fn default_injector_is_single_unbounded_shard() {
+        let inj = Injector::new(None);
+        assert_eq!(inj.shards(), 1);
+        assert_eq!(inj.report().shard_capacity, usize::MAX);
+        assert_eq!(inj.handoff_batch, 1);
+        let (shard, depth) = inj.push_untenanted(dummy_job());
+        assert_eq!((shard, depth), (0, 1));
+        assert_eq!(inj.depth(), 1);
+        drain_all(&inj);
+        assert_eq!(inj.depth(), 0);
+    }
+
+    #[test]
+    fn quota_rejects_past_fair_share_plus_burst() {
+        let policy = AdmissionPolicy::new().fair_share(2).burst(1);
+        let inj = Injector::new(Some(&policy));
+        let t = TenantId(9);
+        for _ in 0..3 {
+            inj.reserve(t).expect("under quota");
+        }
+        let over = inj.reserve(t).expect_err("fourth reservation exceeds 2+1");
+        assert_eq!(over.reason, RejectReason::QuotaExceeded);
+        assert_eq!(over.capacity, 3);
+        assert_eq!(over.queued, 3);
+        inj.note_rejected(t);
+        // Releasing one slot re-opens the quota.
+        inj.release_reservation(t);
+        inj.reserve(t).expect("slot freed");
+        let report = inj.report();
+        let stats = report.tenant(t).expect("tenant recorded");
+        assert_eq!(stats.in_flight, 3);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn shard_capacity_rejects_when_full() {
+        let policy = AdmissionPolicy::new().shards(1).shard_capacity(2).fair_share(100);
+        let inj = Injector::new(Some(&policy));
+        let t = TenantId(1);
+        for _ in 0..2 {
+            inj.reserve(t).unwrap();
+            inj.enqueue(t, Priority::Normal, dummy_job()).expect("fits");
+        }
+        inj.reserve(t).unwrap();
+        let over = inj.enqueue(t, Priority::Normal, dummy_job()).expect_err("full");
+        assert_eq!(over.reason, RejectReason::QueueFull);
+        assert_eq!(over.queued, 2);
+        assert_eq!(over.capacity, 2);
+        inj.release_reservation(t);
+        // Clean up: run the queued jobs and release their slots.
+        drain_all(&inj);
+        inj.note_completed(t);
+        inj.note_completed(t);
+        let report = inj.report();
+        let stats = report.tenant(t).expect("tenant recorded");
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn claim_respects_priority_bands_and_batches() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let policy = AdmissionPolicy::new().shards(1).handoff_batch(4);
+        let inj = Injector::new(Some(&policy));
+        let t = TenantId(3);
+        let order = Arc::new(AtomicUsize::new(0));
+        let mut ran: Vec<Arc<AtomicUsize>> = Vec::new();
+        // Queue Low first, then Normal, then High; claims must come out
+        // High, Normal, Low.
+        for (i, priority) in
+            [Priority::Low, Priority::Normal, Priority::High].into_iter().enumerate()
+        {
+            let slot = Arc::new(AtomicUsize::new(usize::MAX));
+            ran.push(Arc::clone(&slot));
+            let order = Arc::clone(&order);
+            let job = HeapJob::new(0, move |_| {
+                slot.store(order.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+            });
+            inj.reserve(t).unwrap();
+            // SAFETY: each job executes exactly once below.
+            inj.enqueue(t, priority, unsafe { job.into_job_ref() }).unwrap();
+            let _ = i;
+        }
+        let batch = inj.claim(0, 4);
+        assert_eq!(batch.len(), 3, "one lock acquisition drains the whole shard");
+        for job in batch {
+            // SAFETY: executed exactly once.
+            unsafe { job.execute() };
+        }
+        // Execution order: High (queued 3rd) ran first, Low (queued 1st) last.
+        assert_eq!(ran[2].load(Ordering::SeqCst), 0, "High first");
+        assert_eq!(ran[1].load(Ordering::SeqCst), 1, "Normal second");
+        assert_eq!(ran[0].load(Ordering::SeqCst), 2, "Low last");
+        for _ in 0..3 {
+            inj.note_completed(t);
+        }
+    }
+
+    #[test]
+    fn tenants_spread_over_shards() {
+        let policy = AdmissionPolicy::new().shards(4);
+        let inj = Injector::new(Some(&policy));
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..64 {
+            seen.insert(inj.shard_of(TenantId(id)));
+        }
+        assert!(seen.len() >= 3, "64 dense tenant ids must not cluster: {seen:?}");
+    }
+
+    #[test]
+    fn cancel_removes_exactly_the_job() {
+        let inj = Injector::new(None);
+        let keep = HeapJob::new(0, |_| ());
+        // SAFETY: `kept` executes exactly once below; `gone` never
+        // executes (cancelled) and is dropped here as a heap box leak —
+        // acceptable in a test.
+        let kept = unsafe { keep.into_job_ref() };
+        let gone = unsafe { HeapJob::new(0, |_| ()).into_job_ref() };
+        inj.push_untenanted(kept);
+        inj.push_untenanted(gone);
+        assert!(inj.cancel(gone), "queued job cancels");
+        assert!(!inj.cancel(gone), "double cancel is a no-op");
+        assert_eq!(inj.depth(), 1);
+        let batch = inj.claim(0, 8);
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0] == kept);
+        // SAFETY: executed exactly once.
+        unsafe { batch[0].execute() };
+    }
+
+    #[test]
+    fn overloaded_and_reasons_display() {
+        let o = Overloaded {
+            tenant: TenantId(5),
+            queued: 7,
+            capacity: 8,
+            reason: RejectReason::QueueFull,
+        };
+        let msg = o.to_string();
+        assert!(msg.contains("tenant-5"), "{msg}");
+        assert!(msg.contains("queue full"), "{msg}");
+        assert!(msg.contains("7/8"), "{msg}");
+        assert!(RejectReason::QuotaExceeded.to_string().contains("quota"));
+        assert!(RejectReason::Shed.to_string().contains("shed"));
+        let e: SubmitError = o.into();
+        assert!(matches!(e, SubmitError::Overloaded(_)));
+        assert_eq!(e.to_string(), msg);
+    }
+}

@@ -7,6 +7,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::admission::AdmissionPolicy;
 use crate::fault::FaultHandler;
 use crate::metrics::MetricsSnapshot;
 use crate::supervisor::{BeatSite, SupervisionPolicy};
@@ -41,6 +42,7 @@ pub struct Config {
     pub(crate) fault_handler: Option<FaultHandler>,
     pub(crate) stall_timeout: Option<Duration>,
     pub(crate) supervision: Option<SupervisionPolicy>,
+    pub(crate) admission: Option<AdmissionPolicy>,
 }
 
 impl fmt::Debug for Config {
@@ -53,6 +55,7 @@ impl fmt::Debug for Config {
             .field("fault_handler", &self.fault_handler.as_ref().map(|_| "<handler>"))
             .field("stall_timeout", &self.stall_timeout)
             .field("supervision", &self.supervision)
+            .field("admission", &self.admission)
             .finish()
     }
 }
@@ -73,6 +76,7 @@ impl PartialEq for Config {
             && self.stack_size == other.stack_size
             && self.stall_timeout == other.stall_timeout
             && self.supervision == other.supervision
+            && self.admission == other.admission
     }
 }
 
@@ -92,6 +96,7 @@ impl Config {
             fault_handler: None,
             stall_timeout: None,
             supervision: None,
+            admission: None,
         }
     }
 
@@ -166,6 +171,20 @@ impl Config {
         self
     }
 
+    /// Turns the pool into a scheduler service with admission control
+    /// (see [`crate::AdmissionPolicy`] and `docs/scheduler-service.md`):
+    /// external submissions through [`crate::ThreadPool::submit`] land in
+    /// sharded bounded injection queues, every tenant is held to a
+    /// fair-share in-flight quota, and overload is reported as a typed
+    /// [`crate::Overloaded`] rejection instead of unbounded queueing.
+    /// Without a policy the pool keeps the original single-caller
+    /// behaviour: one unbounded injection queue and always-admitted
+    /// submissions.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+
     /// Resolves the worker count: explicit override or the machine's
     /// available parallelism.
     pub(crate) fn resolved_workers(&self) -> usize {
@@ -212,6 +231,10 @@ pub struct RuntimeStalled {
     pub waited: Duration,
     /// Total workers the pool was built with.
     pub workers: usize,
+    /// Workers alive at the moment of diagnosis. Together with
+    /// `pending_injected` this distinguishes "overloaded" (live workers,
+    /// deep queue) from "dead" (no workers left to claim anything).
+    pub live_workers: usize,
     /// Workers that have simulated death and parked.
     pub workers_died: u64,
     /// Jobs still sitting in the external-injection queue.
@@ -232,10 +255,11 @@ impl fmt::Display for RuntimeStalled {
         write!(
             f,
             "runtime stalled: injected job unclaimed after {:?} \
-             ({} of {} workers dead, {} jobs pending, steals={} aborted={})",
+             ({} of {} workers dead, {} live, {} jobs queued, steals={} aborted={})",
             self.waited,
             self.workers_died,
             self.workers,
+            self.live_workers,
             self.pending_injected,
             self.metrics.steals,
             self.metrics.steals_aborted,
@@ -311,6 +335,7 @@ mod tests {
         let e = RuntimeStalled {
             waited: Duration::from_millis(250),
             workers: 2,
+            live_workers: 0,
             workers_died: 2,
             pending_injected: 1,
             metrics: Box::new(MetricsSnapshot::default()),
@@ -318,7 +343,8 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("2 of 2 workers dead"), "{msg}");
-        assert!(msg.contains("1 jobs pending"), "{msg}");
+        assert!(msg.contains("0 live"), "{msg}");
+        assert!(msg.contains("1 jobs queued"), "{msg}");
         assert!(!msg.contains("suspects"), "no suspects without supervision: {msg}");
     }
 
@@ -327,6 +353,7 @@ mod tests {
         let e = RuntimeStalled {
             waited: Duration::from_millis(250),
             workers: 4,
+            live_workers: 4,
             workers_died: 0,
             pending_injected: 1,
             metrics: Box::new(MetricsSnapshot::default()),

@@ -24,6 +24,7 @@
 //! | `ViewMerge` | every reducer view merge (`cilk-hyper`) | captured/propagated; views still torn down exactly once | reorders merges | retires at next top-of-loop |
 //! | `LockAcquire` | entry of `cilk::sync::Mutex::lock`/`try_lock` | user panic before the lock is held (lock events stay balanced) | forces contention | retires at next top-of-loop |
 //! | `LoopChunk` | before each `cilk_for` leaf chunk | captured, siblings cancelled, propagated | reorders chunk execution | retires at next top-of-loop |
+//! | `Inject` | admission boundary of `ThreadPool::submit`, after the quota reservation | unwinds the submitter with the reservation released (no quota leak, nothing queued) | delays admission, perturbing arrival order | sheds the submission: reservation released, rejection counted, `Overloaded` returned |
 //!
 //! Worker death is deliberately graceful: the worker finishes every
 //! obligation already on its stack (an in-flight `join` must resolve its
@@ -63,18 +64,25 @@ pub enum FaultSite {
     LockAcquire,
     /// Before a `cilk_for` leaf chunk executes its iterations.
     LoopChunk,
+    /// The admission boundary of `ThreadPool::submit`, consulted after a
+    /// successful quota reservation and before the job enqueues. Unlike
+    /// every other site this one fires on the *submitting* thread (which
+    /// is outside the pool), so `Die` cannot kill a worker — it sheds the
+    /// submission instead, exactly like a degraded pool would.
+    Inject,
 }
 
 impl FaultSite {
     /// Every site, in a fixed order (stable across releases; used for
     /// occurrence-counter indexing and plan serialization).
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::Spawn,
         FaultSite::Steal,
         FaultSite::Sync,
         FaultSite::ViewMerge,
         FaultSite::LockAcquire,
         FaultSite::LoopChunk,
+        FaultSite::Inject,
     ];
 
     /// The site's stable lower-case name (the FaultPlan JSON token).
@@ -86,6 +94,7 @@ impl FaultSite {
             FaultSite::ViewMerge => "view-merge",
             FaultSite::LockAcquire => "lock-acquire",
             FaultSite::LoopChunk => "loop-chunk",
+            FaultSite::Inject => "inject",
         }
     }
 

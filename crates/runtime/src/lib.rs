@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod config;
 pub mod fault;
 pub mod hooks;
@@ -51,6 +52,10 @@ mod scope;
 mod supervisor;
 mod unwind;
 
+pub use admission::{
+    AdmissionPolicy, AdmissionReport, Overloaded, Priority, RejectReason, SubmitError,
+    TenantId, TenantStats,
+};
 pub use config::{BuildPoolError, Config, RuntimeStalled, WaitPolicy};
 pub use join::{join, join_context, JoinContext};
 pub use metrics::MetricsSnapshot;
@@ -60,6 +65,7 @@ pub use supervisor::{BeatSite, SupervisionPolicy, SupervisorReport};
 
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use registry::Registry;
 
@@ -166,6 +172,114 @@ impl ThreadPool {
     /// without [`Config::supervision`].
     pub fn supervisor_report(&self) -> Option<SupervisorReport> {
         self.registry.supervision().map(|sup| sup.report())
+    }
+
+    /// Submits `op` on behalf of `tenant` at [`Priority::Normal`] and
+    /// waits for its result — the scheduler-service entry point.
+    ///
+    /// Unlike [`install`](ThreadPool::install), submission is admission-
+    /// controlled: the tenant must be under its in-flight quota and its
+    /// home injection shard under capacity (see [`Config::admission`];
+    /// pools built without a policy always admit). Overload is a typed
+    /// [`SubmitError::Overloaded`] — the call never queues unboundedly.
+    /// Use [`tenant`](ThreadPool::tenant) for priorities and deadline
+    /// waits.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the submission is rejected at
+    /// admission; [`SubmitError::Stalled`] when the admitted job sat
+    /// unclaimed past the configured
+    /// [`stall_timeout`](Config::stall_timeout).
+    pub fn submit<OP, R>(&self, tenant: TenantId, op: OP) -> Result<R, SubmitError>
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.registry.submit_checked(tenant, Priority::Normal, None, |_| op())
+    }
+
+    /// A submission handle for `tenant`: set a [`Priority`], then
+    /// [`submit`](Submission::submit) or
+    /// [`submit_within`](Submission::submit_within).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cilk_runtime::{Config, Priority, TenantId, ThreadPool};
+    ///
+    /// let pool = ThreadPool::with_config(Config::new().num_workers(2))?;
+    /// let v = pool
+    ///     .tenant(TenantId(3))
+    ///     .priority(Priority::High)
+    ///     .submit(|| 6 * 7)
+    ///     .expect("no admission policy: always admitted");
+    /// assert_eq!(v, 42);
+    /// # Ok::<(), cilk_runtime::BuildPoolError>(())
+    /// ```
+    pub fn tenant(&self, tenant: TenantId) -> Submission<'_> {
+        Submission { pool: self, tenant, priority: Priority::Normal }
+    }
+
+    /// A snapshot of the admission layer: shard geometry, current queue
+    /// depth, and per-tenant counters (admitted / rejected / completed /
+    /// cancelled / in-flight).
+    pub fn admission_report(&self) -> AdmissionReport {
+        self.registry.injector().report()
+    }
+}
+
+/// A tenant-scoped submission builder returned by
+/// [`ThreadPool::tenant`].
+#[derive(Debug, Clone, Copy)]
+pub struct Submission<'a> {
+    pool: &'a ThreadPool,
+    tenant: TenantId,
+    priority: Priority,
+}
+
+impl Submission<'_> {
+    /// Sets the priority band for subsequent submissions through this
+    /// handle (default [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Submits `op` and waits for its result; a single admission attempt
+    /// (see [`ThreadPool::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ThreadPool::submit`].
+    pub fn submit<OP, R>(&self, op: OP) -> Result<R, SubmitError>
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.pool.registry.submit_checked(self.tenant, self.priority, None, |_| op())
+    }
+
+    /// The blocking variant: retries admission (quota and shard capacity)
+    /// until `deadline` elapses, then folds into the full
+    /// [`RuntimeStalled`] diagnosis — including the supervisor's suspect
+    /// workers, queue depth, and live-worker count — so the caller can
+    /// tell an overloaded pool from a dead one.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] only if the pool degrades to load
+    /// shedding while waiting; [`SubmitError::Stalled`] when the deadline
+    /// expires un-admitted or the admitted job stalls past the configured
+    /// [`stall_timeout`](Config::stall_timeout).
+    pub fn submit_within<OP, R>(&self, deadline: Duration, op: OP) -> Result<R, SubmitError>
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.pool
+            .registry
+            .submit_checked(self.tenant, self.priority, Some(deadline), |_| op())
     }
 }
 

@@ -49,6 +49,15 @@ pub(crate) struct Counters {
     /// Degradation events: losses the supervisor could not (or will not)
     /// recover, including serial in-place installs on a dead pool.
     pub(crate) pool_degraded: AtomicU64,
+    /// Submissions admitted past quota and shard capacity.
+    pub(crate) jobs_admitted: AtomicU64,
+    /// Submissions rejected at admission (quota, capacity, or shed).
+    pub(crate) jobs_rejected: AtomicU64,
+    /// Multi-job injector transfers done under one lock acquisition
+    /// (handoff-batch claims and batched reclamation requeues).
+    pub(crate) injector_batches: AtomicU64,
+    /// High-watermark of any single injection shard's depth.
+    pub(crate) injector_high_watermark: AtomicUsize,
 }
 
 impl Counters {
@@ -100,6 +109,12 @@ impl Counters {
             }
             ProbeEvent::WorkerRespawned { .. } => self.bump(&self.workers_respawned),
             ProbeEvent::PoolDegraded { .. } => self.bump(&self.pool_degraded),
+            ProbeEvent::JobAdmitted { .. } => self.bump(&self.jobs_admitted),
+            ProbeEvent::JobRejected { .. } => self.bump(&self.jobs_rejected),
+            ProbeEvent::InjectorBatch { .. } => self.bump(&self.injector_batches),
+            ProbeEvent::QueueDepth { depth, .. } => {
+                self.injector_high_watermark.fetch_max(depth, Ordering::Relaxed);
+            }
             _ => {}
         }
     }
@@ -147,6 +162,15 @@ pub struct MetricsSnapshot {
     /// Degradation events observed (unrecovered losses and serial
     /// in-place installs on a dead pool).
     pub pool_degraded: u64,
+    /// Submissions admitted past quota and shard capacity
+    /// (`ThreadPool::submit` and friends).
+    pub jobs_admitted: u64,
+    /// Submissions rejected at admission (quota, capacity, or shed).
+    pub jobs_rejected: u64,
+    /// Multi-job injector transfers done under one lock acquisition.
+    pub injector_batches: u64,
+    /// Maximum observed depth of any single injection shard.
+    pub injector_high_watermark: usize,
 }
 
 impl MetricsSnapshot {
@@ -183,6 +207,10 @@ impl Counters {
             jobs_reclaimed: self.jobs_reclaimed.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             pool_degraded: self.pool_degraded.load(Ordering::Relaxed),
+            jobs_admitted: self.jobs_admitted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            injector_batches: self.injector_batches.load(Ordering::Relaxed),
+            injector_high_watermark: self.injector_high_watermark.load(Ordering::Relaxed),
         }
     }
 }
@@ -232,6 +260,12 @@ mod tests {
         c.on_event(&ProbeEvent::DequeReclaimed { worker: 0, jobs: 3 });
         c.on_event(&ProbeEvent::WorkerRespawned { worker: 0 });
         c.on_event(&ProbeEvent::PoolDegraded { live: 0 });
+        c.on_event(&ProbeEvent::JobAdmitted { tenant: 3 });
+        c.on_event(&ProbeEvent::JobRejected { tenant: 3 });
+        c.on_event(&ProbeEvent::JobRejected { tenant: 4 });
+        c.on_event(&ProbeEvent::InjectorBatch { jobs: 4 });
+        c.on_event(&ProbeEvent::QueueDepth { shard: 0, depth: 9 });
+        c.on_event(&ProbeEvent::QueueDepth { shard: 1, depth: 2 });
         // Lifecycle/structure events that map to no counter must be inert.
         c.on_event(&ProbeEvent::WorkerStart { worker: 0 });
         c.on_event(&ProbeEvent::Sync { strand: 1, depth: 0 });
@@ -253,6 +287,10 @@ mod tests {
         assert_eq!(s.jobs_reclaimed, 3);
         assert_eq!(s.workers_respawned, 1);
         assert_eq!(s.pool_degraded, 1);
+        assert_eq!(s.jobs_admitted, 1);
+        assert_eq!(s.jobs_rejected, 2);
+        assert_eq!(s.injector_batches, 1);
+        assert_eq!(s.injector_high_watermark, 9);
     }
 
     #[test]

@@ -193,6 +193,33 @@ pub enum ProbeEvent {
         /// Deque length immediately after the push.
         len: usize,
     },
+    /// A `ThreadPool::submit` passed admission (quota and shard capacity)
+    /// and its job entered the injection queue or ran inline on a worker.
+    JobAdmitted {
+        /// Numeric id of the admitted tenant (`TenantId.0`).
+        tenant: u32,
+    },
+    /// A `ThreadPool::submit` was rejected: quota, full shard, or shed by
+    /// a degraded pool.
+    JobRejected {
+        /// Numeric id of the rejected tenant (`TenantId.0`).
+        tenant: u32,
+    },
+    /// Depth of one injection shard immediately after a push (bounded-queue
+    /// high-watermark material).
+    QueueDepth {
+        /// Index of the shard that was pushed to.
+        shard: usize,
+        /// Jobs queued on that shard after the push.
+        depth: usize,
+    },
+    /// A multi-job injector transfer completed under a single lock
+    /// acquisition: a worker claimed a handoff batch, or reclaimed jobs
+    /// were requeued together.
+    InjectorBatch {
+        /// Number of jobs moved in the batch.
+        jobs: usize,
+    },
 
     // ---- cilk_for events ----
     /// A `cilk_for` leaf chunk is about to execute.
@@ -306,7 +333,11 @@ impl ProbeEvent {
             | ProbeEvent::StealSuccess { .. }
             | ProbeEvent::StealFailed { .. }
             | ProbeEvent::StealAborted { .. }
-            | ProbeEvent::DequeLen { .. } => EventMask::SCHED,
+            | ProbeEvent::DequeLen { .. }
+            | ProbeEvent::JobAdmitted { .. }
+            | ProbeEvent::JobRejected { .. }
+            | ProbeEvent::QueueDepth { .. }
+            | ProbeEvent::InjectorBatch { .. } => EventMask::SCHED,
             ProbeEvent::LoopChunk { .. } => EventMask::LOOP,
             ProbeEvent::ViewAccessBegin { .. }
             | ProbeEvent::ViewAccessEnd { .. }
@@ -357,6 +388,10 @@ mod tests {
             ProbeEvent::StealFailed { thief: 0 },
             ProbeEvent::StealAborted { thief: 0 },
             ProbeEvent::DequeLen { worker: 0, len: 3 },
+            ProbeEvent::JobAdmitted { tenant: 4 },
+            ProbeEvent::JobRejected { tenant: 4 },
+            ProbeEvent::QueueDepth { shard: 1, depth: 5 },
+            ProbeEvent::InjectorBatch { jobs: 4 },
             ProbeEvent::LoopChunk { start: 0, len: 8 },
             ProbeEvent::ViewAccessBegin { reducer: 7 },
             ProbeEvent::ViewAccessEnd { reducer: 7 },

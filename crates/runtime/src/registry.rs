@@ -8,15 +8,15 @@
 //! out of work.
 
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cilk_deque::{Steal, Stealer, Worker};
 
+use crate::admission::{Injector, Overloaded, Priority, RejectReason, SubmitError, TenantId};
 use crate::config::{BuildPoolError, Config, RuntimeStalled, WaitPolicy};
 use crate::fault::{self, FaultAction, FaultHandler, FaultSite};
 use crate::job::{JobRef, StackJob};
@@ -48,7 +48,9 @@ struct Sleep {
 /// Shared state of one thread pool.
 pub(crate) struct Registry {
     thread_infos: Vec<ThreadInfo>,
-    injected: Mutex<VecDeque<JobRef>>,
+    /// Sharded bounded injection queues (one unbounded shard on pools
+    /// built without [`Config::admission`]). See `crate::admission`.
+    injector: Injector,
     sleep: Sleep,
     terminate: AtomicBool,
     pub(crate) counters: Counters,
@@ -85,7 +87,7 @@ impl Registry {
         }
         let registry = Arc::new(Registry {
             thread_infos: infos,
-            injected: Mutex::new(VecDeque::new()),
+            injector: Injector::new(config.admission.as_ref()),
             sleep: Sleep {
                 mutex: Mutex::new(()),
                 cvar: Condvar::new(),
@@ -188,9 +190,14 @@ impl Registry {
         }
     }
 
-    /// Jobs sitting in the external-injection queue right now.
+    /// Jobs sitting in the external-injection queues right now.
     pub(crate) fn queued_jobs(&self) -> usize {
-        poison::recover(self.injected.lock()).len()
+        self.injector.depth()
+    }
+
+    /// The admission layer's injector (quota accounting, shard geometry).
+    pub(crate) fn injector(&self) -> &Injector {
+        &self.injector
     }
 
     /// Whether installs must degrade to serial in-place execution: a
@@ -211,45 +218,40 @@ impl Registry {
         probe::emit(&event);
     }
 
-    /// Queues a job from outside the pool and wakes a worker.
-    // Poison recovery throughout: the queue's invariants hold between
-    // operations (no closure runs under the lock), so a panic elsewhere
-    // must not cascade into unrelated callers — see `crate::poison`.
+    /// Queues a job from outside the pool and wakes a worker. Capacity-
+    /// exempt legacy path (`install` has no rejection channel); `submit`
+    /// goes through [`Registry::submit_checked`] instead.
     pub(crate) fn inject(&self, job: JobRef) {
-        poison::recover(self.injected.lock()).push_back(job);
+        let (shard, depth) = self.injector.push_untenanted(job);
         self.probe(ProbeEvent::Inject);
+        self.probe(ProbeEvent::QueueDepth { shard, depth });
         self.wake_all();
     }
 
-    /// Requeues jobs reclaimed from a dead worker's deque. Unlike
-    /// [`Registry::inject`] this does not count as an external injection —
-    /// the jobs were already accounted when first spawned.
+    /// Requeues jobs reclaimed from a dead worker's deque, batched under a
+    /// single shard lock. Unlike [`Registry::inject`] this does not count
+    /// as an external injection — the jobs were already accounted when
+    /// first spawned — and it bypasses shard capacity: dropping reclaimed
+    /// work would strand it, the exact failure reclamation exists to
+    /// prevent.
     pub(crate) fn reinject(&self, jobs: Vec<JobRef>) {
-        {
-            let mut queue = poison::recover(self.injected.lock());
-            for job in jobs {
-                queue.push_back(job);
-            }
+        if jobs.is_empty() {
+            return;
         }
+        let n = jobs.len();
+        let (shard, depth) = self.injector.push_reclaimed(jobs);
+        if n > 1 {
+            self.probe(ProbeEvent::InjectorBatch { jobs: n });
+        }
+        self.probe(ProbeEvent::QueueDepth { shard, depth });
         self.wake_all();
-    }
-
-    fn pop_injected(&self) -> Option<JobRef> {
-        poison::recover(self.injected.lock()).pop_front()
     }
 
     /// Removes a not-yet-claimed injected job; `true` if it was still
     /// queued. Used by stall recovery: a removed job will never execute,
     /// so its stack frame can be safely abandoned by the injector.
     fn cancel_injected(&self, job: JobRef) -> bool {
-        let mut queue = poison::recover(self.injected.lock());
-        match queue.iter().position(|j| *j == job) {
-            Some(pos) => {
-                queue.remove(pos);
-                true
-            }
-            None => false,
-        }
+        self.injector.cancel(job)
     }
 
     /// Wakes sleeping workers if there might be any.
@@ -405,14 +407,245 @@ impl Registry {
         RuntimeStalled {
             waited,
             workers: self.num_workers(),
+            live_workers: self.live_workers(),
             workers_died: metrics.workers_died,
-            pending_injected: poison::recover(self.injected.lock()).len(),
+            pending_injected: self.injector.depth(),
             suspects: self
                 .supervision()
                 .map(|sup| sup.suspect_slots())
                 .unwrap_or_default(),
             metrics: Box::new(metrics),
         }
+    }
+
+    /// The admission-controlled analogue of
+    /// [`Registry::in_worker_checked`]: the engine behind
+    /// `ThreadPool::submit`. Reserves a quota slot for `tenant`, passes
+    /// the `Inject` fault point, enqueues under shard capacity, and waits
+    /// for completion — every refusal is a typed [`SubmitError`], never an
+    /// unbounded queue or a silent stall.
+    ///
+    /// `admit_deadline: None` is the non-blocking variant (one admission
+    /// attempt); `Some(d)` retries admission until `d` elapses and then
+    /// folds into the [`RuntimeStalled`] diagnosis.
+    pub(crate) fn submit_checked<OP, R>(
+        self: &Arc<Self>,
+        tenant: TenantId,
+        priority: Priority,
+        admit_deadline: Option<Duration>,
+        op: OP,
+    ) -> Result<R, SubmitError>
+    where
+        OP: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        unsafe {
+            let current = WorkerThread::current();
+            if !current.is_null() {
+                // Nested submit on a worker thread: runs inline (like
+                // `install`), but still holds an in-flight quota slot so a
+                // tenant's fair share covers its nested work too.
+                if let Err(over) = self.injector.reserve(tenant) {
+                    self.injector.note_rejected(tenant);
+                    self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                    return Err(over.into());
+                }
+                self.consult_inject_fault(tenant)?;
+                self.injector.note_admitted_inline(tenant);
+                self.probe(ProbeEvent::JobAdmitted { tenant: tenant.0 });
+                // Complete-on-drop: the quota slot is released even when
+                // `op` unwinds (the panic is the submitter's outcome; the
+                // admitted work still counts as completed).
+                let _complete = InlineComplete { registry: self, tenant };
+                return Ok(op(&*current));
+            }
+            if self.degraded_serial() {
+                // A dead pool sheds new submissions instead of queueing
+                // them behind workers that will never come back; work
+                // already admitted still drains via the serial fallback.
+                self.injector.note_rejected(tenant);
+                self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                return Err(SubmitError::Overloaded(Overloaded {
+                    tenant,
+                    queued: self.injector.depth(),
+                    capacity: 0,
+                    reason: RejectReason::Shed,
+                }));
+            }
+            let admit_start = Instant::now();
+            let mut fault_checked = false;
+            let latch = LockLatch::new();
+            // The op lives in a slot the injected job empties on execution
+            // — same protocol as `in_worker_checked`.
+            let mut op_slot = Some(op);
+            let op_ptr = SendPtr(&mut op_slot as *mut Option<OP>);
+            let job = StackJob::new(
+                INJECTED_OWNER,
+                move |_migrated| {
+                    let op_ptr = op_ptr;
+                    let wt = WorkerThread::current();
+                    debug_assert!(!wt.is_null(), "submitted job must run on a worker");
+                    // SAFETY: the slot outlives the job (the caller waits
+                    // on the latch), and exactly one of {job execution,
+                    // post-cancel fallback} takes from it.
+                    let op = (*op_ptr.0).take().expect("submitted op taken twice");
+                    op(&*wt)
+                },
+                LatchRef { latch: &latch },
+            );
+            let job_ref = job.as_job_ref();
+            // Admission: a quota reservation, the `Inject` fault point,
+            // then an enqueue under shard capacity. Non-blocking gets one
+            // attempt; the deadline variant retries both gates.
+            let (shard, depth) = loop {
+                let refusal = match self.injector.reserve(tenant) {
+                    Err(over) => over,
+                    Ok(()) => {
+                        if !fault_checked {
+                            fault_checked = true;
+                            // Panic unwinds with the reservation released;
+                            // Die sheds (reservation released, rejection
+                            // counted) and propagates here via `?`.
+                            self.consult_inject_fault(tenant)?;
+                        }
+                        match self.injector.enqueue(tenant, priority, job_ref) {
+                            Ok(placed) => break placed,
+                            Err(over) => {
+                                self.injector.release_reservation(tenant);
+                                over
+                            }
+                        }
+                    }
+                };
+                match admit_deadline {
+                    Some(deadline) if admit_start.elapsed() < deadline => {
+                        if self.degraded_serial() {
+                            self.injector.note_rejected(tenant);
+                            self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                            return Err(SubmitError::Overloaded(Overloaded {
+                                tenant,
+                                queued: self.injector.depth(),
+                                capacity: 0,
+                                reason: RejectReason::Shed,
+                            }));
+                        }
+                        thread::sleep(Duration::from_micros(500));
+                    }
+                    Some(_) => {
+                        // Deadline exhausted waiting for admission: the
+                        // pool is not keeping up — the full stall
+                        // diagnosis says whether it is overloaded or dead.
+                        self.injector.note_rejected(tenant);
+                        self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                        return Err(SubmitError::Stalled(
+                            self.stall_error(admit_start.elapsed()),
+                        ));
+                    }
+                    None => {
+                        self.injector.note_rejected(tenant);
+                        self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                        return Err(refusal.into());
+                    }
+                }
+            };
+            self.probe(ProbeEvent::JobAdmitted { tenant: tenant.0 });
+            self.probe(ProbeEvent::Inject);
+            self.probe(ProbeEvent::QueueDepth { shard, depth });
+            self.wake_all();
+            let step = match (self.stall_timeout, &self.supervision) {
+                (None, None) => None,
+                (Some(t), None) => Some(t),
+                (None, Some(sup)) => Some(sup.policy.wait_step()),
+                (Some(t), Some(sup)) => Some(t.min(sup.policy.wait_step())),
+            };
+            match step {
+                None => latch.wait(),
+                Some(step) => {
+                    let mut waited = Duration::ZERO;
+                    while !latch.wait_timeout(step) {
+                        waited += step;
+                        // Fully dead pool, admitted job still queued:
+                        // honor the admission by running it serially in
+                        // place (completed, not cancelled).
+                        if self.degraded_serial() && self.cancel_injected(job_ref) {
+                            let op = op_slot.take().expect("cancelled job retains its op");
+                            self.injector.note_completed(tenant);
+                            return Ok(self.run_in_place(op));
+                        }
+                        // Stall deadline passed with the job unclaimed:
+                        // cancel it (frame safe to abandon) and diagnose.
+                        if self.stall_timeout.is_some_and(|t| waited >= t)
+                            && self.cancel_injected(job_ref)
+                        {
+                            self.injector.note_cancelled(tenant);
+                            return Err(SubmitError::Stalled(self.stall_error(waited)));
+                        }
+                    }
+                }
+            }
+            // Count completion before `into_result`: a captured panic
+            // resumes there, and the admitted work did run to its end.
+            self.injector.note_completed(tenant);
+            Ok(job.into_result())
+        }
+    }
+
+    /// Consults the pool's fault handler at the [`FaultSite::Inject`]
+    /// seam on behalf of the submitting thread (which is typically outside
+    /// the pool, where [`fault::fault_point`] would no-op). The caller
+    /// must hold a fresh quota reservation for `tenant`:
+    ///
+    /// * `Panic` releases the reservation, then unwinds with
+    ///   [`crate::fault::InjectedFault`] — no quota leak, nothing queued;
+    /// * `Stall` sleeps at the admission boundary, perturbing arrival
+    ///   order;
+    /// * `Die` has no worker to kill here, so it sheds the submission —
+    ///   reservation released, rejection counted, [`Overloaded`] returned
+    ///   — simulating sudden pool death at the admission boundary.
+    fn consult_inject_fault(&self, tenant: TenantId) -> Result<(), SubmitError> {
+        let Some(handler) = self.fault_handler() else {
+            return Ok(());
+        };
+        let action = handler(FaultSite::Inject);
+        if let Some(kind) = action.kind() {
+            self.probe(ProbeEvent::Fault { site: FaultSite::Inject, kind });
+        }
+        match action {
+            FaultAction::Continue => Ok(()),
+            FaultAction::Stall(d) => {
+                thread::sleep(d);
+                Ok(())
+            }
+            FaultAction::Panic => {
+                self.injector.release_reservation(tenant);
+                std::panic::panic_any(crate::fault::InjectedFault {
+                    site: FaultSite::Inject,
+                });
+            }
+            FaultAction::Die => {
+                self.injector.note_shed_reserved(tenant);
+                self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                Err(SubmitError::Overloaded(Overloaded {
+                    tenant,
+                    queued: self.injector.depth(),
+                    capacity: 0,
+                    reason: RejectReason::Shed,
+                }))
+            }
+        }
+    }
+}
+
+/// Releases an inline submission's quota slot on scope exit, even when the
+/// submitted op unwinds (see `Registry::submit_checked`).
+struct InlineComplete<'a> {
+    registry: &'a Registry,
+    tenant: TenantId,
+}
+
+impl Drop for InlineComplete<'_> {
+    fn drop(&mut self) {
+        self.registry.injector.note_completed(self.tenant);
     }
 }
 
@@ -644,7 +877,30 @@ impl WorkerThread {
     pub(crate) fn find_work(&self) -> Option<JobRef> {
         self.take_local_job()
             .or_else(|| self.steal())
-            .or_else(|| self.registry.pop_injected())
+            .or_else(|| self.claim_injected())
+    }
+
+    /// Claims a handoff batch from the injection shards (round-robin from
+    /// a random start). The first job is returned for immediate execution;
+    /// the surplus rides to this worker's own deque, so the cross-thread
+    /// handoff costs one shard lock per `handoff_batch` jobs and the
+    /// surplus becomes ordinary stealable work.
+    fn claim_injected(&self) -> Option<JobRef> {
+        let registry = &*self.registry;
+        let shards = registry.injector.shards();
+        let start =
+            if shards > 1 { (self.next_random() as usize) % shards } else { 0 };
+        let batch = registry.injector.claim(start, registry.injector.handoff_batch);
+        let mut jobs = batch.into_iter();
+        let first = jobs.next()?;
+        let surplus = jobs.len();
+        for job in jobs {
+            self.push(job);
+        }
+        if surplus > 0 {
+            registry.probe(ProbeEvent::InjectorBatch { jobs: surplus + 1 });
+        }
+        Some(first)
     }
 
     /// Executes one job.
@@ -738,7 +994,7 @@ impl WorkerThread {
             let guard = poison::recover(sleep.mutex.lock());
             // Re-check for work under the lock: any producer that published
             // before we registered as a sleeper is visible now.
-            let have_work = !poison::recover(self.registry.injected.lock()).is_empty()
+            let have_work = self.registry.injector.depth() > 0
                 || self
                     .registry
                     .thread_infos

@@ -1,0 +1,186 @@
+//! Property tests for the scheduler service's quota accounting.
+//!
+//! The admission contract of a service pool is an accounting identity,
+//! whatever the worker count, shard layout, quota, tenant mix or arrival
+//! order:
+//!
+//! * a tenant never has more than `fair_share + burst` submissions in
+//!   flight — the quota is a hard bound observed by the jobs themselves,
+//!   not just by the bookkeeping;
+//! * every submission is counted exactly once: admitted or rejected, and
+//!   after the pool drains, admitted = completed + cancelled;
+//! * `in_flight` returns to zero and no job is stranded in the injector.
+//!
+//! `forall!` drives the sweep from the workspace seed, so a failure prints
+//! a `CILK_TEST_SEED` that replays the exact configuration that broke.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use cilk_runtime::{
+    AdmissionPolicy, Config, Priority, RejectReason, SubmitError, TenantId, ThreadPool,
+};
+use cilk_testkit::forall;
+
+forall! {
+    cases = 24,
+    fn quota_bounds_in_flight_admissions(
+        workers in 1usize..5,
+        shards in 1usize..4,
+        fair_share in 1usize..5,
+        burst in 0usize..3,
+        submitters in 1usize..5,
+        jobs in 4usize..16,
+    ) {
+        let quota = fair_share + burst;
+        let pool = ThreadPool::with_config(Config::new().num_workers(workers).admission(
+            AdmissionPolicy::new()
+                .shards(shards)
+                .shard_capacity(1024)
+                .fair_share(fair_share as u64)
+                .burst(burst as u64),
+        ))
+        .expect("pool builds");
+        let tenant = TenantId(7);
+        let running = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        let ok = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..submitters {
+                s.spawn(|| {
+                    for _ in 0..jobs {
+                        let outcome = pool.submit(tenant, || {
+                            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            // Linger long enough for submitters to overlap.
+                            std::thread::sleep(Duration::from_micros(80));
+                            running.fetch_sub(1, Ordering::SeqCst);
+                            1u64
+                        });
+                        match outcome {
+                            Ok(v) => {
+                                assert_eq!(v, 1);
+                                ok.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(SubmitError::Overloaded(over)) => {
+                                assert_eq!(
+                                    over.reason,
+                                    RejectReason::QuotaExceeded,
+                                    "capacity 1024 cannot fill here: {over}"
+                                );
+                                assert_eq!(over.capacity, quota, "{over}");
+                                rejected.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(other) => panic!("unexpected submit error: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+
+        let (ok, rejected) = (ok.load(Ordering::SeqCst), rejected.load(Ordering::SeqCst));
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(
+            peak <= quota as u64,
+            "quota violated: {peak} admitted jobs ran concurrently, quota {quota} \
+             ({workers}w, {shards} shards, {submitters} submitters)"
+        );
+        assert_eq!(ok + rejected, (submitters * jobs) as u64, "every submission counted once");
+        let stats = *pool.admission_report().tenant(tenant).expect("tenant recorded");
+        assert_eq!(stats.admitted, ok, "{stats:?}");
+        assert_eq!(stats.rejected, rejected, "{stats:?}");
+        assert_eq!(stats.admitted, stats.completed + stats.cancelled, "books: {stats:?}");
+        assert_eq!(stats.in_flight, 0, "quota slot leaked: {stats:?}");
+        assert_eq!(pool.queued_jobs(), 0, "stranded job");
+    }
+
+    cases = 16,
+    fn books_balance_across_tenants_and_priorities(
+        workers in 1usize..4,
+        shards in 1usize..5,
+        shard_capacity in 1usize..6,
+        fair_share in 1usize..4,
+        tenants in 1usize..5,
+        jobs in 6usize..18,
+        seed in 0usize..1 << 16,
+    ) {
+        let pool = ThreadPool::with_config(Config::new().num_workers(workers).admission(
+            AdmissionPolicy::new()
+                .shards(shards)
+                .shard_capacity(shard_capacity)
+                .fair_share(fair_share as u64)
+                .burst(1),
+        ))
+        .expect("pool builds");
+        let counts: Vec<(AtomicU64, AtomicU64)> =
+            (0..tenants).map(|_| (AtomicU64::new(0), AtomicU64::new(0))).collect();
+
+        std::thread::scope(|s| {
+            for (t, (ok, rejected)) in counts.iter().enumerate() {
+                let pool = &pool;
+                s.spawn(move || {
+                    // Seeded arrival order: each tenant draws its own
+                    // priority/workload sequence from the case seed.
+                    let mut rng =
+                        cilk_testkit::rng::Rng::seed_from_u64(seed as u64 ^ (t as u64) << 17);
+                    let tenant = TenantId(t as u32);
+                    for _ in 0..jobs {
+                        let priority = match rng.next_u64() % 3 {
+                            0 => Priority::High,
+                            1 => Priority::Normal,
+                            _ => Priority::Low,
+                        };
+                        let spin = rng.next_u64() % 64;
+                        let outcome = pool.tenant(tenant).priority(priority).submit(move || {
+                            std::thread::sleep(Duration::from_micros(spin));
+                            spin
+                        });
+                        match outcome {
+                            Ok(v) => {
+                                assert_eq!(v, spin);
+                                ok.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(SubmitError::Overloaded(over)) => {
+                                assert!(
+                                    matches!(
+                                        over.reason,
+                                        RejectReason::QuotaExceeded | RejectReason::QueueFull
+                                    ),
+                                    "no shedding on a healthy pool: {over}"
+                                );
+                                rejected.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(other) => panic!("unexpected submit error: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+
+        let report = pool.admission_report();
+        assert_eq!(report.queued, 0, "service drained: {report:?}");
+        let mut total_ok = 0u64;
+        let mut total_rejected = 0u64;
+        for (t, (ok, rejected)) in counts.iter().enumerate() {
+            let (ok, rejected) = (ok.load(Ordering::SeqCst), rejected.load(Ordering::SeqCst));
+            assert_eq!(ok + rejected, jobs as u64, "tenant {t}: every submission counted");
+            let stats = *report.tenant(TenantId(t as u32)).expect("tenant recorded");
+            assert_eq!(stats.admitted, ok, "tenant {t}: {stats:?}");
+            assert_eq!(stats.rejected, rejected, "tenant {t}: {stats:?}");
+            assert_eq!(
+                stats.admitted,
+                stats.completed + stats.cancelled,
+                "tenant {t}: books must balance: {stats:?}"
+            );
+            assert_eq!(stats.in_flight, 0, "tenant {t}: quota slot leaked: {stats:?}");
+            total_ok += ok;
+            total_rejected += rejected;
+        }
+        let m = pool.metrics();
+        assert_eq!(m.jobs_admitted, total_ok, "{m:?}");
+        assert_eq!(m.jobs_rejected, total_rejected, "{m:?}");
+        assert_eq!(pool.queued_jobs(), 0, "stranded job");
+    }
+}

@@ -455,6 +455,10 @@ impl_tuple_gen! {
     (G0 T0 0, G1 T1 1)
     (G0 T0 0, G1 T1 1, G2 T2 2)
     (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3)
+    (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3, G4 T4 4)
+    (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3, G4 T4 4, G5 T5 5)
+    (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3, G4 T4 4, G5 T5 5, G6 T6 6)
+    (G0 T0 0, G1 T1 1, G2 T2 2, G3 T3 3, G4 T4 4, G5 T5 5, G6 T6 6, G7 T7 7)
 }
 
 // ---------------------------------------------------------------------------

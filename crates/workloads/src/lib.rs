@@ -14,7 +14,10 @@
 //!   parallelism "on the order of thousands");
 //! * [`nqueens`], [`strassen`], [`heat`] — the classic Cilk benchmark trio
 //!   (irregular search, rich divide-and-conquer, regular stencil), the
-//!   "compute-intensive applications" of §6.
+//!   "compute-intensive applications" of §6;
+//! * [`traffic`] — a closed-loop multi-tenant load generator driving the
+//!   scheduler service's admission control (not from the paper: it feeds
+//!   the service-latency benchmarks and the overload soak).
 //!
 //! Each module carries both the parallel code and its serial elision, so
 //! the benches can measure the paper's <2% single-worker overhead claim.
@@ -31,6 +34,7 @@ pub mod mergesort;
 pub mod nqueens;
 pub mod qsort;
 pub mod strassen;
+pub mod traffic;
 pub mod tree;
 
 pub use bfs::{bfs, bfs_serial, Graph};
@@ -42,4 +46,5 @@ pub use mergesort::{merge_sort, merge_sort_serial};
 pub use nqueens::{nqueens, nqueens_serial};
 pub use qsort::{qsort, qsort_serial, qsort_traced};
 pub use strassen::strassen;
+pub use traffic::{run_traffic, StreamReport, StreamSpec, TrafficReport};
 pub use tree::{build_tree, walk_mutex, walk_reducer, walk_serial, Node};

@@ -1,0 +1,227 @@
+//! Closed-loop multi-tenant traffic generator for the scheduler service.
+//!
+//! Each [`StreamSpec`] describes one tenant's client population: `clients`
+//! threads that each submit a job, wait for its result (the loop is
+//! *closed* — a client never has two jobs in flight), optionally think,
+//! and repeat. Offered load is therefore `clients / (service + think)`,
+//! and overload is provoked by raising `clients` past what the pool's
+//! workers and the tenant's quota can carry.
+//!
+//! Every job is seeded `fib_cutoff` work whose digest is checked against
+//! the serial elision, so a scheduler bug that completes the wrong job (or
+//! completes it twice) surfaces as a wrong result, not a statistic.
+//! Latency is measured around the synchronous submission — admission wait,
+//! queueing and execution — which is the ISSUE's "admission-to-completion"
+//! definition.
+
+use std::time::{Duration, Instant};
+
+use cilk::runtime::{Priority, SubmitError, TenantId, ThreadPool};
+use cilk_testkit::rng::Rng;
+
+use crate::{fib_cutoff, fib_serial};
+
+/// One tenant's closed-loop client population.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// The tenant all of this stream's submissions bill against.
+    pub tenant: TenantId,
+    /// Priority band for every submission in the stream.
+    pub priority: Priority,
+    /// Number of closed-loop client threads.
+    pub clients: usize,
+    /// Submissions each client attempts before retiring.
+    pub jobs_per_client: usize,
+    /// Base `fib` argument of the per-job work.
+    pub work: u64,
+    /// Seeded extra work: each job computes `fib(work + rng % (spread+1))`.
+    pub work_spread: u64,
+    /// Client think time between a completion (or rejection) and the next
+    /// submission. [`Duration::ZERO`] yields maximum offered load.
+    pub think: Duration,
+    /// Stream seed; client `i` draws its work sizes from `seed ^ i`.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// A stream with sensible defaults: one client, 16 jobs of `fib(12)`,
+    /// normal priority, no think time.
+    pub fn new(tenant: TenantId) -> StreamSpec {
+        StreamSpec {
+            tenant,
+            priority: Priority::Normal,
+            clients: 1,
+            jobs_per_client: 16,
+            work: 12,
+            work_spread: 4,
+            think: Duration::ZERO,
+            seed: 0xDAC_2009,
+        }
+    }
+}
+
+/// Per-stream outcome counts and the admitted jobs' latencies.
+#[derive(Debug)]
+pub struct StreamReport {
+    /// The stream's tenant.
+    pub tenant: TenantId,
+    /// Submissions admitted (and completed — the loop is closed).
+    pub admitted: u64,
+    /// Submissions refused with a typed [`Overloaded`] outcome.
+    ///
+    /// [`Overloaded`]: cilk::runtime::Overloaded
+    pub rejected: u64,
+    /// Submissions that folded into [`RuntimeStalled`] (deadline
+    /// exhausted waiting for admission).
+    ///
+    /// [`RuntimeStalled`]: cilk::runtime::RuntimeStalled
+    pub stalled: u64,
+    /// Admission-to-completion latency of every admitted job.
+    pub latencies: Vec<Duration>,
+}
+
+/// The whole run: one report per stream, in spec order.
+#[derive(Debug)]
+pub struct TrafficReport {
+    /// Per-stream outcomes, parallel to the spec slice.
+    pub streams: Vec<StreamReport>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl TrafficReport {
+    /// Total admitted submissions across all streams.
+    pub fn total_admitted(&self) -> u64 {
+        self.streams.iter().map(|s| s.admitted).sum()
+    }
+
+    /// Total rejected submissions across all streams.
+    pub fn total_rejected(&self) -> u64 {
+        self.streams.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Total attempts across all streams (admitted + rejected + stalled).
+    pub fn total_attempts(&self) -> u64 {
+        self.streams.iter().map(|s| s.admitted + s.rejected + s.stalled).sum()
+    }
+}
+
+/// Runs every stream's clients against `pool` until each has attempted its
+/// quota of jobs, checking every admitted result against the serial
+/// elision. Panics on a wrong result or a non-overload error.
+pub fn run_traffic(pool: &ThreadPool, specs: &[StreamSpec]) -> TrafficReport {
+    let start = Instant::now();
+    let streams = std::thread::scope(|scope| {
+        let handles: Vec<Vec<_>> = specs
+            .iter()
+            .map(|spec| {
+                (0..spec.clients)
+                    .map(|client| {
+                        let spec = spec.clone();
+                        scope.spawn(move || run_client(pool, &spec, client as u64))
+                    })
+                    .collect()
+            })
+            .collect();
+        handles
+            .into_iter()
+            .zip(specs)
+            .map(|(clients, spec)| {
+                let mut report = StreamReport {
+                    tenant: spec.tenant,
+                    admitted: 0,
+                    rejected: 0,
+                    stalled: 0,
+                    latencies: Vec::new(),
+                };
+                for handle in clients {
+                    let (admitted, rejected, stalled, mut latencies) =
+                        handle.join().expect("traffic client panicked");
+                    report.admitted += admitted;
+                    report.rejected += rejected;
+                    report.stalled += stalled;
+                    report.latencies.append(&mut latencies);
+                }
+                report
+            })
+            .collect()
+    });
+    TrafficReport { streams, elapsed: start.elapsed() }
+}
+
+/// One closed-loop client: submit, wait, check, think, repeat.
+fn run_client(
+    pool: &ThreadPool,
+    spec: &StreamSpec,
+    client: u64,
+) -> (u64, u64, u64, Vec<Duration>) {
+    let mut rng = Rng::seed_from_u64(spec.seed ^ (client << 24) ^ spec.tenant.0 as u64);
+    let (mut admitted, mut rejected, mut stalled) = (0u64, 0u64, 0u64);
+    let mut latencies = Vec::with_capacity(spec.jobs_per_client);
+    for job in 0..spec.jobs_per_client {
+        let n = spec.work + rng.next_u64() % (spec.work_spread + 1);
+        let submitted = Instant::now();
+        let outcome =
+            pool.tenant(spec.tenant).priority(spec.priority).submit(move || fib_cutoff(n, 8));
+        match outcome {
+            Ok(v) => {
+                assert_eq!(
+                    v,
+                    fib_serial(n),
+                    "tenant {} client {client} job {job}: wrong fib({n})",
+                    spec.tenant
+                );
+                latencies.push(submitted.elapsed());
+                admitted += 1;
+            }
+            Err(SubmitError::Overloaded(_)) => rejected += 1,
+            Err(SubmitError::Stalled(_)) => stalled += 1,
+        }
+        if spec.think > Duration::ZERO {
+            std::thread::sleep(spec.think);
+        }
+    }
+    (admitted, rejected, stalled, latencies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cilk::runtime::AdmissionPolicy;
+    use cilk::Config;
+
+    #[test]
+    fn closed_loop_traffic_accounts_every_attempt() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(2).admission(
+            AdmissionPolicy::new().shards(2).shard_capacity(64).fair_share(2).burst(1),
+        ))
+        .expect("pool builds");
+        let specs = [
+            StreamSpec { clients: 2, jobs_per_client: 8, ..StreamSpec::new(TenantId(1)) },
+            StreamSpec {
+                clients: 5,
+                jobs_per_client: 8,
+                priority: Priority::Low,
+                ..StreamSpec::new(TenantId(2))
+            },
+        ];
+        let report = run_traffic(&pool, &specs);
+        assert_eq!(report.total_attempts(), 7 * 8, "every attempt counted once");
+        for (stream, spec) in report.streams.iter().zip(&specs) {
+            assert_eq!(stream.tenant, spec.tenant);
+            assert_eq!(stream.latencies.len(), stream.admitted as usize);
+            let stats =
+                *pool.admission_report().tenant(spec.tenant).expect("tenant recorded");
+            assert_eq!(stats.admitted, stream.admitted, "{stats:?}");
+            assert_eq!(stats.rejected, stream.rejected + stream.stalled, "{stats:?}");
+            assert_eq!(stats.in_flight, 0, "{stats:?}");
+            assert_eq!(stats.admitted, stats.completed + stats.cancelled, "{stats:?}");
+        }
+        // Two clients against quota 3 can never be refused; five clients
+        // against the same quota are the overload case this generator
+        // exists to provoke — but whether rejections actually occur is
+        // timing-dependent, so only the accounting is asserted.
+        assert_eq!(report.streams[0].rejected, 0, "under-quota stream sails through");
+        assert_eq!(pool.queued_jobs(), 0, "traffic drained");
+    }
+}
