@@ -136,6 +136,18 @@ mkdir -p artifacts
 cp target/sched/BENCH_sched.json artifacts/BENCH_sched.json
 echo "archived artifacts/BENCH_sched.json"
 
+echo "== spawn-cost gate: BENCH_spawn.json =="
+# Fence-elided vs classic deque protocol: OwnerStats counter-proofs (the
+# elided join cycle must never fence), per-join runtime cost soft-gated
+# against the committed baseline, fib speedup sweep at 1/2/4/8 workers.
+# Hard assertions live in the binary; wall-clock drift only warns.
+SPAWN_BASELINE=scripts/spawn_baseline.txt \
+    cargo run -q --release --offline -p cilk-bench --bin spawn_cost
+cargo run -q --release --offline -p cilk-bench --bin table_overhead
+mkdir -p artifacts
+cp target/spawn/BENCH_spawn.json artifacts/BENCH_spawn.json
+echo "archived artifacts/BENCH_spawn.json"
+
 echo "== bench harness compiles =="
 cargo build --offline --benches --workspace
 

@@ -74,6 +74,8 @@ fn main() {
         "at 1 worker every continuation is popped back inline"
     );
     assert_eq!(m.steals, 0, "a single worker cannot steal");
+    assert_eq!(m.steals_affinity_hits, 0, "no steals, no affinity hits");
+    assert_eq!(m.steals_fallback, 0, "a single worker never scans for victims");
 
     // The run itself must not have registered anything.
     assert_eq!(probe::consumer_count(), 0);
@@ -118,6 +120,16 @@ fn main() {
     assert!(
         report.heartbeats.iter().sum::<u64>() > 0,
         "workers beat at scheduling-loop boundaries: {report:?}"
+    );
+    // Locality-aware victim selection emits StealLocalAffinity and
+    // StealRandomFallback through the same global gate, which is still
+    // empty — so every steal round above paid the one-relaxed-load
+    // disabled path — while the per-pool counters keep their invariant:
+    // affinity hits are a subset of successful steals.
+    let sm = supervised.metrics();
+    assert!(
+        sm.steals_affinity_hits <= sm.steals,
+        "affinity hits are a subset of steals: {sm:?}"
     );
     drop(supervised);
     assert_eq!(probe::consumer_count(), 0);

@@ -1,0 +1,290 @@
+//! Spawn-cost gate for the fence-elided deque protocol.
+//!
+//! Three layers of evidence, one JSON artifact
+//! (`target/spawn/BENCH_spawn.json`, archived under `artifacts/` by
+//! `ci.sh`):
+//!
+//! 1. **Raw deque cycles** under `Protocol::Classic` vs
+//!    `Protocol::fence_elided()`, with [`cilk_deque::OwnerStats`]
+//!    *proving* which path ran: the join-shaped push/pop cycle must be
+//!    100% private (zero `SeqCst` fences) under the elided protocol and
+//!    100% fenced under classic. These are hard assertions — the
+//!    "near-zero-cost spawn" claim is counter-checked, not eyeballed.
+//! 2. **Runtime `join` cycle cost** on one worker: the default (elided)
+//!    pool vs [`Config::classic_deque`].
+//! 3. **fib throughput** at 1/2/4/8 workers under both protocols — the
+//!    no-regression gate for the protocol switch.
+//!
+//! Soft gate: when `SPAWN_BASELINE=<path>` names a baseline file (ci.sh
+//! points it at the committed `scripts/spawn_baseline.txt`), the current
+//! per-join cost is compared against it and a `WARN` is printed past the
+//! threshold. The exit code stays 0 on wall-clock drift — shared CI boxes
+//! make timing advisory; only the protocol proofs above are hard.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use cilk_deque::{Protocol, Worker};
+use cilk_runtime::{Config, ThreadPool};
+use cilk_workloads::fib::{fib_cutoff, fib_serial};
+
+/// Joins per measured install (per-join cost = time / JOINS).
+const JOINS: u32 = 4096;
+/// Deque ops per measured run.
+const DEQUE_OPS: u64 = 65_536;
+/// fib argument for the speedup sweep (spawn-everywhere: cutoff 0).
+const FIB_N: u64 = 26;
+/// Soft-gate threshold: warn when per-join cost exceeds baseline by this
+/// factor.
+const GATE_FACTOR: f64 = 1.5;
+
+struct DequeRow {
+    protocol: &'static str,
+    pattern: &'static str,
+    ns_per_op: f64,
+    fenced_pop_fraction: f64,
+    publications_per_push: f64,
+}
+
+/// One deque run: `cycle(worker)` performs `DEQUE_OPS` operations; stats
+/// are read after a warm-up reset so fractions describe the measured run.
+fn deque_run(
+    protocol: Protocol,
+    name: &'static str,
+    pattern: &'static str,
+    cycle: impl Fn(&Worker<u64>),
+) -> DequeRow {
+    let (worker, _stealer) = Worker::<u64>::new_with(protocol);
+    cycle(&worker); // warm-up (buffer growth, branch predictors)
+    let base = worker.owner_stats();
+    let elapsed = cilk_bench::time_min(5, || cycle(&worker));
+    let runs = 5u64;
+    let stats = worker.owner_stats();
+    let pushes = stats.pushes - base.pushes;
+    let pops_private = stats.pops_private - base.pops_private;
+    let pops_fenced = stats.pops_fenced - base.pops_fenced;
+    let publications = stats.publications - base.publications;
+    let pops = pops_private + pops_fenced;
+    DequeRow {
+        protocol: name,
+        pattern,
+        // time_min returns the fastest of 5 runs; each run does DEQUE_OPS
+        // push/pop pairs = 2*DEQUE_OPS ops.
+        ns_per_op: elapsed.as_nanos() as f64 / (2 * DEQUE_OPS) as f64,
+        fenced_pop_fraction: pops_fenced as f64 / pops.max(1) as f64,
+        publications_per_push: (publications / runs.max(1)) as f64
+            / (pushes / runs.max(1)).max(1) as f64,
+    }
+}
+
+/// The join-shaped cycle: push one continuation, pop it straight back.
+/// This is what a `join` whose continuation is never stolen does.
+fn join_cycle(worker: &Worker<u64>) {
+    for i in 0..DEQUE_OPS {
+        worker.push(i);
+        std::hint::black_box(worker.pop());
+    }
+}
+
+/// The depth-8 cycle: spawn eight deep, unwind eight — the shape of a
+/// recursive workload's deque traffic.
+fn depth8_cycle(worker: &Worker<u64>) {
+    let rounds = DEQUE_OPS / 8;
+    for r in 0..rounds {
+        for i in 0..8 {
+            worker.push(r + i);
+        }
+        for _ in 0..8 {
+            std::hint::black_box(worker.pop());
+        }
+    }
+}
+
+struct JoinRow {
+    protocol: &'static str,
+    ns_per_join: f64,
+}
+
+fn join_cost(pool: &ThreadPool, protocol: &'static str) -> JoinRow {
+    let elapsed = cilk_bench::time_min(5, || {
+        pool.install(|| {
+            for _ in 0..JOINS {
+                cilk_runtime::join(|| std::hint::black_box(1), || std::hint::black_box(2));
+            }
+        })
+    });
+    JoinRow { protocol, ns_per_join: elapsed.as_nanos() as f64 / JOINS as f64 }
+}
+
+struct FibRow {
+    protocol: &'static str,
+    workers: usize,
+    millis: f64,
+    speedup: f64,
+}
+
+fn fib_sweep(classic: bool, protocol: &'static str, expected: u64) -> Vec<FibRow> {
+    let mut rows = Vec::new();
+    let mut t1 = Duration::ZERO;
+    for workers in [1usize, 2, 4, 8] {
+        let mut config = Config::new().num_workers(workers);
+        if classic {
+            config = config.classic_deque();
+        }
+        let pool = ThreadPool::with_config(config).expect("pool");
+        let elapsed = cilk_bench::time_min(3, || {
+            let v = pool.install(|| fib_cutoff(FIB_N, 0));
+            assert_eq!(v, expected, "fib diverged under {protocol} at {workers} workers");
+            v
+        });
+        if workers == 1 {
+            t1 = elapsed;
+        }
+        rows.push(FibRow {
+            protocol,
+            workers,
+            millis: elapsed.as_secs_f64() * 1e3,
+            speedup: t1.as_secs_f64() / elapsed.as_secs_f64(),
+        });
+    }
+    rows
+}
+
+/// Reads `key=value` lines from the committed baseline, returning `key`'s
+/// value if present. Missing file or key is not an error — the gate is
+/// soft and self-seeding (the first run writes numbers to commit).
+fn baseline_value(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines().find_map(|line| {
+        let (k, v) = line.split_once('=')?;
+        (k.trim() == key).then(|| v.trim().parse().ok())?
+    })
+}
+
+fn main() {
+    cilk_bench::section("spawn cost: raw deque protocol (counter-proved)");
+    let deque_rows = [
+        deque_run(Protocol::Classic, "classic", "join_cycle", join_cycle),
+        deque_run(Protocol::fence_elided(), "fence_elided", "join_cycle", join_cycle),
+        deque_run(Protocol::Classic, "classic", "depth8", depth8_cycle),
+        deque_run(Protocol::fence_elided(), "fence_elided", "depth8", depth8_cycle),
+    ];
+    println!(
+        "{:<14} {:<12} {:>10} {:>12} {:>10}",
+        "protocol", "pattern", "ns/op", "fenced pops", "pubs/push"
+    );
+    for row in &deque_rows {
+        println!(
+            "{:<14} {:<12} {:>10.1} {:>11.1}% {:>10.3}",
+            row.protocol,
+            row.pattern,
+            row.ns_per_op,
+            row.fenced_pop_fraction * 100.0,
+            row.publications_per_push,
+        );
+    }
+    // The protocol proofs: these are what "no SeqCst fence on the common
+    // path" means, independent of wall-clock noise.
+    assert_eq!(
+        deque_rows[0].fenced_pop_fraction, 1.0,
+        "classic pops all run the fenced protocol"
+    );
+    assert_eq!(
+        deque_rows[1].fenced_pop_fraction, 0.0,
+        "elided join cycle must never fence: every pop is private"
+    );
+    assert_eq!(
+        deque_rows[1].publications_per_push, 0.0,
+        "elided join cycle publishes nothing: the window never fills"
+    );
+    assert!(
+        deque_rows[3].fenced_pop_fraction < 0.25,
+        "elided depth-8 cycle fences at most the boundary pop of each round: {}",
+        deque_rows[3].fenced_pop_fraction
+    );
+
+    cilk_bench::section("spawn cost: runtime join cycle, 1 worker");
+    let classic_pool =
+        ThreadPool::with_config(Config::new().num_workers(1).classic_deque()).expect("pool");
+    let elided_pool = ThreadPool::with_config(Config::new().num_workers(1)).expect("pool");
+    let join_rows =
+        [join_cost(&classic_pool, "classic"), join_cost(&elided_pool, "fence_elided")];
+    for row in &join_rows {
+        println!("{:<14} {:>8.1} ns/join", row.protocol, row.ns_per_join);
+    }
+
+    cilk_bench::section("spawn cost: fib speedup sweep (spawn-everywhere)");
+    let expected = fib_serial(FIB_N);
+    let mut fib_rows = fib_sweep(true, "classic", expected);
+    fib_rows.extend(fib_sweep(false, "fence_elided", expected));
+    println!("{:<14} {:>8} {:>10} {:>9}", "protocol", "workers", "ms", "speedup");
+    for row in &fib_rows {
+        println!(
+            "{:<14} {:>8} {:>10.1} {:>8.2}x",
+            row.protocol, row.workers, row.millis, row.speedup
+        );
+    }
+
+    // Soft gate against the committed baseline, if one is supplied.
+    if let Ok(path) = std::env::var("SPAWN_BASELINE") {
+        for row in &join_rows {
+            let key = format!("{}_join_ns", row.protocol);
+            match baseline_value(&path, &key) {
+                Some(base) if row.ns_per_join > base * GATE_FACTOR => println!(
+                    "WARN: {} per-join cost {:.1} ns exceeds baseline {:.1} ns × {GATE_FACTOR}",
+                    row.protocol, row.ns_per_join, base
+                ),
+                Some(base) => println!(
+                    "gate ok: {} {:.1} ns/join vs baseline {:.1} ns",
+                    row.protocol, row.ns_per_join, base
+                ),
+                None => println!("gate skipped: no `{key}` in {path}"),
+            }
+        }
+    }
+
+    // The JSON artifact.
+    let mut json = String::from("{\n  \"bench\": \"spawn_cost\",\n  \"deque\": [\n");
+    for (i, row) in deque_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"pattern\": \"{}\", \"ns_per_op\": {:.2}, \
+             \"fenced_pop_fraction\": {:.4}, \"publications_per_push\": {:.4}}}{}",
+            row.protocol,
+            row.pattern,
+            row.ns_per_op,
+            row.fenced_pop_fraction,
+            row.publications_per_push,
+            if i + 1 < deque_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"join\": [\n");
+    for (i, row) in join_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"workers\": 1, \"ns_per_join\": {:.1}}}{}",
+            row.protocol,
+            row.ns_per_join,
+            if i + 1 < join_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"fib\": [\n");
+    for (i, row) in fib_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"workers\": {}, \"n\": {FIB_N}, \
+             \"ms\": {:.2}, \"speedup\": {:.3}}}{}",
+            row.protocol,
+            row.workers,
+            row.millis,
+            row.speedup,
+            if i + 1 < fib_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out_dir = std::path::Path::new("target/spawn");
+    std::fs::create_dir_all(out_dir).expect("create target/spawn");
+    let out = out_dir.join("BENCH_spawn.json");
+    std::fs::write(&out, &json).expect("write BENCH_spawn.json");
+    println!("\nwrote {}", out.display());
+}

@@ -130,6 +130,103 @@ fn sb_relaxed_fails() {
     assert!(failure.message.contains("both threads read 0"), "{}", failure.message);
 }
 
+// ---------------------------------------------------------------------------
+// Litmus tests for the fence-elided deque orderings (ISSUE 9): the batched
+// publication idiom and the asymmetry of the one fence the protocol keeps.
+// ---------------------------------------------------------------------------
+
+fn batched_publication(publish_ord: Ordering) -> impl Fn() {
+    move || {
+        // The elided push idiom: several plain slot writes, then ONE
+        // publication store of `bottom` covering the whole batch.
+        let slot_a = Arc::new(AtomicUsize::new(0));
+        let slot_b = Arc::new(AtomicUsize::new(0));
+        let bottom = Arc::new(AtomicUsize::new(0));
+        let (sa, sb, bo) = (Arc::clone(&slot_a), Arc::clone(&slot_b), Arc::clone(&bottom));
+        let owner = thread::spawn(move || {
+            sa.store(11, Ordering::Relaxed); // private push 1
+            sb.store(22, Ordering::Relaxed); // private push 2
+            bo.store(2, publish_ord); // one batch publication
+        });
+        let (sa, sb, bo) = (Arc::clone(&slot_a), Arc::clone(&slot_b), Arc::clone(&bottom));
+        let thief = thread::spawn(move || {
+            if bo.load(Ordering::Acquire) == 2 {
+                assert_eq!(sa.load(Ordering::Relaxed), 11, "batch: stale slot behind bottom");
+                assert_eq!(sb.load(Ordering::Relaxed), 22, "batch: stale slot behind bottom");
+            }
+        });
+        owner.join();
+        thief.join();
+    }
+}
+
+/// One release store publishes an entire batch of prior plain writes: a
+/// thief acquiring `bottom` sees every slot in the batch. This is why the
+/// elided push needs no per-element synchronization.
+#[test]
+fn batched_publication_release_passes() {
+    model(
+        "batched_publication_release_passes",
+        batched_publication(Ordering::Release),
+    );
+}
+
+/// Demoting the batch publication to Relaxed breaks it — the mutation
+/// suite plants exactly this bug into the shadow deque
+/// (`ElidedPublishRelaxed`) and the checker finds the stale slot here at
+/// litmus granularity too.
+#[test]
+fn batched_publication_relaxed_fails() {
+    let report = check(
+        "batched_publication_relaxed_fails",
+        &Config::default(),
+        Mode::Exhaustive,
+        batched_publication(Ordering::Relaxed),
+    );
+    let failure = report.failure.expect("checker must find the relaxed-publication violation");
+    assert!(
+        failure.message.contains("stale slot behind bottom"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// Store buffering with a fence on only ONE side still exhibits the weak
+/// outcome: the thief's steal-side fence alone cannot save a fenceless
+/// boundary pop. This is why [`Protocol::FenceElided`] keeps the owner's
+/// SeqCst fence in the boundary window even though thieves always fence —
+/// eliding it is only sound while the pop stays inside the private window,
+/// where no thief races at all.
+#[test]
+fn sb_single_fence_fails() {
+    let report = check(
+        "sb_single_fence_fails",
+        &Config::default(),
+        Mode::Exhaustive,
+        || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let y = Arc::new(AtomicUsize::new(0));
+            // Owner side: fence elided (the planted bug).
+            let (a, b) = (Arc::clone(&x), Arc::clone(&y));
+            let owner = thread::spawn(move || {
+                a.store(1, Ordering::Relaxed);
+                b.load(Ordering::Relaxed)
+            });
+            // Thief side: fences, as `steal` always does.
+            let (a, b) = (Arc::clone(&y), Arc::clone(&x));
+            let thief = thread::spawn(move || {
+                a.store(1, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                b.load(Ordering::Relaxed)
+            });
+            let (r1, r2) = (owner.join(), thief.join());
+            assert!(!(r1 == 0 && r2 == 0), "SB: both threads read 0");
+        },
+    );
+    let failure = report.failure.expect("one-sided fencing must not forbid the weak outcome");
+    assert!(failure.message.contains("both threads read 0"), "{}", failure.message);
+}
+
 /// Spawn/join passes results and establishes happens-before: the parent
 /// reads the child's relaxed store without any extra synchronization.
 #[test]

@@ -17,10 +17,17 @@
 #![cfg(cilk_check)]
 
 use cilk_check::{model_with, thread, Config};
-use cilk_deque::{Deque, Steal, Stealer, Worker};
+use cilk_deque::{Deque, Protocol, Steal, Stealer, Worker};
 
 fn cfg() -> Config {
     Config { preemption_bound: Some(2), ..Config::default() }
+}
+
+/// The fence-elided owner protocol with the smallest window, so the models
+/// hit every path (empty-public publication, batch publication, private
+/// pop, boundary pop) within a handful of operations.
+fn elided() -> Protocol {
+    Protocol::FenceElided { retain: 1, publish_batch: 1 }
 }
 
 /// Spawn a thief making `attempts` steal attempts, collecting successes.
@@ -319,5 +326,195 @@ fn single_thread_lifo() {
         assert_eq!(w.pop(), Some(2));
         assert_eq!(w.pop(), Some(1));
         assert_eq!(w.pop(), None);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Fence-elided protocol suites (ISSUE 9 acceptance: "cilk-check exhaustively
+// passes the fence-elided deque protocol — two thieves + owner, growth,
+// seal/unseal"). Same invariants as above, owner constructed with
+// `into_worker_with(elided())` so the private-window paths, batch
+// publication, and the boundary fence + CAS all run under exploration.
+// ---------------------------------------------------------------------------
+
+/// Single-threaded elided protocol with exact stats accounting: with
+/// `retain: 1, publish_batch: 1` and two pushes, exactly one publication
+/// happens (the empty-public rule exposing the oldest element), the first
+/// pop is private (fence-free), and the remaining pops run the boundary
+/// protocol.
+#[test]
+fn single_thread_lifo_elided_stats() {
+    model_with("single_thread_lifo_elided_stats", &cfg(), || {
+        let (w, _s): (Worker<usize>, _) = Worker::new_with(elided());
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.private_len(), 1, "newest element stays private");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+        let stats = w.owner_stats();
+        assert_eq!(stats.pushes, 2);
+        assert_eq!(stats.publications, 1, "one batch publication, not one per push");
+        assert_eq!(stats.pops_private, 1, "the newest pop avoids the fence");
+        assert_eq!(stats.pops_fenced, 2, "boundary pop + empty pop fence");
+    });
+}
+
+/// The acceptance model on the elided protocol: two thieves race the
+/// owner's private pop, the boundary window, and a mid-race seal.
+#[test]
+fn two_thieves_steal_and_seal_elided() {
+    let report = model_with("two_thieves_steal_and_seal_elided", &cfg(), || {
+        let deque = Deque::with_capacity(4);
+        let (s1, s2) = (deque.stealer(), deque.stealer());
+        let w = deque.into_worker_with(elided());
+        let t1 = spawn_thief(s1, 1);
+        let t2 = spawn_thief(s2, 1);
+        for v in 1..=3 {
+            w.push(v);
+        }
+        // Deterministic across interleavings: element 3 is in the private
+        // window (thieves cannot have taken it), so this pop is the
+        // fence-free fast path and must succeed.
+        let mut owner = vec![w.pop().expect("private window pop cannot lose a race")];
+        assert_eq!(owner, [3]);
+        assert_eq!(w.owner_stats().pops_private, 1, "fast path ran fence-free");
+        // Seal mid-race: the drain boundary-pops the published region
+        // against both thieves.
+        let drained = w.seal();
+        assert!(w.is_empty(), "a sealed deque drains fully");
+        assert_eq!(w.pop(), None, "nothing re-appears after seal");
+        let (g1, g2) = (t1.join(), t2.join());
+        assert_fifo(&g1);
+        assert_fifo(&g2);
+        assert_fifo(&drained);
+        owner.extend(drained);
+        owner.extend(g1);
+        owner.extend(g2);
+        assert_partition(owner, 3);
+    });
+    assert!(report.executions > 100, "expected a substantial exploration: {report:?}");
+}
+
+/// The boundary race window itself, exhaustively: the private window holds
+/// exactly one element, the public region exactly one, and two thieves
+/// fight the owner's fence + CAS for the published element while the
+/// private pop must stay untouchable.
+#[test]
+fn elided_boundary_race_two_thieves() {
+    model_with("elided_boundary_race_two_thieves", &cfg(), || {
+        let deque = Deque::with_capacity(4);
+        let (s1, s2) = (deque.stealer(), deque.stealer());
+        let w = deque.into_worker_with(elided());
+        let t1 = spawn_thief(s1, 1);
+        let t2 = spawn_thief(s2, 1);
+        w.push(1); // stays private until push 2's empty-public publication
+        w.push(2); // private; element 1 becomes public
+        let mut all = Vec::new();
+        all.push(w.pop().expect("private pop cannot fail")); // fence-free
+        all.extend(w.pop()); // boundary: fence + CAS against both thieves
+        assert_eq!(w.pop(), None, "empty after the boundary window");
+        all.extend(t1.join());
+        all.extend(t2.join());
+        assert_partition(all, 2);
+    });
+}
+
+/// Owner pushes across a buffer growth under the elided protocol while a
+/// thief steals: the capacity check runs against `cached_top` (a lower
+/// bound on `top`), so growth may be spurious but must never overwrite a
+/// live slot or lose an element.
+#[test]
+fn growth_under_steal_elided() {
+    model_with("growth_under_steal_elided", &cfg(), || {
+        let deque = Deque::with_capacity(2);
+        let s = deque.stealer();
+        let w = deque.into_worker_with(elided());
+        let t = spawn_thief(s, 3);
+        for v in 1..=4 {
+            w.push(v); // crosses at least one growth at capacity 2
+        }
+        let mut all = Vec::new();
+        while let Some(v) = w.pop() {
+            all.push(v);
+        }
+        let got = t.join();
+        assert_fifo(&got);
+        all.extend(got);
+        assert_partition(all, 4);
+    });
+}
+
+/// Elided growth-under-steal with the free-running counters starting at
+/// `isize::MAX - 1`: `priv_bottom`, `published`, and `cached_top` all cross
+/// the signed wrap while a thief races.
+#[test]
+fn growth_across_index_wraparound_elided() {
+    model_with("growth_across_index_wraparound_elided", &cfg(), || {
+        let deque = Deque::with_capacity_and_origin(2, isize::MAX - 1);
+        let s = deque.stealer();
+        let w = deque.into_worker_with(elided());
+        let t = spawn_thief(s, 3);
+        for v in 1..=4 {
+            w.push(v); // the private bottom crosses isize::MAX
+        }
+        let mut all = Vec::new();
+        while let Some(v) = w.pop() {
+            all.push(v);
+        }
+        all.extend(t.join());
+        assert_partition(all, 4);
+    });
+}
+
+/// Seal / unseal / reinject on the elided protocol against a racing thief:
+/// the drain must reclaim the private window (no thief can win it) plus
+/// whatever survives of the public region, and the reinjected elements run
+/// the elided push policy again.
+#[test]
+fn seal_unseal_reinject_exactly_once_elided() {
+    model_with("seal_unseal_reinject_exactly_once_elided", &cfg(), || {
+        let deque = Deque::with_capacity(4);
+        let s = deque.stealer();
+        let w = deque.into_worker_with(elided());
+        let t = spawn_thief(s, 2);
+        w.push(1);
+        w.push(2); // element 2 private, element 1 published
+        let reclaimed = w.seal();
+        assert!(w.is_empty(), "sealed deque must be empty after the drain");
+        assert!(!reclaimed.is_empty(), "the private element is unstealable");
+        w.unseal();
+        for v in &reclaimed {
+            w.push(*v);
+        }
+        let mut all = Vec::new();
+        while let Some(v) = w.pop() {
+            all.push(v);
+        }
+        all.extend(t.join());
+        assert_partition(all, 2);
+    });
+}
+
+/// `Worker::publish` hands the entire private window to thieves in one
+/// release store: afterwards both elements are stealable, and the
+/// partition invariant holds against the owner's subsequent boundary pops.
+#[test]
+fn publish_exposes_private_window_elided() {
+    model_with("publish_exposes_private_window_elided", &cfg(), || {
+        let deque = Deque::with_capacity(4);
+        let s = deque.stealer();
+        let w = deque.into_worker_with(elided());
+        let t = spawn_thief(s, 2);
+        w.push(1);
+        w.push(2);
+        w.publish();
+        assert_eq!(w.private_len(), 0, "publish drains the private window");
+        let mut all = Vec::new();
+        while let Some(v) = w.pop() {
+            all.push(v);
+        }
+        all.extend(t.join());
+        assert_partition(all, 2);
     });
 }

@@ -6,8 +6,12 @@
 //!
 //! The copy mirrors `crates/deque/src/lib.rs` structurally (raw buffer
 //! pointer, retired-buffer retention, the same ordering discipline) but is
-//! shrunk to `usize` payloads and the push/pop/steal core.
+//! shrunk to `usize` payloads and the push/pop/steal core. Both owner
+//! protocols are shadowed: the classic one and the fence-elided private
+//! window (with `retain: 1, publish_batch: 1`, the same tuning the model
+//! suites use), each with its own plantable weakenings.
 
+use std::cell::Cell;
 use std::sync::atomic::AtomicUsize as RealUsize;
 use std::sync::atomic::Ordering::Relaxed as RealRelaxed;
 use std::sync::{Arc, Mutex};
@@ -15,10 +19,15 @@ use std::sync::{Arc, Mutex};
 use cilk_check::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use cilk_check::{check, model_with, thread, Config, Mode};
 
+/// The elided shadow's tuning, matching `tests/models.rs`: keep the newest
+/// element private, publish one element per batch.
+const RETAIN: isize = 1;
+const BATCH: isize = 1;
+
 /// Which single memory-ordering weakening to plant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mutation {
-    /// The faithful copy: must survive exhaustive exploration.
+    /// The faithful classic copy: must survive exhaustive exploration.
     None,
     /// Drop the `SeqCst` fence between `pop`'s bottom decrement and its
     /// top read — the canonical Chase–Lev bug (owner and thief both take
@@ -31,6 +40,42 @@ enum Mutation {
     /// `push` publishes `bottom` with `Relaxed` instead of `Release`:
     /// same stale-buffer pairing, planted on the owner side.
     PushBottomRelaxed,
+    /// `steal`'s top CAS succeeds with `Relaxed` instead of `SeqCst`: the
+    /// steal no longer participates in the SC order, so the owner's fenced
+    /// top read (and a second thief's fenced bottom read) can both be
+    /// stale at once — the same element is taken twice. Needs two thieves
+    /// to manifest; a single thief is saved by RMW atomicity alone.
+    StealCasRelaxed,
+    /// The faithful fence-elided owner: must survive exhaustive
+    /// exploration (private fast path + batched publication + boundary
+    /// protocol, no planted bug).
+    ElidedFaithful,
+    /// Drop the `SeqCst` fence in the elided *boundary* pop — the one
+    /// fence the protocol keeps. The owner's top read goes stale and it
+    /// takes a published element a thief already stole.
+    ElidedBoundaryFenceSkipped,
+    /// Batch publication stores `bottom` with `Relaxed` instead of
+    /// `Release`: a thief pairs the fresh bottom with a retired buffer
+    /// after growth, as in `PushBottomRelaxed`, but on the batched path.
+    ElidedPublishRelaxed,
+    /// Off-by-one in the private-window test (`>= 0` instead of `> 0`):
+    /// the owner claims a *published* element through the fence-free
+    /// private path, without retracting `bottom` — a thief can take the
+    /// same element.
+    ElidedPrivateOverclaim,
+}
+
+impl Mutation {
+    /// Whether the owner runs the fence-elided protocol in this variant.
+    fn is_elided(self) -> bool {
+        matches!(
+            self,
+            Mutation::ElidedFaithful
+                | Mutation::ElidedBoundaryFenceSkipped
+                | Mutation::ElidedPublishRelaxed
+                | Mutation::ElidedPrivateOverclaim
+        )
+    }
 }
 
 struct Buf {
@@ -62,6 +107,11 @@ struct MutDeque {
     bottom: AtomicIsize,
     buffer: AtomicPtr<Buf>,
     retired: Mutex<Vec<*mut Buf>>,
+    // Owner-local elided-protocol state, as in `deque::OwnerState`: plain
+    // cells, touched only by the owning (main) thread.
+    priv_bottom: Cell<isize>,
+    published: Cell<isize>,
+    cached_top: Cell<isize>,
 }
 
 unsafe impl Send for MutDeque {}
@@ -76,10 +126,16 @@ impl MutDeque {
             bottom: AtomicIsize::new(0),
             buffer: AtomicPtr::new(Buf::alloc(cap)),
             retired: Mutex::new(Vec::new()),
+            priv_bottom: Cell::new(0),
+            published: Cell::new(0),
+            cached_top: Cell::new(0),
         }
     }
 
     fn push(&self, v: usize) {
+        if self.mutation.is_elided() {
+            return self.push_elided(v);
+        }
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         let mut buf = self.buffer.load(Ordering::Relaxed);
@@ -95,6 +151,43 @@ impl MutDeque {
         self.bottom.store(b.wrapping_add(1), ord);
     }
 
+    /// Mirror of `Worker::push_elided`: private write, batched publication.
+    fn push_elided(&self, v: usize) {
+        let pb = self.priv_bottom.get();
+        let mut ct = self.cached_top.get();
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        if pb.wrapping_sub(ct) >= unsafe { (*buf).cap } as isize {
+            ct = self.top.load(Ordering::Acquire);
+            self.cached_top.set(ct);
+            if pb.wrapping_sub(ct) >= unsafe { (*buf).cap } as isize {
+                buf = self.grow(buf, ct, pb);
+            }
+        }
+        unsafe { (*buf).slot(pb).store(v, RealRelaxed) };
+        let pb = pb.wrapping_add(1);
+        self.priv_bottom.set(pb);
+        let published = self.published.get();
+        let target = if published == ct {
+            let exposed = pb.wrapping_sub(RETAIN);
+            if exposed.wrapping_sub(published) > 0 {
+                exposed
+            } else {
+                return;
+            }
+        } else if pb.wrapping_sub(published) >= RETAIN + BATCH {
+            pb.wrapping_sub(RETAIN)
+        } else {
+            return;
+        };
+        let ord = if self.mutation == Mutation::ElidedPublishRelaxed {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.bottom.store(target, ord);
+        self.published.set(target);
+    }
+
     fn grow(&self, old: *mut Buf, t: isize, b: isize) -> *mut Buf {
         let new = Buf::alloc(unsafe { (*old).cap } * 2);
         let mut i = t;
@@ -108,6 +201,9 @@ impl MutDeque {
     }
 
     fn pop(&self) -> Option<usize> {
+        if self.mutation.is_elided() {
+            return self.pop_elided();
+        }
         let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
         let buf = self.buffer.load(Ordering::Relaxed);
         self.bottom.store(b, Ordering::Relaxed);
@@ -133,6 +229,60 @@ impl MutDeque {
         }
     }
 
+    /// Mirror of `Worker::pop_elided`: fence-free private fast path,
+    /// classic boundary protocol when the private window is empty.
+    fn pop_elided(&self) -> Option<usize> {
+        let pb = self.priv_bottom.get();
+        let published = self.published.get();
+        let window = pb.wrapping_sub(published);
+        let private_ok = if self.mutation == Mutation::ElidedPrivateOverclaim {
+            window >= 0 // off-by-one: also claims a *published* slot
+        } else {
+            window > 0
+        };
+        if private_ok {
+            let b = pb.wrapping_sub(1);
+            let buf = self.buffer.load(Ordering::Relaxed);
+            let v = unsafe { (*buf).slot(b).load(RealRelaxed) };
+            self.priv_bottom.set(b);
+            return Some(v);
+        }
+
+        // Boundary window: retract bottom, fence, race thieves.
+        let b = pb.wrapping_sub(1);
+        let buf = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        self.published.set(b);
+        self.priv_bottom.set(b);
+        if self.mutation != Mutation::ElidedBoundaryFenceSkipped {
+            fence(Ordering::SeqCst);
+        }
+        let t = self.top.load(Ordering::Relaxed);
+        self.cached_top.set(t);
+        if b.wrapping_sub(t) >= 0 {
+            if t == b {
+                let won = self
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.restore_elided(b.wrapping_add(1));
+                self.cached_top.set(t.wrapping_add(1));
+                won.then(|| unsafe { (*buf).slot(b).load(RealRelaxed) })
+            } else {
+                Some(unsafe { (*buf).slot(b).load(RealRelaxed) })
+            }
+        } else {
+            self.restore_elided(b.wrapping_add(1));
+            None
+        }
+    }
+
+    fn restore_elided(&self, b: isize) {
+        self.bottom.store(b, Ordering::Relaxed);
+        self.published.set(b);
+        self.priv_bottom.set(b);
+    }
+
     fn steal(&self) -> Option<usize> {
         let t = self.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
@@ -145,8 +295,13 @@ impl MutDeque {
         if t.wrapping_sub(b) < 0 {
             let buf = self.buffer.load(Ordering::Acquire);
             let v = unsafe { (*buf).slot(t).load(RealRelaxed) };
+            let cas_ord = if self.mutation == Mutation::StealCasRelaxed {
+                Ordering::Relaxed
+            } else {
+                Ordering::SeqCst
+            };
             self.top
-                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .compare_exchange(t, t.wrapping_add(1), cas_ord, Ordering::Relaxed)
                 .is_ok()
                 .then_some(v)
         } else {
@@ -168,24 +323,35 @@ impl Drop for MutDeque {
     }
 }
 
-/// Owner pushes `v0..=v1`, one thief makes `attempts` steals, owner drains,
-/// and the union must be exactly one copy of every pushed value.
-fn partition_model(cap: usize, pushes: usize, attempts: usize, mutation: Mutation) -> impl Fn() {
+/// Owner pushes `1..=pushes`, `thieves` thieves each make `attempts`
+/// steals, owner drains, and the union must be exactly one copy of every
+/// pushed value.
+fn partition_model(
+    cap: usize,
+    pushes: usize,
+    attempts: usize,
+    thieves: usize,
+    mutation: Mutation,
+) -> impl Fn() {
     move || {
         let q = Arc::new(MutDeque::new(cap, mutation));
-        // Spawn the thief *before* pushing: spawn synchronizes (the child
+        // Spawn the thieves *before* pushing: spawn synchronizes (the child
         // inherits the parent's clock), so anything pushed earlier could
         // never be observed stale.
-        let q2 = Arc::clone(&q);
-        let thief = thread::spawn(move || {
-            let mut got = Vec::new();
-            for _ in 0..attempts {
-                if let Some(v) = q2.steal() {
-                    got.push(v);
-                }
-            }
-            got
-        });
+        let handles: Vec<_> = (0..thieves)
+            .map(|_| {
+                let q2 = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..attempts {
+                        if let Some(v) = q2.steal() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
         for v in 0..pushes {
             q.push(v + 1); // 0 is the "empty slot" sentinel; never push it
         }
@@ -193,7 +359,9 @@ fn partition_model(cap: usize, pushes: usize, attempts: usize, mutation: Mutatio
         while let Some(v) = q.pop() {
             got.push(v);
         }
-        got.extend(thief.join());
+        for thief in handles {
+            got.extend(thief.join());
+        }
         got.sort_unstable();
         assert_eq!(
             got,
@@ -214,7 +382,7 @@ fn faithful_copy_passes_steal_race() {
     let report = model_with(
         "faithful_copy_passes_steal_race",
         &cfg(),
-        partition_model(4, 2, 2, Mutation::None),
+        partition_model(4, 2, 2, 1, Mutation::None),
     );
     assert!(report.executions > 10, "expected a real exploration, got {report:?}");
 }
@@ -223,7 +391,41 @@ fn faithful_copy_passes_steal_race() {
 /// growth (retired-buffer scenario).
 #[test]
 fn faithful_copy_passes_growth() {
-    model_with("faithful_copy_passes_growth", &cfg(), partition_model(2, 3, 3, Mutation::None));
+    model_with("faithful_copy_passes_growth", &cfg(), partition_model(2, 3, 3, 1, Mutation::None));
+}
+
+/// The faithful copy also survives two thieves racing each other and the
+/// owner — the configuration `StealCasRelaxed` breaks.
+#[test]
+fn faithful_copy_passes_two_thieves() {
+    model_with(
+        "faithful_copy_passes_two_thieves",
+        &cfg(),
+        partition_model(4, 2, 1, 2, Mutation::None),
+    );
+}
+
+/// The faithful fence-elided owner survives the same steal race: the
+/// private fast path, batch publication, and boundary protocol are sound.
+#[test]
+fn faithful_elided_passes_steal_race() {
+    let report = model_with(
+        "faithful_elided_passes_steal_race",
+        &cfg(),
+        partition_model(4, 3, 2, 1, Mutation::ElidedFaithful),
+    );
+    assert!(report.executions > 10, "expected a real exploration, got {report:?}");
+}
+
+/// The faithful fence-elided owner survives growth with the batched
+/// publication crossing the retired buffer.
+#[test]
+fn faithful_elided_passes_growth() {
+    model_with(
+        "faithful_elided_passes_growth",
+        &cfg(),
+        partition_model(2, 4, 3, 1, Mutation::ElidedFaithful),
+    );
 }
 
 fn assert_caught(name: &str, f: impl Fn()) {
@@ -244,7 +446,7 @@ fn assert_caught(name: &str, f: impl Fn()) {
 fn catches_pop_fence_skipped() {
     assert_caught(
         "catches_pop_fence_skipped",
-        partition_model(4, 2, 2, Mutation::PopFenceSkipped),
+        partition_model(4, 2, 2, 1, Mutation::PopFenceSkipped),
     );
 }
 
@@ -254,7 +456,7 @@ fn catches_pop_fence_skipped() {
 fn catches_steal_bottom_relaxed() {
     assert_caught(
         "catches_steal_bottom_relaxed",
-        partition_model(2, 3, 3, Mutation::StealBottomRelaxed),
+        partition_model(2, 3, 3, 1, Mutation::StealBottomRelaxed),
     );
 }
 
@@ -264,6 +466,52 @@ fn catches_steal_bottom_relaxed() {
 fn catches_push_bottom_relaxed() {
     assert_caught(
         "catches_push_bottom_relaxed",
-        partition_model(2, 3, 3, Mutation::PushBottomRelaxed),
+        partition_model(2, 3, 3, 1, Mutation::PushBottomRelaxed),
+    );
+}
+
+/// A Relaxed steal CAS drops the steal out of the SC order. One thief is
+/// saved by RMW atomicity, but with two: thief A's relaxed CAS is
+/// invisible to the owner's fence (stale top read — the owner takes a
+/// non-boundary element), while thief B pairs A's advanced top with a
+/// stale bottom (the owner's Relaxed retraction not yet fenced into the
+/// global order) and steals the element the owner just took.
+#[test]
+fn catches_steal_cas_relaxed() {
+    assert_caught(
+        "catches_steal_cas_relaxed",
+        partition_model(4, 2, 1, 2, Mutation::StealCasRelaxed),
+    );
+}
+
+/// Removing the boundary pop's fence — the one fence the elided protocol
+/// keeps — lets the owner read a stale top and take a published,
+/// non-boundary element a thief already stole.
+#[test]
+fn catches_elided_boundary_fence_skipped() {
+    assert_caught(
+        "catches_elided_boundary_fence_skipped",
+        partition_model(4, 3, 2, 1, Mutation::ElidedBoundaryFenceSkipped),
+    );
+}
+
+/// A Relaxed batch publication lets a thief pair the fresh bottom with a
+/// retired buffer after growth and steal a stale value.
+#[test]
+fn catches_elided_publish_relaxed() {
+    assert_caught(
+        "catches_elided_publish_relaxed",
+        partition_model(2, 4, 3, 1, Mutation::ElidedPublishRelaxed),
+    );
+}
+
+/// Claiming a published element through the fence-free private path (the
+/// `>= 0` off-by-one) leaves `bottom` unretracted: a thief takes the same
+/// element.
+#[test]
+fn catches_elided_private_overclaim() {
+    assert_caught(
+        "catches_elided_private_overclaim",
+        partition_model(4, 2, 2, 1, Mutation::ElidedPrivateOverclaim),
     );
 }

@@ -12,6 +12,25 @@
 //! * The buffer grows geometrically; retired buffers are kept alive until
 //!   the deque is dropped so that in-flight thieves never read freed memory.
 //!
+//! # Owner protocols
+//!
+//! Two owner-side protocols are available per deque (thief code is
+//! identical under both — see [`Protocol`]):
+//!
+//! * [`Protocol::Classic`] — textbook Chase–Lev: every `push` publishes
+//!   `bottom` with a release store, every `pop` pays a `SeqCst` fence to
+//!   arbitrate the boundary race against thieves.
+//! * [`Protocol::FenceElided`] — the THE-style fast path: the owner keeps
+//!   the newest `retain`..`retain + publish_batch` elements in a *private
+//!   window* beyond the published `bottom`. Private pushes and pops touch
+//!   no shared atomic and pay no fence; `bottom` is published in batches
+//!   (one release store per `publish_batch` pushes), and the classic
+//!   fence + CAS protocol runs only in the boundary window, when the
+//!   private region is exhausted and the owner must race thieves for a
+//!   published element. `crates/check` model-checks this protocol
+//!   exhaustively (two thieves + owner, growth, seal/unseal) and verifies
+//!   that weakening any of its orderings is caught.
+//!
 //! # Example
 //!
 //! ```
@@ -56,11 +75,76 @@ use buffer::Buffer;
 /// tests; growth is geometric so the amortized cost is O(1) per push.
 const MIN_CAP: usize = 32;
 
+/// Owner-side protocol selector. Thieves are oblivious: both protocols
+/// present the identical `top`/`bottom`/CAS interface at the steal end, so
+/// a pool can mix protocols per worker without thieves knowing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Textbook Chase–Lev: `bottom` published on every push, `SeqCst`
+    /// fence on every pop.
+    Classic,
+    /// Fence-elided owner fast path. The owner retains up to
+    /// `retain + publish_batch` of its newest elements in a private window
+    /// invisible to thieves; operations inside the window are fence-free
+    /// plain memory accesses.
+    FenceElided {
+        /// Number of newest elements the owner prefers to keep private
+        /// (the fence-free pop window). Publication stops `retain` short
+        /// of the owner's true bottom except when the public region is
+        /// known empty and there is nothing older to expose.
+        retain: usize,
+        /// How many unpublished elements accumulate beyond `retain`
+        /// before a batch publication (one release store exposes the
+        /// whole batch). Larger batches amortize publication but widen
+        /// the window in which thieves cannot see fresh work.
+        publish_batch: usize,
+    },
+}
+
+impl Protocol {
+    /// The fence-elided protocol with the tuning used by the runtime:
+    /// keep the 4 newest elements private, publish in batches of 4.
+    pub fn fence_elided() -> Self {
+        Protocol::FenceElided { retain: 4, publish_batch: 4 }
+    }
+}
+
+impl Default for Protocol {
+    /// The crate-level default stays `Classic`: raw deque users get the
+    /// strongest visibility guarantees (every push immediately stealable)
+    /// unless they opt into the elided fast path.
+    fn default() -> Self {
+        Protocol::Classic
+    }
+}
+
+/// Owner-side operation counters, maintained in plain `Cell`s on the
+/// owner's hot path (never shared, never atomic). They exist so tests and
+/// benches can *prove* which protocol ran: under [`Protocol::FenceElided`]
+/// the common-path pop increments `pops_private` and pays no fence, and
+/// `publications` lags `pushes` by the batch factor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OwnerStats {
+    /// Total owner pushes.
+    pub pushes: u64,
+    /// Pops served from the private window: no fence, no shared store.
+    pub pops_private: u64,
+    /// Pops that ran the classic boundary protocol (one `SeqCst` fence
+    /// each, plus a CAS in the single-element race window). Under
+    /// `Classic` every pop lands here.
+    pub pops_fenced: u64,
+    /// Release stores that published `bottom` to thieves. Under `Classic`
+    /// every push publishes.
+    pub publications: u64,
+}
+
 /// Shared state of one deque.
 struct Inner<T> {
     /// Index of the next element to steal (thief end).
     top: AtomicIsize,
-    /// Index one past the last pushed element (owner end).
+    /// Index one past the last *published* element (owner end). Under the
+    /// fence-elided protocol the owner may privately hold elements beyond
+    /// this index; thieves can never observe them.
     bottom: AtomicIsize,
     /// Current buffer. Replaced (never mutated in place) on growth.
     buffer: AtomicPtr<Buffer<T>>,
@@ -103,6 +187,8 @@ impl<T> Drop for Inner<T> {
         let buf_ptr = *self.buffer.get_mut();
         // SAFETY: we have exclusive access during drop; elements in
         // [top, bottom) are live and stored in the *current* buffer.
+        // (`Worker::drop` published any private window, so `bottom` covers
+        // every live element regardless of protocol.)
         unsafe {
             let buf = &*buf_ptr;
             // Signed length, not an `i != bottom` walk: `pop` transiently
@@ -168,9 +254,30 @@ impl<T> Deque<T> {
         Stealer { inner: Arc::clone(&self.inner) }
     }
 
-    /// Converts this deque into its unique owner handle.
+    /// Converts this deque into its unique owner handle, running the
+    /// [`Protocol::Classic`] owner protocol.
     pub fn into_worker(self) -> Worker<T> {
-        Worker { inner: self.inner, _not_sync: PhantomData }
+        self.into_worker_with(Protocol::Classic)
+    }
+
+    /// Converts this deque into its unique owner handle running the given
+    /// owner protocol.
+    pub fn into_worker_with(self, protocol: Protocol) -> Worker<T> {
+        // No element can exist before the owner handle does (only the
+        // owner pushes), so the relaxed snapshot below is exact.
+        let bottom = self.inner.bottom.load(Ordering::Relaxed);
+        let top = self.inner.top.load(Ordering::Relaxed);
+        Worker {
+            inner: self.inner,
+            owner: OwnerState {
+                protocol,
+                priv_bottom: Cell::new(bottom),
+                published: Cell::new(bottom),
+                cached_top: Cell::new(top),
+                stats: StatCells::default(),
+            },
+            _not_sync: PhantomData,
+        }
     }
 }
 
@@ -186,6 +293,32 @@ impl<T> fmt::Debug for Deque<T> {
     }
 }
 
+/// Owner-local (unshared, unsynchronized) protocol state. Lives in the
+/// `Worker` and travels with it across threads on seal/adopt handoff.
+struct OwnerState {
+    protocol: Protocol,
+    /// One past the last slot the owner wrote: the owner's true bottom.
+    /// Invariant: `top <= bottom(published) <= priv_bottom` (wrapping).
+    priv_bottom: Cell<isize>,
+    /// Mirror of `Inner::bottom`. Exact: the owner is its only writer.
+    published: Cell<isize>,
+    /// Lower bound on `Inner::top` (thieves only increase `top`), so
+    /// `priv_bottom - cached_top` is an upper bound on the live length —
+    /// safe for capacity checks — and `published == cached_top` proves
+    /// the public region empty. Refreshed on capacity pressure and on
+    /// every boundary pop.
+    cached_top: Cell<isize>,
+    stats: StatCells,
+}
+
+#[derive(Default)]
+struct StatCells {
+    pushes: Cell<u64>,
+    pops_private: Cell<u64>,
+    pops_fenced: Cell<u64>,
+    publications: Cell<u64>,
+}
+
 /// The owner end of the deque: pushes and pops at the bottom.
 ///
 /// There is exactly one `Worker` per deque; it is `Send` but deliberately
@@ -193,6 +326,7 @@ impl<T> fmt::Debug for Deque<T> {
 /// single-owner protocol.
 pub struct Worker<T> {
     inner: Arc<Inner<T>>,
+    owner: OwnerState,
     _not_sync: PhantomData<Cell<()>>,
 }
 
@@ -202,23 +336,64 @@ unsafe impl<T: Send> Send for Worker<T> {}
 
 impl<T> fmt::Debug for Worker<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Worker").field("len", &self.len()).finish()
+        f.debug_struct("Worker")
+            .field("len", &self.len())
+            .field("protocol", &self.owner.protocol)
+            .finish()
+    }
+}
+
+impl<T> Drop for Worker<T> {
+    fn drop(&mut self) {
+        // Abandoned private elements become public so they are either
+        // stolen (they are live work) or swept by `Inner::drop` — the
+        // no-lost-elements invariant survives an owner that drops with a
+        // non-empty private window.
+        let pb = self.owner.priv_bottom.get();
+        if pb.wrapping_sub(self.owner.published.get()) > 0 {
+            self.inner.bottom.store(pb, Ordering::Release);
+        }
     }
 }
 
 impl<T> Worker<T> {
     /// Creates a new deque and returns its owner handle together with one
-    /// thief handle.
+    /// thief handle. The owner runs [`Protocol::Classic`].
     pub fn new() -> (Worker<T>, Stealer<T>) {
+        Self::new_with(Protocol::Classic)
+    }
+
+    /// Creates a new deque whose owner runs `protocol`, returning the
+    /// owner handle together with one thief handle.
+    pub fn new_with(protocol: Protocol) -> (Worker<T>, Stealer<T>) {
         let deque = Deque::new();
         let stealer = deque.stealer();
-        (deque.into_worker(), stealer)
+        (deque.into_worker_with(protocol), stealer)
+    }
+
+    /// The owner protocol this worker runs.
+    pub fn protocol(&self) -> Protocol {
+        self.owner.protocol
+    }
+
+    /// Snapshot of the owner-side operation counters (see [`OwnerStats`]).
+    pub fn owner_stats(&self) -> OwnerStats {
+        OwnerStats {
+            pushes: self.owner.stats.pushes.get(),
+            pops_private: self.owner.stats.pops_private.get(),
+            pops_fenced: self.owner.stats.pops_fenced.get(),
+            publications: self.owner.stats.publications.get(),
+        }
     }
 
     /// Number of elements currently in the deque (racy but monotonic from
-    /// the owner's point of view between its own operations).
+    /// the owner's point of view between its own operations). Includes the
+    /// owner's private window.
     pub fn len(&self) -> usize {
-        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let b = match self.owner.protocol {
+            Protocol::Classic => self.inner.bottom.load(Ordering::Relaxed),
+            Protocol::FenceElided { .. } => self.owner.priv_bottom.get(),
+        };
         let t = self.inner.top.load(Ordering::Relaxed);
         // Wrapping difference: the counters are free-running and may cross
         // `isize::MAX`; their distance is always small and non-negative.
@@ -230,6 +405,13 @@ impl<T> Worker<T> {
         self.len() == 0
     }
 
+    /// Number of elements currently held in the owner's private window
+    /// (always 0 under [`Protocol::Classic`]).
+    pub fn private_len(&self) -> usize {
+        let d = self.owner.priv_bottom.get().wrapping_sub(self.owner.published.get());
+        usize::try_from(d).unwrap_or(0)
+    }
+
     /// Creates an additional thief handle.
     pub fn stealer(&self) -> Stealer<T> {
         Stealer { inner: Arc::clone(&self.inner) }
@@ -237,12 +419,24 @@ impl<T> Worker<T> {
 
     /// Pushes `value` onto the bottom of the deque.
     ///
-    /// Amortized O(1); grows the buffer geometrically when full.
+    /// Amortized O(1); grows the buffer geometrically when full. Under
+    /// [`Protocol::FenceElided`] the element may land in the owner's
+    /// private window and only become visible to thieves at the next batch
+    /// publication.
     pub fn push(&self, value: T) {
         debug_assert!(
             !self.inner.sealed.load(Ordering::Relaxed),
             "push on a sealed deque: unseal before reuse"
         );
+        match self.owner.protocol {
+            Protocol::Classic => self.push_classic(value),
+            Protocol::FenceElided { retain, publish_batch } => {
+                self.push_elided(value, retain as isize, publish_batch as isize)
+            }
+        }
+    }
+
+    fn push_classic(&self, value: T) {
         let b = self.inner.bottom.load(Ordering::Relaxed);
         let t = self.inner.top.load(Ordering::Acquire);
         let mut buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
@@ -258,6 +452,63 @@ impl<T> Worker<T> {
         // overwritten; only the owner writes slots.
         unsafe { buf.write(b, value) };
         self.inner.bottom.store(b.wrapping_add(1), Ordering::Release);
+        self.owner.stats.pushes.set(self.owner.stats.pushes.get() + 1);
+        self.owner.stats.publications.set(self.owner.stats.publications.get() + 1);
+    }
+
+    /// Fence-elided push: write the slot, advance the private bottom, and
+    /// publish `bottom` only when a batch has accumulated or the public
+    /// region is provably empty. No fence on any path; one release store
+    /// per publication.
+    fn push_elided(&self, value: T, retain: isize, batch: isize) {
+        let pb = self.owner.priv_bottom.get();
+        let mut ct = self.owner.cached_top.get();
+        let mut buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: the owner is the only mutator of `buffer`.
+        let mut buf = unsafe { &*buf_ptr };
+        // `pb - cached_top >= pb - top` = live length, so this check is
+        // conservative: it can trigger a spurious refresh, never an
+        // overwrite of a live slot.
+        if pb.wrapping_sub(ct) >= buf.cap() as isize {
+            ct = self.inner.top.load(Ordering::Acquire);
+            self.owner.cached_top.set(ct);
+            if pb.wrapping_sub(ct) >= buf.cap() as isize {
+                self.grow(ct, pb);
+                buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+                buf = unsafe { &*buf_ptr };
+            }
+        }
+        // SAFETY: slot `pb` is outside the live window [top, pb); only the
+        // owner writes slots, and thieves cannot observe indices >= the
+        // published bottom (<= pb).
+        unsafe { buf.write(pb, value) };
+        let pb = pb.wrapping_add(1);
+        self.owner.priv_bottom.set(pb);
+        self.owner.stats.pushes.set(self.owner.stats.pushes.get() + 1);
+
+        let published = self.owner.published.get();
+        // Publication policy. `published == cached_top` *proves* the
+        // public region empty (cached_top is a lower bound on top): expose
+        // everything but the retained window so thieves regain a target.
+        // Otherwise publish only when a full batch has accumulated beyond
+        // the retained window. Either way the newest `retain` elements
+        // stay private — the fence-free pop window.
+        let target = if published == ct {
+            let exposed = pb.wrapping_sub(retain);
+            if exposed.wrapping_sub(published) > 0 {
+                exposed
+            } else {
+                return;
+            }
+        } else if pb.wrapping_sub(published) >= retain.wrapping_add(batch.max(1)) {
+            pb.wrapping_sub(retain)
+        } else {
+            return;
+        };
+        // Release: thieves acquiring `bottom` see every slot write above.
+        self.inner.bottom.store(target, Ordering::Release);
+        self.owner.published.set(target);
+        self.owner.stats.publications.set(self.owner.stats.publications.get() + 1);
     }
 
     /// Pops an element from the bottom of the deque (LIFO).
@@ -265,9 +516,17 @@ impl<T> Worker<T> {
     /// Returns `None` when empty. The final element is raced against
     /// thieves with a compare-and-swap, per Chase–Lev.
     pub fn pop(&self) -> Option<T> {
+        match self.owner.protocol {
+            Protocol::Classic => self.pop_classic(),
+            Protocol::FenceElided { .. } => self.pop_elided(),
+        }
+    }
+
+    fn pop_classic(&self) -> Option<T> {
         let b = self.inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
         let buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
         self.inner.bottom.store(b, Ordering::Relaxed);
+        self.owner.stats.pops_fenced.set(self.owner.stats.pops_fenced.get() + 1);
         fence(Ordering::SeqCst);
         let t = self.inner.top.load(Ordering::Relaxed);
 
@@ -298,6 +557,91 @@ impl<T> Worker<T> {
             // Empty: restore bottom.
             self.inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
             None
+        }
+    }
+
+    /// Fence-elided pop. The common path takes the newest element from the
+    /// private window with plain memory accesses — no fence, no shared
+    /// store; thieves cannot observe indices at or beyond the published
+    /// bottom, so the slot is owner-exclusive by construction. Only when
+    /// the private window is empty (`priv_bottom == published`, the
+    /// boundary race window) does the classic decrement + `SeqCst` fence +
+    /// CAS protocol run against the public region.
+    fn pop_elided(&self) -> Option<T> {
+        let pb = self.owner.priv_bottom.get();
+        let published = self.owner.published.get();
+        if pb.wrapping_sub(published) > 0 {
+            // Private fast path.
+            let b = pb.wrapping_sub(1);
+            let buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+            // SAFETY: slot `b >= published` is invisible to thieves (they
+            // bound their reads by `bottom`, and any stale larger bottom
+            // value is fenced out by the boundary pop that retracted it —
+            // model-checked in crates/check); the owner wrote it and is
+            // the only reader.
+            let value = unsafe { (*buf_ptr).read(b) };
+            self.owner.priv_bottom.set(b);
+            self.owner.stats.pops_private.set(self.owner.stats.pops_private.get() + 1);
+            return Some(value);
+        }
+
+        // Boundary window: private region empty, race thieves for the
+        // newest *published* element with the classic protocol.
+        let b = pb.wrapping_sub(1);
+        let buf_ptr = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        self.owner.published.set(b);
+        self.owner.priv_bottom.set(b);
+        self.owner.stats.pops_fenced.set(self.owner.stats.pops_fenced.get() + 1);
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        self.owner.cached_top.set(t);
+
+        if b.wrapping_sub(t) >= 0 {
+            // SAFETY: slot `b` holds a live element; we are the only popper
+            // at the bottom.
+            let value = unsafe { (*buf_ptr).read(b) };
+            if t == b {
+                // Last element: race thieves for it.
+                let won = self
+                    .inner
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.restore_elided(b.wrapping_add(1));
+                self.owner.cached_top.set(t.wrapping_add(1));
+                if !won {
+                    // A thief won; it owns the value. Forget our bit-copy.
+                    mem::forget(value);
+                    return None;
+                }
+            }
+            Some(value)
+        } else {
+            // Empty: restore bottom.
+            self.restore_elided(b.wrapping_add(1));
+            None
+        }
+    }
+
+    /// Restores `bottom` (and the owner mirrors) after a boundary pop.
+    fn restore_elided(&self, b: isize) {
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        self.owner.published.set(b);
+        self.owner.priv_bottom.set(b);
+    }
+
+    /// Publishes the owner's entire private window to thieves, if any.
+    ///
+    /// A no-op under [`Protocol::Classic`]. Useful before the owner parks
+    /// or blocks for a long stretch: retained elements become stealable
+    /// immediately instead of at the next batch boundary.
+    pub fn publish(&self) {
+        let pb = self.owner.priv_bottom.get();
+        if pb.wrapping_sub(self.owner.published.get()) > 0 {
+            self.inner.bottom.store(pb, Ordering::Release);
+            self.owner.published.set(pb);
+            self.owner.stats.publications.set(self.owner.stats.publications.get() + 1);
         }
     }
 
@@ -492,7 +836,9 @@ impl<T> Stealer<T> {
         moved
     }
 
-    /// Approximate number of elements observable in the deque.
+    /// Approximate number of elements observable in the deque. Does not
+    /// count the owner's private window under [`Protocol::FenceElided`]
+    /// (those elements are not stealable yet by definition).
     pub fn len(&self) -> usize {
         let b = self.inner.bottom.load(Ordering::Acquire);
         let t = self.inner.top.load(Ordering::Acquire);
@@ -519,16 +865,29 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
     use std::thread;
 
+    /// Every protocol a test should pass under, elided with small tuning
+    /// so boundary paths are hit often.
+    fn protocols() -> Vec<Protocol> {
+        vec![
+            Protocol::Classic,
+            Protocol::FenceElided { retain: 1, publish_batch: 1 },
+            Protocol::FenceElided { retain: 2, publish_batch: 3 },
+            Protocol::fence_elided(),
+        ]
+    }
+
     #[test]
     fn push_pop_lifo() {
-        let (w, _s) = Worker::new();
-        for i in 0..100 {
-            w.push(i);
+        for p in protocols() {
+            let (w, _s) = Worker::new_with(p);
+            for i in 0..100 {
+                w.push(i);
+            }
+            for i in (0..100).rev() {
+                assert_eq!(w.pop(), Some(i), "{p:?}");
+            }
+            assert_eq!(w.pop(), None, "{p:?}");
         }
-        for i in (0..100).rev() {
-            assert_eq!(w.pop(), Some(i));
-        }
-        assert_eq!(w.pop(), None);
     }
 
     #[test]
@@ -541,6 +900,87 @@ mod tests {
             assert_eq!(s.steal(), Steal::Success(i));
         }
         assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn steal_fifo_elided_after_publish() {
+        // Under the elided protocol the newest `retain` elements are
+        // private until `publish`; afterwards thieves see everything in
+        // FIFO order.
+        let (w, s) = Worker::new_with(Protocol::FenceElided { retain: 4, publish_batch: 4 });
+        for i in 0..100 {
+            w.push(i);
+        }
+        assert!(w.private_len() > 0, "some elements retained privately");
+        w.publish();
+        assert_eq!(w.private_len(), 0);
+        for i in 0..100 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn elided_common_path_pops_pay_no_fence() {
+        // The protocol's reason to exist: the join hot path — a recursive
+        // push/(recurse)/pop tree, where the popped element is the most
+        // recent push — stays inside the private window. Leaf-adjacent
+        // pairs (the overwhelming majority of a fork-join tree) never
+        // publish and never fence.
+        fn tree(w: &Worker<usize>, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            w.push(depth);
+            tree(w, depth - 1);
+            tree(w, depth - 1);
+            assert_eq!(w.pop(), Some(depth), "no thieves: every pop succeeds");
+        }
+        let (w, _s) = Worker::new_with(Protocol::fence_elided());
+        tree(&w, 10);
+        let stats = w.owner_stats();
+        assert_eq!(stats.pushes, 1023);
+        assert_eq!(stats.pops_private + stats.pops_fenced, 1023);
+        assert!(
+            stats.pops_private * 10 >= 1023 * 7,
+            "the common-path pop must avoid the fence: {stats:?}"
+        );
+        assert!(
+            stats.publications * 2 <= stats.pushes,
+            "publication must be batched: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn classic_stats_count_every_pop_as_fenced() {
+        let (w, _s) = Worker::new();
+        w.push(1);
+        w.push(2);
+        let _ = w.pop();
+        let _ = w.pop();
+        let _ = w.pop(); // empty pop still fences
+        let stats = w.owner_stats();
+        assert_eq!(stats.pushes, 2);
+        assert_eq!(stats.publications, 2);
+        assert_eq!(stats.pops_private, 0);
+        assert_eq!(stats.pops_fenced, 3);
+    }
+
+    #[test]
+    fn elided_empty_public_region_publishes_older_work() {
+        // With a non-empty private window and a provably empty public
+        // region, pushes expose the oldest elements so thieves have a
+        // target (the biggest pieces of work, per the stealing heuristic).
+        let (w, s) = Worker::new_with(Protocol::FenceElided { retain: 2, publish_batch: 8 });
+        for i in 0..6 {
+            w.push(i);
+        }
+        // The empty-public rule fired once (exposing the oldest element);
+        // the rest wait for a full batch.
+        assert!(!s.is_empty(), "older work must be visible to thieves");
+        assert_eq!(s.len(), 1, "exactly the oldest element is exposed");
+        assert_eq!(w.private_len(), 5);
+        assert_eq!(s.steal(), Steal::Success(0), "oldest element published first");
     }
 
     #[test]
@@ -557,19 +997,35 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_owner_and_thief_serial_elided() {
+        let (w, s) = Worker::new_with(Protocol::FenceElided { retain: 1, publish_batch: 1 });
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        w.publish();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
     fn growth_preserves_elements() {
-        let (w, _s) = Worker::new();
-        let n = MIN_CAP * 8;
-        for i in 0..n {
-            w.push(i);
+        for p in protocols() {
+            let (w, _s) = Worker::new_with(p);
+            let n = MIN_CAP * 8;
+            for i in 0..n {
+                w.push(i);
+            }
+            assert_eq!(w.len(), n, "{p:?}");
+            let mut seen = Vec::new();
+            while let Some(v) = w.pop() {
+                seen.push(v);
+            }
+            seen.reverse();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>(), "{p:?}");
         }
-        assert_eq!(w.len(), n);
-        let mut seen = Vec::new();
-        while let Some(v) = w.pop() {
-            seen.push(v);
-        }
-        seen.reverse();
-        assert_eq!(seen, (0..n).collect::<Vec<_>>());
     }
 
     #[test]
@@ -594,6 +1050,49 @@ mod tests {
     }
 
     #[test]
+    fn growth_with_offset_top_elided() {
+        let deque = Deque::with_capacity(MIN_CAP);
+        let s = deque.stealer();
+        let w = deque.into_worker_with(Protocol::FenceElided { retain: 3, publish_batch: 2 });
+        for i in 0..MIN_CAP {
+            w.push(i);
+        }
+        w.publish();
+        for i in 0..MIN_CAP / 2 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        for i in MIN_CAP..(MIN_CAP * 4) {
+            w.push(i);
+        }
+        w.publish();
+        let expected: Vec<usize> = (MIN_CAP / 2..MIN_CAP * 4).collect();
+        let mut got = Vec::new();
+        while let Steal::Success(v) = s.steal() {
+            got.push(v);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn elided_origin_wraparound() {
+        // Free-running counters across isize::MAX, private window live
+        // through the wrap.
+        let deque = Deque::with_capacity_and_origin(16, isize::MAX - 3);
+        let s = deque.stealer();
+        let w = deque.into_worker_with(Protocol::FenceElided { retain: 2, publish_batch: 2 });
+        for i in 0..12 {
+            w.push(i);
+        }
+        let mut got = Vec::new();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        got.reverse();
+        assert_eq!(got, (0..12).collect::<Vec<_>>());
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
     fn drops_remaining_elements() {
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         struct Counted;
@@ -613,58 +1112,82 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_steal_no_loss_no_dup() {
-        // All pushed values are seen exactly once across owner pops and
-        // thief steals.
-        const N: usize = 50_000;
-        const THIEVES: usize = 4;
-        let (w, s) = Worker::new();
-        let mut handles = Vec::new();
-        for _ in 0..THIEVES {
-            let s = s.clone();
-            handles.push(thread::spawn(move || {
-                let mut got = Vec::new();
-                loop {
-                    match s.steal() {
-                        Steal::Success(v) => {
-                            if v == usize::MAX {
-                                break;
-                            }
-                            got.push(v);
-                        }
-                        Steal::Empty => {
-                            thread::yield_now();
-                        }
-                        Steal::Retry => {}
-                    }
-                }
-                got
-            }));
-        }
-        let mut owner_got = Vec::new();
-        for i in 0..N {
-            w.push(i);
-            if i % 3 == 0 {
-                if let Some(v) = w.pop() {
-                    owner_got.push(v);
-                }
+    fn drops_remaining_elements_including_private_window() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
             }
         }
-        while let Some(v) = w.pop() {
-            owner_got.push(v);
+        {
+            let (w, _s) = Worker::new_with(Protocol::FenceElided { retain: 8, publish_batch: 8 });
+            for _ in 0..10 {
+                w.push(Counted);
+            }
+            assert!(w.private_len() > 0, "retained elements exist");
+            drop(w.pop()); // one dropped here
         }
-        // Poison pills to stop thieves.
-        for _ in 0..THIEVES {
-            w.push(usize::MAX);
+        // Worker::drop published the private window so Inner::drop swept it.
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_steal_no_loss_no_dup() {
+        // All pushed values are seen exactly once across owner pops and
+        // thief steals, under every protocol.
+        const N: usize = 50_000;
+        const THIEVES: usize = 4;
+        for p in protocols() {
+            let (w, s) = Worker::new_with(p);
+            let mut handles = Vec::new();
+            for _ in 0..THIEVES {
+                let s = s.clone();
+                handles.push(thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                if v == usize::MAX {
+                                    break;
+                                }
+                                got.push(v);
+                            }
+                            Steal::Empty => {
+                                thread::yield_now();
+                            }
+                            Steal::Retry => {}
+                        }
+                    }
+                    got
+                }));
+            }
+            let mut owner_got = Vec::new();
+            for i in 0..N {
+                w.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = w.pop() {
+                        owner_got.push(v);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                owner_got.push(v);
+            }
+            // Poison pills to stop thieves; publish so they are stealable
+            // under the elided protocol.
+            for _ in 0..THIEVES {
+                w.push(usize::MAX);
+            }
+            w.publish();
+            let mut all: Vec<usize> = owner_got;
+            for h in handles {
+                all.extend(h.join().expect("thief panicked"));
+            }
+            assert_eq!(all.len(), N, "{p:?}: lost or duplicated elements");
+            let set: HashSet<usize> = all.iter().copied().collect();
+            assert_eq!(set.len(), N, "{p:?}: duplicated elements");
         }
-        let mut all: Vec<usize> = owner_got;
-        for h in handles {
-            all.extend(h.join().expect("thief panicked"));
-        }
-        // Drain any leftover pills the owner might still hold.
-        assert_eq!(all.len(), N, "lost or duplicated elements");
-        let set: HashSet<usize> = all.iter().copied().collect();
-        assert_eq!(set.len(), N, "duplicated elements");
     }
 
     #[test]
@@ -672,42 +1195,44 @@ mod tests {
         // Heap values: leaks/double frees would crash under ASan and often
         // corrupt the heap; the exactly-once accounting doubles as a check.
         const N: usize = 20_000;
-        let (w, s): (Worker<Box<usize>>, Stealer<Box<usize>>) = Worker::new();
-        let total = std::sync::Arc::new(AtomicUsize::new(0));
-        let done = std::sync::Arc::new(AtomicUsize::new(0));
-        let mut handles = Vec::new();
-        for _ in 0..3 {
-            let s = s.clone();
-            let total = total.clone();
-            let done = done.clone();
-            handles.push(thread::spawn(move || loop {
-                match s.steal() {
-                    Steal::Success(v) => {
-                        total.fetch_add(*v, Ordering::Relaxed);
-                        done.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Steal::Empty => {
-                        if done.load(Ordering::Relaxed) >= N {
-                            break;
+        for p in [Protocol::Classic, Protocol::fence_elided()] {
+            let (w, s): (Worker<Box<usize>>, Stealer<Box<usize>>) = Worker::new_with(p);
+            let total = std::sync::Arc::new(AtomicUsize::new(0));
+            let done = std::sync::Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let s = s.clone();
+                let total = total.clone();
+                let done = done.clone();
+                handles.push(thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            total.fetch_add(*v, Ordering::Relaxed);
+                            done.fetch_add(1, Ordering::Relaxed);
                         }
-                        thread::yield_now();
+                        Steal::Empty => {
+                            if done.load(Ordering::Relaxed) >= N {
+                                break;
+                            }
+                            thread::yield_now();
+                        }
+                        Steal::Retry => {}
                     }
-                    Steal::Retry => {}
-                }
-            }));
+                }));
+            }
+            for i in 0..N {
+                w.push(Box::new(1usize + (i % 7)));
+            }
+            while let Some(v) = w.pop() {
+                total.fetch_add(*v, Ordering::Relaxed);
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+            for h in handles {
+                h.join().expect("thief panicked");
+            }
+            let expected: usize = (0..N).map(|i| 1 + (i % 7)).sum();
+            assert_eq!(total.load(Ordering::Relaxed), expected, "{p:?}");
         }
-        for i in 0..N {
-            w.push(Box::new(1usize + (i % 7)));
-        }
-        while let Some(v) = w.pop() {
-            total.fetch_add(*v, Ordering::Relaxed);
-            done.fetch_add(1, Ordering::Relaxed);
-        }
-        for h in handles {
-            h.join().expect("thief panicked");
-        }
-        let expected: usize = (0..N).map(|i| 1 + (i % 7)).sum();
-        assert_eq!(total.load(Ordering::Relaxed), expected);
     }
 
     #[test]
@@ -762,17 +1287,20 @@ mod tests {
 
     #[test]
     fn seal_drains_oldest_first() {
-        let (w, s) = Worker::new();
-        for i in 0..10 {
-            w.push(i);
+        for p in protocols() {
+            let (w, s) = Worker::new_with(p);
+            for i in 0..10 {
+                w.push(i);
+            }
+            assert!(!s.is_sealed());
+            let drained = w.seal();
+            assert!(w.is_sealed());
+            assert!(s.is_sealed());
+            assert_eq!(drained, (0..10).collect::<Vec<_>>(), "{p:?}");
+            assert!(w.is_empty());
+            assert!(s.steal().is_empty());
+            w.unseal();
         }
-        assert!(!s.is_sealed());
-        let drained = w.seal();
-        assert!(w.is_sealed());
-        assert!(s.is_sealed());
-        assert_eq!(drained, (0..10).collect::<Vec<_>>());
-        assert!(w.is_empty());
-        assert!(s.steal().is_empty());
     }
 
     #[test]
@@ -783,6 +1311,18 @@ mod tests {
         w.unseal();
         assert!(!s.is_sealed());
         w.push(2);
+        assert_eq!(s.steal(), Steal::Success(2));
+    }
+
+    #[test]
+    fn unseal_reopens_for_pushes_elided() {
+        let (w, s) = Worker::new_with(Protocol::FenceElided { retain: 2, publish_batch: 2 });
+        w.push(1);
+        assert_eq!(w.seal(), vec![1]);
+        w.unseal();
+        assert!(!s.is_sealed());
+        w.push(2);
+        w.publish();
         assert_eq!(s.steal(), Steal::Success(2));
     }
 
@@ -801,42 +1341,44 @@ mod tests {
         // thieves, never lost or duplicated.
         const N: usize = 20_000;
         const THIEVES: usize = 3;
-        for _round in 0..8 {
-            let (w, s) = Worker::new();
-            for i in 0..N {
-                w.push(i);
-            }
-            let barrier = std::sync::Arc::new(std::sync::Barrier::new(THIEVES + 1));
-            let mut handles = Vec::new();
-            for _ in 0..THIEVES {
-                let s = s.clone();
-                let barrier = barrier.clone();
-                handles.push(thread::spawn(move || {
-                    barrier.wait();
-                    let mut got = Vec::new();
-                    loop {
-                        match s.steal() {
-                            Steal::Success(v) => got.push(v),
-                            Steal::Empty => {
-                                if s.is_sealed() {
-                                    break;
+        for p in [Protocol::Classic, Protocol::fence_elided()] {
+            for _round in 0..4 {
+                let (w, s) = Worker::new_with(p);
+                for i in 0..N {
+                    w.push(i);
+                }
+                let barrier = std::sync::Arc::new(std::sync::Barrier::new(THIEVES + 1));
+                let mut handles = Vec::new();
+                for _ in 0..THIEVES {
+                    let s = s.clone();
+                    let barrier = barrier.clone();
+                    handles.push(thread::spawn(move || {
+                        barrier.wait();
+                        let mut got = Vec::new();
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => got.push(v),
+                                Steal::Empty => {
+                                    if s.is_sealed() {
+                                        break;
+                                    }
+                                    thread::yield_now();
                                 }
-                                thread::yield_now();
+                                Steal::Retry => {}
                             }
-                            Steal::Retry => {}
                         }
-                    }
-                    got
-                }));
+                        got
+                    }));
+                }
+                barrier.wait();
+                let mut all = w.seal();
+                for h in handles {
+                    all.extend(h.join().expect("thief panicked"));
+                }
+                assert_eq!(all.len(), N, "{p:?}: lost or duplicated elements across seal");
+                let set: HashSet<usize> = all.iter().copied().collect();
+                assert_eq!(set.len(), N, "{p:?}: duplicated elements across seal");
             }
-            barrier.wait();
-            let mut all = w.seal();
-            for h in handles {
-                all.extend(h.join().expect("thief panicked"));
-            }
-            assert_eq!(all.len(), N, "lost or duplicated elements across seal");
-            let set: HashSet<usize> = all.iter().copied().collect();
-            assert_eq!(set.len(), N, "duplicated elements across seal");
         }
     }
 

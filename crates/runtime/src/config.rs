@@ -22,6 +22,24 @@ pub enum WaitPolicy {
     SpinOnly,
 }
 
+/// Which side of a spawn the calling worker executes first.
+///
+/// The paper's Cilk++ semantics are *work-first*: the worker dives into the
+/// spawned child and exposes the continuation for theft, so on one worker
+/// the execution order is exactly the serial elision. *Help-first* inverts
+/// this — the child is enqueued as stealable work and the worker continues
+/// past the spawn — which generates parallel slack faster for shallow,
+/// wide spawn trees at the cost of departing from serial order when no
+/// thief shows up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpawnPolicy {
+    /// Run the child now, expose the continuation (Cilk++ §3; default).
+    #[default]
+    WorkFirst,
+    /// Enqueue the child, run the continuation now (help-first scheduling).
+    HelpFirst,
+}
+
 /// Builder for a [`crate::ThreadPool`].
 ///
 /// # Examples
@@ -37,6 +55,9 @@ pub enum WaitPolicy {
 pub struct Config {
     pub(crate) num_workers: Option<usize>,
     pub(crate) wait_policy: WaitPolicy,
+    pub(crate) spawn_policy: SpawnPolicy,
+    pub(crate) classic_deque: bool,
+    pub(crate) rng_seed: Option<u64>,
     pub(crate) thread_name_prefix: String,
     pub(crate) stack_size: usize,
     pub(crate) fault_handler: Option<FaultHandler>,
@@ -50,6 +71,9 @@ impl fmt::Debug for Config {
         f.debug_struct("Config")
             .field("num_workers", &self.num_workers)
             .field("wait_policy", &self.wait_policy)
+            .field("spawn_policy", &self.spawn_policy)
+            .field("classic_deque", &self.classic_deque)
+            .field("rng_seed", &self.rng_seed)
             .field("thread_name_prefix", &self.thread_name_prefix)
             .field("stack_size", &self.stack_size)
             .field("fault_handler", &self.fault_handler.as_ref().map(|_| "<handler>"))
@@ -72,6 +96,9 @@ impl PartialEq for Config {
         handlers_eq
             && self.num_workers == other.num_workers
             && self.wait_policy == other.wait_policy
+            && self.spawn_policy == other.spawn_policy
+            && self.classic_deque == other.classic_deque
+            && self.rng_seed == other.rng_seed
             && self.thread_name_prefix == other.thread_name_prefix
             && self.stack_size == other.stack_size
             && self.stall_timeout == other.stall_timeout
@@ -89,6 +116,9 @@ impl Config {
         Config {
             num_workers: None,
             wait_policy: WaitPolicy::default(),
+            spawn_policy: SpawnPolicy::default(),
+            classic_deque: false,
+            rng_seed: None,
             thread_name_prefix: "cilk-worker".to_owned(),
             // Fork-join recursion lives on the worker stack (Cilk++ used a
             // cactus stack); default to a roomy 8 MiB.
@@ -114,6 +144,41 @@ impl Config {
     /// Sets the wait policy used inside `join`.
     pub fn wait_policy(mut self, policy: WaitPolicy) -> Self {
         self.wait_policy = policy;
+        self
+    }
+
+    /// Sets which side of a spawn the worker executes first (default:
+    /// [`SpawnPolicy::WorkFirst`], the paper's semantics). Both policies
+    /// produce identical results, reducer views, and race reports — only
+    /// the schedule differs; degraded serial execution always runs in
+    /// serial-elision order regardless of this knob.
+    pub fn spawn_policy(mut self, policy: SpawnPolicy) -> Self {
+        self.spawn_policy = policy;
+        self
+    }
+
+    /// Forces every worker deque onto the textbook Chase–Lev protocol
+    /// (`bottom` published on each push, `SeqCst` fence on each pop)
+    /// instead of the fence-elided owner fast path the runtime uses by
+    /// default. The fallback knob for the spawn-overhead ablation bench
+    /// and for bisecting any suspected protocol issue in the field.
+    ///
+    /// Pools built with [`WaitPolicy::SpinOnly`] use the classic protocol
+    /// regardless of this setting: a spin-only waiter never drains its own
+    /// deque while blocked, so privately retained elements would be
+    /// invisible to thieves *and* unreachable by the owner — a deadlock.
+    pub fn classic_deque(mut self) -> Self {
+        self.classic_deque = true;
+        self
+    }
+
+    /// Pins the seed of the pool's victim-selection PRNG streams. Unset,
+    /// the pool derives them from the workspace test seed
+    /// (`CILK_TEST_SEED`, see `cilk-testkit`), so a failing randomized
+    /// test replays its exact steal schedule bias when the printed seed is
+    /// re-exported.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = Some(seed);
         self
     }
 

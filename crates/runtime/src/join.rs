@@ -15,8 +15,9 @@
 //! paper credits for the runtime's "negligible overhead (less than 2%)" on
 //! one processor.
 
+use crate::config::SpawnPolicy;
 use crate::fault::{self, FaultSite};
-use crate::job::StackJob;
+use crate::job::{JobRef, StackJob};
 use crate::latch::{CoreLatch, Probe};
 use crate::probe::{self, ProbeEvent};
 use crate::registry::WorkerThread;
@@ -41,8 +42,12 @@ impl JoinContext {
 
 /// Runs `a` and `b`, potentially in parallel, returning both results.
 ///
-/// Semantically equivalent to `(a(), b())` — the *serial elision*. `a`
-/// executes on the calling worker; `b` may be stolen by an idle worker.
+/// Semantically equivalent to `(a(), b())` — the *serial elision*. Under
+/// the default [`crate::SpawnPolicy::WorkFirst`] `a` executes on the
+/// calling worker and `b` may be stolen by an idle worker; under
+/// [`crate::SpawnPolicy::HelpFirst`] the roles swap (`b` runs on the
+/// caller, `a` is up for theft). Results, reducer views, and race reports
+/// are identical either way.
 ///
 /// # Panics
 ///
@@ -185,6 +190,11 @@ fn run_captured_branch<R>(
 
 /// The worker-side implementation of `join_context`.
 ///
+/// Dispatches on the pool's [`SpawnPolicy`]: work-first runs the child `a`
+/// now and exposes the continuation `b` for theft (the paper's discipline);
+/// help-first exposes the child `a` and runs `b` now. Either way both sides
+/// come to rest before the implicit sync, and `a`'s panic wins.
+///
 /// # Safety
 ///
 /// Must be called on a worker thread; `wt` must be the current worker.
@@ -201,66 +211,163 @@ where
     let depth = wt.bump_depth();
     registry.probe(ProbeEvent::Spawn { worker: wt.index(), depth });
 
-    let job_b = StackJob::new(
-        wt.index(),
-        |migrated| b(JoinContext { migrated }),
-        CoreLatch::new(),
-    );
-    let job_b_ref = job_b.as_job_ref();
-    wt.push(job_b_ref);
+    match wt.spawn_policy() {
+        SpawnPolicy::WorkFirst => {
+            let job_b = StackJob::new(
+                wt.index(),
+                |migrated| b(JoinContext { migrated }),
+                CoreLatch::new(),
+            );
+            let job_b_ref = job_b.as_job_ref();
+            wt.push(job_b_ref);
 
-    // Execute `a` on this worker (work-first). The `spawn` fault point sits
-    // inside the capture frame, so an injected panic is indistinguishable
-    // from the spawned child itself panicking on entry.
-    let status_a = unwind::halt_unwinding(|| {
-        fault::fault_point(FaultSite::Spawn);
-        a(JoinContext { migrated: false })
-    });
-    if status_a.is_err() {
-        crate::registry::note_panic_captured();
-    }
-
-    // Now resolve `b`: pop it back if it is still ours, otherwise help out
-    // until the thief finishes it.
-    let result_b = loop {
-        if job_b.latch.probe() {
-            break job_b.into_result();
-        }
-        if let Some(job) = wt.take_local_job() {
-            if job == job_b_ref {
-                // Nobody stole it: run inline without touching the latch.
-                registry.probe(ProbeEvent::InlinePop { worker: wt.index() });
-                break job_b.run_inline(wt.index());
+            // Execute `a` on this worker (work-first). The `spawn` fault
+            // point sits inside the capture frame, so an injected panic is
+            // indistinguishable from the spawned child itself panicking on
+            // entry.
+            let status_a = unwind::halt_unwinding(|| {
+                fault::fault_point(FaultSite::Spawn);
+                a(JoinContext { migrated: false })
+            });
+            if status_a.is_err() {
+                crate::registry::note_panic_captured();
             }
-            // Some other local job (e.g. a scope spawn pushed by `a`): it
-            // is deeper in the serial order, so execute it now.
-            wt.execute(job);
+
+            let result_a = match status_a {
+                Ok(result_a) => result_a,
+                Err(panic_a) => {
+                    // `a` panicked: still bring `b` to rest (its frame may
+                    // be live on a thief), but capture its outcome — `a`'s
+                    // panic wins, whatever happened to `b`.
+                    let _ = unwind::halt_unwinding(|| {
+                        match resolve_spawned(wt, &job_b, job_b_ref) {
+                            Resolved::PoppedBack => drop(job_b.run_inline(wt.index())),
+                            Resolved::LatchSet => drop(job_b.into_result()),
+                        }
+                    });
+                    wt.drop_depth();
+                    unwind::resume_unwinding(panic_a)
+                }
+            };
+
+            let result_b = match resolve_spawned(wt, &job_b, job_b_ref) {
+                Resolved::PoppedBack => job_b.run_inline(wt.index()),
+                Resolved::LatchSet => job_b.into_result(),
+            };
+
+            wt.drop_depth();
+
+            // The implicit `cilk_sync`: an injected fault here surfaces
+            // after both branches have come to rest, exactly like a panic
+            // at the sync point.
+            let status_sync = unwind::halt_unwinding(|| fault::fault_point(FaultSite::Sync));
+
+            match status_sync {
+                Ok(()) => (result_a, result_b),
+                Err(panic_sync) => {
+                    drop((result_a, result_b));
+                    unwind::resume_unwinding(panic_sync)
+                }
+            }
+        }
+        SpawnPolicy::HelpFirst => {
+            // Mirror image: the child becomes the stealable job and the
+            // continuation runs now. `a` may therefore migrate and `b`
+            // never does — reducers and race detection only depend on the
+            // migrated flags being truthful, not on which side moves.
+            let job_a = StackJob::new(
+                wt.index(),
+                |migrated| a(JoinContext { migrated }),
+                CoreLatch::new(),
+            );
+            let job_a_ref = job_a.as_job_ref();
+            wt.push(job_a_ref);
+
+            let status_b = unwind::halt_unwinding(|| {
+                fault::fault_point(FaultSite::Spawn);
+                b(JoinContext { migrated: false })
+            });
+            if status_b.is_err() {
+                crate::registry::note_panic_captured();
+            }
+
+            // Resolving `a` resumes its panic right here if it had one —
+            // before `b`'s captured panic can propagate — so "`a`'s panic
+            // wins" holds under both policies.
+            let result_a = match resolve_spawned(wt, &job_a, job_a_ref) {
+                Resolved::PoppedBack => job_a.run_inline(wt.index()),
+                Resolved::LatchSet => job_a.into_result(),
+            };
+
+            wt.drop_depth();
+
+            let status_sync = unwind::halt_unwinding(|| fault::fault_point(FaultSite::Sync));
+
+            match status_b {
+                Ok(result_b) => match status_sync {
+                    Ok(()) => (result_a, result_b),
+                    Err(panic_sync) => {
+                        drop((result_a, result_b));
+                        unwind::resume_unwinding(panic_sync)
+                    }
+                },
+                Err(panic_b) => {
+                    drop(result_a);
+                    unwind::resume_unwinding(panic_b)
+                }
+            }
+        }
+    }
+}
+
+/// How the spawned side of a `join` came to rest (see [`resolve_spawned`]).
+enum Resolved {
+    /// The owner popped the job back before any thief claimed it: run it
+    /// inline, bypassing the latch.
+    PoppedBack,
+    /// A thief executed the job and set its latch: take the stored result.
+    LatchSet,
+}
+
+/// Brings the spawned (pushed) side of a `join` to rest: pops it back if
+/// no thief claimed it — the common case the paper credits for near-zero
+/// spawn overhead — or helps with other work until the thief finishes.
+///
+/// The job is borrowed, never moved: the pushed [`JobRef`] (and any thief
+/// holding it) points at the job's stack slot, so it must stay put until
+/// the caller consumes it according to the returned [`Resolved`].
+///
+/// # Safety
+///
+/// Must run on the worker that pushed `job`; `job_ref` must refer to it.
+unsafe fn resolve_spawned<F, R>(
+    wt: &WorkerThread,
+    job: &StackJob<CoreLatch, F, R>,
+    job_ref: JobRef,
+) -> Resolved
+where
+    F: FnOnce(bool) -> R + Send,
+    R: Send,
+{
+    let registry = wt.registry();
+    loop {
+        if job.latch.probe() {
+            return Resolved::LatchSet;
+        }
+        if let Some(local) = wt.take_local_job() {
+            if local == job_ref {
+                // Nobody stole it: the caller runs it inline.
+                registry.probe(ProbeEvent::InlinePop { worker: wt.index() });
+                return Resolved::PoppedBack;
+            }
+            // Some other local job (e.g. a scope spawn pushed by the side
+            // that already ran): it is deeper in the serial order, so
+            // execute it now.
+            wt.execute(local);
             continue;
         }
-        // `b` was stolen; steal back other work while we wait.
-        wt.wait_until(&job_b.latch);
-    };
-
-    wt.drop_depth();
-
-    // The implicit `cilk_sync`: an injected fault here surfaces after both
-    // branches have come to rest, exactly like a panic at the sync point.
-    let status_sync = unwind::halt_unwinding(|| fault::fault_point(FaultSite::Sync));
-
-    match status_a {
-        Ok(result_a) => match status_sync {
-            Ok(()) => (result_a, result_b),
-            Err(panic_sync) => {
-                drop((result_a, result_b));
-                unwind::resume_unwinding(panic_sync)
-            }
-        },
-        Err(panic_a) => {
-            // `b` has already come to rest (we hold its result); propagate
-            // `a`'s panic, discarding `b`'s result.
-            drop(result_b);
-            unwind::resume_unwinding(panic_a)
-        }
+        // The job was stolen; steal back other work while we wait.
+        wt.wait_until(&job.latch);
     }
 }
 
@@ -305,6 +412,42 @@ mod tests {
     #[test]
     fn join_context_reports_not_migrated_for_a() {
         let (ma, _mb) = join_context(|ctx| ctx.migrated(), |ctx| ctx.migrated());
-        assert!(!ma, "the left branch always runs on the calling worker");
+        // The global pool runs the default work-first policy, where the
+        // left branch always runs on the calling worker.
+        assert!(!ma, "work-first runs the left branch on the calling worker");
+    }
+
+    #[test]
+    fn help_first_pool_matches_work_first_results() {
+        use crate::{Config, SpawnPolicy, ThreadPool};
+
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = ThreadPool::with_config(
+            Config::new().num_workers(2).spawn_policy(SpawnPolicy::HelpFirst),
+        )
+        .expect("pool");
+        assert_eq!(pool.install(|| fib(15)), 610);
+    }
+
+    #[test]
+    fn help_first_pool_keeps_a_panic_priority() {
+        use crate::{Config, SpawnPolicy, ThreadPool};
+
+        let pool = ThreadPool::with_config(
+            Config::new().num_workers(1).spawn_policy(SpawnPolicy::HelpFirst),
+        )
+        .expect("pool");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| join(|| panic!("a dies"), || panic!("b dies")))
+        }));
+        let payload = r.expect_err("join must panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "a dies", "a's panic wins under help-first too");
     }
 }

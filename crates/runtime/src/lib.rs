@@ -56,7 +56,7 @@ pub use admission::{
     AdmissionPolicy, AdmissionReport, Overloaded, Priority, RejectReason, SubmitError,
     TenantId, TenantStats,
 };
-pub use config::{BuildPoolError, Config, RuntimeStalled, WaitPolicy};
+pub use config::{BuildPoolError, Config, RuntimeStalled, SpawnPolicy, WaitPolicy};
 pub use join::{join, join_context, JoinContext};
 pub use metrics::MetricsSnapshot;
 pub use parallel_for::{for_each_index, for_each_slice_mut, map_reduce_index, Grain};
@@ -153,6 +153,14 @@ impl ThreadPool {
     /// and depth high-watermarks).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.registry.metrics()
+    }
+
+    /// The base seed of this pool's victim-selection PRNG streams:
+    /// [`Config::rng_seed`] if pinned, otherwise derived from the
+    /// workspace test seed (`CILK_TEST_SEED`). Print it in failure
+    /// messages so a randomized schedule can be replayed exactly.
+    pub fn rng_seed(&self) -> u64 {
+        self.registry.rng_seed()
     }
 
     /// Number of workers currently alive. Equal to
@@ -359,6 +367,21 @@ pub fn global_metrics() -> MetricsSnapshot {
 /// outside any pool. Useful for per-worker scratch arrays.
 pub fn current_worker_index() -> Option<usize> {
     registry::current_worker_index()
+}
+
+/// The [`SpawnPolicy`] governing `join` on the calling thread: the
+/// enclosing pool's policy for worker threads, [`SpawnPolicy::WorkFirst`]
+/// otherwise (non-pool threads and the global pool both run the default).
+/// Reducer libraries use this to pick the matching view-frame discipline.
+pub fn current_spawn_policy() -> SpawnPolicy {
+    unsafe {
+        let current = registry::WorkerThread::current();
+        if current.is_null() {
+            SpawnPolicy::WorkFirst
+        } else {
+            (*current).spawn_policy()
+        }
+    }
 }
 
 /// The current `join` nesting depth of the calling worker (0 on non-pool

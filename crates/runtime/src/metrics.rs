@@ -16,6 +16,12 @@ pub(crate) struct Counters {
     pub(crate) steals: AtomicU64,
     /// Failed steal attempts (victim empty or lost CAS race).
     pub(crate) failed_steals: AtomicU64,
+    /// Steals served by the locality fast path (cached last victim or
+    /// steal-back target); a subset of `steals`.
+    pub(crate) steals_affinity_hits: AtomicU64,
+    /// Steal rounds that found nothing at their affinity targets and fell
+    /// back to the randomized ring scan.
+    pub(crate) steals_fallback: AtomicU64,
     /// Jobs pushed by `join` (the stealable continuations).
     pub(crate) spawns: AtomicU64,
     /// Jobs pushed by `scope::spawn`.
@@ -93,6 +99,8 @@ impl Counters {
             ProbeEvent::Inject => self.bump(&self.injections),
             ProbeEvent::StealSuccess { .. } => self.bump(&self.steals),
             ProbeEvent::StealFailed { .. } => self.bump(&self.failed_steals),
+            ProbeEvent::StealLocalAffinity { .. } => self.bump(&self.steals_affinity_hits),
+            ProbeEvent::StealRandomFallback { .. } => self.bump(&self.steals_fallback),
             ProbeEvent::StealAborted { .. } => self.bump(&self.steals_aborted),
             ProbeEvent::DequeLen { len, .. } => self.record_deque_len(len),
             ProbeEvent::PanicCaptured { .. } => self.bump(&self.panics_captured),
@@ -130,6 +138,12 @@ pub struct MetricsSnapshot {
     pub steals: u64,
     /// Steal attempts that found the victim empty or lost a race.
     pub failed_steals: u64,
+    /// Steals served by the locality fast path (the thief's cached last
+    /// victim or its steal-back target); a subset of `steals`.
+    pub steals_affinity_hits: u64,
+    /// Steal rounds that found nothing at their affinity targets and fell
+    /// back to the randomized ring scan.
+    pub steals_fallback: u64,
     /// Continuations made available to thieves by `join`.
     pub spawns: u64,
     /// Tasks spawned through a `scope`.
@@ -192,6 +206,8 @@ impl Counters {
         MetricsSnapshot {
             steals: self.steals.load(Ordering::Relaxed),
             failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            steals_affinity_hits: self.steals_affinity_hits.load(Ordering::Relaxed),
+            steals_fallback: self.steals_fallback.load(Ordering::Relaxed),
             spawns: self.spawns.load(Ordering::Relaxed),
             scope_spawns: self.scope_spawns.load(Ordering::Relaxed),
             injections: self.injections.load(Ordering::Relaxed),
@@ -250,6 +266,8 @@ mod tests {
         c.on_event(&ProbeEvent::Inject);
         c.on_event(&ProbeEvent::StealSuccess { thief: 1, victim: 0 });
         c.on_event(&ProbeEvent::StealFailed { thief: 1 });
+        c.on_event(&ProbeEvent::StealLocalAffinity { thief: 1, victim: 0 });
+        c.on_event(&ProbeEvent::StealRandomFallback { thief: 1 });
         c.on_event(&ProbeEvent::StealAborted { thief: 1 });
         c.on_event(&ProbeEvent::DequeLen { worker: 0, len: 6 });
         c.on_event(&ProbeEvent::PanicCaptured { worker: 0 });
@@ -277,6 +295,8 @@ mod tests {
         assert_eq!(s.injections, 1);
         assert_eq!(s.steals, 1);
         assert_eq!(s.failed_steals, 1);
+        assert_eq!(s.steals_affinity_hits, 1);
+        assert_eq!(s.steals_fallback, 1);
         assert_eq!(s.steals_aborted, 1);
         assert_eq!(s.deque_high_watermark, 6);
         assert_eq!(s.panics_captured, 1);

@@ -14,10 +14,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use cilk_deque::{Steal, Stealer, Worker};
+use cilk_deque::{Protocol, Steal, Stealer, Worker};
 
 use crate::admission::{Injector, Overloaded, Priority, RejectReason, SubmitError, TenantId};
-use crate::config::{BuildPoolError, Config, RuntimeStalled, WaitPolicy};
+use crate::config::{BuildPoolError, Config, RuntimeStalled, SpawnPolicy, WaitPolicy};
 use crate::fault::{self, FaultAction, FaultHandler, FaultSite};
 use crate::job::{JobRef, StackJob};
 use crate::latch::{LockLatch, Probe};
@@ -33,9 +33,19 @@ use crate::unwind;
 /// a real worker index, so injected jobs always count as "migrated".
 pub(crate) const INJECTED_OWNER: usize = usize::MAX - 7;
 
+/// Sentinel for "no affinity information yet" in the locality-aware victim
+/// selection (never a valid worker index).
+const NO_AFFINITY: usize = usize::MAX;
+
 /// Per-worker bookkeeping visible to the whole registry.
 struct ThreadInfo {
     stealer: Stealer<JobRef>,
+    /// Index of the worker that most recently stole from this one
+    /// ([`NO_AFFINITY`] until the first theft). When this worker runs dry
+    /// it tries that thief first — "steal back": the thief took a
+    /// continuation whose working set this worker just touched, so its
+    /// deque is the likeliest home of cache-warm related work.
+    last_thief: AtomicUsize,
 }
 
 /// Condvar-based sleep state for idle workers.
@@ -55,6 +65,12 @@ pub(crate) struct Registry {
     terminate: AtomicBool,
     pub(crate) counters: Counters,
     pub(crate) wait_policy: WaitPolicy,
+    /// Which side of a `join` the worker runs first (see [`SpawnPolicy`]).
+    pub(crate) spawn_policy: SpawnPolicy,
+    /// Base seed of the pool's victim-selection PRNG streams (per-worker
+    /// streams are derived by worker index). Surfaced so randomized test
+    /// failures can print the exact value to replay the schedule bias.
+    pub(crate) rng_seed: u64,
     /// Fault-injection decision function, if this pool is under test.
     fault_handler: Option<FaultHandler>,
     /// External-wait deadline before diagnosing a stall (None = unbounded).
@@ -78,12 +94,25 @@ impl Registry {
         config: &Config,
     ) -> Result<(Arc<Registry>, Vec<JoinHandle<()>>), BuildPoolError> {
         let n = config.resolved_workers();
+        // Worker deques run the fence-elided owner fast path unless the
+        // pool opts out ([`Config::classic_deque`]) or waits spin-only: a
+        // `SpinOnly` waiter never drains its own deque while blocked, so
+        // privately retained elements would be invisible to thieves and
+        // unreachable by the owner — classic publication is required there.
+        let protocol = if config.classic_deque || config.wait_policy == WaitPolicy::SpinOnly {
+            Protocol::Classic
+        } else {
+            Protocol::fence_elided()
+        };
         let mut deques = Vec::with_capacity(n);
         let mut infos = Vec::with_capacity(n);
         for _ in 0..n {
             let deque = cilk_deque::Deque::new();
-            infos.push(ThreadInfo { stealer: deque.stealer() });
-            deques.push(deque.into_worker());
+            infos.push(ThreadInfo {
+                stealer: deque.stealer(),
+                last_thief: AtomicUsize::new(NO_AFFINITY),
+            });
+            deques.push(deque.into_worker_with(protocol));
         }
         let registry = Arc::new(Registry {
             thread_infos: infos,
@@ -96,6 +125,8 @@ impl Registry {
             terminate: AtomicBool::new(false),
             counters: Counters::default(),
             wait_policy: config.wait_policy,
+            spawn_policy: config.spawn_policy,
+            rng_seed: config.rng_seed.unwrap_or_else(cilk_testkit::base_seed),
             fault_handler: config.fault_handler.clone(),
             stall_timeout: config.stall_timeout,
             supervision: config
@@ -141,11 +172,14 @@ impl Registry {
             .name(name)
             .stack_size(self.stack_size)
             .spawn(move || {
+                let rng_state = registry.worker_rng_state(index as u64 + 1);
+                let last_victim = registry.nearest_neighbor(index);
                 let worker = WorkerThread {
                     deque,
                     index,
                     registry,
-                    rng_state: Cell::new(0x9E37_79B9_7F4A_7C15u64 ^ (index as u64 + 1)),
+                    rng_state: Cell::new(rng_state),
+                    last_victim: Cell::new(last_victim),
                     depth: Cell::new(0),
                     pending_death: Cell::new(false),
                 };
@@ -157,6 +191,38 @@ impl Registry {
     /// Number of workers in this pool.
     pub(crate) fn num_workers(&self) -> usize {
         self.thread_infos.len()
+    }
+
+    /// The base seed of this pool's victim-selection PRNG streams (see
+    /// [`crate::Config::rng_seed`]).
+    pub(crate) fn rng_seed(&self) -> u64 {
+        self.rng_seed
+    }
+
+    /// Initial xorshift state for the worker stream keyed by `key`,
+    /// derived from the pool seed through the testkit generator so
+    /// `CILK_TEST_SEED` replays the identical steal schedule bias.
+    /// Never zero (the xorshift fixed point).
+    fn worker_rng_state(&self, key: u64) -> u64 {
+        let mut rng = cilk_testkit::rng::Rng::from_keys(self.rng_seed, &[key]);
+        loop {
+            let state = rng.next_u64();
+            if state != 0 {
+                return state;
+            }
+        }
+    }
+
+    /// The ring-adjacent worker of `index` — the initial steal-back-free
+    /// affinity guess — or [`NO_AFFINITY`] when the pool has no other
+    /// worker to name.
+    fn nearest_neighbor(&self, index: usize) -> usize {
+        let n = self.num_workers();
+        if n <= 1 || index >= n {
+            NO_AFFINITY
+        } else {
+            (index + 1) % n
+        }
     }
 
     /// Snapshot of the pool counters.
@@ -382,7 +448,8 @@ impl Registry {
             deque: cilk_deque::Deque::new().into_worker(),
             index: self.num_workers(),
             registry: Arc::clone(self),
-            rng_state: Cell::new(0x9E37_79B9_7F4A_7C15u64 ^ 0xE5CA_1A7E),
+            rng_state: Cell::new(self.worker_rng_state(0xE5CA_1A7E)),
+            last_victim: Cell::new(NO_AFFINITY),
             depth: Cell::new(0),
             pending_death: Cell::new(false),
         };
@@ -723,6 +790,11 @@ pub(crate) struct WorkerThread {
     index: usize,
     registry: Arc<Registry>,
     rng_state: Cell<u64>,
+    /// The victim of this worker's most recent successful steal, probed
+    /// first on the next steal round ([`NO_AFFINITY`] when unknown;
+    /// initialized to the ring-adjacent neighbor so the first round of a
+    /// fresh worker is a nearness probe rather than a blind scan).
+    last_victim: Cell<usize>,
     depth: Cell<usize>,
     /// Set by [`FaultAction::Die`]: the worker finishes the obligations
     /// already on its stack and retires at its next top-of-loop (sealing
@@ -749,6 +821,19 @@ impl WorkerThread {
     /// Current `join` nesting depth on this worker.
     pub(crate) fn depth(&self) -> usize {
         self.depth.get()
+    }
+
+    /// The spawn policy `join` must follow on this worker. The emergency
+    /// serial worker of a fully degraded pool (sentinel index one past the
+    /// real slots; see [`Registry::run_in_place`]) always runs work-first,
+    /// so degraded serial execution keeps serial-elision order (child
+    /// before continuation) no matter what the pool was configured with.
+    pub(crate) fn spawn_policy(&self) -> SpawnPolicy {
+        if self.index >= self.registry.num_workers() {
+            SpawnPolicy::WorkFirst
+        } else {
+            self.registry.spawn_policy
+        }
     }
 
     pub(crate) fn bump_depth(&self) -> usize {
@@ -784,8 +869,26 @@ impl WorkerThread {
     }
 
     /// Pushes a stealable job onto the bottom of this worker's deque.
+    ///
+    /// Under the fence-elided protocol the job may sit in the owner's
+    /// private window until the next batch publication — the right
+    /// behaviour for `join` continuations, which the owner usually pops
+    /// right back. Work that exists to be *taken* (scope tasks, handoff
+    /// surplus) should go through [`WorkerThread::push_published`].
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job);
+        self.registry
+            .probe(ProbeEvent::DequeLen { worker: self.index, len: self.deque.len() });
+        self.registry.wake_all();
+    }
+
+    /// Pushes a stealable job and immediately publishes the owner's
+    /// private window, making it (and everything older) visible to
+    /// thieves now instead of at the next batch boundary. A no-op beyond
+    /// [`WorkerThread::push`] under the classic protocol.
+    pub(crate) fn push_published(&self, job: JobRef) {
+        self.deque.push(job);
+        self.deque.publish();
         self.registry
             .probe(ProbeEvent::DequeLen { worker: self.index, len: self.deque.len() });
         self.registry.wake_all();
@@ -835,6 +938,45 @@ impl WorkerThread {
         if n <= 1 {
             return None;
         }
+        // Locality pass: the cached last victim first, then the steal-back
+        // target (the worker that most recently robbed *us*). Both are
+        // O(1) probes, no scan; under recursive workloads a warm pool
+        // resolves most rounds here. The emergency serial worker (sentinel
+        // index) has no slot, hence no steal-back hint.
+        let steal_back = if self.index < n {
+            self.registry.thread_infos[self.index].last_thief.load(Ordering::Relaxed)
+        } else {
+            NO_AFFINITY
+        };
+        let cached = self.last_victim.get();
+        // When both hints name the same worker, probe it once.
+        let steal_back = if steal_back == cached { NO_AFFINITY } else { steal_back };
+        for victim in [cached, steal_back] {
+            if victim >= n || victim == self.index {
+                continue;
+            }
+            if let Some(sup) = self.registry.supervision() {
+                if !sup.is_alive(victim) {
+                    continue;
+                }
+            }
+            match self.registry.thread_infos[victim].stealer.steal() {
+                Steal::Success(job) => {
+                    self.note_theft(victim);
+                    self.registry
+                        .probe(ProbeEvent::StealLocalAffinity { thief: self.index, victim });
+                    self.registry
+                        .probe(ProbeEvent::StealSuccess { thief: self.index, victim });
+                    return Some(job);
+                }
+                Steal::Retry | Steal::Empty => {
+                    self.registry.probe(ProbeEvent::StealFailed { thief: self.index });
+                }
+            }
+        }
+        // Affinity missed: fall back to the randomized ring scan over
+        // every other worker (the paper's random victim selection).
+        self.registry.probe(ProbeEvent::StealRandomFallback { thief: self.index });
         loop {
             let mut retry = false;
             let start = (self.next_random() as usize) % n;
@@ -853,6 +995,7 @@ impl WorkerThread {
                 }
                 match self.registry.thread_infos[victim].stealer.steal() {
                     Steal::Success(job) => {
+                        self.note_theft(victim);
                         self.registry
                             .probe(ProbeEvent::StealSuccess { thief: self.index, victim });
                         return Some(job);
@@ -870,6 +1013,18 @@ impl WorkerThread {
                 return None;
             }
             std::hint::spin_loop();
+        }
+    }
+
+    /// Records a successful theft for the locality heuristics: the victim
+    /// becomes this thief's cached first guess for the next round, and the
+    /// victim learns who robbed it so it can steal back when it runs dry.
+    fn note_theft(&self, victim: usize) {
+        self.last_victim.set(victim);
+        if self.index < self.registry.num_workers() {
+            self.registry.thread_infos[victim]
+                .last_thief
+                .store(self.index, Ordering::Relaxed);
         }
     }
 
@@ -895,7 +1050,8 @@ impl WorkerThread {
         let first = jobs.next()?;
         let surplus = jobs.len();
         for job in jobs {
-            self.push(job);
+            // Published: handoff surplus exists to spread across workers.
+            self.push_published(job);
         }
         if surplus > 0 {
             registry.probe(ProbeEvent::InjectorBatch { jobs: surplus + 1 });
@@ -1085,6 +1241,50 @@ mod tests {
         let (registry, handles) = Registry::new(&config).expect("spawn workers");
         registry.in_worker(|_| ());
         assert!(registry.metrics().injections >= 1);
+        registry.terminate();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    }
+
+    #[test]
+    fn pool_rng_seed_pinned_and_defaulted() {
+        let config = Config::new().num_workers(1).rng_seed(42);
+        let (registry, handles) = Registry::new(&config).expect("spawn workers");
+        assert_eq!(registry.rng_seed(), 42);
+        registry.terminate();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let (registry, handles) =
+            Registry::new(&Config::new().num_workers(1)).expect("spawn workers");
+        assert_eq!(registry.rng_seed(), cilk_testkit::base_seed());
+        registry.terminate();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    }
+
+    #[test]
+    fn affinity_hits_stay_subset_of_steals() {
+        let config = Config::new().num_workers(4);
+        let (registry, handles) = Registry::new(&config).expect("spawn workers");
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let v = registry.in_worker(|_| fib(18));
+        assert_eq!(v, 2584);
+        let m = registry.metrics();
+        assert!(m.steals_affinity_hits <= m.steals, "{m:?}");
+        if m.steals > 0 {
+            // Every successful steal either hit the affinity fast path or
+            // came from a round that probed it and fell back.
+            assert!(m.steals_affinity_hits + m.steals_fallback > 0, "{m:?}");
+        }
         registry.terminate();
         for h in handles {
             h.join().expect("worker panicked");

@@ -91,7 +91,12 @@ impl<'scope> Scope<'scope> {
     /// worker, any time before the scope completes.
     ///
     /// Unlike `join`, spawned tasks are fire-and-forget: results are
-    /// communicated through captured state (or reducers).
+    /// communicated through captured state (or reducers). Scope tasks are
+    /// help-first by construction — `spawn` enqueues the task and returns
+    /// immediately, whatever [`crate::SpawnPolicy`] the pool runs `join`
+    /// under — because a fire-and-forget task has no continuation to
+    /// expose; degraded serial pools drain tasks in spawn order either
+    /// way.
     pub fn spawn<F>(&self, body: F)
     where
         F: FnOnce(TaskContext) + Send + 'scope,
@@ -186,7 +191,11 @@ impl<'scope> Scope<'scope> {
         // progress.
         wt.beat(crate::supervisor::BeatSite::ScopeSpawn);
         wt.registry().probe(ProbeEvent::ScopeSpawn { worker: wt.index() });
-        wt.push(job_ref);
+        // Published immediately: scope tasks are help-first by
+        // construction — they exist to be picked up by other workers while
+        // this one continues the scope body, so they must not linger in
+        // the fence-elided owner's private window.
+        wt.push_published(job_ref);
     }
 
     /// Cancels the scope: tasks that have not started yet skip their
