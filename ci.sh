@@ -81,6 +81,33 @@ CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
     cargo test -q --offline --test overload_soak overload_soak_randomized -- --nocapture \
     | grep -v '^$'
 
+echo "== starvation soak: pinned-seed weighted-fairness slice =="
+# A permanent High flood at 4x capacity against a Low-band tenant at 10%
+# fair share (weights 9:1): every admitted Low job completes within its
+# aged deadline — aging climbs it out of the starved band — the books
+# balance (admitted == completed + cancelled), cancel releases quota
+# without executing, and a tripped breaker fast-fails with a retry hint
+# (docs/scheduler-service.md, phase 2).
+cargo test -q --offline --test starvation_soak starvation_soak_pinned_seeds
+cargo test -q --offline --test starvation_soak weighted_goodput_tracks_weight_ratio
+cargo test -q --offline --test starvation_soak cancel_releases_quota_and_never_executes
+cargo test -q --offline --test starvation_soak breaker_trips_fast_fails_and_recovers
+
+echo "== starvation soak: randomized slice (seed printed for replay) =="
+CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
+    cargo test -q --offline --test starvation_soak starvation_soak_randomized -- --nocapture \
+    | grep -v '^$'
+
+echo "== open-loop collapse: graceful degradation past capacity =="
+# Arrivals on an absolute 4x-capacity schedule (admission slowness never
+# back-pressures the arrival process): the excess sheds as typed
+# rejections, queue depth and p99 stay bounded, every arrival accounted.
+cargo test -q --offline --test starvation_soak open_loop_collapse_stays_bounded
+
+echo "== handle properties: weighted quota, handle ledger, cancel races =="
+CILK_TEST_SEED="0x$(od -An -N8 -tx8 /dev/urandom | tr -d ' ')" \
+    cargo test -q --offline --test handle_props
+
 echo "== parallel cilkscreen: pinned-seed oracle cross-validation =="
 # The parallel monitor (SP-order labels + concurrent shadow memory,
 # docs/cilkscreen.md Layer 3) must report exactly the serial SP-bags

@@ -206,5 +206,100 @@ fn main() {
     assert_eq!(probe::consumer_count(), 0);
     assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
 
+    cilk_bench::section("probe smoke: phase-2 events stay off the probe registry");
+
+    // Aging promotions, handle cancellation and breaker trips emit
+    // JobAged/JobCancelled/BreakerTripped through the same global gate —
+    // one relaxed load each while no consumer is installed — and the
+    // per-pool counters record exact, deterministic counts.
+    let phase2 = cilk_runtime::ThreadPool::with_config(
+        cilk_runtime::Config::new().num_workers(1).admission(
+            cilk_runtime::AdmissionPolicy::new()
+                .shards(1)
+                .shard_capacity(3)
+                .fair_share(8)
+                .burst(0)
+                .age_after(std::time::Duration::from_millis(5))
+                .breaker(2, std::time::Duration::from_secs(60)),
+        ),
+    )
+    .expect("phase-2 pool");
+    let tenant = cilk_runtime::TenantId(6);
+
+    // Gate the only worker so the queue below is fully deterministic.
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let holder = phase2
+        .submit_async(tenant, move || {
+            started_tx.send(()).expect("main thread listens");
+            release_rx.recv().expect("main thread releases");
+        })
+        .expect("holder admitted");
+    started_rx.recv().expect("held job starts");
+
+    // One Low-band job (will age two bands: exactly 2 JobAged events),
+    // one job to cancel, one High-band filler to pin the queue at
+    // capacity 3 (High is band 0 already — it cannot age and muddy the
+    // JobAged count; the cancelled job never survives to a claim pass).
+    let low = phase2
+        .tenant(tenant)
+        .priority(cilk_runtime::Priority::Low)
+        .submit_async(|| 5u32)
+        .expect("low-band job admitted");
+    let doomed = phase2.submit_async(tenant, || 6u32).expect("doomed job admitted");
+    let filler = phase2
+        .tenant(tenant)
+        .priority(cilk_runtime::Priority::High)
+        .submit_async(|| 7u32)
+        .expect("filler admitted");
+
+    // Queue full: two QueueFull strikes trip the threshold-2 breaker
+    // (exactly 1 BreakerTripped), the third rejection is the O(1)
+    // fast-fail — counted globally but never reaching the shard stats.
+    for strike in 1..=2 {
+        match phase2.submit(tenant, || 0) {
+            Err(cilk_runtime::SubmitError::Overloaded(over)) => {
+                assert_eq!(
+                    over.reason,
+                    cilk_runtime::RejectReason::QueueFull,
+                    "strike {strike}: {over}"
+                );
+            }
+            other => panic!("strike {strike}: full queue must reject, got {other:?}"),
+        }
+    }
+    match phase2.submit(tenant, || 0) {
+        Err(cilk_runtime::SubmitError::Overloaded(over)) => {
+            assert_eq!(over.reason, cilk_runtime::RejectReason::BreakerOpen, "{over}");
+            assert!(over.retry_after.is_some(), "open breaker hints a retry: {over}");
+        }
+        other => panic!("tripped breaker must fast-fail, got {other:?}"),
+    }
+
+    assert!(doomed.cancel(), "queued behind a gated worker: cancellable");
+    std::thread::sleep(std::time::Duration::from_millis(12)); // > age_after
+    release_tx.send(()).expect("held job waits");
+    assert!(holder.wait().is_some());
+    assert_eq!(low.wait(), Some(5), "aged job served");
+    assert_eq!(filler.wait(), Some(7), "filler served");
+
+    let m = phase2.metrics();
+    assert_eq!(m.jobs_aged, 2, "one Low job climbs exactly two bands: {m:?}");
+    assert_eq!(m.jobs_cancelled, 1, "exactly the one cancel: {m:?}");
+    assert_eq!(m.breakers_tripped, 1, "exactly one trip at strike 2: {m:?}");
+    assert_eq!(m.jobs_rejected, 3, "two strikes + one fast-fail: {m:?}");
+    let stats = *phase2.admission_report().tenant(tenant).expect("tenant recorded");
+    assert_eq!(stats.admitted, 4, "{stats:?}");
+    assert_eq!(stats.completed, 3, "{stats:?}");
+    assert_eq!(stats.cancelled, 1, "{stats:?}");
+    assert_eq!(stats.rejected, 2, "breaker fast-fails skip the shard stats: {stats:?}");
+    assert_eq!(stats.in_flight, 0, "{stats:?}");
+    drop(phase2);
+
+    // The whole phase-2 exercise registered nothing: every JobAged,
+    // JobCancelled and BreakerTripped emission paid one relaxed load.
+    assert_eq!(probe::consumer_count(), 0);
+    assert_eq!(probe::installed_mask(), probe::EventMask::NONE);
+
     println!("probe smoke: all disabled-cost invariants hold");
 }

@@ -8,15 +8,22 @@
 //! [`SchedHistograms`] consumer rides along to record the injection-queue
 //! depth distribution each submission observed.
 //!
+//! Two phase-2 scenarios ride along: a **weighted** run (two tenants at
+//! weights 3:1 flooding one shard; steady-state goodput must track the
+//! weight ratio) and an **open-loop** run (arrivals at 4× capacity on an
+//! absolute schedule; the excess sheds as typed rejections while p99 of
+//! the admitted work stays bounded by the queue depth).
+//!
 //! Output: a human table on stdout and `target/sched/BENCH_sched.json`
 //! (hand-rolled JSON — the workspace is hermetic) for CI to archive.
 
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use cilk_bench::histogram::{LatencyHistogram, SchedHistograms};
-use cilk_runtime::{AdmissionPolicy, Config, Priority, TenantId, ThreadPool};
-use cilk_workloads::traffic::{run_traffic, StreamSpec};
+use cilk_runtime::{AdmissionPolicy, Config, Priority, SubmitError, TenantId, ThreadPool};
+use cilk_workloads::traffic::{percentile, run_open_loop, run_traffic, OpenLoopSpec, StreamSpec};
 
 struct Run {
     workers: usize,
@@ -83,6 +90,135 @@ fn service_run(workers: usize) -> Run {
     }
 }
 
+struct WeightedRun {
+    workers: usize,
+    heavy_completed: u64,
+    light_completed: u64,
+    ratio: f64,
+}
+
+/// Two tenants flooding one shard at weights 3:1, both kept backlogged by
+/// refill threads; goodput is measured as completion deltas over a
+/// steady-state window (warmup excluded), where the DRR claim order makes
+/// the ratio track the weights.
+fn weighted_run(workers: usize) -> WeightedRun {
+    let heavy = TenantId(7);
+    let light = TenantId(8);
+    let pool = ThreadPool::with_config(Config::new().num_workers(workers).admission(
+        AdmissionPolicy::new()
+            .shards(1)
+            .shard_capacity(48)
+            .fair_share(8)
+            .burst(0)
+            .weight(heavy, 3)
+            .weight(light, 1)
+            .age_after(Duration::from_secs(60))
+            .handoff_batch(4),
+    ))
+    .expect("pool builds");
+
+    let service_floor = Duration::from_millis(2);
+    let stop = AtomicBool::new(false);
+    let (heavy_delta, light_delta) = std::thread::scope(|s| {
+        for tenant in [heavy, light] {
+            let (pool, stop) = (&pool, &stop);
+            s.spawn(move || {
+                let submission = pool.tenant(tenant);
+                let mut handles = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match submission.submit_async(move || {
+                        let start = Instant::now();
+                        let v = cilk_workloads::fib_cutoff(8, 8);
+                        if let Some(rem) = service_floor.checked_sub(start.elapsed()) {
+                            std::thread::sleep(rem);
+                        }
+                        v
+                    }) {
+                        Ok(handle) => handles.push(handle),
+                        Err(SubmitError::Overloaded(_)) => {
+                            std::thread::sleep(Duration::from_micros(200))
+                        }
+                        Err(other) => panic!("unexpected submit error: {other}"),
+                    }
+                }
+                for handle in handles {
+                    assert!(handle.wait().is_some(), "flood job lost");
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let warm = pool.admission_report();
+        let (h0, l0) = (
+            warm.tenant(heavy).expect("heavy recorded").completed,
+            warm.tenant(light).expect("light recorded").completed,
+        );
+        std::thread::sleep(Duration::from_millis(250));
+        let end = pool.admission_report();
+        stop.store(true, Ordering::Relaxed);
+        (
+            end.tenant(heavy).unwrap().completed - h0,
+            end.tenant(light).unwrap().completed - l0,
+        )
+    });
+    drop(pool);
+    WeightedRun {
+        workers,
+        heavy_completed: heavy_delta,
+        light_completed: light_delta,
+        ratio: heavy_delta as f64 / light_delta.max(1) as f64,
+    }
+}
+
+struct OpenLoopRun {
+    workers: usize,
+    offered: u64,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    p50: Duration,
+    p99: Duration,
+    goodput: f64,
+}
+
+/// One tenant arriving open-loop at 4× capacity (absolute schedule, so a
+/// slow queue never back-pressures the arrival process): graceful
+/// collapse means the overload surfaces as rejections, not latency.
+fn open_loop_run(workers: usize) -> OpenLoopRun {
+    let tenant = TenantId(11);
+    let shard_capacity = 16;
+    let pool = ThreadPool::with_config(Config::new().num_workers(workers).admission(
+        AdmissionPolicy::new()
+            .shards(1)
+            .shard_capacity(shard_capacity)
+            .fair_share(shard_capacity as u64)
+            .burst(0)
+            .handoff_batch(4),
+    ))
+    .expect("pool builds");
+    let service_floor = Duration::from_millis(2);
+    let spec = OpenLoopSpec {
+        period: service_floor / (4 * workers as u32), // 4× capacity
+        jobs: 240,
+        service_floor,
+        ..OpenLoopSpec::new(tenant)
+    };
+    let report = run_open_loop(&pool, &[spec]);
+    drop(pool);
+    let stream = &report.streams[0];
+    let mut latencies = stream.latencies.clone();
+    latencies.sort_unstable();
+    OpenLoopRun {
+        workers,
+        offered: stream.offered,
+        admitted: stream.admitted,
+        rejected: stream.rejected,
+        completed: stream.completed,
+        p50: percentile(&latencies, 50.0),
+        p99: percentile(&latencies, 99.0),
+        goodput: stream.goodput_jobs_per_s(report.elapsed),
+    }
+}
+
 fn main() {
     cilk_bench::section("scheduler service: closed-loop admission-to-completion latency");
     println!(
@@ -118,6 +254,75 @@ fn main() {
             run.queue_depth_p90,
             run.queue_depth_max,
             if i + 1 < runs.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+
+    cilk_bench::section("scheduler service: weighted fairness (weights 3:1, one shard)");
+    println!(
+        "{:>7}  {:>9}  {:>9}  {:>7}",
+        "workers", "heavy", "light", "ratio"
+    );
+    let weighted: Vec<WeightedRun> = [2usize, 4].into_iter().map(weighted_run).collect();
+    json.push_str("  \"weighted\": [\n");
+    for (i, run) in weighted.iter().enumerate() {
+        println!(
+            "{:>7}  {:>9}  {:>9}  {:>7.2}",
+            run.workers, run.heavy_completed, run.light_completed, run.ratio
+        );
+        assert!(run.light_completed > 0, "{} workers: light tenant starved", run.workers);
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"weight_heavy\": 3, \"weight_light\": 1, \
+             \"heavy_completed\": {}, \"light_completed\": {}, \"goodput_ratio\": {:.2}}}{}",
+            run.workers,
+            run.heavy_completed,
+            run.light_completed,
+            run.ratio,
+            if i + 1 < weighted.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+
+    cilk_bench::section("scheduler service: open-loop overload (4x capacity)");
+    println!(
+        "{:>7}  {:>7}  {:>8}  {:>8}  {:>9}  {:>9}  {:>9}",
+        "workers", "offered", "admitted", "rejected", "p50", "p99", "jobs/s"
+    );
+    let open_loop: Vec<OpenLoopRun> = [2usize, 4].into_iter().map(open_loop_run).collect();
+    json.push_str("  \"open_loop\": [\n");
+    for (i, run) in open_loop.iter().enumerate() {
+        println!(
+            "{:>7}  {:>7}  {:>8}  {:>8}  {:>9}  {:>9}  {:>9.0}",
+            run.workers,
+            run.offered,
+            run.admitted,
+            run.rejected,
+            format!("{:?}", run.p50),
+            format!("{:?}", run.p99),
+            run.goodput,
+        );
+        assert_eq!(
+            run.admitted + run.rejected,
+            run.offered,
+            "{} workers: arrivals conserved",
+            run.workers
+        );
+        assert!(run.rejected > 0, "{} workers: a 4x flood must shed", run.workers);
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"offered\": {}, \"admitted\": {}, \"rejected\": {}, \
+             \"completed\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"goodput_jobs_per_s\": {:.1}}}{}",
+            run.workers,
+            run.offered,
+            run.admitted,
+            run.rejected,
+            run.completed,
+            run.p50.as_micros(),
+            run.p99.as_micros(),
+            run.goodput,
+            if i + 1 < open_loop.len() { "," } else { "" },
         );
     }
     json.push_str("  ]\n}\n");

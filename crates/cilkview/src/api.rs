@@ -117,6 +117,35 @@ impl Cilkview {
         (result, profile_from_strands(measured))
     }
 
+    /// Like [`Cilkview::profile_runtime`], but a pool that fails to claim
+    /// the profiled computation within its configured
+    /// [`stall_timeout`](cilk_runtime::Config::stall_timeout) yields a
+    /// [`ProfileStalled`] diagnosis instead of hanging the analyzer. The
+    /// diagnosis carries the runtime's full stall report — including the
+    /// supervisor heartbeat's *suspect set*, so
+    /// [`ProfileStalled::report`] can name the quiet worker slot and the
+    /// site it last beat from.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileStalled`] when the profiled job sat unclaimed past the
+    /// pool's stall timeout.
+    pub fn try_profile_runtime<OP, R>(
+        &self,
+        pool: &cilk_runtime::ThreadPool,
+        op: OP,
+    ) -> Result<(R, Profile), ProfileStalled>
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let spec = self.strand_spec();
+        match pool.try_install(move || probe::profile_strands(spec, op)) {
+            Ok((result, measured)) => Ok((result, profile_from_strands(measured))),
+            Err(stall) => Err(ProfileStalled { stall }),
+        }
+    }
+
     /// Measures the **serial elision** of `f`: a serial-capture probe
     /// consumer is registered for the duration of the call, so every
     /// spawning construct on this thread runs its depth-first serial
@@ -133,6 +162,78 @@ impl Cilkview {
         let (result, measured) = probe::profile_strands(self.strand_spec(), f);
         drop(session);
         (result, profile_from_strands(measured))
+    }
+}
+
+/// A profiling run that stalled: the pool never claimed the profiled
+/// computation within its stall timeout, so there is no [`Profile`] — but
+/// there *is* a diagnosis. [`ProfileStalled::report`] renders it in the
+/// burden-report style, naming each heartbeat-suspect worker slot and its
+/// last-beaten [`BeatSite`](cilk_runtime::BeatSite).
+#[derive(Debug)]
+pub struct ProfileStalled {
+    /// The runtime's full stall diagnosis (counters, live workers, queue
+    /// depth, and the supervisor's heartbeat suspect set).
+    pub stall: cilk_runtime::RuntimeStalled,
+}
+
+impl ProfileStalled {
+    /// A multi-line burden-report rendering of the stall. The headline
+    /// carries the wait and worker accounting; one line per heartbeat
+    /// suspect names the quiet worker slot and the probe site it last
+    /// beat from (or "never beat"). Unsupervised pools have no heartbeat,
+    /// so the report says the suspect set is unavailable.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let s = &self.stall;
+        let mut out = String::new();
+        let _ = writeln!(out, "cilkview: run stalled, no profile measured");
+        let _ = writeln!(
+            out,
+            "  waited {:?}; {} of {} workers dead, {} live, {} jobs queued",
+            s.waited, s.workers_died, s.workers, s.live_workers, s.pending_injected
+        );
+        let _ = writeln!(
+            out,
+            "  steals={} aborted={} injections={}",
+            s.metrics.steals, s.metrics.steals_aborted, s.metrics.injections
+        );
+        if s.suspects.is_empty() {
+            let _ = writeln!(
+                out,
+                "  heartbeat suspect set unavailable (pool runs without supervision)"
+            );
+        } else {
+            for (slot, site) in &s.suspects {
+                match site {
+                    Some(site) => {
+                        let _ = writeln!(
+                            out,
+                            "  suspect: worker slot {slot} quiet, last beat at {site}"
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  suspect: worker slot {slot} quiet, never beat"
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ProfileStalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cilkview run stalled: {}", self.stall)
+    }
+}
+
+impl std::error::Error for ProfileStalled {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.stall)
     }
 }
 
@@ -571,6 +672,63 @@ mod tests {
         let regions: std::collections::HashMap<_, _> = p.regions.iter().copied().collect();
         assert_eq!(regions["outer"].work, 3, "outer includes inner");
         assert_eq!(regions["inner"].work, 2);
+    }
+
+    #[test]
+    fn try_profile_runtime_measures_like_profile_runtime() {
+        let p = pool(2);
+        let (v, profile) = Cilkview::new()
+            .burden(7)
+            .try_profile_runtime(&p, || charged_fib(11))
+            .expect("healthy pool never stalls");
+        assert_eq!(v, 89);
+        let (_, reference) = Cilkview::new().burden(7).profile_runtime(&p, || charged_fib(11));
+        assert_eq!(profile, reference);
+    }
+
+    #[test]
+    fn stalled_report_names_suspect_slot_and_beat_site() {
+        use cilk_runtime::{BeatSite, MetricsSnapshot, RuntimeStalled};
+        let stalled = ProfileStalled {
+            stall: RuntimeStalled {
+                waited: std::time::Duration::from_millis(250),
+                workers: 4,
+                live_workers: 3,
+                workers_died: 1,
+                pending_injected: 2,
+                metrics: Box::new(MetricsSnapshot::default()),
+                suspects: vec![(2, Some(BeatSite::StealRound)), (3, None)],
+            },
+        };
+        let report = stalled.report();
+        assert!(report.contains("worker slot 2"), "{report}");
+        assert!(
+            report.contains(&BeatSite::StealRound.to_string()),
+            "the last-beaten site must be named: {report}"
+        );
+        assert!(report.contains("worker slot 3"), "{report}");
+        assert!(report.contains("never beat"), "{report}");
+        // Error plumbing: Display and source() reach the runtime diagnosis.
+        use std::error::Error as _;
+        assert!(stalled.to_string().contains("stalled"));
+        assert!(stalled.source().expect("sources the stall").to_string().contains("suspects"));
+    }
+
+    #[test]
+    fn stalled_report_without_supervision_says_so() {
+        use cilk_runtime::{MetricsSnapshot, RuntimeStalled};
+        let stalled = ProfileStalled {
+            stall: RuntimeStalled {
+                waited: std::time::Duration::from_millis(100),
+                workers: 2,
+                live_workers: 2,
+                workers_died: 0,
+                pending_injected: 1,
+                metrics: Box::new(MetricsSnapshot::default()),
+                suspects: Vec::new(),
+            },
+        };
+        assert!(stalled.report().contains("without supervision"), "{}", stalled.report());
     }
 
     #[test]

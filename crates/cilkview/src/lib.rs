@@ -46,6 +46,6 @@ mod api;
 mod profile;
 mod theta;
 
-pub use api::{charge, for_each_index, join, region, Cilkview};
+pub use api::{charge, for_each_index, join, region, Cilkview, ProfileStalled};
 pub use profile::{Profile, SpeedupProfile, SpeedupRow};
 pub use theta::RegionStats;

@@ -1,0 +1,401 @@
+//! Asynchronous submission: [`Registry::submit_async`] → [`JobHandle`].
+//!
+//! `submit` blocks the caller until the job completes; under overload that
+//! couples the client's thread to the pool's backlog. `submit_async`
+//! decouples them: admission happens synchronously (so every refusal is
+//! still a typed [`SubmitError`] at the call site), but the call returns a
+//! handle the moment the job is queued. The handle can be polled, waited
+//! with a timeout, waited to completion (propagating a captured panic
+//! payload exactly like the synchronous path), or cancelled.
+//!
+//! # The quota ticket, asynchronously
+//!
+//! The admission invariant — every reserved slot is released by exactly
+//! one bookkeeping call — extends to handles:
+//!
+//! * the job runs → [`Injector::note_completed`] fires inside the job
+//!   itself (worker or degraded-rescue execution alike);
+//! * [`JobHandle::cancel`] wins the race for a still-queued job →
+//!   [`Injector::note_cancelled`] fires in `cancel`, and the closure is
+//!   dropped without ever executing;
+//! * the enqueue itself fails (shard full) → the reservation is released
+//!   before `submit_async` returns the refusal, and no job exists.
+//!
+//! `admitted == completed + cancelled` therefore still holds for any mix
+//! of synchronous and asynchronous submissions.
+//!
+//! # Cancellation protocol
+//!
+//! A [`JobRef`] must be executed exactly once across all copies.
+//! `cancel` first removes the job from the injection shard
+//! ([`Injector::cancel`]); success means no worker has claimed it and none
+//! ever will, so the canceller owns the single execution. It marks the
+//! shared state `Cancelled` and then performs that execution — which
+//! observes the mark, frees the boxed closure without running it, and
+//! returns. A worker that claimed the job first makes [`Injector::cancel`]
+//! fail, and `cancel` reports `false` (cancel-after-start is refused; the
+//! result still arrives through the handle).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::admission::{Overloaded, Priority, RejectReason, SubmitError, TenantId};
+use crate::job::{Job, JobRef, JobResult};
+use crate::latch::Probe;
+use crate::poison;
+use crate::probe::ProbeEvent;
+use crate::registry::{Registry, WorkerThread};
+use crate::unwind;
+
+/// How long a blocked non-worker waiter sleeps between re-checks of the
+/// degraded-rescue condition. Completion itself is signalled by the
+/// condvar, so this only bounds how stale the degradation check can be.
+const WAIT_SLICE: Duration = Duration::from_millis(10);
+
+/// Where an async job stands, guarded by [`Shared::state`].
+enum HandleState<R> {
+    /// Queued in an injection shard; no worker has claimed it.
+    Queued,
+    /// A worker (or the degraded rescue) is running the closure.
+    Running,
+    /// Finished: a value, or the captured panic payload.
+    Done(JobResult<R>),
+    /// [`JobHandle::cancel`] won the race; the closure never ran.
+    Cancelled,
+}
+
+/// State shared between a [`JobHandle`] and its in-flight [`AsyncJob`].
+struct Shared<R> {
+    /// Lock-free "finished or cancelled" flag, set *after* the state
+    /// transition below: lets a worker's steal-while-wait loop poll the
+    /// handle without taking the mutex on every spin.
+    finished: AtomicBool,
+    state: Mutex<HandleState<R>>,
+    cvar: Condvar,
+}
+
+impl<R> Shared<R> {
+    fn new() -> Self {
+        Shared {
+            finished: AtomicBool::new(false),
+            state: Mutex::new(HandleState::Queued),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Publishes a terminal state (`Done` or `Cancelled`) and wakes
+    /// waiters.
+    fn finish(&self, terminal: HandleState<R>) {
+        let mut state = poison::recover(self.state.lock());
+        *state = terminal;
+        drop(state);
+        self.finished.store(true, Ordering::Release);
+        self.cvar.notify_all();
+    }
+}
+
+/// Lets a worker of the same pool wait on a handle with the thief
+/// protocol (steal and execute other work until the handle resolves)
+/// instead of blocking — the same discipline `join` uses.
+impl<R> Probe for Shared<R> {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+}
+
+/// The heap job behind a [`JobHandle`]: owns the closure, the registry
+/// (for completion accounting) and the shared result slot.
+struct AsyncJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    registry: Arc<Registry>,
+    tenant: TenantId,
+    shared: Arc<Shared<R>>,
+    func: F,
+}
+
+impl<F, R> Job for AsyncJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const ()) {
+        let job = Box::from_raw(this as *mut AsyncJob<F, R>);
+        let AsyncJob { registry, tenant, shared, func } = *job;
+        {
+            let mut state = poison::recover(shared.state.lock());
+            if matches!(*state, HandleState::Cancelled) {
+                // `cancel` owns this execution (it removed the job from
+                // the queue first) and has already done the accounting;
+                // dropping `func` un-run is all that is left.
+                return;
+            }
+            *state = HandleState::Running;
+        }
+        let wt = WorkerThread::current();
+        let result = if wt.is_null() {
+            // Degraded rescue: the pool died with the job still queued and
+            // the waiter is honoring the admission on its own thread. Run
+            // inside a transient serial worker context so nested
+            // `join`/`scope` calls stay on this pool (serial elision).
+            registry.run_in_place(|_| run_captured(func))
+        } else {
+            run_captured(func)
+        };
+        // Completion is counted before the result is published: a waiter
+        // released by the condvar must observe books that already balance
+        // (`admitted == completed + cancelled`, quota slot returned).
+        registry.injector.note_completed(tenant);
+        shared.finish(HandleState::Done(result));
+    }
+}
+
+/// Runs the closure, converting an unwind into the `Panic` result the
+/// handle resumes at `wait` — identical to the synchronous path's
+/// panic-payload propagation.
+fn run_captured<F, R>(func: F) -> JobResult<R>
+where
+    F: FnOnce() -> R,
+{
+    match unwind::halt_unwinding(func) {
+        Ok(value) => JobResult::Ok(value),
+        Err(payload) => {
+            crate::registry::note_panic_captured();
+            JobResult::Panic(payload)
+        }
+    }
+}
+
+/// A handle to a job admitted by
+/// [`ThreadPool::submit_async`](crate::ThreadPool::submit_async).
+///
+/// The handle is the asynchronous half of the admission contract: the
+/// submission was already admitted (quota reserved, shard slot taken)
+/// when the handle was created, and exactly one of
+/// [`wait`](JobHandle::wait)-observed completion or a successful
+/// [`cancel`](JobHandle::cancel) releases that quota.
+///
+/// Dropping the handle detaches the job: it still runs (it was admitted)
+/// and its quota is still released on completion; only the result is
+/// discarded.
+pub struct JobHandle<R: Send + 'static> {
+    shared: Arc<Shared<R>>,
+    registry: Arc<Registry>,
+    tenant: TenantId,
+    job: JobRef,
+}
+
+// SAFETY: the embedded `JobRef` is only ever used under the exactly-once
+// execution protocol documented in the module header (`Injector::cancel`
+// success grants exclusive execution rights); the closure and result are
+// `Send` by bound. Shared access (`&JobHandle`) only reads the job ref to
+// attempt queue removal, which is internally synchronized by the shard
+// lock.
+unsafe impl<R: Send + 'static> Send for JobHandle<R> {}
+unsafe impl<R: Send + 'static> Sync for JobHandle<R> {}
+
+impl<R: Send + 'static> JobHandle<R> {
+    /// The tenant this submission is billed to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// `true` once the job has finished or been cancelled — i.e. once
+    /// [`wait`](JobHandle::wait) would return without blocking. Never
+    /// blocks; one atomic load.
+    pub fn poll(&self) -> bool {
+        self.shared.probe()
+    }
+
+    /// Waits until the job resolves or `timeout` elapses; `true` when
+    /// resolved (finished or cancelled). The result stays in the handle —
+    /// follow up with [`wait`](JobHandle::wait) to take it.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let start = Instant::now();
+        loop {
+            if self.shared.probe() {
+                return true;
+            }
+            let Some(remaining) = timeout.checked_sub(start.elapsed()) else {
+                return false;
+            };
+            self.rescue_if_degraded();
+            let state = poison::recover(self.shared.state.lock());
+            if matches!(*state, HandleState::Done(_) | HandleState::Cancelled) {
+                return true;
+            }
+            let (guard, _) = poison::recover(
+                self.shared.cvar.wait_timeout(state, remaining.min(WAIT_SLICE)),
+            );
+            drop(guard);
+        }
+    }
+
+    /// Waits for the job and takes its outcome: `Some(value)` on
+    /// completion, `None` if [`cancel`](JobHandle::cancel) won. A panic
+    /// captured inside the job is resumed here, on the waiter — the same
+    /// panic-propagation contract as the synchronous `submit`.
+    ///
+    /// On a worker thread of the same pool this waits with the thief
+    /// protocol (stealing and executing other work) instead of blocking,
+    /// so handle waits compose with fork-join work without idling a
+    /// processor.
+    pub fn wait(self) -> Option<R> {
+        unsafe {
+            let wt = WorkerThread::current();
+            if !wt.is_null() && Arc::ptr_eq((*wt).registry(), &self.registry) {
+                (*wt).wait_until(&*self.shared);
+            }
+        }
+        loop {
+            let mut state = poison::recover(self.shared.state.lock());
+            match &*state {
+                HandleState::Done(_) => {
+                    // The placeholder is never observed: this handle is
+                    // consumed and the job already finished.
+                    let done = std::mem::replace(&mut *state, HandleState::Cancelled);
+                    drop(state);
+                    let HandleState::Done(result) = done else { unreachable!() };
+                    return Some(result.into_return_value());
+                }
+                HandleState::Cancelled => return None,
+                HandleState::Queued | HandleState::Running => {
+                    let (guard, _) = poison::recover(
+                        self.shared.cvar.wait_timeout(state, WAIT_SLICE),
+                    );
+                    drop(guard);
+                }
+            }
+            self.rescue_if_degraded();
+        }
+    }
+
+    /// Attempts to cancel a not-yet-started job. `true` means the closure
+    /// will never execute and the tenant's quota slot was released here
+    /// (counted as cancelled, so the books still balance); `false` means a
+    /// worker already claimed the job — cancel-after-start is refused, the
+    /// job runs to completion and releases its own quota exactly once.
+    pub fn cancel(&self) -> bool {
+        if !self.registry.injector.cancel(self.job) {
+            return false;
+        }
+        // Removal succeeded: no worker will ever claim this job, so this
+        // thread owns its single execution. Count the cancellation before
+        // publishing the terminal state — a waiter released by the condvar
+        // must observe books that already balance — and publish `Cancelled`
+        // before executing so that execution observes the mark and drops
+        // the closure un-run.
+        self.registry.injector.note_cancelled(self.tenant);
+        self.registry.probe(ProbeEvent::JobCancelled { tenant: self.tenant.0 });
+        self.shared.finish(HandleState::Cancelled);
+        // SAFETY: exclusive execution right established above; executes
+        // the job exactly once (as a drop).
+        unsafe { self.job.execute() };
+        true
+    }
+
+    /// A fully dead pool (zero live workers, no recovery possible) can
+    /// never claim the queued job; honor the admission by running it on
+    /// this thread instead — completed, not cancelled, exactly like the
+    /// synchronous path's degraded rescue.
+    fn rescue_if_degraded(&self) {
+        if self.registry.degraded_serial() && self.registry.injector.cancel(self.job) {
+            // SAFETY: queue removal grants the exclusive execution right;
+            // the job body does its own completion accounting.
+            unsafe { self.job.execute() };
+        }
+    }
+}
+
+impl<R: Send + 'static> std::fmt::Debug for JobHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("tenant", &self.tenant)
+            .field("resolved", &self.poll())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// Admission-controlled non-blocking submission: reserves `tenant`'s
+    /// quota, passes the `Inject` fault point, enqueues under shard
+    /// capacity, and returns a [`JobHandle`] without waiting for
+    /// execution. Every refusal path releases the reservation before
+    /// returning, so a rejected `submit_async` leaves no quota residue.
+    pub(crate) fn submit_async<OP, R>(
+        self: &Arc<Self>,
+        tenant: TenantId,
+        priority: Priority,
+        op: OP,
+    ) -> Result<JobHandle<R>, SubmitError>
+    where
+        OP: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        // An open circuit breaker fast-fails before any shard work:
+        // atomics only, no per-tenant stats (those live behind the shard
+        // lock the breaker exists to avoid).
+        if let Err(over) = self.injector.breaker_check(tenant) {
+            self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+            return Err(over.into());
+        }
+        if self.degraded_serial() {
+            // A dead pool sheds new submissions instead of queueing them
+            // behind workers that will never come back.
+            self.injector.note_rejected(tenant);
+            self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+            self.note_breaker_rejection(tenant);
+            return Err(SubmitError::Overloaded(Overloaded {
+                tenant,
+                queued: self.injector.depth(),
+                capacity: 0,
+                reason: RejectReason::Shed,
+                retry_after: None,
+            }));
+        }
+        if let Err(over) = self.injector.reserve(tenant) {
+            self.injector.note_rejected(tenant);
+            self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+            self.note_breaker_rejection(tenant);
+            return Err(over.into());
+        }
+        // Panic unwinds with the reservation released; Die sheds
+        // (reservation released, rejection counted) and propagates here.
+        self.consult_inject_fault(tenant)?;
+        let shared = Arc::new(Shared::new());
+        let raw = Box::into_raw(Box::new(AsyncJob {
+            registry: Arc::clone(self),
+            tenant,
+            shared: Arc::clone(&shared),
+            func: op,
+        }));
+        // SAFETY: the box stays valid until the job's single execution
+        // (worker claim, cancel-drop, or degraded rescue) reclaims it; on
+        // enqueue failure it is reclaimed immediately below.
+        let job = unsafe { JobRef::new(raw) };
+        match self.injector.enqueue(tenant, priority, job) {
+            Ok((shard, depth)) => {
+                self.injector.breaker_outcome(tenant, true);
+                self.probe(ProbeEvent::JobAdmitted { tenant: tenant.0 });
+                self.probe(ProbeEvent::Inject);
+                self.probe(ProbeEvent::QueueDepth { shard, depth });
+                self.wake_all();
+                Ok(JobHandle { shared, registry: Arc::clone(self), tenant, job })
+            }
+            Err(over) => {
+                // Never enqueued: no execution will ever happen, so the
+                // box is reclaimed directly (not via the execute path).
+                unsafe { drop(Box::from_raw(raw)) };
+                self.injector.release_reservation(tenant);
+                self.injector.note_rejected(tenant);
+                self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                self.note_breaker_rejection(tenant);
+                Err(over.into())
+            }
+        }
+    }
+}

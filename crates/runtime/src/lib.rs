@@ -38,6 +38,7 @@
 mod admission;
 mod config;
 pub mod fault;
+mod handle;
 pub mod hooks;
 mod job;
 mod join;
@@ -48,6 +49,7 @@ mod parallel_for;
 mod poison;
 pub mod probe;
 mod registry;
+mod retry;
 mod scope;
 mod supervisor;
 mod unwind;
@@ -57,9 +59,11 @@ pub use admission::{
     TenantId, TenantStats,
 };
 pub use config::{BuildPoolError, Config, RuntimeStalled, SpawnPolicy, WaitPolicy};
+pub use handle::JobHandle;
 pub use join::{join, join_context, JoinContext};
 pub use metrics::MetricsSnapshot;
 pub use parallel_for::{for_each_index, for_each_slice_mut, map_reduce_index, Grain};
+pub use retry::RetryPolicy;
 pub use scope::{scope, Scope, TaskContext};
 pub use supervisor::{BeatSite, SupervisionPolicy, SupervisorReport};
 
@@ -207,6 +211,58 @@ impl ThreadPool {
         self.registry.submit_checked(tenant, Priority::Normal, None, |_| op())
     }
 
+    /// The non-blocking variant of [`submit`](ThreadPool::submit):
+    /// admission (quota, shard capacity, circuit breaker) happens
+    /// synchronously, but the call returns a [`JobHandle`] the moment the
+    /// job is queued instead of waiting for execution. The handle can be
+    /// polled, waited with a timeout, waited to completion (a panic inside
+    /// the job resumes on the waiter), or cancelled before a worker claims
+    /// it — a successful cancel releases the tenant's quota slot without
+    /// the closure ever running.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the submission is refused at
+    /// admission (the handle is never created; no quota is held).
+    pub fn submit_async<OP, R>(
+        &self,
+        tenant: TenantId,
+        op: OP,
+    ) -> Result<JobHandle<R>, SubmitError>
+    where
+        OP: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.registry.submit_async(tenant, Priority::Normal, op)
+    }
+
+    /// [`submit`](ThreadPool::submit) wrapped in a [`RetryPolicy`]:
+    /// transient refusals (full shard, quota, open breaker) retry with
+    /// seeded-jitter exponential backoff — honoring the breaker's
+    /// [`retry_after`](SubmitError::retry_after) hint — while `Shed` and
+    /// `Stalled` fail fast. The closure may run once per attempt, so it is
+    /// `FnMut`-style: a fresh `op()` call per admission.
+    ///
+    /// # Errors
+    ///
+    /// The last [`SubmitError`] observed when the policy exhausts its
+    /// attempts or deadline, or a non-retryable refusal immediately.
+    pub fn submit_with_retry<OP, R>(
+        &self,
+        tenant: TenantId,
+        policy: &RetryPolicy,
+        mut op: OP,
+    ) -> Result<R, SubmitError>
+    where
+        OP: FnMut() -> R + Send,
+        R: Send,
+    {
+        policy.run(|| {
+            self.registry
+                .submit_checked(tenant, Priority::Normal, None, |_| op())
+        })
+    }
+
     /// A submission handle for `tenant`: set a [`Priority`], then
     /// [`submit`](Submission::submit) or
     /// [`submit_within`](Submission::submit_within).
@@ -288,6 +344,42 @@ impl Submission<'_> {
         self.pool
             .registry
             .submit_checked(self.tenant, self.priority, Some(deadline), |_| op())
+    }
+
+    /// Non-blocking submission at this handle's priority; see
+    /// [`ThreadPool::submit_async`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ThreadPool::submit_async`].
+    pub fn submit_async<OP, R>(&self, op: OP) -> Result<JobHandle<R>, SubmitError>
+    where
+        OP: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.pool.registry.submit_async(self.tenant, self.priority, op)
+    }
+
+    /// Retrying submission at this handle's priority; see
+    /// [`ThreadPool::submit_with_retry`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ThreadPool::submit_with_retry`].
+    pub fn submit_with_retry<OP, R>(
+        &self,
+        policy: &RetryPolicy,
+        mut op: OP,
+    ) -> Result<R, SubmitError>
+    where
+        OP: FnMut() -> R + Send,
+        R: Send,
+    {
+        policy.run(|| {
+            self.pool
+                .registry
+                .submit_checked(self.tenant, self.priority, None, |_| op())
+        })
     }
 }
 

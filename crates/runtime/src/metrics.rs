@@ -64,6 +64,13 @@ pub(crate) struct Counters {
     pub(crate) injector_batches: AtomicU64,
     /// High-watermark of any single injection shard's depth.
     pub(crate) injector_high_watermark: AtomicUsize,
+    /// Band promotions of jobs that waited past the aging threshold (one
+    /// per band climbed).
+    pub(crate) jobs_aged: AtomicU64,
+    /// Async submissions cancelled before a worker claimed them.
+    pub(crate) jobs_cancelled: AtomicU64,
+    /// Circuit-breaker trips (closed → open transitions).
+    pub(crate) breakers_tripped: AtomicU64,
 }
 
 impl Counters {
@@ -120,6 +127,9 @@ impl Counters {
             ProbeEvent::JobAdmitted { .. } => self.bump(&self.jobs_admitted),
             ProbeEvent::JobRejected { .. } => self.bump(&self.jobs_rejected),
             ProbeEvent::InjectorBatch { .. } => self.bump(&self.injector_batches),
+            ProbeEvent::JobAged { .. } => self.bump(&self.jobs_aged),
+            ProbeEvent::JobCancelled { .. } => self.bump(&self.jobs_cancelled),
+            ProbeEvent::BreakerTripped { .. } => self.bump(&self.breakers_tripped),
             ProbeEvent::QueueDepth { depth, .. } => {
                 self.injector_high_watermark.fetch_max(depth, Ordering::Relaxed);
             }
@@ -185,6 +195,13 @@ pub struct MetricsSnapshot {
     pub injector_batches: u64,
     /// Maximum observed depth of any single injection shard.
     pub injector_high_watermark: usize,
+    /// Band promotions of jobs that waited past the aging threshold (one
+    /// per band climbed).
+    pub jobs_aged: u64,
+    /// Async submissions cancelled before a worker claimed them.
+    pub jobs_cancelled: u64,
+    /// Circuit-breaker trips (closed → open transitions).
+    pub breakers_tripped: u64,
 }
 
 impl MetricsSnapshot {
@@ -227,6 +244,9 @@ impl Counters {
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             injector_batches: self.injector_batches.load(Ordering::Relaxed),
             injector_high_watermark: self.injector_high_watermark.load(Ordering::Relaxed),
+            jobs_aged: self.jobs_aged.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            breakers_tripped: self.breakers_tripped.load(Ordering::Relaxed),
         }
     }
 }
@@ -282,6 +302,10 @@ mod tests {
         c.on_event(&ProbeEvent::JobRejected { tenant: 3 });
         c.on_event(&ProbeEvent::JobRejected { tenant: 4 });
         c.on_event(&ProbeEvent::InjectorBatch { jobs: 4 });
+        c.on_event(&ProbeEvent::JobAged { tenant: 4 });
+        c.on_event(&ProbeEvent::JobAged { tenant: 4 });
+        c.on_event(&ProbeEvent::JobCancelled { tenant: 3 });
+        c.on_event(&ProbeEvent::BreakerTripped { tenant: 4 });
         c.on_event(&ProbeEvent::QueueDepth { shard: 0, depth: 9 });
         c.on_event(&ProbeEvent::QueueDepth { shard: 1, depth: 2 });
         // Lifecycle/structure events that map to no counter must be inert.
@@ -311,6 +335,9 @@ mod tests {
         assert_eq!(s.jobs_rejected, 2);
         assert_eq!(s.injector_batches, 1);
         assert_eq!(s.injector_high_watermark, 9);
+        assert_eq!(s.jobs_aged, 2);
+        assert_eq!(s.jobs_cancelled, 1);
+        assert_eq!(s.breakers_tripped, 1);
     }
 
     #[test]

@@ -236,6 +236,27 @@ pub enum ProbeEvent {
         /// Number of jobs moved in the batch.
         jobs: usize,
     },
+    /// A queued job waited past the admission policy's aging threshold and
+    /// was promoted one priority band at claim time (starvation defense;
+    /// emitted once per band climbed).
+    JobAged {
+        /// Numeric id of the promoted job's tenant (`TenantId.0`).
+        tenant: u32,
+    },
+    /// A [`JobHandle::cancel`](crate::JobHandle::cancel) won the race for
+    /// a still-queued async submission: the job was removed from its shard
+    /// and its quota slot released without the closure ever executing.
+    JobCancelled {
+        /// Numeric id of the cancelling tenant (`TenantId.0`).
+        tenant: u32,
+    },
+    /// A tenant's circuit breaker tripped open: its recent submissions were
+    /// all rejected, so further submissions fast-fail without touching the
+    /// shard locks until the cooldown elapses (then one half-open probe).
+    BreakerTripped {
+        /// Numeric id of the tripped tenant (`TenantId.0`).
+        tenant: u32,
+    },
 
     // ---- cilk_for events ----
     /// A `cilk_for` leaf chunk is about to execute.
@@ -355,7 +376,10 @@ impl ProbeEvent {
             | ProbeEvent::JobAdmitted { .. }
             | ProbeEvent::JobRejected { .. }
             | ProbeEvent::QueueDepth { .. }
-            | ProbeEvent::InjectorBatch { .. } => EventMask::SCHED,
+            | ProbeEvent::InjectorBatch { .. }
+            | ProbeEvent::JobAged { .. }
+            | ProbeEvent::JobCancelled { .. }
+            | ProbeEvent::BreakerTripped { .. } => EventMask::SCHED,
             ProbeEvent::LoopChunk { .. } => EventMask::LOOP,
             ProbeEvent::ViewAccessBegin { .. }
             | ProbeEvent::ViewAccessEnd { .. }
@@ -412,6 +436,9 @@ mod tests {
             ProbeEvent::JobRejected { tenant: 4 },
             ProbeEvent::QueueDepth { shard: 1, depth: 5 },
             ProbeEvent::InjectorBatch { jobs: 4 },
+            ProbeEvent::JobAged { tenant: 4 },
+            ProbeEvent::JobCancelled { tenant: 4 },
+            ProbeEvent::BreakerTripped { tenant: 4 },
             ProbeEvent::LoopChunk { start: 0, len: 8 },
             ProbeEvent::ViewAccessBegin { reducer: 7 },
             ProbeEvent::ViewAccessEnd { reducer: 7 },

@@ -60,7 +60,7 @@ pub(crate) struct Registry {
     thread_infos: Vec<ThreadInfo>,
     /// Sharded bounded injection queues (one unbounded shard on pools
     /// built without [`Config::admission`]). See `crate::admission`.
-    injector: Injector,
+    pub(crate) injector: Injector,
     sleep: Sleep,
     terminate: AtomicBool,
     pub(crate) counters: Counters,
@@ -268,7 +268,7 @@ impl Registry {
 
     /// Whether installs must degrade to serial in-place execution: a
     /// supervised pool with zero live workers and no recovery in flight.
-    fn degraded_serial(&self) -> bool {
+    pub(crate) fn degraded_serial(&self) -> bool {
         self.supervision
             .as_ref()
             .is_some_and(|sup| sup.live() == 0 && !sup.recovery_possible())
@@ -364,13 +364,32 @@ impl Registry {
     {
         unsafe {
             let current = WorkerThread::current();
+            // On a service pool (admission policy installed) the legacy
+            // entry points bill the default tenant: admitted
+            // unconditionally — `install`/`scope` predate the admission
+            // layer and have no error channel — but fully accounted, so
+            // `admitted == completed + cancelled` covers every job the
+            // pool ever ran. Unpoliced pools skip all of this.
+            let billed = self.injector.has_policy();
+            if billed {
+                self.injector.note_legacy_admitted(TenantId::DEFAULT);
+                self.probe(ProbeEvent::JobAdmitted { tenant: TenantId::DEFAULT.0 });
+            }
             if !current.is_null() {
                 // Already on a worker thread (of this or another pool);
                 // run in place. Cross-pool installs execute on the calling
                 // pool, which preserves the paper's composability property.
+                if billed {
+                    let _complete = InlineComplete { registry: self, tenant: TenantId::DEFAULT };
+                    return Ok(op(&*current));
+                }
                 return Ok(op(&*current));
             }
             if self.degraded_serial() {
+                if billed {
+                    let _complete = InlineComplete { registry: self, tenant: TenantId::DEFAULT };
+                    return Ok(self.run_in_place(op));
+                }
                 return Ok(self.run_in_place(op));
             }
             let latch = LockLatch::new();
@@ -413,6 +432,9 @@ impl Registry {
                         // (A claimed job is already executing — wait on.)
                         if self.degraded_serial() && self.cancel_injected(job_ref) {
                             let op = op_slot.take().expect("cancelled job retains its op");
+                            if billed {
+                                self.injector.note_completed(TenantId::DEFAULT);
+                            }
                             return Ok(self.run_in_place(op));
                         }
                         // Stall deadline passed. If the job is still
@@ -422,10 +444,18 @@ impl Registry {
                         if self.stall_timeout.is_some_and(|t| waited >= t)
                             && self.cancel_injected(job_ref)
                         {
+                            if billed {
+                                self.injector.note_cancelled(TenantId::DEFAULT);
+                            }
                             return Err(self.stall_error(waited));
                         }
                     }
                 }
+            }
+            if billed {
+                // Count completion before `into_result`: a captured panic
+                // resumes there, and the billed work did run to its end.
+                self.injector.note_completed(TenantId::DEFAULT);
             }
             Ok(job.into_result())
         }
@@ -438,7 +468,7 @@ impl Registry {
     /// run depth-first, exactly like the serial elision. Its deque is
     /// invisible to the (dead) pool, and its sentinel index sits one past
     /// the real slots so probes and victim loops stay well-formed.
-    fn run_in_place<OP, R>(self: &Arc<Self>, op: OP) -> R
+    pub(crate) fn run_in_place<OP, R>(self: &Arc<Self>, op: OP) -> R
     where
         OP: FnOnce(&WorkerThread) -> R + Send,
         R: Send,
@@ -507,6 +537,13 @@ impl Registry {
         R: Send,
     {
         unsafe {
+            // An open circuit breaker fast-fails before any shard work:
+            // atomics only, no per-tenant stats (those live behind the
+            // shard lock the breaker exists to avoid).
+            if let Err(over) = self.injector.breaker_check(tenant) {
+                self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                return Err(over.into());
+            }
             let current = WorkerThread::current();
             if !current.is_null() {
                 // Nested submit on a worker thread: runs inline (like
@@ -515,10 +552,12 @@ impl Registry {
                 if let Err(over) = self.injector.reserve(tenant) {
                     self.injector.note_rejected(tenant);
                     self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                    self.note_breaker_rejection(tenant);
                     return Err(over.into());
                 }
                 self.consult_inject_fault(tenant)?;
                 self.injector.note_admitted_inline(tenant);
+                self.injector.breaker_outcome(tenant, true);
                 self.probe(ProbeEvent::JobAdmitted { tenant: tenant.0 });
                 // Complete-on-drop: the quota slot is released even when
                 // `op` unwinds (the panic is the submitter's outcome; the
@@ -532,11 +571,13 @@ impl Registry {
                 // already admitted still drains via the serial fallback.
                 self.injector.note_rejected(tenant);
                 self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                self.note_breaker_rejection(tenant);
                 return Err(SubmitError::Overloaded(Overloaded {
                     tenant,
                     queued: self.injector.depth(),
                     capacity: 0,
                     reason: RejectReason::Shed,
+                    retry_after: None,
                 }));
             }
             let admit_start = Instant::now();
@@ -589,11 +630,13 @@ impl Registry {
                         if self.degraded_serial() {
                             self.injector.note_rejected(tenant);
                             self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                            self.note_breaker_rejection(tenant);
                             return Err(SubmitError::Overloaded(Overloaded {
                                 tenant,
                                 queued: self.injector.depth(),
                                 capacity: 0,
                                 reason: RejectReason::Shed,
+                                retry_after: None,
                             }));
                         }
                         thread::sleep(Duration::from_micros(500));
@@ -604,6 +647,7 @@ impl Registry {
                         // diagnosis says whether it is overloaded or dead.
                         self.injector.note_rejected(tenant);
                         self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                        self.note_breaker_rejection(tenant);
                         return Err(SubmitError::Stalled(
                             self.stall_error(admit_start.elapsed()),
                         ));
@@ -611,10 +655,12 @@ impl Registry {
                     None => {
                         self.injector.note_rejected(tenant);
                         self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                        self.note_breaker_rejection(tenant);
                         return Err(refusal.into());
                     }
                 }
             };
+            self.injector.breaker_outcome(tenant, true);
             self.probe(ProbeEvent::JobAdmitted { tenant: tenant.0 });
             self.probe(ProbeEvent::Inject);
             self.probe(ProbeEvent::QueueDepth { shard, depth });
@@ -669,7 +715,7 @@ impl Registry {
     /// * `Die` has no worker to kill here, so it sheds the submission —
     ///   reservation released, rejection counted, [`Overloaded`] returned
     ///   — simulating sudden pool death at the admission boundary.
-    fn consult_inject_fault(&self, tenant: TenantId) -> Result<(), SubmitError> {
+    pub(crate) fn consult_inject_fault(&self, tenant: TenantId) -> Result<(), SubmitError> {
         let Some(handler) = self.fault_handler() else {
             return Ok(());
         };
@@ -685,6 +731,9 @@ impl Registry {
             }
             FaultAction::Panic => {
                 self.injector.release_reservation(tenant);
+                // A half-open probe that unwinds must still resolve the
+                // breaker, or it would stick half-open forever.
+                self.note_breaker_rejection(tenant);
                 std::panic::panic_any(crate::fault::InjectedFault {
                     site: FaultSite::Inject,
                 });
@@ -692,13 +741,23 @@ impl Registry {
             FaultAction::Die => {
                 self.injector.note_shed_reserved(tenant);
                 self.probe(ProbeEvent::JobRejected { tenant: tenant.0 });
+                self.note_breaker_rejection(tenant);
                 Err(SubmitError::Overloaded(Overloaded {
                     tenant,
                     queued: self.injector.depth(),
                     capacity: 0,
                     reason: RejectReason::Shed,
+                    retry_after: None,
                 }))
             }
+        }
+    }
+
+    /// Records a rejection with `tenant`'s circuit breaker and emits the
+    /// trip event if this strike opened it.
+    pub(crate) fn note_breaker_rejection(&self, tenant: TenantId) {
+        if self.injector.breaker_outcome(tenant, false) {
+            self.probe(ProbeEvent::BreakerTripped { tenant: tenant.0 });
         }
     }
 }
@@ -1046,7 +1105,10 @@ impl WorkerThread {
         let start =
             if shards > 1 { (self.next_random() as usize) % shards } else { 0 };
         let batch = registry.injector.claim(start, registry.injector.handoff_batch);
-        let mut jobs = batch.into_iter();
+        for tenant in batch.aged {
+            registry.probe(ProbeEvent::JobAged { tenant });
+        }
+        let mut jobs = batch.jobs.into_iter();
         let first = jobs.next()?;
         let surplus = jobs.len();
         for job in jobs {

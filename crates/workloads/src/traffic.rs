@@ -184,6 +184,183 @@ fn run_client(
     (admitted, rejected, stalled, latencies)
 }
 
+/// One tenant's open-loop arrival stream.
+///
+/// Unlike the closed loop above, arrivals do not wait for completions: a
+/// dispatcher thread fires [`submit_async`](cilk::runtime::ThreadPool::submit_async)
+/// on an absolute schedule (`start + i × period`), so offered load is
+/// `1/period` regardless of how far behind the pool falls — the regime
+/// where queueing collapse actually happens. `service_floor` pads every
+/// job's execution to a known duration, making the pool's capacity
+/// `workers / service_floor` jobs/s independent of machine speed.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// The tenant all of this stream's submissions bill against.
+    pub tenant: TenantId,
+    /// Priority band for every submission in the stream.
+    pub priority: Priority,
+    /// Inter-arrival period; offered rate is `1/period`.
+    pub period: Duration,
+    /// Total arrivals the stream dispatches.
+    pub jobs: usize,
+    /// Base `fib` argument of the per-job work (digest-checked).
+    pub work: u64,
+    /// Seeded extra work: each job computes `fib(work + rng % (spread+1))`.
+    pub work_spread: u64,
+    /// Minimum service time per job: execution sleeps out any remainder,
+    /// so capacity is `workers / service_floor` on any machine.
+    pub service_floor: Duration,
+    /// Stream seed for the work-size draw.
+    pub seed: u64,
+}
+
+impl OpenLoopSpec {
+    /// A stream with defaults: 64 arrivals of `fib(10)` every 2 ms with a
+    /// 1 ms service floor, normal priority.
+    pub fn new(tenant: TenantId) -> OpenLoopSpec {
+        OpenLoopSpec {
+            tenant,
+            priority: Priority::Normal,
+            period: Duration::from_millis(2),
+            jobs: 64,
+            work: 10,
+            work_spread: 2,
+            service_floor: Duration::from_millis(1),
+            seed: 0xDAC_2009,
+        }
+    }
+}
+
+/// Per-stream outcome of an open-loop run.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// The stream's tenant.
+    pub tenant: TenantId,
+    /// Arrivals dispatched (always the spec's `jobs`).
+    pub offered: u64,
+    /// Submissions past admission (a [`JobHandle`] was created).
+    ///
+    /// [`JobHandle`]: cilk::runtime::JobHandle
+    pub admitted: u64,
+    /// Submissions refused at admission (typed overload).
+    pub rejected: u64,
+    /// Admitted jobs that completed with a verified result.
+    pub completed: u64,
+    /// Admitted jobs whose handle resolved as cancelled.
+    pub cancelled: u64,
+    /// Submitted-to-completed latency of every completed job (queueing
+    /// included — the open-loop latency that explodes under collapse).
+    pub latencies: Vec<Duration>,
+}
+
+/// The whole open-loop run: one report per stream, in spec order.
+#[derive(Debug)]
+pub struct OpenLoopTrafficReport {
+    /// Per-stream outcomes, parallel to the spec slice.
+    pub streams: Vec<OpenLoopReport>,
+    /// Wall-clock duration from first dispatch to last drain.
+    pub elapsed: Duration,
+}
+
+impl OpenLoopReport {
+    /// Completed jobs per second over `elapsed` — the stream's goodput
+    /// (admitted-but-shed work does not count).
+    pub fn goodput_jobs_per_s(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// `p`-th percentile (0..=100) of an ascending-sorted latency slice.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs every stream's dispatcher against `pool` on its absolute arrival
+/// schedule, then drains all handles, checking every completed result
+/// against the serial elision. Panics on a wrong result.
+pub fn run_open_loop(pool: &ThreadPool, specs: &[OpenLoopSpec]) -> OpenLoopTrafficReport {
+    let start = Instant::now();
+    let streams = std::thread::scope(|scope| {
+        let dispatchers: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let spec = spec.clone();
+                scope.spawn(move || dispatch_open_loop(pool, &spec))
+            })
+            .collect();
+        dispatchers
+            .into_iter()
+            .map(|h| h.join().expect("open-loop dispatcher panicked"))
+            .collect()
+    });
+    OpenLoopTrafficReport { streams, elapsed: start.elapsed() }
+}
+
+/// One open-loop dispatcher: fire on schedule, never wait mid-stream,
+/// drain at the end.
+fn dispatch_open_loop(pool: &ThreadPool, spec: &OpenLoopSpec) -> OpenLoopReport {
+    let mut rng = Rng::seed_from_u64(spec.seed ^ (spec.tenant.0 as u64) << 8);
+    let submission = pool.tenant(spec.tenant).priority(spec.priority);
+    let schedule_start = Instant::now();
+    let mut handles = Vec::with_capacity(spec.jobs);
+    let mut rejected = 0u64;
+    for i in 0..spec.jobs {
+        // Absolute schedule: a slow admission never shifts later arrivals,
+        // so the offered rate stays honest under overload.
+        let due = schedule_start + spec.period * i as u32;
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let n = spec.work + rng.next_u64() % (spec.work_spread + 1);
+        let floor = spec.service_floor;
+        let submitted = Instant::now();
+        match submission.submit_async(move || {
+            let served = Instant::now();
+            let v = fib_cutoff(n, 8);
+            // Pad execution (not latency) to the service floor.
+            if let Some(rem) = floor.checked_sub(served.elapsed()) {
+                std::thread::sleep(rem);
+            }
+            (v, submitted.elapsed())
+        }) {
+            Ok(handle) => handles.push((n, handle)),
+            Err(SubmitError::Overloaded(_)) => rejected += 1,
+            Err(SubmitError::Stalled(stall)) => panic!(
+                "open-loop submit_async is non-blocking and must never stall: {stall}"
+            ),
+        }
+    }
+    let mut report = OpenLoopReport {
+        tenant: spec.tenant,
+        offered: spec.jobs as u64,
+        admitted: handles.len() as u64,
+        rejected,
+        completed: 0,
+        cancelled: 0,
+        latencies: Vec::with_capacity(handles.len()),
+    };
+    for (n, handle) in handles {
+        match handle.wait() {
+            Some((v, latency)) => {
+                assert_eq!(v, fib_serial(n), "tenant {}: wrong fib({n})", spec.tenant);
+                report.completed += 1;
+                report.latencies.push(latency);
+            }
+            None => report.cancelled += 1,
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +400,39 @@ mod tests {
         // timing-dependent, so only the accounting is asserted.
         assert_eq!(report.streams[0].rejected, 0, "under-quota stream sails through");
         assert_eq!(pool.queued_jobs(), 0, "traffic drained");
+    }
+
+    #[test]
+    fn open_loop_accounts_every_arrival() {
+        let pool = ThreadPool::with_config(Config::new().num_workers(2).admission(
+            AdmissionPolicy::new().shards(1).shard_capacity(16).fair_share(8).burst(0),
+        ))
+        .expect("pool builds");
+        // 2 workers × 2 ms floor ⇒ capacity 1 job/ms·2 = 1000 jobs/s;
+        // a 500 µs period offers 2000 jobs/s — 2× capacity, so the
+        // bounded shard must shed part of the stream.
+        let spec = OpenLoopSpec {
+            jobs: 80,
+            period: Duration::from_micros(500),
+            service_floor: Duration::from_millis(2),
+            work: 6,
+            work_spread: 0,
+            ..OpenLoopSpec::new(TenantId(9))
+        };
+        let report = run_open_loop(&pool, std::slice::from_ref(&spec));
+        let s = &report.streams[0];
+        assert_eq!(s.offered, 80);
+        assert_eq!(s.admitted + s.rejected, s.offered, "every arrival accounted");
+        assert_eq!(s.completed + s.cancelled, s.admitted, "every handle resolved");
+        assert_eq!(s.latencies.len(), s.completed as usize);
+        assert!(s.completed > 0, "some goodput under 2x overload");
+        let stats = *pool.admission_report().tenant(spec.tenant).expect("tenant recorded");
+        assert_eq!(stats.admitted, s.admitted, "{stats:?}");
+        assert_eq!(stats.in_flight, 0, "{stats:?}");
+        assert_eq!(stats.admitted, stats.completed + stats.cancelled, "{stats:?}");
+        assert_eq!(pool.queued_jobs(), 0, "open-loop drained");
+        let mut sorted = s.latencies.clone();
+        sorted.sort();
+        assert!(percentile(&sorted, 99.0) >= percentile(&sorted, 50.0));
     }
 }
